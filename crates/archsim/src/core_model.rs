@@ -1,0 +1,226 @@
+//! Interval-analysis-style out-of-order core performance model.
+
+use darksil_units::Hertz;
+use serde::{Deserialize, Serialize};
+
+use crate::ArchSimError;
+
+/// Microarchitectural parameters of the modelled core.
+///
+/// Defaults mimic the Alpha 21264 configuration the paper simulates in
+/// gem5: a 4-wide out-of-order core with a unified L2 and off-chip DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreModel {
+    /// Maximum instructions issued per cycle.
+    issue_width: f64,
+    /// Fraction of memory-stall latency hidden by out-of-order
+    /// execution (0 = blocking core, 1 = perfect overlap).
+    mlp_overlap: f64,
+}
+
+impl CoreModel {
+    /// The paper's core: 4-wide OoO Alpha 21264 with moderate
+    /// memory-level parallelism.
+    #[must_use]
+    pub fn alpha_21264() -> Self {
+        Self {
+            issue_width: 4.0,
+            mlp_overlap: 0.4,
+        }
+    }
+
+    /// Builds a custom core model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchSimError::InvalidParameter`] for a non-positive
+    /// issue width or an overlap outside `[0, 1)`.
+    pub fn new(issue_width: f64, mlp_overlap: f64) -> Result<Self, ArchSimError> {
+        if issue_width <= 0.0 || !issue_width.is_finite() {
+            return Err(ArchSimError::InvalidParameter {
+                name: "issue_width",
+                value: issue_width,
+            });
+        }
+        if !(0.0..1.0).contains(&mlp_overlap) {
+            return Err(ArchSimError::InvalidParameter {
+                name: "mlp_overlap",
+                value: mlp_overlap,
+            });
+        }
+        Ok(Self {
+            issue_width,
+            mlp_overlap,
+        })
+    }
+
+    /// Cycles per instruction for `trace` at clock frequency `f`:
+    ///
+    /// `CPI(f) = max(1/issue_width, 1/ilp) + (1 − overlap)·mpki·lat_ns·f`
+    ///
+    /// The first term is the core-bound floor (the narrower of the
+    /// machine and the program's inherent ILP); the second converts the
+    /// fixed-nanosecond memory latency into cycles, which *grows* with
+    /// frequency — the memory wall that caps DVFS benefit for
+    /// memory-bound applications.
+    #[must_use]
+    pub fn cpi(&self, trace: &TraceProfile, f: Hertz) -> f64 {
+        let core_cpi = (1.0 / self.issue_width).max(1.0 / trace.ilp_limit);
+        let mem_cycles_per_instr =
+            (1.0 - self.mlp_overlap) * trace.misses_per_instr * trace.mem_latency_ns * f.as_ghz();
+        core_cpi + mem_cycles_per_instr
+    }
+
+    /// Instructions per cycle (the reciprocal of [`CoreModel::cpi`]).
+    #[must_use]
+    pub fn ipc(&self, trace: &TraceProfile, f: Hertz) -> f64 {
+        1.0 / self.cpi(trace, f)
+    }
+
+    /// Single-core throughput in giga-instructions per second:
+    /// `IPC(f) · f`.
+    #[must_use]
+    pub fn gips(&self, trace: &TraceProfile, f: Hertz) -> f64 {
+        self.ipc(trace, f) * f.as_ghz()
+    }
+}
+
+impl Default for CoreModel {
+    fn default() -> Self {
+        Self::alpha_21264()
+    }
+}
+
+/// Application-dependent trace characteristics extracted from a
+/// (simulated) execution: inherent ILP and memory behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceProfile {
+    /// Inherent instruction-level parallelism: the IPC the program could
+    /// sustain on an infinitely wide machine with a perfect memory
+    /// system.
+    pub ilp_limit: f64,
+    /// Long-latency (off-chip) misses per instruction.
+    pub misses_per_instr: f64,
+    /// Average miss latency in nanoseconds.
+    pub mem_latency_ns: f64,
+}
+
+impl TraceProfile {
+    /// Builds a trace profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchSimError::InvalidParameter`] for non-positive ILP,
+    /// negative miss rate, or negative latency.
+    pub fn new(
+        ilp_limit: f64,
+        misses_per_instr: f64,
+        mem_latency_ns: f64,
+    ) -> Result<Self, ArchSimError> {
+        if ilp_limit <= 0.0 || !ilp_limit.is_finite() {
+            return Err(ArchSimError::InvalidParameter {
+                name: "ilp_limit",
+                value: ilp_limit,
+            });
+        }
+        if misses_per_instr < 0.0 || !misses_per_instr.is_finite() {
+            return Err(ArchSimError::InvalidParameter {
+                name: "misses_per_instr",
+                value: misses_per_instr,
+            });
+        }
+        if mem_latency_ns < 0.0 || !mem_latency_ns.is_finite() {
+            return Err(ArchSimError::InvalidParameter {
+                name: "mem_latency_ns",
+                value: mem_latency_ns,
+            });
+        }
+        Ok(Self {
+            ilp_limit,
+            misses_per_instr,
+            mem_latency_ns,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute_bound() -> TraceProfile {
+        TraceProfile::new(3.2, 0.0003, 60.0).unwrap()
+    }
+
+    fn memory_bound() -> TraceProfile {
+        TraceProfile::new(1.6, 0.02, 60.0).unwrap()
+    }
+
+    #[test]
+    fn ipc_bounded_by_issue_width_and_ilp() {
+        let core = CoreModel::alpha_21264();
+        let wide_ilp = TraceProfile::new(10.0, 0.0, 60.0).unwrap();
+        // With no misses and ILP above the machine width, IPC = width.
+        assert!((core.ipc(&wide_ilp, Hertz::from_ghz(2.0)) - 4.0).abs() < 1e-12);
+        let narrow = TraceProfile::new(2.0, 0.0, 60.0).unwrap();
+        assert!((core.ipc(&narrow, Hertz::from_ghz(2.0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ipc_decreases_with_frequency_due_to_memory_wall() {
+        let core = CoreModel::alpha_21264();
+        let t = memory_bound();
+        let slow = core.ipc(&t, Hertz::from_ghz(1.0));
+        let fast = core.ipc(&t, Hertz::from_ghz(4.0));
+        assert!(fast < slow, "{fast} !< {slow}");
+    }
+
+    #[test]
+    fn gips_saturates_for_memory_bound_apps() {
+        let core = CoreModel::alpha_21264();
+        let t = memory_bound();
+        let g2 = core.gips(&t, Hertz::from_ghz(2.0));
+        let g4 = core.gips(&t, Hertz::from_ghz(4.0));
+        // Doubling frequency must yield clearly sub-2× throughput.
+        assert!(g4 / g2 < 1.6, "ratio {}", g4 / g2);
+        // While the compute-bound app scales nearly linearly.
+        let c = compute_bound();
+        let r = core.gips(&c, Hertz::from_ghz(4.0)) / core.gips(&c, Hertz::from_ghz(2.0));
+        assert!(r > 1.8, "ratio {r}");
+    }
+
+    #[test]
+    fn gips_is_monotonic_in_frequency() {
+        // Even memory-bound programs never get *slower* in absolute terms.
+        let core = CoreModel::alpha_21264();
+        for trace in [compute_bound(), memory_bound()] {
+            let mut last = 0.0;
+            for tenths in 2..45 {
+                let g = core.gips(&trace, Hertz::from_ghz(tenths as f64 / 10.0));
+                assert!(g >= last);
+                last = g;
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_21264_ipc_in_plausible_range() {
+        let core = CoreModel::alpha_21264();
+        let ipc = core.ipc(&compute_bound(), Hertz::from_ghz(2.0));
+        assert!(ipc > 1.5 && ipc < 4.0, "IPC {ipc}");
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        assert!(CoreModel::new(0.0, 0.4).is_err());
+        assert!(CoreModel::new(4.0, 1.0).is_err());
+        assert!(CoreModel::new(4.0, -0.1).is_err());
+        assert!(TraceProfile::new(0.0, 0.01, 60.0).is_err());
+        assert!(TraceProfile::new(2.0, -0.01, 60.0).is_err());
+        assert!(TraceProfile::new(2.0, 0.01, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn default_is_alpha() {
+        assert_eq!(CoreModel::default(), CoreModel::alpha_21264());
+    }
+}

@@ -1,0 +1,50 @@
+//! Error type for the architectural simulator stand-in.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from core-model construction and sampling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArchSimError {
+    /// A microarchitectural or trace parameter was out of range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A sweep definition was empty or inverted.
+    EmptySweep,
+}
+
+impl fmt::Display for ArchSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { name, value } => {
+                write!(f, "invalid simulator parameter {name} = {value}")
+            }
+            Self::EmptySweep => write!(f, "sample sweep contains no operating points"),
+        }
+    }
+}
+
+impl Error for ArchSimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(ArchSimError::InvalidParameter {
+            name: "issue_width",
+            value: 0.0
+        }
+        .to_string()
+        .contains("issue_width"));
+        assert_eq!(
+            ArchSimError::EmptySweep.to_string(),
+            "sample sweep contains no operating points"
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Analytical core performance and power sampling — the workspace's
+//! stand-in for gem5 + McPAT (see DESIGN.md §2).
+//!
+//! The paper's tool flow (Figure 1) runs Parsec applications on
+//! out-of-order Alpha 21264 cores in gem5 and extracts power through
+//! McPAT, all at 22 nm. Downstream, only three aggregates are consumed:
+//!
+//! 1. **IPC as a function of frequency** per application — captured here
+//!    by an interval-analysis-style model ([`CoreModel`]): a core-bound
+//!    CPI floor set by issue width and the application's inherent ILP,
+//!    plus a memory-stall term whose *cycle* cost grows linearly with
+//!    frequency (DRAM latency is fixed in nanoseconds). This yields the
+//!    saturating performance curves that make memory-bound applications
+//!    (canneal) benefit little from DVFS — the ILP/TLP distinction §3.3
+//!    builds on.
+//! 2. **Power samples** for fitting Eq. (1) — produced by
+//!    [`McPatSampler`], which evaluates a ground-truth Eq. (1) model and
+//!    adds deterministic, bounded pseudo-measurement noise (Figure 3's
+//!    "Experimental Values").
+//! 3. **Core area** — 9.6 mm² at 22 nm, re-exported from
+//!    `darksil-power`'s scaling table.
+//!
+//! The analytic model is itself validated against a trace-driven
+//! out-of-order *window simulator* ([`WindowSimulator`]): synthetic
+//! instruction streams with controlled dependency distances and miss
+//! ratios are executed cycle by cycle, and [`derive_profile`] extracts
+//! the analytic parameters from two simulated clock frequencies — the
+//! same two-point fit one would run against gem5.
+//!
+//! # Examples
+//!
+//! ```
+//! use darksil_archsim::{CoreModel, TraceProfile};
+//! use darksil_units::Hertz;
+//!
+//! let core = CoreModel::alpha_21264();
+//! let compute_bound = TraceProfile::new(3.2, 0.0003, 60.0)?;
+//! let memory_bound = TraceProfile::new(1.6, 0.02, 60.0)?;
+//!
+//! let f = Hertz::from_ghz(3.0);
+//! assert!(core.ipc(&compute_bound, f) > core.ipc(&memory_bound, f));
+//! # Ok::<(), darksil_archsim::ArchSimError>(())
+//! ```
+
+mod core_model;
+mod error;
+mod mcpat;
+mod trace_sim;
+
+pub use core_model::{CoreModel, TraceProfile};
+pub use error::ArchSimError;
+pub use mcpat::{McPatSampler, SampleSweep};
+pub use trace_sim::{derive_profile, Op, SyntheticTrace, WindowSimulator};

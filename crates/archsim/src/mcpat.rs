@@ -1,0 +1,297 @@
+//! McPAT-style power sampling with deterministic measurement noise.
+//!
+//! Figure 3 of the paper plots "Experimental Values" from McPAT against
+//! the fitted Eq. (1) model. [`McPatSampler`] plays McPAT's role: it
+//! evaluates a ground-truth [`CorePowerModel`] over a frequency sweep
+//! and perturbs each sample with bounded, deterministic pseudo-noise
+//! (xorshift-based, seedable) so that repeated runs are reproducible
+//! and the downstream fit is exercised on realistic data.
+
+use darksil_power::{CorePowerModel, PowerError, PowerSample};
+use darksil_units::{Celsius, Hertz};
+
+use crate::ArchSimError;
+
+/// A frequency sweep specification for sampling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleSweep {
+    /// Lowest frequency.
+    pub f_min: Hertz,
+    /// Highest frequency (inclusive).
+    pub f_max: Hertz,
+    /// Number of evenly spaced points.
+    pub points: usize,
+    /// Activity factor applied to every sample.
+    pub alpha: f64,
+    /// Core temperature during the sweep.
+    pub temperature: Celsius,
+}
+
+impl SampleSweep {
+    /// The Figure 3 sweep: single thread (α = 1) from 0.5 to 4 GHz at a
+    /// typical 60 °C die temperature.
+    #[must_use]
+    pub fn figure3() -> Self {
+        Self {
+            f_min: Hertz::from_ghz(0.5),
+            f_max: Hertz::from_ghz(4.0),
+            points: 15,
+            alpha: 1.0,
+            temperature: Celsius::new(60.0),
+        }
+    }
+}
+
+/// Deterministic power sampler standing in for McPAT.
+#[derive(Debug, Clone)]
+pub struct McPatSampler {
+    truth: CorePowerModel,
+    noise_fraction: f64,
+    seed: u64,
+}
+
+impl McPatSampler {
+    /// Creates a sampler around a ground-truth model with relative noise
+    /// amplitude `noise_fraction` (e.g. `0.03` for ±3 %).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchSimError::InvalidParameter`] if the noise fraction
+    /// is negative, non-finite, or ≥ 1.
+    pub fn new(truth: CorePowerModel, noise_fraction: f64, seed: u64) -> Result<Self, ArchSimError> {
+        if !(0.0..1.0).contains(&noise_fraction) {
+            return Err(ArchSimError::InvalidParameter {
+                name: "noise_fraction",
+                value: noise_fraction,
+            });
+        }
+        Ok(Self {
+            truth,
+            noise_fraction,
+            seed,
+        })
+    }
+
+    /// The ground-truth model being sampled.
+    #[must_use]
+    pub fn truth(&self) -> &CorePowerModel {
+        &self.truth
+    }
+
+    /// Runs a sweep and returns one [`PowerSample`] per point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchSimError::EmptySweep`] for a zero-point or inverted
+    /// sweep; voltage-derivation failures surface as
+    /// [`ArchSimError::InvalidParameter`].
+    pub fn sample(&self, sweep: &SampleSweep) -> Result<Vec<PowerSample>, ArchSimError> {
+        if sweep.points == 0 || sweep.f_min > sweep.f_max {
+            return Err(ArchSimError::EmptySweep);
+        }
+        let mut rng = XorShift64::new(self.seed);
+        let mut samples = Vec::with_capacity(sweep.points);
+        for i in 0..sweep.points {
+            let t = if sweep.points == 1 {
+                0.0
+            } else {
+                i as f64 / (sweep.points - 1) as f64
+            };
+            let f = sweep.f_min + (sweep.f_max - sweep.f_min) * t;
+            let sample = self
+                .sample_point(sweep.alpha, f, sweep.temperature, &mut rng)
+                .map_err(|e| power_to_archsim(&e))?;
+            samples.push(sample);
+        }
+        Ok(samples)
+    }
+
+    /// Samples a single operating point.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces voltage-derivation failures as
+    /// [`ArchSimError::InvalidParameter`].
+    pub fn sample_one(
+        &self,
+        alpha: f64,
+        f: Hertz,
+        temperature: Celsius,
+    ) -> Result<PowerSample, ArchSimError> {
+        let mut rng = XorShift64::new(self.seed ^ f.value().to_bits());
+        self.sample_point(alpha, f, temperature, &mut rng)
+            .map_err(|e| power_to_archsim(&e))
+    }
+
+    fn sample_point(
+        &self,
+        alpha: f64,
+        f: Hertz,
+        temperature: Celsius,
+        rng: &mut XorShift64,
+    ) -> Result<PowerSample, PowerError> {
+        let vdd = self.truth.vf().voltage_for(f)?;
+        let clean = self.truth.power(alpha, vdd, f, temperature);
+        let noise = 1.0 + self.noise_fraction * rng.next_symmetric();
+        Ok(PowerSample {
+            alpha,
+            vdd,
+            frequency: f,
+            temperature,
+            power: clean * noise,
+        })
+    }
+}
+
+fn power_to_archsim(e: &PowerError) -> ArchSimError {
+    match e {
+        PowerError::FrequencyOutOfRange { ghz } => ArchSimError::InvalidParameter {
+            name: "frequency_ghz",
+            value: *ghz,
+        },
+        PowerError::VoltageBelowThreshold { volts, .. } => ArchSimError::InvalidParameter {
+            name: "vdd",
+            value: *volts,
+        },
+        PowerError::InvalidParameter { name, value } => ArchSimError::InvalidParameter {
+            name,
+            value: *value,
+        },
+        PowerError::FitFailed { .. } => ArchSimError::EmptySweep,
+    }
+}
+
+/// Minimal xorshift64* generator — deterministic, dependency-free.
+#[derive(Debug, Clone)]
+struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        Self {
+            state: seed.max(1),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[-1, 1]`.
+    fn next_symmetric(&mut self) -> f64 {
+        (self.next_u64() >> 12) as f64 / (1_u64 << 52) as f64 * 2.0 - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darksil_power::{LeakageModel, VfRelation};
+
+    fn sampler() -> McPatSampler {
+        McPatSampler::new(CorePowerModel::x264_22nm(), 0.03, 42).unwrap()
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = sampler().sample(&SampleSweep::figure3()).unwrap();
+        let b = sampler().sample(&SampleSweep::figure3()).unwrap();
+        assert_eq!(a.len(), 15);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.power, y.power);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = sampler().sample(&SampleSweep::figure3()).unwrap();
+        let b = McPatSampler::new(CorePowerModel::x264_22nm(), 0.03, 7)
+            .unwrap()
+            .sample(&SampleSweep::figure3())
+            .unwrap();
+        assert!(a.iter().zip(&b).any(|(x, y)| x.power != y.power));
+    }
+
+    #[test]
+    fn noise_is_bounded() {
+        let s = sampler();
+        let samples = s.sample(&SampleSweep::figure3()).unwrap();
+        for sample in samples {
+            let clean = s.truth().power(
+                sample.alpha,
+                sample.vdd,
+                sample.frequency,
+                sample.temperature,
+            );
+            let rel = (sample.power / clean - 1.0).abs();
+            assert!(rel <= 0.03 + 1e-12, "noise {rel}");
+        }
+    }
+
+    #[test]
+    fn fit_on_samples_reproduces_figure3(){
+        // End-to-end: sample like McPAT, fit Eq. (1), check the fit
+        // tracks the samples — the Figure 3 story.
+        let s = sampler();
+        let samples = s.sample(&SampleSweep::figure3()).unwrap();
+        let fitted = CorePowerModel::fit(
+            &samples,
+            &LeakageModel::alpha_core_22nm(),
+            VfRelation::paper_22nm(),
+        )
+        .unwrap();
+        let rmse = fitted.rmse(&samples);
+        let mean_power: f64 =
+            samples.iter().map(|s| s.power.value()).sum::<f64>() / samples.len() as f64;
+        assert!(
+            rmse.value() / mean_power < 0.05,
+            "relative RMSE {}",
+            rmse.value() / mean_power
+        );
+    }
+
+    #[test]
+    fn zero_noise_matches_truth_exactly() {
+        let s = McPatSampler::new(CorePowerModel::x264_22nm(), 0.0, 1).unwrap();
+        let samples = s.sample(&SampleSweep::figure3()).unwrap();
+        for sample in samples {
+            let clean = s.truth().power(
+                sample.alpha,
+                sample.vdd,
+                sample.frequency,
+                sample.temperature,
+            );
+            assert_eq!(sample.power, clean);
+        }
+    }
+
+    #[test]
+    fn invalid_sweeps_rejected() {
+        let s = sampler();
+        let mut sweep = SampleSweep::figure3();
+        sweep.points = 0;
+        assert_eq!(s.sample(&sweep), Err(ArchSimError::EmptySweep));
+        let mut inverted = SampleSweep::figure3();
+        inverted.f_min = Hertz::from_ghz(5.0);
+        assert_eq!(s.sample(&inverted), Err(ArchSimError::EmptySweep));
+        assert!(McPatSampler::new(CorePowerModel::x264_22nm(), 1.5, 1).is_err());
+    }
+
+    #[test]
+    fn single_point_sweep() {
+        let s = sampler();
+        let sweep = SampleSweep {
+            points: 1,
+            ..SampleSweep::figure3()
+        };
+        let samples = s.sample(&sweep).unwrap();
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].frequency, Hertz::from_ghz(0.5));
+    }
+}

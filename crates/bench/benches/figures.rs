@@ -1,0 +1,75 @@
+//! Criterion benchmarks of the figure-regeneration pipelines.
+//!
+//! One group per paper artefact. The heavy transient figures (11–13)
+//! are benchmarked at reduced horizons — the timing interest is in the
+//! per-second simulation cost, which scales linearly.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darksil_bench::Fidelity;
+use std::hint::black_box;
+
+fn bench_static_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("static_figures");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+
+    g.bench_function("table1", |b| b.iter(|| black_box(darksil_bench::table1())));
+    g.bench_function("fig2", |b| b.iter(|| black_box(darksil_bench::fig2(27))));
+    g.bench_function("fig3_sample_and_fit", |b| {
+        b.iter(|| black_box(darksil_bench::fig3().unwrap()));
+    });
+    g.bench_function("fig4", |b| b.iter(|| black_box(darksil_bench::fig4())));
+    g.finish();
+}
+
+fn bench_estimation_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("estimation_figures");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(5));
+    g.sample_size(10);
+
+    g.bench_function("fig5_dark_silicon_panels", |b| {
+        b.iter(|| black_box(darksil_bench::fig5().unwrap()));
+    });
+    g.bench_function("fig6_constraint_comparison", |b| {
+        b.iter(|| black_box(darksil_bench::fig6().unwrap()));
+    });
+    g.bench_function("fig7_dvfs_scenarios", |b| {
+        b.iter(|| black_box(darksil_bench::fig7().unwrap()));
+    });
+    g.bench_function("fig8_patterning", |b| {
+        b.iter(|| black_box(darksil_bench::fig8().unwrap()));
+    });
+    g.bench_function("fig9_dsrem_vs_tdpmap", |b| {
+        b.iter(|| black_box(darksil_bench::fig9().unwrap()));
+    });
+    g.bench_function("fig10_tsp_performance", |b| {
+        b.iter(|| black_box(darksil_bench::fig10().unwrap()));
+    });
+    g.bench_function("fig14_stc_vs_ntc", |b| {
+        b.iter(|| black_box(darksil_bench::fig14().unwrap()));
+    });
+    g.finish();
+}
+
+fn bench_transient_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transient_figures");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(10));
+    g.sample_size(10);
+
+    g.bench_function("fig11_quick", |b| {
+        b.iter(|| black_box(darksil_bench::fig11(Fidelity::Quick).unwrap()));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_static_figures,
+    bench_estimation_figures,
+    bench_transient_figures
+);
+criterion_main!(figures);

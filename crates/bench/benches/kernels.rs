@@ -1,0 +1,128 @@
+//! Criterion benchmarks of the computational kernels behind the
+//! figures: thermal solves at each chip size, transient stepping, power
+//! evaluation, TSP computation and mapping policies.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use darksil_floorplan::Floorplan;
+use darksil_mapping::{place_patterned, DsRem, Platform, TdpMap};
+use darksil_power::{CorePowerModel, TechnologyNode};
+use darksil_thermal::{PackageConfig, ThermalModel, TransientSim};
+use darksil_tsp::TspCalculator;
+use darksil_units::{Celsius, Hertz, Seconds, SquareMillimeters, Watts};
+use darksil_workload::{ParsecApp, Workload};
+use std::hint::black_box;
+
+fn bench_thermal_steady(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thermal_steady_state");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(3));
+
+    for cores in [100_usize, 198, 361] {
+        // Node-appropriate core areas: 5.1 / 2.7 / 1.4 mm².
+        let area = match cores {
+            100 => 5.1,
+            198 => 2.7,
+            _ => 1.4,
+        };
+        let plan = Floorplan::squarish(cores, SquareMillimeters::new(area)).unwrap();
+        let model = ThermalModel::new(&plan, PackageConfig::paper_dac15()).unwrap();
+        let power: Vec<Watts> = (0..cores)
+            .map(|i| if i % 2 == 0 { Watts::new(3.0) } else { Watts::zero() })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("cg", cores), &cores, |b, _| {
+            b.iter(|| black_box(model.steady_state(&power).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_thermal_transient(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thermal_transient_step");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(3));
+
+    for cores in [100_usize, 361] {
+        let area = if cores == 100 { 5.1 } else { 1.4 };
+        let plan = Floorplan::squarish(cores, SquareMillimeters::new(area)).unwrap();
+        let model = ThermalModel::new(&plan, PackageConfig::paper_dac15()).unwrap();
+        let power = vec![Watts::new(2.0); cores];
+        g.bench_with_input(BenchmarkId::new("backward_euler_1ms", cores), &cores, |b, _| {
+            let mut sim = TransientSim::new(&model, Seconds::new(1.0e-3)).unwrap();
+            b.iter(|| black_box(sim.step(&power).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_power_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("power_model");
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(2));
+
+    let model = CorePowerModel::x264_22nm().scaled_to(TechnologyNode::Nm16);
+    let f = Hertz::from_ghz(3.6);
+    let t = Celsius::new(70.0);
+    g.bench_function("eq1_at_frequency", |b| {
+        b.iter(|| black_box(model.power_at_frequency(0.85, f, t).unwrap()));
+    });
+    let vf = *model.vf();
+    g.bench_function("eq2_voltage_for", |b| {
+        b.iter(|| black_box(vf.voltage_for(f).unwrap()));
+    });
+    g.finish();
+}
+
+fn bench_tsp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tsp");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(20);
+
+    let plan = Floorplan::squarish(100, TechnologyNode::Nm16.core_area()).unwrap();
+    let model = ThermalModel::new(&plan, PackageConfig::paper_dac15()).unwrap();
+    let tsp = TspCalculator::new(&plan, &model, Celsius::new(80.0));
+    g.bench_function("worst_case_60_of_100", |b| {
+        b.iter(|| black_box(tsp.worst_case(60).unwrap()));
+    });
+    g.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mapping_policies");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(5));
+    g.sample_size(10);
+
+    let platform = Platform::for_node(TechnologyNode::Nm16).unwrap();
+    let workload = Workload::parsec_mix(14, 8).unwrap();
+    g.bench_function("tdpmap", |b| {
+        let policy = TdpMap::new(Watts::new(185.0));
+        b.iter(|| black_box(policy.map(&platform, &workload).unwrap()));
+    });
+    g.bench_function("dsrem", |b| {
+        let policy = DsRem::new(Watts::new(185.0));
+        b.iter(|| black_box(policy.map(&platform, &workload).unwrap()));
+    });
+    g.bench_function("leakage_fixed_point", |b| {
+        let mapping = place_patterned(
+            platform.floorplan(),
+            &Workload::uniform(ParsecApp::X264, 7, 8).unwrap(),
+            platform.max_level(),
+        )
+        .unwrap();
+        b.iter(|| black_box(mapping.steady_temperatures(&platform).unwrap()));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_thermal_steady,
+    bench_thermal_transient,
+    bench_power_model,
+    bench_tsp,
+    bench_policies
+);
+criterion_main!(kernels);

@@ -1,0 +1,487 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <artefact> [--json DIR] [--paper]
+//!
+//! artefacts: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
+//!            fig11 fig12 fig13 fig14 all
+//! --json DIR   additionally write machine-readable series to DIR
+//! --paper      run transients at the paper's full horizons (slow)
+//! ```
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use darksil_bench::{fig14_total_energy, Fidelity};
+use serde::Serialize;
+
+struct Options {
+    json_dir: Option<PathBuf>,
+    fidelity: Fidelity,
+}
+
+/// One named artefact runner for the `all` dispatch table.
+type Runner = (
+    &'static str,
+    fn(&Options) -> Result<(), Box<dyn std::error::Error>>,
+);
+
+fn main() -> ExitCode {
+    let mut args = env::args().skip(1);
+    let Some(artefact) = args.next() else {
+        eprintln!("usage: repro <table1|fig2..fig14|dtm|aging|variability|cooling|pareto|all> [--json DIR] [--paper]");
+        return ExitCode::FAILURE;
+    };
+    let mut options = Options {
+        json_dir: None,
+        fidelity: Fidelity::Quick,
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--json" => match args.next() {
+                Some(dir) => options.json_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--json requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--paper" => options.fidelity = Fidelity::Paper,
+            other => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let result = match artefact.as_str() {
+        "table1" => table1(&options),
+        "fig2" => fig2(&options),
+        "fig3" => fig3(&options),
+        "fig4" => fig4(&options),
+        "fig5" => fig5(&options),
+        "fig6" => fig6(&options),
+        "fig7" => fig7(&options),
+        "fig8" => fig8(&options),
+        "fig9" => fig9(&options),
+        "fig10" => fig10(&options),
+        "fig11" => fig11(&options),
+        "fig12" => fig12(&options),
+        "fig13" => fig13(&options),
+        "fig14" => fig14(&options),
+        "dtm" => dtm(&options),
+        "aging" => aging(&options),
+        "variability" => variability(&options),
+        "cooling" => cooling(&options),
+        "pareto" => pareto(&options),
+        "all" => {
+            let runners: [Runner; 19] = [
+                ("table1", table1),
+                ("fig2", fig2),
+                ("fig3", fig3),
+                ("fig4", fig4),
+                ("fig5", fig5),
+                ("fig6", fig6),
+                ("fig7", fig7),
+                ("fig8", fig8),
+                ("fig9", fig9),
+                ("fig10", fig10),
+                ("fig11", fig11),
+                ("fig12", fig12),
+                ("fig13", fig13),
+                ("fig14", fig14),
+                ("dtm", dtm),
+                ("aging", aging),
+                ("variability", variability),
+                ("cooling", cooling),
+                ("pareto", pareto),
+            ];
+            runners.iter().try_for_each(|(name, run)| {
+                println!("\n================ {name} ================");
+                run(&options)
+            })
+        }
+        other => {
+            eprintln!("unknown artefact {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro {artefact} failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dump<T: Serialize>(
+    options: &Options,
+    name: &str,
+    data: &T,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(dir) = &options.json_dir {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.json"));
+        fs::write(&path, serde_json::to_string_pretty(data)?)?;
+        println!("[wrote {}]", path.display());
+    }
+    Ok(())
+}
+
+fn table1(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let rows = darksil_bench::table1();
+    println!("Technology  Vdd   Freq  Cap   Area  Core-area[mm²]");
+    for r in &rows {
+        println!(
+            "{:>6} nm  {:>5.2} {:>5.2} {:>5.2} {:>5.2}  {:>6.1}",
+            r.node_nm, r.vdd, r.frequency, r.capacitance, r.area, r.core_area_mm2
+        );
+    }
+    dump(options, "table1", &rows)
+}
+
+fn fig2(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let pts = darksil_bench::fig2(27);
+    println!("Voltage[V]  Frequency[GHz]  Region");
+    for p in &pts {
+        println!(
+            "{:>9.3}  {:>13.3}  {}",
+            p.voltage.value(),
+            p.frequency.as_ghz(),
+            p.region
+        );
+    }
+    dump(options, "fig2", &pts)
+}
+
+fn fig3(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let f = darksil_bench::fig3()?;
+    println!("Frequency[GHz]  Measured[W]  Model[W]");
+    for p in &f.points {
+        println!(
+            "{:>13.2}  {:>10.2}  {:>8.2}",
+            p.frequency.as_ghz(),
+            p.measured.value(),
+            p.fitted.value()
+        );
+    }
+    println!("fit RMSE: {:.3} W", f.rmse.value());
+    dump(options, "fig3", &f)
+}
+
+fn fig4(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let series = darksil_bench::fig4();
+    print!("Threads ");
+    for s in &series {
+        print!("{:>12}", s.app.name());
+    }
+    println!();
+    for i in 0..series[0].points.len() {
+        print!("{:>7} ", series[0].points[i].0);
+        for s in &series {
+            print!("{:>12.2}", s.points[i].1);
+        }
+        println!();
+    }
+    dump(options, "fig4", &series)
+}
+
+fn fig5(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let panels = darksil_bench::fig5()?;
+    for panel in &panels {
+        println!("-- TDP = {} --", panel.tdp);
+        println!("app           2.8GHz  3.0GHz  3.2GHz  3.4GHz  3.6GHz   (dark %)");
+        for app in darksil_workload::ParsecApp::ALL {
+            print!("{:<13}", app.name());
+            for cell in panel.cells.iter().filter(|c| c.app == app) {
+                print!(" {:>6.0}%", cell.dark_percent);
+            }
+            println!();
+        }
+        println!("peak temperatures at 3.6 GHz:");
+        for (app, t) in &panel.peak_temperatures {
+            println!("  {:<13} {:>6.1} °C", app.name(), t.value());
+        }
+        println!("any thermal violation: {}", panel.any_violation);
+    }
+    dump(options, "fig5", &panels)
+}
+
+fn fig6(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let panels = darksil_bench::fig6()?;
+    for panel in &panels {
+        println!(
+            "-- {} @ {:.1} GHz --",
+            panel.node,
+            panel.frequency.as_ghz()
+        );
+        println!("app           dark(TDP)  dark(thermal)");
+        for row in &panel.rows {
+            println!(
+                "{:<13} {:>8.0}%  {:>12.0}%",
+                row.app.name(),
+                row.dark_tdp_percent,
+                row.dark_thermal_percent
+            );
+        }
+        println!(
+            "average dark-silicon reduction: {:.0}%",
+            panel.average_reduction_percent
+        );
+    }
+    dump(options, "fig6", &panels)
+}
+
+fn fig7(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let panels = darksil_bench::fig7()?;
+    for panel in &panels {
+        println!("-- {} --", panel.node);
+        println!("app           GIPS(nom)  GIPS(dvfs)  act%(nom)  act%(dvfs)  chosen");
+        for r in &panel.rows {
+            println!(
+                "{:<13} {:>9.0}  {:>10.0}  {:>8.0}%  {:>9.0}%  {}t @ {:.1} GHz",
+                r.app.name(),
+                r.nominal_gips.value(),
+                r.tuned_gips.value(),
+                r.nominal_active_percent,
+                r.tuned_active_percent,
+                r.chosen_threads,
+                r.chosen_frequency.as_ghz()
+            );
+        }
+        println!(
+            "max performance gain: {:.0}%",
+            (panel.max_gain - 1.0) * 100.0
+        );
+    }
+    dump(options, "fig7", &panels)
+}
+
+fn fig8(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let patterns = darksil_bench::fig8()?;
+    for p in &patterns {
+        println!(
+            "-- {}: {} cores @ 3.6 GHz, Ptotal = {:.0} W, peak = {:.1} °C, violates T_DTM: {} --",
+            p.name,
+            p.active_cores,
+            p.total_power.value(),
+            p.peak_temperature.value(),
+            p.violates
+        );
+        println!("{}", p.thermal_art);
+    }
+    dump(options, "fig8", &patterns)
+}
+
+fn fig9(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let rows = darksil_bench::fig9()?;
+    println!("mix             TDPmap[GIPS]  DsRem[GIPS]  act%(TDP)  act%(Ds)  speedup");
+    for r in &rows {
+        println!(
+            "{:<15} {:>12.0}  {:>11.0}  {:>8.0}%  {:>7.0}%  {:>6.2}x",
+            r.mix,
+            r.tdpmap_gips.value(),
+            r.dsrem_gips.value(),
+            r.tdpmap_active_percent,
+            r.dsrem_active_percent,
+            r.speedup
+        );
+    }
+    dump(options, "fig9", &rows)
+}
+
+fn fig10(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let bars = darksil_bench::fig10()?;
+    println!("node    dark%   TSP/core[W]  total[GIPS]");
+    for b in &bars {
+        println!(
+            "{:<7} {:>4.0}%  {:>10.2}  {:>11.0}",
+            b.node.to_string(),
+            100.0 * b.dark_fraction,
+            b.tsp_per_core.value(),
+            b.total_gips.value()
+        );
+    }
+    dump(options, "fig10", &bars)
+}
+
+fn fig11(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let f = darksil_bench::fig11(options.fidelity)?;
+    println!(
+        "boosting: avg {:.1} GIPS, settled temperature band {:.1}–{:.1} °C",
+        f.boosting_avg_gips.value(),
+        f.boosting_temp_band.0.value(),
+        f.boosting_temp_band.1.value()
+    );
+    println!(
+        "constant: avg {:.1} GIPS, peak {:.1} °C",
+        f.constant_avg_gips.value(),
+        f.constant_peak_temp.value()
+    );
+    println!(
+        "boosting gain: {:.1}%",
+        100.0 * (f.boosting_avg_gips / f.constant_avg_gips - 1.0)
+    );
+    dump(options, "fig11", &f)
+}
+
+fn fig12(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let points = darksil_bench::fig12(options.fidelity)?;
+    println!("cores  boost[GIPS]  const[GIPS]  boostP[W]  constP[W]");
+    for p in &points {
+        println!(
+            "{:>5}  {:>10.0}  {:>10.0}  {:>9.0}  {:>8.0}",
+            p.active_cores,
+            p.boosting_gips.value(),
+            p.constant_gips.value(),
+            p.boosting_power.value(),
+            p.constant_power.value()
+        );
+    }
+    dump(options, "fig12", &points)
+}
+
+fn fig13(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let rows = darksil_bench::fig13(options.fidelity)?;
+    println!("app           inst  boost[GIPS]  const[GIPS]  boostP[W]  constP[W]");
+    for r in &rows {
+        println!(
+            "{:<13} {:>4}  {:>10.0}  {:>10.0}  {:>9.0}  {:>8.0}",
+            r.app.name(),
+            r.instances,
+            r.boosting_gips.value(),
+            r.constant_gips.value(),
+            r.boosting_peak_power.value(),
+            r.constant_peak_power.value()
+        );
+    }
+    dump(options, "fig13", &rows)
+}
+
+fn dtm(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let rows = darksil_bench::dtm_response()?;
+    println!("TDP[W]  admitted-dark  sustained-dark  powered-down  DTM fired");
+    for r in &rows {
+        println!(
+            "{:>6.0}  {:>12.0}%  {:>13.0}%  {:>12}  {}",
+            r.tdp.value(),
+            r.admitted_dark_percent,
+            r.sustained_dark_percent,
+            r.instances_powered_down,
+            r.triggered
+        );
+    }
+    println!(
+        "Optimistic TDPs hide dark silicon behind the DTM reaction (§3.1)."
+    );
+    dump(options, "dtm", &rows)
+}
+
+fn aging(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let cmp = darksil_bench::aging_rotation()?;
+    println!(
+        "{} epochs × {} h, 56/100 cores active:",
+        cmp.epochs, cmp.epoch_hours
+    );
+    println!(
+        "  static placement: max wear {:.0} ref-s, imbalance {:.2}",
+        cmp.static_max_wear, cmp.static_imbalance
+    );
+    println!(
+        "  rotating dark set: max wear {:.0} ref-s, imbalance {:.2}",
+        cmp.rotating_max_wear, cmp.rotating_imbalance
+    );
+    println!("  implied lifetime gain: {:.2}x", cmp.lifetime_gain());
+    dump(options, "aging", &cmp)
+}
+
+fn variability(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let rows = darksil_bench::variability_savings(5)?;
+    println!("chip  best-pick[W]  leaky-pick[W]  saving");
+    for r in &rows {
+        println!(
+            "{:>4}  {:>11.1}  {:>12.1}  {:>5.1}%",
+            r.seed,
+            r.best_pick_power.value(),
+            r.worst_pick_power.value(),
+            r.saving_percent
+        );
+    }
+    dump(options, "variability", &rows)
+}
+
+fn cooling(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let (packages, sweep) = darksil_bench::cooling_sensitivity()?;
+    println!("package            dark%   active  peak[°C]");
+    for p in &packages {
+        println!(
+            "{:<17} {:>5.0}%  {:>6}  {:>7.1}",
+            p.package,
+            100.0 * p.dark_fraction,
+            p.active_cores,
+            p.peak_temperature.value()
+        );
+    }
+    println!("\nR_conv[K/W]  dark%   active  power[W]");
+    for pt in &sweep {
+        println!(
+            "{:>10.2}  {:>5.0}%  {:>6}  {:>7.0}",
+            pt.convection_resistance,
+            100.0 * pt.dark_fraction,
+            pt.active_cores,
+            pt.total_power.value()
+        );
+    }
+    println!("\nDark silicon is a property of chip + cooling, not of the chip alone.");
+    dump(options, "cooling", &(packages, sweep))
+}
+
+fn pareto(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let (points, frontier) = darksil_bench::pareto_x264()?;
+    println!(
+        "{} feasible of {} configurations; Pareto frontier:",
+        points.iter().filter(|p| p.feasible).count(),
+        points.len()
+    );
+    println!("threads  inst  f[GHz]  GIPS   power[W]  dark%  peak[°C]");
+    for p in &frontier {
+        println!(
+            "{:>7}  {:>4}  {:>5.1}  {:>5.0}  {:>8.0}  {:>4.0}%  {:>7.1}",
+            p.threads,
+            p.instances,
+            p.frequency.as_ghz(),
+            p.total_gips.value(),
+            p.total_power.value(),
+            100.0 * p.dark_fraction,
+            p.peak_temperature.value()
+        );
+    }
+    println!("\nThe §3.3 trade-off made explicit: both axes (threads, V/f) appear on the frontier.");
+    dump(options, "pareto", &frontier)
+}
+
+fn fig14(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let rows = darksil_bench::fig14()?;
+    println!("app           NTC[kJ]  STC1[kJ]  STC2[kJ]  NTC wins");
+    for r in &rows {
+        println!(
+            "{:<13} {:>7.2}  {:>8.2}  {:>8.2}  {}",
+            r.app.name(),
+            r.ntc.energy.value() / 1e3,
+            r.stc_one_thread.energy.value() / 1e3,
+            r.stc_two_threads.energy.value() / 1e3,
+            r.ntc_wins()
+        );
+    }
+    let (ntc, stc1, stc2) = fig14_total_energy(&rows);
+    println!(
+        "totals: NTC {:.1} kJ vs STC1 {:.1} kJ vs STC2 {:.1} kJ",
+        ntc.value() / 1e3,
+        stc1.value() / 1e3,
+        stc2.value() / 1e3
+    );
+    dump(options, "fig14", &rows)
+}

@@ -1,0 +1,255 @@
+//! Extension experiments beyond the paper's figures (DESIGN.md §9).
+
+use darksil_core::{dtm, pareto, sensitivity, DarkSiliconEstimator};
+use darksil_mapping::{simulate_rotating, simulate_static, Platform};
+use darksil_power::{AgingModel, TechnologyNode, VariationModel};
+use darksil_units::{Hertz, Seconds, Watts};
+use darksil_workload::{ParsecApp, Workload};
+use serde::{Deserialize, Serialize};
+
+/// One row of the DTM-response experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DtmRow {
+    /// The TDP admitted against.
+    pub tdp: Watts,
+    /// Dark percentage the budget view reports.
+    pub admitted_dark_percent: f64,
+    /// Dark percentage after DTM settles.
+    pub sustained_dark_percent: f64,
+    /// Instances DTM powered down.
+    pub instances_powered_down: usize,
+    /// Whether DTM fired.
+    pub triggered: bool,
+}
+
+/// The hidden dark silicon of optimistic TDPs (§3.1): swaptions at
+/// 16 nm / 3.6 GHz under both paper TDPs, with the DTM reaction
+/// simulated.
+///
+/// # Errors
+///
+/// Propagates estimation failures.
+pub fn dtm_response() -> Result<Vec<DtmRow>, Box<dyn std::error::Error>> {
+    let est = DarkSiliconEstimator::for_node(TechnologyNode::Nm16)?;
+    let mut rows = Vec::new();
+    for tdp_w in [220.0, 185.0] {
+        let out = dtm::simulate_dtm(
+            &est,
+            ParsecApp::Swaptions,
+            8,
+            Hertz::from_ghz(3.6),
+            Watts::new(tdp_w),
+        )?;
+        rows.push(DtmRow {
+            tdp: Watts::new(tdp_w),
+            admitted_dark_percent: 100.0 * out.admitted.dark_fraction,
+            sustained_dark_percent: 100.0 * out.sustained.dark_fraction,
+            instances_powered_down: out.instances_powered_down,
+            triggered: out.triggered,
+        });
+    }
+    Ok(rows)
+}
+
+/// Result of the wear-leveling experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgingComparison {
+    /// Simulated epochs.
+    pub epochs: usize,
+    /// Epoch length in hours.
+    pub epoch_hours: f64,
+    /// Maximum per-core wear under a fixed placement.
+    pub static_max_wear: f64,
+    /// Maximum per-core wear with least-worn-first rotation.
+    pub rotating_max_wear: f64,
+    /// Wear imbalance (max/mean) under a fixed placement.
+    pub static_imbalance: f64,
+    /// Wear imbalance with rotation.
+    pub rotating_imbalance: f64,
+}
+
+impl AgingComparison {
+    /// Lifetime extension factor implied by the lower maximum wear.
+    #[must_use]
+    pub fn lifetime_gain(&self) -> f64 {
+        self.static_max_wear / self.rotating_max_wear
+    }
+}
+
+/// Wear-leveling rotation vs fixed placement (the Hayat use of dark
+/// silicon): 56 of 100 cores active at 16 nm, 24 one-hour epochs.
+///
+/// # Errors
+///
+/// Propagates placement/thermal failures.
+pub fn aging_rotation() -> Result<AgingComparison, Box<dyn std::error::Error>> {
+    let platform = Platform::for_node(TechnologyNode::Nm16)?;
+    let workload = Workload::uniform(ParsecApp::X264, 7, 8)?;
+    let level = platform.max_level();
+    let model = AgingModel::nbti_like();
+    let epoch = Seconds::new(3600.0);
+    let epochs = 24;
+    let fixed = simulate_static(&platform, &workload, level, &model, epoch, epochs)?;
+    let rotated = simulate_rotating(&platform, &workload, level, &model, epoch, epochs)?;
+    Ok(AgingComparison {
+        epochs,
+        epoch_hours: 1.0,
+        static_max_wear: fixed.max_wear(),
+        rotating_max_wear: rotated.max_wear(),
+        static_imbalance: fixed.imbalance(),
+        rotating_imbalance: rotated.imbalance(),
+    })
+}
+
+/// One row of the variability experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariabilityRow {
+    /// RNG seed of the sampled chip.
+    pub seed: u64,
+    /// Total power when the lowest-leakage cores are lit.
+    pub best_pick_power: Watts,
+    /// Total power when the leakiest cores are lit.
+    pub worst_pick_power: Watts,
+    /// Relative saving of the variability-aware pick.
+    pub saving_percent: f64,
+}
+
+/// Variability-aware core picking on sampled chips: the same workload
+/// mapped onto the least- vs most-leaky cores (DaSim's variability
+/// angle).
+///
+/// # Errors
+///
+/// Propagates placement/thermal failures.
+pub fn variability_savings(chips: usize) -> Result<Vec<VariabilityRow>, Box<dyn std::error::Error>> {
+    use darksil_floorplan::CoreId;
+    use darksil_mapping::{pick_low_leakage, MappedInstance, Mapping};
+    use darksil_units::Celsius;
+
+    let mut rows = Vec::new();
+    for seed in 0..chips as u64 {
+        let platform = Platform::for_node(TechnologyNode::Nm16)?
+            .with_variation(VariationModel::typical(seed + 1));
+        let workload = Workload::uniform(ParsecApp::Swaptions, 6, 8)?;
+        let n = workload.total_threads();
+        let best = pick_low_leakage(&platform, n);
+        let order = platform.variation().cores_by_leakage();
+        let worst: Vec<CoreId> = order.iter().rev().take(n).map(|&i| CoreId(i)).collect();
+
+        let power_of = |cores: &[CoreId]| -> Result<Watts, Box<dyn std::error::Error>> {
+            let mut mapping = Mapping::new(platform.core_count());
+            let mut it = cores.iter().copied();
+            for instance in &workload {
+                let assigned: Vec<CoreId> = it.by_ref().take(instance.threads()).collect();
+                mapping.push(MappedInstance {
+                    instance: *instance,
+                    cores: assigned,
+                    level: platform.max_level(),
+                })?;
+            }
+            let map = mapping.steady_temperatures(&platform)?;
+            let temps: Vec<Celsius> = map.die_temperatures().collect();
+            Ok(mapping.power_map_at(&platform, &temps).iter().sum())
+        };
+        let best_pick_power = power_of(&best)?;
+        let worst_pick_power = power_of(&worst)?;
+        rows.push(VariabilityRow {
+            seed: seed + 1,
+            best_pick_power,
+            worst_pick_power,
+            saving_percent: 100.0 * (1.0 - best_pick_power / worst_pick_power),
+        });
+    }
+    Ok(rows)
+}
+
+/// Dark silicon vs cooling solution: the paper's desktop package
+/// bracketed by laptop and server sinks, plus a convection-resistance
+/// sweep (swaptions at 16 nm / 3.6 GHz, temperature-constrained).
+///
+/// # Errors
+///
+/// Propagates estimation failures.
+pub fn cooling_sensitivity() -> Result<
+    (
+        Vec<sensitivity::PackagePoint>,
+        Vec<sensitivity::CoolingPoint>,
+    ),
+    Box<dyn std::error::Error>,
+> {
+    let packages =
+        sensitivity::package_comparison(TechnologyNode::Nm16, ParsecApp::Swaptions)?;
+    let sweep = sensitivity::cooling_sweep(
+        TechnologyNode::Nm16,
+        ParsecApp::Swaptions,
+        Hertz::from_ghz(3.6),
+        &[0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.6],
+    )?;
+    Ok((packages, sweep))
+}
+
+/// The §3.3 configuration space for x264 at 16 nm and its thermally
+/// feasible performance/power Pareto frontier.
+///
+/// # Errors
+///
+/// Propagates mapping/thermal failures.
+pub fn pareto_x264() -> Result<
+    (Vec<pareto::ConfigPoint>, Vec<pareto::ConfigPoint>),
+    Box<dyn std::error::Error>,
+> {
+    let platform = Platform::for_node(TechnologyNode::Nm16)?;
+    let points = pareto::explore(&platform, ParsecApp::X264, 2)?;
+    let frontier = pareto::pareto_frontier(&points);
+    Ok((points, frontier))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtm_rows_tell_the_section31_story() {
+        let rows = dtm_response().unwrap();
+        assert_eq!(rows.len(), 2);
+        let optimistic = &rows[0];
+        assert!(optimistic.triggered);
+        assert!(optimistic.sustained_dark_percent > optimistic.admitted_dark_percent);
+        let pessimistic = &rows[1];
+        assert!(!pessimistic.triggered);
+    }
+
+    #[test]
+    fn rotation_extends_lifetime() {
+        let cmp = aging_rotation().unwrap();
+        assert!(cmp.lifetime_gain() > 1.05, "gain {}", cmp.lifetime_gain());
+        assert!(cmp.rotating_imbalance < cmp.static_imbalance);
+    }
+
+    #[test]
+    fn cooling_dominates_dark_silicon() {
+        let (packages, sweep) = cooling_sensitivity().unwrap();
+        assert_eq!(packages.len(), 3);
+        assert!(packages[0].dark_fraction > packages[2].dark_fraction);
+        assert!(sweep.last().unwrap().dark_fraction > sweep[0].dark_fraction);
+    }
+
+    #[test]
+    fn pareto_frontier_exists_and_spans_thread_counts() {
+        let (points, frontier) = pareto_x264().unwrap();
+        assert!(points.len() > 30);
+        assert!(frontier.len() >= 3);
+        let kinds: std::collections::BTreeSet<usize> =
+            frontier.iter().map(|p| p.threads).collect();
+        assert!(kinds.len() >= 2, "{kinds:?}");
+    }
+
+    #[test]
+    fn variability_savings_are_positive() {
+        let rows = variability_savings(3).unwrap();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.saving_percent > 0.0, "seed {}: {}", r.seed, r.saving_percent);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! The constant-frequency alternative to boosting.
+
+use darksil_mapping::{Mapping, Platform};
+use darksil_power::VfLevel;
+use darksil_thermal::TransientSim;
+use darksil_units::{Celsius, Seconds, Watts};
+
+use crate::{BoostError, PolicyConfig, PolicyTrace, TraceSample};
+
+/// Finds the highest discrete V/f level whose *steady state* keeps the
+/// peak temperature at or below the threshold and the total power under
+/// the cap — the constant-frequency operating point of §6. Because
+/// levels are 200 MHz apart, the chosen point typically settles a few
+/// degrees below the threshold (Figure 11's lower curve).
+///
+/// # Errors
+///
+/// Returns [`BoostError::NoFeasibleLevel`] if even the lowest level
+/// violates the constraints, and propagates thermal failures.
+pub fn max_safe_level(
+    platform: &Platform,
+    mapping: &Mapping,
+    config: &PolicyConfig,
+) -> Result<VfLevel, BoostError> {
+    let dvfs = platform.dvfs();
+    let mut working = mapping.clone();
+    for idx in (0..dvfs.len()).rev() {
+        let level = dvfs.get(idx).expect("index in range");
+        // Never pick boost-region levels for the constant policy: cap
+        // at the nominal maximum.
+        if level.frequency > platform.node().nominal_max_frequency() {
+            continue;
+        }
+        for entry in working.entries_mut() {
+            entry.level = level;
+        }
+        let map = working.steady_temperatures(platform)?;
+        if map.peak() > config.threshold {
+            continue;
+        }
+        if let Some(cap) = config.power_cap {
+            let temps: Vec<Celsius> = map.die_temperatures().collect();
+            let total: Watts = working.power_map_at(platform, &temps).iter().sum();
+            if total > cap {
+                continue;
+            }
+        }
+        return Ok(level);
+    }
+    Err(BoostError::NoFeasibleLevel)
+}
+
+/// Runs the constant-frequency policy: pick [`max_safe_level`] once,
+/// then simulate the transient at that fixed level for `duration`.
+///
+/// # Errors
+///
+/// Propagates [`max_safe_level`] errors and thermal failures; rejects
+/// invalid durations/periods like [`crate::run_boosting`].
+pub fn run_constant(
+    platform: &Platform,
+    mapping: &Mapping,
+    duration: Seconds,
+    config: &PolicyConfig,
+) -> Result<PolicyTrace, BoostError> {
+    if config.period.value() <= 0.0 || !config.period.value().is_finite() {
+        return Err(BoostError::InvalidConfig {
+            reason: format!("period must be positive, got {}", config.period),
+        });
+    }
+    if !duration.value().is_finite() || duration.value() <= 0.0 || duration < config.period {
+        return Err(BoostError::InvalidConfig {
+            reason: format!("duration {duration} shorter than one period"),
+        });
+    }
+    if mapping.entries().is_empty() {
+        return Err(BoostError::InvalidConfig {
+            reason: "mapping has no instances".into(),
+        });
+    }
+
+    let level = max_safe_level(platform, mapping, config)?;
+    let mut working = mapping.clone();
+    for entry in working.entries_mut() {
+        entry.level = level;
+    }
+
+    let mut sim = TransientSim::new(platform.thermal(), config.period)?;
+    let steps = (duration.value() / config.period.value()).round() as usize;
+    let gips = working.total_gips(platform);
+    let mut trace = PolicyTrace::new();
+
+    for _ in 0..steps {
+        let temps: Vec<Celsius> = sim.snapshot().die_temperatures().collect();
+        let power_map = working.power_map_at(platform, &temps);
+        let total_power: Watts = power_map.iter().sum();
+        let map = sim.step(&power_map)?;
+        trace.push(TraceSample {
+            time: sim.elapsed(),
+            frequency: level.frequency,
+            peak_temperature: map.peak(),
+            gips,
+            power: total_power,
+        });
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_boosting;
+    use darksil_mapping::place_patterned;
+    use darksil_power::TechnologyNode;
+    use darksil_units::Hertz;
+    use darksil_workload::{ParsecApp, Workload};
+
+    fn setup() -> (Platform, Mapping) {
+        let platform = Platform::with_core_count(TechnologyNode::Nm16, 16)
+            .unwrap()
+            .with_boost_levels(Hertz::from_ghz(4.4))
+            .unwrap();
+        let w = Workload::uniform(ParsecApp::X264, 3, 4).unwrap();
+        let mapping = place_patterned(platform.floorplan(), &w, platform.max_level()).unwrap();
+        (platform, mapping)
+    }
+
+    // See turbo.rs: small dies regulate to 60 °C in tests.
+    fn fast_config() -> PolicyConfig {
+        PolicyConfig {
+            threshold: Celsius::new(60.0),
+            period: Seconds::new(0.02),
+            ..PolicyConfig::default()
+        }
+    }
+
+    #[test]
+    fn safe_level_is_actually_safe() {
+        let (platform, mapping) = setup();
+        let config = fast_config();
+        let level = max_safe_level(&platform, &mapping, &config).unwrap();
+        let mut working = mapping.clone();
+        for e in working.entries_mut() {
+            e.level = level;
+        }
+        let peak = working.peak_temperature(&platform).unwrap();
+        assert!(peak <= config.threshold, "peak {peak}");
+        // And one step up would violate (maximality) unless already at
+        // nominal max.
+        if level.frequency < platform.node().nominal_max_frequency() {
+            let dvfs = platform.dvfs();
+            let idx = dvfs.floor_index(level.frequency).unwrap();
+            let up = dvfs.get(dvfs.step_up(idx)).unwrap();
+            for e in working.entries_mut() {
+                e.level = up;
+            }
+            let hotter = working.peak_temperature(&platform).unwrap();
+            assert!(hotter > config.threshold, "not maximal: up gives {hotter}");
+        }
+    }
+
+    #[test]
+    fn constant_run_stays_below_threshold() {
+        let (platform, mapping) = setup();
+        let trace =
+            run_constant(&platform, &mapping, Seconds::new(60.0), &fast_config()).unwrap();
+        assert!(trace.peak_temperature() <= Celsius::new(60.0) + 0.1);
+        // Single frequency throughout.
+        let (lo, hi) = trace.frequency_band_tail(1.0);
+        assert_eq!(lo, hi);
+    }
+
+    #[test]
+    fn figure11_boosting_beats_constant_slightly() {
+        // Observation 3: boosting wins on average GIPS, but only by a
+        // small margin.
+        let (platform, mapping) = setup();
+        let config = fast_config();
+        let boost = run_boosting(&platform, &mapping, Seconds::new(80.0), &config).unwrap();
+        let constant = run_constant(&platform, &mapping, Seconds::new(80.0), &config).unwrap();
+        let g_boost = boost.average_gips_tail(0.5).value();
+        let g_const = constant.average_gips_tail(0.5).value();
+        assert!(
+            g_boost > g_const,
+            "boosting {g_boost} should beat constant {g_const}"
+        );
+        let gain = g_boost / g_const;
+        assert!(gain < 1.35, "gain {gain} implausibly large");
+    }
+
+    #[test]
+    fn boosting_needs_higher_peak_power() {
+        // The other half of Observation 3: the small performance gain
+        // costs a big peak-power increment.
+        let (platform, mapping) = setup();
+        let config = fast_config();
+        let boost = run_boosting(&platform, &mapping, Seconds::new(40.0), &config).unwrap();
+        let constant = run_constant(&platform, &mapping, Seconds::new(40.0), &config).unwrap();
+        assert!(boost.peak_power() > constant.peak_power());
+    }
+
+    #[test]
+    fn infeasible_constraints_reported() {
+        let (platform, mapping) = setup();
+        let impossible = PolicyConfig {
+            threshold: Celsius::new(30.0), // below ambient
+            ..fast_config()
+        };
+        assert_eq!(
+            max_safe_level(&platform, &mapping, &impossible),
+            Err(BoostError::NoFeasibleLevel)
+        );
+    }
+
+    #[test]
+    fn constant_level_respects_power_cap() {
+        let (platform, mapping) = setup();
+        let config = PolicyConfig {
+            power_cap: Some(Watts::new(15.0)),
+            ..fast_config()
+        };
+        let level = max_safe_level(&platform, &mapping, &config).unwrap();
+        let mut working = mapping.clone();
+        for e in working.entries_mut() {
+            e.level = level;
+        }
+        let total = working.total_power(&platform, Celsius::new(70.0));
+        assert!(total <= Watts::new(16.0), "total {total}");
+    }
+
+    #[test]
+    fn constant_never_uses_boost_region() {
+        let (platform, mapping) = setup();
+        let level = max_safe_level(&platform, &mapping, &fast_config()).unwrap();
+        assert!(level.frequency <= platform.node().nominal_max_frequency());
+    }
+}

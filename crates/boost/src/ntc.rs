@@ -1,0 +1,246 @@
+//! STC vs NTC iso-performance energy comparison (Figure 14,
+//! Observation 4).
+
+use darksil_mapping::Platform;
+use darksil_power::OperatingRegion;
+use darksil_units::{Celsius, Gips, Hertz, Joules, Seconds, Watts};
+use darksil_workload::ParsecApp;
+use serde::{Deserialize, Serialize};
+
+use crate::BoostError;
+
+/// Die temperature at which the comparison evaluates power — a typical
+/// loaded-but-safe operating temperature.
+const EVAL_TEMPERATURE: Celsius = Celsius::new(70.0);
+
+/// One evaluated configuration of the comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Threads per instance.
+    pub threads: usize,
+    /// Chosen frequency.
+    pub frequency: Hertz,
+    /// The region the operating voltage falls in.
+    pub region: OperatingRegion,
+    /// Throughput of one instance.
+    pub instance_gips: Gips,
+    /// Power of one instance.
+    pub instance_power: Watts,
+    /// Energy for the whole experiment (all instances, fixed work).
+    pub energy: Joules,
+    /// Whether the performance target was met (an STC point may hit the
+    /// nominal-frequency ceiling before matching NTC throughput).
+    pub met_target: bool,
+}
+
+/// Result of the Figure 14 experiment for one application.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IsoPerfComparison {
+    /// The application compared.
+    pub app: ParsecApp,
+    /// Number of application instances (24 in the paper).
+    pub instances: usize,
+    /// NTC: 8 threads at the near-threshold point.
+    pub ntc: OperatingPoint,
+    /// STC with 1 thread, frequency chosen to match NTC throughput.
+    pub stc_one_thread: OperatingPoint,
+    /// STC with 2 threads, frequency chosen to match NTC throughput.
+    pub stc_two_threads: OperatingPoint,
+}
+
+impl IsoPerfComparison {
+    /// Whether NTC is the most energy-efficient of the three points —
+    /// true for applications whose performance scales with threads,
+    /// false for poor scalers like canneal (Observation 4).
+    #[must_use]
+    pub fn ntc_wins(&self) -> bool {
+        self.ntc.energy <= self.stc_one_thread.energy
+            && self.ntc.energy <= self.stc_two_threads.energy
+    }
+}
+
+fn point(
+    platform: &Platform,
+    app: ParsecApp,
+    threads: usize,
+    frequency: Hertz,
+    instances: usize,
+    work_gi_per_instance: f64,
+    target: Gips,
+) -> Result<OperatingPoint, BoostError> {
+    let profile = app.profile();
+    let model = platform.app_model(app);
+    let voltage = model.vf().voltage_for(frequency)?;
+    let instance_gips = profile.instance_gips(platform.core_model(), threads, frequency);
+    let per_core = model.power(
+        profile.activity(threads),
+        voltage,
+        frequency,
+        EVAL_TEMPERATURE,
+    );
+    let instance_power = per_core * threads as f64;
+    let time = Seconds::new(work_gi_per_instance / instance_gips.value());
+    let energy = instance_power * time * instances as f64;
+    Ok(OperatingPoint {
+        threads,
+        frequency,
+        region: model.vf().region_of(voltage),
+        instance_gips,
+        instance_power,
+        energy,
+        met_target: instance_gips >= target * 0.995,
+    })
+}
+
+/// Finds the lowest ladder frequency at which `threads` threads of
+/// `app` reach `target` throughput; clamps to the nominal maximum when
+/// the target is out of reach (reported via `met_target`).
+fn matching_frequency(platform: &Platform, app: ParsecApp, threads: usize, target: Gips) -> Hertz {
+    let profile = app.profile();
+    for level in platform.dvfs().levels() {
+        if level.frequency > platform.node().nominal_max_frequency() {
+            break;
+        }
+        let g = profile.instance_gips(platform.core_model(), threads, level.frequency);
+        if g >= target {
+            return level.frequency;
+        }
+    }
+    platform.node().nominal_max_frequency()
+}
+
+/// Runs the Figure 14 experiment for one application: 24 instances
+/// (the paper's count) doing `work_gi_per_instance` giga-instructions
+/// each, either at NTC (8 threads, 1 GHz) or at STC with 1 or 2 threads
+/// and the frequency chosen to match the NTC throughput.
+///
+/// # Errors
+///
+/// Propagates power-model failures.
+pub fn iso_performance_comparison(
+    platform: &Platform,
+    app: ParsecApp,
+    instances: usize,
+    work_gi_per_instance: f64,
+) -> Result<IsoPerfComparison, BoostError> {
+    let ntc_frequency = Hertz::from_ghz(1.0);
+    let profile = app.profile();
+    let target = profile.instance_gips(platform.core_model(), 8, ntc_frequency);
+
+    let ntc = point(
+        platform,
+        app,
+        8,
+        ntc_frequency,
+        instances,
+        work_gi_per_instance,
+        target,
+    )?;
+    let f1 = matching_frequency(platform, app, 1, target);
+    let stc_one_thread = point(platform, app, 1, f1, instances, work_gi_per_instance, target)?;
+    let f2 = matching_frequency(platform, app, 2, target);
+    let stc_two_threads = point(platform, app, 2, f2, instances, work_gi_per_instance, target)?;
+
+    Ok(IsoPerfComparison {
+        app,
+        instances,
+        ntc,
+        stc_one_thread,
+        stc_two_threads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darksil_power::TechnologyNode;
+
+    fn platform() -> Platform {
+        Platform::for_node(TechnologyNode::Nm11).unwrap()
+    }
+
+    fn compare(app: ParsecApp) -> IsoPerfComparison {
+        iso_performance_comparison(&platform(), app, 24, 500.0).unwrap()
+    }
+
+    #[test]
+    fn ntc_point_is_in_the_ntc_region() {
+        let c = compare(ParsecApp::X264);
+        assert_eq!(c.ntc.region, OperatingRegion::NearThreshold);
+        assert_eq!(c.ntc.threads, 8);
+        assert_eq!(c.ntc.frequency, Hertz::from_ghz(1.0));
+    }
+
+    #[test]
+    fn stc_points_are_super_threshold() {
+        let c = compare(ParsecApp::X264);
+        assert_eq!(c.stc_two_threads.region, OperatingRegion::SuperThreshold);
+        // The 1-thread point needs the highest frequency of the three.
+        assert!(c.stc_one_thread.frequency >= c.stc_two_threads.frequency);
+    }
+
+    #[test]
+    fn figure14_ntc_wins_for_scaling_apps() {
+        for app in [
+            ParsecApp::X264,
+            ParsecApp::Blackscholes,
+            ParsecApp::Swaptions,
+        ] {
+            let c = compare(app);
+            assert!(
+                c.ntc_wins(),
+                "{app}: NTC {} vs STC1 {} vs STC2 {}",
+                c.ntc.energy,
+                c.stc_one_thread.energy,
+                c.stc_two_threads.energy
+            );
+        }
+    }
+
+    #[test]
+    fn figure14_canneal_prefers_stc() {
+        // "canneal does not scale well with more threads, thus running
+        // at NTC consumes more energy."
+        let c = compare(ParsecApp::Canneal);
+        assert!(
+            !c.ntc_wins(),
+            "canneal NTC {} should lose to STC {}",
+            c.ntc.energy,
+            c.stc_one_thread.energy.min(c.stc_two_threads.energy)
+        );
+    }
+
+    #[test]
+    fn throughputs_are_comparable_where_target_met() {
+        let c = compare(ParsecApp::Dedup);
+        if c.stc_two_threads.met_target {
+            let ratio = c.stc_two_threads.instance_gips / c.ntc.instance_gips;
+            assert!((0.99..1.6).contains(&ratio), "ratio {ratio}");
+        }
+        // NTC always meets its own target.
+        assert!(c.ntc.met_target);
+    }
+
+    #[test]
+    fn energy_scales_with_instances_and_work() {
+        let p = platform();
+        let base = iso_performance_comparison(&p, ParsecApp::Ferret, 24, 500.0).unwrap();
+        let double_work = iso_performance_comparison(&p, ParsecApp::Ferret, 24, 1000.0).unwrap();
+        assert!((double_work.ntc.energy.value() - 2.0 * base.ntc.energy.value()).abs() < 1e-9);
+        let half_instances =
+            iso_performance_comparison(&p, ParsecApp::Ferret, 12, 500.0).unwrap();
+        assert!((half_instances.ntc.energy.value() * 2.0 - base.ntc.energy.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_thread_target_may_be_unreachable() {
+        // Swaptions at 8 NTC threads has a speed-up ≈ 5.4; one thread
+        // cannot match it below the nominal maximum.
+        let c = compare(ParsecApp::Swaptions);
+        assert!(!c.stc_one_thread.met_target);
+        assert_eq!(
+            c.stc_one_thread.frequency,
+            TechnologyNode::Nm11.nominal_max_frequency()
+        );
+    }
+}

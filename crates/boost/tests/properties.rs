@@ -1,0 +1,75 @@
+//! Property tests for the policy-trace accounting.
+
+use darksil_boost::{PolicyTrace, TraceSample};
+use darksil_units::{Celsius, Gips, Hertz, Seconds, Watts};
+use proptest::prelude::*;
+
+fn build(samples: &[(f64, f64, f64, f64)]) -> PolicyTrace {
+    let mut trace = PolicyTrace::new();
+    let mut t = 0.0;
+    for &(dt, gips, temp, power) in samples {
+        t += dt;
+        trace.push(TraceSample {
+            time: Seconds::new(t),
+            frequency: Hertz::from_ghz(3.0),
+            peak_temperature: Celsius::new(temp),
+            gips: Gips::new(gips),
+            power: Watts::new(power),
+        });
+    }
+    trace
+}
+
+proptest! {
+    /// The tail average lies between the global min and max GIPS for
+    /// any trace and any tail fraction.
+    #[test]
+    fn tail_average_is_bounded(
+        samples in prop::collection::vec(
+            (0.001_f64..1.0, 0.0_f64..500.0, 40.0_f64..90.0, 0.0_f64..600.0),
+            1..40,
+        ),
+        fraction in 0.01_f64..1.0,
+    ) {
+        let trace = build(&samples);
+        let avg = trace.average_gips_tail(fraction).value();
+        let lo = samples.iter().map(|s| s.1).fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().map(|s| s.1).fold(0.0, f64::max);
+        prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9, "{lo} ≤ {avg} ≤ {hi}");
+    }
+
+    /// Energy equals the sum of power·Δt exactly.
+    #[test]
+    fn energy_is_the_power_time_integral(
+        samples in prop::collection::vec(
+            (0.001_f64..1.0, 0.0_f64..500.0, 40.0_f64..90.0, 0.0_f64..600.0),
+            1..40,
+        ),
+    ) {
+        let trace = build(&samples);
+        let expect: f64 = samples.iter().map(|s| s.0 * s.3).sum();
+        let got = trace.total_energy().value();
+        prop_assert!((got - expect).abs() < 1e-6 * (1.0 + expect), "{got} vs {expect}");
+    }
+
+    /// Peak statistics match a direct scan, and CSV has one row per
+    /// sample plus a header.
+    #[test]
+    fn peaks_and_csv_shape(
+        samples in prop::collection::vec(
+            (0.001_f64..1.0, 0.0_f64..500.0, 40.0_f64..90.0, 0.0_f64..600.0),
+            1..40,
+        ),
+    ) {
+        let trace = build(&samples);
+        let max_power = samples.iter().map(|s| s.3).fold(0.0, f64::max);
+        let max_temp = samples.iter().map(|s| s.2).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((trace.peak_power().value() - max_power).abs() < 1e-12);
+        prop_assert!((trace.peak_temperature().value() - max_temp).abs() < 1e-12);
+
+        let mut csv = Vec::new();
+        trace.write_csv(&mut csv).unwrap();
+        let text = String::from_utf8(csv).unwrap();
+        prop_assert_eq!(text.lines().count(), samples.len() + 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! Dynamic Thermal Management response (§3.1).
+//!
+//! "Exceeding this critical temperature triggers Dynamic Thermal
+//! Management (DTM) on the chip … which might power down additional
+//! cores, resulting in more dark silicon." This module simulates that
+//! reactive response: starting from a TDP-admitted mapping, while the
+//! steady-state peak exceeds `T_DTM` the instance owning the hottest
+//! core is powered down, and the *effective* dark silicon after DTM is
+//! reported. It quantifies the hidden cost of optimistic TDP values —
+//! the nominal estimate undercounts dark cores that DTM later creates.
+
+use darksil_mapping::{place_contiguous, Mapping};
+use darksil_units::{Hertz, Watts};
+use darksil_workload::{ParsecApp, Workload};
+use serde::{Deserialize, Serialize};
+
+use crate::{DarkSiliconEstimator, Estimate, EstimateError};
+
+/// The outcome of letting DTM react to a TDP-admitted mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DtmOutcome {
+    /// The estimate as admitted by the TDP (what the budget view
+    /// reports as dark silicon).
+    pub admitted: Estimate,
+    /// The estimate after DTM finished powering cores down (what the
+    /// chip actually sustains).
+    pub sustained: Estimate,
+    /// Instances DTM powered down.
+    pub instances_powered_down: usize,
+    /// Whether DTM fired at all.
+    pub triggered: bool,
+}
+
+impl DtmOutcome {
+    /// Extra dark-silicon fraction created by DTM beyond the admitted
+    /// estimate.
+    #[must_use]
+    pub fn hidden_dark_fraction(&self) -> f64 {
+        self.sustained.dark_fraction - self.admitted.dark_fraction
+    }
+}
+
+/// Admits instances of `app` under `tdp` (like
+/// [`DarkSiliconEstimator::under_power_budget`]) and then simulates the
+/// DTM reaction: while the leakage-coupled steady-state peak exceeds
+/// `T_DTM`, the instance whose cores contain the hottest core is
+/// powered down.
+///
+/// # Errors
+///
+/// Returns [`EstimateError::UnknownLevel`] for off-ladder frequencies
+/// and propagates mapping/thermal failures.
+pub fn simulate_dtm(
+    est: &DarkSiliconEstimator,
+    app: ParsecApp,
+    threads: usize,
+    frequency: Hertz,
+    tdp: Watts,
+) -> Result<DtmOutcome, EstimateError> {
+    let admitted = est.under_power_budget(app, threads, frequency, tdp)?;
+
+    // Rebuild the admitted mapping so we can dismantle it.
+    let level = est.level_for(frequency)?;
+    let platform = est.platform();
+    let instances = admitted.active_cores / threads;
+    let workload = Workload::uniform(app, instances, threads)?;
+    let mut mapping = place_contiguous(platform.floorplan(), &workload, level)?;
+
+    let mut powered_down = 0;
+    let t_dtm = platform.t_dtm();
+    loop {
+        if mapping.entries().is_empty() {
+            break;
+        }
+        let map = mapping.steady_temperatures(platform)?;
+        if map.peak() <= t_dtm {
+            break;
+        }
+        // Power down the instance owning the hottest core; if the
+        // hottest core is already dark (edge heating), drop the last
+        // instance.
+        let hottest = map
+            .die_temperatures()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite temps"))
+            .map(|(i, _)| i)
+            .expect("non-empty die");
+        let owner = mapping
+            .entries()
+            .iter()
+            .position(|e| e.cores.iter().any(|c| c.index() == hottest))
+            .unwrap_or(mapping.entries().len() - 1);
+        mapping = rebuild_without(&mapping, owner)?;
+        powered_down += 1;
+    }
+
+    let sustained = est.evaluate_mapping(&mapping)?;
+    Ok(DtmOutcome {
+        admitted,
+        sustained,
+        instances_powered_down: powered_down,
+        triggered: powered_down > 0,
+    })
+}
+
+fn rebuild_without(mapping: &Mapping, skip: usize) -> Result<Mapping, EstimateError> {
+    let mut rebuilt = Mapping::new(mapping.core_count());
+    for (i, e) in mapping.entries().iter().enumerate() {
+        if i != skip {
+            rebuilt.push(e.clone())?;
+        }
+    }
+    Ok(rebuilt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darksil_power::TechnologyNode;
+
+    fn estimator() -> DarkSiliconEstimator {
+        DarkSiliconEstimator::for_node(TechnologyNode::Nm16).unwrap()
+    }
+
+    #[test]
+    fn optimistic_tdp_triggers_dtm() {
+        // §3.1: the 220 W TDP admits a mapping that violates T_DTM, so
+        // DTM powers cores down — the real dark silicon exceeds the
+        // admitted estimate.
+        let est = estimator();
+        let out = simulate_dtm(
+            &est,
+            ParsecApp::Swaptions,
+            8,
+            Hertz::from_ghz(3.6),
+            Watts::new(220.0),
+        )
+        .unwrap();
+        assert!(out.admitted.thermal_violation);
+        assert!(out.triggered);
+        assert!(out.instances_powered_down >= 1);
+        assert!(!out.sustained.thermal_violation);
+        assert!(
+            out.hidden_dark_fraction() > 0.0,
+            "DTM created no extra dark silicon"
+        );
+        assert!(out.sustained.total_gips < out.admitted.total_gips);
+    }
+
+    #[test]
+    fn pessimistic_tdp_never_triggers() {
+        let est = estimator();
+        for app in [ParsecApp::X264, ParsecApp::Swaptions, ParsecApp::Canneal] {
+            let out = simulate_dtm(&est, app, 8, Hertz::from_ghz(3.6), Watts::new(185.0))
+                .unwrap();
+            assert!(!out.triggered, "{app} triggered DTM at 185 W");
+            assert_eq!(out.hidden_dark_fraction(), 0.0);
+            assert_eq!(out.sustained, out.admitted);
+        }
+    }
+
+    #[test]
+    fn dtm_sustained_state_matches_thermal_constraint_estimate() {
+        // After DTM settles, the surviving active-core count cannot
+        // exceed what the temperature-constrained estimator allows
+        // (same placement policy, same constraint).
+        let est = estimator();
+        let out = simulate_dtm(
+            &est,
+            ParsecApp::Swaptions,
+            8,
+            Hertz::from_ghz(3.6),
+            Watts::new(500.0), // absurd budget: DTM is the only limiter
+        )
+        .unwrap();
+        let thermal = est
+            .under_temperature_constraint(ParsecApp::Swaptions, 8, Hertz::from_ghz(3.6))
+            .unwrap();
+        assert!(out.triggered);
+        assert!(out.sustained.active_cores <= thermal.active_cores + 8);
+        assert!(!out.sustained.thermal_violation);
+    }
+
+    #[test]
+    fn low_frequency_needs_no_dtm_even_at_huge_budget() {
+        let est = estimator();
+        let out = simulate_dtm(
+            &est,
+            ParsecApp::Canneal,
+            8,
+            Hertz::from_ghz(2.0),
+            Watts::new(500.0),
+        )
+        .unwrap();
+        assert!(!out.triggered);
+    }
+}

@@ -1,0 +1,433 @@
+//! The dark-silicon estimator.
+
+use std::error::Error;
+use std::fmt;
+
+use darksil_mapping::{place_contiguous, Mapping, MappingError, Platform};
+use darksil_power::{PowerError, TechnologyNode, VfLevel};
+use darksil_thermal::ThermalError;
+use darksil_units::{Celsius, Gips, Hertz, Watts};
+use darksil_workload::{AppInstance, ParsecApp, Workload, WorkloadError};
+use serde::{Deserialize, Serialize};
+
+/// Errors produced by estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimateError {
+    /// The requested frequency is not on the platform's DVFS ladder.
+    UnknownLevel {
+        /// Requested frequency in GHz.
+        ghz: f64,
+    },
+    /// Propagated mapping/platform failure.
+    Mapping(MappingError),
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownLevel { ghz } => {
+                write!(f, "frequency {ghz} GHz is not a DVFS level of this platform")
+            }
+            Self::Mapping(e) => write!(f, "estimation failed: {e}"),
+        }
+    }
+}
+
+impl Error for EstimateError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Mapping(e) => Some(e),
+            Self::UnknownLevel { .. } => None,
+        }
+    }
+}
+
+impl From<MappingError> for EstimateError {
+    fn from(e: MappingError) -> Self {
+        Self::Mapping(e)
+    }
+}
+
+impl From<WorkloadError> for EstimateError {
+    fn from(e: WorkloadError) -> Self {
+        Self::Mapping(MappingError::Workload(e))
+    }
+}
+
+impl From<ThermalError> for EstimateError {
+    fn from(e: ThermalError) -> Self {
+        Self::Mapping(MappingError::Thermal(e))
+    }
+}
+
+impl From<PowerError> for EstimateError {
+    fn from(e: PowerError) -> Self {
+        Self::Mapping(MappingError::Power(e))
+    }
+}
+
+/// The outcome of one dark-silicon estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    /// Cores running threads.
+    pub active_cores: usize,
+    /// Cores left dark.
+    pub dark_cores: usize,
+    /// `dark_cores / total`.
+    pub dark_fraction: f64,
+    /// Total chip power at the converged temperatures.
+    pub total_power: Watts,
+    /// Peak steady-state die temperature.
+    pub peak_temperature: Celsius,
+    /// Whether the peak exceeds the DTM threshold — true for
+    /// "optimistic" TDP values (Observation 1).
+    pub thermal_violation: bool,
+    /// Total system throughput.
+    pub total_gips: Gips,
+}
+
+/// The Figure 1 tool flow as a queryable object.
+#[derive(Debug, Clone)]
+pub struct DarkSiliconEstimator {
+    platform: Platform,
+}
+
+impl DarkSiliconEstimator {
+    /// Wraps an existing platform.
+    #[must_use]
+    pub fn new(platform: Platform) -> Self {
+        Self { platform }
+    }
+
+    /// Builds the paper's platform for a node (see
+    /// [`Platform::for_node`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform-construction failures.
+    pub fn for_node(node: TechnologyNode) -> Result<Self, EstimateError> {
+        Ok(Self::new(Platform::for_node(node)?))
+    }
+
+    /// The underlying platform.
+    #[must_use]
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Resolves a frequency to a ladder level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimateError::UnknownLevel`] if `f` is not on the
+    /// ladder (within 1 MHz).
+    pub fn level_for(&self, f: Hertz) -> Result<VfLevel, EstimateError> {
+        self.platform
+            .dvfs()
+            .levels()
+            .iter()
+            .find(|l| (l.frequency - f).abs() < Hertz::from_mhz(1.0))
+            .copied()
+            .ok_or(EstimateError::UnknownLevel { ghz: f.as_ghz() })
+    }
+
+    /// Evaluates a mapping into an [`Estimate`] (fixed-point thermal
+    /// solve included).
+    fn evaluate(&self, mapping: &Mapping) -> Result<Estimate, EstimateError> {
+        let map = if mapping.entries().is_empty() {
+            None
+        } else {
+            Some(mapping.steady_temperatures(&self.platform)?)
+        };
+        let (peak, power) = match &map {
+            Some(m) => {
+                let temps: Vec<Celsius> = m.die_temperatures().collect();
+                let total: Watts = mapping
+                    .power_map_at(&self.platform, &temps)
+                    .iter()
+                    .sum();
+                (m.peak(), total)
+            }
+            None => (self.platform.thermal().ambient(), Watts::zero()),
+        };
+        Ok(Estimate {
+            active_cores: mapping.active_core_count(),
+            dark_cores: mapping.dark_core_count(),
+            dark_fraction: mapping.dark_fraction(),
+            total_power: power,
+            peak_temperature: peak,
+            thermal_violation: peak > self.platform.t_dtm(),
+            total_gips: mapping.total_gips(&self.platform),
+        })
+    }
+
+    /// Dark silicon as a **power budget** constraint (§3.1): map
+    /// `threads`-thread instances of `app` at the given frequency until
+    /// the next instance would exceed `tdp`, then report the result —
+    /// including whether the budget choice violates the thermal
+    /// threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimateError::UnknownLevel`] for off-ladder
+    /// frequencies and propagates mapping/thermal failures.
+    pub fn under_power_budget(
+        &self,
+        app: ParsecApp,
+        threads: usize,
+        frequency: Hertz,
+        tdp: Watts,
+    ) -> Result<Estimate, EstimateError> {
+        let level = self.level_for(frequency)?;
+        let n = self.platform.core_count();
+        let model = self.platform.app_model(app);
+        let alpha = app.profile().activity(threads);
+        // Admission at the DTM reference temperature, like TdpMap.
+        let per_core = model.power(
+            alpha,
+            level.voltage,
+            level.frequency,
+            Celsius::new(80.0),
+        );
+        let per_instance = per_core * threads as f64;
+        let by_budget = (tdp / per_instance).floor() as usize;
+        let by_capacity = n / threads;
+        let count = by_budget.min(by_capacity);
+
+        let workload = Workload::uniform(app, count, threads)?;
+        let mapping = place_contiguous(self.platform.floorplan(), &workload, level)?;
+        self.evaluate(&mapping)
+    }
+
+    /// Dark silicon as a **temperature** constraint (§3.2): map
+    /// instances until the peak steady-state temperature (with the
+    /// leakage fixed point) would exceed `T_DTM`. Uses binary search on
+    /// the instance count — the peak is monotone in it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimateError::UnknownLevel`] for off-ladder
+    /// frequencies and propagates mapping/thermal failures.
+    pub fn under_temperature_constraint(
+        &self,
+        app: ParsecApp,
+        threads: usize,
+        frequency: Hertz,
+    ) -> Result<Estimate, EstimateError> {
+        let level = self.level_for(frequency)?;
+        let n = self.platform.core_count();
+        let max_count = n / threads;
+
+        let peak_of = |count: usize| -> Result<Celsius, EstimateError> {
+            if count == 0 {
+                return Ok(self.platform.thermal().ambient());
+            }
+            let workload = Workload::uniform(app, count, threads)?;
+            let mapping = place_contiguous(self.platform.floorplan(), &workload, level)?;
+            Ok(mapping.steady_temperatures(&self.platform)?.peak())
+        };
+
+        let t_dtm = self.platform.t_dtm();
+        // Binary search the largest count with peak ≤ T_DTM.
+        let mut lo = 0; // known safe
+        let mut hi = max_count + 1; // first unsafe candidate bound
+        if peak_of(max_count)? <= t_dtm {
+            lo = max_count;
+        } else {
+            while hi - lo > 1 {
+                let mid = (lo + hi) / 2;
+                if peak_of(mid)? <= t_dtm {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+        }
+
+        let workload = Workload::uniform(app, lo, threads)?;
+        let mapping = place_contiguous(self.platform.floorplan(), &workload, level)?;
+        self.evaluate(&mapping)
+    }
+
+    /// Evaluates an arbitrary pre-built workload mapped contiguously at
+    /// one level — the generic entry point behind the figure harnesses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping/thermal failures.
+    pub fn evaluate_workload(
+        &self,
+        workload: &Workload,
+        level: VfLevel,
+    ) -> Result<Estimate, EstimateError> {
+        let mapping = place_contiguous(self.platform.floorplan(), workload, level)?;
+        self.evaluate(&mapping)
+    }
+
+    /// Evaluates an already-constructed mapping.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal failures.
+    pub fn evaluate_mapping(&self, mapping: &Mapping) -> Result<Estimate, EstimateError> {
+        self.evaluate(mapping)
+    }
+
+    /// Convenience: a single instance descriptor for this platform's
+    /// workloads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thread-count validation.
+    pub fn instance(&self, app: ParsecApp, threads: usize) -> Result<AppInstance, EstimateError> {
+        Ok(AppInstance::new(app, threads)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn estimator() -> DarkSiliconEstimator {
+        DarkSiliconEstimator::for_node(TechnologyNode::Nm16).unwrap()
+    }
+
+    #[test]
+    fn figure5_pessimistic_tdp_no_violation() {
+        // §3.1: at TDP = 185 W "no thermal violations occur", with up
+        // to ≈46 % dark silicon for the hungriest application.
+        let est = estimator();
+        let e = est
+            .under_power_budget(ParsecApp::Swaptions, 8, Hertz::from_ghz(3.6), Watts::new(185.0))
+            .unwrap();
+        assert!(!e.thermal_violation, "peak {}", e.peak_temperature);
+        assert!(
+            (0.40..=0.56).contains(&e.dark_fraction),
+            "dark {}",
+            e.dark_fraction
+        );
+    }
+
+    #[test]
+    fn figure5_optimistic_tdp_violates() {
+        // §3.1: the optimistic 220 W TDP "leads to thermal violations".
+        let est = estimator();
+        let e = est
+            .under_power_budget(ParsecApp::Swaptions, 8, Hertz::from_ghz(3.6), Watts::new(220.0))
+            .unwrap();
+        assert!(e.thermal_violation, "peak {}", e.peak_temperature);
+        assert!(e.dark_fraction < 0.46);
+    }
+
+    #[test]
+    fn dark_silicon_shrinks_at_lower_frequency() {
+        // Observation 2 / Figure 5: scaling down v/f reduces dark
+        // silicon.
+        let est = estimator();
+        let mut last = 1.0;
+        for ghz in [3.6, 3.2, 2.8] {
+            let e = est
+                .under_power_budget(
+                    ParsecApp::X264,
+                    8,
+                    Hertz::from_ghz(ghz),
+                    Watts::new(185.0),
+                )
+                .unwrap();
+            assert!(
+                e.dark_fraction <= last + 1e-12,
+                "{ghz} GHz gives {}",
+                e.dark_fraction
+            );
+            last = e.dark_fraction;
+        }
+    }
+
+    #[test]
+    fn figure6_temperature_constraint_reduces_dark_silicon() {
+        // §3.2: modelling dark silicon as a temperature constraint
+        // lights more cores than the 185 W TDP for every application.
+        let est = estimator();
+        for app in [ParsecApp::X264, ParsecApp::Canneal, ParsecApp::Swaptions] {
+            let budget = est
+                .under_power_budget(app, 8, Hertz::from_ghz(3.6), Watts::new(185.0))
+                .unwrap();
+            let thermal = est
+                .under_temperature_constraint(app, 8, Hertz::from_ghz(3.6))
+                .unwrap();
+            assert!(
+                thermal.active_cores >= budget.active_cores,
+                "{app}: thermal {} vs budget {}",
+                thermal.active_cores,
+                budget.active_cores
+            );
+            assert!(!thermal.thermal_violation);
+        }
+    }
+
+    #[test]
+    fn temperature_constraint_is_tight() {
+        // One more instance than the estimate must violate.
+        let est = estimator();
+        let e = est
+            .under_temperature_constraint(ParsecApp::Swaptions, 8, Hertz::from_ghz(3.6))
+            .unwrap();
+        let count = e.active_cores / 8;
+        if count * 8 < est.platform().core_count() {
+            let w = Workload::uniform(ParsecApp::Swaptions, count + 1, 8).unwrap();
+            if w.total_threads() <= est.platform().core_count() {
+                let level = est.level_for(Hertz::from_ghz(3.6)).unwrap();
+                let over = est.evaluate_workload(&w, level).unwrap();
+                assert!(over.thermal_violation, "peak {}", over.peak_temperature);
+            }
+        }
+    }
+
+    #[test]
+    fn light_app_fills_whole_chip_under_thermal_constraint() {
+        let est = estimator();
+        let e = est
+            .under_temperature_constraint(ParsecApp::Canneal, 8, Hertz::from_ghz(2.8))
+            .unwrap();
+        assert!(e.dark_fraction < 0.1, "dark {}", e.dark_fraction);
+    }
+
+    #[test]
+    fn off_ladder_frequency_rejected() {
+        let est = estimator();
+        assert!(matches!(
+            est.under_power_budget(
+                ParsecApp::X264,
+                8,
+                Hertz::from_ghz(3.33),
+                Watts::new(185.0)
+            ),
+            Err(EstimateError::UnknownLevel { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_estimate_is_ambient() {
+        let est = estimator();
+        // A budget too small for even one instance.
+        let e = est
+            .under_power_budget(ParsecApp::Swaptions, 8, Hertz::from_ghz(3.6), Watts::new(5.0))
+            .unwrap();
+        assert_eq!(e.active_cores, 0);
+        assert_eq!(e.dark_fraction, 1.0);
+        assert_eq!(e.total_power, Watts::zero());
+        assert!(!e.thermal_violation);
+    }
+
+    #[test]
+    fn estimate_fields_are_consistent() {
+        let est = estimator();
+        let e = est
+            .under_power_budget(ParsecApp::Ferret, 8, Hertz::from_ghz(3.0), Watts::new(185.0))
+            .unwrap();
+        assert_eq!(e.active_cores + e.dark_cores, 100);
+        assert!((e.dark_fraction - e.dark_cores as f64 / 100.0).abs() < 1e-12);
+        assert!(e.total_gips.value() > 0.0);
+        assert!(e.total_power.value() > 0.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Dark-silicon estimation — the paper's primary contribution.
+//!
+//! This crate glues the substrates together into the Figure 1 tool
+//! flow: application profiles and a scaled power model feed a mapping
+//! onto a floorplan, the thermal model evaluates it, and the result is
+//! a dark-silicon estimate under a chosen constraint:
+//!
+//! * [`DarkSiliconEstimator::under_power_budget`] — the conventional
+//!   TDP-constrained estimate (§3.1, Figure 5), optionally revealing
+//!   that the budget *violates* the DTM threshold (optimistic TDP) or
+//!   leaves thermal headroom unused (pessimistic TDP),
+//! * [`DarkSiliconEstimator::under_temperature_constraint`] — the
+//!   paper's proposed estimate: keep mapping until the peak temperature
+//!   reaches `T_DTM` (§3.2, Figure 6),
+//! * [`scenarios`] — the two DVFS scenarios of §3.3 (Figure 7):
+//!   nominal frequency with 8 threads everywhere, vs per-application
+//!   (threads, V/f) selection by TLP/ILP characteristics,
+//! * [`tsp_eval`] — system performance under TSP budgets across
+//!   technology nodes (§5, Figure 10),
+//! * [`dtm`] — the reactive Dynamic Thermal Management response that
+//!   optimistic TDP values provoke, quantifying the *hidden* dark
+//!   silicon the budget view undercounts (§3.1),
+//! * [`sensitivity`] — dark silicon as a function of the cooling
+//!   solution (laptop / desktop / server packages), the corollary of
+//!   treating dark silicon thermally,
+//! * [`pareto`] — the full (threads, V/f) configuration space of §3.3
+//!   and its thermally feasible performance/power Pareto frontier.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use darksil_core::DarkSiliconEstimator;
+//! use darksil_power::TechnologyNode;
+//! use darksil_units::{Hertz, Watts};
+//! use darksil_workload::ParsecApp;
+//!
+//! let est = DarkSiliconEstimator::for_node(TechnologyNode::Nm16)?;
+//! let tdp = est.under_power_budget(
+//!     ParsecApp::Swaptions,
+//!     8,
+//!     Hertz::from_ghz(3.6),
+//!     Watts::new(185.0),
+//! )?;
+//! let thermal = est.under_temperature_constraint(
+//!     ParsecApp::Swaptions,
+//!     8,
+//!     Hertz::from_ghz(3.6),
+//! )?;
+//! // Observation 1: the temperature-constrained estimate lights more
+//! // cores than the pessimistic TDP estimate.
+//! assert!(thermal.dark_fraction <= tdp.dark_fraction);
+//! # Ok::<(), darksil_core::EstimateError>(())
+//! ```
+
+pub mod dtm;
+mod estimator;
+pub mod pareto;
+pub mod scenarios;
+pub mod sensitivity;
+pub mod tsp_eval;
+
+pub use estimator::{DarkSiliconEstimator, Estimate, EstimateError};

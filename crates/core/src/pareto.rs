@@ -1,0 +1,208 @@
+//! The performance/power configuration space and its Pareto frontier.
+//!
+//! §3.3 frames DVFS in the dark-silicon era as a trade-off: more
+//! threads at lower V/f versus fewer threads at higher V/f, bounded by
+//! the thermal constraint. This module makes that space explicit: for
+//! one application on one platform, every `(threads, level, instances)`
+//! configuration is evaluated into a [`ConfigPoint`] (throughput, power,
+//! dark fraction, thermal feasibility), and
+//! [`pareto_frontier`] extracts the set of non-dominated feasible
+//! points — the menu a runtime manager actually chooses from.
+
+use darksil_mapping::{place_patterned, Platform};
+use darksil_units::{Celsius, Gips, Hertz, Watts};
+use darksil_workload::{ParsecApp, Workload, MAX_THREADS_PER_INSTANCE};
+use serde::{Deserialize, Serialize};
+
+use crate::EstimateError;
+
+/// One evaluated configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfigPoint {
+    /// Threads per instance.
+    pub threads: usize,
+    /// Instances mapped.
+    pub instances: usize,
+    /// Frequency of every instance.
+    pub frequency: Hertz,
+    /// Total throughput.
+    pub total_gips: Gips,
+    /// Total power at the converged temperatures.
+    pub total_power: Watts,
+    /// Dark-silicon fraction.
+    pub dark_fraction: f64,
+    /// Peak steady-state temperature.
+    pub peak_temperature: Celsius,
+    /// Whether the point respects `T_DTM`.
+    pub feasible: bool,
+}
+
+impl ConfigPoint {
+    /// Whether `self` dominates `other`: at least as fast and at most
+    /// as power-hungry, strictly better in one of the two.
+    #[must_use]
+    pub fn dominates(&self, other: &Self) -> bool {
+        let ge_perf = self.total_gips >= other.total_gips;
+        let le_power = self.total_power <= other.total_power;
+        let strict = self.total_gips > other.total_gips || self.total_power < other.total_power;
+        ge_perf && le_power && strict
+    }
+}
+
+/// Evaluates the whole `(threads, level)` grid for `app`, mapping as
+/// many instances as fit on the chip at each configuration (dark
+/// silicon patterning placement). Levels walk the platform ladder with
+/// `level_stride` (1 = every 200 MHz level).
+///
+/// # Errors
+///
+/// Propagates mapping/thermal failures.
+///
+/// # Panics
+///
+/// Panics if `level_stride` is zero.
+pub fn explore(
+    platform: &Platform,
+    app: ParsecApp,
+    level_stride: usize,
+) -> Result<Vec<ConfigPoint>, EstimateError> {
+    assert!(level_stride > 0, "level stride must be positive");
+    let n = platform.core_count();
+    let mut points = Vec::new();
+    for threads in 1..=MAX_THREADS_PER_INSTANCE {
+        let instances = n / threads;
+        if instances == 0 {
+            continue;
+        }
+        for level in platform.dvfs().levels().iter().step_by(level_stride) {
+            if level.frequency > platform.node().nominal_max_frequency() {
+                break;
+            }
+            let workload = Workload::uniform(app, instances, threads)?;
+            let mapping = place_patterned(platform.floorplan(), &workload, *level)?;
+            let map = mapping.steady_temperatures(platform)?;
+            let temps: Vec<Celsius> = map.die_temperatures().collect();
+            let power: Watts = mapping.power_map_at(platform, &temps).iter().sum();
+            points.push(ConfigPoint {
+                threads,
+                instances,
+                frequency: level.frequency,
+                total_gips: mapping.total_gips(platform),
+                total_power: power,
+                dark_fraction: mapping.dark_fraction(),
+                peak_temperature: map.peak(),
+                feasible: map.peak() <= platform.t_dtm(),
+            });
+        }
+    }
+    Ok(points)
+}
+
+/// Extracts the Pareto frontier (maximal GIPS, minimal power) of the
+/// *feasible* points, sorted by ascending power.
+#[must_use]
+pub fn pareto_frontier(points: &[ConfigPoint]) -> Vec<ConfigPoint> {
+    let mut feasible: Vec<ConfigPoint> =
+        points.iter().copied().filter(|p| p.feasible).collect();
+    feasible.sort_by(|a, b| {
+        a.total_power
+            .partial_cmp(&b.total_power)
+            .expect("finite power")
+            .then(
+                b.total_gips
+                    .partial_cmp(&a.total_gips)
+                    .expect("finite gips"),
+            )
+    });
+    let mut frontier: Vec<ConfigPoint> = Vec::new();
+    let mut best_gips = Gips::zero();
+    for p in feasible {
+        if p.total_gips > best_gips {
+            best_gips = p.total_gips;
+            frontier.push(p);
+        }
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darksil_power::TechnologyNode;
+
+    fn points() -> Vec<ConfigPoint> {
+        let platform = Platform::with_core_count(TechnologyNode::Nm16, 36).unwrap();
+        explore(&platform, ParsecApp::X264, 3).unwrap()
+    }
+
+    #[test]
+    fn exploration_covers_the_grid() {
+        let pts = points();
+        // 8 thread counts × ~6 levels (stride 3 over 18).
+        assert!(pts.len() >= 40, "only {} points", pts.len());
+        // Feasibility is not trivially all-true or all-false on a chip
+        // driven to its nominal maximum.
+        assert!(pts.iter().any(|p| p.feasible));
+    }
+
+    #[test]
+    fn frontier_is_nondominated_and_sorted() {
+        let pts = points();
+        let frontier = pareto_frontier(&pts);
+        assert!(!frontier.is_empty());
+        for w in frontier.windows(2) {
+            assert!(w[1].total_power >= w[0].total_power);
+            assert!(w[1].total_gips > w[0].total_gips);
+        }
+        // No frontier point is dominated by any feasible point.
+        for f in &frontier {
+            for p in pts.iter().filter(|p| p.feasible) {
+                assert!(!p.dominates(f), "{p:?} dominates frontier point {f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_members_come_from_the_input() {
+        let pts = points();
+        let frontier = pareto_frontier(&pts);
+        for f in &frontier {
+            assert!(pts.contains(f));
+        }
+    }
+
+    #[test]
+    fn dominance_is_irreflexive_and_antisymmetric() {
+        let pts = points();
+        for p in pts.iter().take(20) {
+            assert!(!p.dominates(p));
+        }
+        for a in pts.iter().take(10) {
+            for b in pts.iter().take(10) {
+                assert!(!(a.dominates(b) && b.dominates(a)));
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_points_never_reach_the_frontier() {
+        let pts = points();
+        let frontier = pareto_frontier(&pts);
+        assert!(frontier.iter().all(|p| p.feasible));
+    }
+
+    #[test]
+    fn frontier_mixes_thread_counts() {
+        // The §3.3 story: the frontier is not a single-thread or
+        // single-frequency family — both axes matter.
+        let platform = Platform::with_core_count(TechnologyNode::Nm16, 64).unwrap();
+        let pts = explore(&platform, ParsecApp::X264, 2).unwrap();
+        let frontier = pareto_frontier(&pts);
+        let thread_kinds: std::collections::BTreeSet<usize> =
+            frontier.iter().map(|p| p.threads).collect();
+        assert!(
+            thread_kinds.len() >= 2,
+            "frontier collapsed to one thread count: {thread_kinds:?}"
+        );
+    }
+}

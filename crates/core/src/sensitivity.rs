@@ -1,0 +1,163 @@
+//! Cooling-solution sensitivity of dark silicon.
+//!
+//! The paper's thesis makes dark silicon a *thermal* quantity — which
+//! means it is not a property of the chip alone but of the chip **and
+//! its cooling**. This module quantifies that: the same die under a
+//! laptop sink, the paper's desktop package and a server sink yields
+//! very different temperature-constrained dark-silicon fractions, and a
+//! fixed TDP cannot express any of it.
+
+use darksil_mapping::Platform;
+use darksil_power::TechnologyNode;
+use darksil_thermal::PackageConfig;
+use darksil_units::{Celsius, Hertz, Watts};
+use darksil_workload::ParsecApp;
+use serde::{Deserialize, Serialize};
+
+use crate::{DarkSiliconEstimator, EstimateError};
+
+/// One point of a cooling sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoolingPoint {
+    /// Sink-to-ambient convection resistance in K/W.
+    pub convection_resistance: f64,
+    /// Temperature-constrained dark fraction.
+    pub dark_fraction: f64,
+    /// Active cores at the constraint.
+    pub active_cores: usize,
+    /// Total power drawn at the constraint.
+    pub total_power: Watts,
+}
+
+/// Sweeps the convection resistance and reports the
+/// temperature-constrained dark silicon at each point.
+///
+/// # Errors
+///
+/// Propagates platform-construction and estimation failures.
+///
+/// # Panics
+///
+/// Panics if `resistances` contains non-positive values (rejected by
+/// the package validation as an error, not a panic — the panic applies
+/// only to NaN ordering).
+pub fn cooling_sweep(
+    node: TechnologyNode,
+    app: ParsecApp,
+    frequency: Hertz,
+    resistances: &[f64],
+) -> Result<Vec<CoolingPoint>, EstimateError> {
+    let mut points = Vec::with_capacity(resistances.len());
+    for &r in resistances {
+        let package = PackageConfig::paper_dac15().with_convection_resistance(r);
+        let platform = Platform::with_package(node, node.evaluated_core_count(), package)?;
+        let est = DarkSiliconEstimator::new(platform);
+        let e = est.under_temperature_constraint(app, 8, frequency)?;
+        points.push(CoolingPoint {
+            convection_resistance: r,
+            dark_fraction: e.dark_fraction,
+            active_cores: e.active_cores,
+            total_power: e.total_power,
+        });
+    }
+    Ok(points)
+}
+
+/// One row of the package comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackagePoint {
+    /// Package label.
+    pub package: String,
+    /// Temperature-constrained dark fraction.
+    pub dark_fraction: f64,
+    /// Active cores at the constraint.
+    pub active_cores: usize,
+    /// Peak temperature at the constraint.
+    pub peak_temperature: Celsius,
+}
+
+/// Compares the laptop / desktop (paper) / server packages for one
+/// application at the node's nominal maximum frequency.
+///
+/// # Errors
+///
+/// Propagates platform-construction and estimation failures.
+pub fn package_comparison(
+    node: TechnologyNode,
+    app: ParsecApp,
+) -> Result<Vec<PackagePoint>, EstimateError> {
+    let f = node.nominal_max_frequency();
+    let packages = [
+        ("laptop", PackageConfig::laptop()),
+        ("desktop (paper)", PackageConfig::paper_dac15()),
+        ("server", PackageConfig::server()),
+    ];
+    let mut rows = Vec::new();
+    for (label, package) in packages {
+        let platform = Platform::with_package(node, node.evaluated_core_count(), package)?;
+        let est = DarkSiliconEstimator::new(platform);
+        let e = est.under_temperature_constraint(app, 8, f)?;
+        rows.push(PackagePoint {
+            package: label.to_string(),
+            dark_fraction: e.dark_fraction,
+            active_cores: e.active_cores,
+            peak_temperature: e.peak_temperature,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weaker_cooling_means_more_dark_silicon() {
+        let points = cooling_sweep(
+            TechnologyNode::Nm16,
+            ParsecApp::Swaptions,
+            Hertz::from_ghz(3.6),
+            &[0.05, 0.1, 0.2, 0.4],
+        )
+        .unwrap();
+        assert_eq!(points.len(), 4);
+        for w in points.windows(2) {
+            assert!(
+                w[1].dark_fraction >= w[0].dark_fraction,
+                "dark silicon fell as cooling got worse: {w:?}"
+            );
+        }
+        // The endpoints must differ substantially — cooling is a
+        // first-order knob.
+        assert!(points[3].dark_fraction - points[0].dark_fraction > 0.2);
+    }
+
+    #[test]
+    fn package_ladder_is_ordered() {
+        let rows = package_comparison(TechnologyNode::Nm16, ParsecApp::X264).unwrap();
+        assert_eq!(rows.len(), 3);
+        // laptop ≥ desktop ≥ server dark fractions.
+        assert!(rows[0].dark_fraction >= rows[1].dark_fraction);
+        assert!(rows[1].dark_fraction >= rows[2].dark_fraction);
+        // The server package lights (almost) the whole chip.
+        assert!(rows[2].dark_fraction < 0.15, "server dark {}", rows[2].dark_fraction);
+        // No row violates the threshold (temperature-constrained by
+        // construction).
+        for r in &rows {
+            assert!(r.peak_temperature <= Celsius::new(80.01));
+        }
+    }
+
+    #[test]
+    fn cooling_point_power_tracks_active_cores() {
+        let points = cooling_sweep(
+            TechnologyNode::Nm16,
+            ParsecApp::Canneal,
+            Hertz::from_ghz(3.0),
+            &[0.1, 0.3],
+        )
+        .unwrap();
+        assert!(points[0].active_cores >= points[1].active_cores);
+        assert!(points[0].total_power >= points[1].total_power);
+    }
+}

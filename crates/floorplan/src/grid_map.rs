@@ -1,0 +1,225 @@
+//! Per-core scalar fields (power maps, thermal maps) over a floorplan.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CoreId, Floorplan, FloorplanError};
+
+/// A scalar value per core of a floorplan, e.g. a power or temperature
+/// map. Provides aggregate queries and ASCII rendering of the kind used
+/// to present Figure 8's thermal profiles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridMap {
+    rows: usize,
+    cols: usize,
+    values: Vec<f64>,
+}
+
+impl GridMap {
+    /// Creates a map over `plan` filled with `fill`.
+    #[must_use]
+    pub fn filled(plan: &Floorplan, fill: f64) -> Self {
+        Self {
+            rows: plan.rows(),
+            cols: plan.cols(),
+            values: vec![fill; plan.core_count()],
+        }
+    }
+
+    /// Creates a map from a per-core vector in row-major order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::CoreOutOfRange`] if the vector length
+    /// does not match the plan's core count.
+    pub fn from_values(plan: &Floorplan, values: Vec<f64>) -> Result<Self, FloorplanError> {
+        if values.len() != plan.core_count() {
+            return Err(FloorplanError::CoreOutOfRange {
+                index: values.len(),
+                count: plan.core_count(),
+            });
+        }
+        Ok(Self {
+            rows: plan.rows(),
+            cols: plan.cols(),
+            values,
+        })
+    }
+
+    /// Number of cores covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the map is empty (never true for a valid floorplan).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value at a core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn get(&self, core: CoreId) -> f64 {
+        self.values[core.index()]
+    }
+
+    /// Sets the value at a core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn set(&mut self, core: CoreId, value: f64) {
+        self.values[core.index()] = value;
+    }
+
+    /// Raw row-major values.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Maximum value, or `None` if empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// Minimum value, or `None` if empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Sum of all values.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Renders the map as an ASCII heat map: each core becomes one glyph
+    /// from `' '` (min) through `.:-=+*#%@` to `'@'` (max). Rows are
+    /// separated by newlines. Useful for eyeballing thermal patterns in
+    /// terminals and test logs (cf. Figure 8).
+    #[must_use]
+    pub fn render_ascii(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let (lo, hi) = match (self.min(), self.max()) {
+            (Some(lo), Some(hi)) => (lo, hi),
+            _ => return String::new(),
+        };
+        let span = if hi > lo { hi - lo } else { 1.0 };
+        let mut out = String::with_capacity((self.cols + 1) * self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let v = self.values[r * self.cols + c];
+                let t = ((v - lo) / span).clamp(0.0, 1.0);
+                let idx = (t * (RAMP.len() - 1) as f64).round() as usize;
+                out.push(RAMP[idx] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders with a fixed scale `[lo, hi]` so two maps can be compared
+    /// with identical colour-mapping (Figure 8 uses one 64–82 °C scale
+    /// for both mapping patterns).
+    #[must_use]
+    pub fn render_ascii_scaled(&self, lo: f64, hi: f64) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let span = if hi > lo { hi - lo } else { 1.0 };
+        let mut out = String::with_capacity((self.cols + 1) * self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let v = self.values[r * self.cols + c];
+                let t = ((v - lo) / span).clamp(0.0, 1.0);
+                let idx = (t * (RAMP.len() - 1) as f64).round() as usize;
+                out.push(RAMP[idx] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darksil_units::SquareMillimeters;
+
+    fn plan() -> Floorplan {
+        Floorplan::grid(3, 4, SquareMillimeters::new(1.0)).unwrap()
+    }
+
+    #[test]
+    fn filled_and_aggregates() {
+        let m = GridMap::filled(&plan(), 2.5);
+        assert_eq!(m.len(), 12);
+        assert_eq!(m.sum(), 30.0);
+        assert_eq!(m.mean(), Some(2.5));
+        assert_eq!(m.min(), Some(2.5));
+        assert_eq!(m.max(), Some(2.5));
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn set_get() {
+        let mut m = GridMap::filled(&plan(), 0.0);
+        m.set(CoreId(5), 7.0);
+        assert_eq!(m.get(CoreId(5)), 7.0);
+        assert_eq!(m.max(), Some(7.0));
+    }
+
+    #[test]
+    fn from_values_validates_length() {
+        let p = plan();
+        assert!(GridMap::from_values(&p, vec![0.0; 11]).is_err());
+        let m = GridMap::from_values(&p, (0..12).map(|i| i as f64).collect()).unwrap();
+        assert_eq!(m.get(CoreId(11)), 11.0);
+    }
+
+    #[test]
+    fn ascii_rendering_shape() {
+        let p = plan();
+        let mut m = GridMap::filled(&p, 0.0);
+        m.set(CoreId(0), 10.0);
+        let art = m.render_ascii();
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.len() == 4));
+        // Hottest core renders as the densest glyph.
+        assert_eq!(lines[0].chars().next(), Some('@'));
+    }
+
+    #[test]
+    fn fixed_scale_rendering_is_comparable() {
+        let p = plan();
+        let cold = GridMap::filled(&p, 64.0);
+        let hot = GridMap::filled(&p, 82.0);
+        let a = cold.render_ascii_scaled(64.0, 82.0);
+        let b = hot.render_ascii_scaled(64.0, 82.0);
+        assert!(a.contains(' '));
+        assert!(b.contains('@'));
+    }
+
+    #[test]
+    fn constant_map_renders_without_nan() {
+        let m = GridMap::filled(&plan(), 5.0);
+        let art = m.render_ascii();
+        assert!(!art.is_empty());
+    }
+}

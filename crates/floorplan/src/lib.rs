@@ -1,0 +1,31 @@
+//! Chip floorplans for homogeneous manycore systems.
+//!
+//! The paper evaluates manycore chips of 100, 198 and 361 out-of-order
+//! Alpha 21264 cores arranged in a regular grid (§2.1). This crate
+//! provides:
+//!
+//! * [`Floorplan`] — a rectangular grid of identical square cores with
+//!   geometry queries (position, area, adjacency, Manhattan and
+//!   Euclidean centre distance),
+//! * [`CoreId`] — a typed index into a floorplan,
+//! * [`GridMap`] — a per-core scalar field (power, temperature) with
+//!   ASCII rendering used to visualise thermal maps like Figure 8.
+//!
+//! # Examples
+//!
+//! ```
+//! use darksil_floorplan::Floorplan;
+//! use darksil_units::SquareMillimeters;
+//!
+//! // 100-core chip at 16 nm: each core is 5.1 mm².
+//! let plan = Floorplan::grid(10, 10, SquareMillimeters::new(5.1))?;
+//! assert_eq!(plan.core_count(), 100);
+//! assert!((plan.chip_area().value() - 510.0).abs() < 1e-9);
+//! # Ok::<(), darksil_floorplan::FloorplanError>(())
+//! ```
+
+mod grid_map;
+mod plan;
+
+pub use grid_map::GridMap;
+pub use plan::{CoreId, Floorplan, FloorplanError, NeighborIter};

@@ -1,0 +1,399 @@
+//! Grid floorplan geometry.
+
+use std::error::Error;
+use std::fmt;
+
+use darksil_units::SquareMillimeters;
+use serde::{Deserialize, Serialize};
+
+/// A typed index identifying one core of a [`Floorplan`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct CoreId(pub usize);
+
+impl CoreId {
+    /// Returns the raw index.
+    #[inline]
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+impl From<usize> for CoreId {
+    fn from(i: usize) -> Self {
+        Self(i)
+    }
+}
+
+/// Errors produced when constructing or querying floorplans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FloorplanError {
+    /// Grid dimensions were zero.
+    EmptyGrid,
+    /// The per-core area was not strictly positive.
+    NonPositiveArea,
+    /// A core index exceeded the plan's core count.
+    CoreOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of cores in the plan.
+        count: usize,
+    },
+}
+
+impl fmt::Display for FloorplanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyGrid => write!(f, "floorplan grid must have at least one row and column"),
+            Self::NonPositiveArea => write!(f, "core area must be strictly positive"),
+            Self::CoreOutOfRange { index, count } => {
+                write!(f, "core index {index} out of range for {count}-core plan")
+            }
+        }
+    }
+}
+
+impl Error for FloorplanError {}
+
+/// A rectangular grid of identical square cores.
+///
+/// Cores are numbered row-major: core `r·cols + c` sits at grid position
+/// `(row r, column c)`. The paper's chips are 10×10 (100 cores),
+/// 18×11 (198 cores) and 19×19 (361 cores).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    rows: usize,
+    cols: usize,
+    core_area_mm2: f64,
+}
+
+impl Floorplan {
+    /// Creates a `rows × cols` grid of cores, each of the given area.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::EmptyGrid`] for a zero dimension and
+    /// [`FloorplanError::NonPositiveArea`] for a non-positive area.
+    pub fn grid(
+        rows: usize,
+        cols: usize,
+        core_area: SquareMillimeters,
+    ) -> Result<Self, FloorplanError> {
+        if rows == 0 || cols == 0 {
+            return Err(FloorplanError::EmptyGrid);
+        }
+        if core_area.value() <= 0.0 || !core_area.value().is_finite() {
+            return Err(FloorplanError::NonPositiveArea);
+        }
+        Ok(Self {
+            rows,
+            cols,
+            core_area_mm2: core_area.value(),
+        })
+    }
+
+    /// Creates the squarest grid holding exactly `count` cores, matching
+    /// the paper's configurations: 100 → 10×10, 198 → 18×11, 361 → 19×19.
+    /// For a count with no factorisation close to square (primes), the
+    /// fallback is a single row.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Floorplan::grid`].
+    pub fn squarish(count: usize, core_area: SquareMillimeters) -> Result<Self, FloorplanError> {
+        if count == 0 {
+            return Err(FloorplanError::EmptyGrid);
+        }
+        let mut best = (count, 1);
+        let mut r = (count as f64).sqrt() as usize;
+        while r >= 1 {
+            if count.is_multiple_of(r) {
+                best = (count / r, r);
+                break;
+            }
+            r -= 1;
+        }
+        Self::grid(best.0, best.1, core_area)
+    }
+
+    /// Number of grid rows.
+    #[must_use]
+    pub const fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of grid columns.
+    #[must_use]
+    pub const fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of cores.
+    #[must_use]
+    pub const fn core_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Area of a single core.
+    #[must_use]
+    pub fn core_area(&self) -> SquareMillimeters {
+        SquareMillimeters::new(self.core_area_mm2)
+    }
+
+    /// Side length of a (square) core in millimetres.
+    #[must_use]
+    pub fn core_side_mm(&self) -> f64 {
+        self.core_area_mm2.sqrt()
+    }
+
+    /// Total die area.
+    #[must_use]
+    pub fn chip_area(&self) -> SquareMillimeters {
+        SquareMillimeters::new(self.core_area_mm2 * self.core_count() as f64)
+    }
+
+    /// Die width (columns direction) in millimetres.
+    #[must_use]
+    pub fn chip_width_mm(&self) -> f64 {
+        self.core_side_mm() * self.cols as f64
+    }
+
+    /// Die height (rows direction) in millimetres.
+    #[must_use]
+    pub fn chip_height_mm(&self) -> f64 {
+        self.core_side_mm() * self.rows as f64
+    }
+
+    /// Grid coordinates `(row, col)` of a core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::CoreOutOfRange`] for invalid ids.
+    pub fn coordinates(&self, core: CoreId) -> Result<(usize, usize), FloorplanError> {
+        if core.0 >= self.core_count() {
+            return Err(FloorplanError::CoreOutOfRange {
+                index: core.0,
+                count: self.core_count(),
+            });
+        }
+        Ok((core.0 / self.cols, core.0 % self.cols))
+    }
+
+    /// The core at grid coordinates `(row, col)`, if in range.
+    #[must_use]
+    pub fn core_at(&self, row: usize, col: usize) -> Option<CoreId> {
+        (row < self.rows && col < self.cols).then(|| CoreId(row * self.cols + col))
+    }
+
+    /// Centre position of a core in millimetres from the die's top-left
+    /// corner, as `(x, y)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::CoreOutOfRange`] for invalid ids.
+    pub fn center_mm(&self, core: CoreId) -> Result<(f64, f64), FloorplanError> {
+        let (row, col) = self.coordinates(core)?;
+        let side = self.core_side_mm();
+        Ok((
+            (col as f64 + 0.5) * side,
+            (row as f64 + 0.5) * side,
+        ))
+    }
+
+    /// Manhattan grid distance between two cores (number of hops).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::CoreOutOfRange`] for invalid ids.
+    pub fn manhattan_distance(&self, a: CoreId, b: CoreId) -> Result<usize, FloorplanError> {
+        let (ra, ca) = self.coordinates(a)?;
+        let (rb, cb) = self.coordinates(b)?;
+        Ok(ra.abs_diff(rb) + ca.abs_diff(cb))
+    }
+
+    /// Euclidean centre-to-centre distance in millimetres.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::CoreOutOfRange`] for invalid ids.
+    pub fn center_distance_mm(&self, a: CoreId, b: CoreId) -> Result<f64, FloorplanError> {
+        let (xa, ya) = self.center_mm(a)?;
+        let (xb, yb) = self.center_mm(b)?;
+        Ok(((xa - xb).powi(2) + (ya - yb).powi(2)).sqrt())
+    }
+
+    /// Iterator over the 4-neighbourhood (N/S/E/W) of a core. Edge and
+    /// corner cores yield fewer neighbours.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::CoreOutOfRange`] for invalid ids.
+    pub fn neighbors(&self, core: CoreId) -> Result<NeighborIter, FloorplanError> {
+        let (row, col) = self.coordinates(core)?;
+        let mut ids = [None; 4];
+        let mut n = 0;
+        let mut push = |id: Option<CoreId>| {
+            if let Some(id) = id {
+                ids[n] = Some(id);
+                n += 1;
+            }
+        };
+        push(row.checked_sub(1).and_then(|r| self.core_at(r, col)));
+        push(self.core_at(row + 1, col));
+        push(col.checked_sub(1).and_then(|c| self.core_at(row, c)));
+        push(self.core_at(row, col + 1));
+        Ok(NeighborIter { ids, next: 0 })
+    }
+
+    /// Iterator over all core ids in row-major order.
+    pub fn cores(&self) -> impl Iterator<Item = CoreId> + '_ {
+        (0..self.core_count()).map(CoreId)
+    }
+}
+
+/// Iterator over the grid neighbours of a core.
+///
+/// Produced by [`Floorplan::neighbors`].
+#[derive(Debug, Clone)]
+pub struct NeighborIter {
+    ids: [Option<CoreId>; 4],
+    next: usize,
+}
+
+impl Iterator for NeighborIter {
+    type Item = CoreId;
+
+    fn next(&mut self) -> Option<CoreId> {
+        while self.next < 4 {
+            let item = self.ids[self.next];
+            self.next += 1;
+            if item.is_some() {
+                return item;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan_10x10() -> Floorplan {
+        Floorplan::grid(10, 10, SquareMillimeters::new(5.1)).unwrap()
+    }
+
+    #[test]
+    fn paper_configurations() {
+        // 22 nm: 9.6 mm² per core; 16/11/8 nm: 5.1 / 2.7 / 1.4 mm².
+        let p100 = Floorplan::squarish(100, SquareMillimeters::new(5.1)).unwrap();
+        assert_eq!((p100.rows(), p100.cols()), (10, 10));
+        let p198 = Floorplan::squarish(198, SquareMillimeters::new(2.7)).unwrap();
+        assert_eq!(p198.core_count(), 198);
+        assert_eq!((p198.rows(), p198.cols()), (18, 11));
+        let p361 = Floorplan::squarish(361, SquareMillimeters::new(1.4)).unwrap();
+        assert_eq!((p361.rows(), p361.cols()), (19, 19));
+    }
+
+    #[test]
+    fn coordinates_round_trip() {
+        let p = plan_10x10();
+        for core in p.cores() {
+            let (r, c) = p.coordinates(core).unwrap();
+            assert_eq!(p.core_at(r, c), Some(core));
+        }
+    }
+
+    #[test]
+    fn geometry() {
+        let p = Floorplan::grid(2, 3, SquareMillimeters::new(4.0)).unwrap();
+        assert_eq!(p.core_side_mm(), 2.0);
+        assert_eq!(p.chip_width_mm(), 6.0);
+        assert_eq!(p.chip_height_mm(), 4.0);
+        assert_eq!(p.chip_area().value(), 24.0);
+        let (x, y) = p.center_mm(CoreId(4)).unwrap(); // row 1, col 1
+        assert_eq!((x, y), (3.0, 3.0));
+    }
+
+    #[test]
+    fn neighbor_counts() {
+        let p = plan_10x10();
+        // Corner core: 2 neighbours.
+        assert_eq!(p.neighbors(CoreId(0)).unwrap().count(), 2);
+        // Edge core: 3 neighbours.
+        assert_eq!(p.neighbors(CoreId(5)).unwrap().count(), 3);
+        // Interior core: 4 neighbours.
+        assert_eq!(p.neighbors(CoreId(55)).unwrap().count(), 4);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let p = Floorplan::grid(4, 5, SquareMillimeters::new(1.0)).unwrap();
+        for a in p.cores() {
+            for b in p.neighbors(a).unwrap() {
+                assert!(
+                    p.neighbors(b).unwrap().any(|x| x == a),
+                    "{a} -> {b} not symmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distances() {
+        let p = plan_10x10();
+        assert_eq!(p.manhattan_distance(CoreId(0), CoreId(99)).unwrap(), 18);
+        assert_eq!(p.manhattan_distance(CoreId(0), CoreId(0)).unwrap(), 0);
+        let d = p.center_distance_mm(CoreId(0), CoreId(1)).unwrap();
+        assert!((d - p.core_side_mm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_construction() {
+        assert_eq!(
+            Floorplan::grid(0, 5, SquareMillimeters::new(1.0)),
+            Err(FloorplanError::EmptyGrid)
+        );
+        assert_eq!(
+            Floorplan::grid(2, 2, SquareMillimeters::new(0.0)),
+            Err(FloorplanError::NonPositiveArea)
+        );
+        assert_eq!(
+            Floorplan::grid(2, 2, SquareMillimeters::new(f64::NAN)),
+            Err(FloorplanError::NonPositiveArea)
+        );
+    }
+
+    #[test]
+    fn out_of_range_core() {
+        let p = plan_10x10();
+        assert!(matches!(
+            p.coordinates(CoreId(100)),
+            Err(FloorplanError::CoreOutOfRange { index: 100, count: 100 })
+        ));
+        assert!(p.neighbors(CoreId(500)).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = plan_10x10();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Floorplan = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn prime_count_degenerates_to_row() {
+        let p = Floorplan::squarish(13, SquareMillimeters::new(1.0)).unwrap();
+        assert_eq!(p.core_count(), 13);
+        assert_eq!(p.rows() * p.cols(), 13);
+    }
+}

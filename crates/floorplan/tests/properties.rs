@@ -1,0 +1,95 @@
+//! Property tests for floorplan geometry.
+
+use darksil_floorplan::{CoreId, Floorplan, GridMap};
+use darksil_units::SquareMillimeters;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coordinates_round_trip(rows in 1_usize..20, cols in 1_usize..20) {
+        let plan = Floorplan::grid(rows, cols, SquareMillimeters::new(2.0)).unwrap();
+        for core in plan.cores() {
+            let (r, c) = plan.coordinates(core).unwrap();
+            prop_assert_eq!(plan.core_at(r, c), Some(core));
+        }
+    }
+
+    #[test]
+    fn neighbors_are_symmetric_and_adjacent(rows in 2_usize..12, cols in 2_usize..12) {
+        let plan = Floorplan::grid(rows, cols, SquareMillimeters::new(1.0)).unwrap();
+        for a in plan.cores() {
+            for b in plan.neighbors(a).unwrap() {
+                prop_assert!(plan.neighbors(b).unwrap().any(|x| x == a));
+                prop_assert_eq!(plan.manhattan_distance(a, b).unwrap(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn manhattan_distance_is_a_metric(
+        rows in 2_usize..10,
+        cols in 2_usize..10,
+        seed in 0_usize..1000,
+    ) {
+        let plan = Floorplan::grid(rows, cols, SquareMillimeters::new(1.0)).unwrap();
+        let n = plan.core_count();
+        let a = CoreId(seed % n);
+        let b = CoreId((seed * 7 + 3) % n);
+        let c = CoreId((seed * 13 + 5) % n);
+        let d = |x, y| plan.manhattan_distance(x, y).unwrap();
+        prop_assert_eq!(d(a, b), d(b, a));
+        prop_assert_eq!(d(a, a), 0);
+        prop_assert!(d(a, c) <= d(a, b) + d(b, c));
+    }
+
+    #[test]
+    fn center_distance_consistent_with_geometry(
+        rows in 2_usize..10,
+        cols in 2_usize..10,
+        area in 0.5_f64..10.0,
+    ) {
+        let plan = Floorplan::grid(rows, cols, SquareMillimeters::new(area)).unwrap();
+        // Adjacent cores sit exactly one side length apart.
+        let a = CoreId(0);
+        let b = CoreId(1.min(plan.core_count() - 1));
+        if a != b {
+            let d = plan.center_distance_mm(a, b).unwrap();
+            prop_assert!((d - plan.core_side_mm()).abs() < 1e-9);
+        }
+        // Chip area is cores × core area.
+        let chip = plan.chip_area().value();
+        prop_assert!((chip - area * plan.core_count() as f64).abs() < 1e-9 * chip);
+    }
+
+    #[test]
+    fn squarish_is_exact_and_compact(count in 1_usize..400) {
+        let plan = Floorplan::squarish(count, SquareMillimeters::new(1.0)).unwrap();
+        prop_assert_eq!(plan.core_count(), count);
+        // Aspect ratio never exceeds what the factorisation forces: the
+        // chosen rows×cols uses the largest factor ≤ √count.
+        prop_assert!(plan.rows() >= plan.cols());
+    }
+
+    #[test]
+    fn grid_map_aggregates(
+        rows in 1_usize..8,
+        cols in 1_usize..8,
+        values in prop::collection::vec(-50.0_f64..150.0, 64),
+    ) {
+        let plan = Floorplan::grid(rows, cols, SquareMillimeters::new(1.0)).unwrap();
+        let n = plan.core_count();
+        let vals = values[..n].to_vec();
+        let map = GridMap::from_values(&plan, vals.clone()).unwrap();
+        let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(map.max(), Some(max));
+        prop_assert_eq!(map.min(), Some(min));
+        prop_assert!((map.sum() - vals.iter().sum::<f64>()).abs() < 1e-9);
+        // Rendering is shape-preserving.
+        let art = map.render_ascii();
+        prop_assert_eq!(art.lines().count(), rows);
+        prop_assert!(art.lines().all(|l| l.chars().count() == cols));
+    }
+}

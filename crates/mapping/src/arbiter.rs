@@ -1,0 +1,404 @@
+//! Invasive-computing-style resource arbitration.
+//!
+//! The paper closes by pointing at *Invasive Computing* (Teich et al.)
+//! as the programming model that turns dark-silicon awareness into an
+//! application-facing interface: applications **invade** a set of cores
+//! when they need compute, run on their claim, and **retreat** when
+//! done — with the runtime arbitrating claims under the chip's thermal
+//! constraints.
+//!
+//! [`ResourceArbiter`] implements that loop on a [`Platform`]: an
+//! invade allocates the lowest-leakage free cores and grants the
+//! highest V/f level that keeps the whole chip's steady-state peak
+//! under `T_DTM`. Earlier claims keep the levels they were granted —
+//! later invades simply receive less headroom — and when even the
+//! lowest level would violate the threshold the invade is rejected; the
+//! application retries after others retreat.
+
+use std::fmt;
+
+use darksil_floorplan::CoreId;
+use darksil_units::{Celsius, Gips, Watts};
+use darksil_workload::{AppInstance, ParsecApp};
+
+use crate::{MappedInstance, Mapping, MappingError, Platform};
+
+/// Identifier of a granted claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClaimId(u64);
+
+impl fmt::Display for ClaimId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "claim{}", self.0)
+    }
+}
+
+/// Why an invade was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvadeError {
+    /// Not enough free cores.
+    InsufficientCores {
+        /// Requested cores.
+        requested: usize,
+        /// Currently free cores.
+        free: usize,
+    },
+    /// Even the lowest V/f level would push the chip past `T_DTM`.
+    ThermalLimit,
+    /// Propagated platform/solver failure.
+    Mapping(MappingError),
+}
+
+impl fmt::Display for InvadeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InsufficientCores { requested, free } => {
+                write!(f, "invade needs {requested} cores, only {free} free")
+            }
+            Self::ThermalLimit => {
+                write!(f, "no v/f level keeps the chip below the thermal threshold")
+            }
+            Self::Mapping(e) => write!(f, "invade failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InvadeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Mapping(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MappingError> for InvadeError {
+    fn from(e: MappingError) -> Self {
+        Self::Mapping(e)
+    }
+}
+
+/// One granted claim.
+#[derive(Debug, Clone, PartialEq)]
+struct Claim {
+    id: ClaimId,
+    entry: MappedInstance,
+}
+
+/// An invade/retreat arbiter over one platform.
+///
+/// # Examples
+///
+/// ```
+/// use darksil_mapping::{Platform, ResourceArbiter};
+/// use darksil_power::TechnologyNode;
+/// use darksil_workload::ParsecApp;
+///
+/// let platform = Platform::with_core_count(TechnologyNode::Nm16, 16)?;
+/// let mut arbiter = ResourceArbiter::new(platform);
+/// let claim = arbiter.invade(ParsecApp::X264, 4)?;
+/// assert_eq!(arbiter.free_cores(), 12);
+/// arbiter.retreat(claim);
+/// assert_eq!(arbiter.free_cores(), 16);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResourceArbiter {
+    platform: Platform,
+    claims: Vec<Claim>,
+    next_id: u64,
+}
+
+impl ResourceArbiter {
+    /// Creates an arbiter with no claims.
+    #[must_use]
+    pub fn new(platform: Platform) -> Self {
+        Self {
+            platform,
+            claims: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The underlying platform.
+    #[must_use]
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Number of live claims.
+    #[must_use]
+    pub fn claim_count(&self) -> usize {
+        self.claims.len()
+    }
+
+    /// Cores not owned by any claim.
+    #[must_use]
+    pub fn free_cores(&self) -> usize {
+        self.platform.core_count() - self.mapping().active_core_count()
+    }
+
+    /// The current chip-wide mapping implied by all claims.
+    #[must_use]
+    pub fn mapping(&self) -> Mapping {
+        let mut m = Mapping::new(self.platform.core_count());
+        for claim in &self.claims {
+            m.push(claim.entry.clone())
+                .expect("claims are disjoint by construction");
+        }
+        m
+    }
+
+    /// Total throughput of all claims.
+    #[must_use]
+    pub fn total_gips(&self) -> Gips {
+        self.mapping().total_gips(&self.platform)
+    }
+
+    /// Total power at the converged temperatures.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal failures.
+    pub fn total_power(&self) -> Result<Watts, MappingError> {
+        let mapping = self.mapping();
+        if mapping.entries().is_empty() {
+            return Ok(Watts::zero());
+        }
+        let map = mapping.steady_temperatures(&self.platform)?;
+        let temps: Vec<Celsius> = map.die_temperatures().collect();
+        Ok(mapping.power_map_at(&self.platform, &temps).iter().sum())
+    }
+
+    /// Invades `threads` cores for `app`: allocates the lowest-leakage
+    /// free cores and grants the highest V/f level that keeps the
+    /// *whole chip* (all claims) below `T_DTM`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvadeError::InsufficientCores`] when fewer than
+    /// `threads` cores are free, [`InvadeError::ThermalLimit`] when no
+    /// level is thermally admissible, and propagates workload/thermal
+    /// failures.
+    pub fn invade(&mut self, app: ParsecApp, threads: usize) -> Result<ClaimId, InvadeError> {
+        let instance =
+            AppInstance::new(app, threads).map_err(|e| InvadeError::Mapping(e.into()))?;
+        let occupied = self.mapping();
+        let free: Vec<CoreId> = self
+            .platform
+            .variation()
+            .cores_by_leakage()
+            .into_iter()
+            .map(CoreId)
+            .filter(|c| !occupied.is_occupied(*c))
+            .collect();
+        if free.len() < threads {
+            return Err(InvadeError::InsufficientCores {
+                requested: threads,
+                free: free.len(),
+            });
+        }
+        let cores: Vec<CoreId> = free.into_iter().take(threads).collect();
+
+        // Highest admissible level, searched top down.
+        let dvfs = self.platform.dvfs();
+        for idx in (0..dvfs.len()).rev() {
+            let level = dvfs.get(idx).expect("index in range");
+            if level.frequency > self.platform.node().nominal_max_frequency() {
+                continue;
+            }
+            let mut trial = occupied.clone();
+            trial
+                .push(MappedInstance {
+                    instance,
+                    cores: cores.clone(),
+                    level,
+                })
+                .map_err(InvadeError::Mapping)?;
+            let peak = trial
+                .peak_temperature(&self.platform)
+                .map_err(InvadeError::Mapping)?;
+            if peak <= self.platform.t_dtm() {
+                let id = ClaimId(self.next_id);
+                self.next_id += 1;
+                self.claims.push(Claim {
+                    id,
+                    entry: MappedInstance {
+                        instance,
+                        cores,
+                        level,
+                    },
+                });
+                return Ok(id);
+            }
+        }
+        Err(InvadeError::ThermalLimit)
+    }
+
+    /// Retreats (releases) a claim, freeing its cores.
+    ///
+    /// Returns `true` if the claim existed.
+    pub fn retreat(&mut self, id: ClaimId) -> bool {
+        let before = self.claims.len();
+        self.claims.retain(|c| c.id != id);
+        self.claims.len() != before
+    }
+
+    /// The cores owned by a claim, if it is live.
+    #[must_use]
+    pub fn claim_cores(&self, id: ClaimId) -> Option<&[CoreId]> {
+        self.claims
+            .iter()
+            .find(|c| c.id == id)
+            .map(|c| c.entry.cores.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darksil_power::TechnologyNode;
+
+    fn arbiter() -> ResourceArbiter {
+        ResourceArbiter::new(Platform::with_core_count(TechnologyNode::Nm16, 36).unwrap())
+    }
+
+    #[test]
+    fn invade_and_retreat_round_trip() {
+        let mut arb = arbiter();
+        assert_eq!(arb.free_cores(), 36);
+        let a = arb.invade(ParsecApp::X264, 8).unwrap();
+        let b = arb.invade(ParsecApp::Canneal, 4).unwrap();
+        assert_eq!(arb.claim_count(), 2);
+        assert_eq!(arb.free_cores(), 24);
+        assert_ne!(a, b);
+        assert_eq!(arb.claim_cores(a).unwrap().len(), 8);
+
+        assert!(arb.retreat(a));
+        assert_eq!(arb.free_cores(), 32);
+        assert!(!arb.retreat(a), "double retreat must be a no-op");
+        assert!(arb.claim_cores(a).is_none());
+    }
+
+    #[test]
+    fn claims_never_overlap() {
+        let mut arb = arbiter();
+        for _ in 0..4 {
+            arb.invade(ParsecApp::Ferret, 8).unwrap();
+        }
+        let mapping = arb.mapping();
+        assert_eq!(mapping.active_core_count(), 32);
+        // Mapping::push would have panicked/errored on overlap; check
+        // free count is consistent.
+        assert_eq!(arb.free_cores(), 4);
+    }
+
+    #[test]
+    fn capacity_exhaustion_is_reported() {
+        let mut arb = arbiter();
+        for _ in 0..4 {
+            arb.invade(ParsecApp::Blackscholes, 8).unwrap();
+        }
+        match arb.invade(ParsecApp::Blackscholes, 8) {
+            Err(InvadeError::InsufficientCores { requested: 8, free: 4 }) => {}
+            other => panic!("expected capacity error, got {other:?}"),
+        }
+        // A smaller invade still fits.
+        assert!(arb.invade(ParsecApp::Blackscholes, 4).is_ok());
+    }
+
+    #[test]
+    fn thermal_pressure_degrades_granted_levels() {
+        // As the chip fills with hot claims, later invades are granted
+        // lower frequencies to stay under the threshold.
+        let mut arb = ResourceArbiter::new(
+            Platform::for_node(TechnologyNode::Nm16)
+                .unwrap()
+                .with_t_dtm(Celsius::new(68.0)), // tight budget
+        );
+        let mut levels = Vec::new();
+        for _ in 0..10 {
+            let id = match arb.invade(ParsecApp::Swaptions, 8) {
+                Ok(id) => id,
+                Err(InvadeError::ThermalLimit) => break,
+                Err(e) => panic!("unexpected error {e}"),
+            };
+            let mapping = arb.mapping();
+            let entry = mapping
+                .entries()
+                .iter()
+                .find(|e| {
+                    arb.claim_cores(id)
+                        .is_some_and(|cs| cs == e.cores.as_slice())
+                })
+                .unwrap();
+            levels.push(entry.level.frequency);
+        }
+        assert!(levels.len() >= 3, "too few grants: {levels:?}");
+        assert!(
+            levels.last().unwrap() < levels.first().unwrap(),
+            "late claims should be throttled: {levels:?}"
+        );
+        // And the chip stays safe throughout.
+        let peak = arb.mapping().peak_temperature(arb.platform()).unwrap();
+        assert!(peak <= Celsius::new(68.0) + 0.1);
+    }
+
+    #[test]
+    fn thermal_limit_rejects_invades() {
+        let mut arb = ResourceArbiter::new(
+            Platform::for_node(TechnologyNode::Nm16)
+                .unwrap()
+                .with_t_dtm(Celsius::new(50.0)), // nearly no headroom
+        );
+        // Fill until the arbiter starts refusing.
+        let mut refused = false;
+        for _ in 0..13 {
+            match arb.invade(ParsecApp::Swaptions, 8) {
+                Ok(_) => {}
+                Err(InvadeError::ThermalLimit) => {
+                    refused = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(refused, "thermal limit never engaged");
+        // Retreating makes room again.
+        let claimed: Vec<ClaimId> = (0..arb.claim_count() as u64).map(ClaimId).collect();
+        if let Some(&first) = claimed.first() {
+            arb.retreat(first);
+            assert!(arb.invade(ParsecApp::Canneal, 4).is_ok());
+        }
+    }
+
+    #[test]
+    fn variation_aware_allocation_prefers_quiet_cores() {
+        use darksil_power::VariationModel;
+        let platform = Platform::with_core_count(TechnologyNode::Nm16, 36)
+            .unwrap()
+            .with_variation(VariationModel::typical(5));
+        let order = platform.variation().cores_by_leakage();
+        let mut arb = ResourceArbiter::new(platform);
+        let id = arb.invade(ParsecApp::X264, 4).unwrap();
+        let mut granted: Vec<usize> = arb
+            .claim_cores(id)
+            .unwrap()
+            .iter()
+            .map(|c| c.index())
+            .collect();
+        granted.sort_unstable();
+        let mut expected: Vec<usize> = order[..4].to_vec();
+        expected.sort_unstable();
+        assert_eq!(granted, expected);
+    }
+
+    #[test]
+    fn accounting() {
+        let mut arb = arbiter();
+        assert_eq!(arb.total_power().unwrap(), Watts::zero());
+        arb.invade(ParsecApp::Dedup, 6).unwrap();
+        assert!(arb.total_gips().value() > 0.0);
+        assert!(arb.total_power().unwrap().value() > 0.0);
+    }
+}

@@ -1,0 +1,408 @@
+//! DsRem — thermal-constrained resource management for mixed ILP/TLP
+//! workloads (Khdr et al., DAC 2015; §4 of the paper).
+
+use darksil_power::VfLevel;
+use darksil_units::{Celsius, Watts};
+use darksil_workload::{AppInstance, Workload};
+
+use crate::placement::place_patterned;
+use crate::{Mapping, MappingError, Platform};
+
+/// Safety margin below `T_DTM` at which DsRem stops exploiting thermal
+/// headroom (°C).
+const HEADROOM_MARGIN: f64 = 1.0;
+
+/// Maximum repair/exploit iterations of the thermal phase.
+const THERMAL_ITERATIONS: usize = 60;
+
+/// The DsRem policy: jointly determines the number of active cores
+/// (threads) per application and their V/f levels so that overall
+/// performance is maximised.
+///
+/// Following §4, the algorithm runs in two phases:
+///
+/// 1. **Budget phase** — all instances start at full threads and the
+///    maximum level; while the estimated power exceeds TDP, the single
+///    modification with the smallest GIPS loss per watt saved is
+///    applied (step one instance's level down, shed one of its
+///    threads, or drop the instance entirely).
+/// 2. **Thermal phase** — instances are placed with dark-silicon
+///    patterning; while the steady-state peak violates `T_DTM` the
+///    instance owning the hottest core steps down; while clear
+///    headroom remains the most profitable instance steps up (bounded
+///    by the budget).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DsRem {
+    tdp: Watts,
+    reference_temp: Celsius,
+}
+
+/// One instance's tunable state during optimisation.
+#[derive(Debug, Clone)]
+struct Config {
+    app: darksil_workload::ParsecApp,
+    threads: usize,
+    level_index: usize,
+}
+
+impl DsRem {
+    /// Creates the policy for a TDP budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is not strictly positive and finite.
+    #[must_use]
+    pub fn new(tdp: Watts) -> Self {
+        assert!(
+            tdp.value() > 0.0 && tdp.is_finite(),
+            "TDP must be positive and finite"
+        );
+        Self {
+            tdp,
+            reference_temp: Celsius::new(80.0),
+        }
+    }
+
+    /// The budget.
+    #[must_use]
+    pub fn tdp(&self) -> Watts {
+        self.tdp
+    }
+
+    fn config_power(&self, platform: &Platform, cfg: &Config) -> Watts {
+        let Some(level) = platform.dvfs().get(cfg.level_index) else {
+            return Watts::zero();
+        };
+        let model = platform.app_model(cfg.app);
+        let alpha = cfg.app.profile().activity(cfg.threads);
+        model.power(alpha, level.voltage, level.frequency, self.reference_temp)
+            * cfg.threads as f64
+    }
+
+    fn config_gips(platform: &Platform, cfg: &Config) -> f64 {
+        let Some(level) = platform.dvfs().get(cfg.level_index) else {
+            return 0.0;
+        };
+        cfg.app
+            .profile()
+            .instance_gips(platform.core_model(), cfg.threads, level.frequency)
+            .value()
+    }
+
+    /// Runs both phases and returns the final mapping.
+    ///
+    /// The workload's per-instance thread counts are treated as *upper
+    /// bounds*; DsRem may shed threads (that is the TLP half of the
+    /// joint optimisation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement and thermal-solve failures.
+    pub fn map(&self, platform: &Platform, workload: &Workload) -> Result<Mapping, MappingError> {
+        let top_level = platform.dvfs().len() - 1;
+        let mut configs: Vec<Config> = workload
+            .iter()
+            .map(|i| Config {
+                app: i.app(),
+                threads: i.threads(),
+                level_index: top_level,
+            })
+            .collect();
+
+        self.budget_phase(platform, &mut configs);
+        // Drop instances the budget phase shrank to nothing.
+        configs.retain(|c| c.threads > 0);
+
+        let mut mapping = self.place(platform, &configs)?;
+        self.thermal_phase(platform, &mut mapping)?;
+        Ok(mapping)
+    }
+
+    /// Greedy budget trimming: cheapest-GIPS-per-saved-watt moves first.
+    fn budget_phase(&self, platform: &Platform, configs: &mut [Config]) {
+        let capacity = platform.core_count();
+        loop {
+            let total_power: Watts = configs.iter().map(|c| self.config_power(platform, c)).sum();
+            let total_threads: usize = configs.iter().map(|c| c.threads).sum();
+            if total_power <= self.tdp && total_threads <= capacity {
+                return;
+            }
+
+            // Candidate moves: (config index, new threads, new level,
+            // gips lost per watt saved).
+            let mut best: Option<(usize, usize, usize, f64)> = None;
+            for (i, cfg) in configs.iter().enumerate() {
+                if cfg.threads == 0 {
+                    continue;
+                }
+                let p0 = self.config_power(platform, cfg).value();
+                let g0 = Self::config_gips(platform, cfg);
+                let mut consider = |threads: usize, level_index: usize| {
+                    let cand = Config {
+                        threads,
+                        level_index,
+                        ..cfg.clone()
+                    };
+                    let saved = p0
+                        - if threads == 0 {
+                            0.0
+                        } else {
+                            self.config_power(platform, &cand).value()
+                        };
+                    if saved <= 0.0 {
+                        return;
+                    }
+                    let lost = g0
+                        - if threads == 0 {
+                            0.0
+                        } else {
+                            Self::config_gips(platform, &cand)
+                        };
+                    let cost = lost.max(0.0) / saved;
+                    if best.is_none() || cost < best.expect("just checked").3 {
+                        best = Some((i, threads, level_index, cost));
+                    }
+                };
+                if cfg.level_index > 0 {
+                    consider(cfg.threads, cfg.level_index - 1);
+                }
+                if cfg.threads > 1 {
+                    consider(cfg.threads - 1, cfg.level_index);
+                } else {
+                    consider(0, cfg.level_index);
+                }
+            }
+
+            match best {
+                Some((i, threads, level_index, _)) => {
+                    configs[i].threads = threads;
+                    configs[i].level_index = level_index;
+                }
+                None => return, // nothing left to trim
+            }
+        }
+    }
+
+    fn place(&self, platform: &Platform, configs: &[Config]) -> Result<Mapping, MappingError> {
+        // Materialise the chosen thread counts into a workload and use
+        // dark-silicon patterning for placement; levels are then
+        // re-applied per instance.
+        let workload: Workload = configs
+            .iter()
+            .map(|c| AppInstance::new(c.app, c.threads))
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .collect();
+        let mut mapping = place_patterned(
+            platform.floorplan(),
+            &workload,
+            platform.max_level(),
+        )?;
+        for (entry, cfg) in mapping.entries_mut().iter_mut().zip(configs) {
+            entry.level = platform
+                .dvfs()
+                .get(cfg.level_index)
+                .expect("level index maintained in range");
+        }
+        Ok(mapping)
+    }
+
+    /// Thermal repair and headroom exploitation on the placed mapping.
+    fn thermal_phase(
+        &self,
+        platform: &Platform,
+        mapping: &mut Mapping,
+    ) -> Result<(), MappingError> {
+        let t_dtm = platform.t_dtm();
+        let mut frozen = vec![false; mapping.entries().len()];
+
+        for _ in 0..THERMAL_ITERATIONS {
+            let map = mapping.steady_temperatures(platform)?;
+            let peak = map.peak();
+
+            if peak > t_dtm {
+                // Violation: cool the instance owning the hottest core.
+                let hottest = map
+                    .die_temperatures()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite temps"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty die");
+                let Some(owner) = mapping
+                    .entries()
+                    .iter()
+                    .position(|e| e.cores.iter().any(|c| c.index() == hottest))
+                else {
+                    return Ok(()); // hottest core is dark; nothing to do
+                };
+                let entry_level = mapping.entries()[owner].level;
+                let idx = platform
+                    .dvfs()
+                    .floor_index(entry_level.frequency)
+                    .unwrap_or(0);
+                if idx == 0 {
+                    // Already at the bottom: unmap the offender.
+                    let entries: Vec<_> = mapping.entries().to_vec();
+                    let mut rebuilt = Mapping::new(mapping.core_count());
+                    for (i, e) in entries.into_iter().enumerate() {
+                        if i != owner {
+                            rebuilt.push(e)?;
+                        }
+                    }
+                    *mapping = rebuilt;
+                    frozen = vec![false; mapping.entries().len()];
+                } else {
+                    let new_level = platform
+                        .dvfs()
+                        .get(idx - 1)
+                        .expect("idx-1 in range");
+                    mapping.entries_mut()[owner].level = new_level;
+                    frozen[owner] = true; // don't bounce it back up
+                }
+                continue;
+            }
+
+            // Headroom: raise the lowest-level unfrozen instance if the
+            // budget allows it.
+            if t_dtm - peak > HEADROOM_MARGIN {
+                let total = mapping.total_power(platform, self.reference_temp);
+                let candidate = mapping
+                    .entries()
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, e)| {
+                        !frozen[*i]
+                            && e.level.frequency < platform.max_level().frequency
+                    })
+                    .min_by(|a, b| {
+                        a.1.level
+                            .frequency
+                            .partial_cmp(&b.1.level.frequency)
+                            .expect("finite frequencies")
+                    })
+                    .map(|(i, _)| i);
+                let Some(i) = candidate else { return Ok(()) };
+                let idx = platform
+                    .dvfs()
+                    .floor_index(mapping.entries()[i].level.frequency)
+                    .unwrap_or(0);
+                let up = platform.dvfs().step_up(idx);
+                let old = mapping.entries()[i].level;
+                let new_level = platform.dvfs().get(up).expect("step_up in range");
+                mapping.entries_mut()[i].level = new_level;
+                let delta = self.level_power_delta(platform, mapping, i, old, new_level);
+                if total + delta > self.tdp {
+                    mapping.entries_mut()[i].level = old;
+                    frozen[i] = true;
+                }
+                continue;
+            }
+
+            return Ok(()); // safely within margin, nothing to exploit
+        }
+        Ok(())
+    }
+
+    fn level_power_delta(
+        &self,
+        platform: &Platform,
+        mapping: &Mapping,
+        index: usize,
+        old: VfLevel,
+        new: VfLevel,
+    ) -> Watts {
+        let entry = &mapping.entries()[index];
+        let model = platform.app_model(entry.instance.app());
+        let alpha = entry.instance.activity();
+        let threads = entry.instance.threads() as f64;
+        let p_new = model.power(alpha, new.voltage, new.frequency, self.reference_temp);
+        let p_old = model.power(alpha, old.voltage, old.frequency, self.reference_temp);
+        (p_new - p_old) * threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TdpMap;
+    use darksil_power::TechnologyNode;
+    use darksil_workload::ParsecApp;
+
+    fn platform() -> Platform {
+        Platform::for_node(TechnologyNode::Nm16).unwrap()
+    }
+
+    #[test]
+    fn respects_budget_and_threshold() {
+        let p = platform();
+        let w = Workload::parsec_mix(14, 8).unwrap();
+        let policy = DsRem::new(Watts::new(185.0));
+        let m = policy.map(&p, &w).unwrap();
+        assert!(m.total_power(&p, Celsius::new(80.0)) <= Watts::new(185.0) + Watts::new(1e-6));
+        let peak = m.peak_temperature(&p).unwrap();
+        assert!(peak <= p.t_dtm() + 0.2, "peak {peak}");
+    }
+
+    #[test]
+    fn beats_tdpmap_on_mixes() {
+        // The Figure 9 claim: DsRem roughly doubles TDPmap's GIPS on
+        // application mixes.
+        let p = platform();
+        let w = Workload::parsec_mix(14, 8).unwrap();
+        let dsrem = DsRem::new(Watts::new(185.0)).map(&p, &w).unwrap();
+        let tdpmap = TdpMap::new(Watts::new(185.0)).map(&p, &w).unwrap();
+        let g_ds = dsrem.total_gips(&p).value();
+        let g_tdp = tdpmap.total_gips(&p).value();
+        assert!(
+            g_ds > g_tdp * 1.2,
+            "DsRem {g_ds} GIPS vs TDPmap {g_tdp} GIPS"
+        );
+    }
+
+    #[test]
+    fn maps_more_cores_than_tdpmap() {
+        // DsRem trades v/f for breadth: more active cores at lower
+        // levels.
+        let p = platform();
+        let w = Workload::parsec_mix(14, 8).unwrap();
+        let dsrem = DsRem::new(Watts::new(185.0)).map(&p, &w).unwrap();
+        let tdpmap = TdpMap::new(Watts::new(185.0)).map(&p, &w).unwrap();
+        assert!(dsrem.active_core_count() >= tdpmap.active_core_count());
+    }
+
+    #[test]
+    fn tiny_budget_still_produces_valid_mapping() {
+        let p = platform();
+        let w = Workload::parsec_mix(7, 8).unwrap();
+        let m = DsRem::new(Watts::new(20.0)).map(&p, &w).unwrap();
+        assert!(m.total_power(&p, Celsius::new(80.0)) <= Watts::new(20.0) + Watts::new(1e-6));
+    }
+
+    #[test]
+    fn huge_budget_runs_into_thermal_wall_not_power_wall() {
+        let p = platform();
+        let w = Workload::parsec_mix(12, 8).unwrap();
+        let m = DsRem::new(Watts::new(5_000.0)).map(&p, &w).unwrap();
+        let peak = m.peak_temperature(&p).unwrap();
+        assert!(peak <= p.t_dtm() + 0.2, "peak {peak}");
+        // It should still have mapped a sizeable chunk of the chip.
+        assert!(m.active_core_count() >= 48);
+    }
+
+    #[test]
+    fn single_app_workload() {
+        let p = platform();
+        let w = Workload::uniform(ParsecApp::Canneal, 10, 8).unwrap();
+        let m = DsRem::new(Watts::new(185.0)).map(&p, &w).unwrap();
+        assert!(!m.entries().is_empty());
+        for e in m.entries() {
+            assert_eq!(e.instance.app(), ParsecApp::Canneal);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "TDP must be positive")]
+    fn invalid_budget_panics() {
+        let _ = DsRem::new(Watts::new(-5.0));
+    }
+}

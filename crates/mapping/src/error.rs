@@ -1,0 +1,117 @@
+//! Error type for mapping and platform construction.
+
+use std::error::Error;
+use std::fmt;
+
+use darksil_floorplan::FloorplanError;
+use darksil_power::PowerError;
+use darksil_thermal::ThermalError;
+use darksil_workload::WorkloadError;
+
+/// Errors from platform construction, placement and mapping policies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MappingError {
+    /// The workload needs more cores than the chip provides.
+    InsufficientCores {
+        /// Cores requested by the workload.
+        requested: usize,
+        /// Cores available on the chip.
+        available: usize,
+    },
+    /// A policy parameter was invalid (e.g. non-positive TDP).
+    InvalidBudget {
+        /// The offending value in watts.
+        watts: f64,
+    },
+    /// The leakage/temperature fixed point failed to converge.
+    ThermalCoupling {
+        /// Iterations performed.
+        iterations: usize,
+    },
+    /// Propagated floorplan error.
+    Floorplan(FloorplanError),
+    /// Propagated power-model error.
+    Power(PowerError),
+    /// Propagated thermal-model error.
+    Thermal(ThermalError),
+    /// Propagated workload error.
+    Workload(WorkloadError),
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InsufficientCores {
+                requested,
+                available,
+            } => write!(f, "workload needs {requested} cores, chip has {available}"),
+            Self::InvalidBudget { watts } => write!(f, "invalid power budget {watts} W"),
+            Self::ThermalCoupling { iterations } => write!(
+                f,
+                "leakage/temperature fixed point did not converge in {iterations} iterations"
+            ),
+            Self::Floorplan(e) => write!(f, "floorplan error: {e}"),
+            Self::Power(e) => write!(f, "power-model error: {e}"),
+            Self::Thermal(e) => write!(f, "thermal error: {e}"),
+            Self::Workload(e) => write!(f, "workload error: {e}"),
+        }
+    }
+}
+
+impl Error for MappingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Floorplan(e) => Some(e),
+            Self::Power(e) => Some(e),
+            Self::Thermal(e) => Some(e),
+            Self::Workload(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FloorplanError> for MappingError {
+    fn from(e: FloorplanError) -> Self {
+        Self::Floorplan(e)
+    }
+}
+
+impl From<PowerError> for MappingError {
+    fn from(e: PowerError) -> Self {
+        Self::Power(e)
+    }
+}
+
+impl From<ThermalError> for MappingError {
+    fn from(e: ThermalError) -> Self {
+        Self::Thermal(e)
+    }
+}
+
+impl From<WorkloadError> for MappingError {
+    fn from(e: WorkloadError) -> Self {
+        Self::Workload(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = MappingError::InsufficientCores {
+            requested: 120,
+            available: 100,
+        };
+        assert!(e.to_string().contains("120"));
+        assert!(e.source().is_none());
+
+        let e: MappingError = FloorplanError::EmptyGrid.into();
+        assert!(e.source().is_some());
+        let e: MappingError = PowerError::FrequencyOutOfRange { ghz: -1.0 }.into();
+        assert!(e.to_string().contains("power-model"));
+        let e: MappingError = WorkloadError::InvalidThreadCount { threads: 0 }.into();
+        assert!(e.to_string().contains("workload"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Spatio-temporal mapping and dark-silicon management (§4).
+//!
+//! This crate turns the substrates (floorplan, power, thermal, workload)
+//! into a usable platform abstraction and implements the paper's
+//! mapping machinery:
+//!
+//! * [`Platform`] — one manycore chip at a technology node: floorplan,
+//!   thermal model, per-application power models, DVFS table and the
+//!   DTM threshold,
+//! * [`Mapping`] — a concrete assignment of application instances to
+//!   cores at chosen V/f levels, with power/performance/temperature
+//!   evaluation (including the leakage↔temperature fixed point),
+//! * [`place_contiguous`] / [`place_patterned`] /
+//!   [`place_thermal_aware`] — naive clustering, blind spreading, and
+//!   DaSim-style thermally optimised *dark silicon patterning*
+//!   (Figure 8),
+//! * [`TdpMap`] — the TDP-based baseline policy: 8 threads per
+//!   instance at the maximum V/f level until the budget is exhausted,
+//! * [`DsRem`] — the thermal-constrained resource manager of Khdr et
+//!   al. (DAC'15): jointly picks active core counts and V/f levels under
+//!   TDP, then repairs violations / exploits thermal headroom (Figure 9),
+//! * [`ResourceArbiter`] — an invasive-computing-style invade/retreat
+//!   interface (the paper's concluding outlook): applications claim
+//!   cores at runtime and the arbiter grants thermally safe V/f levels,
+//! * [`simulate_rotating`] / [`simulate_static`] — wear-leveling
+//!   rotation of the dark set (the Hayat reliability use of dark
+//!   silicon).
+//!
+//! # Examples
+//!
+//! ```
+//! use darksil_mapping::{Platform, TdpMap};
+//! use darksil_power::TechnologyNode;
+//! use darksil_units::Watts;
+//! use darksil_workload::{ParsecApp, Workload};
+//!
+//! let platform = Platform::for_node(TechnologyNode::Nm16)?;
+//! let workload = Workload::uniform(ParsecApp::X264, 12, 8)?;
+//! let mapping = TdpMap::new(Watts::new(185.0)).map(&platform, &workload)?;
+//! assert!(mapping.active_core_count() <= 100);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod arbiter;
+mod dsrem;
+mod error;
+mod mapping;
+mod placement;
+mod platform;
+mod rotation;
+mod tdpmap;
+
+pub use arbiter::{ClaimId, InvadeError, ResourceArbiter};
+pub use dsrem::DsRem;
+pub use error::MappingError;
+pub use mapping::{MappedInstance, Mapping};
+pub use placement::{optimize_pattern, pick_low_leakage, place_contiguous, place_patterned, place_thermal_aware, spread_cores};
+pub use platform::Platform;
+pub use rotation::{simulate_rotating, simulate_static};
+pub use tdpmap::TdpMap;

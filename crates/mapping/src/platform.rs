@@ -1,0 +1,258 @@
+//! The platform abstraction: one manycore chip at a technology node.
+
+use darksil_archsim::CoreModel;
+use darksil_floorplan::Floorplan;
+use darksil_power::{CorePowerModel, DvfsTable, TechnologyNode, VariationMap, VariationModel, VfLevel, VfRelation};
+use darksil_thermal::{PackageConfig, ThermalModel};
+use darksil_units::Celsius;
+use darksil_workload::ParsecApp;
+
+use crate::MappingError;
+
+/// The DTM trigger temperature used throughout the paper (§3.1).
+pub const T_DTM: Celsius = Celsius::new(80.0);
+
+/// A manycore chip at a technology node: everything a mapping policy
+/// needs to evaluate power, performance and temperature.
+///
+/// # Examples
+///
+/// ```
+/// use darksil_mapping::Platform;
+/// use darksil_power::TechnologyNode;
+///
+/// let platform = Platform::for_node(TechnologyNode::Nm11)?;
+/// assert_eq!(platform.core_count(), 198);
+/// assert_eq!(platform.max_level().frequency.as_ghz(), 4.0);
+/// # Ok::<(), darksil_mapping::MappingError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Platform {
+    node: TechnologyNode,
+    plan: Floorplan,
+    thermal: ThermalModel,
+    base_model: CorePowerModel,
+    dvfs: DvfsTable,
+    core_model: CoreModel,
+    t_dtm: Celsius,
+    variation: VariationMap,
+}
+
+impl Platform {
+    /// Builds the paper's evaluation platform for `node`: 100 cores at
+    /// 16 nm (and 22 nm), 198 at 11 nm, 361 at 8 nm, in the §2.1
+    /// package, with the x264-calibrated power model scaled to the node
+    /// and a 200 MHz DVFS ladder up to the node's nominal maximum.
+    ///
+    /// # Errors
+    ///
+    /// Propagates floorplan/thermal/DVFS construction failures.
+    pub fn for_node(node: TechnologyNode) -> Result<Self, MappingError> {
+        Self::with_core_count(node, node.evaluated_core_count())
+    }
+
+    /// Like [`Platform::for_node`] but with an explicit core count
+    /// (e.g. small chips for fast tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates floorplan/thermal/DVFS construction failures.
+    pub fn with_core_count(node: TechnologyNode, cores: usize) -> Result<Self, MappingError> {
+        Self::with_package(node, cores, PackageConfig::paper_dac15())
+    }
+
+    /// Like [`Platform::with_core_count`] but inside a custom package —
+    /// for cooling-solution sensitivity studies (laptop vs desktop vs
+    /// server sinks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates floorplan/thermal/DVFS construction failures.
+    pub fn with_package(
+        node: TechnologyNode,
+        cores: usize,
+        package: PackageConfig,
+    ) -> Result<Self, MappingError> {
+        let plan = Floorplan::squarish(cores, node.core_area())?;
+        let thermal = ThermalModel::new(&plan, package)?;
+        let base_model = CorePowerModel::x264_22nm().scaled_to(node);
+        let vf = VfRelation::for_node(node);
+        let dvfs = DvfsTable::standard(&vf, node.nominal_max_frequency())?;
+        let variation = VariationMap::uniform(plan.core_count());
+        Ok(Self {
+            node,
+            plan,
+            thermal,
+            base_model,
+            dvfs,
+            core_model: CoreModel::alpha_21264(),
+            t_dtm: T_DTM,
+            variation,
+        })
+    }
+
+    /// Returns a copy with a different DTM threshold.
+    #[must_use]
+    pub fn with_t_dtm(mut self, t_dtm: Celsius) -> Self {
+        self.t_dtm = t_dtm;
+        self
+    }
+
+    /// Returns a copy whose cores carry process variation sampled from
+    /// `model` — the variability-aware management setting of DaSim and
+    /// Hayat (§1 of the paper's related work).
+    #[must_use]
+    pub fn with_variation(mut self, model: VariationModel) -> Self {
+        self.variation = model.generate(self.plan.core_count());
+        self
+    }
+
+    /// The per-core variation map (uniform for an ideal chip).
+    #[must_use]
+    pub fn variation(&self) -> &VariationMap {
+        &self.variation
+    }
+
+    /// Returns a copy whose DVFS ladder extends past the nominal
+    /// maximum up to `boost_max` — the boosting configuration of §6.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DVFS construction failures.
+    pub fn with_boost_levels(
+        mut self,
+        boost_max: darksil_units::Hertz,
+    ) -> Result<Self, MappingError> {
+        let vf = VfRelation::for_node(self.node);
+        self.dvfs = DvfsTable::standard(&vf, boost_max)?;
+        Ok(self)
+    }
+
+    /// The technology node.
+    #[must_use]
+    pub fn node(&self) -> TechnologyNode {
+        self.node
+    }
+
+    /// The chip floorplan.
+    #[must_use]
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.plan
+    }
+
+    /// The thermal model.
+    #[must_use]
+    pub fn thermal(&self) -> &ThermalModel {
+        &self.thermal
+    }
+
+    /// The DVFS level ladder.
+    #[must_use]
+    pub fn dvfs(&self) -> &DvfsTable {
+        &self.dvfs
+    }
+
+    /// The analytic core performance model.
+    #[must_use]
+    pub fn core_model(&self) -> &CoreModel {
+        &self.core_model
+    }
+
+    /// The DTM trigger temperature.
+    #[must_use]
+    pub fn t_dtm(&self) -> Celsius {
+        self.t_dtm
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn core_count(&self) -> usize {
+        self.plan.core_count()
+    }
+
+    /// The highest (nominal) V/f level.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for platforms built by the constructors (the ladder
+    /// is non-empty by construction).
+    #[must_use]
+    pub fn max_level(&self) -> VfLevel {
+        self.dvfs.max_level().expect("platform ladder is non-empty")
+    }
+
+    /// The per-core power model for an application at this node
+    /// (x264 baseline with the application's Ceff class applied).
+    #[must_use]
+    pub fn app_model(&self, app: ParsecApp) -> CorePowerModel {
+        self.base_model.with_ceff_scaled(app.profile().ceff_factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darksil_units::{Hertz, Watts};
+
+    #[test]
+    fn paper_platforms() {
+        let p16 = Platform::for_node(TechnologyNode::Nm16).unwrap();
+        assert_eq!(p16.core_count(), 100);
+        assert_eq!(p16.max_level().frequency, Hertz::from_ghz(3.6));
+        assert_eq!(p16.t_dtm(), Celsius::new(80.0));
+
+        let p11 = Platform::for_node(TechnologyNode::Nm11).unwrap();
+        assert_eq!(p11.core_count(), 198);
+        assert_eq!(p11.max_level().frequency, Hertz::from_ghz(4.0));
+
+        let p8 = Platform::for_node(TechnologyNode::Nm8).unwrap();
+        assert_eq!(p8.core_count(), 361);
+        assert_eq!(p8.max_level().frequency, Hertz::from_ghz(4.4));
+    }
+
+    #[test]
+    fn app_models_order_by_power_class() {
+        let p = Platform::for_node(TechnologyNode::Nm16).unwrap();
+        let f = p.max_level().frequency;
+        let t = Celsius::new(60.0);
+        let p_swaptions = p
+            .app_model(ParsecApp::Swaptions)
+            .power_at_frequency(1.0, f, t)
+            .unwrap();
+        let p_canneal = p
+            .app_model(ParsecApp::Canneal)
+            .power_at_frequency(1.0, f, t)
+            .unwrap();
+        assert!(p_swaptions > p_canneal);
+        // Calibration: a fully active swaptions core at 16 nm / 3.6 GHz
+        // sits in the 3–5 W band.
+        assert!(p_swaptions > Watts::new(3.0) && p_swaptions < Watts::new(5.0));
+    }
+
+    #[test]
+    fn boost_levels_extend_ladder() {
+        let p = Platform::for_node(TechnologyNode::Nm16).unwrap();
+        let base_len = p.dvfs().len();
+        let boosted = p.with_boost_levels(Hertz::from_ghz(4.4)).unwrap();
+        assert!(boosted.dvfs().len() > base_len);
+        assert_eq!(
+            boosted.dvfs().max_level().unwrap().frequency,
+            Hertz::from_ghz(4.4)
+        );
+    }
+
+    #[test]
+    fn custom_threshold() {
+        let p = Platform::for_node(TechnologyNode::Nm16)
+            .unwrap()
+            .with_t_dtm(Celsius::new(70.0));
+        assert_eq!(p.t_dtm(), Celsius::new(70.0));
+    }
+
+    #[test]
+    fn small_test_platform() {
+        let p = Platform::with_core_count(TechnologyNode::Nm16, 16).unwrap();
+        assert_eq!(p.core_count(), 16);
+        assert_eq!(p.floorplan().rows(), 4);
+    }
+}

@@ -1,0 +1,202 @@
+//! Wear-leveling rotation: dark silicon as a reliability resource.
+//!
+//! Hayat (Gnad et al., DAC'15 — cited in §1) "harnesses dark silicon
+//! … for aging deceleration and balancing": since only part of the chip
+//! can be lit anyway, *which* cores stay dark can rotate over time so
+//! no single core accumulates all the thermally accelerated wear.
+//!
+//! [`simulate_static`] runs a workload epoch after epoch on a fixed
+//! placement; [`simulate_rotating`] re-places it each epoch on the
+//! least-worn cores. Both deliver identical performance (same
+//! instances, same V/f); the rotation's payoff is a lower maximum wear
+//! — the chip's lifetime is set by its most-aged core.
+
+use darksil_floorplan::CoreId;
+use darksil_power::{AgingLedger, AgingModel, VfLevel};
+use darksil_units::{Celsius, Seconds};
+use darksil_workload::Workload;
+
+use crate::placement::place_patterned;
+use crate::{MappedInstance, Mapping, MappingError, Platform};
+
+/// Records one epoch of wear from a mapping's steady-state temperatures.
+fn record_epoch(
+    platform: &Platform,
+    mapping: &Mapping,
+    model: &AgingModel,
+    ledger: &mut AgingLedger,
+    epoch: Seconds,
+) -> Result<(), MappingError> {
+    let temps: Vec<Celsius> = if mapping.entries().is_empty() {
+        vec![platform.thermal().ambient(); platform.core_count()]
+    } else {
+        mapping
+            .steady_temperatures(platform)?
+            .die_temperatures()
+            .collect()
+    };
+    ledger.record(model, &temps, epoch);
+    Ok(())
+}
+
+/// Runs `epochs` epochs of `workload` on one fixed (patterned)
+/// placement and returns the accumulated wear.
+///
+/// # Errors
+///
+/// Propagates placement and thermal failures.
+pub fn simulate_static(
+    platform: &Platform,
+    workload: &Workload,
+    level: VfLevel,
+    model: &AgingModel,
+    epoch: Seconds,
+    epochs: usize,
+) -> Result<AgingLedger, MappingError> {
+    let mapping = place_patterned(platform.floorplan(), workload, level)?;
+    let mut ledger = AgingLedger::new(platform.core_count());
+    for _ in 0..epochs {
+        record_epoch(platform, &mapping, model, &mut ledger, epoch)?;
+    }
+    Ok(ledger)
+}
+
+/// Runs `epochs` epochs of `workload`, re-placing it at every epoch
+/// onto the currently least-worn cores, and returns the accumulated
+/// wear.
+///
+/// # Errors
+///
+/// Returns [`MappingError::InsufficientCores`] if the workload does not
+/// fit and propagates thermal failures.
+pub fn simulate_rotating(
+    platform: &Platform,
+    workload: &Workload,
+    level: VfLevel,
+    model: &AgingModel,
+    epoch: Seconds,
+    epochs: usize,
+) -> Result<AgingLedger, MappingError> {
+    let n = platform.core_count();
+    let needed = workload.total_threads();
+    if needed > n {
+        return Err(MappingError::InsufficientCores {
+            requested: needed,
+            available: n,
+        });
+    }
+    let mut ledger = AgingLedger::new(n);
+    for _ in 0..epochs {
+        let fresh: Vec<CoreId> = ledger
+            .cores_by_wear()
+            .into_iter()
+            .take(needed)
+            .map(CoreId)
+            .collect();
+        let mut mapping = Mapping::new(n);
+        let mut it = fresh.into_iter();
+        for instance in workload {
+            let cores: Vec<CoreId> = it.by_ref().take(instance.threads()).collect();
+            mapping.push(MappedInstance {
+                instance: *instance,
+                cores,
+                level,
+            })?;
+        }
+        record_epoch(platform, &mapping, model, &mut ledger, epoch)?;
+    }
+    Ok(ledger)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darksil_power::TechnologyNode;
+    use darksil_workload::ParsecApp;
+
+    fn setup() -> (Platform, Workload, VfLevel) {
+        let platform = Platform::with_core_count(TechnologyNode::Nm16, 36).unwrap();
+        // 16 of 36 cores active: plenty of dark cores to rotate over.
+        let workload = Workload::uniform(ParsecApp::Swaptions, 4, 4).unwrap();
+        let level = platform.max_level();
+        (platform, workload, level)
+    }
+
+    #[test]
+    fn rotation_levels_the_wear() {
+        let (platform, workload, level) = setup();
+        let model = AgingModel::nbti_like();
+        let epoch = Seconds::new(3600.0);
+        let epochs = 9;
+        let fixed =
+            simulate_static(&platform, &workload, level, &model, epoch, epochs).unwrap();
+        let rotated =
+            simulate_rotating(&platform, &workload, level, &model, epoch, epochs).unwrap();
+
+        // The chip-lifetime metric: maximum wear drops under rotation.
+        assert!(
+            rotated.max_wear() < fixed.max_wear() * 0.95,
+            "rotating {} vs static {}",
+            rotated.max_wear(),
+            fixed.max_wear()
+        );
+        // And the wear distribution is visibly flatter.
+        assert!(rotated.imbalance() < fixed.imbalance());
+    }
+
+    #[test]
+    fn static_wear_concentrates_on_active_cores() {
+        let (platform, workload, level) = setup();
+        let model = AgingModel::nbti_like();
+        let ledger =
+            simulate_static(&platform, &workload, level, &model, Seconds::new(3600.0), 4)
+                .unwrap();
+        let mapping = place_patterned(platform.floorplan(), &workload, level).unwrap();
+        // Every active core out-ages every permanently dark core.
+        let min_active = mapping
+            .entries()
+            .iter()
+            .flat_map(|e| e.cores.iter())
+            .map(|c| ledger.wear(c.index()))
+            .fold(f64::INFINITY, f64::min);
+        let max_dark = platform
+            .floorplan()
+            .cores()
+            .filter(|c| !mapping.is_occupied(*c))
+            .map(|c| ledger.wear(c.index()))
+            .fold(0.0, f64::max);
+        assert!(min_active > max_dark, "{min_active} !> {max_dark}");
+    }
+
+    #[test]
+    fn equal_epochs_equal_total_stress() {
+        // Rotation redistributes wear; the chip-wide mean is close to
+        // the static run's mean (temperatures differ slightly because
+        // the active set moves, so allow a few percent).
+        let (platform, workload, level) = setup();
+        let model = AgingModel::nbti_like();
+        let epoch = Seconds::new(1800.0);
+        let fixed = simulate_static(&platform, &workload, level, &model, epoch, 6).unwrap();
+        let rotated =
+            simulate_rotating(&platform, &workload, level, &model, epoch, 6).unwrap();
+        let ratio = rotated.mean_wear() / fixed.mean_wear();
+        assert!((0.9..=1.1).contains(&ratio), "mean-wear ratio {ratio}");
+    }
+
+    #[test]
+    fn oversized_workload_rejected() {
+        let platform = Platform::with_core_count(TechnologyNode::Nm16, 16).unwrap();
+        let workload = Workload::uniform(ParsecApp::X264, 3, 8).unwrap(); // 24 > 16
+        assert!(matches!(
+            simulate_rotating(
+                &platform,
+                &workload,
+                platform.max_level(),
+                &AgingModel::nbti_like(),
+                Seconds::new(60.0),
+                2
+            ),
+            Err(MappingError::InsufficientCores { .. })
+        ));
+    }
+}

@@ -1,0 +1,179 @@
+//! The TDP-based baseline mapping policy.
+
+use darksil_floorplan::CoreId;
+use darksil_units::{Celsius, Watts};
+use darksil_workload::Workload;
+
+use crate::{MappedInstance, Mapping, MappingError, Platform};
+
+/// `TDPmap` (§4): maps the workload's instances in order, each with its
+/// full thread count at the **maximum** V/f level, onto contiguous
+/// cores, until admitting the next instance would exceed the TDP. No
+/// temperature awareness — exactly the baseline Figure 9 compares
+/// DsRem against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TdpMap {
+    tdp: Watts,
+    reference_temp: Celsius,
+}
+
+impl TdpMap {
+    /// Creates the policy for a TDP budget. Power is estimated at the
+    /// DTM threshold temperature (80 °C) — the conservative convention
+    /// for budget admission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is not strictly positive and finite.
+    #[must_use]
+    pub fn new(tdp: Watts) -> Self {
+        assert!(
+            tdp.value() > 0.0 && tdp.is_finite(),
+            "TDP must be positive and finite"
+        );
+        Self {
+            tdp,
+            reference_temp: Celsius::new(80.0),
+        }
+    }
+
+    /// Returns a copy estimating admission power at a different
+    /// temperature.
+    #[must_use]
+    pub fn with_reference_temp(mut self, t: Celsius) -> Self {
+        self.reference_temp = t;
+        self
+    }
+
+    /// The budget.
+    #[must_use]
+    pub fn tdp(&self) -> Watts {
+        self.tdp
+    }
+
+    /// Maps as many instances as the budget and the chip admit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping-construction failures (the policy itself
+    /// simply stops at the first instance that does not fit).
+    pub fn map(&self, platform: &Platform, workload: &Workload) -> Result<Mapping, MappingError> {
+        let n = platform.core_count();
+        let level = platform.max_level();
+        let mut mapping = Mapping::new(n);
+        let mut next_core = 0;
+        let mut total = Watts::zero();
+
+        for instance in workload {
+            let threads = instance.threads();
+            if next_core + threads > n {
+                break;
+            }
+            let model = platform.app_model(instance.app());
+            let per_core = model.power(
+                instance.activity(),
+                level.voltage,
+                level.frequency,
+                self.reference_temp,
+            );
+            let inst_power = per_core * threads as f64;
+            if total + inst_power > self.tdp {
+                break;
+            }
+            let cores: Vec<CoreId> = (next_core..next_core + threads).map(CoreId).collect();
+            mapping.push(MappedInstance {
+                instance: *instance,
+                cores,
+                level,
+            })?;
+            next_core += threads;
+            total += inst_power;
+        }
+        Ok(mapping)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darksil_power::TechnologyNode;
+    use darksil_workload::ParsecApp;
+
+    fn platform() -> Platform {
+        Platform::for_node(TechnologyNode::Nm16).unwrap()
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let p = platform();
+        let w = Workload::uniform(ParsecApp::Swaptions, 13, 8).unwrap();
+        let policy = TdpMap::new(Watts::new(185.0));
+        let m = policy.map(&p, &w).unwrap();
+        let total = m.total_power(&p, Celsius::new(80.0));
+        assert!(total <= Watts::new(185.0), "mapped {total}");
+        // And the next instance would not have fit.
+        let per_inst = total / m.entries().len() as f64;
+        assert!(total + per_inst > Watts::new(185.0));
+    }
+
+    #[test]
+    fn figure5_dark_silicon_at_185w() {
+        // §3.1: at 185 W and maximum v/f, the most power-hungry
+        // application leaves up to ≈46 % of the chip dark.
+        let p = platform();
+        let w = Workload::uniform(ParsecApp::Swaptions, 13, 8).unwrap();
+        let m = TdpMap::new(Watts::new(185.0)).map(&p, &w).unwrap();
+        let dark = m.dark_fraction();
+        assert!((0.40..=0.56).contains(&dark), "dark fraction {dark}");
+    }
+
+    #[test]
+    fn figure5_dark_silicon_at_220w() {
+        // §3.1: at the optimistic 220 W TDP, ≈37 % dark.
+        let p = platform();
+        let w = Workload::uniform(ParsecApp::Swaptions, 13, 8).unwrap();
+        let m = TdpMap::new(Watts::new(220.0)).map(&p, &w).unwrap();
+        let dark = m.dark_fraction();
+        assert!((0.30..=0.46).contains(&dark), "dark fraction {dark}");
+        // Bigger budget ⇒ fewer dark cores than at 185 W.
+        let m185 = TdpMap::new(Watts::new(185.0)).map(&p, &w).unwrap();
+        assert!(m.active_core_count() > m185.active_core_count());
+    }
+
+    #[test]
+    fn light_apps_leave_less_dark_silicon() {
+        let p = platform();
+        let hungry = TdpMap::new(Watts::new(185.0))
+            .map(&p, &Workload::uniform(ParsecApp::Swaptions, 13, 8).unwrap())
+            .unwrap();
+        let light = TdpMap::new(Watts::new(185.0))
+            .map(&p, &Workload::uniform(ParsecApp::Canneal, 13, 8).unwrap())
+            .unwrap();
+        assert!(light.dark_fraction() < hungry.dark_fraction());
+    }
+
+    #[test]
+    fn chip_capacity_caps_mapping() {
+        // A huge budget cannot map more threads than cores.
+        let p = platform();
+        let w = Workload::uniform(ParsecApp::Canneal, 20, 8).unwrap(); // 160 threads
+        let m = TdpMap::new(Watts::new(10_000.0)).map(&p, &w).unwrap();
+        assert_eq!(m.active_core_count(), 96); // 12 full instances
+    }
+
+    #[test]
+    fn all_mapped_instances_run_at_max_level() {
+        let p = platform();
+        let w = Workload::uniform(ParsecApp::X264, 5, 8).unwrap();
+        let m = TdpMap::new(Watts::new(185.0)).map(&p, &w).unwrap();
+        for e in m.entries() {
+            assert_eq!(e.level, p.max_level());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "TDP must be positive")]
+    fn zero_budget_panics() {
+        let _ = TdpMap::new(Watts::zero());
+    }
+}

@@ -1,0 +1,286 @@
+//! Preconditioned conjugate-gradient solver for SPD systems.
+
+use crate::{axpy, dot, norm2, CsrMatrix, NumericsError};
+
+/// Options controlling a conjugate-gradient solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgOptions {
+    /// Relative residual tolerance: converged when
+    /// `‖b − A·x‖ ≤ tol · ‖b‖`.
+    pub tolerance: f64,
+    /// Hard iteration cap (defaults to `10 · n` at solve time when zero).
+    pub max_iterations: usize,
+    /// Enable Jacobi (diagonal) preconditioning. Thermal conductance
+    /// matrices have widely varying diagonals (die vs heat-sink nodes),
+    /// where this helps substantially.
+    pub jacobi_preconditioner: bool,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        Self {
+            tolerance: 1.0e-10,
+            max_iterations: 0,
+            jacobi_preconditioner: true,
+        }
+    }
+}
+
+/// Diagnostic information from a successful CG solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgOutcome {
+    /// Iterations consumed.
+    pub iterations: usize,
+    /// Final absolute residual norm.
+    pub residual: f64,
+}
+
+/// Solves `A·x = b` for a symmetric positive-definite `A`.
+///
+/// Returns the solution vector. Use [`conjugate_gradient_with_outcome`]
+/// to also retrieve iteration diagnostics.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::DimensionMismatch`] for incompatible shapes
+/// and [`NumericsError::ConvergenceFailure`] if the tolerance is not met
+/// within the iteration cap.
+pub fn conjugate_gradient(
+    a: &CsrMatrix,
+    b: &[f64],
+    options: &CgOptions,
+) -> Result<Vec<f64>, NumericsError> {
+    conjugate_gradient_with_outcome(a, b, options).map(|(x, _)| x)
+}
+
+/// Like [`conjugate_gradient`] but also returns a [`CgOutcome`].
+///
+/// # Errors
+///
+/// Same as [`conjugate_gradient`].
+pub fn conjugate_gradient_with_outcome(
+    a: &CsrMatrix,
+    b: &[f64],
+    options: &CgOptions,
+) -> Result<(Vec<f64>, CgOutcome), NumericsError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(NumericsError::DimensionMismatch {
+            context: format!("CG requires a square matrix, got {}×{}", a.rows(), a.cols()),
+        });
+    }
+    if b.len() != n {
+        return Err(NumericsError::DimensionMismatch {
+            context: format!("rhs has {} rows, matrix has {n}", b.len()),
+        });
+    }
+
+    let max_iter = if options.max_iterations == 0 {
+        10 * n.max(10)
+    } else {
+        options.max_iterations
+    };
+
+    let b_norm = norm2(b);
+    if b_norm == 0.0 {
+        return Ok((
+            vec![0.0; n],
+            CgOutcome {
+                iterations: 0,
+                residual: 0.0,
+            },
+        ));
+    }
+    let target = options.tolerance * b_norm;
+
+    // Jacobi preconditioner M⁻¹ = diag(A)⁻¹.
+    let inv_diag: Option<Vec<f64>> = if options.jacobi_preconditioner {
+        Some(
+            a.diagonal()
+                .iter()
+                .map(|&d| if d.abs() > 0.0 { 1.0 / d } else { 1.0 })
+                .collect(),
+        )
+    } else {
+        None
+    };
+    let apply_precond = |r: &[f64], z: &mut Vec<f64>| {
+        z.clear();
+        match &inv_diag {
+            Some(m) => z.extend(r.iter().zip(m).map(|(ri, mi)| ri * mi)),
+            None => z.extend_from_slice(r),
+        }
+    };
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut z = Vec::with_capacity(n);
+    apply_precond(&r, &mut z);
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+
+    for iter in 1..=max_iter {
+        a.mul_vec_into(&p, &mut ap);
+        let p_ap = dot(&p, &ap);
+        if p_ap <= 0.0 {
+            // Not SPD (or breakdown): report as convergence failure with
+            // the current residual.
+            return Err(NumericsError::ConvergenceFailure {
+                iterations: iter,
+                residual: norm2(&r),
+            });
+        }
+        let alpha = rz / p_ap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+
+        let res = norm2(&r);
+        if res <= target {
+            return Ok((
+                x,
+                CgOutcome {
+                    iterations: iter,
+                    residual: res,
+                },
+            ));
+        }
+
+        apply_precond(&r, &mut z);
+        let rz_next = dot(&r, &z);
+        let beta = rz_next / rz;
+        rz = rz_next;
+        for (pi, zi) in p.iter_mut().zip(&z) {
+            *pi = zi + beta * *pi;
+        }
+    }
+
+    Err(NumericsError::ConvergenceFailure {
+        iterations: max_iter,
+        residual: norm2(&r),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+
+    /// 1-D Laplacian with a Dirichlet-like anchor — SPD.
+    fn laplacian(n: usize) -> CsrMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n - 1 {
+            t.stamp_conductance(i, i + 1, 1.0);
+        }
+        t.stamp_to_reference(0, 1.0);
+        t.to_csr()
+    }
+
+    #[test]
+    fn solves_small_spd_system() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.add(0, 0, 4.0);
+        t.add(0, 1, 1.0);
+        t.add(1, 0, 1.0);
+        t.add(1, 1, 3.0);
+        let a = t.to_csr();
+        let x = conjugate_gradient(&a, &[1.0, 2.0], &CgOptions::default()).unwrap();
+        let r = a.mul_vec(&x);
+        assert!((r[0] - 1.0).abs() < 1e-8);
+        assert!((r[1] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn matches_dense_lu_on_laplacian() {
+        let n = 40;
+        let a = laplacian(n);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 13) % 5) as f64 + 0.5).collect();
+        let x_cg = conjugate_gradient(&a, &b, &CgOptions::default()).unwrap();
+        let x_lu = a.to_dense().solve(&b).unwrap();
+        for (c, l) in x_cg.iter().zip(&x_lu) {
+            assert!((c - l).abs() < 1e-6, "cg {c} vs lu {l}");
+        }
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let a = laplacian(5);
+        let (x, outcome) =
+            conjugate_gradient_with_outcome(&a, &[0.0; 5], &CgOptions::default()).unwrap();
+        assert_eq!(x, vec![0.0; 5]);
+        assert_eq!(outcome.iterations, 0);
+    }
+
+    #[test]
+    fn preconditioner_reduces_iterations_on_ill_scaled_system() {
+        // Diagonal entries differing by orders of magnitude, like die vs
+        // heat-sink nodes.
+        let n = 50;
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n - 1 {
+            t.stamp_conductance(i, i + 1, 1.0);
+        }
+        for i in 0..n {
+            let scale = if i % 2 == 0 { 1.0e3 } else { 1.0e-2 };
+            t.stamp_to_reference(i, scale);
+        }
+        let a = t.to_csr();
+        let b = vec![1.0; n];
+
+        let with = conjugate_gradient_with_outcome(
+            &a,
+            &b,
+            &CgOptions {
+                jacobi_preconditioner: true,
+                ..CgOptions::default()
+            },
+        )
+        .unwrap()
+        .1;
+        let without = conjugate_gradient_with_outcome(
+            &a,
+            &b,
+            &CgOptions {
+                jacobi_preconditioner: false,
+                ..CgOptions::default()
+            },
+        )
+        .unwrap()
+        .1;
+        assert!(
+            with.iterations <= without.iterations,
+            "jacobi {} vs plain {}",
+            with.iterations,
+            without.iterations
+        );
+    }
+
+    #[test]
+    fn iteration_cap_is_honoured() {
+        let a = laplacian(100);
+        let b = vec![1.0; 100];
+        let err = conjugate_gradient(
+            &a,
+            &b,
+            &CgOptions {
+                tolerance: 1.0e-14,
+                max_iterations: 2,
+                jacobi_preconditioner: false,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            NumericsError::ConvergenceFailure { iterations: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = laplacian(4);
+        assert!(matches!(
+            conjugate_gradient(&a, &[1.0; 3], &CgOptions::default()),
+            Err(NumericsError::DimensionMismatch { .. })
+        ));
+    }
+}

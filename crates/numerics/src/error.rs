@@ -1,0 +1,76 @@
+//! Error type shared by the numerical kernels.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the solvers in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumericsError {
+    /// A matrix was singular (or numerically singular) during
+    /// factorisation; carries the pivot column at which elimination broke
+    /// down.
+    SingularMatrix {
+        /// Column index of the vanishing pivot.
+        pivot: usize,
+    },
+    /// An iterative solver failed to reach the requested tolerance.
+    ConvergenceFailure {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Residual norm at the last iteration.
+        residual: f64,
+    },
+    /// Operand dimensions were incompatible.
+    DimensionMismatch {
+        /// Human-readable description of the mismatch.
+        context: String,
+    },
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::SingularMatrix { pivot } => {
+                write!(f, "matrix is singular at pivot column {pivot}")
+            }
+            Self::ConvergenceFailure {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iterative solver did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            Self::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+        }
+    }
+}
+
+impl Error for NumericsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + Error>() {}
+        assert_bounds::<NumericsError>();
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = NumericsError::SingularMatrix { pivot: 3 };
+        assert_eq!(e.to_string(), "matrix is singular at pivot column 3");
+        let e = NumericsError::DimensionMismatch {
+            context: "rhs has 4 rows, matrix has 5".into(),
+        };
+        assert!(e.to_string().contains("rhs has 4 rows"));
+        let e = NumericsError::ConvergenceFailure {
+            iterations: 100,
+            residual: 1.0e-3,
+        };
+        assert!(e.to_string().contains("100 iterations"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Numerical kernels for the `darksil` workspace.
+//!
+//! The thermal substrate (`darksil-thermal`) needs to solve moderately
+//! large sparse symmetric-positive-definite systems (steady state) and to
+//! integrate stiff linear ODEs (transient turbo-boost simulations), and
+//! the power crate fits Eq. (1) of the paper to sampled data. Rather than
+//! pull in a linear-algebra dependency, this crate provides exactly the
+//! kernels needed:
+//!
+//! * [`DenseMatrix`] with LU factorisation ([`LuFactors`]) and partial
+//!   pivoting — used for small systems and for cross-validating the
+//!   iterative solver,
+//! * [`CsrMatrix`] compressed sparse row storage built via
+//!   [`TripletMatrix`],
+//! * [`conjugate_gradient`] with Jacobi preconditioning for SPD systems,
+//! * [`ode`] backward-Euler / RK4 steppers for `C·dx/dt = b − G·x`,
+//! * [`fit_least_squares`] linear least squares via normal equations.
+//!
+//! # Examples
+//!
+//! ```
+//! use darksil_numerics::{TripletMatrix, conjugate_gradient, CgOptions};
+//!
+//! // A tiny SPD system: [[4,1],[1,3]] x = [1,2]
+//! let mut t = TripletMatrix::new(2, 2);
+//! t.add(0, 0, 4.0);
+//! t.add(0, 1, 1.0);
+//! t.add(1, 0, 1.0);
+//! t.add(1, 1, 3.0);
+//! let a = t.to_csr();
+//! let x = conjugate_gradient(&a, &[1.0, 2.0], &CgOptions::default())
+//!     .expect("converges");
+//! assert!((a.mul_vec(&x)[0] - 1.0).abs() < 1e-8);
+//! ```
+
+mod cg;
+mod dense;
+mod error;
+mod lstsq;
+pub mod ode;
+mod sparse;
+
+pub use cg::{conjugate_gradient, conjugate_gradient_with_outcome, CgOptions, CgOutcome};
+pub use dense::{DenseMatrix, LuFactors};
+pub use error::NumericsError;
+pub use lstsq::{fit_least_squares, polynomial_fit};
+pub use sparse::{CsrMatrix, TripletMatrix};
+
+/// Euclidean norm of a vector.
+#[must_use]
+pub fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y ← y + alpha·x` (BLAS `axpy`).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_and_dot() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, 2.0], &mut y);
+        assert_eq!(y, vec![3.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_rejects_mismatched_lengths() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Linear least squares via normal equations.
+//!
+//! Used by `darksil-power` to fit the coefficients of Eq. (1) to
+//! McPAT-style samples (the Figure 3 reproduction): the model is linear
+//! in `(Ceff, Ileak-scale, Pind)` once voltage/frequency pairs are fixed,
+//! so ordinary least squares applies directly.
+
+use crate::{DenseMatrix, NumericsError};
+
+/// Solves `min ‖A·x − y‖₂` through the normal equations `AᵀA·x = Aᵀy`.
+///
+/// Suitable for the small, well-conditioned design matrices in this
+/// workspace (a handful of columns). For rank-deficient systems an error
+/// is returned rather than a minimum-norm solution.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::DimensionMismatch`] when `y.len()` differs
+/// from the row count and [`NumericsError::SingularMatrix`] when `AᵀA`
+/// is singular (collinear columns).
+pub fn fit_least_squares(a: &DenseMatrix, y: &[f64]) -> Result<Vec<f64>, NumericsError> {
+    if y.len() != a.rows() {
+        return Err(NumericsError::DimensionMismatch {
+            context: format!("observations {} vs design rows {}", y.len(), a.rows()),
+        });
+    }
+    // Column equilibration: physical design matrices (e.g. Eq. (1) with
+    // frequencies in hertz next to a constant column) span many orders
+    // of magnitude, which squares into the normal equations. Scale each
+    // column to unit norm, solve, then unscale the coefficients.
+    let (rows, cols) = (a.rows(), a.cols());
+    let mut scales = vec![1.0; cols];
+    for (j, scale) in scales.iter_mut().enumerate() {
+        let norm = (0..rows).map(|i| a[(i, j)] * a[(i, j)]).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            *scale = norm;
+        }
+    }
+    let mut scaled = a.clone();
+    for i in 0..rows {
+        for j in 0..cols {
+            scaled[(i, j)] /= scales[j];
+        }
+    }
+    let at = scaled.transpose();
+    let ata = at.mul_mat(&scaled);
+    let aty = at.mul_vec(y);
+    let mut x = ata.solve(&aty)?;
+    for (xi, s) in x.iter_mut().zip(&scales) {
+        *xi /= s;
+    }
+    Ok(x)
+}
+
+/// Fits a polynomial of the given `degree` to `(x, y)` samples, returning
+/// coefficients in ascending-power order (`c0 + c1·x + …`).
+///
+/// # Errors
+///
+/// Returns [`NumericsError::DimensionMismatch`] when `x` and `y` differ
+/// in length or there are fewer samples than coefficients, and
+/// [`NumericsError::SingularMatrix`] for degenerate sample sets.
+pub fn polynomial_fit(x: &[f64], y: &[f64], degree: usize) -> Result<Vec<f64>, NumericsError> {
+    if x.len() != y.len() {
+        return Err(NumericsError::DimensionMismatch {
+            context: format!("x has {} samples, y has {}", x.len(), y.len()),
+        });
+    }
+    let ncoef = degree + 1;
+    if x.len() < ncoef {
+        return Err(NumericsError::DimensionMismatch {
+            context: format!("{} samples cannot determine {ncoef} coefficients", x.len()),
+        });
+    }
+    let mut design = DenseMatrix::zeros(x.len(), ncoef);
+    for (i, &xi) in x.iter().enumerate() {
+        let mut p = 1.0;
+        for j in 0..ncoef {
+            design[(i, j)] = p;
+            p *= xi;
+        }
+    }
+    fit_least_squares(&design, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y: Vec<f64> = x.iter().map(|v| 2.0 + 0.5 * v).collect();
+        let c = polynomial_fit(&x, &y, 1).unwrap();
+        assert!((c[0] - 2.0).abs() < 1e-10);
+        assert!((c[1] - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cubic_through_noise_free_samples() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64 * 0.4).collect();
+        let y: Vec<f64> = x.iter().map(|v| 1.0 - v + 0.25 * v.powi(3)).collect();
+        let c = polynomial_fit(&x, &y, 3).unwrap();
+        assert!((c[0] - 1.0).abs() < 1e-8);
+        assert!((c[1] + 1.0).abs() < 1e-8);
+        assert!(c[2].abs() < 1e-8);
+        assert!((c[3] - 0.25).abs() < 1e-8);
+    }
+
+    #[test]
+    fn overdetermined_noisy_fit_minimises_residual() {
+        // y = 3x with symmetric noise: the LS slope stays near 3.
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [3.1, 5.9, 9.1, 11.9];
+        let c = polynomial_fit(&x, &y, 1).unwrap();
+        assert!((c[1] - 3.0).abs() < 0.1, "slope {}", c[1]);
+    }
+
+    #[test]
+    fn general_design_matrix() {
+        // Fit z = 2·a + 3·b from samples of (a, b).
+        let design = DenseMatrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[1.0, 1.0],
+            &[2.0, 1.0],
+        ]);
+        let y = [2.0, 3.0, 5.0, 7.0];
+        let c = fit_least_squares(&design, &y).unwrap();
+        assert!((c[0] - 2.0).abs() < 1e-10);
+        assert!((c[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn collinear_columns_are_singular() {
+        let design = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        assert!(matches!(
+            fit_least_squares(&design, &[1.0, 2.0, 3.0]),
+            Err(NumericsError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn insufficient_samples_rejected() {
+        assert!(matches!(
+            polynomial_fit(&[1.0], &[1.0], 2),
+            Err(NumericsError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            polynomial_fit(&[1.0, 2.0], &[1.0], 1),
+            Err(NumericsError::DimensionMismatch { .. })
+        ));
+    }
+}

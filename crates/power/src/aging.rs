@@ -1,0 +1,267 @@
+//! Temperature-driven transistor aging.
+//!
+//! The dark-silicon reliability work the paper cites (Hayat, DAC'15:
+//! "harnessing dark silicon … for aging deceleration and balancing")
+//! treats spare cores as a wear-leveling resource: cores age faster the
+//! hotter and the more stressed they run, so rotating which cores stay
+//! dark balances the wear-out across the chip.
+//!
+//! [`AgingModel`] implements the standard thermally activated form: the
+//! degradation rate accelerates with temperature following an Arrhenius
+//! law, `rate(T) = exp(−Eₐ/(k·T))`, normalised so that a core running
+//! continuously at the reference temperature ages at rate 1. The
+//! absolute time-to-failure calibration is irrelevant for *balancing*
+//! decisions — only the ratios between cores matter — so aging is
+//! accounted in dimensionless "reference-hours".
+
+use darksil_units::{Celsius, Seconds};
+use serde::{Deserialize, Serialize};
+
+use crate::PowerError;
+
+/// Boltzmann constant in eV/K.
+const BOLTZMANN_EV: f64 = 8.617_333_262e-5;
+
+/// Thermally activated aging-rate model.
+///
+/// # Examples
+///
+/// ```
+/// use darksil_power::AgingModel;
+/// use darksil_units::Celsius;
+///
+/// let aging = AgingModel::nbti_like();
+/// // A core at the 80 °C threshold ages at the reference rate; a dark
+/// // core near ambient ages far slower.
+/// assert!((aging.rate(Celsius::new(80.0)) - 1.0).abs() < 1e-12);
+/// assert!(aging.rate(Celsius::new(45.0)) < 0.3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgingModel {
+    /// Activation energy in eV (NBTI/electromigration-class values are
+    /// 0.1–0.9 eV).
+    activation_energy_ev: f64,
+    /// Reference temperature at which the rate is 1.
+    t_ref: Celsius,
+}
+
+impl AgingModel {
+    /// A typical NBTI-like calibration: Eₐ = 0.5 eV, referenced to the
+    /// 80 °C DTM threshold.
+    #[must_use]
+    pub fn nbti_like() -> Self {
+        Self {
+            activation_energy_ev: 0.5,
+            t_ref: Celsius::new(80.0),
+        }
+    }
+
+    /// Builds a custom model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for a non-positive
+    /// activation energy or a reference temperature at/below absolute
+    /// zero.
+    pub fn new(activation_energy_ev: f64, t_ref: Celsius) -> Result<Self, PowerError> {
+        if activation_energy_ev <= 0.0 || !activation_energy_ev.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "activation_energy",
+                value: activation_energy_ev,
+            });
+        }
+        if t_ref.to_kelvin().value() <= 0.0 || !t_ref.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "t_ref",
+                value: t_ref.value(),
+            });
+        }
+        Ok(Self {
+            activation_energy_ev,
+            t_ref,
+        })
+    }
+
+    /// Relative aging rate at temperature `t`: 1 at the reference,
+    /// `> 1` above it, `< 1` below. An idle (power-gated) core should
+    /// be accounted at its actual — much cooler — temperature, which is
+    /// where the wear-leveling benefit of dark silicon comes from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is at or below absolute zero.
+    #[must_use]
+    pub fn rate(&self, t: Celsius) -> f64 {
+        let tk = t.to_kelvin().value();
+        assert!(tk > 0.0, "temperature below absolute zero");
+        let tref_k = self.t_ref.to_kelvin().value();
+        let ea = self.activation_energy_ev;
+        (ea / BOLTZMANN_EV * (1.0 / tref_k - 1.0 / tk)).exp()
+    }
+
+    /// Aging accumulated over `duration` at constant temperature `t`,
+    /// in reference-seconds.
+    #[must_use]
+    pub fn accumulate(&self, t: Celsius, duration: Seconds) -> f64 {
+        self.rate(t) * duration.value()
+    }
+}
+
+impl Default for AgingModel {
+    fn default() -> Self {
+        Self::nbti_like()
+    }
+}
+
+/// Per-core accumulated aging, in reference-seconds.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AgingLedger {
+    wear: Vec<f64>,
+}
+
+impl AgingLedger {
+    /// A fresh chip of `cores` cores.
+    #[must_use]
+    pub fn new(cores: usize) -> Self {
+        Self {
+            wear: vec![0.0; cores],
+        }
+    }
+
+    /// Number of cores tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.wear.len()
+    }
+
+    /// Whether the ledger tracks no cores.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.wear.is_empty()
+    }
+
+    /// Accumulated wear of core `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn wear(&self, i: usize) -> f64 {
+        self.wear[i]
+    }
+
+    /// Records `duration` at per-core temperatures `temps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temps` does not have one entry per core.
+    pub fn record(&mut self, model: &AgingModel, temps: &[Celsius], duration: Seconds) {
+        assert_eq!(temps.len(), self.wear.len(), "one temperature per core");
+        for (w, &t) in self.wear.iter_mut().zip(temps) {
+            *w += model.accumulate(t, duration);
+        }
+    }
+
+    /// The most-worn core's accumulated aging — the chip's lifetime is
+    /// set by its weakest (most aged) core.
+    #[must_use]
+    pub fn max_wear(&self) -> f64 {
+        self.wear.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean accumulated aging.
+    #[must_use]
+    pub fn mean_wear(&self) -> f64 {
+        if self.wear.is_empty() {
+            return 0.0;
+        }
+        self.wear.iter().sum::<f64>() / self.wear.len() as f64
+    }
+
+    /// Imbalance ratio `max/mean` — 1.0 is perfectly levelled wear.
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean_wear();
+        if mean == 0.0 {
+            return 1.0;
+        }
+        self.max_wear() / mean
+    }
+
+    /// Core indices sorted by ascending wear — the rotation order a
+    /// wear-leveling manager lights cores in.
+    #[must_use]
+    pub fn cores_by_wear(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.wear.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.wear[a]
+                .partial_cmp(&self.wear[b])
+                .expect("finite wear")
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_is_one_at_reference() {
+        let m = AgingModel::nbti_like();
+        assert!((m.rate(Celsius::new(80.0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_accelerates_with_temperature() {
+        let m = AgingModel::nbti_like();
+        let cold = m.rate(Celsius::new(45.0));
+        let ref_rate = m.rate(Celsius::new(80.0));
+        let hot = m.rate(Celsius::new(95.0));
+        assert!(cold < ref_rate && ref_rate < hot);
+        // ~0.5 eV: roughly 2× per ~12–15 °C around 80 °C.
+        let doubling = m.rate(Celsius::new(94.0)) / ref_rate;
+        assert!(doubling > 1.6 && doubling < 2.6, "got {doubling}");
+        // An idle core at ambient ages far slower than a hot one.
+        assert!(hot / cold > 5.0);
+    }
+
+    #[test]
+    fn accumulation_is_linear_in_time() {
+        let m = AgingModel::nbti_like();
+        let t = Celsius::new(70.0);
+        let one = m.accumulate(t, Seconds::new(100.0));
+        let two = m.accumulate(t, Seconds::new(200.0));
+        assert!((two - 2.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ledger_tracks_per_core_wear() {
+        let m = AgingModel::nbti_like();
+        let mut ledger = AgingLedger::new(3);
+        assert!(!ledger.is_empty());
+        let temps = [Celsius::new(80.0), Celsius::new(60.0), Celsius::new(45.0)];
+        ledger.record(&m, &temps, Seconds::new(1000.0));
+        assert!(ledger.wear(0) > ledger.wear(1));
+        assert!(ledger.wear(1) > ledger.wear(2));
+        assert_eq!(ledger.max_wear(), ledger.wear(0));
+        assert!(ledger.imbalance() > 1.0);
+        assert_eq!(ledger.cores_by_wear(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn fresh_ledger_is_balanced() {
+        let ledger = AgingLedger::new(8);
+        assert_eq!(ledger.max_wear(), 0.0);
+        assert_eq!(ledger.imbalance(), 1.0);
+        assert_eq!(ledger.len(), 8);
+    }
+
+    #[test]
+    fn invalid_models_rejected() {
+        assert!(AgingModel::new(0.0, Celsius::new(80.0)).is_err());
+        assert!(AgingModel::new(0.5, Celsius::new(-300.0)).is_err());
+        assert!(AgingModel::new(f64::NAN, Celsius::new(80.0)).is_err());
+    }
+}

@@ -1,0 +1,271 @@
+//! Discrete DVFS levels.
+//!
+//! The boosting controller of §6 moves the frequency in 200 MHz steps;
+//! the DVFS experiments of §3 sweep levels like 2.8/3.0/…/3.6 GHz.
+//! [`DvfsTable`] materialises a ladder of [`VfLevel`]s from a
+//! [`VfRelation`], each pairing a frequency with the minimum stable
+//! voltage per Eq. (2).
+
+use darksil_units::{Hertz, Volts};
+use serde::{Deserialize, Serialize};
+
+use crate::{PowerError, VfRelation};
+
+/// Default step granularity, matching Intel Turbo Boost's 133/100 MHz
+/// bins rounded to the paper's 200 MHz.
+pub const DEFAULT_STEP_MHZ: f64 = 200.0;
+
+/// One voltage/frequency operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VfLevel {
+    /// Clock frequency.
+    pub frequency: Hertz,
+    /// Minimum stable supply voltage for that frequency (Eq. (2)).
+    pub voltage: Volts,
+}
+
+impl std::fmt::Display for VfLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} @ {}", self.frequency, self.voltage)
+    }
+}
+
+/// An ascending ladder of discrete v/f levels.
+///
+/// # Examples
+///
+/// ```
+/// use darksil_power::{DvfsTable, TechnologyNode, VfRelation};
+/// use darksil_units::Hertz;
+///
+/// let vf = VfRelation::for_node(TechnologyNode::Nm16);
+/// let table = DvfsTable::standard(&vf, Hertz::from_ghz(3.6))?;
+/// // 200 MHz steps: 0.2 … 3.6 GHz.
+/// assert_eq!(table.len(), 18);
+/// let level = table.floor(Hertz::from_ghz(3.05)).expect("on ladder");
+/// assert_eq!(level.frequency, Hertz::from_ghz(3.0));
+/// # Ok::<(), darksil_power::PowerError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DvfsTable {
+    levels: Vec<VfLevel>,
+}
+
+impl DvfsTable {
+    /// Builds a ladder from `f_min` to `f_max` inclusive in `step`
+    /// increments, with voltages derived from `vf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::FrequencyOutOfRange`] if the range is
+    /// empty, non-finite, or the step is non-positive.
+    pub fn from_range(
+        vf: &VfRelation,
+        f_min: Hertz,
+        f_max: Hertz,
+        step: Hertz,
+    ) -> Result<Self, PowerError> {
+        if step.value() <= 0.0 || !step.value().is_finite() {
+            return Err(PowerError::FrequencyOutOfRange { ghz: step.as_ghz() });
+        }
+        if f_min > f_max || f_min.value() < 0.0 || !f_max.value().is_finite() {
+            return Err(PowerError::FrequencyOutOfRange { ghz: f_min.as_ghz() });
+        }
+        let mut levels = Vec::new();
+        let mut f = f_min;
+        // Walk in integer multiples to dodge accumulation error.
+        let mut i = 0_usize;
+        while f <= f_max + step * 1e-9 {
+            levels.push(VfLevel {
+                frequency: f,
+                voltage: vf.voltage_for(f)?,
+            });
+            i += 1;
+            f = f_min + step * i as f64;
+        }
+        Ok(Self { levels })
+    }
+
+    /// Standard ladder for a node: 200 MHz steps from 200 MHz up to
+    /// `f_max`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DvfsTable::from_range`].
+    pub fn standard(vf: &VfRelation, f_max: Hertz) -> Result<Self, PowerError> {
+        Self::from_range(
+            vf,
+            Hertz::from_mhz(DEFAULT_STEP_MHZ),
+            f_max,
+            Hertz::from_mhz(DEFAULT_STEP_MHZ),
+        )
+    }
+
+    /// Number of levels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// The levels in ascending frequency order.
+    #[must_use]
+    pub fn levels(&self) -> &[VfLevel] {
+        &self.levels
+    }
+
+    /// The level at `index`.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<VfLevel> {
+        self.levels.get(index).copied()
+    }
+
+    /// The lowest level.
+    #[must_use]
+    pub fn min_level(&self) -> Option<VfLevel> {
+        self.levels.first().copied()
+    }
+
+    /// The highest level.
+    #[must_use]
+    pub fn max_level(&self) -> Option<VfLevel> {
+        self.levels.last().copied()
+    }
+
+    /// Index of the highest level whose frequency does not exceed `f`
+    /// (floor semantics), or `None` if `f` is below the lowest level.
+    #[must_use]
+    pub fn floor_index(&self, f: Hertz) -> Option<usize> {
+        let mut best = None;
+        for (i, level) in self.levels.iter().enumerate() {
+            if level.frequency <= f + Hertz::new(1.0) {
+                best = Some(i);
+            } else {
+                break;
+            }
+        }
+        best
+    }
+
+    /// The highest level whose frequency does not exceed `f`.
+    #[must_use]
+    pub fn floor(&self, f: Hertz) -> Option<VfLevel> {
+        self.floor_index(f).and_then(|i| self.get(i))
+    }
+
+    /// One step up from `index`, clamped to the top of the ladder.
+    #[must_use]
+    pub fn step_up(&self, index: usize) -> usize {
+        (index + 1).min(self.levels.len().saturating_sub(1))
+    }
+
+    /// One step down from `index`, clamped to the bottom.
+    #[must_use]
+    pub fn step_down(&self, index: usize) -> usize {
+        index.saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TechnologyNode;
+
+    fn table_16nm() -> DvfsTable {
+        let vf = VfRelation::for_node(TechnologyNode::Nm16);
+        DvfsTable::standard(&vf, Hertz::from_ghz(3.6)).unwrap()
+    }
+
+    #[test]
+    fn standard_ladder_has_expected_levels() {
+        let t = table_16nm();
+        // 0.2, 0.4, …, 3.6 GHz = 18 levels.
+        assert_eq!(t.len(), 18);
+        assert_eq!(t.min_level().unwrap().frequency, Hertz::from_ghz(0.2));
+        assert_eq!(t.max_level().unwrap().frequency, Hertz::from_ghz(3.6));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn voltages_ascend_with_frequency() {
+        let t = table_16nm();
+        let mut last = Volts::zero();
+        for level in t.levels() {
+            assert!(level.voltage > last, "{level}");
+            last = level.voltage;
+        }
+    }
+
+    #[test]
+    fn floor_semantics() {
+        let t = table_16nm();
+        let idx = t.floor_index(Hertz::from_ghz(3.05)).unwrap();
+        assert_eq!(t.get(idx).unwrap().frequency, Hertz::from_ghz(3.0));
+        // Exact hit.
+        let exact = t.floor(Hertz::from_ghz(2.8)).unwrap();
+        assert!((exact.frequency.as_ghz() - 2.8).abs() < 1e-9);
+        // Below the ladder.
+        assert_eq!(t.floor_index(Hertz::from_mhz(50.0)), None);
+        // Above the ladder clamps to the top.
+        assert_eq!(
+            t.floor(Hertz::from_ghz(9.9)).unwrap().frequency,
+            Hertz::from_ghz(3.6)
+        );
+    }
+
+    #[test]
+    fn stepping_clamps_at_both_ends() {
+        let t = table_16nm();
+        assert_eq!(t.step_down(0), 0);
+        assert_eq!(t.step_up(t.len() - 1), t.len() - 1);
+        assert_eq!(t.step_up(3), 4);
+        assert_eq!(t.step_down(3), 2);
+    }
+
+    #[test]
+    fn paper_fig5_sweep_levels_exist() {
+        // Figure 5 sweeps 2.8–3.6 GHz at 16 nm.
+        let t = table_16nm();
+        for ghz in [2.8, 3.0, 3.2, 3.4, 3.6] {
+            assert!(
+                t.levels()
+                    .iter()
+                    .any(|l| (l.frequency.as_ghz() - ghz).abs() < 1e-9),
+                "{ghz} GHz missing"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_ranges_rejected() {
+        let vf = VfRelation::paper_22nm();
+        assert!(DvfsTable::from_range(
+            &vf,
+            Hertz::from_ghz(2.0),
+            Hertz::from_ghz(1.0),
+            Hertz::from_mhz(200.0)
+        )
+        .is_err());
+        assert!(DvfsTable::from_range(
+            &vf,
+            Hertz::from_ghz(1.0),
+            Hertz::from_ghz(2.0),
+            Hertz::zero()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn eight_nm_ladder_reaches_4_4_ghz() {
+        let vf = VfRelation::for_node(TechnologyNode::Nm8);
+        let t = DvfsTable::standard(&vf, TechnologyNode::Nm8.nominal_max_frequency()).unwrap();
+        assert_eq!(t.max_level().unwrap().frequency, Hertz::from_ghz(4.4));
+        // More levels available at 8 nm than at 16 nm (§3.2).
+        assert!(t.len() > table_16nm().len());
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for the power crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by power-model construction and queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PowerError {
+    /// A requested frequency is outside the achievable range of the V/f
+    /// relation (negative, non-finite, or absurdly high).
+    FrequencyOutOfRange {
+        /// Requested frequency in GHz.
+        ghz: f64,
+    },
+    /// A voltage below the threshold voltage was supplied where a
+    /// super-threshold voltage is required.
+    VoltageBelowThreshold {
+        /// Supplied voltage in volts.
+        volts: f64,
+        /// The threshold voltage in volts.
+        vth: f64,
+    },
+    /// A model parameter was invalid (non-finite or out of physical
+    /// range).
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// The sample set handed to the model fitter was unusable.
+    FitFailed {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::FrequencyOutOfRange { ghz } => {
+                write!(f, "frequency {ghz} GHz is outside the achievable range")
+            }
+            Self::VoltageBelowThreshold { volts, vth } => {
+                write!(f, "voltage {volts} V is below the threshold voltage {vth} V")
+            }
+            Self::InvalidParameter { name, value } => {
+                write!(f, "invalid model parameter {name} = {value}")
+            }
+            Self::FitFailed { reason } => write!(f, "power-model fit failed: {reason}"),
+        }
+    }
+}
+
+impl Error for PowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages() {
+        assert!(PowerError::FrequencyOutOfRange { ghz: -1.0 }
+            .to_string()
+            .contains("-1 GHz"));
+        assert!(PowerError::VoltageBelowThreshold {
+            volts: 0.1,
+            vth: 0.178
+        }
+        .to_string()
+        .contains("0.178"));
+        assert!(PowerError::InvalidParameter {
+            name: "ceff",
+            value: f64::NAN
+        }
+        .to_string()
+        .contains("ceff"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_bounds<T: Error + Send + Sync>() {}
+        assert_bounds::<PowerError>();
+    }
+}

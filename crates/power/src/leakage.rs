@@ -1,0 +1,217 @@
+//! Voltage- and temperature-dependent leakage current.
+
+use darksil_units::{Amperes, Celsius, Volts, Watts};
+use serde::{Deserialize, Serialize};
+
+use crate::PowerError;
+
+/// Leakage-current model `Ileak(Vdd, T)` used in Eq. (1).
+///
+/// The functional form is exponential in the supply voltage and affine
+/// in temperature:
+///
+/// `Ileak = I₀ · e^(kv·V) · (1 + kt·(T − Tref))`
+///
+/// This captures the two effects the paper relies on: leakage rises
+/// steeply with `Vdd` (sub-threshold + gate leakage), and rises with
+/// temperature — which is why the leakage/temperature loop in
+/// `darksil-core` iterates power and thermal models to a fixed point.
+/// # Examples
+///
+/// ```
+/// use darksil_power::LeakageModel;
+/// use darksil_units::{Celsius, Volts};
+///
+/// let leak = LeakageModel::alpha_core_22nm();
+/// let cold = leak.power(Volts::new(0.9), Celsius::new(45.0));
+/// let hot = leak.power(Volts::new(0.9), Celsius::new(80.0));
+/// assert!(hot > cold); // leakage rises with temperature
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeakageModel {
+    /// Base current `I₀` in amperes.
+    i0_amps: f64,
+    /// Voltage sensitivity `kv` in 1/V.
+    kv_per_volt: f64,
+    /// Temperature sensitivity `kt` in 1/°C.
+    kt_per_celsius: f64,
+    /// Reference temperature for the affine term.
+    t_ref_celsius: f64,
+}
+
+impl LeakageModel {
+    /// Default calibration for a 22 nm Alpha-21264-class core: ≈0.3 W of
+    /// leakage at 0.86 V / 45 °C rising to ≈1.9 W at 1.41 V / 80 °C,
+    /// consistent with the leakage fraction visible in Figure 3.
+    #[must_use]
+    pub fn alpha_core_22nm() -> Self {
+        Self {
+            i0_amps: 0.052,
+            kv_per_volt: 2.0,
+            kt_per_celsius: 0.01,
+            t_ref_celsius: 25.0,
+        }
+    }
+
+    /// Builds a custom leakage model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for non-finite or
+    /// negative parameters.
+    pub fn new(
+        i0: Amperes,
+        kv_per_volt: f64,
+        kt_per_celsius: f64,
+        t_ref: Celsius,
+    ) -> Result<Self, PowerError> {
+        for (name, value) in [
+            ("i0", i0.value()),
+            ("kv", kv_per_volt),
+            ("kt", kt_per_celsius),
+        ] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(PowerError::InvalidParameter { name, value });
+            }
+        }
+        if !t_ref.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "t_ref",
+                value: t_ref.value(),
+            });
+        }
+        Ok(Self {
+            i0_amps: i0.value(),
+            kv_per_volt,
+            kt_per_celsius,
+            t_ref_celsius: t_ref.value(),
+        })
+    }
+
+    /// The base current `I₀`.
+    #[must_use]
+    pub fn i0(&self) -> Amperes {
+        Amperes::new(self.i0_amps)
+    }
+
+    /// Returns a copy with `I₀` scaled by `factor` — used when
+    /// projecting the 22 nm calibration to smaller nodes (leakage
+    /// current tracks the capacitance/width scaling).
+    #[must_use]
+    pub fn with_i0_scaled(mut self, factor: f64) -> Self {
+        self.i0_amps *= factor;
+        self
+    }
+
+    /// Leakage current at the given supply voltage and temperature.
+    ///
+    /// Negative temperatures below the reference simply shrink the
+    /// affine factor; it is clamped at zero so pathological inputs can
+    /// never produce negative leakage.
+    #[must_use]
+    pub fn current(&self, vdd: Volts, t: Celsius) -> Amperes {
+        let thermal = (1.0 + self.kt_per_celsius * (t.value() - self.t_ref_celsius)).max(0.0);
+        Amperes::new(self.i0_amps * (self.kv_per_volt * vdd.value()).exp() * thermal)
+    }
+
+    /// Leakage *power* `Vdd · Ileak(Vdd, T)` — the second term of
+    /// Eq. (1).
+    #[must_use]
+    pub fn power(&self, vdd: Volts, t: Celsius) -> Watts {
+        vdd * self.current(vdd, t)
+    }
+
+    /// The normalised shape factor `e^(kv·V)·(1 + kt·(T − Tref))` with
+    /// `I₀` divided out. Used by the least-squares fitter, which treats
+    /// `I₀` as the unknown linear coefficient.
+    #[must_use]
+    pub fn shape(&self, vdd: Volts, t: Celsius) -> f64 {
+        let thermal = (1.0 + self.kt_per_celsius * (t.value() - self.t_ref_celsius)).max(0.0);
+        (self.kv_per_volt * vdd.value()).exp() * thermal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_calibration_targets() {
+        let m = LeakageModel::alpha_core_22nm();
+        let p_low = m.power(Volts::new(0.86), Celsius::new(45.0));
+        assert!(p_low.value() > 0.15 && p_low.value() < 0.5, "low {p_low}");
+        let p_high = m.power(Volts::new(1.41), Celsius::new(80.0));
+        assert!(p_high.value() > 1.2 && p_high.value() < 2.6, "high {p_high}");
+    }
+
+    #[test]
+    fn leakage_rises_with_voltage() {
+        let m = LeakageModel::alpha_core_22nm();
+        let t = Celsius::new(60.0);
+        let mut last = Amperes::zero();
+        for v in [0.4, 0.6, 0.8, 1.0, 1.2] {
+            let i = m.current(Volts::new(v), t);
+            assert!(i > last);
+            last = i;
+        }
+    }
+
+    #[test]
+    fn leakage_rises_with_temperature() {
+        let m = LeakageModel::alpha_core_22nm();
+        let v = Volts::new(0.9);
+        let cold = m.current(v, Celsius::new(45.0));
+        let hot = m.current(v, Celsius::new(80.0));
+        assert!(hot > cold);
+        // 35 °C at kt = 0.01 ⇒ exactly 1 + 0.35/1.20 relative increase.
+        let expected = (1.0 + 0.01 * 55.0) / (1.0 + 0.01 * 20.0);
+        assert!((hot / cold - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_negative() {
+        let m = LeakageModel::alpha_core_22nm();
+        let i = m.current(Volts::new(0.5), Celsius::new(-300.0));
+        assert!(i.value() >= 0.0);
+    }
+
+    #[test]
+    fn shape_times_i0_is_current() {
+        let m = LeakageModel::alpha_core_22nm();
+        let v = Volts::new(1.1);
+        let t = Celsius::new(70.0);
+        let via_shape = m.i0().value() * m.shape(v, t);
+        assert!((via_shape - m.current(v, t).value()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn i0_scaling() {
+        let m = LeakageModel::alpha_core_22nm().with_i0_scaled(0.64);
+        assert!((m.i0().value() - 0.052 * 0.64).abs() < 1e-15);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(LeakageModel::new(
+            Amperes::new(-1.0),
+            2.0,
+            0.01,
+            Celsius::new(25.0)
+        )
+        .is_err());
+        assert!(LeakageModel::new(
+            Amperes::new(0.05),
+            f64::NAN,
+            0.01,
+            Celsius::new(25.0)
+        )
+        .is_err());
+        assert!(LeakageModel::new(
+            Amperes::new(0.05),
+            2.0,
+            0.01,
+            Celsius::new(f64::INFINITY)
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! Core power modelling for dark-silicon analysis.
+//!
+//! Implements the paper's power machinery (§2.1–2.2):
+//!
+//! * **Eq. (1)** — per-core power
+//!   `P = α·Ceff·V²·f + V·Ileak(V, T) + Pind` ([`CorePowerModel`]),
+//! * **Eq. (2)** — the frequency/voltage relation
+//!   `f = k·(V − Vth)²/V` with `k = 3.7`, `Vth = 178 mV` at 22 nm
+//!   ([`VfRelation`], Figure 2),
+//! * the ITRS/Intel scaling-factor table of Figure 1
+//!   ([`TechnologyNode`], [`ScalingFactors`]) used to project 22 nm
+//!   simulation results to 16/11/8 nm,
+//! * voltage- and temperature-dependent leakage ([`LeakageModel`]),
+//! * discrete DVFS level tables with the 200 MHz step granularity used
+//!   by the boosting controller in §6 ([`DvfsTable`], [`VfLevel`]),
+//! * classification of operating points into the NTC / STC / Boost
+//!   regions of Figure 2 ([`OperatingRegion`]),
+//! * per-core process variation maps for variability-aware management
+//!   ([`VariationModel`], [`VariationMap`]),
+//! * thermally activated aging with per-core wear accounting
+//!   ([`AgingModel`], [`AgingLedger`]) for the wear-leveling use of
+//!   dark silicon,
+//! * least-squares fitting of Eq. (1) to power samples, reproducing the
+//!   Figure 3 model-vs-McPAT fit ([`CorePowerModel::fit`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use darksil_power::{CorePowerModel, TechnologyNode, VfRelation};
+//! use darksil_units::{Celsius, Hertz};
+//!
+//! // The paper's 22 nm V/f relation.
+//! let vf = VfRelation::paper_22nm();
+//! let v = vf.voltage_for(Hertz::from_ghz(2.0))?;
+//! assert!(v.value() > 0.8 && v.value() < 0.9);
+//!
+//! // An x264-like core, scaled to 16 nm.
+//! let model = CorePowerModel::x264_22nm().scaled_to(TechnologyNode::Nm16);
+//! let f = Hertz::from_ghz(3.6);
+//! let p = model.power(1.0, model.vf().voltage_for(f)?, f, Celsius::new(60.0));
+//! assert!(p.value() > 1.0 && p.value() < 10.0);
+//! # Ok::<(), darksil_power::PowerError>(())
+//! ```
+
+mod aging;
+mod dvfs;
+mod error;
+mod leakage;
+mod model;
+mod scaling;
+mod variation;
+mod vf;
+
+pub use aging::{AgingLedger, AgingModel};
+pub use dvfs::{DvfsTable, VfLevel};
+pub use error::PowerError;
+pub use leakage::LeakageModel;
+pub use model::{CorePowerModel, PowerBreakdown, PowerSample};
+pub use scaling::{ScalingFactors, TechnologyNode};
+pub use variation::{VariationMap, VariationModel};
+pub use vf::{OperatingRegion, VfRelation};

@@ -1,0 +1,240 @@
+//! Technology nodes and the Figure 1 scaling-factor table.
+//!
+//! The paper simulates at 22 nm and projects to 16/11/8 nm using
+//! ITRS/Intel scaling factors (all relative to 22 nm):
+//!
+//! | Technology | Vdd  | Frequency | Capacitance | Area |
+//! |-----------:|-----:|----------:|------------:|-----:|
+//! | 22 nm      | 1.00 | 1.00      | 1.00        | 1.00 |
+//! | 16 nm      | 0.89 | 1.35      | 0.64        | 0.53 |
+//! | 11 nm      | 0.81 | 1.75      | 0.39        | 0.28 |
+//! | 8 nm       | 0.74 | 2.3       | 0.24        | 0.15 |
+
+use std::fmt;
+
+use darksil_units::{Hertz, SquareMillimeters};
+use serde::{Deserialize, Serialize};
+
+/// Per-core area measured from the 22 nm McPAT runs (§2.1).
+pub const CORE_AREA_22NM_MM2: f64 = 9.6;
+
+/// A FinFET technology node evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TechnologyNode {
+    /// 22 nm — the node simulated directly with gem5 + McPAT.
+    Nm22,
+    /// 16 nm.
+    Nm16,
+    /// 11 nm.
+    Nm11,
+    /// 8 nm.
+    Nm8,
+}
+
+impl TechnologyNode {
+    /// All nodes, largest feature size first.
+    pub const ALL: [Self; 4] = [Self::Nm22, Self::Nm16, Self::Nm11, Self::Nm8];
+
+    /// The scaling factors of this node relative to 22 nm (Figure 1).
+    #[must_use]
+    pub const fn scaling(self) -> ScalingFactors {
+        match self {
+            Self::Nm22 => ScalingFactors {
+                vdd: 1.00,
+                frequency: 1.00,
+                capacitance: 1.00,
+                area: 1.00,
+            },
+            Self::Nm16 => ScalingFactors {
+                vdd: 0.89,
+                frequency: 1.35,
+                capacitance: 0.64,
+                area: 0.53,
+            },
+            Self::Nm11 => ScalingFactors {
+                vdd: 0.81,
+                frequency: 1.75,
+                capacitance: 0.39,
+                area: 0.28,
+            },
+            Self::Nm8 => ScalingFactors {
+                vdd: 0.74,
+                frequency: 2.3,
+                capacitance: 0.24,
+                area: 0.15,
+            },
+        }
+    }
+
+    /// Feature size in nanometres.
+    #[must_use]
+    pub const fn nanometers(self) -> u32 {
+        match self {
+            Self::Nm22 => 22,
+            Self::Nm16 => 16,
+            Self::Nm11 => 11,
+            Self::Nm8 => 8,
+        }
+    }
+
+    /// Area of one Alpha-21264-class core at this node, derived from the
+    /// measured 9.6 mm² at 22 nm and the area scaling factors
+    /// (9.6 → 5.1 → 2.7 → 1.4 mm², §2.1).
+    #[must_use]
+    pub fn core_area(self) -> SquareMillimeters {
+        let mm2 = match self {
+            Self::Nm22 => CORE_AREA_22NM_MM2,
+            Self::Nm16 => 5.1,
+            Self::Nm11 => 2.7,
+            Self::Nm8 => 1.4,
+        };
+        SquareMillimeters::new(mm2)
+    }
+
+    /// The maximum *nominal* (non-boost) core frequency assumed at this
+    /// node: 3.6 GHz at 16 nm, 4 GHz at 11 nm, 4.4 GHz at 8 nm (§3.1,
+    /// §3.2), and the corresponding 22 nm base of 3.6/1.35 ≈ 2.67 GHz.
+    #[must_use]
+    pub fn nominal_max_frequency(self) -> Hertz {
+        match self {
+            Self::Nm22 => Hertz::from_ghz(3.6 / 1.35),
+            Self::Nm16 => Hertz::from_ghz(3.6),
+            Self::Nm11 => Hertz::from_ghz(4.0),
+            Self::Nm8 => Hertz::from_ghz(4.4),
+        }
+    }
+
+    /// Core count used for this node's manycore chip in the paper's
+    /// experiments (100 at 16 nm, 198 at 11 nm, 361 at 8 nm; the 22 nm
+    /// baseline machine also has 100 cores).
+    #[must_use]
+    pub const fn evaluated_core_count(self) -> usize {
+        match self {
+            Self::Nm22 | Self::Nm16 => 100,
+            Self::Nm11 => 198,
+            Self::Nm8 => 361,
+        }
+    }
+
+    /// The next smaller node, or `None` at 8 nm.
+    #[must_use]
+    pub const fn next(self) -> Option<Self> {
+        match self {
+            Self::Nm22 => Some(Self::Nm16),
+            Self::Nm16 => Some(Self::Nm11),
+            Self::Nm11 => Some(Self::Nm8),
+            Self::Nm8 => None,
+        }
+    }
+}
+
+impl fmt::Display for TechnologyNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} nm", self.nanometers())
+    }
+}
+
+/// Scaling factors of a node relative to 22 nm (the Figure 1 table).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingFactors {
+    /// Supply-voltage multiplier.
+    pub vdd: f64,
+    /// Frequency multiplier at iso-voltage-headroom.
+    pub frequency: f64,
+    /// Effective-capacitance multiplier.
+    pub capacitance: f64,
+    /// Area multiplier.
+    pub area: f64,
+}
+
+impl ScalingFactors {
+    /// Dynamic-power multiplier implied by the factors:
+    /// `C′·V′²·f′ / (C·V²·f) = c · v² · f`.
+    #[must_use]
+    pub fn dynamic_power(self) -> f64 {
+        self.capacitance * self.vdd * self.vdd * self.frequency
+    }
+
+    /// Power-density multiplier: dynamic power scaling divided by area
+    /// scaling. Greater than 1 means densities rise with scaling — the
+    /// root cause of dark silicon.
+    #[must_use]
+    pub fn power_density(self) -> f64 {
+        self.dynamic_power() / self.area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper() {
+        let s16 = TechnologyNode::Nm16.scaling();
+        assert_eq!((s16.vdd, s16.frequency, s16.capacitance, s16.area), (0.89, 1.35, 0.64, 0.53));
+        let s11 = TechnologyNode::Nm11.scaling();
+        assert_eq!((s11.vdd, s11.frequency, s11.capacitance, s11.area), (0.81, 1.75, 0.39, 0.28));
+        let s8 = TechnologyNode::Nm8.scaling();
+        assert_eq!((s8.vdd, s8.frequency, s8.capacitance, s8.area), (0.74, 2.3, 0.24, 0.15));
+        let s22 = TechnologyNode::Nm22.scaling();
+        assert_eq!(s22.dynamic_power(), 1.0);
+    }
+
+    #[test]
+    fn core_areas_match_paper() {
+        assert_eq!(TechnologyNode::Nm22.core_area().value(), 9.6);
+        assert_eq!(TechnologyNode::Nm16.core_area().value(), 5.1);
+        assert_eq!(TechnologyNode::Nm11.core_area().value(), 2.7);
+        assert_eq!(TechnologyNode::Nm8.core_area().value(), 1.4);
+        // The quoted areas are the 53 %-per-node chain, rounded.
+        for node in [TechnologyNode::Nm16, TechnologyNode::Nm11, TechnologyNode::Nm8] {
+            let derived = CORE_AREA_22NM_MM2 * node.scaling().area;
+            assert!(
+                (derived - node.core_area().value()).abs() < 0.15,
+                "{node}: derived {derived} vs quoted {}",
+                node.core_area()
+            );
+        }
+    }
+
+    #[test]
+    fn power_density_rises_with_scaling() {
+        let mut last = TechnologyNode::Nm22.scaling().power_density();
+        for node in [TechnologyNode::Nm16, TechnologyNode::Nm11, TechnologyNode::Nm8] {
+            let d = node.scaling().power_density();
+            assert!(d > last, "density must rise: {node} gives {d} <= {last}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn nominal_frequencies() {
+        assert_eq!(TechnologyNode::Nm16.nominal_max_frequency().as_ghz(), 3.6);
+        assert_eq!(TechnologyNode::Nm11.nominal_max_frequency().as_ghz(), 4.0);
+        assert_eq!(TechnologyNode::Nm8.nominal_max_frequency().as_ghz(), 4.4);
+    }
+
+    #[test]
+    fn node_chain() {
+        let mut node = TechnologyNode::Nm22;
+        let mut count = 1;
+        while let Some(next) = node.next() {
+            assert!(next.nanometers() < node.nanometers());
+            node = next;
+            count += 1;
+        }
+        assert_eq!(count, TechnologyNode::ALL.len());
+    }
+
+    #[test]
+    fn evaluated_core_counts() {
+        assert_eq!(TechnologyNode::Nm16.evaluated_core_count(), 100);
+        assert_eq!(TechnologyNode::Nm11.evaluated_core_count(), 198);
+        assert_eq!(TechnologyNode::Nm8.evaluated_core_count(), 361);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TechnologyNode::Nm16.to_string(), "16 nm");
+    }
+}

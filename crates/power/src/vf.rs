@@ -1,0 +1,304 @@
+//! The frequency/voltage relation of Eq. (2) and operating regions.
+
+use darksil_units::{Hertz, Volts};
+use serde::{Deserialize, Serialize};
+
+use crate::{PowerError, TechnologyNode};
+
+/// Default boundary between the near-threshold (NTC) and
+/// super-threshold (STC) regions, in volts (Figure 2 draws it around
+/// 0.55 V for the 22 nm curve; NTC work such as Pinckney et al. uses
+/// voltages near 0.4–0.55 V).
+pub const DEFAULT_NTC_LIMIT_VOLTS: f64 = 0.55;
+
+/// Classification of an operating point per Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperatingRegion {
+    /// Near-Threshold Computing: supply close to `Vth`.
+    NearThreshold,
+    /// Conventional super-threshold DVFS range.
+    SuperThreshold,
+    /// Above the nominal maximum — boosting territory.
+    Boost,
+}
+
+impl std::fmt::Display for OperatingRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Self::NearThreshold => "NTC",
+            Self::SuperThreshold => "STC",
+            Self::Boost => "Boost",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The maximum-stable-frequency relation of Eq. (2):
+/// `f = k·(V − Vth)² / V`, optionally composed with the Figure 1
+/// technology scaling (voltage and frequency multipliers).
+///
+/// The physical meaning (§2.2): for a supply voltage there is a maximum
+/// stable frequency; conversely, running a required frequency at any
+/// voltage above [`VfRelation::voltage_for`] wastes power. All
+/// frequency/voltage pairs used in the workspace therefore come from
+/// this relation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VfRelation {
+    /// Fitting factor `k` in GHz/V (3.7 at 22 nm, from Grenat et al.).
+    k_ghz_per_volt: f64,
+    /// Threshold voltage at the *base* (22 nm) node.
+    vth_volts: f64,
+    /// Voltage multiplier applied on top of the base relation.
+    voltage_scale: f64,
+    /// Frequency multiplier applied on top of the base relation.
+    frequency_scale: f64,
+    /// Nominal maximum frequency in GHz; above it the operating point is
+    /// classified as [`OperatingRegion::Boost`].
+    nominal_max_ghz: f64,
+    /// NTC/STC boundary in (scaled) volts.
+    ntc_limit_volts: f64,
+}
+
+impl VfRelation {
+    /// The paper's 22 nm relation: `k = 3.7`, `Vth = 178 mV` (Figure 2).
+    #[must_use]
+    pub fn paper_22nm() -> Self {
+        Self {
+            k_ghz_per_volt: 3.7,
+            vth_volts: 0.178,
+            voltage_scale: 1.0,
+            frequency_scale: 1.0,
+            nominal_max_ghz: TechnologyNode::Nm22.nominal_max_frequency().as_ghz(),
+            ntc_limit_volts: DEFAULT_NTC_LIMIT_VOLTS,
+        }
+    }
+
+    /// The paper's relation projected to `node` using the Figure 1
+    /// voltage and frequency factors: `f_n(V) = s_f · f22(V / s_v)`.
+    #[must_use]
+    pub fn for_node(node: TechnologyNode) -> Self {
+        let s = node.scaling();
+        Self {
+            voltage_scale: s.vdd,
+            frequency_scale: s.frequency,
+            nominal_max_ghz: node.nominal_max_frequency().as_ghz(),
+            ntc_limit_volts: DEFAULT_NTC_LIMIT_VOLTS * s.vdd,
+            ..Self::paper_22nm()
+        }
+    }
+
+    /// Builds a custom relation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for non-positive or
+    /// non-finite `k`/`vth`.
+    pub fn new(k_ghz_per_volt: f64, vth: Volts) -> Result<Self, PowerError> {
+        if k_ghz_per_volt <= 0.0 || !k_ghz_per_volt.is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "k",
+                value: k_ghz_per_volt,
+            });
+        }
+        if vth.value() <= 0.0 || !vth.value().is_finite() {
+            return Err(PowerError::InvalidParameter {
+                name: "vth",
+                value: vth.value(),
+            });
+        }
+        Ok(Self {
+            k_ghz_per_volt,
+            vth_volts: vth.value(),
+            voltage_scale: 1.0,
+            frequency_scale: 1.0,
+            nominal_max_ghz: TechnologyNode::Nm22.nominal_max_frequency().as_ghz(),
+            ntc_limit_volts: DEFAULT_NTC_LIMIT_VOLTS,
+        })
+    }
+
+    /// Returns a copy with a different nominal maximum frequency
+    /// (the Boost-region boundary).
+    #[must_use]
+    pub fn with_nominal_max(mut self, f: Hertz) -> Self {
+        self.nominal_max_ghz = f.as_ghz();
+        self
+    }
+
+    /// The threshold voltage after scaling.
+    #[must_use]
+    pub fn threshold_voltage(&self) -> Volts {
+        Volts::new(self.vth_volts * self.voltage_scale)
+    }
+
+    /// The nominal maximum (non-boost) frequency.
+    #[must_use]
+    pub fn nominal_max_frequency(&self) -> Hertz {
+        Hertz::from_ghz(self.nominal_max_ghz)
+    }
+
+    /// Maximum stable frequency at supply voltage `v` (Eq. (2)).
+    /// Voltages at or below the (scaled) threshold yield zero.
+    #[must_use]
+    pub fn frequency_at(&self, v: Volts) -> Hertz {
+        let v_base = v.value() / self.voltage_scale;
+        if v_base <= self.vth_volts {
+            return Hertz::zero();
+        }
+        let f_base_ghz = self.k_ghz_per_volt * (v_base - self.vth_volts).powi(2) / v_base;
+        Hertz::from_ghz(f_base_ghz * self.frequency_scale)
+    }
+
+    /// Minimum supply voltage able to sustain frequency `f` — the
+    /// inverse of Eq. (2), taking the super-threshold root of
+    /// `k·V² − (2·k·Vth + f)·V + k·Vth² = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::FrequencyOutOfRange`] for negative or
+    /// non-finite frequencies.
+    pub fn voltage_for(&self, f: Hertz) -> Result<Volts, PowerError> {
+        let f_ghz = f.as_ghz();
+        if f_ghz < 0.0 || !f_ghz.is_finite() {
+            return Err(PowerError::FrequencyOutOfRange { ghz: f_ghz });
+        }
+        let f_base = f_ghz / self.frequency_scale;
+        let k = self.k_ghz_per_volt;
+        let vth = self.vth_volts;
+        let b = 2.0 * k * vth + f_base;
+        // disc = f_base² + 4·k·vth·f_base ≥ 0 algebraically for
+        // f_base ≥ 0; clamp away the last-ulp negative at f = 0.
+        let disc = (b * b - 4.0 * k * k * vth * vth).max(0.0);
+        let v_base = (b + disc.sqrt()) / (2.0 * k);
+        Ok(Volts::new(v_base * self.voltage_scale))
+    }
+
+    /// Classifies an operating voltage into NTC / STC / Boost regions
+    /// (Figure 2). The Boost region is defined by exceeding the nominal
+    /// maximum frequency.
+    #[must_use]
+    pub fn region_of(&self, v: Volts) -> OperatingRegion {
+        if self.frequency_at(v) > self.nominal_max_frequency() {
+            OperatingRegion::Boost
+        } else if v.value() <= self.ntc_limit_volts {
+            OperatingRegion::NearThreshold
+        } else {
+            OperatingRegion::SuperThreshold
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let vf = VfRelation::paper_22nm();
+        assert_eq!(vf.threshold_voltage(), Volts::new(0.178));
+        // Figure 2: around 1 V the curve passes ~2.5 GHz.
+        let f = vf.frequency_at(Volts::new(1.0));
+        assert!((f.as_ghz() - 2.5).abs() < 0.1, "got {} GHz", f.as_ghz());
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let vf = VfRelation::paper_22nm();
+        for ghz in [0.2, 0.5, 1.0, 2.0, 2.66, 3.5] {
+            let v = vf.voltage_for(Hertz::from_ghz(ghz)).unwrap();
+            let back = vf.frequency_at(v);
+            assert!(
+                (back.as_ghz() - ghz).abs() < 1e-9,
+                "{ghz} GHz -> {v} -> {} GHz",
+                back.as_ghz()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_frequency_needs_only_threshold() {
+        let vf = VfRelation::paper_22nm();
+        let v = vf.voltage_for(Hertz::zero()).unwrap();
+        assert!((v.value() - 0.178).abs() < 1e-9);
+    }
+
+    #[test]
+    fn below_threshold_is_zero_frequency() {
+        let vf = VfRelation::paper_22nm();
+        assert_eq!(vf.frequency_at(Volts::new(0.1)), Hertz::zero());
+        assert_eq!(vf.frequency_at(Volts::new(0.178)), Hertz::zero());
+    }
+
+    #[test]
+    fn frequency_is_monotonic_in_voltage() {
+        let vf = VfRelation::for_node(TechnologyNode::Nm16);
+        let mut last = Hertz::zero();
+        let mut v = 0.2;
+        while v < 1.5 {
+            let f = vf.frequency_at(Volts::new(v));
+            assert!(f >= last, "non-monotonic at {v} V");
+            last = f;
+            v += 0.01;
+        }
+    }
+
+    #[test]
+    fn scaled_node_reaches_nominal_at_lower_voltage() {
+        // 3.6 GHz at 16 nm should need less voltage than 3.6 GHz at 22 nm.
+        let f = Hertz::from_ghz(3.6);
+        let v22 = VfRelation::paper_22nm().voltage_for(f).unwrap();
+        let v16 = VfRelation::for_node(TechnologyNode::Nm16).voltage_for(f).unwrap();
+        assert!(v16 < v22, "16 nm {v16} vs 22 nm {v22}");
+        // And the 16 nm voltage for nominal max is within sane bounds.
+        assert!(v16.value() > 0.8 && v16.value() < 1.05, "got {v16}");
+    }
+
+    #[test]
+    fn regions() {
+        let vf = VfRelation::for_node(TechnologyNode::Nm16);
+        // Near threshold.
+        assert_eq!(vf.region_of(Volts::new(0.4)), OperatingRegion::NearThreshold);
+        // Normal DVFS range.
+        assert_eq!(vf.region_of(Volts::new(0.8)), OperatingRegion::SuperThreshold);
+        // Far above nominal max.
+        assert_eq!(vf.region_of(Volts::new(1.4)), OperatingRegion::Boost);
+    }
+
+    #[test]
+    fn paper_fig14_ntc_point_is_ntc() {
+        // Figure 14's NTC configuration runs 1 GHz near threshold in
+        // 11 nm (the paper annotates 0.46 V; under the Figure 1 scaling
+        // factors our relation needs a slightly lower voltage — the
+        // *classification* as NTC is the claim that must hold).
+        let vf = VfRelation::for_node(TechnologyNode::Nm11);
+        let v = vf.voltage_for(Hertz::from_ghz(1.0)).unwrap();
+        assert!(v.value() > 0.25 && v.value() < 0.5, "model gives {v}");
+        assert_eq!(vf.region_of(v), OperatingRegion::NearThreshold);
+    }
+
+    #[test]
+    fn paper_fig13_stc_point_is_stc() {
+        // Figure 13: 3.0 GHz in 11 nm is "still in the STC region"
+        // (annotated 0.92 V in the paper; see DESIGN.md on the scaling
+        // inconsistency — the region classification is the invariant).
+        let vf = VfRelation::for_node(TechnologyNode::Nm11);
+        let v = vf.voltage_for(Hertz::from_ghz(3.0)).unwrap();
+        assert!(v.value() > 0.5 && v.value() < 1.0, "model gives {v}");
+        assert_eq!(vf.region_of(v), OperatingRegion::SuperThreshold);
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        let vf = VfRelation::paper_22nm();
+        assert!(vf.voltage_for(Hertz::from_ghz(-1.0)).is_err());
+        assert!(vf.voltage_for(Hertz::new(f64::NAN)).is_err());
+        assert!(VfRelation::new(0.0, Volts::new(0.1)).is_err());
+        assert!(VfRelation::new(3.7, Volts::new(-0.1)).is_err());
+    }
+
+    #[test]
+    fn display_regions() {
+        assert_eq!(OperatingRegion::NearThreshold.to_string(), "NTC");
+        assert_eq!(OperatingRegion::SuperThreshold.to_string(), "STC");
+        assert_eq!(OperatingRegion::Boost.to_string(), "Boost");
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the power models.
+
+use darksil_power::{
+    CorePowerModel, DvfsTable, LeakageModel, TechnologyNode, VariationModel, VfRelation,
+};
+use darksil_units::{Celsius, Hertz, Volts};
+use proptest::prelude::*;
+
+fn any_node() -> impl Strategy<Value = TechnologyNode> {
+    (0_usize..4).prop_map(|i| TechnologyNode::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn eq2_frequency_monotone_in_voltage(node in any_node(), v in 0.2_f64..1.5, dv in 0.001_f64..0.2) {
+        let vf = VfRelation::for_node(node);
+        let f1 = vf.frequency_at(Volts::new(v));
+        let f2 = vf.frequency_at(Volts::new(v + dv));
+        prop_assert!(f2 >= f1);
+    }
+
+    #[test]
+    fn eq2_voltage_is_minimal(node in any_node(), ghz in 0.1_f64..4.5) {
+        // The voltage returned for f sustains f, and a slightly lower
+        // voltage does not.
+        let vf = VfRelation::for_node(node);
+        let f = Hertz::from_ghz(ghz);
+        let v = vf.voltage_for(f).unwrap();
+        prop_assert!(vf.frequency_at(v) >= f - Hertz::new(1.0));
+        let v_less = Volts::new(v.value() * 0.995);
+        prop_assert!(vf.frequency_at(v_less) < f);
+    }
+
+    #[test]
+    fn scaling_reduces_iso_frequency_power(ghz in 0.3_f64..2.5, t in 40.0_f64..85.0) {
+        // At any common frequency, each smaller node draws less power
+        // than its predecessor (lower C, lower V for the same f).
+        let temp = Celsius::new(t);
+        let f = Hertz::from_ghz(ghz);
+        let mut last = f64::INFINITY;
+        for node in TechnologyNode::ALL {
+            let m = CorePowerModel::x264_22nm().scaled_to(node);
+            let p = m.power_at_frequency(1.0, f, temp).unwrap().value();
+            prop_assert!(p < last, "{node}: {p} >= {last}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn breakdown_components_are_nonnegative_and_sum(
+        alpha in 0.0_f64..1.0,
+        v in 0.2_f64..1.4,
+        ghz in 0.0_f64..4.0,
+        t in 0.0_f64..100.0,
+    ) {
+        let m = CorePowerModel::x264_22nm();
+        let b = m.breakdown(alpha, Volts::new(v), Hertz::from_ghz(ghz), Celsius::new(t));
+        prop_assert!(b.dynamic.value() >= 0.0);
+        prop_assert!(b.leakage.value() >= 0.0);
+        prop_assert!(b.independent.value() >= 0.0);
+        let total = m.power(alpha, Volts::new(v), Hertz::from_ghz(ghz), Celsius::new(t));
+        prop_assert!((b.total().value() - total.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_shape_scales_linearly_in_i0(
+        scale in 0.1_f64..4.0,
+        v in 0.3_f64..1.3,
+        t in 20.0_f64..100.0,
+    ) {
+        let base = LeakageModel::alpha_core_22nm();
+        let scaled = base.with_i0_scaled(scale);
+        let i_base = base.current(Volts::new(v), Celsius::new(t)).value();
+        let i_scaled = scaled.current(Volts::new(v), Celsius::new(t)).value();
+        prop_assert!((i_scaled - scale * i_base).abs() < 1e-12 * (1.0 + i_scaled));
+    }
+
+    #[test]
+    fn dvfs_floor_is_sound(node in any_node(), ghz in 0.05_f64..5.0) {
+        let vf = VfRelation::for_node(node);
+        let table = DvfsTable::standard(&vf, node.nominal_max_frequency()).unwrap();
+        let f = Hertz::from_ghz(ghz);
+        match table.floor(f) {
+            Some(level) => {
+                prop_assert!(level.frequency <= f + Hertz::from_mhz(1.0));
+                // And it is the *highest* such level.
+                let idx = table.floor_index(f).unwrap();
+                if let Some(next) = table.get(idx + 1) {
+                    prop_assert!(next.frequency > f);
+                }
+            }
+            None => prop_assert!(f < table.min_level().unwrap().frequency),
+        }
+    }
+
+    #[test]
+    fn fit_round_trips_random_models(
+        ceff_nf in 0.5_f64..4.0,
+        pind in 0.0_f64..1.0,
+        i0_scale in 0.2_f64..3.0,
+    ) {
+        // Build a random ground truth, sample it noise-free over varied
+        // (α, f, T), and recover the coefficients.
+        let truth = CorePowerModel::new(
+            darksil_units::Farads::new(ceff_nf * 1e-9),
+            LeakageModel::alpha_core_22nm().with_i0_scaled(i0_scale),
+            darksil_units::Watts::new(pind),
+            VfRelation::paper_22nm(),
+        )
+        .unwrap();
+        let mut samples = Vec::new();
+        for (i, ghz) in (0..12).map(|i| (i, 0.5 + 0.3 * i as f64)) {
+            let f = Hertz::from_ghz(ghz);
+            let v = truth.vf().voltage_for(f).unwrap();
+            let t = Celsius::new(45.0 + (i * 7 % 40) as f64);
+            let alpha = [1.0, 0.6, 0.3][i % 3];
+            samples.push(darksil_power::PowerSample {
+                alpha,
+                vdd: v,
+                frequency: f,
+                temperature: t,
+                power: truth.power(alpha, v, f, t),
+            });
+        }
+        let fitted = CorePowerModel::fit(
+            &samples,
+            &LeakageModel::alpha_core_22nm(),
+            VfRelation::paper_22nm(),
+        )
+        .unwrap();
+        let rel = (fitted.ceff().value() - truth.ceff().value()).abs() / truth.ceff().value();
+        prop_assert!(rel < 1e-6, "ceff off by {rel}");
+        prop_assert!((fitted.p_ind().value() - pind).abs() < 1e-6);
+    }
+
+    #[test]
+    fn variation_maps_preserve_mean_leakage(seed in 0_u64..1000) {
+        let map = VariationModel::typical(seed).generate(2000);
+        let mean = map.mean_leakage();
+        prop_assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        prop_assert!(map.leakage_factors().iter().all(|&f| f > 0.0));
+    }
+}

@@ -1,0 +1,245 @@
+//! Package (die / TIM / spreader / sink) configuration.
+
+use darksil_units::Celsius;
+use serde::{Deserialize, Serialize};
+
+use crate::ThermalError;
+
+/// Geometry and material of one conductive layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerConfig {
+    /// Side length of the (square) layer in metres. `None` means the
+    /// layer is congruent with the die.
+    pub side_m: Option<f64>,
+    /// Thickness in metres.
+    pub thickness_m: f64,
+    /// Thermal conductivity in W/(m·K).
+    pub conductivity: f64,
+    /// Volumetric specific heat in J/(m³·K).
+    pub specific_heat: f64,
+}
+
+impl LayerConfig {
+    fn validate(&self, layer: &'static str) -> Result<(), ThermalError> {
+        for (name, value) in [
+            ("thickness", self.thickness_m),
+            ("conductivity", self.conductivity),
+            ("specific_heat", self.specific_heat),
+        ] {
+            if value <= 0.0 || !value.is_finite() {
+                let _ = layer;
+                return Err(ThermalError::InvalidPackage { name, value });
+            }
+        }
+        if let Some(side) = self.side_m {
+            if side <= 0.0 || !side.is_finite() {
+                return Err(ThermalError::InvalidPackage {
+                    name: "side",
+                    value: side,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Full package description, defaulting to the paper's §2.1 HotSpot
+/// configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PackageConfig {
+    /// Silicon die layer (congruent with the floorplan).
+    pub die: LayerConfig,
+    /// Thermal interface material between die and spreader.
+    pub interface: LayerConfig,
+    /// Copper heat spreader.
+    pub spreader: LayerConfig,
+    /// Heat sink base.
+    pub sink: LayerConfig,
+    /// Sink-to-ambient convection resistance in K/W.
+    pub convection_resistance: f64,
+    /// Lumped convection (fan/fin) heat capacitance in J/K.
+    pub convection_capacitance: f64,
+    /// Ambient temperature.
+    pub ambient: Celsius,
+}
+
+impl PackageConfig {
+    /// The exact configuration listed in §2.1 of the paper:
+    /// 0.15 mm die (k = 100 W/mK, c = 1.75·10⁶ J/m³K), 20 µm TIM
+    /// (k = 4 W/mK, c = 4·10⁶), 3×3 cm / 1 mm spreader and 6×6 cm /
+    /// 6.9 mm sink (k = 400 W/mK, c = 3.55·10⁶), 0.1 K/W convection
+    /// resistance, 140.4 J/K convection capacitance, with HotSpot's
+    /// default 45 °C ambient.
+    #[must_use]
+    pub fn paper_dac15() -> Self {
+        Self {
+            die: LayerConfig {
+                side_m: None,
+                thickness_m: 0.15e-3,
+                conductivity: 100.0,
+                specific_heat: 1.75e6,
+            },
+            interface: LayerConfig {
+                side_m: None,
+                thickness_m: 20.0e-6,
+                conductivity: 4.0,
+                specific_heat: 4.0e6,
+            },
+            spreader: LayerConfig {
+                side_m: Some(0.03),
+                thickness_m: 1.0e-3,
+                conductivity: 400.0,
+                specific_heat: 3.55e6,
+            },
+            sink: LayerConfig {
+                side_m: Some(0.06),
+                thickness_m: 6.9e-3,
+                conductivity: 400.0,
+                specific_heat: 3.55e6,
+            },
+            convection_resistance: 0.1,
+            convection_capacitance: 140.4,
+            ambient: Celsius::new(45.0),
+        }
+    }
+
+    /// A constrained mobile/laptop-class package: same stack-up but a
+    /// quarter-size spreader and sink (3 cm, 3.5 mm thick) and a much
+    /// weaker 0.6 K/W convection path (thin fins, low airflow).
+    #[must_use]
+    pub fn laptop() -> Self {
+        let mut p = Self::paper_dac15();
+        p.spreader.side_m = Some(0.024);
+        p.sink.side_m = Some(0.03);
+        p.sink.thickness_m = 3.5e-3;
+        p.convection_resistance = 0.6;
+        p.convection_capacitance = 40.0;
+        p
+    }
+
+    /// A high-end server package: larger 8×8 cm sink with forced air at
+    /// 0.05 K/W.
+    #[must_use]
+    pub fn server() -> Self {
+        let mut p = Self::paper_dac15();
+        p.sink.side_m = Some(0.08);
+        p.convection_resistance = 0.05;
+        p.convection_capacitance = 250.0;
+        p
+    }
+
+    /// Returns a copy with a different ambient temperature.
+    #[must_use]
+    pub fn with_ambient(mut self, ambient: Celsius) -> Self {
+        self.ambient = ambient;
+        self
+    }
+
+    /// Returns a copy with a different convection resistance.
+    #[must_use]
+    pub fn with_convection_resistance(mut self, r: f64) -> Self {
+        self.convection_resistance = r;
+        self
+    }
+
+    /// Validates all parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidPackage`] for non-positive or
+    /// non-finite values.
+    pub fn validate(&self) -> Result<(), ThermalError> {
+        self.die.validate("die")?;
+        self.interface.validate("interface")?;
+        self.spreader.validate("spreader")?;
+        self.sink.validate("sink")?;
+        if self.convection_resistance <= 0.0 || !self.convection_resistance.is_finite() {
+            return Err(ThermalError::InvalidPackage {
+                name: "convection_resistance",
+                value: self.convection_resistance,
+            });
+        }
+        if self.convection_capacitance <= 0.0 || !self.convection_capacitance.is_finite() {
+            return Err(ThermalError::InvalidPackage {
+                name: "convection_capacitance",
+                value: self.convection_capacitance,
+            });
+        }
+        if !self.ambient.is_finite() {
+            return Err(ThermalError::InvalidPackage {
+                name: "ambient",
+                value: self.ambient.value(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for PackageConfig {
+    fn default() -> Self {
+        Self::paper_dac15()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let p = PackageConfig::paper_dac15();
+        assert_eq!(p.die.thickness_m, 0.15e-3);
+        assert_eq!(p.die.conductivity, 100.0);
+        assert_eq!(p.interface.thickness_m, 20.0e-6);
+        assert_eq!(p.interface.conductivity, 4.0);
+        assert_eq!(p.spreader.side_m, Some(0.03));
+        assert_eq!(p.sink.side_m, Some(0.06));
+        assert_eq!(p.sink.thickness_m, 6.9e-3);
+        assert_eq!(p.convection_resistance, 0.1);
+        assert_eq!(p.convection_capacitance, 140.4);
+        assert!(p.validate().is_ok());
+        assert_eq!(PackageConfig::default(), p);
+    }
+
+    #[test]
+    fn presets_order_by_cooling_strength() {
+        let laptop = PackageConfig::laptop();
+        let desktop = PackageConfig::paper_dac15();
+        let server = PackageConfig::server();
+        assert!(laptop.convection_resistance > desktop.convection_resistance);
+        assert!(desktop.convection_resistance > server.convection_resistance);
+        assert!(laptop.validate().is_ok());
+        assert!(server.validate().is_ok());
+    }
+
+    #[test]
+    fn builders() {
+        let p = PackageConfig::paper_dac15()
+            .with_ambient(Celsius::new(25.0))
+            .with_convection_resistance(0.2);
+        assert_eq!(p.ambient, Celsius::new(25.0));
+        assert_eq!(p.convection_resistance, 0.2);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut p = PackageConfig::paper_dac15();
+        p.die.thickness_m = 0.0;
+        assert!(matches!(
+            p.validate(),
+            Err(ThermalError::InvalidPackage { name: "thickness", .. })
+        ));
+
+        let mut p = PackageConfig::paper_dac15();
+        p.convection_resistance = -0.1;
+        assert!(p.validate().is_err());
+
+        let mut p = PackageConfig::paper_dac15();
+        p.spreader.side_m = Some(f64::NAN);
+        assert!(p.validate().is_err());
+
+        let mut p = PackageConfig::paper_dac15();
+        p.ambient = Celsius::new(f64::INFINITY);
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,324 @@
+//! Transient thermal simulation.
+
+use darksil_numerics::ode::{BackwardEuler, LinearOde};
+use darksil_units::{Seconds, Watts};
+
+use crate::{ThermalError, ThermalMap, ThermalModel};
+
+/// A stateful transient simulation over a [`ThermalModel`].
+///
+/// # Examples
+///
+/// ```
+/// use darksil_floorplan::Floorplan;
+/// use darksil_thermal::{PackageConfig, ThermalModel, TransientSim};
+/// use darksil_units::{Seconds, SquareMillimeters, Watts};
+///
+/// let plan = Floorplan::grid(3, 3, SquareMillimeters::new(5.1))?;
+/// let model = ThermalModel::new(&plan, PackageConfig::paper_dac15())?;
+/// let mut sim = TransientSim::new(&model, Seconds::new(0.01))?;
+/// let power = vec![Watts::new(3.0); 9];
+/// let after = sim.run(&power, 100)?; // one second of heating
+/// assert!(after.peak() > model.ambient());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// Integrates `C·dT/dt = P + G_amb·T_amb − G·T` with backward Euler at a
+/// fixed step — A-stable, so the step can match the boosting
+/// controller's 1 ms period (§6) without resolving the microsecond
+/// die dynamics explicitly.
+#[derive(Debug, Clone)]
+pub struct TransientSim {
+    ode: LinearOde,
+    stepper: BackwardEuler,
+    state: Vec<f64>,
+    g_ambient: Vec<f64>,
+    ambient_c: f64,
+    cores: usize,
+    rows: usize,
+    cols: usize,
+    subdivision: usize,
+    core_of_cell: Vec<usize>,
+    elapsed: f64,
+    dt: f64,
+}
+
+impl TransientSim {
+    /// Creates a simulation starting from thermal equilibrium with the
+    /// ambient (every node at `T_amb`), stepping at `dt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::Solver`] for a non-positive step or an
+    /// inconsistent model.
+    pub fn new(model: &ThermalModel, dt: Seconds) -> Result<Self, ThermalError> {
+        let ode = LinearOde::new(model.conductance().clone(), model.capacitances().to_vec())?;
+        let stepper = ode.backward_euler(dt.value())?;
+        let (rows, cols) = model.grid_shape();
+        Ok(Self {
+            ode,
+            stepper,
+            state: vec![model.ambient().value(); model.node_count()],
+            g_ambient: model.ambient_conductances().to_vec(),
+            ambient_c: model.ambient().value(),
+            cores: model.core_count(),
+            rows,
+            cols,
+            subdivision: model.subdivision(),
+            core_of_cell: model.core_of_cell().to_vec(),
+            elapsed: 0.0,
+            dt: dt.value(),
+        })
+    }
+
+    /// Creates a simulation starting from a previously computed map
+    /// (e.g. a steady state), stepping at `dt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::PowerMapMismatch`] if the map belongs to
+    /// a different model and [`ThermalError::Solver`] for solver
+    /// failures.
+    pub fn from_map(
+        model: &ThermalModel,
+        initial: &ThermalMap,
+        dt: Seconds,
+    ) -> Result<Self, ThermalError> {
+        if initial.state().len() != model.node_count() {
+            return Err(ThermalError::PowerMapMismatch {
+                got: initial.state().len(),
+                expected: model.node_count(),
+            });
+        }
+        let mut sim = Self::new(model, dt)?;
+        sim.state = initial.state().to_vec();
+        Ok(sim)
+    }
+
+    /// The fixed integration step.
+    #[must_use]
+    pub fn dt(&self) -> Seconds {
+        Seconds::new(self.dt)
+    }
+
+    /// Simulated time elapsed so far.
+    #[must_use]
+    pub fn elapsed(&self) -> Seconds {
+        Seconds::new(self.elapsed)
+    }
+
+    /// Advances one step under the given per-core power map and returns
+    /// the new temperatures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::PowerMapMismatch`] for wrong-length maps
+    /// and [`ThermalError::Solver`] if the implicit solve fails.
+    pub fn step(&mut self, power: &[Watts]) -> Result<ThermalMap, ThermalError> {
+        if power.len() != self.cores {
+            return Err(ThermalError::PowerMapMismatch {
+                got: power.len(),
+                expected: self.cores,
+            });
+        }
+        let b = self.input_vector(power);
+        self.state = self.stepper.step(&self.state, &b)?;
+        self.elapsed += self.dt;
+        Ok(self.snapshot())
+    }
+
+    /// Advances `steps` steps under constant power, returning the final
+    /// temperatures.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TransientSim::step`].
+    pub fn run(&mut self, power: &[Watts], steps: usize) -> Result<ThermalMap, ThermalError> {
+        for _ in 0..steps.saturating_sub(1) {
+            self.step(power)?;
+        }
+        if steps > 0 {
+            self.step(power)
+        } else {
+            Ok(self.snapshot())
+        }
+    }
+
+    /// The current temperatures without advancing time.
+    #[must_use]
+    pub fn snapshot(&self) -> ThermalMap {
+        if self.subdivision == 1 {
+            return ThermalMap::from_state(self.state.clone(), self.cores, self.rows, self.cols);
+        }
+        let die = crate::ThermalModel::project_die(&self.core_of_cell, self.cores, &self.state);
+        ThermalMap::from_parts(die, self.state.clone(), self.rows, self.cols)
+    }
+
+    /// Derivative magnitude (∞-norm of dT/dt) — a convergence signal.
+    #[must_use]
+    pub fn rate_of_change(&self, power: &[Watts]) -> f64 {
+        let b = self.input_vector(power);
+        self.ode
+            .derivative(&self.state, &b)
+            .iter()
+            .fold(0.0, |acc, d| acc.max(d.abs()))
+    }
+
+    /// Builds `P + G_amb·T_amb`, spreading each core's power over its
+    /// die cells.
+    fn input_vector(&self, power: &[Watts]) -> Vec<f64> {
+        let mut b: Vec<f64> = self
+            .g_ambient
+            .iter()
+            .map(|g| g * self.ambient_c)
+            .collect();
+        let share = 1.0 / (self.subdivision * self.subdivision) as f64;
+        for (cell, &owner) in self.core_of_cell.iter().enumerate() {
+            b[cell] += power[owner].value() * share;
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PackageConfig;
+    use darksil_floorplan::Floorplan;
+    use darksil_units::SquareMillimeters;
+
+    fn small_model() -> ThermalModel {
+        let plan = Floorplan::grid(4, 4, SquareMillimeters::new(5.1)).unwrap();
+        ThermalModel::new(&plan, PackageConfig::paper_dac15()).unwrap()
+    }
+
+    #[test]
+    fn starts_at_ambient() {
+        let m = small_model();
+        let sim = TransientSim::new(&m, Seconds::new(1e-3)).unwrap();
+        let map = sim.snapshot();
+        assert_eq!(map.peak(), m.ambient());
+        assert_eq!(sim.elapsed(), Seconds::zero());
+    }
+
+    #[test]
+    fn transient_approaches_steady_state() {
+        let m = small_model();
+        let power = vec![Watts::new(3.0); 16];
+        let steady = m.steady_state(&power).unwrap();
+
+        let mut sim = TransientSim::new(&m, Seconds::new(0.1)).unwrap();
+        // The slowest time constant is the sink (tens of seconds); run
+        // ten minutes of simulated time.
+        sim.run(&power, 6000).unwrap();
+        let now = sim.snapshot();
+        assert!(
+            (now.peak() - steady.peak()).abs() < 0.3,
+            "transient {} vs steady {}",
+            now.peak(),
+            steady.peak()
+        );
+        assert!(sim.rate_of_change(&power) < 1e-3);
+    }
+
+    #[test]
+    fn temperature_rises_monotonically_under_step_power() {
+        let m = small_model();
+        let power = vec![Watts::new(3.0); 16];
+        let mut sim = TransientSim::new(&m, Seconds::new(0.01)).unwrap();
+        let mut last = sim.snapshot().peak();
+        for _ in 0..100 {
+            let t = sim.step(&power).unwrap().peak();
+            assert!(t >= last - 1e-12);
+            last = t;
+        }
+        assert!(last > m.ambient());
+    }
+
+    #[test]
+    fn die_reacts_faster_than_package() {
+        // After a power step, the first milliseconds raise the die
+        // noticeably while the package barely moves — the separation the
+        // boosting controller exploits.
+        let m = small_model();
+        let power = vec![Watts::new(5.0); 16];
+        let mut sim = TransientSim::new(&m, Seconds::new(1e-3)).unwrap();
+        let map = sim.run(&power, 20).unwrap(); // 20 ms
+        let die_rise = map.peak() - m.ambient();
+        let sink_node = map.state()[2 * 16 + 1];
+        let sink_rise = sink_node - m.ambient().value();
+        assert!(die_rise > 1.0, "die rise {die_rise}");
+        assert!(sink_rise < die_rise / 3.0, "sink rise {sink_rise}");
+    }
+
+    #[test]
+    fn cooling_after_power_removed() {
+        let m = small_model();
+        let hot = vec![Watts::new(4.0); 16];
+        let mut sim = TransientSim::new(&m, Seconds::new(0.05)).unwrap();
+        sim.run(&hot, 400).unwrap();
+        let peak_hot = sim.snapshot().peak();
+        sim.run(&[Watts::zero(); 16], 4000).unwrap();
+        let peak_cold = sim.snapshot().peak();
+        assert!(peak_cold < peak_hot);
+        assert!((peak_cold - m.ambient()).abs() < 0.5, "cooled to {peak_cold}");
+    }
+
+    #[test]
+    fn restart_from_steady_state_is_stationary() {
+        let m = small_model();
+        let power = vec![Watts::new(2.0); 16];
+        let steady = m.steady_state(&power).unwrap();
+        let mut sim = TransientSim::from_map(&m, &steady, Seconds::new(0.01)).unwrap();
+        let after = sim.run(&power, 50).unwrap();
+        assert!(
+            (after.peak() - steady.peak()).abs() < 1e-6,
+            "drifted from {} to {}",
+            steady.peak(),
+            after.peak()
+        );
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        let m = small_model();
+        assert!(TransientSim::new(&m, Seconds::zero()).is_err());
+        let mut sim = TransientSim::new(&m, Seconds::new(0.01)).unwrap();
+        assert!(matches!(
+            sim.step(&[Watts::zero(); 3]),
+            Err(ThermalError::PowerMapMismatch { got: 3, expected: 16 })
+        ));
+        // A map from a different-size model is rejected.
+        let other_plan = Floorplan::grid(2, 2, SquareMillimeters::new(5.1)).unwrap();
+        let other = ThermalModel::new(&other_plan, PackageConfig::paper_dac15()).unwrap();
+        let map = other.steady_state(&[Watts::zero(); 4]).unwrap();
+        assert!(TransientSim::from_map(&m, &map, Seconds::new(0.01)).is_err());
+    }
+
+    #[test]
+    fn grid_mode_transient_matches_its_steady_state() {
+        let plan = Floorplan::grid(3, 3, SquareMillimeters::new(5.1)).unwrap();
+        let m = ThermalModel::with_subdivision(&plan, PackageConfig::paper_dac15(), 2).unwrap();
+        let power = vec![Watts::new(2.5); 9];
+        let steady = m.steady_state(&power).unwrap();
+        let mut sim = TransientSim::new(&m, Seconds::new(0.1)).unwrap();
+        sim.run(&power, 6000).unwrap();
+        let now = sim.snapshot();
+        assert!(
+            (now.peak() - steady.peak()).abs() < 0.3,
+            "transient {} vs steady {}",
+            now.peak(),
+            steady.peak()
+        );
+        assert_eq!(now.core_count(), 9);
+    }
+
+    #[test]
+    fn elapsed_time_tracks_steps() {
+        let m = small_model();
+        let mut sim = TransientSim::new(&m, Seconds::new(0.25)).unwrap();
+        sim.run(&[Watts::zero(); 16], 8).unwrap();
+        assert!((sim.elapsed().value() - 2.0).abs() < 1e-12);
+        assert_eq!(sim.dt(), Seconds::new(0.25));
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for Thermal Safe Power.
+
+use darksil_floorplan::{CoreId, Floorplan};
+use darksil_thermal::{PackageConfig, ThermalModel};
+use darksil_tsp::TspCalculator;
+use darksil_units::{Celsius, SquareMillimeters, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For any active set, powering every active core at exactly the
+    /// TSP value lands the peak exactly on the threshold.
+    #[test]
+    fn tsp_is_exact_for_any_mapping(
+        mask in prop::collection::vec(any::<bool>(), 25),
+    ) {
+        let plan = Floorplan::grid(5, 5, SquareMillimeters::new(5.1)).unwrap();
+        let model = ThermalModel::new(&plan, PackageConfig::paper_dac15()).unwrap();
+        let tsp = TspCalculator::new(&plan, &model, Celsius::new(80.0));
+        let active: Vec<CoreId> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &on)| on)
+            .map(|(i, _)| CoreId(i))
+            .collect();
+        prop_assume!(!active.is_empty());
+        let budget = tsp.for_mapping(&active).unwrap();
+        let mut power = vec![Watts::zero(); 25];
+        for c in &active {
+            power[c.index()] = budget;
+        }
+        let peak = model.steady_state(&power).unwrap().peak();
+        prop_assert!((peak.value() - 80.0).abs() < 0.05, "peak {peak}");
+    }
+
+    /// Adding a core to the active set never raises the per-core TSP.
+    #[test]
+    fn tsp_antitone_under_set_growth(
+        mask in prop::collection::vec(any::<bool>(), 25),
+        extra in 0_usize..25,
+    ) {
+        let plan = Floorplan::grid(5, 5, SquareMillimeters::new(5.1)).unwrap();
+        let model = ThermalModel::new(&plan, PackageConfig::paper_dac15()).unwrap();
+        let tsp = TspCalculator::new(&plan, &model, Celsius::new(80.0));
+        let mut active: Vec<CoreId> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &on)| on)
+            .map(|(i, _)| CoreId(i))
+            .collect();
+        prop_assume!(!active.is_empty());
+        prop_assume!(!active.contains(&CoreId(extra)));
+        let before = tsp.for_mapping(&active).unwrap();
+        active.push(CoreId(extra));
+        let after = tsp.for_mapping(&active).unwrap();
+        prop_assert!(after <= before + Watts::new(1e-9), "{after} > {before}");
+    }
+
+    /// The worst-case (centred blob) budget never exceeds the budget of
+    /// the same-size spread set.
+    #[test]
+    fn worst_case_is_pessimal_vs_spread(m in 1_usize..25) {
+        let plan = Floorplan::grid(5, 5, SquareMillimeters::new(5.1)).unwrap();
+        let model = ThermalModel::new(&plan, PackageConfig::paper_dac15()).unwrap();
+        let tsp = TspCalculator::new(&plan, &model, Celsius::new(80.0));
+        let blob = tsp.worst_case(m).unwrap();
+        // Spread the same count with a fixed stride pattern.
+        let spread: Vec<CoreId> = (0..25)
+            .map(CoreId)
+            .filter(|c| c.index() * m / 25 != (c.index() + 1) * m / 25)
+            .collect();
+        prop_assume!(spread.len() == m);
+        let spread_budget = tsp.for_mapping(&spread).unwrap();
+        prop_assert!(
+            blob.value() <= spread_budget.value() * (1.0 + 1e-9),
+            "blob {blob} > spread {spread_budget}"
+        );
+    }
+}

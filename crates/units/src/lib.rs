@@ -1,0 +1,91 @@
+//! Physical quantity newtypes for the `darksil` toolkit.
+//!
+//! Every quantity that crosses a crate boundary in the workspace — supply
+//! voltages, clock frequencies, power, temperatures, energies, areas and
+//! throughputs — is wrapped in a dedicated newtype so that, e.g., a
+//! frequency can never be passed where a voltage is expected
+//! (cf. Eq. (1)/(2) of Henkel et al., DAC 2015, which mix `V`, `f`, `P`
+//! and `T` in a single expression).
+//!
+//! All quantities are thin wrappers around `f64`, are `Copy`, and support
+//! the arithmetic that is dimensionally meaningful:
+//!
+//! * same-type addition/subtraction/negation,
+//! * scaling by a bare `f64` (both `q * s` and `s * q`),
+//! * `q / q` yielding a dimensionless `f64` ratio,
+//! * selected cross-type products (`Watts * Seconds = Joules`,
+//!   `Volts * Amperes = Watts`, …).
+//!
+//! # Examples
+//!
+//! ```
+//! use darksil_units::{Hertz, Volts, Watts, Seconds};
+//!
+//! let f = Hertz::from_ghz(3.6);
+//! let v = Volts::new(1.05);
+//! assert!(f.as_ghz() > 3.5 && f.as_ghz() < 3.7);
+//!
+//! let p = Watts::new(3.4);
+//! let e = p * Seconds::new(2.0);
+//! assert_eq!(e.value(), 6.8); // joules
+//! assert_eq!(v.value(), 1.05);
+//! ```
+
+mod quantity;
+mod temperature;
+
+pub use quantity::{
+    Amperes, Farads, Gips, Hertz, Joules, Seconds, SquareMillimeters, Volts, Watts,
+    WattsPerSquareMillimeter,
+};
+pub use temperature::{Celsius, Kelvin, ABSOLUTE_ZERO_CELSIUS};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_unit_power_energy() {
+        let e = Watts::new(10.0) * Seconds::new(3.0);
+        assert_eq!(e, Joules::new(30.0));
+        let p = Joules::new(30.0) / Seconds::new(3.0);
+        assert_eq!(p, Watts::new(10.0));
+    }
+
+    #[test]
+    fn electrical_power() {
+        let p = Volts::new(2.0) * Amperes::new(1.5);
+        assert_eq!(p, Watts::new(3.0));
+    }
+
+    #[test]
+    fn power_density() {
+        let d = Watts::new(9.6) / SquareMillimeters::new(9.6);
+        assert_eq!(d, WattsPerSquareMillimeter::new(1.0));
+        let back = d * SquareMillimeters::new(2.0);
+        assert_eq!(back, Watts::new(2.0));
+    }
+
+    #[test]
+    fn frequency_constructors_roundtrip() {
+        let f = Hertz::from_mhz(200.0);
+        assert!((f.as_ghz() - 0.2).abs() < 1e-12);
+        assert!((f.as_mhz() - 200.0).abs() < 1e-9);
+        assert_eq!(Hertz::from_ghz(1.0), Hertz::new(1.0e9));
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{}", Watts::new(1.5)), "1.5 W");
+        assert_eq!(format!("{}", Volts::new(0.92)), "0.92 V");
+        assert_eq!(format!("{}", Hertz::from_ghz(3.0)), "3 GHz");
+        assert_eq!(format!("{}", Gips::new(245.3)), "245.3 GIPS");
+    }
+
+    #[test]
+    fn ordering_and_ratio() {
+        assert!(Watts::new(220.0) > Watts::new(185.0));
+        let ratio = Watts::new(220.0) / Watts::new(110.0);
+        assert_eq!(ratio, 2.0);
+    }
+}

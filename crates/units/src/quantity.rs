@@ -1,0 +1,544 @@
+//! Scalar physical quantities and their arithmetic.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Declares an `f64`-backed quantity newtype with the standard arithmetic
+/// surface (same-type add/sub/neg, `f64` scaling, same-type ratio, `Sum`).
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Wraps a raw value expressed in the quantity's base unit.
+            #[inline]
+            #[must_use]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the zero quantity.
+            #[inline]
+            #[must_use]
+            pub const fn zero() -> Self {
+                Self(0.0)
+            }
+
+            /// Returns the raw value in the quantity's base unit.
+            #[inline]
+            #[must_use]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the element-wise minimum of `self` and `other`.
+            #[inline]
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the element-wise maximum of `self` and `other`.
+            #[inline]
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamps the quantity into `[lo, hi]`.
+            #[inline]
+            #[must_use]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Returns `true` if the value is finite (not NaN or ±∞).
+            #[inline]
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl MulAssign<f64> for $name {
+            #[inline]
+            fn mul_assign(&mut self, rhs: f64) {
+                self.0 *= rhs;
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl DivAssign<f64> for $name {
+            #[inline]
+            fn div_assign(&mut self, rhs: f64) {
+                self.0 /= rhs;
+            }
+        }
+
+        /// The ratio of two like quantities is dimensionless.
+        impl Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl From<$name> for f64 {
+            #[inline]
+            fn from(q: $name) -> f64 {
+                q.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Supply voltage in volts (`Vdd` in Eq. (1)/(2)).
+    Volts,
+    "V"
+);
+
+quantity!(
+    /// Electrical power in watts.
+    Watts,
+    "W"
+);
+
+quantity!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+
+quantity!(
+    /// Wall-clock duration in seconds.
+    Seconds,
+    "s"
+);
+
+quantity!(
+    /// Electrical current in amperes (`Ileak` in Eq. (1)).
+    Amperes,
+    "A"
+);
+
+quantity!(
+    /// Capacitance in farads (`Ceff` in Eq. (1)).
+    Farads,
+    "F"
+);
+
+quantity!(
+    /// Silicon area in square millimetres.
+    SquareMillimeters,
+    "mm²"
+);
+
+quantity!(
+    /// Areal power density in watts per square millimetre — the quantity
+    /// the paper identifies as the real driver of dark silicon.
+    WattsPerSquareMillimeter,
+    "W/mm²"
+);
+
+/// Clock frequency. Stored internally in hertz; the paper works in GHz so
+/// [`Hertz::from_ghz`]/[`Hertz::as_ghz`] are the most common accessors.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+        #[serde(transparent)]
+pub struct Hertz(f64);
+
+impl Hertz {
+    /// Wraps a raw frequency in hertz.
+    #[inline]
+    #[must_use]
+    pub const fn new(hz: f64) -> Self {
+        Self(hz)
+    }
+
+    /// Zero frequency (a halted / power-gated core).
+    #[inline]
+    #[must_use]
+    pub const fn zero() -> Self {
+        Self(0.0)
+    }
+
+    /// Constructs a frequency from a value in gigahertz.
+    #[inline]
+    #[must_use]
+    pub const fn from_ghz(ghz: f64) -> Self {
+        Self(ghz * 1.0e9)
+    }
+
+    /// Constructs a frequency from a value in megahertz.
+    #[inline]
+    #[must_use]
+    pub const fn from_mhz(mhz: f64) -> Self {
+        Self(mhz * 1.0e6)
+    }
+
+    /// Returns the frequency in hertz.
+    #[inline]
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the frequency in gigahertz.
+    #[inline]
+    #[must_use]
+    pub fn as_ghz(self) -> f64 {
+        self.0 / 1.0e9
+    }
+
+    /// Returns the frequency in megahertz.
+    #[inline]
+    #[must_use]
+    pub fn as_mhz(self) -> f64 {
+        self.0 / 1.0e6
+    }
+
+    /// Returns the absolute value (useful for level-matching deltas).
+    #[inline]
+    #[must_use]
+    pub fn abs(self) -> Self {
+        Self(self.0.abs())
+    }
+
+    /// Returns the element-wise minimum of `self` and `other`.
+    #[inline]
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// Returns the element-wise maximum of `self` and `other`.
+    #[inline]
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Clamps the frequency into `[lo, hi]`.
+    #[inline]
+    #[must_use]
+    pub fn clamp(self, lo: Self, hi: Self) -> Self {
+        Self(self.0.clamp(lo.0, hi.0))
+    }
+}
+
+impl Add for Hertz {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Hertz {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Hertz {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Hertz {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for Hertz {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl Mul<Hertz> for f64 {
+    type Output = Hertz;
+    #[inline]
+    fn mul(self, rhs: Hertz) -> Hertz {
+        Hertz(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Hertz {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        Self(self.0 / rhs)
+    }
+}
+
+impl Div for Hertz {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Self) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl From<Hertz> for f64 {
+    #[inline]
+    fn from(q: Hertz) -> f64 {
+        q.0
+    }
+}
+
+impl fmt::Display for Hertz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1.0e9 {
+            write!(f, "{} GHz", self.as_ghz())
+        } else if self.0 >= 1.0e6 {
+            write!(f, "{} MHz", self.as_mhz())
+        } else {
+            write!(f, "{} Hz", self.0)
+        }
+    }
+}
+
+quantity!(
+    /// System throughput in giga-instructions per second, the performance
+    /// metric used throughout the paper's evaluation (Figures 7, 9–14).
+    Gips,
+    "GIPS"
+);
+
+// ---------------------------------------------------------------------------
+// Dimensionally meaningful cross-type products.
+// ---------------------------------------------------------------------------
+
+/// `P · t = E`
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules::new(self.value() * rhs.value())
+    }
+}
+
+/// `t · P = E`
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        rhs * self
+    }
+}
+
+/// `E / t = P`
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts::new(self.value() / rhs.value())
+    }
+}
+
+/// `E / P = t`
+impl Div<Watts> for Joules {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds::new(self.value() / rhs.value())
+    }
+}
+
+/// `V · I = P`
+impl Mul<Amperes> for Volts {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Amperes) -> Watts {
+        Watts::new(self.value() * rhs.value())
+    }
+}
+
+/// `I · V = P`
+impl Mul<Volts> for Amperes {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Volts) -> Watts {
+        rhs * self
+    }
+}
+
+/// `P / A = density`
+impl Div<SquareMillimeters> for Watts {
+    type Output = WattsPerSquareMillimeter;
+    #[inline]
+    fn div(self, rhs: SquareMillimeters) -> WattsPerSquareMillimeter {
+        WattsPerSquareMillimeter::new(self.value() / rhs.value())
+    }
+}
+
+/// `density · A = P`
+impl Mul<SquareMillimeters> for WattsPerSquareMillimeter {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: SquareMillimeters) -> Watts {
+        Watts::new(self.value() * rhs.value())
+    }
+}
+
+/// `A · density = P`
+impl Mul<WattsPerSquareMillimeter> for SquareMillimeters {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: WattsPerSquareMillimeter) -> Watts {
+        rhs * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_iterates() {
+        let total: Watts = [Watts::new(1.0), Watts::new(2.5)].iter().sum();
+        assert_eq!(total, Watts::new(3.5));
+        let owned: Watts = vec![Watts::new(1.0); 4].into_iter().sum();
+        assert_eq!(owned, Watts::new(4.0));
+    }
+
+    #[test]
+    fn clamp_min_max() {
+        let f = Hertz::from_ghz(5.0).clamp(Hertz::from_ghz(0.2), Hertz::from_ghz(3.6));
+        assert_eq!(f, Hertz::from_ghz(3.6));
+        assert_eq!(Watts::new(-1.0).max(Watts::zero()), Watts::zero());
+        assert_eq!(Watts::new(2.0).min(Watts::new(1.0)), Watts::new(1.0));
+    }
+
+    #[test]
+    fn energy_round_trips_through_time() {
+        let e = Watts::new(7.0) * Seconds::new(4.0);
+        assert_eq!(e / Watts::new(7.0), Seconds::new(4.0));
+        assert_eq!(e / Seconds::new(4.0), Watts::new(7.0));
+    }
+
+    #[test]
+    fn scaling_in_place() {
+        let mut p = Watts::new(2.0);
+        p *= 3.0;
+        assert_eq!(p, Watts::new(6.0));
+        p /= 2.0;
+        assert_eq!(p, Watts::new(3.0));
+        p += Watts::new(1.0);
+        p -= Watts::new(0.5);
+        assert_eq!(p, Watts::new(3.5));
+    }
+
+    #[test]
+    fn hertz_display_picks_scale() {
+        assert_eq!(format!("{}", Hertz::from_mhz(200.0)), "200 MHz");
+        assert_eq!(format!("{}", Hertz::new(50.0)), "50 Hz");
+    }
+
+    #[test]
+    fn negation_and_abs() {
+        assert_eq!((-Watts::new(2.0)).abs(), Watts::new(2.0));
+        assert!(Joules::new(-1.0).is_finite());
+        assert!(!Watts::new(f64::NAN).is_finite());
+    }
+}

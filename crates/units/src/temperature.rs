@@ -1,0 +1,243 @@
+//! Temperature quantities.
+//!
+//! Two scales are kept distinct on purpose: the paper expresses policy
+//! thresholds in degrees Celsius (`T_DTM = 80 °C`) while the thermal RC
+//! network solves in kelvin-compatible differences. [`Celsius`] and
+//! [`Kelvin`] convert explicitly into each other so the 273.15 offset can
+//! never be applied twice or forgotten.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Offset between the Celsius and Kelvin scales.
+const KELVIN_OFFSET: f64 = 273.15;
+
+/// The lowest physically meaningful Celsius temperature.
+pub const ABSOLUTE_ZERO_CELSIUS: f64 = -KELVIN_OFFSET;
+
+/// Temperature on the Celsius scale (the paper's native scale: the DTM
+/// threshold is 80 °C, ambient 45 °C).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Celsius(f64);
+
+impl Celsius {
+    /// Wraps a temperature expressed in degrees Celsius.
+    #[inline]
+    #[must_use]
+    pub const fn new(deg: f64) -> Self {
+        Self(deg)
+    }
+
+    /// Returns the temperature in degrees Celsius.
+    #[inline]
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to the Kelvin scale.
+    #[inline]
+    #[must_use]
+    pub fn to_kelvin(self) -> Kelvin {
+        Kelvin(self.0 + KELVIN_OFFSET)
+    }
+
+    /// Returns the warmer of two temperatures.
+    #[inline]
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Returns the cooler of two temperatures.
+    #[inline]
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// Returns `true` if the value is finite (not NaN or ±∞).
+    #[inline]
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+/// Temperature on the Kelvin scale.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Kelvin(f64);
+
+impl Kelvin {
+    /// Wraps a temperature expressed in kelvin.
+    #[inline]
+    #[must_use]
+    pub const fn new(k: f64) -> Self {
+        Self(k)
+    }
+
+    /// Returns the temperature in kelvin.
+    #[inline]
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to the Celsius scale.
+    #[inline]
+    #[must_use]
+    pub fn to_celsius(self) -> Celsius {
+        Celsius(self.0 - KELVIN_OFFSET)
+    }
+
+    /// Returns the warmer of two temperatures.
+    #[inline]
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Returns the cooler of two temperatures.
+    #[inline]
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+}
+
+impl From<Celsius> for Kelvin {
+    #[inline]
+    fn from(c: Celsius) -> Self {
+        c.to_kelvin()
+    }
+}
+
+impl From<Kelvin> for Celsius {
+    #[inline]
+    fn from(k: Kelvin) -> Self {
+        k.to_celsius()
+    }
+}
+
+/// Temperature *differences* are scale-free; adding a difference expressed
+/// as bare kelvin/celsius degrees is provided through `f64` operands.
+impl Add<f64> for Celsius {
+    type Output = Self;
+    #[inline]
+    fn add(self, delta_deg: f64) -> Self {
+        Self(self.0 + delta_deg)
+    }
+}
+
+impl Sub<f64> for Celsius {
+    type Output = Self;
+    #[inline]
+    fn sub(self, delta_deg: f64) -> Self {
+        Self(self.0 - delta_deg)
+    }
+}
+
+/// Difference between two Celsius temperatures, in degrees.
+impl Sub for Celsius {
+    type Output = f64;
+    #[inline]
+    fn sub(self, rhs: Self) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl Add<f64> for Kelvin {
+    type Output = Self;
+    #[inline]
+    fn add(self, delta_deg: f64) -> Self {
+        Self(self.0 + delta_deg)
+    }
+}
+
+impl Sub<f64> for Kelvin {
+    type Output = Self;
+    #[inline]
+    fn sub(self, delta_deg: f64) -> Self {
+        Self(self.0 - delta_deg)
+    }
+}
+
+/// Difference between two Kelvin temperatures, in degrees.
+impl Sub for Kelvin {
+    type Output = f64;
+    #[inline]
+    fn sub(self, rhs: Self) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Celsius {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} °C", self.0)
+    }
+}
+
+impl fmt::Display for Kelvin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} K", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn celsius_kelvin_round_trip() {
+        let t = Celsius::new(80.0);
+        assert_eq!(t.to_kelvin(), Kelvin::new(353.15));
+        assert_eq!(t.to_kelvin().to_celsius(), t);
+        assert_eq!(Kelvin::from(Celsius::new(0.0)), Kelvin::new(273.15));
+        assert_eq!(Celsius::from(Kelvin::new(273.15)), Celsius::new(0.0));
+    }
+
+    #[test]
+    fn differences_are_scale_free() {
+        let dtm = Celsius::new(80.0);
+        let t = Celsius::new(76.5);
+        assert!((dtm - t - 3.5).abs() < 1e-12);
+        // The same difference measured in kelvin must be identical.
+        assert!(((dtm.to_kelvin() - t.to_kelvin()) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_arithmetic() {
+        let t = Celsius::new(45.0) + 10.0;
+        assert_eq!(t, Celsius::new(55.0));
+        assert_eq!(t - 5.0, Celsius::new(50.0));
+        assert_eq!(Kelvin::new(300.0) + 1.0 - 2.0, Kelvin::new(299.0));
+    }
+
+    #[test]
+    fn max_tracks_peak_temperature() {
+        let peak = [72.0, 81.3, 79.9]
+            .iter()
+            .map(|&d| Celsius::new(d))
+            .fold(Celsius::new(ABSOLUTE_ZERO_CELSIUS), Celsius::max);
+        assert_eq!(peak, Celsius::new(81.3));
+        assert_eq!(Celsius::new(5.0).min(Celsius::new(3.0)), Celsius::new(3.0));
+        assert_eq!(
+            Kelvin::new(5.0).min(Kelvin::new(3.0)).max(Kelvin::new(4.0)),
+            Kelvin::new(4.0)
+        );
+    }
+
+    #[test]
+    fn ordering_against_threshold() {
+        assert!(Celsius::new(80.5) > Celsius::new(80.0));
+        assert!(Celsius::new(79.5) < Celsius::new(80.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Celsius::new(80.0)), "80 °C");
+        assert_eq!(format!("{}", Kelvin::new(353.15)), "353.15 K");
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests for the quantity newtypes: the arithmetic surface
+//! must behave exactly like the underlying `f64` algebra.
+
+use darksil_units::{Celsius, Hertz, Joules, Kelvin, Seconds, Volts, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn addition_is_commutative(a in -1e6_f64..1e6, b in -1e6_f64..1e6) {
+        prop_assert_eq!(Watts::new(a) + Watts::new(b), Watts::new(b) + Watts::new(a));
+    }
+
+    #[test]
+    fn scaling_distributes(a in -1e4_f64..1e4, b in -1e4_f64..1e4, k in -100.0_f64..100.0) {
+        let lhs = (Watts::new(a) + Watts::new(b)) * k;
+        let rhs = Watts::new(a) * k + Watts::new(b) * k;
+        prop_assert!((lhs.value() - rhs.value()).abs() <= 1e-9 * (1.0 + lhs.value().abs()));
+    }
+
+    #[test]
+    fn ratio_of_like_quantities_is_dimensionless(a in 0.1_f64..1e6, k in 0.1_f64..100.0) {
+        let q = Watts::new(a);
+        prop_assert!(((q * k) / q - k).abs() < 1e-9 * k);
+    }
+
+    #[test]
+    fn energy_round_trips(p in 0.001_f64..1e4, t in 0.001_f64..1e4) {
+        let e: Joules = Watts::new(p) * Seconds::new(t);
+        let back_p = e / Seconds::new(t);
+        let back_t = e / Watts::new(p);
+        prop_assert!((back_p.value() - p).abs() < 1e-9 * p);
+        prop_assert!((back_t.value() - t).abs() < 1e-9 * t);
+    }
+
+    #[test]
+    fn frequency_units_are_consistent(ghz in 0.0_f64..100.0) {
+        let f = Hertz::from_ghz(ghz);
+        prop_assert!((f.as_mhz() - ghz * 1000.0).abs() < 1e-6 * (1.0 + ghz));
+        prop_assert!((f.value() - ghz * 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn celsius_kelvin_round_trip(c in -273.15_f64..1e4) {
+        let t = Celsius::new(c);
+        let back = t.to_kelvin().to_celsius();
+        prop_assert!((back.value() - c).abs() < 1e-9);
+        // Differences are invariant under the scale change.
+        let other = Celsius::new(c + 7.25);
+        prop_assert!(((other.to_kelvin() - t.to_kelvin()) - 7.25).abs() < 1e-9);
+        prop_assert!(Kelvin::from(t).value() >= 0.0 - 1e-9);
+    }
+
+    #[test]
+    fn clamp_is_bounded(v in -1e6_f64..1e6, lo in -100.0_f64..0.0, hi in 0.0_f64..100.0) {
+        let c = Watts::new(v).clamp(Watts::new(lo), Watts::new(hi));
+        prop_assert!(c >= Watts::new(lo) && c <= Watts::new(hi));
+        // Idempotent.
+        prop_assert_eq!(c.clamp(Watts::new(lo), Watts::new(hi)), c);
+    }
+
+    #[test]
+    fn min_max_partition(a in -1e6_f64..1e6, b in -1e6_f64..1e6) {
+        let (x, y) = (Volts::new(a), Volts::new(b));
+        prop_assert!((x.min(y).value() + x.max(y).value() - (a + b)).abs() < 1e-9);
+        prop_assert!(x.min(y) <= x.max(y));
+    }
+
+    #[test]
+    fn sum_matches_fold(values in prop::collection::vec(-1e3_f64..1e3, 0..20)) {
+        let by_sum: Watts = values.iter().map(|&v| Watts::new(v)).sum();
+        let by_fold = values
+            .iter()
+            .fold(Watts::zero(), |acc, &v| acc + Watts::new(v));
+        prop_assert!((by_sum.value() - by_fold.value()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,43 @@
+//! Application model: Parsec profiles, Amdahl speed-up, and workloads.
+//!
+//! The paper evaluates seven applications from the Parsec benchmark
+//! suite (§2.3): x264, blackscholes, bodytrack, ferret, canneal, dedup
+//! and swaptions. Each application is characterised along three axes:
+//!
+//! * **TLP** — thread-level parallelism, captured as an Amdahl parallel
+//!   fraction fitted to the Figure 4 speed-up curves,
+//! * **ILP** — instruction-level parallelism and memory behaviour,
+//!   captured as a [`darksil_archsim::TraceProfile`] evaluated by the
+//!   analytic core model,
+//! * **power class** — the application's effective switching capacitance
+//!   relative to the x264 baseline of `darksil-power`.
+//!
+//! Applications run as *instances* of 1–8 dependent threads
+//! ([`AppInstance`]); a [`Workload`] is a set of instances to be mapped
+//! onto a chip. Multiple instances avoid the parallelism wall: mapping a
+//! single application across hundreds of cores would leave every core
+//! under-utilised and overstate dark silicon (§2.3).
+//!
+//! # Examples
+//!
+//! ```
+//! use darksil_workload::{ParsecApp, Workload};
+//! use darksil_archsim::CoreModel;
+//! use darksil_units::Hertz;
+//!
+//! let profile = ParsecApp::X264.profile();
+//! assert!(profile.speedup(8) > 2.0);
+//!
+//! // 12 instances of x264 with 8 threads each (Figure 11's workload).
+//! let w = Workload::uniform(ParsecApp::X264, 12, 8)?;
+//! assert_eq!(w.total_threads(), 96);
+//! let gips = w.total_gips(&CoreModel::alpha_21264(), Hertz::from_ghz(3.2));
+//! assert!(gips.value() > 150.0 && gips.value() < 350.0);
+//! # Ok::<(), darksil_workload::WorkloadError>(())
+//! ```
+
+mod app;
+mod instance;
+
+pub use app::{AppProfile, ParsecApp, MAX_THREADS_PER_INSTANCE};
+pub use instance::{AppInstance, Workload, WorkloadError};

@@ -1,0 +1,89 @@
+//! Property tests for the workload model.
+
+use darksil_archsim::CoreModel;
+use darksil_units::Hertz;
+use darksil_workload::{AppInstance, ParsecApp, Workload, MAX_THREADS_PER_INSTANCE};
+use proptest::prelude::*;
+
+fn any_app() -> impl Strategy<Value = ParsecApp> {
+    (0_usize..7).prop_map(|i| ParsecApp::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Instance GIPS is monotone in both threads and frequency for every
+    /// application.
+    #[test]
+    fn instance_gips_is_monotone(
+        app in any_app(),
+        threads in 1_usize..MAX_THREADS_PER_INSTANCE,
+        ghz in 0.4_f64..4.0,
+    ) {
+        let core = CoreModel::alpha_21264();
+        let p = app.profile();
+        let f = Hertz::from_ghz(ghz);
+        let base = p.instance_gips(&core, threads, f);
+        let more_threads = p.instance_gips(&core, threads + 1, f);
+        let more_freq = p.instance_gips(&core, threads, Hertz::from_ghz(ghz + 0.2));
+        prop_assert!(more_threads >= base);
+        prop_assert!(more_freq >= base);
+    }
+
+    /// Workload totals decompose over instances.
+    #[test]
+    fn workload_totals_decompose(
+        counts in prop::collection::vec((0_usize..7, 1_usize..9), 1..10),
+        ghz in 1.0_f64..4.0,
+    ) {
+        let core = CoreModel::alpha_21264();
+        let f = Hertz::from_ghz(ghz);
+        let mut w = Workload::new();
+        let mut threads = 0;
+        let mut gips = 0.0;
+        for (app_idx, t) in counts {
+            let inst = AppInstance::new(ParsecApp::ALL[app_idx], t).unwrap();
+            threads += t;
+            gips += inst.gips(&core, f).value();
+            w.push(inst);
+        }
+        prop_assert_eq!(w.total_threads(), threads);
+        prop_assert!((w.total_gips(&core, f).value() - gips).abs() < 1e-9 * (1.0 + gips));
+    }
+
+    /// Activity is bounded and decreasing in threads for every app.
+    #[test]
+    fn activity_bounded(app in any_app(), threads in 1_usize..MAX_THREADS_PER_INSTANCE) {
+        let p = app.profile();
+        let a = p.activity(threads);
+        prop_assert!((0.0..=1.0).contains(&a));
+        prop_assert!(p.activity(threads + 1) <= a + 1e-12);
+    }
+
+    /// Serde round-trips preserve workloads exactly.
+    #[test]
+    fn workload_serde_round_trip(
+        counts in prop::collection::vec((0_usize..7, 1_usize..9), 0..8),
+    ) {
+        let mut w = Workload::new();
+        for (app_idx, t) in counts {
+            w.push(AppInstance::new(ParsecApp::ALL[app_idx], t).unwrap());
+        }
+        let json = serde_json::to_string(&w).unwrap();
+        let back: Workload = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(w, back);
+    }
+
+    /// Mixes have exactly the requested size and near-uniform app
+    /// distribution.
+    #[test]
+    fn parsec_mix_is_balanced(instances in 1_usize..40, threads in 1_usize..9) {
+        let w = Workload::parsec_mix(instances, threads).unwrap();
+        prop_assert_eq!(w.len(), instances);
+        for app in ParsecApp::ALL {
+            let count = w.iter().filter(|i| i.app() == app).count();
+            let expect = instances / 7;
+            prop_assert!(count == expect || count == expect + 1);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Invade / retreat: dark-silicon management as a runtime interface.
+//!
+//! The paper closes by pointing at Invasive Computing as the programming
+//! model for the dark-silicon era. This example drives the
+//! [`darksil_mapping::ResourceArbiter`]: applications invade cores at
+//! runtime, the arbiter grants each claim the fastest thermally safe
+//! V/f level, and retreats return headroom to the pool.
+//!
+//! Run with: `cargo run --release --example invasive_computing`
+
+use darksil_mapping::{Platform, ResourceArbiter};
+use darksil_power::TechnologyNode;
+use darksil_workload::ParsecApp;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = Platform::for_node(TechnologyNode::Nm16)?;
+    let mut arbiter = ResourceArbiter::new(platform);
+
+    println!("100-core 16 nm chip, T_DTM = 80 °C\n");
+    println!("{:<28} {:>6} {:>8} {:>9} {:>9}", "event", "free", "claims", "GIPS", "power[W]");
+
+    let mut claims = Vec::new();
+    let arrivals = [
+        (ParsecApp::X264, 8),
+        (ParsecApp::Swaptions, 8),
+        (ParsecApp::Swaptions, 8),
+        (ParsecApp::Canneal, 8),
+        (ParsecApp::Ferret, 8),
+        (ParsecApp::Swaptions, 8),
+        (ParsecApp::Blackscholes, 8),
+        (ParsecApp::Swaptions, 8),
+        (ParsecApp::Dedup, 8),
+        (ParsecApp::Swaptions, 8),
+    ];
+    for (app, threads) in arrivals {
+        match arbiter.invade(app, threads) {
+            Ok(id) => {
+                claims.push(id);
+                println!(
+                    "{:<28} {:>6} {:>8} {:>9.0} {:>9.0}",
+                    format!("invade {app}×{threads}t -> {id}"),
+                    arbiter.free_cores(),
+                    arbiter.claim_count(),
+                    arbiter.total_gips().value(),
+                    arbiter.total_power()?.value()
+                );
+            }
+            Err(e) => {
+                println!("{:<28} refused: {e}", format!("invade {app}×{threads}t"));
+            }
+        }
+    }
+
+    // The earliest claims retreat; the freed thermal headroom admits a
+    // new application immediately.
+    for id in claims.drain(..2) {
+        arbiter.retreat(id);
+        println!(
+            "{:<28} {:>6} {:>8} {:>9.0} {:>9.0}",
+            format!("retreat {id}"),
+            arbiter.free_cores(),
+            arbiter.claim_count(),
+            arbiter.total_gips().value(),
+            arbiter.total_power()?.value()
+        );
+    }
+    let id = arbiter.invade(ParsecApp::Bodytrack, 8)?;
+    println!(
+        "{:<28} {:>6} {:>8} {:>9.0} {:>9.0}",
+        format!("invade bodytrack×8t -> {id}"),
+        arbiter.free_cores(),
+        arbiter.claim_count(),
+        arbiter.total_gips().value(),
+        arbiter.total_power()?.value()
+    );
+
+    let peak = arbiter.mapping().peak_temperature(arbiter.platform())?;
+    println!(
+        "\nfinal peak temperature {:.1} °C — every grant was thermally vetted.",
+        peak.value()
+    );
+    Ok(())
+}

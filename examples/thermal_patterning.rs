@@ -1,0 +1,56 @@
+//! Dark-silicon patterning: where the dark cores sit matters.
+//!
+//! Maps the same swaptions workload (a) contiguously and (b) with the
+//! DaSim-style thermally optimised pattern, solves both to steady state
+//! and renders the die thermal maps — the Figure 8 experiment. The
+//! contiguous mapping of 52 cores at 196 W trips the 80 °C DTM
+//! threshold while the patterned mapping runs 60 cores at 226 W safely.
+//!
+//! Run with: `cargo run --release --example thermal_patterning`
+
+use darksil_mapping::{place_contiguous, place_thermal_aware, Platform};
+use darksil_power::TechnologyNode;
+use darksil_units::Celsius;
+use darksil_workload::{ParsecApp, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = Platform::for_node(TechnologyNode::Nm16)?;
+    let level = platform.max_level();
+
+    let cram = Workload::uniform(ParsecApp::Swaptions, 13, 4)?; // 52 cores
+    let spread = Workload::uniform(ParsecApp::Swaptions, 15, 4)?; // 60 cores
+
+    let contiguous = place_contiguous(platform.floorplan(), &cram, level)?;
+    let patterned = place_thermal_aware(&platform, &spread, level)?;
+
+    for (name, mapping) in [("contiguous", &contiguous), ("patterned", &patterned)] {
+        let map = mapping.steady_temperatures(&platform)?;
+        let temps: Vec<Celsius> = map.die_temperatures().collect();
+        let power: darksil_units::Watts =
+            mapping.power_map_at(&platform, &temps).iter().sum();
+        println!(
+            "\n== {name}: {} active cores @ {:.1} GHz, {:.0} W total ==",
+            mapping.active_core_count(),
+            level.frequency.as_ghz(),
+            power.value()
+        );
+        println!(
+            "peak {:.1} °C — {}",
+            map.peak().value(),
+            if map.peak() > platform.t_dtm() {
+                "EXCEEDS T_DTM (DTM would throttle)"
+            } else {
+                "below T_DTM"
+            }
+        );
+        // One glyph per core, fixed 64–82 °C scale so the two maps are
+        // directly comparable (denser glyph = hotter).
+        println!("{}", map.to_grid_map(platform.floorplan())?.render_ascii_scaled(64.0, 82.0));
+    }
+
+    println!(
+        "Patterning turns dark cores into thermal buffers: more active \
+         cores, more total\npower, and still a cooler peak (Figure 8)."
+    );
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! TSP — a power budget that adapts to the number of active cores.
+//!
+//! Computes Thermal Safe Power across active-core counts on the 16 nm
+//! chip and compares the resulting total safe power against the two
+//! fixed TDPs of the paper, then evaluates the Figure 10 experiment:
+//! TSP-budgeted performance across technology nodes with growing dark
+//! fractions.
+//!
+//! Run with: `cargo run --release --example tsp_budgeting`
+
+use darksil_core::{tsp_eval, DarkSiliconEstimator};
+use darksil_power::TechnologyNode;
+use darksil_tsp::TspCalculator;
+use darksil_units::Celsius;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let est = DarkSiliconEstimator::for_node(TechnologyNode::Nm16)?;
+    let platform = est.platform();
+    let tsp = TspCalculator::new(
+        platform.floorplan(),
+        platform.thermal(),
+        Celsius::new(80.0),
+    );
+
+    println!("== TSP vs TDP on the 16 nm / 100-core chip ==\n");
+    println!("active  TSP/core[W]  total-safe[W]   vs TDP 185 W");
+    for m in [10, 20, 40, 60, 80, 100] {
+        let per_core = tsp.worst_case(m)?;
+        let total = per_core * m as f64;
+        let verdict = if total.value() > 185.0 {
+            "TSP allows MORE than the TDP"
+        } else {
+            "TSP is stricter here"
+        };
+        println!(
+            "{m:>6}  {:>10.2}  {:>12.0}   {verdict}",
+            per_core.value(),
+            total.value()
+        );
+    }
+
+    println!(
+        "\nA single TDP is one point on this curve; TSP is the whole \
+         curve — few active\ncores may safely burn far more than \
+         TDP/m, many active cores must stay below it.\n"
+    );
+
+    println!("== Figure 10: performance under TSP across nodes ==\n");
+    println!("node    dark%   active  TSP/core[W]  total[GIPS]");
+    for (node, dark) in [
+        (TechnologyNode::Nm16, 0.20),
+        (TechnologyNode::Nm11, 0.30),
+        (TechnologyNode::Nm8, 0.40),
+    ] {
+        let est = DarkSiliconEstimator::for_node(node)?;
+        let perf = tsp_eval::tsp_performance(&est, dark)?;
+        println!(
+            "{:<7} {:>4.0}%  {:>6}  {:>10.2}  {:>11.0}",
+            node.to_string(),
+            100.0 * dark,
+            perf.active_cores,
+            perf.tsp_per_core.value(),
+            perf.total_gips.value()
+        );
+    }
+    println!(
+        "\nMore performance per node despite more dark silicon — the \
+         paper's Figure 10."
+    );
+    Ok(())
+}

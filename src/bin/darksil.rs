@@ -1,0 +1,23 @@
+//! The `darksil` command-line tool. All logic lives in
+//! `darksil::cli` so it stays unit-testable; this shim only
+//! adapts process arguments and exit codes.
+
+use std::env;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match darksil::cli::parse(&args) {
+        Ok(command) => match darksil::cli::run(&command) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", darksil::cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,556 @@
+//! Command-line interface of the `darksil` binary.
+//!
+//! Dependency-free argument parsing split from `main` so every path is
+//! unit-testable. Commands:
+//!
+//! ```text
+//! darksil estimate --node <22|16|11|8> --app <name> [--threads N]
+//!                  [--freq GHZ] (--tdp WATTS | --thermal)
+//! darksil tsp      --node <nm> [--active N]
+//! darksil map      --node <nm> --policy <tdpmap|dsrem> [--mix N] [--tdp W]
+//! darksil boost    --node <nm> [--app NAME] [--instances N] [--duration S]
+//! ```
+
+use std::fmt;
+
+use darksil_boost::{run_boosting, run_constant, PolicyConfig};
+use darksil_core::DarkSiliconEstimator;
+use darksil_mapping::{place_patterned, DsRem, Platform, TdpMap};
+use darksil_power::TechnologyNode;
+use darksil_tsp::TspCalculator;
+use darksil_units::{Hertz, Seconds, Watts};
+use darksil_workload::{ParsecApp, Workload};
+
+/// A parsed command, ready to run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Execute a JSON scenario file.
+    Run {
+        /// Path to the scenario JSON.
+        path: String,
+        /// Emit the report as JSON instead of text.
+        json: bool,
+    },
+    /// Dark-silicon estimation under a budget or the thermal constraint.
+    Estimate {
+        /// Technology node.
+        node: TechnologyNode,
+        /// Application.
+        app: ParsecApp,
+        /// Threads per instance.
+        threads: usize,
+        /// Frequency (defaults to the node's nominal maximum).
+        freq: Option<Hertz>,
+        /// TDP budget; `None` means the thermal constraint.
+        tdp: Option<Watts>,
+    },
+    /// TSP curve or a single TSP value.
+    Tsp {
+        /// Technology node.
+        node: TechnologyNode,
+        /// Specific active-core count; `None` prints the curve.
+        active: Option<usize>,
+    },
+    /// Run a mapping policy on a Parsec mix.
+    Map {
+        /// Technology node.
+        node: TechnologyNode,
+        /// Policy name.
+        dsrem: bool,
+        /// Instances in the mix.
+        mix: usize,
+        /// Budget.
+        tdp: Watts,
+    },
+    /// Transient boosting vs constant comparison.
+    Boost {
+        /// Technology node.
+        node: TechnologyNode,
+        /// Application.
+        app: ParsecApp,
+        /// 8-thread instances.
+        instances: usize,
+        /// Simulated seconds.
+        duration: f64,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text printed by `darksil help` and on parse errors.
+pub const USAGE: &str = "\
+darksil — dark-silicon analysis toolkit (DAC'15 reproduction)
+
+USAGE:
+  darksil estimate --node <22|16|11|8> --app <name> [--threads N]
+                   [--freq GHZ] (--tdp WATTS | --thermal)
+  darksil tsp      --node <nm> [--active N]
+  darksil map      --node <nm> --policy <tdpmap|dsrem> [--mix N] [--tdp W]
+  darksil boost    --node <nm> [--app NAME] [--instances N] [--duration S]
+  darksil run      <scenario.json> [--json]
+  darksil help
+
+apps: x264 blackscholes bodytrack ferret canneal dedup swaptions";
+
+fn parse_node(s: &str) -> Result<TechnologyNode, ParseError> {
+    match s {
+        "22" => Ok(TechnologyNode::Nm22),
+        "16" => Ok(TechnologyNode::Nm16),
+        "11" => Ok(TechnologyNode::Nm11),
+        "8" => Ok(TechnologyNode::Nm8),
+        other => Err(ParseError(format!("unknown node '{other}' (use 22|16|11|8)"))),
+    }
+}
+
+fn parse_app(s: &str) -> Result<ParsecApp, ParseError> {
+    ParsecApp::ALL
+        .iter()
+        .find(|a| a.name() == s)
+        .copied()
+        .ok_or_else(|| ParseError(format!("unknown application '{s}'")))
+}
+
+fn parse_f64(flag: &str, s: &str) -> Result<f64, ParseError> {
+    s.parse()
+        .map_err(|_| ParseError(format!("{flag} expects a number, got '{s}'")))
+}
+
+fn parse_usize(flag: &str, s: &str) -> Result<usize, ParseError> {
+    s.parse()
+        .map_err(|_| ParseError(format!("{flag} expects an integer, got '{s}'")))
+}
+
+/// Parses argv (without the program name) into a [`Command`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with a user-facing message for unknown
+/// commands, flags, values, or missing required arguments.
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    if cmd == "run" {
+        let mut path = None;
+        let mut json = false;
+        for arg in it {
+            match arg.as_str() {
+                "--json" => json = true,
+                p if path.is_none() && !p.starts_with('-') => path = Some(p.to_string()),
+                other => return Err(ParseError(format!("unknown argument '{other}'"))),
+            }
+        }
+        let path = path.ok_or_else(|| ParseError("run expects a scenario file".into()))?;
+        return Ok(Command::Run { path, json });
+    }
+    let mut node = None;
+    let mut app = None;
+    let mut threads = 8_usize;
+    let mut freq = None;
+    let mut tdp = None;
+    let mut thermal = false;
+    let mut active = None;
+    let mut policy = None;
+    let mut mix = 14_usize;
+    let mut instances = 12_usize;
+    let mut duration = 40.0_f64;
+
+    let next_value = |flag: &str, it: &mut std::slice::Iter<'_, String>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| ParseError(format!("{flag} expects a value")))
+    };
+
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--node" => node = Some(parse_node(&next_value("--node", &mut it)?)?),
+            "--app" => app = Some(parse_app(&next_value("--app", &mut it)?)?),
+            "--threads" => {
+                threads = parse_usize("--threads", &next_value("--threads", &mut it)?)?;
+            }
+            "--freq" => {
+                freq = Some(Hertz::from_ghz(parse_f64(
+                    "--freq",
+                    &next_value("--freq", &mut it)?,
+                )?));
+            }
+            "--tdp" => {
+                tdp = Some(Watts::new(parse_f64("--tdp", &next_value("--tdp", &mut it)?)?));
+            }
+            "--thermal" => thermal = true,
+            "--active" => {
+                active = Some(parse_usize("--active", &next_value("--active", &mut it)?)?);
+            }
+            "--policy" => policy = Some(next_value("--policy", &mut it)?),
+            "--mix" => mix = parse_usize("--mix", &next_value("--mix", &mut it)?)?,
+            "--instances" => {
+                instances = parse_usize("--instances", &next_value("--instances", &mut it)?)?;
+            }
+            "--duration" => {
+                duration = parse_f64("--duration", &next_value("--duration", &mut it)?)?;
+            }
+            other => return Err(ParseError(format!("unknown flag '{other}'"))),
+        }
+    }
+
+    let require_node =
+        |node: Option<TechnologyNode>| node.ok_or_else(|| ParseError("--node is required".into()));
+
+    match cmd.as_str() {
+        "estimate" => {
+            let node = require_node(node)?;
+            let app = app.ok_or_else(|| ParseError("--app is required".into()))?;
+            if tdp.is_none() && !thermal {
+                return Err(ParseError("pass --tdp WATTS or --thermal".into()));
+            }
+            if tdp.is_some() && thermal {
+                return Err(ParseError("--tdp and --thermal are mutually exclusive".into()));
+            }
+            Ok(Command::Estimate {
+                node,
+                app,
+                threads,
+                freq,
+                tdp,
+            })
+        }
+        "tsp" => Ok(Command::Tsp {
+            node: require_node(node)?,
+            active,
+        }),
+        "map" => {
+            let node = require_node(node)?;
+            let policy = policy.ok_or_else(|| ParseError("--policy is required".into()))?;
+            let dsrem = match policy.as_str() {
+                "dsrem" => true,
+                "tdpmap" => false,
+                other => {
+                    return Err(ParseError(format!(
+                        "unknown policy '{other}' (use tdpmap|dsrem)"
+                    )))
+                }
+            };
+            Ok(Command::Map {
+                node,
+                dsrem,
+                mix,
+                tdp: tdp.unwrap_or(Watts::new(185.0)),
+            })
+        }
+        "boost" => Ok(Command::Boost {
+            node: require_node(node)?,
+            app: app.unwrap_or(ParsecApp::X264),
+            instances,
+            duration,
+        }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(ParseError(format!("unknown command '{other}'"))),
+    }
+}
+
+/// Executes a command, writing human-readable output to stdout.
+///
+/// # Errors
+///
+/// Propagates estimation/simulation failures as boxed errors.
+pub fn run(command: &Command) -> Result<(), Box<dyn std::error::Error>> {
+    match command {
+        Command::Help => println!("{USAGE}"),
+        Command::Run { path, json } => {
+            let text = std::fs::read_to_string(path)?;
+            let scenario = crate::scenario::parse_scenario(&text)?;
+            let report = crate::scenario::run_scenario(&scenario)?;
+            if *json {
+                println!("{}", serde_json::to_string_pretty(&report)?);
+            } else {
+                println!("{}:", report.name);
+                println!(
+                    "  {} active cores ({:.0}% dark), {:.0} GIPS, {:.0} W, peak {:.1} °C{}",
+                    report.active_cores,
+                    100.0 * report.dark_fraction,
+                    report.total_gips,
+                    report.total_power_w,
+                    report.peak_temperature_c,
+                    if report.thermal_violation {
+                        " (EXCEEDS T_DTM)"
+                    } else {
+                        ""
+                    }
+                );
+                for note in &report.notes {
+                    println!("  - {note}");
+                }
+            }
+        }
+        Command::Estimate {
+            node,
+            app,
+            threads,
+            freq,
+            tdp,
+        } => {
+            let est = DarkSiliconEstimator::for_node(*node)?;
+            let f = freq.unwrap_or(node.nominal_max_frequency());
+            let e = match tdp {
+                Some(budget) => est.under_power_budget(*app, *threads, f, *budget)?,
+                None => est.under_temperature_constraint(*app, *threads, f)?,
+            };
+            println!(
+                "{node} / {app} × {threads} threads @ {:.1} GHz ({})",
+                f.as_ghz(),
+                match tdp {
+                    Some(b) => format!("TDP {b}"),
+                    None => "thermal constraint 80 °C".into(),
+                }
+            );
+            println!(
+                "  {} active / {} dark ({:.0}% dark)",
+                e.active_cores,
+                e.dark_cores,
+                100.0 * e.dark_fraction
+            );
+            println!(
+                "  {:.0} W total, peak {:.1} °C{}, {:.0} GIPS",
+                e.total_power.value(),
+                e.peak_temperature.value(),
+                if e.thermal_violation {
+                    " (EXCEEDS T_DTM)"
+                } else {
+                    ""
+                },
+                e.total_gips.value()
+            );
+        }
+        Command::Tsp { node, active } => {
+            let platform = Platform::for_node(*node)?;
+            let tsp = TspCalculator::new(
+                platform.floorplan(),
+                platform.thermal(),
+                platform.t_dtm(),
+            );
+            let counts: Vec<usize> = match active {
+                Some(m) => vec![*m],
+                None => {
+                    let n = platform.core_count();
+                    (1..=10).map(|i| i * n / 10).collect()
+                }
+            };
+            println!("{node}: TSP (worst-case mappings, T_DTM = 80 °C)");
+            println!("  active  per-core[W]  total[W]");
+            for m in counts {
+                let per = tsp.worst_case(m)?;
+                println!(
+                    "  {m:>6}  {:>10.2}  {:>8.0}",
+                    per.value(),
+                    per.value() * m as f64
+                );
+            }
+        }
+        Command::Map {
+            node,
+            dsrem,
+            mix,
+            tdp,
+        } => {
+            let platform = Platform::for_node(*node)?;
+            let workload = Workload::parsec_mix(*mix, 8)?;
+            let mapping = if *dsrem {
+                DsRem::new(*tdp).map(&platform, &workload)?
+            } else {
+                TdpMap::new(*tdp).map(&platform, &workload)?
+            };
+            let peak = mapping.peak_temperature(&platform)?;
+            println!(
+                "{node} / {} / mix of {mix} × 8t under {tdp}:",
+                if *dsrem { "DsRem" } else { "TDPmap" }
+            );
+            println!(
+                "  {} active cores ({:.0}% dark), {:.0} GIPS, peak {:.1} °C",
+                mapping.active_core_count(),
+                100.0 * mapping.dark_fraction(),
+                mapping.total_gips(&platform).value(),
+                peak.value()
+            );
+        }
+        Command::Boost {
+            node,
+            app,
+            instances,
+            duration,
+        } => {
+            let platform = Platform::for_node(*node)?
+                .with_boost_levels(node.nominal_max_frequency() * 1.25)?;
+            let workload = Workload::uniform(*app, *instances, 8)?;
+            let mapping =
+                place_patterned(platform.floorplan(), &workload, platform.max_level())?;
+            let config = PolicyConfig {
+                period: Seconds::new(0.01),
+                ..PolicyConfig::default()
+            };
+            let horizon = Seconds::new(*duration);
+            let boost = run_boosting(&platform, &mapping, horizon, &config)?;
+            let constant = run_constant(&platform, &mapping, horizon, &config)?;
+            println!(
+                "{node} / {app} × {instances} instances × 8t, {duration} s simulated:"
+            );
+            println!(
+                "  boosting: avg {:.0} GIPS, peak {:.1} °C, peak {:.0} W",
+                boost.average_gips_tail(0.5).value(),
+                boost.peak_temperature().value(),
+                boost.peak_power().value()
+            );
+            println!(
+                "  constant: avg {:.0} GIPS, peak {:.1} °C, peak {:.0} W",
+                constant.average_gips_tail(0.5).value(),
+                constant.peak_temperature().value(),
+                constant.peak_power().value()
+            );
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_estimate() {
+        let cmd = parse(&argv(
+            "estimate --node 16 --app swaptions --threads 8 --freq 3.6 --tdp 185",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Estimate {
+                node: TechnologyNode::Nm16,
+                app: ParsecApp::Swaptions,
+                threads: 8,
+                freq: Some(Hertz::from_ghz(3.6)),
+                tdp: Some(Watts::new(185.0)),
+            }
+        );
+    }
+
+    #[test]
+    fn estimate_thermal_mode() {
+        let cmd = parse(&argv("estimate --node 11 --app canneal --thermal")).unwrap();
+        match cmd {
+            Command::Estimate { node, app, tdp, .. } => {
+                assert_eq!(node, TechnologyNode::Nm11);
+                assert_eq!(app, ParsecApp::Canneal);
+                assert_eq!(tdp, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn estimate_requires_a_constraint() {
+        let err = parse(&argv("estimate --node 16 --app x264")).unwrap_err();
+        assert!(err.to_string().contains("--tdp"));
+        let err =
+            parse(&argv("estimate --node 16 --app x264 --tdp 185 --thermal")).unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn parses_tsp_and_map_and_boost() {
+        assert_eq!(
+            parse(&argv("tsp --node 8 --active 200")).unwrap(),
+            Command::Tsp {
+                node: TechnologyNode::Nm8,
+                active: Some(200),
+            }
+        );
+        assert_eq!(
+            parse(&argv("map --node 16 --policy dsrem --mix 10 --tdp 150")).unwrap(),
+            Command::Map {
+                node: TechnologyNode::Nm16,
+                dsrem: true,
+                mix: 10,
+                tdp: Watts::new(150.0),
+            }
+        );
+        match parse(&argv("boost --node 16 --instances 6 --duration 20")).unwrap() {
+            Command::Boost {
+                instances,
+                duration,
+                app,
+                ..
+            } => {
+                assert_eq!(instances, 6);
+                assert_eq!(duration, 20.0);
+                assert_eq!(app, ParsecApp::X264);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_inputs_are_reported() {
+        assert!(parse(&argv("estimate --node 14 --app x264 --tdp 1")).is_err());
+        assert!(parse(&argv("estimate --node 16 --app doom --tdp 1")).is_err());
+        assert!(parse(&argv("map --node 16 --policy magic")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("tsp")).is_err()); // missing --node
+        assert!(parse(&argv("tsp --node")).is_err()); // dangling value
+        assert!(parse(&argv("boost --node 16 --duration many")).is_err());
+    }
+
+    #[test]
+    fn parses_run() {
+        assert_eq!(
+            parse(&argv("run scenario.json --json")).unwrap(),
+            Command::Run {
+                path: "scenario.json".into(),
+                json: true,
+            }
+        );
+        assert!(parse(&argv("run")).is_err());
+        assert!(parse(&argv("run a.json --frob")).is_err());
+    }
+
+    #[test]
+    fn help_paths() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+        assert!(USAGE.contains("darksil estimate"));
+    }
+
+    #[test]
+    fn run_help_and_small_commands() {
+        run(&Command::Help).unwrap();
+        run(&Command::Tsp {
+            node: TechnologyNode::Nm16,
+            active: Some(40),
+        })
+        .unwrap();
+        run(&Command::Estimate {
+            node: TechnologyNode::Nm16,
+            app: ParsecApp::Canneal,
+            threads: 8,
+            freq: None,
+            tdp: Some(Watts::new(185.0)),
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,41 @@
+//! `darksil` — a dark-silicon analysis toolkit for manycore chips.
+//!
+//! This meta-crate re-exports every subsystem of the workspace under one
+//! roof and hosts the `darksil` command-line tool. Reproduction of
+//! *New Trends in Dark Silicon* (Henkel, Khdr, Pagani, Shafique —
+//! DAC 2015); see the README for the architecture and EXPERIMENTS.md
+//! for the paper-vs-measured record.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use darksil::core::DarkSiliconEstimator;
+//! use darksil::power::TechnologyNode;
+//! use darksil::units::{Hertz, Watts};
+//! use darksil::workload::ParsecApp;
+//!
+//! let est = DarkSiliconEstimator::for_node(TechnologyNode::Nm16)?;
+//! let e = est.under_power_budget(
+//!     ParsecApp::X264,
+//!     8,
+//!     Hertz::from_ghz(3.6),
+//!     Watts::new(185.0),
+//! )?;
+//! println!("{:.0}% dark", 100.0 * e.dark_fraction);
+//! # Ok::<(), darksil::core::EstimateError>(())
+//! ```
+
+pub use darksil_archsim as archsim;
+pub use darksil_boost as boost;
+pub use darksil_core as core;
+pub use darksil_floorplan as floorplan;
+pub use darksil_mapping as mapping;
+pub use darksil_numerics as numerics;
+pub use darksil_power as power;
+pub use darksil_thermal as thermal;
+pub use darksil_tsp as tsp;
+pub use darksil_units as units;
+pub use darksil_workload as workload;
+
+pub mod cli;
+pub mod scenario;

@@ -1,0 +1,462 @@
+//! Declarative experiment scenarios.
+//!
+//! A [`Scenario`] is a JSON-serialisable description of one experiment:
+//! the platform (node, optional core count / DTM threshold / variation
+//! seed), a workload (application instances), and what to do with it —
+//! budget-constrained mapping, a thermal-constraint evaluation, one of
+//! the mapping policies, or a transient boosting-vs-constant run. The
+//! `darksil run <file.json>` subcommand executes scenarios; library
+//! users call [`run_scenario`] directly.
+//!
+//! ```json
+//! {
+//!   "name": "x264 under TDP",
+//!   "node": 16,
+//!   "workload": [{ "app": "x264", "instances": 12, "threads": 8 }],
+//!   "experiment": { "type": "policy", "policy": "dsrem", "tdp_watts": 185.0 }
+//! }
+//! ```
+
+use darksil_boost::{run_boosting, run_constant, PolicyConfig};
+use darksil_mapping::{place_contiguous, DsRem, Platform, TdpMap};
+use darksil_power::{TechnologyNode, VariationModel};
+use darksil_units::{Celsius, Hertz, Seconds, Watts};
+use darksil_workload::{AppInstance, ParsecApp, Workload};
+use serde::{Deserialize, Serialize};
+
+/// One workload line: `instances` copies of `app`, each with `threads`
+/// threads.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Application name (`x264`, `canneal`, …).
+    pub app: String,
+    /// Number of instances.
+    pub instances: usize,
+    /// Threads per instance (1–8).
+    pub threads: usize,
+}
+
+/// What to do with the platform and workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum ExperimentSpec {
+    /// Map instances in order until the budget is exhausted (TDPmap).
+    PowerBudget {
+        /// The TDP in watts.
+        tdp_watts: f64,
+    },
+    /// Map the whole workload contiguously and report the thermal
+    /// outcome.
+    Thermal {
+        /// Frequency in GHz; the node's nominal maximum if omitted.
+        #[serde(default)]
+        frequency_ghz: Option<f64>,
+    },
+    /// Run a mapping policy.
+    Policy {
+        /// `"tdpmap"` or `"dsrem"`.
+        policy: String,
+        /// The TDP in watts.
+        tdp_watts: f64,
+    },
+    /// Transient boosting vs constant frequency.
+    Boost {
+        /// Simulated seconds.
+        duration_s: f64,
+        /// Control period in seconds.
+        #[serde(default = "default_period")]
+        period_s: f64,
+    },
+}
+
+fn default_period() -> f64 {
+    0.01
+}
+
+/// A complete scenario file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable name, echoed into the report.
+    pub name: String,
+    /// Technology node in nm (22, 16, 11 or 8).
+    pub node: u32,
+    /// Core count override (the node's evaluated count if omitted).
+    #[serde(default)]
+    pub cores: Option<usize>,
+    /// DTM threshold override in °C (80 if omitted).
+    #[serde(default)]
+    pub t_dtm_celsius: Option<f64>,
+    /// Process-variation seed; an ideal chip if omitted.
+    #[serde(default)]
+    pub variation_seed: Option<u64>,
+    /// The workload.
+    pub workload: Vec<WorkloadSpec>,
+    /// The experiment to run.
+    pub experiment: ExperimentSpec,
+}
+
+/// The outcome of a scenario run — JSON-serialisable, one per scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Echo of the scenario name.
+    pub name: String,
+    /// Active cores after mapping (or during the transient).
+    pub active_cores: usize,
+    /// Dark-silicon fraction.
+    pub dark_fraction: f64,
+    /// Total throughput in GIPS.
+    pub total_gips: f64,
+    /// Total power in watts (steady state / peak for transients).
+    pub total_power_w: f64,
+    /// Peak die temperature in °C.
+    pub peak_temperature_c: f64,
+    /// Whether the DTM threshold was exceeded.
+    pub thermal_violation: bool,
+    /// Extra per-experiment detail lines.
+    pub notes: Vec<String>,
+}
+
+/// Errors from scenario parsing/execution.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// The JSON was syntactically or structurally invalid.
+    Parse(serde_json::Error),
+    /// A field value was out of range.
+    Invalid(String),
+    /// An inner toolkit error.
+    Run(Box<dyn std::error::Error>),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Parse(e) => write!(f, "scenario parse error: {e}"),
+            Self::Invalid(msg) => write!(f, "invalid scenario: {msg}"),
+            Self::Run(e) => write!(f, "scenario failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<serde_json::Error> for ScenarioError {
+    fn from(e: serde_json::Error) -> Self {
+        Self::Parse(e)
+    }
+}
+
+fn run_err<E: std::error::Error + 'static>(e: E) -> ScenarioError {
+    ScenarioError::Run(Box::new(e))
+}
+
+/// Parses a scenario from JSON text.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::Parse`] for malformed JSON.
+pub fn parse_scenario(json: &str) -> Result<Scenario, ScenarioError> {
+    Ok(serde_json::from_str(json)?)
+}
+
+fn node_of(nm: u32) -> Result<TechnologyNode, ScenarioError> {
+    TechnologyNode::ALL
+        .iter()
+        .find(|n| n.nanometers() == nm)
+        .copied()
+        .ok_or_else(|| ScenarioError::Invalid(format!("unknown node {nm} nm")))
+}
+
+fn app_of(name: &str) -> Result<ParsecApp, ScenarioError> {
+    ParsecApp::ALL
+        .iter()
+        .find(|a| a.name() == name)
+        .copied()
+        .ok_or_else(|| ScenarioError::Invalid(format!("unknown application '{name}'")))
+}
+
+fn build_platform(s: &Scenario) -> Result<Platform, ScenarioError> {
+    let node = node_of(s.node)?;
+    let mut platform = match s.cores {
+        Some(cores) => Platform::with_core_count(node, cores).map_err(run_err)?,
+        None => Platform::for_node(node).map_err(run_err)?,
+    };
+    if let Some(t) = s.t_dtm_celsius {
+        platform = platform.with_t_dtm(Celsius::new(t));
+    }
+    if let Some(seed) = s.variation_seed {
+        platform = platform.with_variation(VariationModel::typical(seed));
+    }
+    Ok(platform)
+}
+
+fn build_workload(s: &Scenario) -> Result<Workload, ScenarioError> {
+    let mut w = Workload::new();
+    for line in &s.workload {
+        let app = app_of(&line.app)?;
+        for _ in 0..line.instances {
+            w.push(AppInstance::new(app, line.threads).map_err(run_err)?);
+        }
+    }
+    if w.is_empty() {
+        return Err(ScenarioError::Invalid("workload is empty".into()));
+    }
+    Ok(w)
+}
+
+fn report_mapping(
+    name: &str,
+    platform: &Platform,
+    mapping: &darksil_mapping::Mapping,
+    notes: Vec<String>,
+) -> Result<ScenarioReport, ScenarioError> {
+    let (peak, power) = if mapping.entries().is_empty() {
+        (platform.thermal().ambient(), Watts::zero())
+    } else {
+        let map = mapping.steady_temperatures(platform).map_err(run_err)?;
+        let temps: Vec<Celsius> = map.die_temperatures().collect();
+        let power: Watts = mapping.power_map_at(platform, &temps).iter().sum();
+        (map.peak(), power)
+    };
+    Ok(ScenarioReport {
+        name: name.to_string(),
+        active_cores: mapping.active_core_count(),
+        dark_fraction: mapping.dark_fraction(),
+        total_gips: mapping.total_gips(platform).value(),
+        total_power_w: power.value(),
+        peak_temperature_c: peak.value(),
+        thermal_violation: peak > platform.t_dtm(),
+        notes,
+    })
+}
+
+/// Executes a scenario and returns its report.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::Invalid`] for out-of-range fields and
+/// [`ScenarioError::Run`] for toolkit failures (workload too large,
+/// solver failure, …).
+pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError> {
+    let platform = build_platform(scenario)?;
+    let workload = build_workload(scenario)?;
+
+    match &scenario.experiment {
+        ExperimentSpec::PowerBudget { tdp_watts } => {
+            if !tdp_watts.is_finite() || *tdp_watts <= 0.0 {
+                return Err(ScenarioError::Invalid("tdp_watts must be positive".into()));
+            }
+            let mapping = TdpMap::new(Watts::new(*tdp_watts))
+                .map(&platform, &workload)
+                .map_err(run_err)?;
+            report_mapping(
+                &scenario.name,
+                &platform,
+                &mapping,
+                vec![format!("TDPmap admission under {tdp_watts} W")],
+            )
+        }
+        ExperimentSpec::Thermal { frequency_ghz } => {
+            let f = frequency_ghz
+                .map_or(platform.node().nominal_max_frequency(), Hertz::from_ghz);
+            let level = platform
+                .dvfs()
+                .floor(f)
+                .ok_or_else(|| ScenarioError::Invalid(format!("frequency {f} below ladder")))?;
+            let mapping = place_contiguous(platform.floorplan(), &workload, level)
+                .map_err(run_err)?;
+            report_mapping(
+                &scenario.name,
+                &platform,
+                &mapping,
+                vec![format!("whole workload at {:.1} GHz", level.frequency.as_ghz())],
+            )
+        }
+        ExperimentSpec::Policy { policy, tdp_watts } => {
+            if !tdp_watts.is_finite() || *tdp_watts <= 0.0 {
+                return Err(ScenarioError::Invalid("tdp_watts must be positive".into()));
+            }
+            let tdp = Watts::new(*tdp_watts);
+            let mapping = match policy.as_str() {
+                "tdpmap" => TdpMap::new(tdp).map(&platform, &workload).map_err(run_err)?,
+                "dsrem" => DsRem::new(tdp).map(&platform, &workload).map_err(run_err)?,
+                other => {
+                    return Err(ScenarioError::Invalid(format!(
+                        "unknown policy '{other}' (use tdpmap|dsrem)"
+                    )))
+                }
+            };
+            report_mapping(
+                &scenario.name,
+                &platform,
+                &mapping,
+                vec![format!("{policy} under {tdp_watts} W")],
+            )
+        }
+        ExperimentSpec::Boost {
+            duration_s,
+            period_s,
+        } => {
+            let platform = platform
+                .with_boost_levels(node_of(scenario.node)?.nominal_max_frequency() * 1.25)
+                .map_err(run_err)?;
+            let mapping = darksil_mapping::place_patterned(
+                platform.floorplan(),
+                &workload,
+                platform.max_level(),
+            )
+            .map_err(run_err)?;
+            let config = PolicyConfig {
+                period: Seconds::new(*period_s),
+                ..PolicyConfig::default()
+            };
+            let horizon = Seconds::new(*duration_s);
+            let boost =
+                run_boosting(&platform, &mapping, horizon, &config).map_err(run_err)?;
+            let constant =
+                run_constant(&platform, &mapping, horizon, &config).map_err(run_err)?;
+            Ok(ScenarioReport {
+                name: scenario.name.clone(),
+                active_cores: mapping.active_core_count(),
+                dark_fraction: mapping.dark_fraction(),
+                total_gips: boost.average_gips_tail(0.5).value(),
+                total_power_w: boost.peak_power().value(),
+                peak_temperature_c: boost.peak_temperature().value(),
+                thermal_violation: boost.peak_temperature()
+                    > platform.t_dtm() + 1.0,
+                notes: vec![
+                    format!(
+                        "boosting avg {:.1} GIPS / peak {:.0} W",
+                        boost.average_gips_tail(0.5).value(),
+                        boost.peak_power().value()
+                    ),
+                    format!(
+                        "constant avg {:.1} GIPS / peak {:.0} W",
+                        constant.average_gips_tail(0.5).value(),
+                        constant.peak_power().value()
+                    ),
+                ],
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy_scenario() -> Scenario {
+        Scenario {
+            name: "mix under DsRem".into(),
+            node: 16,
+            cores: Some(36),
+            t_dtm_celsius: None,
+            variation_seed: None,
+            workload: vec![
+                WorkloadSpec {
+                    app: "x264".into(),
+                    instances: 2,
+                    threads: 8,
+                },
+                WorkloadSpec {
+                    app: "canneal".into(),
+                    instances: 1,
+                    threads: 4,
+                },
+            ],
+            experiment: ExperimentSpec::Policy {
+                policy: "dsrem".into(),
+                tdp_watts: 60.0,
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = policy_scenario();
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        let back = parse_scenario(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn parses_external_style_json() {
+        let json = r#"{
+            "name": "quick look",
+            "node": 16,
+            "workload": [{ "app": "swaptions", "instances": 3, "threads": 8 }],
+            "experiment": { "type": "power_budget", "tdp_watts": 100.0 }
+        }"#;
+        let s = parse_scenario(json).unwrap();
+        assert_eq!(s.cores, None);
+        assert!(matches!(
+            s.experiment,
+            ExperimentSpec::PowerBudget { tdp_watts } if tdp_watts == 100.0
+        ));
+    }
+
+    #[test]
+    fn runs_policy_scenario() {
+        let report = run_scenario(&policy_scenario()).unwrap();
+        assert_eq!(report.name, "mix under DsRem");
+        assert!(report.active_cores > 0);
+        assert!(report.total_gips > 0.0);
+        assert!(!report.thermal_violation);
+        assert!(report.total_power_w <= 61.0);
+    }
+
+    #[test]
+    fn runs_thermal_scenario() {
+        let mut s = policy_scenario();
+        s.experiment = ExperimentSpec::Thermal {
+            frequency_ghz: Some(2.8),
+        };
+        let report = run_scenario(&s).unwrap();
+        assert_eq!(report.active_cores, 20);
+        assert!(report.peak_temperature_c > 45.0);
+    }
+
+    #[test]
+    fn runs_boost_scenario() {
+        let mut s = policy_scenario();
+        s.experiment = ExperimentSpec::Boost {
+            duration_s: 5.0,
+            period_s: 0.05,
+        };
+        let report = run_scenario(&s).unwrap();
+        assert_eq!(report.notes.len(), 2);
+        assert!(report.total_gips > 0.0);
+    }
+
+    #[test]
+    fn invalid_scenarios_are_reported() {
+        let mut s = policy_scenario();
+        s.node = 14;
+        assert!(matches!(run_scenario(&s), Err(ScenarioError::Invalid(_))));
+
+        let mut s = policy_scenario();
+        s.workload.clear();
+        assert!(matches!(run_scenario(&s), Err(ScenarioError::Invalid(_))));
+
+        let mut s = policy_scenario();
+        s.workload[0].app = "doom".into();
+        assert!(run_scenario(&s).is_err());
+
+        let mut s = policy_scenario();
+        s.experiment = ExperimentSpec::Policy {
+            policy: "magic".into(),
+            tdp_watts: 60.0,
+        };
+        assert!(run_scenario(&s).is_err());
+
+        assert!(parse_scenario("{not json").is_err());
+    }
+
+    #[test]
+    fn variation_and_threshold_overrides_apply() {
+        let mut s = policy_scenario();
+        s.t_dtm_celsius = Some(70.0);
+        s.variation_seed = Some(9);
+        let report = run_scenario(&s).unwrap();
+        assert!(report.peak_temperature_c <= 70.2);
+    }
+}

@@ -1,0 +1,208 @@
+//! End-to-end assertions of the paper's four Observations and headline
+//! numbers, spanning every crate in the workspace.
+
+use darksil_boost::{
+    iso_performance_comparison, run_boosting, run_constant, PolicyConfig,
+};
+use darksil_core::{scenarios, tsp_eval, DarkSiliconEstimator};
+use darksil_mapping::{
+    place_contiguous, place_patterned, place_thermal_aware, DsRem, Platform, TdpMap,
+};
+use darksil_power::TechnologyNode;
+use darksil_units::{Hertz, Seconds, Watts};
+use darksil_workload::{ParsecApp, Workload};
+
+/// Observation 1: a TDP constraint either under-estimates dark silicon
+/// (optimistic TDP violates the thermal threshold) or over-estimates it
+/// (pessimistic TDP leaves headroom); the temperature constraint is the
+/// accurate model.
+#[test]
+fn observation1_tdp_misestimates_dark_silicon() {
+    let est = DarkSiliconEstimator::for_node(TechnologyNode::Nm16).unwrap();
+    let f = Hertz::from_ghz(3.6);
+
+    // Optimistic 220 W: violates the threshold for the hungriest app.
+    let optimistic = est
+        .under_power_budget(ParsecApp::Swaptions, 8, f, Watts::new(220.0))
+        .unwrap();
+    assert!(optimistic.thermal_violation);
+
+    // Pessimistic 185 W: safe, but leaves cores dark that the thermal
+    // constraint can light for most applications.
+    let mut recovered = 0;
+    for app in ParsecApp::ALL {
+        let pessimistic = est
+            .under_power_budget(app, 8, f, Watts::new(185.0))
+            .unwrap();
+        assert!(!pessimistic.thermal_violation, "{app} violated at 185 W");
+        let thermal = est.under_temperature_constraint(app, 8, f).unwrap();
+        assert!(thermal.active_cores >= pessimistic.active_cores);
+        if thermal.active_cores > pessimistic.active_cores {
+            recovered += 1;
+        }
+    }
+    assert!(recovered >= 4, "only {recovered} apps recovered cores");
+}
+
+/// Observation 2: scaling down V/f reduces dark silicon for every
+/// application.
+#[test]
+fn observation2_dvfs_reduces_dark_silicon() {
+    let est = DarkSiliconEstimator::for_node(TechnologyNode::Nm16).unwrap();
+    for app in ParsecApp::ALL {
+        let high = est
+            .under_power_budget(app, 8, Hertz::from_ghz(3.6), Watts::new(185.0))
+            .unwrap();
+        let low = est
+            .under_power_budget(app, 8, Hertz::from_ghz(2.8), Watts::new(185.0))
+            .unwrap();
+        assert!(
+            low.dark_fraction <= high.dark_fraction,
+            "{app}: {} at 2.8 GHz vs {} at 3.6 GHz",
+            low.dark_fraction,
+            high.dark_fraction
+        );
+    }
+}
+
+/// Observation 3: boosting yields slightly higher average performance
+/// than the best constant frequency, at a much higher peak power.
+#[test]
+fn observation3_boosting_small_gain_big_power() {
+    let platform = Platform::for_node(TechnologyNode::Nm16)
+        .unwrap()
+        .with_boost_levels(Hertz::from_ghz(4.4))
+        .unwrap();
+    let workload = Workload::uniform(ParsecApp::X264, 12, 8).unwrap();
+    let mapping =
+        place_patterned(platform.floorplan(), &workload, platform.max_level()).unwrap();
+    let config = PolicyConfig {
+        period: Seconds::new(0.02),
+        ..PolicyConfig::default()
+    };
+    let horizon = Seconds::new(50.0);
+    let boost = run_boosting(&platform, &mapping, horizon, &config).unwrap();
+    let constant = run_constant(&platform, &mapping, horizon, &config).unwrap();
+
+    let gain = boost.average_gips_tail(0.5) / constant.average_gips_tail(0.5);
+    assert!(gain > 1.0, "no boosting gain: {gain}");
+    assert!(gain < 1.25, "gain {gain} is not 'small'");
+    let power_ratio = boost.peak_power() / constant.peak_power();
+    assert!(power_ratio > 1.5, "peak power ratio only {power_ratio}");
+}
+
+/// Observation 4: NTC only wins when performance scales with threads;
+/// for maximising performance under dark-silicon constraints the chosen
+/// operating points stay in STC.
+#[test]
+fn observation4_ntc_for_energy_not_performance() {
+    let platform = Platform::for_node(TechnologyNode::Nm11).unwrap();
+    // Scaling apps: NTC more energy-efficient at iso-performance.
+    let x264 = iso_performance_comparison(&platform, ParsecApp::X264, 24, 500.0).unwrap();
+    assert!(x264.ntc_wins());
+    // Non-scaling canneal: NTC wastes energy.
+    let canneal =
+        iso_performance_comparison(&platform, ParsecApp::Canneal, 24, 500.0).unwrap();
+    assert!(!canneal.ntc_wins());
+    // The STC comparison points really are in the STC region.
+    assert_eq!(
+        x264.stc_two_threads.region,
+        darksil_power::OperatingRegion::SuperThreshold
+    );
+}
+
+/// Figure 5 headline numbers: ≈37 % dark at 220 W and ≈46 % at 185 W
+/// for the most power-hungry application at maximum V/f.
+#[test]
+fn figure5_headline_dark_fractions() {
+    let est = DarkSiliconEstimator::for_node(TechnologyNode::Nm16).unwrap();
+    let f = Hertz::from_ghz(3.6);
+    let e220 = est
+        .under_power_budget(ParsecApp::Swaptions, 8, f, Watts::new(220.0))
+        .unwrap();
+    let e185 = est
+        .under_power_budget(ParsecApp::Swaptions, 8, f, Watts::new(185.0))
+        .unwrap();
+    assert!(
+        (0.30..=0.48).contains(&e220.dark_fraction),
+        "220 W gives {}",
+        e220.dark_fraction
+    );
+    assert!(
+        (0.42..=0.58).contains(&e185.dark_fraction),
+        "185 W gives {}",
+        e185.dark_fraction
+    );
+    assert!(e185.dark_fraction > e220.dark_fraction);
+}
+
+/// Figure 8: contiguous 52 cores at ≈196 W exceed the threshold; the
+/// thermally patterned 60 cores at ≈226 W stay below it.
+#[test]
+fn figure8_patterning_lights_more_cores() {
+    let platform = Platform::for_node(TechnologyNode::Nm16).unwrap();
+    let level = platform.max_level();
+
+    let contiguous = place_contiguous(
+        platform.floorplan(),
+        &Workload::uniform(ParsecApp::Swaptions, 13, 4).unwrap(),
+        level,
+    )
+    .unwrap();
+    let patterned = place_thermal_aware(
+        &platform,
+        &Workload::uniform(ParsecApp::Swaptions, 15, 4).unwrap(),
+        level,
+    )
+    .unwrap();
+
+    let t_contig = contiguous.peak_temperature(&platform).unwrap();
+    let t_pattern = patterned.peak_temperature(&platform).unwrap();
+    assert!(t_contig > platform.t_dtm(), "contiguous peak {t_contig}");
+    assert!(t_pattern <= platform.t_dtm(), "patterned peak {t_pattern}");
+    assert!(patterned.active_core_count() > contiguous.active_core_count());
+}
+
+/// Figure 9: DsRem clearly outperforms TDPmap on application mixes.
+#[test]
+fn figure9_dsrem_beats_tdpmap() {
+    let platform = Platform::for_node(TechnologyNode::Nm16).unwrap();
+    let workload = Workload::parsec_mix(14, 8).unwrap();
+    let tdp = Watts::new(185.0);
+    let a = TdpMap::new(tdp).map(&platform, &workload).unwrap();
+    let b = DsRem::new(tdp).map(&platform, &workload).unwrap();
+    let speedup = b.total_gips(&platform) / a.total_gips(&platform);
+    assert!(speedup > 1.3, "DsRem speed-up only {speedup}");
+    assert!(b.peak_temperature(&platform).unwrap() <= platform.t_dtm() + 0.2);
+}
+
+/// Figure 10: TSP-budgeted performance keeps rising across nodes even
+/// as the dark fraction grows 20 % → 30 % → 40 %.
+#[test]
+fn figure10_performance_rises_despite_dark_silicon() {
+    let cases = [
+        (TechnologyNode::Nm16, 0.20),
+        (TechnologyNode::Nm11, 0.30),
+        (TechnologyNode::Nm8, 0.40),
+    ];
+    let mut last = 0.0;
+    for (node, dark) in cases {
+        let est = DarkSiliconEstimator::for_node(node).unwrap();
+        let perf = tsp_eval::tsp_performance(&est, dark).unwrap();
+        assert!(perf.total_gips.value() > last);
+        last = perf.total_gips.value();
+    }
+}
+
+/// Figure 7: characteristics-aware DVFS beats the nominal-frequency
+/// scenario for every application at both 16 nm and 11 nm.
+#[test]
+fn figure7_dvfs_scenario_wins_everywhere() {
+    for node in [TechnologyNode::Nm16, TechnologyNode::Nm11] {
+        let est = DarkSiliconEstimator::for_node(node).unwrap();
+        for app in ParsecApp::ALL {
+            let c = scenarios::compare(&est, app, Watts::new(185.0)).unwrap();
+            assert!(c.gain() >= 1.0, "{node}/{app}: gain {}", c.gain());
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Every shipped scenario file must parse and run.
+
+use darksil::scenario::{parse_scenario, run_scenario};
+
+#[test]
+fn shipped_scenarios_parse_and_run() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios");
+    let mut ran = 0;
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "json") {
+            let text = std::fs::read_to_string(&path).unwrap();
+            let scenario = parse_scenario(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            let report = run_scenario(&scenario)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            assert!(report.total_gips > 0.0, "{}", path.display());
+            ran += 1;
+        }
+    }
+    assert!(ran >= 4, "expected the shipped scenario set, found {ran}");
+}

@@ -1,0 +1,123 @@
+//! The complete Figure-1 tool flow, executed end to end:
+//! gem5/McPAT stand-in → Eq. (1) fit → ITRS scaling → floorplan →
+//! mapping → HotSpot stand-in → dark-silicon estimate.
+
+use darksil_archsim::{CoreModel, McPatSampler, SampleSweep};
+use darksil_core::DarkSiliconEstimator;
+use darksil_floorplan::Floorplan;
+use darksil_mapping::Platform;
+use darksil_power::{CorePowerModel, LeakageModel, TechnologyNode, VfRelation};
+use darksil_thermal::{PackageConfig, ThermalModel};
+use darksil_units::{Celsius, Hertz, Watts};
+use darksil_workload::ParsecApp;
+
+#[test]
+fn full_tool_flow_from_samples_to_estimate() {
+    // 1. "Run gem5 + McPAT" at 22 nm: sample power for the x264 kernel.
+    let sampler = McPatSampler::new(CorePowerModel::x264_22nm(), 0.03, 7).unwrap();
+    let samples = sampler.sample(&SampleSweep::figure3()).unwrap();
+
+    // 2. Fit the Eq. (1) model to the samples.
+    let fitted = CorePowerModel::fit(
+        &samples,
+        &LeakageModel::alpha_core_22nm(),
+        VfRelation::paper_22nm(),
+    )
+    .unwrap();
+    let mean_power: f64 =
+        samples.iter().map(|s| s.power.value()).sum::<f64>() / samples.len() as f64;
+    assert!(fitted.rmse(&samples).value() / mean_power < 0.05);
+
+    // 3. Scale to 16 nm with the Figure 1 factors.
+    let scaled = fitted.scaled_to(TechnologyNode::Nm16);
+    let p16 = scaled
+        .power_at_frequency(1.0, Hertz::from_ghz(3.6), Celsius::new(75.0))
+        .unwrap();
+    assert!(p16.value() > 2.5 && p16.value() < 5.5, "scaled power {p16}");
+
+    // 4. Generate the floorplan and thermal model.
+    let plan = Floorplan::squarish(100, TechnologyNode::Nm16.core_area()).unwrap();
+    let thermal = ThermalModel::new(&plan, PackageConfig::paper_dac15()).unwrap();
+    assert_eq!(thermal.core_count(), 100);
+
+    // 5. Map applications and estimate dark silicon.
+    let est = DarkSiliconEstimator::for_node(TechnologyNode::Nm16).unwrap();
+    let estimate = est
+        .under_power_budget(ParsecApp::X264, 8, Hertz::from_ghz(3.6), Watts::new(185.0))
+        .unwrap();
+    assert!(estimate.dark_fraction > 0.2 && estimate.dark_fraction < 0.7);
+    assert!(estimate.total_power <= Watts::new(185.0) + Watts::new(10.0));
+}
+
+#[test]
+fn fitted_model_predicts_unseen_operating_points() {
+    // Fit on a coarse sweep, validate on points between the samples.
+    let truth = CorePowerModel::x264_22nm();
+    let sampler = McPatSampler::new(truth, 0.02, 99).unwrap();
+    let sweep = SampleSweep {
+        points: 8,
+        ..SampleSweep::figure3()
+    };
+    let samples = sampler.sample(&sweep).unwrap();
+    let fitted = CorePowerModel::fit(
+        &samples,
+        &LeakageModel::alpha_core_22nm(),
+        VfRelation::paper_22nm(),
+    )
+    .unwrap();
+
+    for ghz in [0.9, 1.7, 2.3, 3.1, 3.9] {
+        let f = Hertz::from_ghz(ghz);
+        let t = Celsius::new(60.0);
+        let p_truth = truth.power_at_frequency(1.0, f, t).unwrap();
+        let p_fit = fitted.power_at_frequency(1.0, f, t).unwrap();
+        let rel = (p_fit.value() - p_truth.value()).abs() / p_truth.value();
+        assert!(rel < 0.06, "at {ghz} GHz: {rel}");
+    }
+}
+
+#[test]
+fn performance_flow_matches_figure11_scale() {
+    // The performance half of the flow: analytic cores + Amdahl
+    // instances must land at Figure 11's ≈250 GIPS for 96 x264 threads
+    // around 3.2 GHz.
+    let core = CoreModel::alpha_21264();
+    let profile = ParsecApp::X264.profile();
+    let per_instance = profile.instance_gips(&core, 8, Hertz::from_ghz(3.2));
+    let total = per_instance * 12.0;
+    assert!(
+        total.value() > 200.0 && total.value() < 320.0,
+        "total {total}"
+    );
+}
+
+#[test]
+fn platforms_grow_denser_across_nodes() {
+    // The scaling story of §2.1: same-area chips host 100 → 198 → 361
+    // cores, and at iso-voltage-headroom (the Figure 1 table's premise:
+    // frequency scaled by the full factor, 2.67 → 3.6 → 4.67 → 6.13
+    // GHz) the power density keeps rising — the root cause of dark
+    // silicon. The paper's *nominal* frequencies deliberately scale
+    // more slowly (3.6/4.0/4.4 GHz), trading headroom for darkness.
+    let f22 = TechnologyNode::Nm22.nominal_max_frequency();
+    let mut last_cores = 0;
+    let mut last_density = 0.0;
+    for node in [TechnologyNode::Nm16, TechnologyNode::Nm11, TechnologyNode::Nm8] {
+        let platform = Platform::for_node(node).unwrap();
+        let cores = platform.core_count();
+        assert!(cores > last_cores);
+        last_cores = cores;
+
+        let model = platform.app_model(ParsecApp::Swaptions);
+        let f_iso = f22 * node.scaling().frequency;
+        let p = model
+            .power_at_frequency(1.0, f_iso, Celsius::new(80.0))
+            .unwrap();
+        let density = p.value() / node.core_area().value();
+        assert!(
+            density > last_density,
+            "{node}: density {density} did not rise"
+        );
+        last_density = density;
+    }
+}
