@@ -1,7 +1,6 @@
 //! Interval-analysis-style out-of-order core performance model.
 
 use darksil_units::Hertz;
-use serde::{Deserialize, Serialize};
 
 use crate::ArchSimError;
 
@@ -9,7 +8,7 @@ use crate::ArchSimError;
 ///
 /// Defaults mimic the Alpha 21264 configuration the paper simulates in
 /// gem5: a 4-wide out-of-order core with a unified L2 and off-chip DRAM.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoreModel {
     /// Maximum instructions issued per cycle.
     issue_width: f64,
@@ -93,7 +92,7 @@ impl Default for CoreModel {
 
 /// Application-dependent trace characteristics extracted from a
 /// (simulated) execution: inherent ILP and memory behaviour.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceProfile {
     /// Inherent instruction-level parallelism: the IPC the program could
     /// sustain on an infinitely wide machine with a perfect memory
@@ -148,20 +147,20 @@ mod tests {
     use super::*;
 
     fn compute_bound() -> TraceProfile {
-        TraceProfile::new(3.2, 0.0003, 60.0).unwrap()
+        TraceProfile::new(3.2, 0.0003, 60.0).expect("test value")
     }
 
     fn memory_bound() -> TraceProfile {
-        TraceProfile::new(1.6, 0.02, 60.0).unwrap()
+        TraceProfile::new(1.6, 0.02, 60.0).expect("test value")
     }
 
     #[test]
     fn ipc_bounded_by_issue_width_and_ilp() {
         let core = CoreModel::alpha_21264();
-        let wide_ilp = TraceProfile::new(10.0, 0.0, 60.0).unwrap();
+        let wide_ilp = TraceProfile::new(10.0, 0.0, 60.0).expect("test value");
         // With no misses and ILP above the machine width, IPC = width.
         assert!((core.ipc(&wide_ilp, Hertz::from_ghz(2.0)) - 4.0).abs() < 1e-12);
-        let narrow = TraceProfile::new(2.0, 0.0, 60.0).unwrap();
+        let narrow = TraceProfile::new(2.0, 0.0, 60.0).expect("test value");
         assert!((core.ipc(&narrow, Hertz::from_ghz(2.0)) - 2.0).abs() < 1e-12);
     }
 

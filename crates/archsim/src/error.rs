@@ -30,6 +30,12 @@ impl fmt::Display for ArchSimError {
 
 impl Error for ArchSimError {}
 
+impl From<ArchSimError> for darksil_robust::DarksilError {
+    fn from(e: ArchSimError) -> Self {
+        Self::config(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

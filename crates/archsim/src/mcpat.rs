@@ -58,7 +58,11 @@ impl McPatSampler {
     ///
     /// Returns [`ArchSimError::InvalidParameter`] if the noise fraction
     /// is negative, non-finite, or ≥ 1.
-    pub fn new(truth: CorePowerModel, noise_fraction: f64, seed: u64) -> Result<Self, ArchSimError> {
+    pub fn new(
+        truth: CorePowerModel,
+        noise_fraction: f64,
+        seed: u64,
+    ) -> Result<Self, ArchSimError> {
         if !(0.0..1.0).contains(&noise_fraction) {
             return Err(ArchSimError::InvalidParameter {
                 name: "noise_fraction",
@@ -169,9 +173,7 @@ struct XorShift64 {
 
 impl XorShift64 {
     fn new(seed: u64) -> Self {
-        Self {
-            state: seed.max(1),
-        }
+        Self { state: seed.max(1) }
     }
 
     fn next_u64(&mut self) -> u64 {
@@ -195,13 +197,17 @@ mod tests {
     use darksil_power::{LeakageModel, VfRelation};
 
     fn sampler() -> McPatSampler {
-        McPatSampler::new(CorePowerModel::x264_22nm(), 0.03, 42).unwrap()
+        McPatSampler::new(CorePowerModel::x264_22nm(), 0.03, 42).expect("test value")
     }
 
     #[test]
     fn sampling_is_deterministic() {
-        let a = sampler().sample(&SampleSweep::figure3()).unwrap();
-        let b = sampler().sample(&SampleSweep::figure3()).unwrap();
+        let a = sampler()
+            .sample(&SampleSweep::figure3())
+            .expect("test value");
+        let b = sampler()
+            .sample(&SampleSweep::figure3())
+            .expect("test value");
         assert_eq!(a.len(), 15);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.power, y.power);
@@ -210,18 +216,20 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = sampler().sample(&SampleSweep::figure3()).unwrap();
-        let b = McPatSampler::new(CorePowerModel::x264_22nm(), 0.03, 7)
-            .unwrap()
+        let a = sampler()
             .sample(&SampleSweep::figure3())
-            .unwrap();
+            .expect("test value");
+        let b = McPatSampler::new(CorePowerModel::x264_22nm(), 0.03, 7)
+            .expect("test value")
+            .sample(&SampleSweep::figure3())
+            .expect("test value");
         assert!(a.iter().zip(&b).any(|(x, y)| x.power != y.power));
     }
 
     #[test]
     fn noise_is_bounded() {
         let s = sampler();
-        let samples = s.sample(&SampleSweep::figure3()).unwrap();
+        let samples = s.sample(&SampleSweep::figure3()).expect("test value");
         for sample in samples {
             let clean = s.truth().power(
                 sample.alpha,
@@ -235,17 +243,17 @@ mod tests {
     }
 
     #[test]
-    fn fit_on_samples_reproduces_figure3(){
+    fn fit_on_samples_reproduces_figure3() {
         // End-to-end: sample like McPAT, fit Eq. (1), check the fit
         // tracks the samples — the Figure 3 story.
         let s = sampler();
-        let samples = s.sample(&SampleSweep::figure3()).unwrap();
+        let samples = s.sample(&SampleSweep::figure3()).expect("test value");
         let fitted = CorePowerModel::fit(
             &samples,
             &LeakageModel::alpha_core_22nm(),
             VfRelation::paper_22nm(),
         )
-        .unwrap();
+        .expect("test value");
         let rmse = fitted.rmse(&samples);
         let mean_power: f64 =
             samples.iter().map(|s| s.power.value()).sum::<f64>() / samples.len() as f64;
@@ -258,8 +266,8 @@ mod tests {
 
     #[test]
     fn zero_noise_matches_truth_exactly() {
-        let s = McPatSampler::new(CorePowerModel::x264_22nm(), 0.0, 1).unwrap();
-        let samples = s.sample(&SampleSweep::figure3()).unwrap();
+        let s = McPatSampler::new(CorePowerModel::x264_22nm(), 0.0, 1).expect("test value");
+        let samples = s.sample(&SampleSweep::figure3()).expect("test value");
         for sample in samples {
             let clean = s.truth().power(
                 sample.alpha,
@@ -290,7 +298,7 @@ mod tests {
             points: 1,
             ..SampleSweep::figure3()
         };
-        let samples = s.sample(&sweep).unwrap();
+        let samples = s.sample(&sweep).expect("test value");
         assert_eq!(samples.len(), 1);
         assert_eq!(samples[0].frequency, Hertz::from_ghz(0.5));
     }

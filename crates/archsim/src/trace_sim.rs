@@ -31,12 +31,11 @@
 //! ```
 
 use darksil_units::Hertz;
-use serde::{Deserialize, Serialize};
 
 use crate::{ArchSimError, CoreModel, TraceProfile};
 
 /// One instruction of a synthetic trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Op {
     /// Distance (in instructions) to the producer this op depends on;
     /// 0 means no register dependency.
@@ -47,7 +46,7 @@ pub struct Op {
 
 /// A synthetic instruction stream with controlled ILP and memory
 /// behaviour.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SyntheticTrace {
     ops: Vec<Op>,
     miss_ratio: f64,
@@ -97,10 +96,7 @@ impl SyntheticTrace {
                 }
             })
             .collect();
-        Ok(Self {
-            ops,
-            miss_ratio,
-        })
+        Ok(Self { ops, miss_ratio })
     }
 
     /// Number of instructions.
@@ -133,7 +129,7 @@ impl SyntheticTrace {
 /// `window_size`, each once its producer has completed. ALU latency is
 /// one cycle; misses take `mem_latency_ns` converted to cycles at the
 /// simulated clock.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WindowSimulator {
     issue_width: usize,
     window_size: usize,
@@ -329,17 +325,17 @@ mod tests {
     use super::*;
 
     fn compute_trace() -> SyntheticTrace {
-        SyntheticTrace::generate(20_000, 0.0, 8.0, 7).unwrap()
+        SyntheticTrace::generate(20_000, 0.0, 8.0, 7).expect("test value")
     }
 
     fn memory_trace() -> SyntheticTrace {
-        SyntheticTrace::generate(20_000, 0.02, 8.0, 7).unwrap()
+        SyntheticTrace::generate(20_000, 0.02, 8.0, 7).expect("test value")
     }
 
     #[test]
     fn generation_is_deterministic_and_sized() {
-        let a = SyntheticTrace::generate(1000, 0.1, 3.0, 1).unwrap();
-        let b = SyntheticTrace::generate(1000, 0.1, 3.0, 1).unwrap();
+        let a = SyntheticTrace::generate(1000, 0.1, 3.0, 1).expect("test value");
+        let b = SyntheticTrace::generate(1000, 0.1, 3.0, 1).expect("test value");
         assert_eq!(a, b);
         assert_eq!(a.len(), 1000);
         assert!(!a.is_empty());
@@ -359,8 +355,8 @@ mod tests {
     #[test]
     fn longer_dependencies_raise_ipc() {
         let sim = WindowSimulator::alpha_21264();
-        let serial = SyntheticTrace::generate(10_000, 0.0, 1.01, 3).unwrap();
-        let parallel = SyntheticTrace::generate(10_000, 0.0, 12.0, 3).unwrap();
+        let serial = SyntheticTrace::generate(10_000, 0.0, 1.01, 3).expect("test value");
+        let parallel = SyntheticTrace::generate(10_000, 0.0, 12.0, 3).expect("test value");
         let f = Hertz::from_ghz(2.0);
         assert!(
             sim.ipc(&parallel, f) > sim.ipc(&serial, f),
@@ -389,13 +385,16 @@ mod tests {
         let sim = WindowSimulator::alpha_21264();
         let core = CoreModel::alpha_21264();
         for trace in [compute_trace(), memory_trace()] {
-            let profile = derive_profile(&sim, &trace).unwrap();
+            let profile = derive_profile(&sim, &trace).expect("test value");
             for ghz in [1.5, 2.5, 3.5] {
                 let f = Hertz::from_ghz(ghz);
                 let simulated = sim.ipc(&trace, f);
                 let predicted = core.ipc(&profile, f);
                 let rel = (simulated - predicted).abs() / simulated;
-                assert!(rel < 0.25, "at {ghz} GHz: sim {simulated} vs fit {predicted}");
+                assert!(
+                    rel < 0.25,
+                    "at {ghz} GHz: sim {simulated} vs fit {predicted}"
+                );
             }
         }
     }
@@ -403,8 +402,8 @@ mod tests {
     #[test]
     fn derived_profile_separates_compute_from_memory() {
         let sim = WindowSimulator::alpha_21264();
-        let p_compute = derive_profile(&sim, &compute_trace()).unwrap();
-        let p_memory = derive_profile(&sim, &memory_trace()).unwrap();
+        let p_compute = derive_profile(&sim, &compute_trace()).expect("test value");
+        let p_memory = derive_profile(&sim, &memory_trace()).expect("test value");
         assert!(p_memory.misses_per_instr > p_compute.misses_per_instr);
     }
 
@@ -423,7 +422,7 @@ mod tests {
         let trace = compute_trace();
         let f = Hertz::from_ghz(2.0);
         let wide = WindowSimulator::alpha_21264();
-        let narrow = WindowSimulator::new(1, 64, 60.0).unwrap();
+        let narrow = WindowSimulator::new(1, 64, 60.0).expect("test value");
         assert!(wide.ipc(&trace, f) > narrow.ipc(&trace, f));
         assert!(narrow.ipc(&trace, f) <= 1.0 + 1e-9);
     }

@@ -25,7 +25,13 @@ fn thermal_setup(cores: usize) -> (ThermalModel, Vec<Watts>) {
     let plan = Floorplan::squarish(cores, SquareMillimeters::new(area)).unwrap();
     let model = ThermalModel::new(&plan, PackageConfig::paper_dac15()).unwrap();
     let power: Vec<Watts> = (0..cores)
-        .map(|i| if i % 3 != 0 { Watts::new(2.5) } else { Watts::zero() })
+        .map(|i| {
+            if i % 3 != 0 {
+                Watts::new(2.5)
+            } else {
+                Watts::zero()
+            }
+        })
         .collect();
     (model, power)
 }
@@ -84,9 +90,7 @@ fn bench_preconditioner(c: &mut Criterion) {
             BenchmarkId::new("cg", if jacobi { "jacobi" } else { "plain" }),
             &jacobi,
             |b, _| {
-                b.iter(|| {
-                    black_box(conjugate_gradient(model.conductance(), &rhs, &opts).unwrap())
-                });
+                b.iter(|| black_box(conjugate_gradient(model.conductance(), &rhs, &opts).unwrap()));
             },
         );
     }
@@ -144,9 +148,7 @@ fn bench_patterning(c: &mut Criterion) {
         b.iter(|| black_box(spread_cores(platform.floorplan(), 60)));
     });
     g.bench_function("optimized_pattern_60", |b| {
-        b.iter(|| {
-            black_box(optimize_pattern(&platform, 60, Watts::new(3.77), 100).unwrap())
-        });
+        b.iter(|| black_box(optimize_pattern(&platform, 60, Watts::new(3.77), 100).unwrap()));
     });
     g.finish();
 }
@@ -161,15 +163,17 @@ fn bench_subdivision(c: &mut Criterion) {
 
     let plan = Floorplan::squarish(100, SquareMillimeters::new(5.1)).unwrap();
     let power: Vec<Watts> = (0..100)
-        .map(|i| if i % 2 == 0 { Watts::new(3.0) } else { Watts::zero() })
+        .map(|i| {
+            if i % 2 == 0 {
+                Watts::new(3.0)
+            } else {
+                Watts::zero()
+            }
+        })
         .collect();
     for s in [1_usize, 2, 3] {
-        let model = darksil_thermal::ThermalModel::with_subdivision(
-            &plan,
-            Pkg::paper_dac15(),
-            s,
-        )
-        .unwrap();
+        let model =
+            darksil_thermal::ThermalModel::with_subdivision(&plan, Pkg::paper_dac15(), s).unwrap();
         g.bench_with_input(BenchmarkId::new("steady_state", s), &s, |b, _| {
             b.iter(|| black_box(model.steady_state(&power).unwrap()));
         });

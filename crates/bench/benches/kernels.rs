@@ -29,7 +29,13 @@ fn bench_thermal_steady(c: &mut Criterion) {
         let plan = Floorplan::squarish(cores, SquareMillimeters::new(area)).unwrap();
         let model = ThermalModel::new(&plan, PackageConfig::paper_dac15()).unwrap();
         let power: Vec<Watts> = (0..cores)
-            .map(|i| if i % 2 == 0 { Watts::new(3.0) } else { Watts::zero() })
+            .map(|i| {
+                if i % 2 == 0 {
+                    Watts::new(3.0)
+                } else {
+                    Watts::zero()
+                }
+            })
             .collect();
         g.bench_with_input(BenchmarkId::new("cg", cores), &cores, |b, _| {
             b.iter(|| black_box(model.steady_state(&power).unwrap()));
@@ -48,10 +54,14 @@ fn bench_thermal_transient(c: &mut Criterion) {
         let plan = Floorplan::squarish(cores, SquareMillimeters::new(area)).unwrap();
         let model = ThermalModel::new(&plan, PackageConfig::paper_dac15()).unwrap();
         let power = vec![Watts::new(2.0); cores];
-        g.bench_with_input(BenchmarkId::new("backward_euler_1ms", cores), &cores, |b, _| {
-            let mut sim = TransientSim::new(&model, Seconds::new(1.0e-3)).unwrap();
-            b.iter(|| black_box(sim.step(&power).unwrap()));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("backward_euler_1ms", cores),
+            &cores,
+            |b, _| {
+                let mut sim = TransientSim::new(&model, Seconds::new(1.0e-3)).unwrap();
+                b.iter(|| black_box(sim.step(&power).unwrap()));
+            },
+        );
     }
     g.finish();
 }
@@ -102,7 +112,7 @@ fn bench_policies(c: &mut Criterion) {
         b.iter(|| black_box(policy.map(&platform, &workload).unwrap()));
     });
     g.bench_function("dsrem", |b| {
-        let policy = DsRem::new(Watts::new(185.0));
+        let policy = DsRem::new(Watts::new(185.0)).expect("valid budget");
         b.iter(|| black_box(policy.map(&platform, &workload).unwrap()));
     });
     g.bench_function("leakage_fixed_point", |b| {

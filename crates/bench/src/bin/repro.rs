@@ -1,42 +1,108 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro <artefact> [--json DIR] [--paper]
+//! repro <artefact> [--json DIR] [--paper] [--inject ARTEFACT]
 //!
 //! artefacts: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-//!            fig11 fig12 fig13 fig14 all
-//! --json DIR   additionally write machine-readable series to DIR
-//! --paper      run transients at the paper's full horizons (slow)
+//!            fig11 fig12 fig13 fig14 dtm aging variability cooling
+//!            pareto all
+//! --json DIR        additionally write machine-readable series to DIR
+//! --paper           run transients at the paper's full horizons (slow)
+//! --inject ARTEFACT inject a NaN-power fault into that artefact (test
+//!                   hook for the partial-failure machinery)
 //! ```
+//!
+//! Every artefact runs in isolation: an error (or even a panic) in one
+//! figure does not stop the others, the per-artefact outcomes are
+//! collected into `error_report.json` (under `--json DIR`, otherwise
+//! printed to stderr), and the exit code reflects the aggregate.
 
 use std::env;
 use std::fs;
+use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use darksil_bench::{fig14_total_energy, Fidelity};
-use serde::Serialize;
+use darksil_json::{Json, ToJson};
+use darksil_robust::DarksilError;
 
 struct Options {
     json_dir: Option<PathBuf>,
     fidelity: Fidelity,
+    inject: Option<String>,
 }
 
-/// One named artefact runner for the `all` dispatch table.
+/// One named artefact runner for the dispatch tables.
 type Runner = (
     &'static str,
     fn(&Options) -> Result<(), Box<dyn std::error::Error>>,
 );
 
+const RUNNERS: [Runner; 19] = [
+    ("table1", table1),
+    ("fig2", fig2),
+    ("fig3", fig3),
+    ("fig4", fig4),
+    ("fig5", fig5),
+    ("fig6", fig6),
+    ("fig7", fig7),
+    ("fig8", fig8),
+    ("fig9", fig9),
+    ("fig10", fig10),
+    ("fig11", fig11),
+    ("fig12", fig12),
+    ("fig13", fig13),
+    ("fig14", fig14),
+    ("dtm", dtm),
+    ("aging", aging),
+    ("variability", variability),
+    ("cooling", cooling),
+    ("pareto", pareto),
+];
+
+/// The result of one isolated artefact run.
+struct ArtefactOutcome {
+    name: &'static str,
+    /// `ok`, `error` or `panic`.
+    status: &'static str,
+    /// The classified error for non-`ok` outcomes.
+    error: Option<DarksilError>,
+    /// Wall-clock seconds spent.
+    seconds: f64,
+}
+
+impl ArtefactOutcome {
+    fn succeeded(&self) -> bool {
+        self.status == "ok"
+    }
+}
+
+impl ToJson for ArtefactOutcome {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("artefact".to_string(), Json::Str(self.name.to_string())),
+            ("status".to_string(), Json::Str(self.status.to_string())),
+            ("seconds".to_string(), Json::Num(self.seconds)),
+        ];
+        if let Some(e) = &self.error {
+            fields.push(("error".to_string(), e.to_json()));
+        }
+        Json::Obj(fields)
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = env::args().skip(1);
     let Some(artefact) = args.next() else {
-        eprintln!("usage: repro <table1|fig2..fig14|dtm|aging|variability|cooling|pareto|all> [--json DIR] [--paper]");
+        eprintln!("usage: repro <table1|fig2..fig14|dtm|aging|variability|cooling|pareto|all> [--json DIR] [--paper] [--inject ARTEFACT]");
         return ExitCode::FAILURE;
     };
     let mut options = Options {
         json_dir: None,
         fidelity: Fidelity::Quick,
+        inject: None,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -48,6 +114,13 @@ fn main() -> ExitCode {
                 }
             },
             "--paper" => options.fidelity = Fidelity::Paper,
+            "--inject" => match args.next() {
+                Some(name) => options.inject = Some(name),
+                None => {
+                    eprintln!("--inject requires an artefact name");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("unknown flag {other}");
                 return ExitCode::FAILURE;
@@ -55,69 +128,170 @@ fn main() -> ExitCode {
         }
     }
 
-    let result = match artefact.as_str() {
-        "table1" => table1(&options),
-        "fig2" => fig2(&options),
-        "fig3" => fig3(&options),
-        "fig4" => fig4(&options),
-        "fig5" => fig5(&options),
-        "fig6" => fig6(&options),
-        "fig7" => fig7(&options),
-        "fig8" => fig8(&options),
-        "fig9" => fig9(&options),
-        "fig10" => fig10(&options),
-        "fig11" => fig11(&options),
-        "fig12" => fig12(&options),
-        "fig13" => fig13(&options),
-        "fig14" => fig14(&options),
-        "dtm" => dtm(&options),
-        "aging" => aging(&options),
-        "variability" => variability(&options),
-        "cooling" => cooling(&options),
-        "pareto" => pareto(&options),
-        "all" => {
-            let runners: [Runner; 19] = [
-                ("table1", table1),
-                ("fig2", fig2),
-                ("fig3", fig3),
-                ("fig4", fig4),
-                ("fig5", fig5),
-                ("fig6", fig6),
-                ("fig7", fig7),
-                ("fig8", fig8),
-                ("fig9", fig9),
-                ("fig10", fig10),
-                ("fig11", fig11),
-                ("fig12", fig12),
-                ("fig13", fig13),
-                ("fig14", fig14),
-                ("dtm", dtm),
-                ("aging", aging),
-                ("variability", variability),
-                ("cooling", cooling),
-                ("pareto", pareto),
-            ];
-            runners.iter().try_for_each(|(name, run)| {
-                println!("\n================ {name} ================");
-                run(&options)
-            })
-        }
-        other => {
-            eprintln!("unknown artefact {other}");
-            return ExitCode::FAILURE;
+    let selected: Vec<&Runner> = if artefact == "all" {
+        RUNNERS.iter().collect()
+    } else {
+        match RUNNERS.iter().find(|(name, _)| *name == artefact) {
+            Some(runner) => vec![runner],
+            None => {
+                eprintln!("unknown artefact {artefact}");
+                return ExitCode::FAILURE;
+            }
         }
     };
 
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("repro {artefact} failed: {e}");
-            ExitCode::FAILURE
+    let mut outcomes: Vec<ArtefactOutcome> = Vec::with_capacity(selected.len());
+    for (name, run) in selected {
+        if artefact == "all" {
+            println!("\n================ {name} ================");
+        }
+        outcomes.push(run_isolated(name, *run, &options));
+    }
+
+    let failed = outcomes.iter().filter(|o| !o.succeeded()).count();
+    if let Err(e) = write_error_report(&options, &outcomes, failed) {
+        eprintln!("cannot write error report: {e}");
+        return ExitCode::FAILURE;
+    }
+    for o in outcomes.iter().filter(|o| !o.succeeded()) {
+        let detail = o
+            .error
+            .as_ref()
+            .map_or_else(|| "unknown failure".to_string(), ToString::to_string);
+        eprintln!("repro {}: {} — {detail}", o.name, o.status);
+    }
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "repro: {failed} of {} artefacts failed ({} succeeded)",
+            outcomes.len(),
+            outcomes.len() - failed
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Runs one artefact with full isolation: errors are classified into
+/// the workspace taxonomy and panics are caught, so one broken figure
+/// can never take the others down.
+fn run_isolated(
+    name: &'static str,
+    run: fn(&Options) -> Result<(), Box<dyn std::error::Error>>,
+    options: &Options,
+) -> ArtefactOutcome {
+    let started = Instant::now();
+    let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
+        if options.inject.as_deref() == Some(name) {
+            injected_failure()?;
+        }
+        run(options)
+    }));
+    let seconds = started.elapsed().as_secs_f64();
+    match attempt {
+        Ok(Ok(())) => ArtefactOutcome {
+            name,
+            status: "ok",
+            error: None,
+            seconds,
+        },
+        Ok(Err(e)) => ArtefactOutcome {
+            name,
+            status: "error",
+            error: Some(classify(e.as_ref()).context(name)),
+            seconds,
+        },
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            ArtefactOutcome {
+                name,
+                status: "panic",
+                error: Some(DarksilError::internal(message).context(name)),
+                seconds,
+            }
         }
     }
 }
 
-fn dump<T: Serialize>(
+/// Maps any artefact error onto the workspace taxonomy, preserving the
+/// typed class when the concrete error type is known.
+fn classify(e: &(dyn std::error::Error + 'static)) -> DarksilError {
+    if let Some(d) = e.downcast_ref::<DarksilError>() {
+        return d.clone();
+    }
+    if let Some(d) = e.downcast_ref::<darksil_core::EstimateError>() {
+        return d.clone().into();
+    }
+    if let Some(d) = e.downcast_ref::<darksil_mapping::MappingError>() {
+        return d.clone().into();
+    }
+    if let Some(d) = e.downcast_ref::<darksil_thermal::ThermalError>() {
+        return d.clone().into();
+    }
+    if let Some(d) = e.downcast_ref::<darksil_numerics::NumericsError>() {
+        return d.clone().into();
+    }
+    if let Some(d) = e.downcast_ref::<darksil_power::PowerError>() {
+        return d.clone().into();
+    }
+    if let Some(d) = e.downcast_ref::<darksil_boost::BoostError>() {
+        return d.clone().into();
+    }
+    if let Some(d) = e.downcast_ref::<darksil_workload::WorkloadError>() {
+        return d.clone().into();
+    }
+    if let Some(d) = e.downcast_ref::<std::io::Error>() {
+        return DarksilError::io(d.to_string());
+    }
+    DarksilError::internal(e.to_string())
+}
+
+/// Test hook behind `--inject`: feeds a NaN power sample into the real
+/// thermal solver, exercising the library's non-finite input guard the
+/// same way a broken power model would.
+fn injected_failure() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = darksil_mapping::Platform::for_node(darksil_power::TechnologyNode::Nm16)?;
+    let mut power = vec![darksil_units::Watts::new(1.0); platform.core_count()];
+    power[0] = darksil_units::Watts::new(f64::NAN);
+    platform.thermal().steady_state(&power)?;
+    Ok(())
+}
+
+/// Writes the machine-readable per-artefact report. With `--json DIR`
+/// it lands in `DIR/error_report.json`; otherwise it goes to stderr so
+/// scripted callers always have it.
+fn write_error_report(
+    options: &Options,
+    outcomes: &[ArtefactOutcome],
+    failed: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let report = Json::Obj(vec![
+        ("artefacts".to_string(), Json::Num(outcomes.len() as f64)),
+        ("failed".to_string(), Json::Num(failed as f64)),
+        (
+            "outcomes".to_string(),
+            Json::Arr(outcomes.iter().map(ToJson::to_json).collect()),
+        ),
+    ]);
+    let text = darksil_json::to_string_pretty(&report);
+    match &options.json_dir {
+        Some(dir) => {
+            fs::create_dir_all(dir)?;
+            let path = dir.join("error_report.json");
+            fs::write(&path, text)?;
+            println!("[wrote {}]", path.display());
+        }
+        None if failed > 0 => eprintln!("{text}"),
+        None => {}
+    }
+    Ok(())
+}
+
+fn dump<T: ToJson>(
     options: &Options,
     name: &str,
     data: &T,
@@ -125,7 +299,7 @@ fn dump<T: Serialize>(
     if let Some(dir) = &options.json_dir {
         fs::create_dir_all(dir)?;
         let path = dir.join(format!("{name}.json"));
-        fs::write(&path, serde_json::to_string_pretty(data)?)?;
+        fs::write(&path, darksil_json::to_string_pretty(data))?;
         println!("[wrote {}]", path.display());
     }
     Ok(())
@@ -213,11 +387,7 @@ fn fig5(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
 fn fig6(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let panels = darksil_bench::fig6()?;
     for panel in &panels {
-        println!(
-            "-- {} @ {:.1} GHz --",
-            panel.node,
-            panel.frequency.as_ghz()
-        );
+        println!("-- {} @ {:.1} GHz --", panel.node, panel.frequency.as_ghz());
         println!("app           dark(TDP)  dark(thermal)");
         for row in &panel.rows {
             println!(
@@ -374,9 +544,7 @@ fn dtm(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
             r.triggered
         );
     }
-    println!(
-        "Optimistic TDPs hide dark silicon behind the DTM reaction (§3.1)."
-    );
+    println!("Optimistic TDPs hide dark silicon behind the DTM reaction (§3.1).");
     dump(options, "dtm", &rows)
 }
 
@@ -459,7 +627,9 @@ fn pareto(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
             p.peak_temperature.value()
         );
     }
-    println!("\nThe §3.3 trade-off made explicit: both axes (threads, V/f) appear on the frontier.");
+    println!(
+        "\nThe §3.3 trade-off made explicit: both axes (threads, V/f) appear on the frontier."
+    );
     dump(options, "pareto", &frontier)
 }
 

@@ -5,10 +5,9 @@ use darksil_mapping::{simulate_rotating, simulate_static, Platform};
 use darksil_power::{AgingModel, TechnologyNode, VariationModel};
 use darksil_units::{Hertz, Seconds, Watts};
 use darksil_workload::{ParsecApp, Workload};
-use serde::{Deserialize, Serialize};
 
 /// One row of the DTM-response experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DtmRow {
     /// The TDP admitted against.
     pub tdp: Watts,
@@ -52,7 +51,7 @@ pub fn dtm_response() -> Result<Vec<DtmRow>, Box<dyn std::error::Error>> {
 }
 
 /// Result of the wear-leveling experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AgingComparison {
     /// Simulated epochs.
     pub epochs: usize,
@@ -102,7 +101,7 @@ pub fn aging_rotation() -> Result<AgingComparison, Box<dyn std::error::Error>> {
 }
 
 /// One row of the variability experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VariabilityRow {
     /// RNG seed of the sampled chip.
     pub seed: u64,
@@ -121,7 +120,9 @@ pub struct VariabilityRow {
 /// # Errors
 ///
 /// Propagates placement/thermal failures.
-pub fn variability_savings(chips: usize) -> Result<Vec<VariabilityRow>, Box<dyn std::error::Error>> {
+pub fn variability_savings(
+    chips: usize,
+) -> Result<Vec<VariabilityRow>, Box<dyn std::error::Error>> {
     use darksil_floorplan::CoreId;
     use darksil_mapping::{pick_low_leakage, MappedInstance, Mapping};
     use darksil_units::Celsius;
@@ -177,8 +178,7 @@ pub fn cooling_sensitivity() -> Result<
     ),
     Box<dyn std::error::Error>,
 > {
-    let packages =
-        sensitivity::package_comparison(TechnologyNode::Nm16, ParsecApp::Swaptions)?;
+    let packages = sensitivity::package_comparison(TechnologyNode::Nm16, ParsecApp::Swaptions)?;
     let sweep = sensitivity::cooling_sweep(
         TechnologyNode::Nm16,
         ParsecApp::Swaptions,
@@ -194,15 +194,17 @@ pub fn cooling_sensitivity() -> Result<
 /// # Errors
 ///
 /// Propagates mapping/thermal failures.
-pub fn pareto_x264() -> Result<
-    (Vec<pareto::ConfigPoint>, Vec<pareto::ConfigPoint>),
-    Box<dyn std::error::Error>,
-> {
+pub fn pareto_x264(
+) -> Result<(Vec<pareto::ConfigPoint>, Vec<pareto::ConfigPoint>), Box<dyn std::error::Error>> {
     let platform = Platform::for_node(TechnologyNode::Nm16)?;
     let points = pareto::explore(&platform, ParsecApp::X264, 2)?;
     let frontier = pareto::pareto_frontier(&points);
     Ok((points, frontier))
 }
+
+darksil_json::impl_json!(struct DtmRow { tdp, admitted_dark_percent, sustained_dark_percent, instances_powered_down, triggered });
+darksil_json::impl_json!(struct AgingComparison { epochs, epoch_hours, static_max_wear, rotating_max_wear, static_imbalance, rotating_imbalance });
+darksil_json::impl_json!(struct VariabilityRow { seed, best_pick_power, worst_pick_power, saving_percent });
 
 #[cfg(test)]
 mod tests {
@@ -210,7 +212,7 @@ mod tests {
 
     #[test]
     fn dtm_rows_tell_the_section31_story() {
-        let rows = dtm_response().unwrap();
+        let rows = dtm_response().expect("test value");
         assert_eq!(rows.len(), 2);
         let optimistic = &rows[0];
         assert!(optimistic.triggered);
@@ -221,35 +223,39 @@ mod tests {
 
     #[test]
     fn rotation_extends_lifetime() {
-        let cmp = aging_rotation().unwrap();
+        let cmp = aging_rotation().expect("test value");
         assert!(cmp.lifetime_gain() > 1.05, "gain {}", cmp.lifetime_gain());
         assert!(cmp.rotating_imbalance < cmp.static_imbalance);
     }
 
     #[test]
     fn cooling_dominates_dark_silicon() {
-        let (packages, sweep) = cooling_sensitivity().unwrap();
+        let (packages, sweep) = cooling_sensitivity().expect("test value");
         assert_eq!(packages.len(), 3);
         assert!(packages[0].dark_fraction > packages[2].dark_fraction);
-        assert!(sweep.last().unwrap().dark_fraction > sweep[0].dark_fraction);
+        assert!(sweep.last().expect("test value").dark_fraction > sweep[0].dark_fraction);
     }
 
     #[test]
     fn pareto_frontier_exists_and_spans_thread_counts() {
-        let (points, frontier) = pareto_x264().unwrap();
+        let (points, frontier) = pareto_x264().expect("test value");
         assert!(points.len() > 30);
         assert!(frontier.len() >= 3);
-        let kinds: std::collections::BTreeSet<usize> =
-            frontier.iter().map(|p| p.threads).collect();
+        let kinds: std::collections::BTreeSet<usize> = frontier.iter().map(|p| p.threads).collect();
         assert!(kinds.len() >= 2, "{kinds:?}");
     }
 
     #[test]
     fn variability_savings_are_positive() {
-        let rows = variability_savings(3).unwrap();
+        let rows = variability_savings(3).expect("test value");
         assert_eq!(rows.len(), 3);
         for r in &rows {
-            assert!(r.saving_percent > 0.0, "seed {}: {}", r.seed, r.saving_percent);
+            assert!(
+                r.saving_percent > 0.0,
+                "seed {}: {}",
+                r.seed,
+                r.saving_percent
+            );
         }
     }
 }

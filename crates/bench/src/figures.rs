@@ -2,17 +2,16 @@
 
 use darksil_archsim::{McPatSampler, SampleSweep};
 use darksil_boost::{
-    iso_performance_comparison, run_boosting, run_constant, sweep_active_cores,
-    IsoPerfComparison, PolicyConfig, SweepPoint,
+    iso_performance_comparison, run_boosting, run_constant, sweep_active_cores, IsoPerfComparison,
+    PolicyConfig, SweepPoint,
 };
 use darksil_core::{scenarios, tsp_eval, DarkSiliconEstimator, EstimateError};
-use darksil_mapping::{place_contiguous, place_patterned, place_thermal_aware, DsRem, Platform, TdpMap};
-use darksil_power::{
-    CorePowerModel, LeakageModel, OperatingRegion, TechnologyNode, VfRelation,
+use darksil_mapping::{
+    place_contiguous, place_patterned, place_thermal_aware, DsRem, Platform, TdpMap,
 };
+use darksil_power::{CorePowerModel, LeakageModel, OperatingRegion, TechnologyNode, VfRelation};
 use darksil_units::{Celsius, Gips, Hertz, Joules, Seconds, Volts, Watts};
 use darksil_workload::{ParsecApp, Workload};
-use serde::{Deserialize, Serialize};
 
 /// How much simulated time the transient figures spend.
 ///
@@ -20,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// period; `Quick` shortens horizons and coarsens periods so the whole
 /// suite regenerates in minutes. Shapes are identical; only the
 /// statistical smoothness of the transient averages differs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fidelity {
     /// Short horizons / coarse periods for CI and smoke runs.
     Quick,
@@ -63,7 +62,7 @@ impl Fidelity {
 // ---------------------------------------------------------------------------
 
 /// One row of the Figure 1 scaling table.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Table1Row {
     /// Feature size in nm.
     pub node_nm: u32,
@@ -103,7 +102,7 @@ pub fn table1() -> Vec<Table1Row> {
 // ---------------------------------------------------------------------------
 
 /// One sample of the 22 nm f–V curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig2Point {
     /// Supply voltage.
     pub voltage: Volts,
@@ -135,7 +134,7 @@ pub fn fig2(points: usize) -> Vec<Fig2Point> {
 // ---------------------------------------------------------------------------
 
 /// One row of the Figure 3 comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig3Point {
     /// Frequency of the sample.
     pub frequency: Hertz,
@@ -146,7 +145,7 @@ pub struct Fig3Point {
 }
 
 /// The Figure 3 fit and its samples.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig3 {
     /// Per-sample comparison.
     pub points: Vec<Fig3Point>,
@@ -188,7 +187,7 @@ pub fn fig3() -> Result<Fig3, Box<dyn std::error::Error>> {
 // ---------------------------------------------------------------------------
 
 /// One speed-up curve of Figure 4.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig4Series {
     /// The application.
     pub app: ParsecApp,
@@ -220,7 +219,7 @@ pub fn fig4() -> Vec<Fig4Series> {
 // ---------------------------------------------------------------------------
 
 /// One (application, frequency) cell of Figure 5.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig5Cell {
     /// The application.
     pub app: ParsecApp,
@@ -233,7 +232,7 @@ pub struct Fig5Cell {
 }
 
 /// One TDP panel of Figure 5.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig5Panel {
     /// The TDP this panel was computed for.
     pub tdp: Watts,
@@ -291,7 +290,7 @@ pub fn fig5() -> Result<Vec<Fig5Panel>, EstimateError> {
 // ---------------------------------------------------------------------------
 
 /// One application row of a Figure 6 panel.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig6Row {
     /// The application.
     pub app: ParsecApp,
@@ -302,7 +301,7 @@ pub struct Fig6Row {
 }
 
 /// One technology panel of Figure 6.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig6Panel {
     /// Technology node.
     pub node: TechnologyNode,
@@ -364,7 +363,7 @@ pub fn fig6() -> Result<Vec<Fig6Panel>, EstimateError> {
 // ---------------------------------------------------------------------------
 
 /// One application row of a Figure 7 panel.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig7Row {
     /// The application.
     pub app: ParsecApp,
@@ -383,7 +382,7 @@ pub struct Fig7Row {
 }
 
 /// One technology panel of Figure 7.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig7Panel {
     /// Technology node.
     pub node: TechnologyNode,
@@ -432,7 +431,7 @@ pub fn fig7() -> Result<Vec<Fig7Panel>, EstimateError> {
 // ---------------------------------------------------------------------------
 
 /// One mapping pattern of Figure 8.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig8Pattern {
     /// Pattern name ("contiguous" / "patterned").
     pub name: String,
@@ -494,7 +493,7 @@ pub fn fig8() -> Result<Vec<Fig8Pattern>, Box<dyn std::error::Error>> {
 // ---------------------------------------------------------------------------
 
 /// One workload-mix row of Figure 9.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig9Row {
     /// Mix description.
     pub mix: String,
@@ -520,7 +519,7 @@ pub fn fig9() -> Result<Vec<Fig9Row>, Box<dyn std::error::Error>> {
     let platform = Platform::for_node(TechnologyNode::Nm16)?;
     let tdp = Watts::new(185.0);
     let tdpmap = TdpMap::new(tdp);
-    let dsrem = DsRem::new(tdp);
+    let dsrem = DsRem::new(tdp)?;
     let n = platform.core_count() as f64;
 
     let mut workloads: Vec<(String, Workload)> = vec![
@@ -559,7 +558,7 @@ pub fn fig9() -> Result<Vec<Fig9Row>, Box<dyn std::error::Error>> {
 // ---------------------------------------------------------------------------
 
 /// One bar of Figure 10.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig10Bar {
     /// Technology node.
     pub node: TechnologyNode,
@@ -605,7 +604,7 @@ pub fn fig10() -> Result<Vec<Fig10Bar>, EstimateError> {
 // ---------------------------------------------------------------------------
 
 /// Decimated transient series of Figure 11.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig11 {
     /// `(time, GIPS, peak °C)` for boosting, decimated for plotting.
     pub boosting: Vec<(f64, f64, f64)>,
@@ -628,8 +627,8 @@ pub struct Fig11 {
 ///
 /// Propagates simulation failures.
 pub fn fig11(fidelity: Fidelity) -> Result<Fig11, Box<dyn std::error::Error>> {
-    let platform = Platform::for_node(TechnologyNode::Nm16)?
-        .with_boost_levels(Hertz::from_ghz(4.4))?;
+    let platform =
+        Platform::for_node(TechnologyNode::Nm16)?.with_boost_levels(Hertz::from_ghz(4.4))?;
     let workload = Workload::uniform(ParsecApp::X264, 12, 8)?;
     let mapping = place_patterned(platform.floorplan(), &workload, platform.max_level())?;
     let config = PolicyConfig {
@@ -646,13 +645,7 @@ pub fn fig11(fidelity: Fidelity) -> Result<Fig11, Box<dyn std::error::Error>> {
             .samples()
             .iter()
             .step_by(stride)
-            .map(|s| {
-                (
-                    s.time.value(),
-                    s.gips.value(),
-                    s.peak_temperature.value(),
-                )
-            })
+            .map(|s| (s.time.value(), s.gips.value(), s.peak_temperature.value()))
             .collect::<Vec<_>>()
     };
 
@@ -676,8 +669,8 @@ pub fn fig11(fidelity: Fidelity) -> Result<Fig11, Box<dyn std::error::Error>> {
 ///
 /// Propagates simulation failures.
 pub fn fig12(fidelity: Fidelity) -> Result<Vec<SweepPoint>, Box<dyn std::error::Error>> {
-    let platform = Platform::for_node(TechnologyNode::Nm16)?
-        .with_boost_levels(Hertz::from_ghz(4.4))?;
+    let platform =
+        Platform::for_node(TechnologyNode::Nm16)?.with_boost_levels(Hertz::from_ghz(4.4))?;
     let config = PolicyConfig {
         period: fidelity.sweep_period(),
         ..PolicyConfig::default()
@@ -692,7 +685,7 @@ pub fn fig12(fidelity: Fidelity) -> Result<Vec<SweepPoint>, Box<dyn std::error::
 }
 
 /// One (application, instance-count) group of Figure 13.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig13Row {
     /// The application.
     pub app: ParsecApp,
@@ -715,8 +708,8 @@ pub struct Fig13Row {
 ///
 /// Propagates simulation failures.
 pub fn fig13(fidelity: Fidelity) -> Result<Vec<Fig13Row>, Box<dyn std::error::Error>> {
-    let platform = Platform::for_node(TechnologyNode::Nm11)?
-        .with_boost_levels(Hertz::from_ghz(4.8))?;
+    let platform =
+        Platform::for_node(TechnologyNode::Nm11)?.with_boost_levels(Hertz::from_ghz(4.8))?;
     let config = PolicyConfig {
         period: fidelity.sweep_period(),
         ..PolicyConfig::default()
@@ -729,8 +722,7 @@ pub fn fig13(fidelity: Fidelity) -> Result<Vec<Fig13Row>, Box<dyn std::error::Er
             if workload.total_threads() > platform.core_count() {
                 continue;
             }
-            let mapping =
-                place_patterned(platform.floorplan(), &workload, platform.max_level())?;
+            let mapping = place_patterned(platform.floorplan(), &workload, platform.max_level())?;
             let boost = run_boosting(&platform, &mapping, horizon, &config)?;
             let constant = run_constant(&platform, &mapping, horizon, &config)?;
             rows.push(Fig13Row {
@@ -771,6 +763,23 @@ pub fn fig14_total_energy(rows: &[IsoPerfComparison]) -> (Joules, Joules, Joules
     (ntc, stc1, stc2)
 }
 
+darksil_json::impl_json!(struct Table1Row { node_nm, vdd, frequency, capacitance, area, core_area_mm2 });
+darksil_json::impl_json!(struct Fig2Point { voltage, frequency, region });
+darksil_json::impl_json!(struct Fig3Point { frequency, measured, fitted });
+darksil_json::impl_json!(struct Fig3 { points, rmse });
+darksil_json::impl_json!(struct Fig4Series { app, points });
+darksil_json::impl_json!(struct Fig5Cell { app, frequency, active_percent, dark_percent });
+darksil_json::impl_json!(struct Fig5Panel { tdp, cells, peak_temperatures, any_violation });
+darksil_json::impl_json!(struct Fig6Row { app, dark_tdp_percent, dark_thermal_percent });
+darksil_json::impl_json!(struct Fig6Panel { node, frequency, rows, average_reduction_percent });
+darksil_json::impl_json!(struct Fig7Row { app, nominal_gips, tuned_gips, nominal_active_percent, tuned_active_percent, chosen_threads, chosen_frequency });
+darksil_json::impl_json!(struct Fig7Panel { node, rows, max_gain });
+darksil_json::impl_json!(struct Fig8Pattern { name, active_cores, total_power, peak_temperature, violates, thermal_art });
+darksil_json::impl_json!(struct Fig9Row { mix, tdpmap_gips, dsrem_gips, tdpmap_active_percent, dsrem_active_percent, speedup });
+darksil_json::impl_json!(struct Fig10Bar { node, dark_fraction, total_gips, tsp_per_core });
+darksil_json::impl_json!(struct Fig11 { boosting, constant, boosting_avg_gips, constant_avg_gips, boosting_temp_band, constant_peak_temp });
+darksil_json::impl_json!(struct Fig13Row { app, instances, boosting_gips, constant_gips, boosting_peak_power, constant_peak_power });
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -791,7 +800,10 @@ mod tests {
         assert_eq!(pts.len(), 40);
         // Low voltages are NTC, high voltages Boost.
         assert_eq!(pts[0].region, OperatingRegion::NearThreshold);
-        assert_eq!(pts.last().unwrap().region, OperatingRegion::Boost);
+        assert_eq!(
+            pts.last().expect("test value").region,
+            OperatingRegion::Boost
+        );
         // Monotone frequency.
         for w in pts.windows(2) {
             assert!(w[1].frequency >= w[0].frequency);
@@ -800,7 +812,7 @@ mod tests {
 
     #[test]
     fn fig3_fit_is_tight() {
-        let f = fig3().unwrap();
+        let f = fig3().expect("test value");
         assert_eq!(f.points.len(), 15);
         assert!(f.rmse.value() < 0.5, "rmse {}", f.rmse);
         // Fitted curve tracks measurements within noise everywhere —
@@ -809,7 +821,11 @@ mod tests {
         for p in &f.points {
             let abs = (p.fitted.value() - p.measured.value()).abs();
             let rel = abs / p.measured.value();
-            assert!(rel < 0.08 || abs < 0.3, "at {}: rel {rel}, abs {abs}", p.frequency);
+            assert!(
+                rel < 0.08 || abs < 0.3,
+                "at {}: rel {rel}, abs {abs}",
+                p.frequency
+            );
         }
     }
 
@@ -818,21 +834,21 @@ mod tests {
         let series = fig4();
         assert_eq!(series.len(), 3);
         let x264 = &series[0];
-        let last = x264.points.last().unwrap();
+        let last = x264.points.last().expect("test value");
         assert_eq!(last.0, 64);
         assert!((last.1 - 3.0).abs() < 0.3);
         // Canneal is the flattest curve.
         let canneal = &series[2];
-        assert!(canneal.points.last().unwrap().1 < 2.0);
+        assert!(canneal.points.last().expect("test value").1 < 2.0);
     }
 
     #[test]
     fn fig10_rises_across_nodes_at_paper_fractions() {
-        let bars = fig10().unwrap();
+        let bars = fig10().expect("test value");
         let pick = |node, dark: f64| {
             bars.iter()
                 .find(|b| b.node == node && (b.dark_fraction - dark).abs() < 1e-9)
-                .unwrap()
+                .expect("test value")
                 .total_gips
                 .value()
         };
@@ -845,12 +861,12 @@ mod tests {
 
     #[test]
     fn fig14_observation4() {
-        let rows = fig14().unwrap();
+        let rows = fig14().expect("test value");
         assert_eq!(rows.len(), 7);
         let canneal = rows
             .iter()
             .find(|r| r.app == ParsecApp::Canneal)
-            .unwrap();
+            .expect("test value");
         assert!(!canneal.ntc_wins());
         let winners = rows.iter().filter(|r| r.ntc_wins()).count();
         assert!(winners >= 4, "only {winners} NTC wins");

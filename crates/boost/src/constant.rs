@@ -25,7 +25,7 @@ pub fn max_safe_level(
     let dvfs = platform.dvfs();
     let mut working = mapping.clone();
     for idx in (0..dvfs.len()).rev() {
-        let level = dvfs.get(idx).expect("index in range");
+        let Some(level) = dvfs.get(idx) else { continue };
         // Never pick boost-region levels for the constant policy: cap
         // at the nominal maximum.
         if level.frequency > platform.node().nominal_max_frequency() {
@@ -117,11 +117,12 @@ mod tests {
 
     fn setup() -> (Platform, Mapping) {
         let platform = Platform::with_core_count(TechnologyNode::Nm16, 16)
-            .unwrap()
+            .expect("test value")
             .with_boost_levels(Hertz::from_ghz(4.4))
-            .unwrap();
-        let w = Workload::uniform(ParsecApp::X264, 3, 4).unwrap();
-        let mapping = place_patterned(platform.floorplan(), &w, platform.max_level()).unwrap();
+            .expect("test value");
+        let w = Workload::uniform(ParsecApp::X264, 3, 4).expect("valid workload");
+        let mapping =
+            place_patterned(platform.floorplan(), &w, platform.max_level()).expect("test value");
         (platform, mapping)
     }
 
@@ -138,23 +139,23 @@ mod tests {
     fn safe_level_is_actually_safe() {
         let (platform, mapping) = setup();
         let config = fast_config();
-        let level = max_safe_level(&platform, &mapping, &config).unwrap();
+        let level = max_safe_level(&platform, &mapping, &config).expect("test value");
         let mut working = mapping.clone();
         for e in working.entries_mut() {
             e.level = level;
         }
-        let peak = working.peak_temperature(&platform).unwrap();
+        let peak = working.peak_temperature(&platform).expect("test value");
         assert!(peak <= config.threshold, "peak {peak}");
         // And one step up would violate (maximality) unless already at
         // nominal max.
         if level.frequency < platform.node().nominal_max_frequency() {
             let dvfs = platform.dvfs();
-            let idx = dvfs.floor_index(level.frequency).unwrap();
-            let up = dvfs.get(dvfs.step_up(idx)).unwrap();
+            let idx = dvfs.floor_index(level.frequency).expect("test value");
+            let up = dvfs.get(dvfs.step_up(idx)).expect("test value");
             for e in working.entries_mut() {
                 e.level = up;
             }
-            let hotter = working.peak_temperature(&platform).unwrap();
+            let hotter = working.peak_temperature(&platform).expect("test value");
             assert!(hotter > config.threshold, "not maximal: up gives {hotter}");
         }
     }
@@ -162,8 +163,8 @@ mod tests {
     #[test]
     fn constant_run_stays_below_threshold() {
         let (platform, mapping) = setup();
-        let trace =
-            run_constant(&platform, &mapping, Seconds::new(60.0), &fast_config()).unwrap();
+        let trace = run_constant(&platform, &mapping, Seconds::new(60.0), &fast_config())
+            .expect("test value");
         assert!(trace.peak_temperature() <= Celsius::new(60.0) + 0.1);
         // Single frequency throughout.
         let (lo, hi) = trace.frequency_band_tail(1.0);
@@ -176,8 +177,10 @@ mod tests {
         // small margin.
         let (platform, mapping) = setup();
         let config = fast_config();
-        let boost = run_boosting(&platform, &mapping, Seconds::new(80.0), &config).unwrap();
-        let constant = run_constant(&platform, &mapping, Seconds::new(80.0), &config).unwrap();
+        let boost =
+            run_boosting(&platform, &mapping, Seconds::new(80.0), &config).expect("test value");
+        let constant =
+            run_constant(&platform, &mapping, Seconds::new(80.0), &config).expect("test value");
         let g_boost = boost.average_gips_tail(0.5).value();
         let g_const = constant.average_gips_tail(0.5).value();
         assert!(
@@ -194,8 +197,10 @@ mod tests {
         // costs a big peak-power increment.
         let (platform, mapping) = setup();
         let config = fast_config();
-        let boost = run_boosting(&platform, &mapping, Seconds::new(40.0), &config).unwrap();
-        let constant = run_constant(&platform, &mapping, Seconds::new(40.0), &config).unwrap();
+        let boost =
+            run_boosting(&platform, &mapping, Seconds::new(40.0), &config).expect("test value");
+        let constant =
+            run_constant(&platform, &mapping, Seconds::new(40.0), &config).expect("test value");
         assert!(boost.peak_power() > constant.peak_power());
     }
 
@@ -219,7 +224,7 @@ mod tests {
             power_cap: Some(Watts::new(15.0)),
             ..fast_config()
         };
-        let level = max_safe_level(&platform, &mapping, &config).unwrap();
+        let level = max_safe_level(&platform, &mapping, &config).expect("test value");
         let mut working = mapping.clone();
         for e in working.entries_mut() {
             e.level = level;
@@ -231,7 +236,7 @@ mod tests {
     #[test]
     fn constant_never_uses_boost_region() {
         let (platform, mapping) = setup();
-        let level = max_safe_level(&platform, &mapping, &fast_config()).unwrap();
+        let level = max_safe_level(&platform, &mapping, &fast_config()).expect("test value");
         assert!(level.frequency <= platform.node().nominal_max_frequency());
     }
 }

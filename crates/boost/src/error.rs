@@ -32,7 +32,10 @@ impl fmt::Display for BoostError {
         match self {
             Self::InvalidConfig { reason } => write!(f, "invalid boost configuration: {reason}"),
             Self::NoFeasibleLevel => {
-                write!(f, "no v/f level satisfies the thermal and power constraints")
+                write!(
+                    f,
+                    "no v/f level satisfies the thermal and power constraints"
+                )
             }
             Self::Mapping(e) => write!(f, "mapping error: {e}"),
             Self::Thermal(e) => write!(f, "thermal error: {e}"),
@@ -76,6 +79,24 @@ impl From<WorkloadError> for BoostError {
     }
 }
 
+impl From<BoostError> for darksil_robust::DarksilError {
+    fn from(e: BoostError) -> Self {
+        match e {
+            BoostError::InvalidConfig { .. } => darksil_robust::DarksilError::config(e.to_string()),
+            BoostError::NoFeasibleLevel => darksil_robust::DarksilError::capacity(e.to_string()),
+            BoostError::Mapping(inner) => {
+                darksil_robust::DarksilError::from(inner).context("boost policy")
+            }
+            BoostError::Thermal(inner) => {
+                darksil_robust::DarksilError::from(inner).context("boost policy")
+            }
+            BoostError::Power(inner) => {
+                darksil_robust::DarksilError::from(inner).context("boost policy")
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,7 +106,11 @@ mod tests {
         let e = BoostError::NoFeasibleLevel;
         assert!(e.to_string().contains("no v/f level"));
         assert!(e.source().is_none());
-        let e: BoostError = ThermalError::PowerMapMismatch { got: 1, expected: 2 }.into();
+        let e: BoostError = ThermalError::PowerMapMismatch {
+            got: 1,
+            expected: 2,
+        }
+        .into();
         assert!(e.source().is_some());
     }
 }

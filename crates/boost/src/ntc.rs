@@ -5,7 +5,6 @@ use darksil_mapping::Platform;
 use darksil_power::OperatingRegion;
 use darksil_units::{Celsius, Gips, Hertz, Joules, Seconds, Watts};
 use darksil_workload::ParsecApp;
-use serde::{Deserialize, Serialize};
 
 use crate::BoostError;
 
@@ -14,7 +13,7 @@ use crate::BoostError;
 const EVAL_TEMPERATURE: Celsius = Celsius::new(70.0);
 
 /// One evaluated configuration of the comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OperatingPoint {
     /// Threads per instance.
     pub threads: usize,
@@ -34,7 +33,7 @@ pub struct OperatingPoint {
 }
 
 /// Result of the Figure 14 experiment for one application.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IsoPerfComparison {
     /// The application compared.
     pub app: ParsecApp,
@@ -137,9 +136,25 @@ pub fn iso_performance_comparison(
         target,
     )?;
     let f1 = matching_frequency(platform, app, 1, target);
-    let stc_one_thread = point(platform, app, 1, f1, instances, work_gi_per_instance, target)?;
+    let stc_one_thread = point(
+        platform,
+        app,
+        1,
+        f1,
+        instances,
+        work_gi_per_instance,
+        target,
+    )?;
     let f2 = matching_frequency(platform, app, 2, target);
-    let stc_two_threads = point(platform, app, 2, f2, instances, work_gi_per_instance, target)?;
+    let stc_two_threads = point(
+        platform,
+        app,
+        2,
+        f2,
+        instances,
+        work_gi_per_instance,
+        target,
+    )?;
 
     Ok(IsoPerfComparison {
         app,
@@ -150,17 +165,34 @@ pub fn iso_performance_comparison(
     })
 }
 
+darksil_json::impl_json!(struct OperatingPoint {
+    threads,
+    frequency,
+    region,
+    instance_gips,
+    instance_power,
+    energy,
+    met_target,
+});
+darksil_json::impl_json!(struct IsoPerfComparison {
+    app,
+    instances,
+    ntc,
+    stc_one_thread,
+    stc_two_threads,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use darksil_power::TechnologyNode;
 
     fn platform() -> Platform {
-        Platform::for_node(TechnologyNode::Nm11).unwrap()
+        Platform::for_node(TechnologyNode::Nm11).expect("valid platform")
     }
 
     fn compare(app: ParsecApp) -> IsoPerfComparison {
-        iso_performance_comparison(&platform(), app, 24, 500.0).unwrap()
+        iso_performance_comparison(&platform(), app, 24, 500.0).expect("test value")
     }
 
     #[test]
@@ -224,11 +256,13 @@ mod tests {
     #[test]
     fn energy_scales_with_instances_and_work() {
         let p = platform();
-        let base = iso_performance_comparison(&p, ParsecApp::Ferret, 24, 500.0).unwrap();
-        let double_work = iso_performance_comparison(&p, ParsecApp::Ferret, 24, 1000.0).unwrap();
+        let base =
+            iso_performance_comparison(&p, ParsecApp::Ferret, 24, 500.0).expect("test value");
+        let double_work =
+            iso_performance_comparison(&p, ParsecApp::Ferret, 24, 1000.0).expect("test value");
         assert!((double_work.ntc.energy.value() - 2.0 * base.ntc.energy.value()).abs() < 1e-9);
         let half_instances =
-            iso_performance_comparison(&p, ParsecApp::Ferret, 12, 500.0).unwrap();
+            iso_performance_comparison(&p, ParsecApp::Ferret, 12, 500.0).expect("test value");
         assert!((half_instances.ntc.energy.value() * 2.0 - base.ntc.energy.value()).abs() < 1e-9);
     }
 

@@ -64,7 +64,9 @@ pub fn run_per_instance_boosting(
 
     for _ in 0..steps {
         for (entry, &idx) in working.entries_mut().iter_mut().zip(&levels) {
-            entry.level = dvfs.get(idx).expect("index kept in range");
+            if let Some(level) = dvfs.get(idx) {
+                entry.level = level;
+            }
         }
         let temps: Vec<Celsius> = sim.snapshot().die_temperatures().collect();
         let power_map = working.power_map_at(platform, &temps);
@@ -75,7 +77,7 @@ pub fn run_per_instance_boosting(
         let mean_freq = {
             let sum: f64 = levels
                 .iter()
-                .map(|&i| dvfs.get(i).expect("in range").frequency.value())
+                .map(|&i| dvfs.get(i).map_or(0.0, |l| l.frequency.value()))
                 .sum();
             Hertz::new(sum / levels.len() as f64)
         };
@@ -119,13 +121,18 @@ mod tests {
         // 16-core chip — the mixed case where finer control domains
         // could in principle differ from the chip-wide loop.
         let platform = Platform::with_core_count(TechnologyNode::Nm16, 16)
-            .unwrap()
+            .expect("test value")
             .with_boost_levels(Hertz::from_ghz(4.4))
-            .unwrap();
+            .expect("test value");
         let mut workload = Workload::new();
-        workload.push(darksil_workload::AppInstance::new(ParsecApp::Swaptions, 6).unwrap());
-        workload.push(darksil_workload::AppInstance::new(ParsecApp::Canneal, 6).unwrap());
-        let mapping = place_patterned(platform.floorplan(), &workload, platform.max_level()).unwrap();
+        workload.push(
+            darksil_workload::AppInstance::new(ParsecApp::Swaptions, 6).expect("valid workload"),
+        );
+        workload.push(
+            darksil_workload::AppInstance::new(ParsecApp::Canneal, 6).expect("valid workload"),
+        );
+        let mapping = place_patterned(platform.floorplan(), &workload, platform.max_level())
+            .expect("test value");
         (platform, mapping)
     }
 
@@ -140,9 +147,8 @@ mod tests {
     #[test]
     fn stays_near_threshold_without_runaway() {
         let (platform, mapping) = setup_mixed();
-        let trace =
-            run_per_instance_boosting(&platform, &mapping, Seconds::new(60.0), &config())
-                .unwrap();
+        let trace = run_per_instance_boosting(&platform, &mapping, Seconds::new(60.0), &config())
+            .expect("test value");
         let hot = trace.peak_temperature();
         assert!(hot < Celsius::new(64.0), "overshoot {hot}");
         assert!(hot > Celsius::new(56.0), "never engaged: {hot}");
@@ -160,8 +166,8 @@ mod tests {
         let (platform, mapping) = setup_mixed();
         let cfg = config();
         let per = run_per_instance_boosting(&platform, &mapping, Seconds::new(60.0), &cfg)
-            .unwrap();
-        let chip = run_boosting(&platform, &mapping, Seconds::new(60.0), &cfg).unwrap();
+            .expect("test value");
+        let chip = run_boosting(&platform, &mapping, Seconds::new(60.0), &cfg).expect("test value");
         let ratio = per.average_gips_tail(0.5) / chip.average_gips_tail(0.5);
         assert!((0.9..=1.1).contains(&ratio), "ratio {ratio}");
         // Both respect the threshold equally.
@@ -173,16 +179,16 @@ mod tests {
         // With identical instances there is nothing to differentiate;
         // both controllers converge to similar operating points.
         let platform = Platform::with_core_count(TechnologyNode::Nm16, 16)
-            .unwrap()
+            .expect("test value")
             .with_boost_levels(Hertz::from_ghz(4.4))
-            .unwrap();
-        let w = Workload::uniform(ParsecApp::X264, 3, 4).unwrap();
+            .expect("test value");
+        let w = Workload::uniform(ParsecApp::X264, 3, 4).expect("valid workload");
         let mapping =
-            place_patterned(platform.floorplan(), &w, platform.max_level()).unwrap();
+            place_patterned(platform.floorplan(), &w, platform.max_level()).expect("test value");
         let cfg = config();
-        let per =
-            run_per_instance_boosting(&platform, &mapping, Seconds::new(40.0), &cfg).unwrap();
-        let chip = run_boosting(&platform, &mapping, Seconds::new(40.0), &cfg).unwrap();
+        let per = run_per_instance_boosting(&platform, &mapping, Seconds::new(40.0), &cfg)
+            .expect("test value");
+        let chip = run_boosting(&platform, &mapping, Seconds::new(40.0), &cfg).expect("test value");
         let ratio = per.average_gips_tail(0.5) / chip.average_gips_tail(0.5);
         assert!((0.9..=1.15).contains(&ratio), "ratio {ratio}");
     }
@@ -190,20 +196,12 @@ mod tests {
     #[test]
     fn invalid_inputs_rejected() {
         let (platform, mapping) = setup_mixed();
-        assert!(run_per_instance_boosting(
-            &platform,
-            &mapping,
-            Seconds::zero(),
-            &config()
-        )
-        .is_err());
+        assert!(
+            run_per_instance_boosting(&platform, &mapping, Seconds::zero(), &config()).is_err()
+        );
         let empty = Mapping::new(platform.core_count());
-        assert!(run_per_instance_boosting(
-            &platform,
-            &empty,
-            Seconds::new(1.0),
-            &config()
-        )
-        .is_err());
+        assert!(
+            run_per_instance_boosting(&platform, &empty, Seconds::new(1.0), &config()).is_err()
+        );
     }
 }

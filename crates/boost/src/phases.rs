@@ -76,7 +76,9 @@ pub fn run_phased_boosting(
         let mut trace = PolicyTrace::new();
 
         for _ in 0..steps {
-            let level = dvfs.get(level_idx).expect("index kept in range");
+            let Some(level) = dvfs.get(level_idx) else {
+                break;
+            };
             for entry in working.entries_mut() {
                 entry.level = level;
             }
@@ -115,14 +117,14 @@ mod tests {
 
     fn platform() -> Platform {
         Platform::with_core_count(TechnologyNode::Nm16, 16)
-            .unwrap()
+            .expect("test value")
             .with_boost_levels(Hertz::from_ghz(4.4))
-            .unwrap()
+            .expect("test value")
     }
 
     fn mapping(platform: &Platform, app: ParsecApp, instances: usize) -> Mapping {
-        let w = Workload::uniform(app, instances, 4).unwrap();
-        place_patterned(platform.floorplan(), &w, platform.max_level()).unwrap()
+        let w = Workload::uniform(app, instances, 4).expect("valid workload");
+        place_patterned(platform.floorplan(), &w, platform.max_level()).expect("test value")
     }
 
     fn config() -> PolicyConfig {
@@ -151,7 +153,7 @@ mod tests {
                 duration: Seconds::new(10.0),
             },
         ];
-        let traces = run_phased_boosting(&p, &phases, &config()).unwrap();
+        let traces = run_phased_boosting(&p, &phases, &config()).expect("test value");
         assert_eq!(traces.len(), 2);
         let warm_start = traces[1].average_gips();
 
@@ -163,7 +165,7 @@ mod tests {
             }],
             &config(),
         )
-        .unwrap();
+        .expect("test value");
         let cold_start = cold[0].average_gips();
         assert!(
             warm_start.value() < cold_start.value() * 0.97,
@@ -184,9 +186,9 @@ mod tests {
                 duration: Seconds::new(2.0),
             },
         ];
-        let traces = run_phased_boosting(&p, &phases, &config()).unwrap();
-        let end_of_first = traces[0].samples().last().unwrap().time;
-        let start_of_second = traces[1].samples().first().unwrap().time;
+        let traces = run_phased_boosting(&p, &phases, &config()).expect("test value");
+        let end_of_first = traces[0].samples().last().expect("test value").time;
+        let start_of_second = traces[1].samples().first().expect("test value").time;
         assert!(start_of_second > end_of_first);
         assert!((start_of_second.value() - 2.02).abs() < 1e-9);
     }
@@ -208,7 +210,7 @@ mod tests {
                 duration: Seconds::new(8.0),
             },
         ];
-        let no_rest = run_phased_boosting(&p, &phases, &config()).unwrap();
+        let no_rest = run_phased_boosting(&p, &phases, &config()).expect("test value");
 
         let rested_phases = [
             Phase {
@@ -224,7 +226,7 @@ mod tests {
                 duration: Seconds::new(8.0),
             },
         ];
-        let rested = run_phased_boosting(&p, &rested_phases, &config()).unwrap();
+        let rested = run_phased_boosting(&p, &rested_phases, &config()).expect("test value");
         let g_no_rest = no_rest[1].average_gips().value();
         let g_rested = rested[2].average_gips().value();
         assert!(

@@ -4,12 +4,11 @@
 use darksil_mapping::{place_patterned, Platform};
 use darksil_units::{Gips, Seconds, Watts};
 use darksil_workload::{ParsecApp, Workload};
-use serde::{Deserialize, Serialize};
 
 use crate::{run_boosting, run_constant, BoostError, PolicyConfig};
 
 /// One point of the Figure 12 sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepPoint {
     /// Active cores (8 per application instance).
     pub active_cores: usize,
@@ -61,6 +60,14 @@ pub fn sweep_active_cores(
     Ok(points)
 }
 
+darksil_json::impl_json!(struct SweepPoint {
+    active_cores,
+    boosting_gips,
+    boosting_power,
+    constant_gips,
+    constant_power,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,9 +76,9 @@ mod tests {
 
     fn platform() -> Platform {
         Platform::with_core_count(TechnologyNode::Nm16, 36)
-            .unwrap()
+            .expect("test value")
             .with_boost_levels(Hertz::from_ghz(4.4))
-            .unwrap()
+            .expect("test value")
     }
 
     // 36-core test die: regulate to an attainable 62 °C (see turbo.rs).
@@ -86,8 +93,8 @@ mod tests {
     #[test]
     fn performance_grows_with_active_cores() {
         let p = platform();
-        let points =
-            sweep_active_cores(&p, ParsecApp::X264, 4, Seconds::new(30.0), &config()).unwrap();
+        let points = sweep_active_cores(&p, ParsecApp::X264, 4, Seconds::new(30.0), &config())
+            .expect("test value");
         assert_eq!(points.len(), 4);
         for w in points.windows(2) {
             assert!(w[1].constant_gips >= w[0].constant_gips);
@@ -98,8 +105,8 @@ mod tests {
     #[test]
     fn boosting_dominates_on_gips_but_costs_power() {
         let p = platform();
-        let points =
-            sweep_active_cores(&p, ParsecApp::X264, 3, Seconds::new(30.0), &config()).unwrap();
+        let points = sweep_active_cores(&p, ParsecApp::X264, 3, Seconds::new(30.0), &config())
+            .expect("test value");
         for pt in &points {
             assert!(
                 pt.boosting_gips.value() >= pt.constant_gips.value() * 0.98,
@@ -115,10 +122,9 @@ mod tests {
     #[test]
     fn sweep_stops_at_chip_capacity() {
         let p = platform(); // 36 cores → at most 4 instances of 8
-        let points =
-            sweep_active_cores(&p, ParsecApp::Canneal, 10, Seconds::new(10.0), &config())
-                .unwrap();
+        let points = sweep_active_cores(&p, ParsecApp::Canneal, 10, Seconds::new(10.0), &config())
+            .expect("test value");
         assert_eq!(points.len(), 4);
-        assert_eq!(points.last().unwrap().active_cores, 32);
+        assert_eq!(points.last().expect("test value").active_cores, 32);
     }
 }

@@ -3,10 +3,9 @@
 use std::io::{self, Write};
 
 use darksil_units::{Celsius, Gips, Hertz, Joules, Seconds, Watts};
-use serde::{Deserialize, Serialize};
 
 /// One control-period snapshot of a transient policy run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceSample {
     /// Simulated time at the end of the period.
     pub time: Seconds,
@@ -21,7 +20,7 @@ pub struct TraceSample {
 }
 
 /// The full trace of a transient policy run (Figure 11's curves).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct PolicyTrace {
     samples: Vec<TraceSample>,
 }
@@ -186,7 +185,10 @@ impl PolicyTrace {
             .iter()
             .map(|s| s.frequency)
             .fold(Hertz::new(f64::INFINITY), Hertz::min);
-        let max = tail.iter().map(|s| s.frequency).fold(Hertz::zero(), Hertz::max);
+        let max = tail
+            .iter()
+            .map(|s| s.frequency)
+            .fold(Hertz::zero(), Hertz::max);
         (min, max)
     }
 }
@@ -263,8 +265,8 @@ mod tests {
     #[test]
     fn csv_round_trip_shape() {
         let mut buf = Vec::new();
-        trace().write_csv(&mut buf).unwrap();
-        let text = String::from_utf8(buf).unwrap();
+        trace().write_csv(&mut buf).expect("test value");
+        let text = String::from_utf8(buf).expect("test value");
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 5); // header + 4 samples
         assert_eq!(lines[0], "time_s,frequency_ghz,peak_c,gips,power_w");

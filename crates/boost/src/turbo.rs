@@ -80,7 +80,9 @@ pub fn run_boosting(
     let mut trace = PolicyTrace::new();
 
     for _ in 0..steps {
-        let level = dvfs.get(level_idx).expect("index kept in range");
+        let Some(level) = dvfs.get(level_idx) else {
+            break;
+        };
         for entry in working.entries_mut() {
             entry.level = level;
         }
@@ -100,9 +102,7 @@ pub fn run_boosting(
             power: total_power,
         });
 
-        let over_cap = config
-            .power_cap
-            .is_some_and(|cap| total_power > cap);
+        let over_cap = config.power_cap.is_some_and(|cap| total_power > cap);
         if peak > config.threshold || over_cap {
             level_idx = dvfs.step_down(level_idx);
         } else {
@@ -124,11 +124,12 @@ mod tests {
         // Small 16-core chip so the transient tests stay fast; 12 of 16
         // cores active is the same ~75 % occupancy as Figure 11.
         let platform = Platform::with_core_count(TechnologyNode::Nm16, 16)
-            .unwrap()
+            .expect("test value")
             .with_boost_levels(Hertz::from_ghz(4.4))
-            .unwrap();
-        let w = Workload::uniform(ParsecApp::X264, 3, 4).unwrap();
-        let mapping = place_patterned(platform.floorplan(), &w, platform.max_level()).unwrap();
+            .expect("test value");
+        let w = Workload::uniform(ParsecApp::X264, 3, 4).expect("valid workload");
+        let mapping =
+            place_patterned(platform.floorplan(), &w, platform.max_level()).expect("test value");
         (platform, mapping)
     }
 
@@ -146,8 +147,8 @@ mod tests {
     #[test]
     fn controller_regulates_to_threshold() {
         let (platform, mapping) = setup();
-        let trace =
-            run_boosting(&platform, &mapping, Seconds::new(60.0), &fast_config()).unwrap();
+        let trace = run_boosting(&platform, &mapping, Seconds::new(60.0), &fast_config())
+            .expect("test value");
         // Settled band straddles/approaches the threshold without
         // running away.
         let hot = trace.peak_temperature();
@@ -164,8 +165,8 @@ mod tests {
     #[test]
     fn frequency_oscillates_in_settled_region() {
         let (platform, mapping) = setup();
-        let trace =
-            run_boosting(&platform, &mapping, Seconds::new(60.0), &fast_config()).unwrap();
+        let trace = run_boosting(&platform, &mapping, Seconds::new(60.0), &fast_config())
+            .expect("test value");
         let (lo, hi) = trace.frequency_band_tail(0.2);
         assert!(hi > lo, "no oscillation: stuck at {lo}");
         // Steps are 200 MHz.
@@ -175,8 +176,8 @@ mod tests {
     #[test]
     fn trace_bookkeeping() {
         let (platform, mapping) = setup();
-        let trace =
-            run_boosting(&platform, &mapping, Seconds::new(2.0), &fast_config()).unwrap();
+        let trace = run_boosting(&platform, &mapping, Seconds::new(2.0), &fast_config())
+            .expect("test value");
         assert_eq!(trace.len(), 100);
         assert!(trace.total_energy().value() > 0.0);
         assert!(trace.average_gips().value() > 0.0);
@@ -195,7 +196,8 @@ mod tests {
             power_cap: Some(Watts::new(20.0)),
             ..fast_config()
         };
-        let trace = run_boosting(&platform, &mapping, Seconds::new(20.0), &capped).unwrap();
+        let trace =
+            run_boosting(&platform, &mapping, Seconds::new(20.0), &capped).expect("test value");
         // With a 20 W cap on a 12-core active chip the controller must
         // keep power near the cap even though temperature never
         // approaches 80 °C.

@@ -9,15 +9,15 @@
 //! reported. It quantifies the hidden cost of optimistic TDP values —
 //! the nominal estimate undercounts dark cores that DTM later creates.
 
-use darksil_mapping::{place_contiguous, Mapping};
-use darksil_units::{Hertz, Watts};
+use darksil_mapping::{failsafe_peak, hottest_core, place_contiguous, Mapping};
+use darksil_robust::FaultPlan;
+use darksil_units::{Celsius, Hertz, Watts};
 use darksil_workload::{ParsecApp, Workload};
-use serde::{Deserialize, Serialize};
 
 use crate::{DarkSiliconEstimator, Estimate, EstimateError};
 
 /// The outcome of letting DTM react to a TDP-admitted mapping.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DtmOutcome {
     /// The estimate as admitted by the TDP (what the budget view
     /// reports as dark silicon).
@@ -57,6 +57,44 @@ pub fn simulate_dtm(
     frequency: Hertz,
     tdp: Watts,
 ) -> Result<DtmOutcome, EstimateError> {
+    simulate_dtm_with_faults(est, app, threads, frequency, tdp, &FaultPlan::none())
+}
+
+/// Like [`simulate_dtm`] but with an injected [`FaultPlan`] corrupting
+/// the per-step sensor readings and (optionally) the requested
+/// frequency.
+///
+/// Degradation is graceful and fail-safe:
+///
+/// - An off-ladder frequency fault is throttled to the nearest ladder
+///   level at or below the request instead of erroring.
+/// - NaN (dropped) or noise-perturbed sensor readings make DTM power
+///   down the implicated instance — extra dark silicon, never a panic
+///   and never a trusted-but-bogus reading.
+///
+/// # Errors
+///
+/// Returns [`EstimateError::UnknownLevel`] for off-ladder frequencies
+/// in the *request* (fault-free path) and propagates mapping/thermal
+/// failures.
+pub fn simulate_dtm_with_faults(
+    est: &DarkSiliconEstimator,
+    app: ParsecApp,
+    threads: usize,
+    frequency: Hertz,
+    tdp: Watts,
+    faults: &FaultPlan,
+) -> Result<DtmOutcome, EstimateError> {
+    // A faulty governor may request a frequency that is not on the
+    // ladder; throttle it to the nearest safe level.
+    let frequency = match faults.off_ladder_frequency_ghz() {
+        Some(ghz) => est
+            .platform()
+            .dvfs()
+            .clamp_to_ladder(Hertz::from_ghz(ghz))
+            .map_or(frequency, |level| level.frequency),
+        None => frequency,
+    };
     let admitted = est.under_power_budget(app, threads, frequency, tdp)?;
 
     // Rebuild the admitted mapping so we can dismantle it.
@@ -68,23 +106,29 @@ pub fn simulate_dtm(
 
     let mut powered_down = 0;
     let t_dtm = platform.t_dtm();
+    let mut step = 0_usize;
     loop {
         if mapping.entries().is_empty() {
             break;
         }
         let map = mapping.steady_temperatures(platform)?;
-        if map.peak() <= t_dtm {
+        let mut die: Vec<f64> = map.die_temperatures().map(|t| t.value()).collect();
+        faults.corrupt_temperatures(step as u64, &mut die);
+        step += 1;
+        let peak = if faults.is_empty() {
+            map.peak()
+        } else {
+            Celsius::new(failsafe_peak(&die))
+        };
+        if peak <= t_dtm {
             break;
         }
         // Power down the instance owning the hottest core; if the
         // hottest core is already dark (edge heating), drop the last
         // instance.
-        let hottest = map
-            .die_temperatures()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite temps"))
-            .map(|(i, _)| i)
-            .expect("non-empty die");
+        let Some(hottest) = hottest_core(die.iter().copied()) else {
+            break;
+        };
         let owner = mapping
             .entries()
             .iter()
@@ -119,7 +163,7 @@ mod tests {
     use darksil_power::TechnologyNode;
 
     fn estimator() -> DarkSiliconEstimator {
-        DarkSiliconEstimator::for_node(TechnologyNode::Nm16).unwrap()
+        DarkSiliconEstimator::for_node(TechnologyNode::Nm16).expect("valid platform")
     }
 
     #[test]
@@ -135,7 +179,7 @@ mod tests {
             Hertz::from_ghz(3.6),
             Watts::new(220.0),
         )
-        .unwrap();
+        .expect("test value");
         assert!(out.admitted.thermal_violation);
         assert!(out.triggered);
         assert!(out.instances_powered_down >= 1);
@@ -152,7 +196,7 @@ mod tests {
         let est = estimator();
         for app in [ParsecApp::X264, ParsecApp::Swaptions, ParsecApp::Canneal] {
             let out = simulate_dtm(&est, app, 8, Hertz::from_ghz(3.6), Watts::new(185.0))
-                .unwrap();
+                .expect("test value");
             assert!(!out.triggered, "{app} triggered DTM at 185 W");
             assert_eq!(out.hidden_dark_fraction(), 0.0);
             assert_eq!(out.sustained, out.admitted);
@@ -172,13 +216,61 @@ mod tests {
             Hertz::from_ghz(3.6),
             Watts::new(500.0), // absurd budget: DTM is the only limiter
         )
-        .unwrap();
+        .expect("test value");
         let thermal = est
             .under_temperature_constraint(ParsecApp::Swaptions, 8, Hertz::from_ghz(3.6))
-            .unwrap();
+            .expect("test value");
         assert!(out.triggered);
         assert!(out.sustained.active_cores <= thermal.active_cores + 8);
         assert!(!out.sustained.thermal_violation);
+    }
+
+    #[test]
+    fn faulty_sensors_only_add_dark_silicon() {
+        use darksil_robust::Fault;
+        let est = estimator();
+        let clean = simulate_dtm(
+            &est,
+            ParsecApp::Swaptions,
+            8,
+            Hertz::from_ghz(3.6),
+            Watts::new(220.0),
+        )
+        .expect("clean run");
+        let faults = FaultPlan::new(3)
+            .with(Fault::SensorDropout { period: 2 })
+            .with(Fault::SensorNoise { sigma_celsius: 2.0 });
+        let faulty = simulate_dtm_with_faults(
+            &est,
+            ParsecApp::Swaptions,
+            8,
+            Hertz::from_ghz(3.6),
+            Watts::new(220.0),
+            &faults,
+        )
+        .expect("faulty run degrades gracefully");
+        // The fail-safe direction: corrupted readings power cores down,
+        // so the sustained dark fraction never shrinks below the
+        // admitted one and never below the clean sustained run's.
+        assert!(faulty.sustained.dark_fraction >= faulty.admitted.dark_fraction);
+        assert!(faulty.sustained.dark_fraction >= clean.admitted.dark_fraction);
+    }
+
+    #[test]
+    fn off_ladder_request_is_throttled_not_rejected() {
+        use darksil_robust::Fault;
+        let est = estimator();
+        let faults = FaultPlan::new(1).with(Fault::OffLadderFrequency { ghz: 3.33 });
+        let out = simulate_dtm_with_faults(
+            &est,
+            ParsecApp::X264,
+            8,
+            Hertz::from_ghz(3.6),
+            Watts::new(185.0),
+            &faults,
+        )
+        .expect("off-ladder request must be clamped, not rejected");
+        assert!(out.admitted.active_cores > 0);
     }
 
     #[test]
@@ -191,7 +283,7 @@ mod tests {
             Hertz::from_ghz(2.0),
             Watts::new(500.0),
         )
-        .unwrap();
+        .expect("test value");
         assert!(!out.triggered);
     }
 }

@@ -8,7 +8,6 @@ use darksil_power::{PowerError, TechnologyNode, VfLevel};
 use darksil_thermal::ThermalError;
 use darksil_units::{Celsius, Gips, Hertz, Watts};
 use darksil_workload::{AppInstance, ParsecApp, Workload, WorkloadError};
-use serde::{Deserialize, Serialize};
 
 /// Errors produced by estimation.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,7 +25,10 @@ impl fmt::Display for EstimateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::UnknownLevel { ghz } => {
-                write!(f, "frequency {ghz} GHz is not a DVFS level of this platform")
+                write!(
+                    f,
+                    "frequency {ghz} GHz is not a DVFS level of this platform"
+                )
             }
             Self::Mapping(e) => write!(f, "estimation failed: {e}"),
         }
@@ -67,7 +69,7 @@ impl From<PowerError> for EstimateError {
 }
 
 /// The outcome of one dark-silicon estimation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Estimate {
     /// Cores running threads.
     pub active_cores: usize,
@@ -142,10 +144,7 @@ impl DarkSiliconEstimator {
         let (peak, power) = match &map {
             Some(m) => {
                 let temps: Vec<Celsius> = m.die_temperatures().collect();
-                let total: Watts = mapping
-                    .power_map_at(&self.platform, &temps)
-                    .iter()
-                    .sum();
+                let total: Watts = mapping.power_map_at(&self.platform, &temps).iter().sum();
                 (m.peak(), total)
             }
             None => (self.platform.thermal().ambient(), Watts::zero()),
@@ -183,12 +182,7 @@ impl DarkSiliconEstimator {
         let model = self.platform.app_model(app);
         let alpha = app.profile().activity(threads);
         // Admission at the DTM reference temperature, like TdpMap.
-        let per_core = model.power(
-            alpha,
-            level.voltage,
-            level.frequency,
-            Celsius::new(80.0),
-        );
+        let per_core = model.power(alpha, level.voltage, level.frequency, Celsius::new(80.0));
         let per_instance = per_core * threads as f64;
         let by_budget = (tdp / per_instance).floor() as usize;
         let by_capacity = n / threads;
@@ -284,12 +278,25 @@ impl DarkSiliconEstimator {
     }
 }
 
+impl From<EstimateError> for darksil_robust::DarksilError {
+    fn from(e: EstimateError) -> Self {
+        match e {
+            EstimateError::UnknownLevel { .. } => {
+                darksil_robust::DarksilError::unsupported(e.to_string())
+            }
+            EstimateError::Mapping(inner) => {
+                darksil_robust::DarksilError::from(inner).context("estimation")
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn estimator() -> DarkSiliconEstimator {
-        DarkSiliconEstimator::for_node(TechnologyNode::Nm16).unwrap()
+        DarkSiliconEstimator::for_node(TechnologyNode::Nm16).expect("valid platform")
     }
 
     #[test]
@@ -298,8 +305,13 @@ mod tests {
         // to ≈46 % dark silicon for the hungriest application.
         let est = estimator();
         let e = est
-            .under_power_budget(ParsecApp::Swaptions, 8, Hertz::from_ghz(3.6), Watts::new(185.0))
-            .unwrap();
+            .under_power_budget(
+                ParsecApp::Swaptions,
+                8,
+                Hertz::from_ghz(3.6),
+                Watts::new(185.0),
+            )
+            .expect("test value");
         assert!(!e.thermal_violation, "peak {}", e.peak_temperature);
         assert!(
             (0.40..=0.56).contains(&e.dark_fraction),
@@ -313,8 +325,13 @@ mod tests {
         // §3.1: the optimistic 220 W TDP "leads to thermal violations".
         let est = estimator();
         let e = est
-            .under_power_budget(ParsecApp::Swaptions, 8, Hertz::from_ghz(3.6), Watts::new(220.0))
-            .unwrap();
+            .under_power_budget(
+                ParsecApp::Swaptions,
+                8,
+                Hertz::from_ghz(3.6),
+                Watts::new(220.0),
+            )
+            .expect("test value");
         assert!(e.thermal_violation, "peak {}", e.peak_temperature);
         assert!(e.dark_fraction < 0.46);
     }
@@ -327,13 +344,8 @@ mod tests {
         let mut last = 1.0;
         for ghz in [3.6, 3.2, 2.8] {
             let e = est
-                .under_power_budget(
-                    ParsecApp::X264,
-                    8,
-                    Hertz::from_ghz(ghz),
-                    Watts::new(185.0),
-                )
-                .unwrap();
+                .under_power_budget(ParsecApp::X264, 8, Hertz::from_ghz(ghz), Watts::new(185.0))
+                .expect("test value");
             assert!(
                 e.dark_fraction <= last + 1e-12,
                 "{ghz} GHz gives {}",
@@ -351,10 +363,10 @@ mod tests {
         for app in [ParsecApp::X264, ParsecApp::Canneal, ParsecApp::Swaptions] {
             let budget = est
                 .under_power_budget(app, 8, Hertz::from_ghz(3.6), Watts::new(185.0))
-                .unwrap();
+                .expect("test value");
             let thermal = est
                 .under_temperature_constraint(app, 8, Hertz::from_ghz(3.6))
-                .unwrap();
+                .expect("test value");
             assert!(
                 thermal.active_cores >= budget.active_cores,
                 "{app}: thermal {} vs budget {}",
@@ -371,13 +383,13 @@ mod tests {
         let est = estimator();
         let e = est
             .under_temperature_constraint(ParsecApp::Swaptions, 8, Hertz::from_ghz(3.6))
-            .unwrap();
+            .expect("test value");
         let count = e.active_cores / 8;
         if count * 8 < est.platform().core_count() {
-            let w = Workload::uniform(ParsecApp::Swaptions, count + 1, 8).unwrap();
+            let w = Workload::uniform(ParsecApp::Swaptions, count + 1, 8).expect("valid workload");
             if w.total_threads() <= est.platform().core_count() {
-                let level = est.level_for(Hertz::from_ghz(3.6)).unwrap();
-                let over = est.evaluate_workload(&w, level).unwrap();
+                let level = est.level_for(Hertz::from_ghz(3.6)).expect("test value");
+                let over = est.evaluate_workload(&w, level).expect("numerics succeed");
                 assert!(over.thermal_violation, "peak {}", over.peak_temperature);
             }
         }
@@ -388,7 +400,7 @@ mod tests {
         let est = estimator();
         let e = est
             .under_temperature_constraint(ParsecApp::Canneal, 8, Hertz::from_ghz(2.8))
-            .unwrap();
+            .expect("test value");
         assert!(e.dark_fraction < 0.1, "dark {}", e.dark_fraction);
     }
 
@@ -396,12 +408,7 @@ mod tests {
     fn off_ladder_frequency_rejected() {
         let est = estimator();
         assert!(matches!(
-            est.under_power_budget(
-                ParsecApp::X264,
-                8,
-                Hertz::from_ghz(3.33),
-                Watts::new(185.0)
-            ),
+            est.under_power_budget(ParsecApp::X264, 8, Hertz::from_ghz(3.33), Watts::new(185.0)),
             Err(EstimateError::UnknownLevel { .. })
         ));
     }
@@ -411,8 +418,13 @@ mod tests {
         let est = estimator();
         // A budget too small for even one instance.
         let e = est
-            .under_power_budget(ParsecApp::Swaptions, 8, Hertz::from_ghz(3.6), Watts::new(5.0))
-            .unwrap();
+            .under_power_budget(
+                ParsecApp::Swaptions,
+                8,
+                Hertz::from_ghz(3.6),
+                Watts::new(5.0),
+            )
+            .expect("test value");
         assert_eq!(e.active_cores, 0);
         assert_eq!(e.dark_fraction, 1.0);
         assert_eq!(e.total_power, Watts::zero());
@@ -423,8 +435,13 @@ mod tests {
     fn estimate_fields_are_consistent() {
         let est = estimator();
         let e = est
-            .under_power_budget(ParsecApp::Ferret, 8, Hertz::from_ghz(3.0), Watts::new(185.0))
-            .unwrap();
+            .under_power_budget(
+                ParsecApp::Ferret,
+                8,
+                Hertz::from_ghz(3.0),
+                Watts::new(185.0),
+            )
+            .expect("test value");
         assert_eq!(e.active_cores + e.dark_cores, 100);
         assert!((e.dark_fraction - e.dark_cores as f64 / 100.0).abs() < 1e-12);
         assert!(e.total_gips.value() > 0.0);

@@ -12,12 +12,11 @@
 use darksil_mapping::{place_patterned, Platform};
 use darksil_units::{Celsius, Gips, Hertz, Watts};
 use darksil_workload::{ParsecApp, Workload, MAX_THREADS_PER_INSTANCE};
-use serde::{Deserialize, Serialize};
 
 use crate::EstimateError;
 
 /// One evaluated configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConfigPoint {
     /// Threads per instance.
     pub threads: usize,
@@ -102,17 +101,12 @@ pub fn explore(
 /// *feasible* points, sorted by ascending power.
 #[must_use]
 pub fn pareto_frontier(points: &[ConfigPoint]) -> Vec<ConfigPoint> {
-    let mut feasible: Vec<ConfigPoint> =
-        points.iter().copied().filter(|p| p.feasible).collect();
+    let mut feasible: Vec<ConfigPoint> = points.iter().copied().filter(|p| p.feasible).collect();
     feasible.sort_by(|a, b| {
         a.total_power
-            .partial_cmp(&b.total_power)
-            .expect("finite power")
-            .then(
-                b.total_gips
-                    .partial_cmp(&a.total_gips)
-                    .expect("finite gips"),
-            )
+            .value()
+            .total_cmp(&b.total_power.value())
+            .then(b.total_gips.value().total_cmp(&a.total_gips.value()))
     });
     let mut frontier: Vec<ConfigPoint> = Vec::new();
     let mut best_gips = Gips::zero();
@@ -125,14 +119,25 @@ pub fn pareto_frontier(points: &[ConfigPoint]) -> Vec<ConfigPoint> {
     frontier
 }
 
+darksil_json::impl_json!(struct ConfigPoint {
+    threads,
+    instances,
+    frequency,
+    total_gips,
+    total_power,
+    dark_fraction,
+    peak_temperature,
+    feasible,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use darksil_power::TechnologyNode;
 
     fn points() -> Vec<ConfigPoint> {
-        let platform = Platform::with_core_count(TechnologyNode::Nm16, 36).unwrap();
-        explore(&platform, ParsecApp::X264, 3).unwrap()
+        let platform = Platform::with_core_count(TechnologyNode::Nm16, 36).expect("valid platform");
+        explore(&platform, ParsecApp::X264, 3).expect("test value")
     }
 
     #[test]
@@ -195,8 +200,8 @@ mod tests {
     fn frontier_mixes_thread_counts() {
         // The §3.3 story: the frontier is not a single-thread or
         // single-frequency family — both axes matter.
-        let platform = Platform::with_core_count(TechnologyNode::Nm16, 64).unwrap();
-        let pts = explore(&platform, ParsecApp::X264, 2).unwrap();
+        let platform = Platform::with_core_count(TechnologyNode::Nm16, 64).expect("valid platform");
+        let pts = explore(&platform, ParsecApp::X264, 2).expect("test value");
         let frontier = pareto_frontier(&pts);
         let thread_kinds: std::collections::BTreeSet<usize> =
             frontier.iter().map(|p| p.threads).collect();

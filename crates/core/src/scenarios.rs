@@ -11,12 +11,11 @@
 
 use darksil_units::{Celsius, Hertz, Watts};
 use darksil_workload::{ParsecApp, Workload, MAX_THREADS_PER_INSTANCE};
-use serde::{Deserialize, Serialize};
 
 use crate::{DarkSiliconEstimator, Estimate, EstimateError};
 
 /// The configuration scenario 2 picked for an application.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChosenConfig {
     /// Threads per instance.
     pub threads: usize,
@@ -27,7 +26,7 @@ pub struct ChosenConfig {
 }
 
 /// Result of comparing the two scenarios for one application.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScenarioComparison {
     /// The application.
     pub app: ParsecApp,
@@ -54,7 +53,9 @@ impl ScenarioComparison {
 /// 8-thread instances to fill the chip.
 #[must_use]
 pub fn offered_instances(est: &DarkSiliconEstimator) -> usize {
-    est.platform().core_count().div_ceil(MAX_THREADS_PER_INSTANCE)
+    est.platform()
+        .core_count()
+        .div_ceil(MAX_THREADS_PER_INSTANCE)
 }
 
 /// Scenario 1: nominal maximum frequency, 8 threads per instance,
@@ -116,7 +117,7 @@ pub fn characterized_scenario(
                 .instance_gips(platform.core_model(), threads, level.frequency)
                 .value()
                 * instances as f64;
-            if best.is_none() || gips > best.expect("just checked").0 {
+            if best.as_ref().is_none_or(|(g, _)| gips > *g) {
                 best = Some((
                     gips,
                     ChosenConfig {
@@ -130,8 +131,8 @@ pub fn characterized_scenario(
     }
 
     let (_, config) = best.ok_or(EstimateError::UnknownLevel { ghz: 0.0 })?;
-    let workload = Workload::uniform(app, config.instances, config.threads)
-        .map_err(EstimateError::from)?;
+    let workload =
+        Workload::uniform(app, config.instances, config.threads).map_err(EstimateError::from)?;
     let level = est.level_for(config.frequency)?;
     let estimate = est.evaluate_workload(&workload, level)?;
     Ok((estimate, config))
@@ -163,14 +164,14 @@ mod tests {
     use darksil_power::TechnologyNode;
 
     fn estimator() -> DarkSiliconEstimator {
-        DarkSiliconEstimator::for_node(TechnologyNode::Nm16).unwrap()
+        DarkSiliconEstimator::for_node(TechnologyNode::Nm16).expect("valid platform")
     }
 
     #[test]
     fn figure7_tuned_always_wins() {
         let est = estimator();
         for app in ParsecApp::ALL {
-            let c = compare(&est, app, Watts::new(185.0)).unwrap();
+            let c = compare(&est, app, Watts::new(185.0)).expect("test value");
             assert!(
                 c.gain() >= 1.0,
                 "{app}: tuned {} < nominal {}",
@@ -188,7 +189,11 @@ mod tests {
         let est = estimator();
         let gains: Vec<f64> = ParsecApp::ALL
             .iter()
-            .map(|&app| compare(&est, app, Watts::new(185.0)).unwrap().gain())
+            .map(|&app| {
+                compare(&est, app, Watts::new(185.0))
+                    .expect("test value")
+                    .gain()
+            })
             .collect();
         let best = gains.iter().copied().fold(0.0, f64::max);
         assert!(best > 1.10, "best gain only {best}");
@@ -200,8 +205,8 @@ mod tests {
         // Swaptions (p = 0.93) should keep wide instances and drop
         // frequency rather than shrink to one fast core.
         let est = estimator();
-        let (_, config) =
-            characterized_scenario(&est, ParsecApp::Swaptions, Watts::new(185.0)).unwrap();
+        let (_, config) = characterized_scenario(&est, ParsecApp::Swaptions, Watts::new(185.0))
+            .expect("test value");
         assert!(config.threads >= 4, "chose {} threads", config.threads);
         assert!(config.frequency < Hertz::from_ghz(3.6));
     }
@@ -212,9 +217,9 @@ mod tests {
         // gain is the smallest of the suite and, unlike the high-TLP
         // apps, it gives up threads (extra canneal threads buy little).
         let est = estimator();
-        let canneal = compare(&est, ParsecApp::Canneal, Watts::new(185.0)).unwrap();
+        let canneal = compare(&est, ParsecApp::Canneal, Watts::new(185.0)).expect("test value");
         for app in [ParsecApp::X264, ParsecApp::Swaptions, ParsecApp::Bodytrack] {
-            let c = compare(&est, app, Watts::new(185.0)).unwrap();
+            let c = compare(&est, app, Watts::new(185.0)).expect("test value");
             assert!(
                 c.gain() >= canneal.gain() - 1e-9,
                 "{app} gain {} below canneal {}",
@@ -222,8 +227,8 @@ mod tests {
                 canneal.gain()
             );
         }
-        let swaptions =
-            characterized_scenario(&est, ParsecApp::Swaptions, Watts::new(185.0)).unwrap();
+        let swaptions = characterized_scenario(&est, ParsecApp::Swaptions, Watts::new(185.0))
+            .expect("test value");
         assert!(canneal.config.threads <= swaptions.1.threads);
     }
 
@@ -232,7 +237,8 @@ mod tests {
         let est = estimator();
         let offered = offered_instances(&est);
         for app in [ParsecApp::X264, ParsecApp::Ferret] {
-            let (e, config) = characterized_scenario(&est, app, Watts::new(185.0)).unwrap();
+            let (e, config) =
+                characterized_scenario(&est, app, Watts::new(185.0)).expect("test value");
             assert!(config.instances <= offered);
             // Allow the thermal fixed point a little leakage slack over
             // the 80 °C admission estimate.
@@ -252,7 +258,7 @@ mod tests {
         let est = estimator();
         let mut less_dark = 0;
         for app in ParsecApp::ALL {
-            let c = compare(&est, app, Watts::new(185.0)).unwrap();
+            let c = compare(&est, app, Watts::new(185.0)).expect("test value");
             if c.tuned.dark_fraction < c.nominal.dark_fraction - 1e-9 {
                 less_dark += 1;
             }

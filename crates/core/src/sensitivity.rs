@@ -12,12 +12,11 @@ use darksil_power::TechnologyNode;
 use darksil_thermal::PackageConfig;
 use darksil_units::{Celsius, Hertz, Watts};
 use darksil_workload::ParsecApp;
-use serde::{Deserialize, Serialize};
 
 use crate::{DarkSiliconEstimator, EstimateError};
 
 /// One point of a cooling sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoolingPoint {
     /// Sink-to-ambient convection resistance in K/W.
     pub convection_resistance: f64,
@@ -64,7 +63,7 @@ pub fn cooling_sweep(
 }
 
 /// One row of the package comparison.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PackagePoint {
     /// Package label.
     pub package: String,
@@ -107,6 +106,19 @@ pub fn package_comparison(
     Ok(rows)
 }
 
+darksil_json::impl_json!(struct CoolingPoint {
+    convection_resistance,
+    dark_fraction,
+    active_cores,
+    total_power,
+});
+darksil_json::impl_json!(struct PackagePoint {
+    package,
+    dark_fraction,
+    active_cores,
+    peak_temperature,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,7 +131,7 @@ mod tests {
             Hertz::from_ghz(3.6),
             &[0.05, 0.1, 0.2, 0.4],
         )
-        .unwrap();
+        .expect("test value");
         assert_eq!(points.len(), 4);
         for w in points.windows(2) {
             assert!(
@@ -134,13 +146,17 @@ mod tests {
 
     #[test]
     fn package_ladder_is_ordered() {
-        let rows = package_comparison(TechnologyNode::Nm16, ParsecApp::X264).unwrap();
+        let rows = package_comparison(TechnologyNode::Nm16, ParsecApp::X264).expect("test value");
         assert_eq!(rows.len(), 3);
         // laptop ≥ desktop ≥ server dark fractions.
         assert!(rows[0].dark_fraction >= rows[1].dark_fraction);
         assert!(rows[1].dark_fraction >= rows[2].dark_fraction);
         // The server package lights (almost) the whole chip.
-        assert!(rows[2].dark_fraction < 0.15, "server dark {}", rows[2].dark_fraction);
+        assert!(
+            rows[2].dark_fraction < 0.15,
+            "server dark {}",
+            rows[2].dark_fraction
+        );
         // No row violates the threshold (temperature-constrained by
         // construction).
         for r in &rows {
@@ -156,7 +172,7 @@ mod tests {
             Hertz::from_ghz(3.0),
             &[0.1, 0.3],
         )
-        .unwrap();
+        .expect("test value");
         assert!(points[0].active_cores >= points[1].active_cores);
         assert!(points[0].total_power >= points[1].total_power);
     }

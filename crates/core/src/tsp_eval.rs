@@ -10,12 +10,11 @@
 use darksil_tsp::TspCalculator;
 use darksil_units::{Celsius, Gips, Watts};
 use darksil_workload::{ParsecApp, MAX_THREADS_PER_INSTANCE};
-use serde::{Deserialize, Serialize};
 
 use crate::{DarkSiliconEstimator, EstimateError};
 
 /// Result of one TSP-budgeted evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TspPerformance {
     /// Requested dark-silicon fraction.
     pub dark_fraction: f64,
@@ -93,6 +92,14 @@ pub fn tsp_performance(
     })
 }
 
+darksil_json::impl_json!(struct TspPerformance {
+    dark_fraction,
+    active_cores,
+    tsp_per_core,
+    total_gips,
+    total_power,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,8 +117,8 @@ mod tests {
         ];
         let mut last = 0.0;
         for (node, dark) in cases {
-            let est = DarkSiliconEstimator::for_node(node).unwrap();
-            let perf = tsp_performance(&est, dark).unwrap();
+            let est = DarkSiliconEstimator::for_node(node).expect("valid platform");
+            let perf = tsp_performance(&est, dark).expect("test value");
             assert!(
                 perf.total_gips.value() > last,
                 "{node}: {} not above {last}",
@@ -125,17 +132,17 @@ mod tests {
     fn figure10_11_to_8nm_gain_is_large() {
         // "This increment from 11 nm to 8 nm is on average 60 %."
         let g11 = tsp_performance(
-            &DarkSiliconEstimator::for_node(TechnologyNode::Nm11).unwrap(),
+            &DarkSiliconEstimator::for_node(TechnologyNode::Nm11).expect("valid platform"),
             0.30,
         )
-        .unwrap()
+        .expect("test value")
         .total_gips
         .value();
         let g8 = tsp_performance(
-            &DarkSiliconEstimator::for_node(TechnologyNode::Nm8).unwrap(),
+            &DarkSiliconEstimator::for_node(TechnologyNode::Nm8).expect("valid platform"),
             0.40,
         )
-        .unwrap()
+        .expect("test value")
         .total_gips
         .value();
         let gain = g8 / g11;
@@ -145,8 +152,8 @@ mod tests {
 
     #[test]
     fn tsp_budget_is_respected() {
-        let est = DarkSiliconEstimator::for_node(TechnologyNode::Nm16).unwrap();
-        let perf = tsp_performance(&est, 0.20).unwrap();
+        let est = DarkSiliconEstimator::for_node(TechnologyNode::Nm16).expect("valid platform");
+        let perf = tsp_performance(&est, 0.20).expect("test value");
         let cap = perf.tsp_per_core * perf.active_cores as f64;
         assert!(perf.total_power <= cap, "{} > {cap}", perf.total_power);
         assert!(perf.total_power.value() > 0.0);
@@ -154,9 +161,9 @@ mod tests {
 
     #[test]
     fn more_dark_cores_higher_per_core_budget() {
-        let est = DarkSiliconEstimator::for_node(TechnologyNode::Nm16).unwrap();
-        let sparse = tsp_performance(&est, 0.60).unwrap();
-        let dense = tsp_performance(&est, 0.10).unwrap();
+        let est = DarkSiliconEstimator::for_node(TechnologyNode::Nm16).expect("valid platform");
+        let sparse = tsp_performance(&est, 0.60).expect("valid json");
+        let dense = tsp_performance(&est, 0.10).expect("test value");
         assert!(sparse.tsp_per_core > dense.tsp_per_core);
     }
 
@@ -167,9 +174,15 @@ mod tests {
         // can compete. Verify the curve is at least non-trivial: the
         // best fraction is not the fully-lit chip... or if it is, the
         // margin to 20 % dark is small.
-        let est = DarkSiliconEstimator::for_node(TechnologyNode::Nm8).unwrap();
-        let full = tsp_performance(&est, 0.0).unwrap().total_gips.value();
-        let some_dark = tsp_performance(&est, 0.2).unwrap().total_gips.value();
+        let est = DarkSiliconEstimator::for_node(TechnologyNode::Nm8).expect("valid platform");
+        let full = tsp_performance(&est, 0.0)
+            .expect("numerics succeed")
+            .total_gips
+            .value();
+        let some_dark = tsp_performance(&est, 0.2)
+            .expect("numerics succeed")
+            .total_gips
+            .value();
         assert!(
             some_dark > full * 0.8,
             "20 % dark collapses performance: {some_dark} vs {full}"
@@ -179,7 +192,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "dark fraction")]
     fn invalid_fraction_panics() {
-        let est = DarkSiliconEstimator::for_node(TechnologyNode::Nm16).unwrap();
+        let est = DarkSiliconEstimator::for_node(TechnologyNode::Nm16).expect("valid platform");
         let _ = tsp_performance(&est, 1.0);
     }
 }

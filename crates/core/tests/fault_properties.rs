@@ -1,0 +1,69 @@
+//! Property tests for graceful degradation under injected faults.
+//!
+//! Whatever the fault plan throws at the DTM loop — noisy sensors,
+//! dropped (NaN) readings, off-ladder frequency requests — the
+//! simulation must neither panic nor report *less* dark silicon than
+//! the fault-free budget view: corrupted readings can only power cores
+//! down.
+
+use darksil_core::dtm::simulate_dtm_with_faults;
+use darksil_core::DarkSiliconEstimator;
+use darksil_power::TechnologyNode;
+use darksil_robust::{Fault, FaultPlan};
+use darksil_units::{Hertz, Watts};
+use darksil_workload::ParsecApp;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Fault-injected DTM never panics and the fail-safe direction
+    /// holds: sustained dark silicon ≥ admitted dark silicon.
+    #[test]
+    fn faulty_dtm_degrades_gracefully(
+        seed in 0_u64..1_000_000,
+        sigma in 0.0_f64..5.0,
+        period in 2_u64..6,
+        tdp in 180.0_f64..260.0,
+    ) {
+        let est = DarkSiliconEstimator::for_node(TechnologyNode::Nm16)
+            .expect("16 nm platform");
+        let faults = FaultPlan::new(seed)
+            .with(Fault::SensorNoise { sigma_celsius: sigma })
+            .with(Fault::SensorDropout { period });
+        let out = simulate_dtm_with_faults(
+            &est,
+            ParsecApp::Swaptions,
+            8,
+            Hertz::from_ghz(3.6),
+            Watts::new(tdp),
+            &faults,
+        )
+        .expect("faulty DTM must degrade gracefully, not error");
+        prop_assert!(out.sustained.dark_fraction >= out.admitted.dark_fraction);
+        prop_assert!(out.sustained.dark_fraction.is_finite());
+        prop_assert!((0.0..=1.0).contains(&out.sustained.dark_fraction));
+    }
+
+    /// Off-ladder frequency requests are throttled to the ladder, never
+    /// rejected, for any requested frequency in the plausible range.
+    #[test]
+    fn off_ladder_requests_are_always_clamped(
+        ghz in 0.05_f64..5.0,
+        seed in 0_u64..1_000,
+    ) {
+        let est = DarkSiliconEstimator::for_node(TechnologyNode::Nm16)
+            .expect("16 nm platform");
+        let faults = FaultPlan::new(seed).with(Fault::OffLadderFrequency { ghz });
+        let out = simulate_dtm_with_faults(
+            &est,
+            ParsecApp::X264,
+            8,
+            Hertz::from_ghz(3.6),
+            Watts::new(185.0),
+            &faults,
+        )
+        .expect("off-ladder request must be clamped, not rejected");
+        prop_assert!(out.admitted.active_cores > 0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace ships this shim under the same name. It implements the
+//! surface the darksil benches use — groups, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, warm-up/measurement knobs and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! wall-clock timer printing mean/min per benchmark. No statistics,
+//! plots, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-exported so `criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let group = name.into();
+        println!("group {group}");
+        let (warm_up, measurement) = (self.warm_up, self.measurement);
+        BenchmarkGroup {
+            _parent: self,
+            name: group,
+            warm_up,
+            measurement,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.warm_up, self.measurement, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing timing knobs.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Accepted for compatibility; the shim's timer ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.warm_up, self.measurement, &mut f);
+        self
+    }
+
+    /// Runs a parameterised benchmark in this group.
+    pub fn bench_with_input<I, F, P>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher, &P),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        let mut wrapped = |b: &mut Bencher| f(b, input);
+        run_one(&label, self.warm_up, self.measurement, &mut wrapped);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A function + parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name with a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{parameter}", function.into()),
+        }
+    }
+}
+
+/// Accepts both `&str` names and [`BenchmarkId`]s.
+pub trait IntoBenchmarkId {
+    /// The display label.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Handed to each benchmark closure; [`Bencher::iter`] times the work.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    /// (iterations, total elapsed) recorded by `iter`.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `f`, running it repeatedly for the measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also yields a rough per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < self.measurement || iters == 0 {
+            black_box(f());
+            iters += 1;
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    f: &mut F,
+) {
+    let mut bencher = Bencher {
+        warm_up,
+        measurement,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((iters, elapsed)) => {
+            let per_iter = elapsed.as_secs_f64() / iters as f64;
+            println!(
+                "  {label}: {} per iter ({iters} iters)",
+                human_time(per_iter)
+            );
+        }
+        None => println!("  {label}: no measurement recorded"),
+    }
+}
+
+fn human_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_ids_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.warm_up_time(Duration::from_millis(1));
+        g.measurement_time(Duration::from_millis(2));
+        g.sample_size(10);
+        let mut hits = 0_u64;
+        g.bench_function("plain", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("param", 42), &3_u64, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        g.finish();
+        hits += 1;
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn human_time_scales() {
+        assert!(human_time(2.0).ends_with(" s"));
+        assert!(human_time(2e-3).ends_with(" ms"));
+        assert!(human_time(2e-6).contains("µs"));
+        assert!(human_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,13 +1,11 @@
 //! Per-core scalar fields (power maps, thermal maps) over a floorplan.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{CoreId, Floorplan, FloorplanError};
 
 /// A scalar value per core of a floorplan, e.g. a power or temperature
 /// map. Provides aggregate queries and ASCII rendering of the kind used
 /// to present Figure 8's thermal profiles.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GridMap {
     rows: usize,
     cols: usize,
@@ -162,7 +160,7 @@ mod tests {
     use darksil_units::SquareMillimeters;
 
     fn plan() -> Floorplan {
-        Floorplan::grid(3, 4, SquareMillimeters::new(1.0)).unwrap()
+        Floorplan::grid(3, 4, SquareMillimeters::new(1.0)).expect("valid floorplan")
     }
 
     #[test]
@@ -188,7 +186,8 @@ mod tests {
     fn from_values_validates_length() {
         let p = plan();
         assert!(GridMap::from_values(&p, vec![0.0; 11]).is_err());
-        let m = GridMap::from_values(&p, (0..12).map(|i| i as f64).collect()).unwrap();
+        let m = GridMap::from_values(&p, (0..12).map(|i| i as f64).collect())
+            .expect("numerics succeed");
         assert_eq!(m.get(CoreId(11)), 11.0);
     }
 

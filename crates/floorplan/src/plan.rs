@@ -4,12 +4,9 @@ use std::error::Error;
 use std::fmt;
 
 use darksil_units::SquareMillimeters;
-use serde::{Deserialize, Serialize};
 
 /// A typed index identifying one core of a [`Floorplan`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CoreId(pub usize);
 
 impl CoreId {
@@ -68,7 +65,7 @@ impl Error for FloorplanError {}
 /// Cores are numbered row-major: core `r·cols + c` sits at grid position
 /// `(row r, column c)`. The paper's chips are 10×10 (100 cores),
 /// 18×11 (198 cores) and 19×19 (361 cores).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Floorplan {
     rows: usize,
     cols: usize,
@@ -202,10 +199,7 @@ impl Floorplan {
     pub fn center_mm(&self, core: CoreId) -> Result<(f64, f64), FloorplanError> {
         let (row, col) = self.coordinates(core)?;
         let side = self.core_side_mm();
-        Ok((
-            (col as f64 + 0.5) * side,
-            (row as f64 + 0.5) * side,
-        ))
+        Ok(((col as f64 + 0.5) * side, (row as f64 + 0.5) * side))
     }
 
     /// Manhattan grid distance between two cores (number of hops).
@@ -283,23 +277,81 @@ impl Iterator for NeighborIter {
     }
 }
 
+/// Serialises transparently as the core index.
+impl darksil_json::ToJson for CoreId {
+    fn to_json(&self) -> darksil_json::Json {
+        darksil_json::ToJson::to_json(&self.0)
+    }
+}
+
+impl darksil_json::FromJson for CoreId {
+    fn from_json(v: &darksil_json::Json) -> Result<Self, darksil_json::JsonError> {
+        <usize as darksil_json::FromJson>::from_json(v).map(Self)
+    }
+}
+
+impl darksil_json::ToJson for Floorplan {
+    fn to_json(&self) -> darksil_json::Json {
+        darksil_json::Json::Obj(vec![
+            (
+                "rows".to_string(),
+                darksil_json::ToJson::to_json(&self.rows),
+            ),
+            (
+                "cols".to_string(),
+                darksil_json::ToJson::to_json(&self.cols),
+            ),
+            (
+                "core_area_mm2".to_string(),
+                darksil_json::ToJson::to_json(&self.core_area_mm2),
+            ),
+        ])
+    }
+}
+
+/// Deserialisation routes through [`Floorplan::grid`], so zero-core
+/// grids and non-positive or non-finite core areas are rejected with
+/// the same validation as programmatic construction.
+impl darksil_json::FromJson for Floorplan {
+    fn from_json(v: &darksil_json::Json) -> Result<Self, darksil_json::JsonError> {
+        let mut r = darksil_json::ObjReader::new(v, "Floorplan")?;
+        let rows: usize = r.req("rows")?;
+        let cols: usize = r.req("cols")?;
+        let area: f64 = r.req("core_area_mm2")?;
+        r.finish()?;
+        Self::grid(rows, cols, SquareMillimeters::new(area))
+            .map_err(|e| darksil_json::JsonError::msg(format!("invalid floorplan: {e}")))
+    }
+}
+
+impl From<FloorplanError> for darksil_robust::DarksilError {
+    fn from(e: FloorplanError) -> Self {
+        match &e {
+            FloorplanError::CoreOutOfRange { .. } => Self::dimension(e.to_string()),
+            FloorplanError::EmptyGrid | FloorplanError::NonPositiveArea => {
+                Self::config(e.to_string())
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn plan_10x10() -> Floorplan {
-        Floorplan::grid(10, 10, SquareMillimeters::new(5.1)).unwrap()
+        Floorplan::grid(10, 10, SquareMillimeters::new(5.1)).expect("valid floorplan")
     }
 
     #[test]
     fn paper_configurations() {
         // 22 nm: 9.6 mm² per core; 16/11/8 nm: 5.1 / 2.7 / 1.4 mm².
-        let p100 = Floorplan::squarish(100, SquareMillimeters::new(5.1)).unwrap();
+        let p100 = Floorplan::squarish(100, SquareMillimeters::new(5.1)).expect("valid floorplan");
         assert_eq!((p100.rows(), p100.cols()), (10, 10));
-        let p198 = Floorplan::squarish(198, SquareMillimeters::new(2.7)).unwrap();
+        let p198 = Floorplan::squarish(198, SquareMillimeters::new(2.7)).expect("valid floorplan");
         assert_eq!(p198.core_count(), 198);
         assert_eq!((p198.rows(), p198.cols()), (18, 11));
-        let p361 = Floorplan::squarish(361, SquareMillimeters::new(1.4)).unwrap();
+        let p361 = Floorplan::squarish(361, SquareMillimeters::new(1.4)).expect("valid floorplan");
         assert_eq!((p361.rows(), p361.cols()), (19, 19));
     }
 
@@ -307,19 +359,19 @@ mod tests {
     fn coordinates_round_trip() {
         let p = plan_10x10();
         for core in p.cores() {
-            let (r, c) = p.coordinates(core).unwrap();
+            let (r, c) = p.coordinates(core).expect("test value");
             assert_eq!(p.core_at(r, c), Some(core));
         }
     }
 
     #[test]
     fn geometry() {
-        let p = Floorplan::grid(2, 3, SquareMillimeters::new(4.0)).unwrap();
+        let p = Floorplan::grid(2, 3, SquareMillimeters::new(4.0)).expect("valid floorplan");
         assert_eq!(p.core_side_mm(), 2.0);
         assert_eq!(p.chip_width_mm(), 6.0);
         assert_eq!(p.chip_height_mm(), 4.0);
         assert_eq!(p.chip_area().value(), 24.0);
-        let (x, y) = p.center_mm(CoreId(4)).unwrap(); // row 1, col 1
+        let (x, y) = p.center_mm(CoreId(4)).expect("test value"); // row 1, col 1
         assert_eq!((x, y), (3.0, 3.0));
     }
 
@@ -327,20 +379,20 @@ mod tests {
     fn neighbor_counts() {
         let p = plan_10x10();
         // Corner core: 2 neighbours.
-        assert_eq!(p.neighbors(CoreId(0)).unwrap().count(), 2);
+        assert_eq!(p.neighbors(CoreId(0)).expect("test value").count(), 2);
         // Edge core: 3 neighbours.
-        assert_eq!(p.neighbors(CoreId(5)).unwrap().count(), 3);
+        assert_eq!(p.neighbors(CoreId(5)).expect("test value").count(), 3);
         // Interior core: 4 neighbours.
-        assert_eq!(p.neighbors(CoreId(55)).unwrap().count(), 4);
+        assert_eq!(p.neighbors(CoreId(55)).expect("test value").count(), 4);
     }
 
     #[test]
     fn neighbors_are_symmetric() {
-        let p = Floorplan::grid(4, 5, SquareMillimeters::new(1.0)).unwrap();
+        let p = Floorplan::grid(4, 5, SquareMillimeters::new(1.0)).expect("valid floorplan");
         for a in p.cores() {
-            for b in p.neighbors(a).unwrap() {
+            for b in p.neighbors(a).expect("test value") {
                 assert!(
-                    p.neighbors(b).unwrap().any(|x| x == a),
+                    p.neighbors(b).expect("test value").any(|x| x == a),
                     "{a} -> {b} not symmetric"
                 );
             }
@@ -350,9 +402,19 @@ mod tests {
     #[test]
     fn distances() {
         let p = plan_10x10();
-        assert_eq!(p.manhattan_distance(CoreId(0), CoreId(99)).unwrap(), 18);
-        assert_eq!(p.manhattan_distance(CoreId(0), CoreId(0)).unwrap(), 0);
-        let d = p.center_distance_mm(CoreId(0), CoreId(1)).unwrap();
+        assert_eq!(
+            p.manhattan_distance(CoreId(0), CoreId(99))
+                .expect("test value"),
+            18
+        );
+        assert_eq!(
+            p.manhattan_distance(CoreId(0), CoreId(0))
+                .expect("test value"),
+            0
+        );
+        let d = p
+            .center_distance_mm(CoreId(0), CoreId(1))
+            .expect("test value");
         assert!((d - p.core_side_mm()).abs() < 1e-12);
     }
 
@@ -377,22 +439,30 @@ mod tests {
         let p = plan_10x10();
         assert!(matches!(
             p.coordinates(CoreId(100)),
-            Err(FloorplanError::CoreOutOfRange { index: 100, count: 100 })
+            Err(FloorplanError::CoreOutOfRange {
+                index: 100,
+                count: 100
+            })
         ));
         assert!(p.neighbors(CoreId(500)).is_err());
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip_and_validation() {
         let p = plan_10x10();
-        let json = serde_json::to_string(&p).unwrap();
-        let back: Floorplan = serde_json::from_str(&json).unwrap();
+        let json = darksil_json::to_string_pretty(&p);
+        let back: Floorplan = darksil_json::from_str(&json).expect("round trip");
         assert_eq!(p, back);
+        // Zero-core and non-positive-area plans are rejected on load.
+        let zero = r#"{ "rows": 0, "cols": 4, "core_area_mm2": 1.0 }"#;
+        assert!(darksil_json::from_str::<Floorplan>(zero).is_err());
+        let bad_area = r#"{ "rows": 2, "cols": 2, "core_area_mm2": -1.0 }"#;
+        assert!(darksil_json::from_str::<Floorplan>(bad_area).is_err());
     }
 
     #[test]
     fn prime_count_degenerates_to_row() {
-        let p = Floorplan::squarish(13, SquareMillimeters::new(1.0)).unwrap();
+        let p = Floorplan::squarish(13, SquareMillimeters::new(1.0)).expect("valid floorplan");
         assert_eq!(p.core_count(), 13);
         assert_eq!(p.rows() * p.cols(), 13);
     }

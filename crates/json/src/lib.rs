@@ -1,0 +1,735 @@
+//! Strict, dependency-free JSON for the darksil workspace.
+//!
+//! The simulation pipeline reads scenario files and writes figure
+//! artefacts; both paths must survive hostile input (the robustness
+//! requirement of the fault-tolerant tool flow). This crate provides:
+//!
+//! - [`Json`], a plain value tree;
+//! - a **strict** recursive-descent parser ([`parse`]) that rejects
+//!   duplicate keys, trailing content, over-deep nesting, and malformed
+//!   escapes, reporting line/column positions;
+//! - a pretty printer ([`Json::pretty`]) matching the 2-space style of
+//!   the former `serde_json::to_string_pretty` output;
+//! - [`ToJson`] / [`FromJson`] conversion traits with path-carrying
+//!   [`JsonError`]s ("at `workload[2].threads`: …"), plus the
+//!   [`ObjReader`] helper and [`impl_json!`] macro that make deriving
+//!   them for structs a one-liner;
+//! - [`to_string_pretty`] and [`from_str`] drop-in entry points.
+//!
+//! Numbers are IEEE-754 doubles. Non-finite values cannot be produced
+//! by the parser and serialise as `null`; [`FromJson`] for `f64`
+//! rejects `null`, so a NaN smuggled through serialisation is caught on
+//! the way back in rather than silently propagated into a solver.
+
+mod parse;
+mod write;
+
+pub use parse::parse;
+
+use std::fmt;
+
+/// Maximum nesting depth the parser accepts before bailing out.
+pub const MAX_DEPTH: usize = 128;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; always finite when produced by the parser.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion-ordered, keys unique when parsed.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A short name for the value's type, used in error messages.
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Self::Null => "null",
+            Self::Bool(_) => "bool",
+            Self::Num(_) => "number",
+            Self::Str(_) => "string",
+            Self::Arr(_) => "array",
+            Self::Obj(_) => "object",
+        }
+    }
+
+    /// Looks up a key if this value is an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Self::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Serialises with 2-space indentation and a trailing newline-free
+    /// body, matching the style of the previous serialiser.
+    #[must_use]
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        write::pretty_to(self, 0, &mut out);
+        out
+    }
+
+    /// Serialises compactly (no whitespace).
+    #[must_use]
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        write::compact_to(self, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.compact())
+    }
+}
+
+/// An error produced while parsing or converting JSON.
+///
+/// `path` names the offending location in field-access notation
+/// (`workload[2].threads`); `file` is attached by loaders that know
+/// which file they are reading so the message can name it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Field path to the offending value; empty at the root.
+    pub path: String,
+    /// Source file, when known.
+    pub file: Option<String>,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl JsonError {
+    /// A fresh error with no path context.
+    #[must_use]
+    pub fn msg(message: impl Into<String>) -> Self {
+        Self {
+            path: String::new(),
+            file: None,
+            message: message.into(),
+        }
+    }
+
+    /// Prefixes a field name onto the path (outermost last applied).
+    #[must_use]
+    pub fn in_field(mut self, name: &str) -> Self {
+        if self.path.is_empty() {
+            self.path = name.to_string();
+        } else if self.path.starts_with('[') {
+            self.path = format!("{name}{}", self.path);
+        } else {
+            self.path = format!("{name}.{}", self.path);
+        }
+        self
+    }
+
+    /// Prefixes an array index onto the path.
+    #[must_use]
+    pub fn at_index(mut self, index: usize) -> Self {
+        if self.path.is_empty() {
+            self.path = format!("[{index}]");
+        } else if self.path.starts_with('[') {
+            self.path = format!("[{index}]{}", self.path);
+        } else {
+            self.path = format!("[{index}].{}", self.path);
+        }
+        self
+    }
+
+    /// Attaches the source file name.
+    #[must_use]
+    pub fn in_file(mut self, file: impl Into<String>) -> Self {
+        self.file = Some(file.into());
+        self
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(file) = &self.file {
+            write!(f, "{file}: ")?;
+        }
+        if self.path.is_empty() {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "at `{}`: {}", self.path, self.message)
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Conversion into a [`Json`] value.
+pub trait ToJson {
+    /// Builds the JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+/// Conversion out of a [`Json`] value.
+pub trait FromJson: Sized {
+    /// Reads the value, reporting a path-annotated error on mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the value has the wrong shape.
+    fn from_json(v: &Json) -> Result<Self, JsonError>;
+}
+
+/// Serialises any [`ToJson`] value with 2-space indentation.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().pretty()
+}
+
+/// Parses `text` and converts it to `T`.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] for syntax errors or shape mismatches.
+pub fn from_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
+    T::from_json(&parse(text)?)
+}
+
+fn expected(want: &'static str, got: &Json) -> JsonError {
+    JsonError::msg(format!("expected {want}, found {}", got.type_name()))
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            other => Err(expected("bool", other)),
+        }
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        if self.is_finite() {
+            Json::Num(*self)
+        } else {
+            Json::Null
+        }
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Num(n) if n.is_finite() => Ok(*n),
+            Json::Num(_) | Json::Null => Err(JsonError::msg(
+                "expected a finite number, found null/non-finite",
+            )),
+            other => Err(expected("number", other)),
+        }
+    }
+}
+
+macro_rules! int_json {
+    ($($ty:ty),+) => {$(
+        impl ToJson for $ty {
+            #[allow(clippy::cast_precision_loss)]
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        }
+
+        impl FromJson for $ty {
+            #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let n = f64::from_json(v)?;
+                if n.fract() != 0.0 || n.abs() > 9_007_199_254_740_992.0 {
+                    return Err(JsonError::msg(format!(
+                        "expected an integer, found {n}"
+                    )));
+                }
+                let cast = n as $ty;
+                if cast as f64 != n {
+                    return Err(JsonError::msg(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($ty)
+                    )));
+                }
+                Ok(cast)
+            }
+        }
+    )+};
+}
+
+int_json!(usize, u8, u16, u32, u64, i32, i64);
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(expected("string", other)),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Null => Ok(None),
+            other => Ok(Some(T::from_json(other)?)),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Arr(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| T::from_json(item).map_err(|e| e.at_index(i)))
+                .collect(),
+            other => Err(expected("array", other)),
+        }
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (*self).to_json()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Arr(items) if items.len() == 2 => Ok((
+                A::from_json(&items[0]).map_err(|e| e.at_index(0))?,
+                B::from_json(&items[1]).map_err(|e| e.at_index(1))?,
+            )),
+            Json::Arr(items) => Err(JsonError::msg(format!(
+                "expected a 2-element array, found {} elements",
+                items.len()
+            ))),
+            other => Err(expected("array", other)),
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson, C: FromJson> FromJson for (A, B, C) {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Arr(items) if items.len() == 3 => Ok((
+                A::from_json(&items[0]).map_err(|e| e.at_index(0))?,
+                B::from_json(&items[1]).map_err(|e| e.at_index(1))?,
+                C::from_json(&items[2]).map_err(|e| e.at_index(2))?,
+            )),
+            Json::Arr(items) => Err(JsonError::msg(format!(
+                "expected a 3-element array, found {} elements",
+                items.len()
+            ))),
+            other => Err(expected("array", other)),
+        }
+    }
+}
+
+/// Strict field-by-field reader for JSON objects.
+///
+/// Tracks which keys were consumed so [`ObjReader::finish`] can reject
+/// unknown fields — a typoed `"thread"` in a scenario file fails loudly
+/// instead of silently falling back to a default.
+pub struct ObjReader<'a> {
+    what: &'static str,
+    fields: &'a [(String, Json)],
+    seen: Vec<bool>,
+}
+
+impl<'a> ObjReader<'a> {
+    /// Starts reading `v`, which must be an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] if `v` is not an object.
+    pub fn new(v: &'a Json, what: &'static str) -> Result<Self, JsonError> {
+        match v {
+            Json::Obj(fields) => Ok(Self {
+                what,
+                fields,
+                seen: vec![false; fields.len()],
+            }),
+            other => Err(JsonError::msg(format!(
+                "expected {what} (an object), found {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn take(&mut self, name: &str) -> Option<&'a Json> {
+        let idx = self.fields.iter().position(|(k, _)| k == name)?;
+        self.seen[idx] = true;
+        Some(&self.fields[idx].1)
+    }
+
+    /// Reads a required field.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] if the field is missing or malformed.
+    pub fn req<T: FromJson>(&mut self, name: &str) -> Result<T, JsonError> {
+        match self.take(name) {
+            Some(v) => T::from_json(v).map_err(|e| e.in_field(name)),
+            None => Err(JsonError::msg(format!(
+                "missing required field `{name}` in {}",
+                self.what
+            ))),
+        }
+    }
+
+    /// Reads an optional field; missing or `null` becomes `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] if the field is present but malformed.
+    pub fn opt<T: FromJson>(&mut self, name: &str) -> Result<Option<T>, JsonError> {
+        match self.take(name) {
+            Some(Json::Null) | None => Ok(None),
+            Some(v) => T::from_json(v).map(Some).map_err(|e| e.in_field(name)),
+        }
+    }
+
+    /// Reads an optional field with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] if the field is present but malformed.
+    pub fn opt_or<T: FromJson>(&mut self, name: &str, default: T) -> Result<T, JsonError> {
+        Ok(self.opt(name)?.unwrap_or(default))
+    }
+
+    /// Rejects any field that was not consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] naming the first unknown field.
+    pub fn finish(self) -> Result<(), JsonError> {
+        for (idx, (key, _)) in self.fields.iter().enumerate() {
+            if !self.seen[idx] {
+                return Err(JsonError::msg(format!(
+                    "unknown field `{key}` in {}",
+                    self.what
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Implements [`ToJson`] and [`FromJson`] for a named-field struct.
+///
+/// Required fields are listed first; fields after `opt` must be
+/// `Option`-typed, default to `None` when missing, and are skipped on
+/// output when `None`. Invoke inside the struct's own module so private
+/// fields resolve.
+///
+/// ```
+/// use darksil_json::{impl_json, from_str, to_string_pretty};
+///
+/// #[derive(Debug, PartialEq)]
+/// struct Point {
+///     x: f64,
+///     y: f64,
+///     label: Option<String>,
+/// }
+/// impl_json!(struct Point { x, y } opt { label });
+///
+/// let p: Point = from_str(r#"{ "x": 1, "y": 2.5 }"#).unwrap();
+/// assert_eq!(p, Point { x: 1.0, y: 2.5, label: None });
+/// let round: Point = from_str(&to_string_pretty(&p)).unwrap();
+/// assert_eq!(round, p);
+/// ```
+#[macro_export]
+macro_rules! impl_json {
+    (struct $ty:ident { $($field:ident),+ $(,)? }) => {
+        $crate::impl_json!(struct $ty { $($field),+ } opt {});
+    };
+    (struct $ty:ident { $($field:ident),+ $(,)? } opt { $($ofield:ident),* $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                let mut fields: Vec<(String, $crate::Json)> = vec![
+                    $( (stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)) ),+
+                ];
+                $(
+                    if let Some(v) = &self.$ofield {
+                        fields.push((stringify!($ofield).to_string(), $crate::ToJson::to_json(v)));
+                    }
+                )*
+                $crate::Json::Obj(fields)
+            }
+        }
+
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                let mut r = $crate::ObjReader::new(v, stringify!($ty))?;
+                let out = $ty {
+                    $( $field: r.req(stringify!($field))?, )+
+                    $( $ofield: r.opt(stringify!($ofield))?, )*
+                };
+                r.finish()?;
+                Ok(out)
+            }
+        }
+    };
+}
+
+/// Implements [`ToJson`] and [`FromJson`] for a fieldless enum encoded
+/// as a string.
+///
+/// ```
+/// use darksil_json::{impl_json_enum, from_str};
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Mode { Fast, Slow }
+/// impl_json_enum!(Mode { Fast => "fast", Slow => "slow" });
+///
+/// assert_eq!(from_str::<Mode>("\"fast\"").unwrap(), Mode::Fast);
+/// assert!(from_str::<Mode>("\"warp\"").is_err());
+/// ```
+#[macro_export]
+macro_rules! impl_json_enum {
+    ($ty:ident { $($variant:ident => $name:literal),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                let name = match self {
+                    $( Self::$variant => $name ),+
+                };
+                $crate::Json::Str(name.to_string())
+            }
+        }
+
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                let s = String::from_json(v)?;
+                match s.as_str() {
+                    $( $name => Ok(Self::$variant), )+
+                    other => Err($crate::JsonError::msg(format!(
+                        concat!(
+                            "unknown ", stringify!($ty), " `{}` (expected one of: ",
+                            $( $name, " " ),+, ")"
+                        ),
+                        other
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "nul",
+            "{\"a\":1,\"a\":2}",
+            "1 2",
+            "\"\\q\"",
+            "01",
+            "- 1",
+            "[1] x",
+            "NaN",
+            "Infinity",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_valid_documents() {
+        let v = parse(r#"{ "a": [1, -2.5e3, "x\n\u00e9"], "b": null, "c": true }"#)
+            .expect("valid document");
+        assert_eq!(
+            v.get("a").and_then(|a| match a {
+                Json::Arr(items) => Some(items.len()),
+                _ => None,
+            }),
+            Some(3)
+        );
+        assert_eq!(v.get("b"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn parse_reports_position() {
+        let err = parse("{\n  \"a\": tru\n}").expect_err("bad literal");
+        assert!(err.message.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected() {
+        let deep = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn round_trip_pretty() {
+        let text = r#"{ "name": "x", "values": [1, 2.5], "flag": false }"#;
+        let v = parse(text).expect("valid");
+        let again = parse(&v.pretty()).expect("round trip");
+        assert_eq!(v, again);
+    }
+
+    #[test]
+    fn integers_print_without_decimal_point() {
+        assert_eq!(Json::Num(150.0).compact(), "150");
+        assert_eq!(Json::Num(2.5).compact(), "2.5");
+        assert_eq!(Json::Num(-0.125).compact(), "-0.125");
+    }
+
+    #[test]
+    fn non_finite_serialises_as_null_and_fails_to_load() {
+        assert_eq!(f64::NAN.to_json(), Json::Null);
+        assert_eq!(f64::INFINITY.to_json(), Json::Null);
+        assert!(f64::from_json(&Json::Null).is_err());
+    }
+
+    #[test]
+    fn integer_conversion_is_strict() {
+        assert!(usize::from_json(&Json::Num(2.5)).is_err());
+        assert!(usize::from_json(&Json::Num(-1.0)).is_err());
+        assert!(u8::from_json(&Json::Num(300.0)).is_err());
+        assert_eq!(usize::from_json(&Json::Num(42.0)), Ok(42));
+    }
+
+    #[test]
+    fn error_paths_compose() {
+        let err = JsonError::msg("boom")
+            .in_field("threads")
+            .at_index(2)
+            .in_field("workload");
+        assert_eq!(err.path, "workload[2].threads");
+        let shown = err.in_file("scenarios/x.json").to_string();
+        assert!(shown.contains("scenarios/x.json"), "{shown}");
+        assert!(shown.contains("workload[2].threads"), "{shown}");
+    }
+
+    #[test]
+    fn obj_reader_rejects_unknown_fields() {
+        let v = parse(r#"{ "x": 1, "typo": 2 }"#).expect("valid");
+        let mut r = ObjReader::new(&v, "Point").expect("object");
+        let _: f64 = r.req("x").expect("x present");
+        let err = r.finish().expect_err("typo must be rejected");
+        assert!(err.message.contains("typo"), "{err}");
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Demo {
+        a: usize,
+        b: Option<String>,
+    }
+    impl_json!(struct Demo { a } opt { b });
+
+    #[test]
+    fn macro_round_trips_and_validates() {
+        let d: Demo = from_str(r#"{ "a": 3 }"#).expect("valid");
+        assert_eq!(d, Demo { a: 3, b: None });
+        let d2: Demo = from_str(&to_string_pretty(&Demo {
+            a: 9,
+            b: Some("hi".into()),
+        }))
+        .expect("round trip");
+        assert_eq!(d2.b.as_deref(), Some("hi"));
+        assert!(from_str::<Demo>(r#"{ "a": 3, "zz": 0 }"#).is_err());
+        assert!(from_str::<Demo>(r#"{ }"#).is_err());
+    }
+
+    #[test]
+    fn tuples_and_vecs_round_trip() {
+        let v: Vec<(usize, f64)> = vec![(1, 0.5), (2, 1.5)];
+        let back: Vec<(usize, f64)> = from_str(&to_string_pretty(&v)).expect("round trip");
+        assert_eq!(back, v);
+        let t = (1.0_f64, 2.0_f64, 3.0_f64);
+        let back: (f64, f64, f64) = from_str(&t.to_json().pretty()).expect("round trip");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn unicode_escapes_round_trip() {
+        let v = parse(r#""\ud83d\ude00 caf\u00e9""#).expect("surrogate pair");
+        assert_eq!(v, Json::Str("\u{1F600} café".to_string()));
+        let again = parse(&v.pretty()).expect("round trip");
+        assert_eq!(v, again);
+    }
+}

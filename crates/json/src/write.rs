@@ -1,0 +1,109 @@
+//! Pretty and compact serialisation.
+
+use crate::Json;
+
+pub(crate) fn pretty_to(v: &Json, indent: usize, out: &mut String) {
+    match v {
+        Json::Arr(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                push_indent(indent + 1, out);
+                pretty_to(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            push_indent(indent, out);
+            out.push(']');
+        }
+        Json::Obj(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, value)) in fields.iter().enumerate() {
+                push_indent(indent + 1, out);
+                push_string(key, out);
+                out.push_str(": ");
+                pretty_to(value, indent + 1, out);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            push_indent(indent, out);
+            out.push('}');
+        }
+        other => compact_to(other, out),
+    }
+}
+
+pub(crate) fn compact_to(v: &Json, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => push_number(*n, out),
+        Json::Str(s) => push_string(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                compact_to(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push('{');
+            for (i, (key, value)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_string(key, out);
+                out.push(':');
+                compact_to(value, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn push_indent(indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+#[allow(clippy::cast_possible_truncation)]
+fn push_number(n: f64, out: &mut String) {
+    use std::fmt::Write as _;
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9_007_199_254_740_992.0 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        // `{:?}` is the shortest representation that round-trips.
+        let _ = write!(out, "{n:?}");
+    }
+}
+
+fn push_string(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

@@ -143,8 +143,10 @@ impl ResourceArbiter {
     pub fn mapping(&self) -> Mapping {
         let mut m = Mapping::new(self.platform.core_count());
         for claim in &self.claims {
-            m.push(claim.entry.clone())
-                .expect("claims are disjoint by construction");
+            // Claims are disjoint by construction, so a push can only
+            // fail on an internal invariant break — skip rather than
+            // panic.
+            let _ = m.push(claim.entry.clone());
         }
         m
     }
@@ -203,7 +205,7 @@ impl ResourceArbiter {
         // Highest admissible level, searched top down.
         let dvfs = self.platform.dvfs();
         for idx in (0..dvfs.len()).rev() {
-            let level = dvfs.get(idx).expect("index in range");
+            let Some(level) = dvfs.get(idx) else { continue };
             if level.frequency > self.platform.node().nominal_max_frequency() {
                 continue;
             }
@@ -260,19 +262,21 @@ mod tests {
     use darksil_power::TechnologyNode;
 
     fn arbiter() -> ResourceArbiter {
-        ResourceArbiter::new(Platform::with_core_count(TechnologyNode::Nm16, 36).unwrap())
+        ResourceArbiter::new(
+            Platform::with_core_count(TechnologyNode::Nm16, 36).expect("valid platform"),
+        )
     }
 
     #[test]
     fn invade_and_retreat_round_trip() {
         let mut arb = arbiter();
         assert_eq!(arb.free_cores(), 36);
-        let a = arb.invade(ParsecApp::X264, 8).unwrap();
-        let b = arb.invade(ParsecApp::Canneal, 4).unwrap();
+        let a = arb.invade(ParsecApp::X264, 8).expect("test value");
+        let b = arb.invade(ParsecApp::Canneal, 4).expect("test value");
         assert_eq!(arb.claim_count(), 2);
         assert_eq!(arb.free_cores(), 24);
         assert_ne!(a, b);
-        assert_eq!(arb.claim_cores(a).unwrap().len(), 8);
+        assert_eq!(arb.claim_cores(a).expect("test value").len(), 8);
 
         assert!(arb.retreat(a));
         assert_eq!(arb.free_cores(), 32);
@@ -284,7 +288,7 @@ mod tests {
     fn claims_never_overlap() {
         let mut arb = arbiter();
         for _ in 0..4 {
-            arb.invade(ParsecApp::Ferret, 8).unwrap();
+            arb.invade(ParsecApp::Ferret, 8).expect("test value");
         }
         let mapping = arb.mapping();
         assert_eq!(mapping.active_core_count(), 32);
@@ -297,11 +301,14 @@ mod tests {
     fn capacity_exhaustion_is_reported() {
         let mut arb = arbiter();
         for _ in 0..4 {
-            arb.invade(ParsecApp::Blackscholes, 8).unwrap();
+            arb.invade(ParsecApp::Blackscholes, 8).expect("test value");
         }
         match arb.invade(ParsecApp::Blackscholes, 8) {
-            Err(InvadeError::InsufficientCores { requested: 8, free: 4 }) => {}
-            other => panic!("expected capacity error, got {other:?}"),
+            Err(InvadeError::InsufficientCores {
+                requested: 8,
+                free: 4,
+            }) => {}
+            other => unreachable!("expected capacity error, got {other:?}"),
         }
         // A smaller invade still fits.
         assert!(arb.invade(ParsecApp::Blackscholes, 4).is_ok());
@@ -313,7 +320,7 @@ mod tests {
         // lower frequencies to stay under the threshold.
         let mut arb = ResourceArbiter::new(
             Platform::for_node(TechnologyNode::Nm16)
-                .unwrap()
+                .expect("test value")
                 .with_t_dtm(Celsius::new(68.0)), // tight budget
         );
         let mut levels = Vec::new();
@@ -321,7 +328,7 @@ mod tests {
             let id = match arb.invade(ParsecApp::Swaptions, 8) {
                 Ok(id) => id,
                 Err(InvadeError::ThermalLimit) => break,
-                Err(e) => panic!("unexpected error {e}"),
+                Err(e) => unreachable!("unexpected error {e}"),
             };
             let mapping = arb.mapping();
             let entry = mapping
@@ -331,16 +338,19 @@ mod tests {
                     arb.claim_cores(id)
                         .is_some_and(|cs| cs == e.cores.as_slice())
                 })
-                .unwrap();
+                .expect("test value");
             levels.push(entry.level.frequency);
         }
         assert!(levels.len() >= 3, "too few grants: {levels:?}");
         assert!(
-            levels.last().unwrap() < levels.first().unwrap(),
+            levels.last().expect("test value") < levels.first().expect("test value"),
             "late claims should be throttled: {levels:?}"
         );
         // And the chip stays safe throughout.
-        let peak = arb.mapping().peak_temperature(arb.platform()).unwrap();
+        let peak = arb
+            .mapping()
+            .peak_temperature(arb.platform())
+            .expect("test value");
         assert!(peak <= Celsius::new(68.0) + 0.1);
     }
 
@@ -348,7 +358,7 @@ mod tests {
     fn thermal_limit_rejects_invades() {
         let mut arb = ResourceArbiter::new(
             Platform::for_node(TechnologyNode::Nm16)
-                .unwrap()
+                .expect("test value")
                 .with_t_dtm(Celsius::new(50.0)), // nearly no headroom
         );
         // Fill until the arbiter starts refusing.
@@ -360,7 +370,7 @@ mod tests {
                     refused = true;
                     break;
                 }
-                Err(e) => panic!("unexpected error {e}"),
+                Err(e) => unreachable!("unexpected error {e}"),
             }
         }
         assert!(refused, "thermal limit never engaged");
@@ -376,14 +386,14 @@ mod tests {
     fn variation_aware_allocation_prefers_quiet_cores() {
         use darksil_power::VariationModel;
         let platform = Platform::with_core_count(TechnologyNode::Nm16, 36)
-            .unwrap()
+            .expect("test value")
             .with_variation(VariationModel::typical(5));
         let order = platform.variation().cores_by_leakage();
         let mut arb = ResourceArbiter::new(platform);
-        let id = arb.invade(ParsecApp::X264, 4).unwrap();
+        let id = arb.invade(ParsecApp::X264, 4).expect("test value");
         let mut granted: Vec<usize> = arb
             .claim_cores(id)
-            .unwrap()
+            .expect("test value")
             .iter()
             .map(|c| c.index())
             .collect();
@@ -396,9 +406,9 @@ mod tests {
     #[test]
     fn accounting() {
         let mut arb = arbiter();
-        assert_eq!(arb.total_power().unwrap(), Watts::zero());
-        arb.invade(ParsecApp::Dedup, 6).unwrap();
+        assert_eq!(arb.total_power().expect("test value"), Watts::zero());
+        arb.invade(ParsecApp::Dedup, 6).expect("test value");
         assert!(arb.total_gips().value() > 0.0);
-        assert!(arb.total_power().unwrap().value() > 0.0);
+        assert!(arb.total_power().expect("numerics succeed").value() > 0.0);
     }
 }

@@ -2,11 +2,35 @@
 //! workloads (Khdr et al., DAC 2015; §4 of the paper).
 
 use darksil_power::VfLevel;
+use darksil_robust::FaultPlan;
 use darksil_units::{Celsius, Watts};
 use darksil_workload::{AppInstance, Workload};
 
 use crate::placement::place_patterned;
 use crate::{Mapping, MappingError, Platform};
+
+/// Picks the hottest core from possibly fault-corrupted die
+/// temperatures. Non-finite readings (dropped sensors) are treated as
+/// hotter than any finite reading — the fail-safe direction: a core
+/// whose sensor is lost gets throttled, never trusted.
+pub fn hottest_core(die: impl Iterator<Item = f64>) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, t) in die.enumerate() {
+        let key = if t.is_finite() { t } else { f64::INFINITY };
+        if best.is_none_or(|(_, b)| key > b) {
+            best = Some((i, key));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Peak over possibly corrupted readings, with non-finite values
+/// promoted to `+inf` so they always look like violations.
+pub fn failsafe_peak(die: &[f64]) -> f64 {
+    die.iter()
+        .map(|&t| if t.is_finite() { t } else { f64::INFINITY })
+        .fold(f64::NEG_INFINITY, f64::max)
+}
 
 /// Safety margin below `T_DTM` at which DsRem stops exploiting thermal
 /// headroom (°C).
@@ -48,19 +72,18 @@ struct Config {
 impl DsRem {
     /// Creates the policy for a TDP budget.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the budget is not strictly positive and finite.
-    #[must_use]
-    pub fn new(tdp: Watts) -> Self {
-        assert!(
-            tdp.value() > 0.0 && tdp.is_finite(),
-            "TDP must be positive and finite"
-        );
-        Self {
+    /// Returns [`MappingError::InvalidBudget`] if the budget is not
+    /// strictly positive and finite.
+    pub fn new(tdp: Watts) -> Result<Self, MappingError> {
+        if !(tdp.value() > 0.0 && tdp.is_finite()) {
+            return Err(MappingError::InvalidBudget { watts: tdp.value() });
+        }
+        Ok(Self {
             tdp,
             reference_temp: Celsius::new(80.0),
-        }
+        })
     }
 
     /// The budget.
@@ -75,8 +98,7 @@ impl DsRem {
         };
         let model = platform.app_model(cfg.app);
         let alpha = cfg.app.profile().activity(cfg.threads);
-        model.power(alpha, level.voltage, level.frequency, self.reference_temp)
-            * cfg.threads as f64
+        model.power(alpha, level.voltage, level.frequency, self.reference_temp) * cfg.threads as f64
     }
 
     fn config_gips(platform: &Platform, cfg: &Config) -> f64 {
@@ -99,6 +121,25 @@ impl DsRem {
     ///
     /// Propagates placement and thermal-solve failures.
     pub fn map(&self, platform: &Platform, workload: &Workload) -> Result<Mapping, MappingError> {
+        self.map_with_faults(platform, workload, &FaultPlan::none())
+    }
+
+    /// Like [`DsRem::map`] but with an injected [`FaultPlan`] corrupting
+    /// the thermal-phase sensor readings.
+    ///
+    /// Corruption is fail-safe: a NaN or perturbed-hot reading makes the
+    /// owning instance throttle (or unmap), so a faulty sensor produces
+    /// *more* dark silicon, never a thermal violation or a panic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement and thermal-solve failures.
+    pub fn map_with_faults(
+        &self,
+        platform: &Platform,
+        workload: &Workload,
+        faults: &FaultPlan,
+    ) -> Result<Mapping, MappingError> {
         let top_level = platform.dvfs().len() - 1;
         let mut configs: Vec<Config> = workload
             .iter()
@@ -114,7 +155,7 @@ impl DsRem {
         configs.retain(|c| c.threads > 0);
 
         let mut mapping = self.place(platform, &configs)?;
-        self.thermal_phase(platform, &mut mapping)?;
+        self.thermal_phase(platform, &mut mapping, faults)?;
         Ok(mapping)
     }
 
@@ -159,7 +200,7 @@ impl DsRem {
                             Self::config_gips(platform, &cand)
                         };
                     let cost = lost.max(0.0) / saved;
-                    if best.is_none() || cost < best.expect("just checked").3 {
+                    if best.is_none_or(|(_, _, _, c)| cost < c) {
                         best = Some((i, threads, level_index, cost));
                     }
                 };
@@ -193,16 +234,11 @@ impl DsRem {
             .collect::<Result<Vec<_>, _>>()?
             .into_iter()
             .collect();
-        let mut mapping = place_patterned(
-            platform.floorplan(),
-            &workload,
-            platform.max_level(),
-        )?;
+        let mut mapping = place_patterned(platform.floorplan(), &workload, platform.max_level())?;
         for (entry, cfg) in mapping.entries_mut().iter_mut().zip(configs) {
-            entry.level = platform
-                .dvfs()
-                .get(cfg.level_index)
-                .expect("level index maintained in range");
+            if let Some(level) = platform.dvfs().get(cfg.level_index) {
+                entry.level = level;
+            }
         }
         Ok(mapping)
     }
@@ -212,22 +248,29 @@ impl DsRem {
         &self,
         platform: &Platform,
         mapping: &mut Mapping,
+        faults: &FaultPlan,
     ) -> Result<(), MappingError> {
         let t_dtm = platform.t_dtm();
         let mut frozen = vec![false; mapping.entries().len()];
 
-        for _ in 0..THERMAL_ITERATIONS {
+        for step in 0..THERMAL_ITERATIONS {
+            if mapping.entries().is_empty() {
+                return Ok(());
+            }
             let map = mapping.steady_temperatures(platform)?;
-            let peak = map.peak();
+            let mut die: Vec<f64> = map.die_temperatures().map(|t| t.value()).collect();
+            faults.corrupt_temperatures(step as u64, &mut die);
+            let peak = if faults.is_empty() {
+                map.peak()
+            } else {
+                Celsius::new(failsafe_peak(&die))
+            };
 
             if peak > t_dtm {
                 // Violation: cool the instance owning the hottest core.
-                let hottest = map
-                    .die_temperatures()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite temps"))
-                    .map(|(i, _)| i)
-                    .expect("non-empty die");
+                let Some(hottest) = hottest_core(die.iter().copied()) else {
+                    return Ok(());
+                };
                 let Some(owner) = mapping
                     .entries()
                     .iter()
@@ -251,11 +294,7 @@ impl DsRem {
                     }
                     *mapping = rebuilt;
                     frozen = vec![false; mapping.entries().len()];
-                } else {
-                    let new_level = platform
-                        .dvfs()
-                        .get(idx - 1)
-                        .expect("idx-1 in range");
+                } else if let Some(new_level) = platform.dvfs().get(idx - 1) {
                     mapping.entries_mut()[owner].level = new_level;
                     frozen[owner] = true; // don't bounce it back up
                 }
@@ -271,14 +310,13 @@ impl DsRem {
                     .iter()
                     .enumerate()
                     .filter(|(i, e)| {
-                        !frozen[*i]
-                            && e.level.frequency < platform.max_level().frequency
+                        !frozen[*i] && e.level.frequency < platform.max_level().frequency
                     })
                     .min_by(|a, b| {
                         a.1.level
                             .frequency
-                            .partial_cmp(&b.1.level.frequency)
-                            .expect("finite frequencies")
+                            .value()
+                            .total_cmp(&b.1.level.frequency.value())
                     })
                     .map(|(i, _)| i);
                 let Some(i) = candidate else { return Ok(()) };
@@ -288,7 +326,9 @@ impl DsRem {
                     .unwrap_or(0);
                 let up = platform.dvfs().step_up(idx);
                 let old = mapping.entries()[i].level;
-                let new_level = platform.dvfs().get(up).expect("step_up in range");
+                let Some(new_level) = platform.dvfs().get(up) else {
+                    return Ok(());
+                };
                 mapping.entries_mut()[i].level = new_level;
                 let delta = self.level_power_delta(platform, mapping, i, old, new_level);
                 if total + delta > self.tdp {
@@ -329,17 +369,17 @@ mod tests {
     use darksil_workload::ParsecApp;
 
     fn platform() -> Platform {
-        Platform::for_node(TechnologyNode::Nm16).unwrap()
+        Platform::for_node(TechnologyNode::Nm16).expect("valid platform")
     }
 
     #[test]
     fn respects_budget_and_threshold() {
         let p = platform();
-        let w = Workload::parsec_mix(14, 8).unwrap();
-        let policy = DsRem::new(Watts::new(185.0));
-        let m = policy.map(&p, &w).unwrap();
+        let w = Workload::parsec_mix(14, 8).expect("valid workload");
+        let policy = DsRem::new(Watts::new(185.0)).expect("valid budget");
+        let m = policy.map(&p, &w).expect("mapping succeeds");
         assert!(m.total_power(&p, Celsius::new(80.0)) <= Watts::new(185.0) + Watts::new(1e-6));
-        let peak = m.peak_temperature(&p).unwrap();
+        let peak = m.peak_temperature(&p).expect("test value");
         assert!(peak <= p.t_dtm() + 0.2, "peak {peak}");
     }
 
@@ -348,9 +388,14 @@ mod tests {
         // The Figure 9 claim: DsRem roughly doubles TDPmap's GIPS on
         // application mixes.
         let p = platform();
-        let w = Workload::parsec_mix(14, 8).unwrap();
-        let dsrem = DsRem::new(Watts::new(185.0)).map(&p, &w).unwrap();
-        let tdpmap = TdpMap::new(Watts::new(185.0)).map(&p, &w).unwrap();
+        let w = Workload::parsec_mix(14, 8).expect("valid workload");
+        let dsrem = DsRem::new(Watts::new(185.0))
+            .expect("valid budget")
+            .map(&p, &w)
+            .expect("mapping succeeds");
+        let tdpmap = TdpMap::new(Watts::new(185.0))
+            .map(&p, &w)
+            .expect("mapping succeeds");
         let g_ds = dsrem.total_gips(&p).value();
         let g_tdp = tdpmap.total_gips(&p).value();
         assert!(
@@ -364,26 +409,37 @@ mod tests {
         // DsRem trades v/f for breadth: more active cores at lower
         // levels.
         let p = platform();
-        let w = Workload::parsec_mix(14, 8).unwrap();
-        let dsrem = DsRem::new(Watts::new(185.0)).map(&p, &w).unwrap();
-        let tdpmap = TdpMap::new(Watts::new(185.0)).map(&p, &w).unwrap();
+        let w = Workload::parsec_mix(14, 8).expect("valid workload");
+        let dsrem = DsRem::new(Watts::new(185.0))
+            .expect("valid budget")
+            .map(&p, &w)
+            .expect("mapping succeeds");
+        let tdpmap = TdpMap::new(Watts::new(185.0))
+            .map(&p, &w)
+            .expect("mapping succeeds");
         assert!(dsrem.active_core_count() >= tdpmap.active_core_count());
     }
 
     #[test]
     fn tiny_budget_still_produces_valid_mapping() {
         let p = platform();
-        let w = Workload::parsec_mix(7, 8).unwrap();
-        let m = DsRem::new(Watts::new(20.0)).map(&p, &w).unwrap();
+        let w = Workload::parsec_mix(7, 8).expect("valid workload");
+        let m = DsRem::new(Watts::new(20.0))
+            .expect("valid budget")
+            .map(&p, &w)
+            .expect("mapping succeeds");
         assert!(m.total_power(&p, Celsius::new(80.0)) <= Watts::new(20.0) + Watts::new(1e-6));
     }
 
     #[test]
     fn huge_budget_runs_into_thermal_wall_not_power_wall() {
         let p = platform();
-        let w = Workload::parsec_mix(12, 8).unwrap();
-        let m = DsRem::new(Watts::new(5_000.0)).map(&p, &w).unwrap();
-        let peak = m.peak_temperature(&p).unwrap();
+        let w = Workload::parsec_mix(12, 8).expect("valid workload");
+        let m = DsRem::new(Watts::new(5_000.0))
+            .expect("valid budget")
+            .map(&p, &w)
+            .expect("mapping succeeds");
+        let peak = m.peak_temperature(&p).expect("test value");
         assert!(peak <= p.t_dtm() + 0.2, "peak {peak}");
         // It should still have mapped a sizeable chunk of the chip.
         assert!(m.active_core_count() >= 48);
@@ -392,8 +448,11 @@ mod tests {
     #[test]
     fn single_app_workload() {
         let p = platform();
-        let w = Workload::uniform(ParsecApp::Canneal, 10, 8).unwrap();
-        let m = DsRem::new(Watts::new(185.0)).map(&p, &w).unwrap();
+        let w = Workload::uniform(ParsecApp::Canneal, 10, 8).expect("valid workload");
+        let m = DsRem::new(Watts::new(185.0))
+            .expect("valid budget")
+            .map(&p, &w)
+            .expect("mapping succeeds");
         assert!(!m.entries().is_empty());
         for e in m.entries() {
             assert_eq!(e.instance.app(), ParsecApp::Canneal);
@@ -401,8 +460,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "TDP must be positive")]
-    fn invalid_budget_panics() {
-        let _ = DsRem::new(Watts::new(-5.0));
+    fn invalid_budget_is_a_typed_error() {
+        for bad in [-5.0, 0.0, f64::NAN, f64::INFINITY] {
+            let err = DsRem::new(Watts::new(bad)).expect_err("must reject");
+            assert!(matches!(err, MappingError::InvalidBudget { .. }), "{bad}");
+        }
+    }
+
+    #[test]
+    fn sensor_faults_degrade_gracefully() {
+        use darksil_robust::Fault;
+        let p = platform();
+        let w = Workload::parsec_mix(10, 8).expect("mix");
+        let policy = DsRem::new(Watts::new(185.0)).expect("valid budget");
+        let clean = policy.map(&p, &w).expect("clean map");
+        let faults = FaultPlan::new(7)
+            .with(Fault::SensorNoise { sigma_celsius: 3.0 })
+            .with(Fault::SensorDropout { period: 2 });
+        let faulty = policy
+            .map_with_faults(&p, &w, &faults)
+            .expect("faulty map still succeeds");
+        // Fail-safe direction: corrupted sensors may only shrink the
+        // mapped region (more dark silicon), never grow it past clean.
+        assert!(faulty.active_core_count() <= clean.active_core_count() + 8);
+        let peak = faulty.peak_temperature(&p).expect("peak");
+        assert!(peak <= p.t_dtm() + 0.2, "true peak {peak} violates T_DTM");
     }
 }

@@ -94,6 +94,34 @@ impl From<WorkloadError> for MappingError {
     }
 }
 
+impl From<MappingError> for darksil_robust::DarksilError {
+    fn from(e: MappingError) -> Self {
+        match e {
+            MappingError::InsufficientCores { .. } => {
+                darksil_robust::DarksilError::capacity(e.to_string())
+            }
+            MappingError::InvalidBudget { .. } => {
+                darksil_robust::DarksilError::config(e.to_string())
+            }
+            MappingError::ThermalCoupling { .. } => {
+                darksil_robust::DarksilError::solver(e.to_string())
+            }
+            MappingError::Floorplan(inner) => {
+                darksil_robust::DarksilError::from(inner).context("mapping")
+            }
+            MappingError::Power(inner) => {
+                darksil_robust::DarksilError::from(inner).context("mapping")
+            }
+            MappingError::Thermal(inner) => {
+                darksil_robust::DarksilError::from(inner).context("mapping")
+            }
+            MappingError::Workload(inner) => {
+                darksil_robust::DarksilError::from(inner).context("mapping")
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

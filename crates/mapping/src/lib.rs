@@ -51,10 +51,13 @@ mod rotation;
 mod tdpmap;
 
 pub use arbiter::{ClaimId, InvadeError, ResourceArbiter};
-pub use dsrem::DsRem;
+pub use dsrem::{failsafe_peak, hottest_core, DsRem};
 pub use error::MappingError;
 pub use mapping::{MappedInstance, Mapping};
-pub use placement::{optimize_pattern, pick_low_leakage, place_contiguous, place_patterned, place_thermal_aware, spread_cores};
+pub use placement::{
+    optimize_pattern, pick_low_leakage, place_contiguous, place_patterned, place_thermal_aware,
+    spread_cores,
+};
 pub use platform::Platform;
 pub use rotation::{simulate_rotating, simulate_static};
 pub use tdpmap::TdpMap;

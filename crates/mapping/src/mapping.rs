@@ -1,9 +1,9 @@
 //! Concrete mappings of application instances to cores.
 
 use darksil_floorplan::CoreId;
+use darksil_power::VfLevel;
 use darksil_thermal::ThermalMap;
 use darksil_units::{Celsius, Gips, Watts};
-use darksil_power::VfLevel;
 use darksil_workload::AppInstance;
 
 use crate::{MappingError, Platform};
@@ -79,9 +79,7 @@ impl Mapping {
     /// Whether a core already runs a thread.
     #[must_use]
     pub fn is_occupied(&self, core: CoreId) -> bool {
-        self.entries
-            .iter()
-            .any(|e| e.cores.contains(&core))
+        self.entries.iter().any(|e| e.cores.contains(&core))
     }
 
     /// The mapped instances.
@@ -177,9 +175,11 @@ impl Mapping {
         self.entries
             .iter()
             .map(|e| {
-                e.instance
-                    .profile()
-                    .instance_gips(platform.core_model(), e.instance.threads(), e.level.frequency)
+                e.instance.profile().instance_gips(
+                    platform.core_model(),
+                    e.instance.threads(),
+                    e.level.frequency,
+                )
             })
             .sum()
     }
@@ -227,12 +227,12 @@ mod tests {
     use darksil_workload::ParsecApp;
 
     fn platform() -> Platform {
-        Platform::with_core_count(TechnologyNode::Nm16, 16).unwrap()
+        Platform::with_core_count(TechnologyNode::Nm16, 16).expect("valid platform")
     }
 
     fn entry(app: ParsecApp, cores: &[usize], platform: &Platform) -> MappedInstance {
         MappedInstance {
-            instance: AppInstance::new(app, cores.len()).unwrap(),
+            instance: AppInstance::new(app, cores.len()).expect("valid workload"),
             cores: cores.iter().map(|&i| CoreId(i)).collect(),
             level: platform.max_level(),
         }
@@ -242,8 +242,10 @@ mod tests {
     fn counting() {
         let p = platform();
         let mut m = Mapping::new(16);
-        m.push(entry(ParsecApp::X264, &[0, 1, 2, 3], &p)).unwrap();
-        m.push(entry(ParsecApp::Canneal, &[8, 9], &p)).unwrap();
+        m.push(entry(ParsecApp::X264, &[0, 1, 2, 3], &p))
+            .expect("test value");
+        m.push(entry(ParsecApp::Canneal, &[8, 9], &p))
+            .expect("test value");
         assert_eq!(m.active_core_count(), 6);
         assert_eq!(m.dark_core_count(), 10);
         assert!((m.dark_fraction() - 0.625).abs() < 1e-12);
@@ -254,7 +256,8 @@ mod tests {
     fn overlap_rejected() {
         let p = platform();
         let mut m = Mapping::new(16);
-        m.push(entry(ParsecApp::X264, &[0, 1], &p)).unwrap();
+        m.push(entry(ParsecApp::X264, &[0, 1], &p))
+            .expect("test value");
         assert!(m.push(entry(ParsecApp::Dedup, &[1, 2], &p)).is_err());
         assert!(m.is_occupied(CoreId(0)));
         assert!(!m.is_occupied(CoreId(5)));
@@ -272,7 +275,7 @@ mod tests {
         let p = platform();
         let mut m = Mapping::new(16);
         let bad = MappedInstance {
-            instance: AppInstance::new(ParsecApp::X264, 4).unwrap(),
+            instance: AppInstance::new(ParsecApp::X264, 4).expect("valid workload"),
             cores: vec![CoreId(0), CoreId(1)],
             level: p.max_level(),
         };
@@ -290,7 +293,8 @@ mod tests {
     fn power_only_on_active_cores() {
         let p = platform();
         let mut m = Mapping::new(16);
-        m.push(entry(ParsecApp::Swaptions, &[0, 1, 2, 3], &p)).unwrap();
+        m.push(entry(ParsecApp::Swaptions, &[0, 1, 2, 3], &p))
+            .expect("test value");
         let power = m.power_map(&p, Celsius::new(60.0));
         for (i, p_core) in power.iter().enumerate() {
             if i < 4 {
@@ -307,9 +311,11 @@ mod tests {
     fn gips_accumulates_over_instances() {
         let p = platform();
         let mut m = Mapping::new(16);
-        m.push(entry(ParsecApp::X264, &[0, 1, 2, 3], &p)).unwrap();
+        m.push(entry(ParsecApp::X264, &[0, 1, 2, 3], &p))
+            .expect("test value");
         let one = m.total_gips(&p);
-        m.push(entry(ParsecApp::X264, &[4, 5, 6, 7], &p)).unwrap();
+        m.push(entry(ParsecApp::X264, &[4, 5, 6, 7], &p))
+            .expect("test value");
         let two = m.total_gips(&p);
         assert!((two.value() - 2.0 * one.value()).abs() < 1e-9);
     }
@@ -318,8 +324,9 @@ mod tests {
     fn fixed_point_converges_and_heats_active_region() {
         let p = platform();
         let mut m = Mapping::new(16);
-        m.push(entry(ParsecApp::Swaptions, &[0, 1, 4, 5], &p)).unwrap();
-        let map = m.steady_temperatures(&p).unwrap();
+        m.push(entry(ParsecApp::Swaptions, &[0, 1, 4, 5], &p))
+            .expect("test value");
+        let map = m.steady_temperatures(&p).expect("test value");
         // Active corner hotter than opposite corner.
         assert!(map.core(CoreId(0)) > map.core(CoreId(15)));
         assert!(map.peak() > p.thermal().ambient());
@@ -333,11 +340,16 @@ mod tests {
         let mut m = Mapping::new(16);
         for (i, chunk) in [[0usize, 1], [2, 3], [4, 5], [6, 7]].iter().enumerate() {
             let _ = i;
-            m.push(entry(ParsecApp::Swaptions, chunk, &p)).unwrap();
+            m.push(entry(ParsecApp::Swaptions, chunk, &p))
+                .expect("test value");
         }
         let cold_power = m.power_map(&p, p.thermal().ambient());
-        let cold_peak = p.thermal().steady_state(&cold_power).unwrap().peak();
-        let coupled_peak = m.peak_temperature(&p).unwrap();
+        let cold_peak = p
+            .thermal()
+            .steady_state(&cold_power)
+            .expect("solve succeeds")
+            .peak();
+        let coupled_peak = m.peak_temperature(&p).expect("test value");
         assert!(coupled_peak > cold_peak);
         assert!(coupled_peak - cold_peak < 5.0, "loop went wild");
     }
@@ -346,8 +358,9 @@ mod tests {
     fn pop_restores_cores() {
         let p = platform();
         let mut m = Mapping::new(16);
-        m.push(entry(ParsecApp::X264, &[0, 1], &p)).unwrap();
-        let e = m.pop().unwrap();
+        m.push(entry(ParsecApp::X264, &[0, 1], &p))
+            .expect("test value");
+        let e = m.pop().expect("test value");
         assert_eq!(e.cores.len(), 2);
         assert!(!m.is_occupied(CoreId(0)));
         assert!(m.pop().is_none());

@@ -73,13 +73,13 @@ pub fn spread_cores(plan: &Floorplan, m: usize) -> Vec<CoreId> {
     const G2: f64 = 0.569_840_290_998_053_2;
     let mut ranked: Vec<(f64, CoreId)> = plan
         .cores()
-        .map(|core| {
-            let (r, c) = plan.coordinates(core).expect("core from plan iterator");
+        .filter_map(|core| {
+            let (r, c) = plan.coordinates(core).ok()?;
             let rank = (r as f64 * G1 + c as f64 * G2).fract();
-            (rank, core)
+            Some((rank, core))
         })
         .collect();
-    ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite ranks").then(a.1.cmp(&b.1)));
+    ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     let mut cores: Vec<CoreId> = ranked.into_iter().take(m).map(|(_, c)| c).collect();
     cores.sort_unstable();
     cores
@@ -159,24 +159,18 @@ pub fn optimize_pattern(
         let map = platform.thermal().steady_state(&power)?;
         let temps: Vec<f64> = map.die_temperatures().map(|t| t.value()).collect();
 
-        let (hot_pos, hot_core) = active
+        let Some((hot_pos, hot_core)) = active
             .iter()
             .enumerate()
-            .max_by(|a, b| {
-                temps[a.1.index()]
-                    .partial_cmp(&temps[b.1.index()])
-                    .expect("finite temps")
-            })
+            .max_by(|a, b| temps[a.1.index()].total_cmp(&temps[b.1.index()]))
             .map(|(i, c)| (i, *c))
-            .expect("non-empty active set");
+        else {
+            break;
+        };
         let cold_core = plan
             .cores()
             .filter(|c| !is_active[c.index()])
-            .min_by(|a, b| {
-                temps[a.index()]
-                    .partial_cmp(&temps[b.index()])
-                    .expect("finite temps")
-            });
+            .min_by(|a, b| temps[a.index()].total_cmp(&temps[b.index()]));
         let Some(cold_core) = cold_core else { break };
         if temps[hot_core.index()] - temps[cold_core.index()] < 0.3 {
             break;
@@ -276,17 +270,19 @@ mod tests {
     use darksil_workload::ParsecApp;
 
     fn plan() -> Floorplan {
-        Floorplan::grid(10, 10, SquareMillimeters::new(5.1)).unwrap()
+        Floorplan::grid(10, 10, SquareMillimeters::new(5.1)).expect("valid floorplan")
     }
 
     fn level() -> VfLevel {
-        Platform::for_node(TechnologyNode::Nm16).unwrap().max_level()
+        Platform::for_node(TechnologyNode::Nm16)
+            .expect("valid platform")
+            .max_level()
     }
 
     #[test]
     fn contiguous_fills_in_order() {
-        let w = Workload::uniform(ParsecApp::X264, 3, 8).unwrap();
-        let m = place_contiguous(&plan(), &w, level()).unwrap();
+        let w = Workload::uniform(ParsecApp::X264, 3, 8).expect("valid workload");
+        let m = place_contiguous(&plan(), &w, level()).expect("mapping succeeds");
         assert_eq!(m.active_core_count(), 24);
         // First instance owns cores 0..8.
         assert_eq!(m.entries()[0].cores, (0..8).map(CoreId).collect::<Vec<_>>());
@@ -311,12 +307,11 @@ mod tests {
         // pairs; the contiguous block of the same size is full of them.
         let p = plan();
         let set = spread_cores(&p, 50);
-        let is_active =
-            |c: CoreId| set.binary_search(&c).is_ok();
+        let is_active = |c: CoreId| set.binary_search(&c).is_ok();
         let mut adjacent_active = 0;
         let mut total_pairs = 0;
         for &core in &set {
-            for nb in p.neighbors(core).unwrap() {
+            for nb in p.neighbors(core).expect("test value") {
                 total_pairs += 1;
                 if is_active(nb) {
                     adjacent_active += 1;
@@ -331,13 +326,13 @@ mod tests {
     fn patterned_runs_cooler_than_contiguous() {
         // The Figure 8 claim, end to end: same workload, same level,
         // lower peak under patterning.
-        let platform = Platform::for_node(TechnologyNode::Nm16).unwrap();
-        let w = Workload::uniform(ParsecApp::X264, 6, 8).unwrap(); // 48 cores
+        let platform = Platform::for_node(TechnologyNode::Nm16).expect("valid platform");
+        let w = Workload::uniform(ParsecApp::X264, 6, 8).expect("valid workload"); // 48 cores
         let lvl = platform.max_level();
-        let contiguous = place_contiguous(platform.floorplan(), &w, lvl).unwrap();
-        let patterned = place_patterned(platform.floorplan(), &w, lvl).unwrap();
-        let t_contig = contiguous.peak_temperature(&platform).unwrap();
-        let t_pattern = patterned.peak_temperature(&platform).unwrap();
+        let contiguous = place_contiguous(platform.floorplan(), &w, lvl).expect("mapping succeeds");
+        let patterned = place_patterned(platform.floorplan(), &w, lvl).expect("test value");
+        let t_contig = contiguous.peak_temperature(&platform).expect("test value");
+        let t_pattern = patterned.peak_temperature(&platform).expect("test value");
         assert!(
             t_contig - t_pattern > 0.5,
             "contiguous {t_contig} vs patterned {t_pattern}"
@@ -346,19 +341,22 @@ mod tests {
 
     #[test]
     fn both_reject_oversized_workloads() {
-        let w = Workload::uniform(ParsecApp::X264, 13, 8).unwrap(); // 104 > 100
+        let w = Workload::uniform(ParsecApp::X264, 13, 8).expect("valid workload"); // 104 > 100
         assert!(matches!(
             place_contiguous(&plan(), &w, level()),
-            Err(MappingError::InsufficientCores { requested: 104, available: 100 })
+            Err(MappingError::InsufficientCores {
+                requested: 104,
+                available: 100
+            })
         ));
         assert!(place_patterned(&plan(), &w, level()).is_err());
     }
 
     #[test]
     fn full_chip_placement_works() {
-        let w = Workload::uniform(ParsecApp::Canneal, 25, 4).unwrap(); // exactly 100
-        let c = place_contiguous(&plan(), &w, level()).unwrap();
-        let s = place_patterned(&plan(), &w, level()).unwrap();
+        let w = Workload::uniform(ParsecApp::Canneal, 25, 4).expect("valid workload"); // exactly 100
+        let c = place_contiguous(&plan(), &w, level()).expect("mapping succeeds");
+        let s = place_patterned(&plan(), &w, level()).expect("test value");
         assert_eq!(c.dark_core_count(), 0);
         assert_eq!(s.dark_core_count(), 0);
     }
@@ -374,17 +372,21 @@ mod tests {
         // The Figure 8 pattern(b) requirement: at 60 active cores and
         // ≈3.77 W each, the optimiser must stay below the DTM threshold
         // where the blind spread cannot.
-        let platform = Platform::for_node(TechnologyNode::Nm16).unwrap();
+        let platform = Platform::for_node(TechnologyNode::Nm16).expect("valid platform");
         let per = darksil_units::Watts::new(3.77);
         let blind = spread_cores(platform.floorplan(), 60);
-        let tuned = optimize_pattern(&platform, 60, per, 100).unwrap();
+        let tuned = optimize_pattern(&platform, 60, per, 100).expect("test value");
         assert_eq!(tuned.len(), 60);
         let peak_of = |set: &[CoreId]| {
             let mut p = vec![darksil_units::Watts::zero(); 100];
             for c in set {
                 p[c.index()] = per;
             }
-            platform.thermal().steady_state(&p).unwrap().peak()
+            platform
+                .thermal()
+                .steady_state(&p)
+                .expect("solve succeeds")
+                .peak()
         };
         let t_blind = peak_of(&blind);
         let t_tuned = peak_of(&tuned);
@@ -394,9 +396,9 @@ mod tests {
 
     #[test]
     fn thermal_aware_placement_round_trip() {
-        let platform = Platform::for_node(TechnologyNode::Nm16).unwrap();
-        let w = Workload::uniform(ParsecApp::Swaptions, 15, 4).unwrap();
-        let m = place_thermal_aware(&platform, &w, platform.max_level()).unwrap();
+        let platform = Platform::for_node(TechnologyNode::Nm16).expect("valid platform");
+        let w = Workload::uniform(ParsecApp::Swaptions, 15, 4).expect("valid workload");
+        let m = place_thermal_aware(&platform, &w, platform.max_level()).expect("test value");
         assert_eq!(m.active_core_count(), 60);
         assert_eq!(m.entries().len(), 15);
         // No duplicate cores across instances (push() would have
@@ -417,9 +419,9 @@ mod tests {
         use darksil_units::Celsius;
 
         let platform = Platform::with_core_count(TechnologyNode::Nm16, 36)
-            .unwrap()
+            .expect("test value")
             .with_variation(VariationModel::typical(0xBEEF));
-        let w = Workload::uniform(ParsecApp::Swaptions, 3, 6).unwrap(); // 18 cores
+        let w = Workload::uniform(ParsecApp::Swaptions, 3, 6).expect("valid workload"); // 18 cores
 
         // Variability-aware: lowest-leakage 18 cores.
         let best = pick_low_leakage(&platform, 18);
@@ -437,7 +439,7 @@ mod tests {
                     cores: assigned,
                     level: platform.max_level(),
                 })
-                .unwrap();
+                .expect("test value");
             }
             m
         };
@@ -453,16 +455,16 @@ mod tests {
     fn uniform_platform_variation_is_neutral() {
         // Without variation the leakage factors are 1 and picking by
         // leakage degenerates to index order.
-        let platform = Platform::with_core_count(TechnologyNode::Nm16, 16).unwrap();
+        let platform = Platform::with_core_count(TechnologyNode::Nm16, 16).expect("valid platform");
         let picked = pick_low_leakage(&platform, 5);
         assert_eq!(picked, (0..5).map(CoreId).collect::<Vec<_>>());
     }
 
     #[test]
     fn thermal_aware_empty_workload() {
-        let platform = Platform::with_core_count(TechnologyNode::Nm16, 16).unwrap();
-        let m =
-            place_thermal_aware(&platform, &Workload::new(), platform.max_level()).unwrap();
+        let platform = Platform::with_core_count(TechnologyNode::Nm16, 16).expect("valid platform");
+        let m = place_thermal_aware(&platform, &Workload::new(), platform.max_level())
+            .expect("valid workload");
         assert_eq!(m.active_core_count(), 0);
     }
 }

@@ -2,7 +2,10 @@
 
 use darksil_archsim::CoreModel;
 use darksil_floorplan::Floorplan;
-use darksil_power::{CorePowerModel, DvfsTable, TechnologyNode, VariationMap, VariationModel, VfLevel, VfRelation};
+use darksil_power::{
+    CorePowerModel, DvfsTable, PowerError, TechnologyNode, VariationMap, VariationModel, VfLevel,
+    VfRelation,
+};
 use darksil_thermal::{PackageConfig, ThermalModel};
 use darksil_units::Celsius;
 use darksil_workload::ParsecApp;
@@ -33,6 +36,7 @@ pub struct Platform {
     thermal: ThermalModel,
     base_model: CorePowerModel,
     dvfs: DvfsTable,
+    max_level: VfLevel,
     core_model: CoreModel,
     t_dtm: Celsius,
     variation: VariationMap,
@@ -78,6 +82,11 @@ impl Platform {
         let base_model = CorePowerModel::x264_22nm().scaled_to(node);
         let vf = VfRelation::for_node(node);
         let dvfs = DvfsTable::standard(&vf, node.nominal_max_frequency())?;
+        let max_level =
+            dvfs.max_level()
+                .ok_or(MappingError::Power(PowerError::FrequencyOutOfRange {
+                    ghz: node.nominal_max_frequency().as_ghz(),
+                }))?;
         let variation = VariationMap::uniform(plan.core_count());
         Ok(Self {
             node,
@@ -85,6 +94,7 @@ impl Platform {
             thermal,
             base_model,
             dvfs,
+            max_level,
             core_model: CoreModel::alpha_21264(),
             t_dtm: T_DTM,
             variation,
@@ -170,15 +180,10 @@ impl Platform {
         self.plan.core_count()
     }
 
-    /// The highest (nominal) V/f level.
-    ///
-    /// # Panics
-    ///
-    /// Never panics for platforms built by the constructors (the ladder
-    /// is non-empty by construction).
+    /// The highest (nominal) V/f level, validated at construction.
     #[must_use]
     pub fn max_level(&self) -> VfLevel {
-        self.dvfs.max_level().expect("platform ladder is non-empty")
+        self.max_level
     }
 
     /// The per-core power model for an application at this node
@@ -196,33 +201,33 @@ mod tests {
 
     #[test]
     fn paper_platforms() {
-        let p16 = Platform::for_node(TechnologyNode::Nm16).unwrap();
+        let p16 = Platform::for_node(TechnologyNode::Nm16).expect("valid platform");
         assert_eq!(p16.core_count(), 100);
         assert_eq!(p16.max_level().frequency, Hertz::from_ghz(3.6));
         assert_eq!(p16.t_dtm(), Celsius::new(80.0));
 
-        let p11 = Platform::for_node(TechnologyNode::Nm11).unwrap();
+        let p11 = Platform::for_node(TechnologyNode::Nm11).expect("valid platform");
         assert_eq!(p11.core_count(), 198);
         assert_eq!(p11.max_level().frequency, Hertz::from_ghz(4.0));
 
-        let p8 = Platform::for_node(TechnologyNode::Nm8).unwrap();
+        let p8 = Platform::for_node(TechnologyNode::Nm8).expect("valid platform");
         assert_eq!(p8.core_count(), 361);
         assert_eq!(p8.max_level().frequency, Hertz::from_ghz(4.4));
     }
 
     #[test]
     fn app_models_order_by_power_class() {
-        let p = Platform::for_node(TechnologyNode::Nm16).unwrap();
+        let p = Platform::for_node(TechnologyNode::Nm16).expect("valid platform");
         let f = p.max_level().frequency;
         let t = Celsius::new(60.0);
         let p_swaptions = p
             .app_model(ParsecApp::Swaptions)
             .power_at_frequency(1.0, f, t)
-            .unwrap();
+            .expect("test value");
         let p_canneal = p
             .app_model(ParsecApp::Canneal)
             .power_at_frequency(1.0, f, t)
-            .unwrap();
+            .expect("test value");
         assert!(p_swaptions > p_canneal);
         // Calibration: a fully active swaptions core at 16 nm / 3.6 GHz
         // sits in the 3–5 W band.
@@ -231,12 +236,14 @@ mod tests {
 
     #[test]
     fn boost_levels_extend_ladder() {
-        let p = Platform::for_node(TechnologyNode::Nm16).unwrap();
+        let p = Platform::for_node(TechnologyNode::Nm16).expect("valid platform");
         let base_len = p.dvfs().len();
-        let boosted = p.with_boost_levels(Hertz::from_ghz(4.4)).unwrap();
+        let boosted = p
+            .with_boost_levels(Hertz::from_ghz(4.4))
+            .expect("test value");
         assert!(boosted.dvfs().len() > base_len);
         assert_eq!(
-            boosted.dvfs().max_level().unwrap().frequency,
+            boosted.dvfs().max_level().expect("test value").frequency,
             Hertz::from_ghz(4.4)
         );
     }
@@ -244,14 +251,14 @@ mod tests {
     #[test]
     fn custom_threshold() {
         let p = Platform::for_node(TechnologyNode::Nm16)
-            .unwrap()
+            .expect("test value")
             .with_t_dtm(Celsius::new(70.0));
         assert_eq!(p.t_dtm(), Celsius::new(70.0));
     }
 
     #[test]
     fn small_test_platform() {
-        let p = Platform::with_core_count(TechnologyNode::Nm16, 16).unwrap();
+        let p = Platform::with_core_count(TechnologyNode::Nm16, 16).expect("valid platform");
         assert_eq!(p.core_count(), 16);
         assert_eq!(p.floorplan().rows(), 4);
     }

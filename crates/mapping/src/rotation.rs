@@ -115,9 +115,9 @@ mod tests {
     use darksil_workload::ParsecApp;
 
     fn setup() -> (Platform, Workload, VfLevel) {
-        let platform = Platform::with_core_count(TechnologyNode::Nm16, 36).unwrap();
+        let platform = Platform::with_core_count(TechnologyNode::Nm16, 36).expect("valid platform");
         // 16 of 36 cores active: plenty of dark cores to rotate over.
-        let workload = Workload::uniform(ParsecApp::Swaptions, 4, 4).unwrap();
+        let workload = Workload::uniform(ParsecApp::Swaptions, 4, 4).expect("valid workload");
         let level = platform.max_level();
         (platform, workload, level)
     }
@@ -128,10 +128,10 @@ mod tests {
         let model = AgingModel::nbti_like();
         let epoch = Seconds::new(3600.0);
         let epochs = 9;
-        let fixed =
-            simulate_static(&platform, &workload, level, &model, epoch, epochs).unwrap();
-        let rotated =
-            simulate_rotating(&platform, &workload, level, &model, epoch, epochs).unwrap();
+        let fixed = simulate_static(&platform, &workload, level, &model, epoch, epochs)
+            .expect("test value");
+        let rotated = simulate_rotating(&platform, &workload, level, &model, epoch, epochs)
+            .expect("test value");
 
         // The chip-lifetime metric: maximum wear drops under rotation.
         assert!(
@@ -148,10 +148,9 @@ mod tests {
     fn static_wear_concentrates_on_active_cores() {
         let (platform, workload, level) = setup();
         let model = AgingModel::nbti_like();
-        let ledger =
-            simulate_static(&platform, &workload, level, &model, Seconds::new(3600.0), 4)
-                .unwrap();
-        let mapping = place_patterned(platform.floorplan(), &workload, level).unwrap();
+        let ledger = simulate_static(&platform, &workload, level, &model, Seconds::new(3600.0), 4)
+            .expect("test value");
+        let mapping = place_patterned(platform.floorplan(), &workload, level).expect("test value");
         // Every active core out-ages every permanently dark core.
         let min_active = mapping
             .entries()
@@ -176,17 +175,18 @@ mod tests {
         let (platform, workload, level) = setup();
         let model = AgingModel::nbti_like();
         let epoch = Seconds::new(1800.0);
-        let fixed = simulate_static(&platform, &workload, level, &model, epoch, 6).unwrap();
+        let fixed =
+            simulate_static(&platform, &workload, level, &model, epoch, 6).expect("test value");
         let rotated =
-            simulate_rotating(&platform, &workload, level, &model, epoch, 6).unwrap();
+            simulate_rotating(&platform, &workload, level, &model, epoch, 6).expect("test value");
         let ratio = rotated.mean_wear() / fixed.mean_wear();
         assert!((0.9..=1.1).contains(&ratio), "mean-wear ratio {ratio}");
     }
 
     #[test]
     fn oversized_workload_rejected() {
-        let platform = Platform::with_core_count(TechnologyNode::Nm16, 16).unwrap();
-        let workload = Workload::uniform(ParsecApp::X264, 3, 8).unwrap(); // 24 > 16
+        let platform = Platform::with_core_count(TechnologyNode::Nm16, 16).expect("valid platform");
+        let workload = Workload::uniform(ParsecApp::X264, 3, 8).expect("valid workload"); // 24 > 16
         assert!(matches!(
             simulate_rotating(
                 &platform,

@@ -100,15 +100,15 @@ mod tests {
     use darksil_workload::ParsecApp;
 
     fn platform() -> Platform {
-        Platform::for_node(TechnologyNode::Nm16).unwrap()
+        Platform::for_node(TechnologyNode::Nm16).expect("valid platform")
     }
 
     #[test]
     fn budget_is_respected() {
         let p = platform();
-        let w = Workload::uniform(ParsecApp::Swaptions, 13, 8).unwrap();
+        let w = Workload::uniform(ParsecApp::Swaptions, 13, 8).expect("valid workload");
         let policy = TdpMap::new(Watts::new(185.0));
-        let m = policy.map(&p, &w).unwrap();
+        let m = policy.map(&p, &w).expect("mapping succeeds");
         let total = m.total_power(&p, Celsius::new(80.0));
         assert!(total <= Watts::new(185.0), "mapped {total}");
         // And the next instance would not have fit.
@@ -121,8 +121,10 @@ mod tests {
         // §3.1: at 185 W and maximum v/f, the most power-hungry
         // application leaves up to ≈46 % of the chip dark.
         let p = platform();
-        let w = Workload::uniform(ParsecApp::Swaptions, 13, 8).unwrap();
-        let m = TdpMap::new(Watts::new(185.0)).map(&p, &w).unwrap();
+        let w = Workload::uniform(ParsecApp::Swaptions, 13, 8).expect("valid workload");
+        let m = TdpMap::new(Watts::new(185.0))
+            .map(&p, &w)
+            .expect("mapping succeeds");
         let dark = m.dark_fraction();
         assert!((0.40..=0.56).contains(&dark), "dark fraction {dark}");
     }
@@ -131,12 +133,16 @@ mod tests {
     fn figure5_dark_silicon_at_220w() {
         // §3.1: at the optimistic 220 W TDP, ≈37 % dark.
         let p = platform();
-        let w = Workload::uniform(ParsecApp::Swaptions, 13, 8).unwrap();
-        let m = TdpMap::new(Watts::new(220.0)).map(&p, &w).unwrap();
+        let w = Workload::uniform(ParsecApp::Swaptions, 13, 8).expect("valid workload");
+        let m = TdpMap::new(Watts::new(220.0))
+            .map(&p, &w)
+            .expect("mapping succeeds");
         let dark = m.dark_fraction();
         assert!((0.30..=0.46).contains(&dark), "dark fraction {dark}");
         // Bigger budget ⇒ fewer dark cores than at 185 W.
-        let m185 = TdpMap::new(Watts::new(185.0)).map(&p, &w).unwrap();
+        let m185 = TdpMap::new(Watts::new(185.0))
+            .map(&p, &w)
+            .expect("mapping succeeds");
         assert!(m.active_core_count() > m185.active_core_count());
     }
 
@@ -144,11 +150,17 @@ mod tests {
     fn light_apps_leave_less_dark_silicon() {
         let p = platform();
         let hungry = TdpMap::new(Watts::new(185.0))
-            .map(&p, &Workload::uniform(ParsecApp::Swaptions, 13, 8).unwrap())
-            .unwrap();
+            .map(
+                &p,
+                &Workload::uniform(ParsecApp::Swaptions, 13, 8).expect("valid workload"),
+            )
+            .expect("test value");
         let light = TdpMap::new(Watts::new(185.0))
-            .map(&p, &Workload::uniform(ParsecApp::Canneal, 13, 8).unwrap())
-            .unwrap();
+            .map(
+                &p,
+                &Workload::uniform(ParsecApp::Canneal, 13, 8).expect("valid workload"),
+            )
+            .expect("test value");
         assert!(light.dark_fraction() < hungry.dark_fraction());
     }
 
@@ -156,16 +168,20 @@ mod tests {
     fn chip_capacity_caps_mapping() {
         // A huge budget cannot map more threads than cores.
         let p = platform();
-        let w = Workload::uniform(ParsecApp::Canneal, 20, 8).unwrap(); // 160 threads
-        let m = TdpMap::new(Watts::new(10_000.0)).map(&p, &w).unwrap();
+        let w = Workload::uniform(ParsecApp::Canneal, 20, 8).expect("valid workload"); // 160 threads
+        let m = TdpMap::new(Watts::new(10_000.0))
+            .map(&p, &w)
+            .expect("mapping succeeds");
         assert_eq!(m.active_core_count(), 96); // 12 full instances
     }
 
     #[test]
     fn all_mapped_instances_run_at_max_level() {
         let p = platform();
-        let w = Workload::uniform(ParsecApp::X264, 5, 8).unwrap();
-        let m = TdpMap::new(Watts::new(185.0)).map(&p, &w).unwrap();
+        let w = Workload::uniform(ParsecApp::X264, 5, 8).expect("valid workload");
+        let m = TdpMap::new(Watts::new(185.0))
+            .map(&p, &w)
+            .expect("mapping succeeds");
         for e in m.entries() {
             assert_eq!(e.level, p.max_level());
         }

@@ -63,6 +63,53 @@ pub fn conjugate_gradient_with_outcome(
     b: &[f64],
     options: &CgOptions,
 ) -> Result<(Vec<f64>, CgOutcome), NumericsError> {
+    conjugate_gradient_from(a, b, None, options)
+}
+
+/// Like [`conjugate_gradient_with_outcome`] but warm-started from `x0`
+/// when one is given. Used by the robust fallback chain to resume a
+/// stalled solve from its best iterate instead of restarting at zero.
+///
+/// On failure the error carries the convergence diagnostics; the caller
+/// can retry with relaxed options or fall back to a dense factorisation.
+///
+/// # Errors
+///
+/// Same as [`conjugate_gradient`], plus [`NumericsError::DimensionMismatch`]
+/// if `x0` has the wrong length.
+pub fn conjugate_gradient_from(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    options: &CgOptions,
+) -> Result<(Vec<f64>, CgOutcome), NumericsError> {
+    let (x, outcome, converged) = conjugate_gradient_best_effort(a, b, x0, options)?;
+    if converged {
+        Ok((x, outcome))
+    } else {
+        Err(NumericsError::ConvergenceFailure {
+            iterations: outcome.iterations,
+            residual: outcome.residual,
+        })
+    }
+}
+
+/// Best-effort CG: runs the iteration and returns the final iterate even
+/// when the tolerance was not met (third tuple element is `false` then).
+///
+/// The robust solver chain uses this to hand a stalled iterate to the
+/// next fallback stage as a warm start instead of discarding the work.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::DimensionMismatch`] for incompatible shapes;
+/// convergence failure is reported through the flag, not an error.
+pub fn conjugate_gradient_best_effort(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    options: &CgOptions,
+) -> Result<(Vec<f64>, CgOutcome, bool), NumericsError> {
     let n = a.rows();
     if a.cols() != n {
         return Err(NumericsError::DimensionMismatch {
@@ -89,6 +136,7 @@ pub fn conjugate_gradient_with_outcome(
                 iterations: 0,
                 residual: 0.0,
             },
+            true,
         ));
     }
     let target = options.tolerance * b_norm;
@@ -112,8 +160,30 @@ pub fn conjugate_gradient_with_outcome(
         }
     };
 
-    let mut x = vec![0.0; n];
-    let mut r = b.to_vec();
+    let (mut x, mut r) = match x0 {
+        Some(start) => {
+            if start.len() != n {
+                return Err(NumericsError::DimensionMismatch {
+                    context: format!("warm start has {} rows, matrix has {n}", start.len()),
+                });
+            }
+            let ax = a.mul_vec(start);
+            let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+            (start.to_vec(), r)
+        }
+        None => (vec![0.0; n], b.to_vec()),
+    };
+    let initial_res = norm2(&r);
+    if initial_res <= target {
+        return Ok((
+            x,
+            CgOutcome {
+                iterations: 0,
+                residual: initial_res,
+            },
+            true,
+        ));
+    }
     let mut z = Vec::with_capacity(n);
     apply_precond(&r, &mut z);
     let mut p = z.clone();
@@ -124,12 +194,16 @@ pub fn conjugate_gradient_with_outcome(
         a.mul_vec_into(&p, &mut ap);
         let p_ap = dot(&p, &ap);
         if p_ap <= 0.0 {
-            // Not SPD (or breakdown): report as convergence failure with
-            // the current residual.
-            return Err(NumericsError::ConvergenceFailure {
-                iterations: iter,
-                residual: norm2(&r),
-            });
+            // Not SPD (or breakdown): stop and hand back the last good
+            // iterate with the unconverged flag set.
+            return Ok((
+                x,
+                CgOutcome {
+                    iterations: iter,
+                    residual: norm2(&r),
+                },
+                false,
+            ));
         }
         let alpha = rz / p_ap;
         axpy(alpha, &p, &mut x);
@@ -143,6 +217,7 @@ pub fn conjugate_gradient_with_outcome(
                     iterations: iter,
                     residual: res,
                 },
+                true,
             ));
         }
 
@@ -155,10 +230,15 @@ pub fn conjugate_gradient_with_outcome(
         }
     }
 
-    Err(NumericsError::ConvergenceFailure {
-        iterations: max_iter,
-        residual: norm2(&r),
-    })
+    let residual = norm2(&r);
+    Ok((
+        x,
+        CgOutcome {
+            iterations: max_iter,
+            residual,
+        },
+        false,
+    ))
 }
 
 #[cfg(test)]
@@ -184,7 +264,8 @@ mod tests {
         t.add(1, 0, 1.0);
         t.add(1, 1, 3.0);
         let a = t.to_csr();
-        let x = conjugate_gradient(&a, &[1.0, 2.0], &CgOptions::default()).unwrap();
+        let x =
+            conjugate_gradient(&a, &[1.0, 2.0], &CgOptions::default()).expect("numerics succeed");
         let r = a.mul_vec(&x);
         assert!((r[0] - 1.0).abs() < 1e-8);
         assert!((r[1] - 2.0).abs() < 1e-8);
@@ -195,8 +276,8 @@ mod tests {
         let n = 40;
         let a = laplacian(n);
         let b: Vec<f64> = (0..n).map(|i| ((i * 13) % 5) as f64 + 0.5).collect();
-        let x_cg = conjugate_gradient(&a, &b, &CgOptions::default()).unwrap();
-        let x_lu = a.to_dense().solve(&b).unwrap();
+        let x_cg = conjugate_gradient(&a, &b, &CgOptions::default()).expect("numerics succeed");
+        let x_lu = a.to_dense().solve(&b).expect("solve succeeds");
         for (c, l) in x_cg.iter().zip(&x_lu) {
             assert!((c - l).abs() < 1e-6, "cg {c} vs lu {l}");
         }
@@ -205,8 +286,8 @@ mod tests {
     #[test]
     fn zero_rhs_short_circuits() {
         let a = laplacian(5);
-        let (x, outcome) =
-            conjugate_gradient_with_outcome(&a, &[0.0; 5], &CgOptions::default()).unwrap();
+        let (x, outcome) = conjugate_gradient_with_outcome(&a, &[0.0; 5], &CgOptions::default())
+            .expect("numerics succeed");
         assert_eq!(x, vec![0.0; 5]);
         assert_eq!(outcome.iterations, 0);
     }
@@ -235,7 +316,7 @@ mod tests {
                 ..CgOptions::default()
             },
         )
-        .unwrap()
+        .expect("test value")
         .1;
         let without = conjugate_gradient_with_outcome(
             &a,
@@ -245,7 +326,7 @@ mod tests {
                 ..CgOptions::default()
             },
         )
-        .unwrap()
+        .expect("test value")
         .1;
         assert!(
             with.iterations <= without.iterations,

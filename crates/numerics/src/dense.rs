@@ -128,7 +128,10 @@ impl DenseMatrix {
     pub fn lu(&self) -> Result<LuFactors, NumericsError> {
         if self.rows != self.cols {
             return Err(NumericsError::DimensionMismatch {
-                context: format!("LU requires a square matrix, got {}×{}", self.rows, self.cols),
+                context: format!(
+                    "LU requires a square matrix, got {}×{}",
+                    self.rows, self.cols
+                ),
             });
         }
         let n = self.rows;
@@ -270,13 +273,9 @@ mod tests {
 
     #[test]
     fn solve_3x3() {
-        let a = DenseMatrix::from_rows(&[
-            &[2.0, 1.0, -1.0],
-            &[-3.0, -1.0, 2.0],
-            &[-2.0, 1.0, 2.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
         let b = [8.0, -11.0, -3.0];
-        let x = a.solve(&b).unwrap();
+        let x = a.solve(&b).expect("solve succeeds");
         assert!((x[0] - 2.0).abs() < 1e-10);
         assert!((x[1] - 3.0).abs() < 1e-10);
         assert!((x[2] + 1.0).abs() < 1e-10);
@@ -286,7 +285,7 @@ mod tests {
     #[test]
     fn pivoting_handles_zero_leading_entry() {
         let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
-        let x = a.solve(&[3.0, 4.0]).unwrap();
+        let x = a.solve(&[3.0, 4.0]).expect("solve succeeds");
         assert_eq!(x, vec![4.0, 3.0]);
     }
 
@@ -295,7 +294,7 @@ mod tests {
         let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
         match a.lu() {
             Err(NumericsError::SingularMatrix { pivot }) => assert_eq!(pivot, 1),
-            other => panic!("expected singular, got {other:?}"),
+            other => unreachable!("expected singular, got {other:?}"),
         }
     }
 
@@ -311,10 +310,10 @@ mod tests {
     #[test]
     fn determinant_with_permutation_sign() {
         let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
-        let det = a.lu().unwrap().determinant();
+        let det = a.lu().expect("numerics succeed").determinant();
         assert!((det + 1.0).abs() < 1e-12);
         let i3 = DenseMatrix::identity(3);
-        assert!((i3.lu().unwrap().determinant() - 1.0).abs() < 1e-12);
+        assert!((i3.lu().expect("numerics succeed").determinant() - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -331,16 +330,16 @@ mod tests {
     #[test]
     fn factor_once_solve_many() {
         let a = DenseMatrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
-        let lu = a.lu().unwrap();
+        let lu = a.lu().expect("numerics succeed");
         for b in [[1.0, 2.0], [5.0, -1.0], [0.0, 0.0]] {
-            let x = lu.solve(&b).unwrap();
+            let x = lu.solve(&b).expect("solve succeeds");
             assert!(residual(&a, &x, &b) < 1e-12);
         }
     }
 
     #[test]
     fn wrong_rhs_length_rejected() {
-        let lu = DenseMatrix::identity(3).lu().unwrap();
+        let lu = DenseMatrix::identity(3).lu().expect("numerics succeed");
         assert!(matches!(
             lu.solve(&[1.0, 2.0]),
             Err(NumericsError::DimensionMismatch { .. })
@@ -360,7 +359,7 @@ mod tests {
             }
         }
         let b: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
-        let x = a.solve(&b).unwrap();
+        let x = a.solve(&b).expect("solve succeeds");
         assert!(residual(&a, &x, &b) < 1e-9);
     }
 }

@@ -25,6 +25,11 @@ pub enum NumericsError {
         /// Human-readable description of the mismatch.
         context: String,
     },
+    /// An input (matrix entry or right-hand side) was NaN or infinite.
+    NonFinite {
+        /// Where the offending value was found.
+        context: String,
+    },
 }
 
 impl fmt::Display for NumericsError {
@@ -43,11 +48,26 @@ impl fmt::Display for NumericsError {
             Self::DimensionMismatch { context } => {
                 write!(f, "dimension mismatch: {context}")
             }
+            Self::NonFinite { context } => {
+                write!(f, "non-finite value: {context}")
+            }
         }
     }
 }
 
 impl Error for NumericsError {}
+
+impl From<NumericsError> for darksil_robust::DarksilError {
+    fn from(e: NumericsError) -> Self {
+        match &e {
+            NumericsError::SingularMatrix { .. } | NumericsError::ConvergenceFailure { .. } => {
+                Self::solver(e.to_string())
+            }
+            NumericsError::DimensionMismatch { .. } => Self::dimension(e.to_string()),
+            NumericsError::NonFinite { .. } => Self::non_finite(e.to_string()),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

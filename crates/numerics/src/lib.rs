@@ -38,12 +38,17 @@ mod dense;
 mod error;
 mod lstsq;
 pub mod ode;
+pub mod robust;
 mod sparse;
 
-pub use cg::{conjugate_gradient, conjugate_gradient_with_outcome, CgOptions, CgOutcome};
+pub use cg::{
+    conjugate_gradient, conjugate_gradient_best_effort, conjugate_gradient_from,
+    conjugate_gradient_with_outcome, CgOptions, CgOutcome,
+};
 pub use dense::{DenseMatrix, LuFactors};
 pub use error::NumericsError;
 pub use lstsq::{fit_least_squares, polynomial_fit};
+pub use robust::{solve_spd_robust, SolveDiagnostics, SolveStage};
 pub use sparse::{CsrMatrix, TripletMatrix};
 
 /// Euclidean norm of a vector.

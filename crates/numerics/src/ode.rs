@@ -173,16 +173,16 @@ mod tests {
     fn single_node(g: f64) -> LinearOde {
         let mut t = TripletMatrix::new(1, 1);
         t.stamp_to_reference(0, g);
-        LinearOde::new(t.to_csr(), vec![2.0]).unwrap()
+        LinearOde::new(t.to_csr(), vec![2.0]).expect("numerics succeed")
     }
 
     #[test]
     fn backward_euler_converges_to_steady_state() {
         let sys = single_node(0.5);
-        let stepper = sys.backward_euler(0.1).unwrap();
+        let stepper = sys.backward_euler(0.1).expect("numerics succeed");
         let mut x = vec![0.0];
         for _ in 0..2000 {
-            x = stepper.step(&x, &[3.0]).unwrap();
+            x = stepper.step(&x, &[3.0]).expect("solve succeeds");
         }
         // Steady state: T = P/g = 6.0.
         assert!((x[0] - 6.0).abs() < 1e-6, "got {}", x[0]);
@@ -210,11 +210,11 @@ mod tests {
         t.stamp_conductance(0, 1, 1.0);
         t.stamp_to_reference(0, 100.0);
         t.stamp_to_reference(1, 0.01);
-        let sys = LinearOde::new(t.to_csr(), vec![1.0e-4, 10.0]).unwrap();
-        let stepper = sys.backward_euler(1.0).unwrap();
+        let sys = LinearOde::new(t.to_csr(), vec![1.0e-4, 10.0]).expect("numerics succeed");
+        let stepper = sys.backward_euler(1.0).expect("numerics succeed");
         let mut x = vec![50.0, 50.0];
         for _ in 0..100 {
-            x = stepper.step(&x, &[1.0, 1.0]).unwrap();
+            x = stepper.step(&x, &[1.0, 1.0]).expect("solve succeeds");
             assert!(x.iter().all(|v| v.is_finite() && v.abs() < 1.0e6));
         }
     }
@@ -225,14 +225,14 @@ mod tests {
         t.stamp_conductance(0, 1, 2.0);
         t.stamp_conductance(1, 2, 1.0);
         t.stamp_to_reference(2, 0.5);
-        let sys = LinearOde::new(t.to_csr(), vec![1.0, 1.0, 1.0]).unwrap();
+        let sys = LinearOde::new(t.to_csr(), vec![1.0, 1.0, 1.0]).expect("numerics succeed");
         let dt = 1.0e-3;
-        let stepper = sys.backward_euler(dt).unwrap();
+        let stepper = sys.backward_euler(dt).expect("numerics succeed");
         let b = [1.0, 0.0, 0.5];
         let mut x_be = vec![0.0; 3];
         let mut x_rk = vec![0.0; 3];
         for _ in 0..1000 {
-            x_be = stepper.step(&x_be, &b).unwrap();
+            x_be = stepper.step(&x_be, &b).expect("solve succeeds");
             x_rk = sys.rk4_step(&x_rk, &b, dt);
         }
         for (a, b) in x_be.iter().zip(&x_rk) {

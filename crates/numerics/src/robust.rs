@@ -1,0 +1,250 @@
+//! Robust SPD solve with a staged fallback chain.
+//!
+//! Stage 1 runs Jacobi-preconditioned CG with the caller's options.
+//! Stage 2 restarts CG from the stalled iterate with a relaxed tolerance
+//! and a doubled iteration budget. Stage 3 abandons iteration entirely
+//! and factorises the (small, by then known-finite) system densely.
+//! Callers therefore only see [`NumericsError::ConvergenceFailure`] when
+//! even LU cannot produce a finite solution, and the returned
+//! [`SolveDiagnostics`] record which stage produced the answer.
+
+use crate::cg::conjugate_gradient_best_effort;
+use crate::{norm2, CgOptions, CsrMatrix, NumericsError};
+
+/// How much stage 2 relaxes the requested tolerance.
+const RELAXATION: f64 = 1.0e4;
+/// Loosest relative tolerance stage 2 is allowed to accept.
+const RELAXED_FLOOR: f64 = 1.0e-6;
+
+/// Which stage of the fallback chain produced the solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStage {
+    /// First-attempt preconditioned CG.
+    Cg,
+    /// CG restarted from the stalled iterate with relaxed tolerance.
+    RestartedCg,
+    /// Dense LU factorisation.
+    DenseLu,
+}
+
+impl SolveStage {
+    /// Stable lower-case label for logs and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Cg => "cg",
+            Self::RestartedCg => "restarted_cg",
+            Self::DenseLu => "dense_lu",
+        }
+    }
+}
+
+/// Diagnostics attached to every robust solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveDiagnostics {
+    /// Stage that produced the returned solution.
+    pub stage: SolveStage,
+    /// CG iterations spent across all attempts.
+    pub cg_iterations: usize,
+    /// Absolute residual norm `‖b − A·x‖` of the returned solution.
+    pub residual: f64,
+    /// Number of fallback transitions taken (0 = first attempt worked).
+    pub fallbacks: usize,
+}
+
+/// Solves `A·x = b` through the CG → restarted CG → dense LU chain.
+///
+/// # Errors
+///
+/// - [`NumericsError::NonFinite`] if the matrix or right-hand side
+///   contains NaN or infinite entries (checked up front, naming the
+///   offending position).
+/// - [`NumericsError::DimensionMismatch`] for incompatible shapes.
+/// - [`NumericsError::ConvergenceFailure`] or
+///   [`NumericsError::SingularMatrix`] only when every stage, including
+///   dense LU, failed.
+pub fn solve_spd_robust(
+    a: &CsrMatrix,
+    b: &[f64],
+    options: &CgOptions,
+) -> Result<(Vec<f64>, SolveDiagnostics), NumericsError> {
+    check_finite_inputs(a, b)?;
+
+    // Stage 1: the caller's CG configuration.
+    let (x1, out1, converged) = conjugate_gradient_best_effort(a, b, None, options)?;
+    if converged && x1.iter().all(|v| v.is_finite()) {
+        return Ok((
+            x1,
+            SolveDiagnostics {
+                stage: SolveStage::Cg,
+                cg_iterations: out1.iterations,
+                residual: out1.residual,
+                fallbacks: 0,
+            },
+        ));
+    }
+
+    // Stage 2: restart from the stalled iterate (when finite) with a
+    // relaxed tolerance and twice the iteration budget.
+    let relaxed = CgOptions {
+        tolerance: (options.tolerance * RELAXATION).min(RELAXED_FLOOR),
+        max_iterations: stage_two_budget(options, a.rows()),
+        jacobi_preconditioner: true,
+    };
+    let warm: Option<&[f64]> = if x1.iter().all(|v| v.is_finite()) {
+        Some(&x1)
+    } else {
+        None
+    };
+    let (x2, out2, converged2) = conjugate_gradient_best_effort(a, b, warm, &relaxed)?;
+    let total_cg = out1.iterations + out2.iterations;
+    if converged2 && x2.iter().all(|v| v.is_finite()) {
+        return Ok((
+            x2,
+            SolveDiagnostics {
+                stage: SolveStage::RestartedCg,
+                cg_iterations: total_cg,
+                residual: out2.residual,
+                fallbacks: 1,
+            },
+        ));
+    }
+
+    // Stage 3: dense LU. The system is known finite, so any remaining
+    // failure is a genuinely singular matrix.
+    let x3 = a.to_dense().solve(b)?;
+    if let Some(bad) = x3.iter().position(|v| !v.is_finite()) {
+        return Err(NumericsError::NonFinite {
+            context: format!("dense LU produced a non-finite solution at row {bad}"),
+        });
+    }
+    let ax = a.mul_vec(&x3);
+    let residual = norm2(
+        &b.iter()
+            .zip(&ax)
+            .map(|(bi, axi)| bi - axi)
+            .collect::<Vec<f64>>(),
+    );
+    Ok((
+        x3,
+        SolveDiagnostics {
+            stage: SolveStage::DenseLu,
+            cg_iterations: total_cg,
+            residual,
+            fallbacks: 2,
+        },
+    ))
+}
+
+fn stage_two_budget(options: &CgOptions, n: usize) -> usize {
+    let base = if options.max_iterations == 0 {
+        10 * n.max(10)
+    } else {
+        options.max_iterations
+    };
+    (2 * base).max(20)
+}
+
+/// Rejects NaN/Inf in the matrix entries or right-hand side up front so
+/// the iteration never silently propagates them.
+fn check_finite_inputs(a: &CsrMatrix, b: &[f64]) -> Result<(), NumericsError> {
+    if let Some((row, col, value)) = a.iter().find(|(_, _, v)| !v.is_finite()) {
+        return Err(NumericsError::NonFinite {
+            context: format!("matrix entry ({row}, {col}) is {value}"),
+        });
+    }
+    if let Some(bad) = b.iter().position(|v| !v.is_finite()) {
+        return Err(NumericsError::NonFinite {
+            context: format!("right-hand side entry {bad} is {}", b[bad]),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+
+    fn laplacian(n: usize) -> CsrMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n - 1 {
+            t.stamp_conductance(i, i + 1, 1.0);
+        }
+        t.stamp_to_reference(0, 1.0);
+        t.to_csr()
+    }
+
+    #[test]
+    fn healthy_system_stays_in_stage_one() {
+        let a = laplacian(30);
+        let b = vec![1.0; 30];
+        let (x, diag) = solve_spd_robust(&a, &b, &CgOptions::default()).expect("solves");
+        assert_eq!(diag.stage, SolveStage::Cg);
+        assert_eq!(diag.fallbacks, 0);
+        let r = a.mul_vec(&x);
+        assert!((r[10] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn starved_cg_falls_back_but_still_solves() {
+        // A 2-iteration cap cannot converge a 100-node chain; the chain
+        // must escalate yet still return an accurate solution.
+        let a = laplacian(100);
+        let b = vec![1.0; 100];
+        let opts = CgOptions {
+            tolerance: 1.0e-12,
+            max_iterations: 2,
+            jacobi_preconditioner: true,
+        };
+        let (x, diag) = solve_spd_robust(&a, &b, &opts).expect("fallback chain solves");
+        assert!(diag.fallbacks >= 1, "expected at least one fallback");
+        let r = a.mul_vec(&x);
+        for (i, ri) in r.iter().enumerate() {
+            assert!((ri - 1.0).abs() < 1e-3, "row {i}: {ri}");
+        }
+    }
+
+    #[test]
+    fn dense_lu_rescues_breakdown() {
+        // A negative-definite matrix makes CG break down immediately
+        // (p·Ap < 0); LU still solves it. (The chain does not require
+        // SPD to terminate.)
+        let mut t = TripletMatrix::new(2, 2);
+        t.add(0, 0, -1.0);
+        t.add(1, 1, -1.0);
+        let a = t.to_csr();
+        let (x, diag) = solve_spd_robust(&a, &[3.0, 3.0], &CgOptions::default()).expect("lu");
+        assert_eq!(diag.stage, SolveStage::DenseLu);
+        assert!((x[0] + 3.0).abs() < 1e-9 && (x[1] + 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nan_inputs_are_rejected_by_name() {
+        let a = laplacian(4);
+        let mut b = vec![1.0; 4];
+        b[2] = f64::NAN;
+        let err = solve_spd_robust(&a, &b, &CgOptions::default()).expect_err("rejects NaN");
+        assert!(matches!(err, NumericsError::NonFinite { .. }));
+        assert!(err.to_string().contains("entry 2"), "{err}");
+
+        let mut t = TripletMatrix::new(2, 2);
+        t.add(0, 0, f64::INFINITY);
+        t.add(1, 1, 1.0);
+        let err = solve_spd_robust(&t.to_csr(), &[1.0, 1.0], &CgOptions::default())
+            .expect_err("rejects Inf");
+        assert!(err.to_string().contains("(0, 0)"), "{err}");
+    }
+
+    #[test]
+    fn singular_matrix_still_errors() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.add(0, 0, 1.0);
+        t.add(0, 1, 1.0);
+        t.add(1, 0, 1.0);
+        t.add(1, 1, 1.0);
+        let err = solve_spd_robust(&t.to_csr(), &[1.0, 2.0], &CgOptions::default())
+            .expect_err("singular");
+        assert!(matches!(err, NumericsError::SingularMatrix { .. }));
+    }
+}

@@ -96,12 +96,15 @@ impl TripletMatrix {
             // Merge with the previous entry only if it belongs to the same
             // row (i.e. was pushed after the current row started) and the
             // same column.
-            let row_start = *row_ptr.last().expect("row_ptr is never empty");
-            if col_idx.len() > row_start && *col_idx.last().expect("nonempty") == c {
-                *values.last_mut().expect("nonempty") += v;
-            } else {
-                col_idx.push(c);
-                values.push(v);
+            let row_start = row_ptr.last().copied().unwrap_or(0);
+            match (col_idx.last(), values.last_mut()) {
+                (Some(&last_col), Some(last_val)) if col_idx.len() > row_start && last_col == c => {
+                    *last_val += v;
+                }
+                _ => {
+                    col_idx.push(c);
+                    values.push(v);
+                }
             }
         }
         while current_row < self.rows {
@@ -307,7 +310,7 @@ mod tests {
         t.stamp_to_reference(0, 0.5);
         let a = t.to_csr().to_dense();
         // Now solvable: current injected at node 1 flows to reference.
-        let x = a.solve(&[0.0, 1.0]).unwrap();
+        let x = a.solve(&[0.0, 1.0]).expect("solve succeeds");
         assert!(x[1] > x[0]);
     }
 

@@ -2,8 +2,7 @@
 
 use darksil_numerics::ode::LinearOde;
 use darksil_numerics::{
-    conjugate_gradient, fit_least_squares, polynomial_fit, CgOptions, DenseMatrix,
-    TripletMatrix,
+    conjugate_gradient, fit_least_squares, polynomial_fit, CgOptions, DenseMatrix, TripletMatrix,
 };
 use proptest::prelude::*;
 
@@ -154,5 +153,81 @@ proptest! {
         let x_star = p / g;
         let next = stepper.step(&[x_star], &[p]).unwrap();
         prop_assert!((next[0] - x_star).abs() < 1e-8 * (1.0 + x_star));
+    }
+}
+
+// Properties of the robust solver chain: whatever the conductance
+// topology and however starved the CG stage is, `solve_spd_robust`
+// still delivers an accurate solution — it just reports the fallbacks
+// it needed.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A healthy SPD system is solved accurately regardless of the
+    /// random conductances.
+    #[test]
+    fn robust_solver_is_accurate_on_random_spd(
+        edges in prop::collection::vec(0.1_f64..10.0, 19),
+        grounds in prop::collection::vec(0.5_f64..5.0, 20),
+        rhs in prop::collection::vec(-10.0_f64..10.0, 20),
+    ) {
+        use darksil_numerics::solve_spd_robust;
+        let n = 20;
+        let mut t = TripletMatrix::new(n, n);
+        for (i, &g) in edges.iter().enumerate() {
+            t.stamp_conductance(i, i + 1, g);
+        }
+        for (i, &g) in grounds.iter().enumerate() {
+            t.stamp_to_reference(i, g);
+        }
+        let a = t.to_csr();
+        let (x, diag) = solve_spd_robust(&a, &rhs, &CgOptions::default())
+            .expect("healthy SPD system must solve");
+        let residual: f64 = a
+            .mul_vec(&x)
+            .iter()
+            .zip(&rhs)
+            .map(|(ax, b)| (ax - b) * (ax - b))
+            .sum::<f64>()
+            .sqrt();
+        let scale = 1.0 + rhs.iter().map(|b| b * b).sum::<f64>().sqrt();
+        prop_assert!(residual < 1e-5 * scale, "residual {residual} via {:?}", diag.stage);
+    }
+
+    /// Starving CG of iterations never loses the answer: the chain
+    /// falls back (restarted CG, then dense LU) and the final solution
+    /// is still accurate.
+    #[test]
+    fn starved_cg_still_solves_via_fallbacks(
+        edges in prop::collection::vec(0.1_f64..10.0, 19),
+        rhs in prop::collection::vec(-10.0_f64..10.0, 20),
+        cap in 1_usize..4,
+    ) {
+        use darksil_numerics::solve_spd_robust;
+        let n = 20;
+        let mut t = TripletMatrix::new(n, n);
+        for (i, &g) in edges.iter().enumerate() {
+            t.stamp_conductance(i, i + 1, g);
+        }
+        for i in 0..n {
+            t.stamp_to_reference(i, 1.0);
+        }
+        let a = t.to_csr();
+        let options = CgOptions {
+            max_iterations: cap,
+            ..CgOptions::default()
+        };
+        let (x, diag) = solve_spd_robust(&a, &rhs, &options)
+            .expect("fallback chain must rescue a starved CG");
+        let residual: f64 = a
+            .mul_vec(&x)
+            .iter()
+            .zip(&rhs)
+            .map(|(ax, b)| (ax - b) * (ax - b))
+            .sum::<f64>()
+            .sqrt();
+        let scale = 1.0 + rhs.iter().map(|b| b * b).sum::<f64>().sqrt();
+        prop_assert!(residual < 1e-4 * scale, "residual {residual} via {:?}", diag.stage);
+        prop_assert!(x.iter().all(|v| v.is_finite()));
     }
 }

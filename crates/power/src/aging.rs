@@ -15,7 +15,6 @@
 //! accounted in dimensionless "reference-hours".
 
 use darksil_units::{Celsius, Seconds};
-use serde::{Deserialize, Serialize};
 
 use crate::PowerError;
 
@@ -36,7 +35,7 @@ const BOLTZMANN_EV: f64 = 8.617_333_262e-5;
 /// assert!((aging.rate(Celsius::new(80.0)) - 1.0).abs() < 1e-12);
 /// assert!(aging.rate(Celsius::new(45.0)) < 0.3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AgingModel {
     /// Activation energy in eV (NBTI/electromigration-class values are
     /// 0.1–0.9 eV).
@@ -114,7 +113,7 @@ impl Default for AgingModel {
 }
 
 /// Per-core accumulated aging, in reference-seconds.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct AgingLedger {
     wear: Vec<f64>,
 }
@@ -193,12 +192,7 @@ impl AgingLedger {
     #[must_use]
     pub fn cores_by_wear(&self) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.wear.len()).collect();
-        idx.sort_by(|&a, &b| {
-            self.wear[a]
-                .partial_cmp(&self.wear[b])
-                .expect("finite wear")
-                .then(a.cmp(&b))
-        });
+        idx.sort_by(|&a, &b| self.wear[a].total_cmp(&self.wear[b]).then(a.cmp(&b)));
         idx
     }
 }

@@ -7,7 +7,6 @@
 //! voltage per Eq. (2).
 
 use darksil_units::{Hertz, Volts};
-use serde::{Deserialize, Serialize};
 
 use crate::{PowerError, VfRelation};
 
@@ -16,7 +15,7 @@ use crate::{PowerError, VfRelation};
 pub const DEFAULT_STEP_MHZ: f64 = 200.0;
 
 /// One voltage/frequency operating point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VfLevel {
     /// Clock frequency.
     pub frequency: Hertz,
@@ -46,7 +45,7 @@ impl std::fmt::Display for VfLevel {
 /// assert_eq!(level.frequency, Hertz::from_ghz(3.0));
 /// # Ok::<(), darksil_power::PowerError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DvfsTable {
     levels: Vec<VfLevel>,
 }
@@ -69,7 +68,9 @@ impl DvfsTable {
             return Err(PowerError::FrequencyOutOfRange { ghz: step.as_ghz() });
         }
         if f_min > f_max || f_min.value() < 0.0 || !f_max.value().is_finite() {
-            return Err(PowerError::FrequencyOutOfRange { ghz: f_min.as_ghz() });
+            return Err(PowerError::FrequencyOutOfRange {
+                ghz: f_min.as_ghz(),
+            });
         }
         let mut levels = Vec::new();
         let mut f = f_min;
@@ -158,6 +159,21 @@ impl DvfsTable {
         self.floor_index(f).and_then(|i| self.get(i))
     }
 
+    /// Snaps an arbitrary (possibly off-ladder) frequency request to a
+    /// safe level: the floor level when one exists, otherwise the lowest
+    /// level on the ladder. Returns `None` only for an empty table.
+    ///
+    /// This is the graceful-degradation path for fault-injected or
+    /// miscalibrated frequency requests — the chip throttles to the
+    /// nearest level at or below the request instead of erroring.
+    #[must_use]
+    pub fn clamp_to_ladder(&self, f: Hertz) -> Option<VfLevel> {
+        if !f.value().is_finite() {
+            return self.min_level();
+        }
+        self.floor(f).or_else(|| self.min_level())
+    }
+
     /// One step up from `index`, clamped to the top of the ladder.
     #[must_use]
     pub fn step_up(&self, index: usize) -> usize {
@@ -178,7 +194,7 @@ mod tests {
 
     fn table_16nm() -> DvfsTable {
         let vf = VfRelation::for_node(TechnologyNode::Nm16);
-        DvfsTable::standard(&vf, Hertz::from_ghz(3.6)).unwrap()
+        DvfsTable::standard(&vf, Hertz::from_ghz(3.6)).expect("valid ladder")
     }
 
     #[test]
@@ -186,8 +202,14 @@ mod tests {
         let t = table_16nm();
         // 0.2, 0.4, …, 3.6 GHz = 18 levels.
         assert_eq!(t.len(), 18);
-        assert_eq!(t.min_level().unwrap().frequency, Hertz::from_ghz(0.2));
-        assert_eq!(t.max_level().unwrap().frequency, Hertz::from_ghz(3.6));
+        assert_eq!(
+            t.min_level().expect("test value").frequency,
+            Hertz::from_ghz(0.2)
+        );
+        assert_eq!(
+            t.max_level().expect("test value").frequency,
+            Hertz::from_ghz(3.6)
+        );
         assert!(!t.is_empty());
     }
 
@@ -204,16 +226,19 @@ mod tests {
     #[test]
     fn floor_semantics() {
         let t = table_16nm();
-        let idx = t.floor_index(Hertz::from_ghz(3.05)).unwrap();
-        assert_eq!(t.get(idx).unwrap().frequency, Hertz::from_ghz(3.0));
+        let idx = t.floor_index(Hertz::from_ghz(3.05)).expect("test value");
+        assert_eq!(
+            t.get(idx).expect("test value").frequency,
+            Hertz::from_ghz(3.0)
+        );
         // Exact hit.
-        let exact = t.floor(Hertz::from_ghz(2.8)).unwrap();
+        let exact = t.floor(Hertz::from_ghz(2.8)).expect("test value");
         assert!((exact.frequency.as_ghz() - 2.8).abs() < 1e-9);
         // Below the ladder.
         assert_eq!(t.floor_index(Hertz::from_mhz(50.0)), None);
         // Above the ladder clamps to the top.
         assert_eq!(
-            t.floor(Hertz::from_ghz(9.9)).unwrap().frequency,
+            t.floor(Hertz::from_ghz(9.9)).expect("test value").frequency,
             Hertz::from_ghz(3.6)
         );
     }
@@ -263,8 +288,12 @@ mod tests {
     #[test]
     fn eight_nm_ladder_reaches_4_4_ghz() {
         let vf = VfRelation::for_node(TechnologyNode::Nm8);
-        let t = DvfsTable::standard(&vf, TechnologyNode::Nm8.nominal_max_frequency()).unwrap();
-        assert_eq!(t.max_level().unwrap().frequency, Hertz::from_ghz(4.4));
+        let t = DvfsTable::standard(&vf, TechnologyNode::Nm8.nominal_max_frequency())
+            .expect("valid ladder");
+        assert_eq!(
+            t.max_level().expect("test value").frequency,
+            Hertz::from_ghz(4.4)
+        );
         // More levels available at 8 nm than at 16 nm (§3.2).
         assert!(t.len() > table_16nm().len());
     }

@@ -42,7 +42,10 @@ impl fmt::Display for PowerError {
                 write!(f, "frequency {ghz} GHz is outside the achievable range")
             }
             Self::VoltageBelowThreshold { volts, vth } => {
-                write!(f, "voltage {volts} V is below the threshold voltage {vth} V")
+                write!(
+                    f,
+                    "voltage {volts} V is below the threshold voltage {vth} V"
+                )
             }
             Self::InvalidParameter { name, value } => {
                 write!(f, "invalid model parameter {name} = {value}")
@@ -53,6 +56,18 @@ impl fmt::Display for PowerError {
 }
 
 impl Error for PowerError {}
+
+impl From<PowerError> for darksil_robust::DarksilError {
+    fn from(e: PowerError) -> Self {
+        match &e {
+            PowerError::FrequencyOutOfRange { .. } | PowerError::VoltageBelowThreshold { .. } => {
+                Self::unsupported(e.to_string())
+            }
+            PowerError::InvalidParameter { .. } => Self::config(e.to_string()),
+            PowerError::FitFailed { .. } => Self::solver(e.to_string()),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -1,7 +1,6 @@
 //! Voltage- and temperature-dependent leakage current.
 
 use darksil_units::{Amperes, Celsius, Volts, Watts};
-use serde::{Deserialize, Serialize};
 
 use crate::PowerError;
 
@@ -27,7 +26,7 @@ use crate::PowerError;
 /// let hot = leak.power(Volts::new(0.9), Celsius::new(80.0));
 /// assert!(hot > cold); // leakage rises with temperature
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LeakageModel {
     /// Base current `I₀` in amperes.
     i0_amps: f64,
@@ -141,7 +140,10 @@ mod tests {
         let p_low = m.power(Volts::new(0.86), Celsius::new(45.0));
         assert!(p_low.value() > 0.15 && p_low.value() < 0.5, "low {p_low}");
         let p_high = m.power(Volts::new(1.41), Celsius::new(80.0));
-        assert!(p_high.value() > 1.2 && p_high.value() < 2.6, "high {p_high}");
+        assert!(
+            p_high.value() > 1.2 && p_high.value() < 2.6,
+            "high {p_high}"
+        );
     }
 
     #[test]
@@ -192,26 +194,10 @@ mod tests {
 
     #[test]
     fn invalid_parameters_rejected() {
-        assert!(LeakageModel::new(
-            Amperes::new(-1.0),
-            2.0,
-            0.01,
-            Celsius::new(25.0)
-        )
-        .is_err());
-        assert!(LeakageModel::new(
-            Amperes::new(0.05),
-            f64::NAN,
-            0.01,
-            Celsius::new(25.0)
-        )
-        .is_err());
-        assert!(LeakageModel::new(
-            Amperes::new(0.05),
-            2.0,
-            0.01,
-            Celsius::new(f64::INFINITY)
-        )
-        .is_err());
+        assert!(LeakageModel::new(Amperes::new(-1.0), 2.0, 0.01, Celsius::new(25.0)).is_err());
+        assert!(LeakageModel::new(Amperes::new(0.05), f64::NAN, 0.01, Celsius::new(25.0)).is_err());
+        assert!(
+            LeakageModel::new(Amperes::new(0.05), 2.0, 0.01, Celsius::new(f64::INFINITY)).is_err()
+        );
     }
 }

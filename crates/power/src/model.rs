@@ -2,13 +2,12 @@
 
 use darksil_numerics::{fit_least_squares, DenseMatrix};
 use darksil_units::{Celsius, Farads, Hertz, Volts, Watts};
-use serde::{Deserialize, Serialize};
 
 use crate::{LeakageModel, PowerError, TechnologyNode, VfRelation};
 
 /// One power measurement, e.g. produced by the McPAT stand-in of
 /// `darksil-archsim`. Used to fit [`CorePowerModel`] (Figure 3).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerSample {
     /// Activity factor α (0..=1).
     pub alpha: f64,
@@ -47,7 +46,7 @@ impl PowerBreakdown {
 /// A model is specific to an (application, technology node) pair: the
 /// effective capacitance `Ceff` depends on the application's switching
 /// profile, and all parameters scale with technology (§2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CorePowerModel {
     ceff_farads: f64,
     leakage: LeakageModel,
@@ -270,9 +269,15 @@ mod tests {
         // Figure 3: single-threaded x264 at 22 nm, α = 1.
         let m = model();
         let t = Celsius::new(60.0);
-        let p2 = m.power_at_frequency(1.0, Hertz::from_ghz(2.0), t).unwrap();
-        let p3 = m.power_at_frequency(1.0, Hertz::from_ghz(3.0), t).unwrap();
-        let p4 = m.power_at_frequency(1.0, Hertz::from_ghz(4.0), t).unwrap();
+        let p2 = m
+            .power_at_frequency(1.0, Hertz::from_ghz(2.0), t)
+            .expect("test value");
+        let p3 = m
+            .power_at_frequency(1.0, Hertz::from_ghz(3.0), t)
+            .expect("test value");
+        let p4 = m
+            .power_at_frequency(1.0, Hertz::from_ghz(4.0), t)
+            .expect("test value");
         assert!(p2.value() > 2.5 && p2.value() < 5.5, "P(2GHz) = {p2}");
         assert!(p3.value() > 6.0 && p3.value() < 11.0, "P(3GHz) = {p3}");
         assert!(p4.value() > 14.0 && p4.value() < 22.0, "P(4GHz) = {p4}");
@@ -310,8 +315,8 @@ mod tests {
         let m16 = m22.scaled_to(TechnologyNode::Nm16);
         let f = Hertz::from_ghz(2.0);
         let t = Celsius::new(60.0);
-        let p22 = m22.power_at_frequency(1.0, f, t).unwrap();
-        let p16 = m16.power_at_frequency(1.0, f, t).unwrap();
+        let p22 = m22.power_at_frequency(1.0, f, t).expect("test value");
+        let p16 = m16.power_at_frequency(1.0, f, t).expect("test value");
         assert!(p16 < p22, "16 nm {p16} vs 22 nm {p22}");
     }
 
@@ -322,7 +327,7 @@ mod tests {
         let m16 = model().scaled_to(TechnologyNode::Nm16);
         let p = m16
             .power_at_frequency(1.0, Hertz::from_ghz(3.6), Celsius::new(75.0))
-            .unwrap();
+            .expect("test value");
         assert!(p.value() > 3.0 && p.value() < 5.5, "got {p}");
     }
 
@@ -333,7 +338,7 @@ mod tests {
         let mut samples = Vec::new();
         for ghz in [0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0] {
             let f = Hertz::from_ghz(ghz);
-            let v = truth.vf().voltage_for(f).unwrap();
+            let v = truth.vf().voltage_for(f).expect("valid ladder");
             samples.push(PowerSample {
                 alpha: 1.0,
                 vdd: v,
@@ -347,10 +352,8 @@ mod tests {
             &LeakageModel::alpha_core_22nm(),
             VfRelation::paper_22nm(),
         )
-        .unwrap();
-        assert!(
-            (fitted.ceff().value() - truth.ceff().value()).abs() / truth.ceff().value() < 1e-6
-        );
+        .expect("test value");
+        assert!((fitted.ceff().value() - truth.ceff().value()).abs() / truth.ceff().value() < 1e-6);
         assert!((fitted.p_ind().value() - 0.15).abs() < 1e-6);
         assert!(fitted.rmse(&samples).value() < 1e-9);
     }
@@ -366,7 +369,7 @@ mod tests {
         // identified (the curve itself still fits; see the rmse check).
         for (i, ghz) in (0..16).map(|i| (i, 0.4 + 0.225 * i as f64)) {
             let f = Hertz::from_ghz(ghz);
-            let v = truth.vf().voltage_for(f).unwrap();
+            let v = truth.vf().voltage_for(f).expect("valid ladder");
             let t = Celsius::new(45.0 + ((i * 17) % 36) as f64);
             let alpha = [1.0, 0.5, 0.75, 0.25][i % 4];
             let noise = 1.0 + 0.02 * if i % 2 == 0 { 1.0 } else { -1.0 };
@@ -383,7 +386,7 @@ mod tests {
             &LeakageModel::alpha_core_22nm(),
             VfRelation::paper_22nm(),
         )
-        .unwrap();
+        .expect("test value");
         let rel = (fitted.ceff().value() - truth.ceff().value()).abs() / truth.ceff().value();
         assert!(rel < 0.1, "Ceff off by {rel}");
         // What Figure 3 actually shows: the fitted curve tracks the
@@ -394,7 +397,11 @@ mod tests {
     #[test]
     fn fit_rejects_tiny_sample_sets() {
         assert!(matches!(
-            CorePowerModel::fit(&[], &LeakageModel::alpha_core_22nm(), VfRelation::paper_22nm()),
+            CorePowerModel::fit(
+                &[],
+                &LeakageModel::alpha_core_22nm(),
+                VfRelation::paper_22nm()
+            ),
             Err(PowerError::FitFailed { .. })
         ));
     }
@@ -427,8 +434,12 @@ mod tests {
     fn hotter_core_draws_more_power() {
         let m = model();
         let f = Hertz::from_ghz(3.0);
-        let cold = m.power_at_frequency(1.0, f, Celsius::new(45.0)).unwrap();
-        let hot = m.power_at_frequency(1.0, f, Celsius::new(80.0)).unwrap();
+        let cold = m
+            .power_at_frequency(1.0, f, Celsius::new(45.0))
+            .expect("test value");
+        let hot = m
+            .power_at_frequency(1.0, f, Celsius::new(80.0))
+            .expect("test value");
         assert!(hot > cold);
     }
 }

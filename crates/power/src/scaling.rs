@@ -13,13 +13,12 @@
 use std::fmt;
 
 use darksil_units::{Hertz, SquareMillimeters};
-use serde::{Deserialize, Serialize};
 
 /// Per-core area measured from the 22 nm McPAT runs (§2.1).
 pub const CORE_AREA_22NM_MM2: f64 = 9.6;
 
 /// A FinFET technology node evaluated in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TechnologyNode {
     /// 22 nm — the node simulated directly with gem5 + McPAT.
     Nm22,
@@ -135,7 +134,7 @@ impl fmt::Display for TechnologyNode {
 }
 
 /// Scaling factors of a node relative to 22 nm (the Figure 1 table).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScalingFactors {
     /// Supply-voltage multiplier.
     pub vdd: f64,
@@ -164,6 +163,29 @@ impl ScalingFactors {
     }
 }
 
+/// Serialises as the feature size in nanometres (`16`, not `"Nm16"`),
+/// matching the `node` field of scenario files.
+impl darksil_json::ToJson for TechnologyNode {
+    fn to_json(&self) -> darksil_json::Json {
+        darksil_json::Json::Num(f64::from(self.nanometers()))
+    }
+}
+
+impl darksil_json::FromJson for TechnologyNode {
+    fn from_json(v: &darksil_json::Json) -> Result<Self, darksil_json::JsonError> {
+        let nm = <u32 as darksil_json::FromJson>::from_json(v)?;
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|n| n.nanometers() == nm)
+            .ok_or_else(|| {
+                darksil_json::JsonError::msg(format!(
+                    "unknown technology node {nm} nm (expected 22, 16, 11 or 8)"
+                ))
+            })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,11 +193,20 @@ mod tests {
     #[test]
     fn table_matches_paper() {
         let s16 = TechnologyNode::Nm16.scaling();
-        assert_eq!((s16.vdd, s16.frequency, s16.capacitance, s16.area), (0.89, 1.35, 0.64, 0.53));
+        assert_eq!(
+            (s16.vdd, s16.frequency, s16.capacitance, s16.area),
+            (0.89, 1.35, 0.64, 0.53)
+        );
         let s11 = TechnologyNode::Nm11.scaling();
-        assert_eq!((s11.vdd, s11.frequency, s11.capacitance, s11.area), (0.81, 1.75, 0.39, 0.28));
+        assert_eq!(
+            (s11.vdd, s11.frequency, s11.capacitance, s11.area),
+            (0.81, 1.75, 0.39, 0.28)
+        );
         let s8 = TechnologyNode::Nm8.scaling();
-        assert_eq!((s8.vdd, s8.frequency, s8.capacitance, s8.area), (0.74, 2.3, 0.24, 0.15));
+        assert_eq!(
+            (s8.vdd, s8.frequency, s8.capacitance, s8.area),
+            (0.74, 2.3, 0.24, 0.15)
+        );
         let s22 = TechnologyNode::Nm22.scaling();
         assert_eq!(s22.dynamic_power(), 1.0);
     }
@@ -187,7 +218,11 @@ mod tests {
         assert_eq!(TechnologyNode::Nm11.core_area().value(), 2.7);
         assert_eq!(TechnologyNode::Nm8.core_area().value(), 1.4);
         // The quoted areas are the 53 %-per-node chain, rounded.
-        for node in [TechnologyNode::Nm16, TechnologyNode::Nm11, TechnologyNode::Nm8] {
+        for node in [
+            TechnologyNode::Nm16,
+            TechnologyNode::Nm11,
+            TechnologyNode::Nm8,
+        ] {
             let derived = CORE_AREA_22NM_MM2 * node.scaling().area;
             assert!(
                 (derived - node.core_area().value()).abs() < 0.15,
@@ -200,7 +235,11 @@ mod tests {
     #[test]
     fn power_density_rises_with_scaling() {
         let mut last = TechnologyNode::Nm22.scaling().power_density();
-        for node in [TechnologyNode::Nm16, TechnologyNode::Nm11, TechnologyNode::Nm8] {
+        for node in [
+            TechnologyNode::Nm16,
+            TechnologyNode::Nm11,
+            TechnologyNode::Nm8,
+        ] {
             let d = node.scaling().power_density();
             assert!(d > last, "density must rise: {node} gives {d} <= {last}");
             last = d;

@@ -14,8 +14,6 @@
 //! frequency factors are `min(1, 1 + N(0, σ_f))` clamped to a floor —
 //! a core can only be as fast as the nominal design or slower.
 
-use serde::{Deserialize, Serialize};
-
 use crate::PowerError;
 
 /// Lowest admissible per-core frequency factor: even the slowest
@@ -35,7 +33,7 @@ const MIN_FREQUENCY_FACTOR: f64 = 0.7;
 /// let quietest = chip.cores_by_leakage()[0];
 /// assert!(chip.leakage_factor(quietest) < 1.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VariationModel {
     leakage_sigma: f64,
     frequency_sigma: f64,
@@ -96,7 +94,7 @@ impl VariationModel {
 }
 
 /// One sampled chip: per-core leakage and frequency factors.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VariationMap {
     leakage: Vec<f64>,
     frequency: Vec<f64>,
@@ -164,12 +162,7 @@ impl VariationMap {
     #[must_use]
     pub fn cores_by_leakage(&self) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.leakage.len()).collect();
-        idx.sort_by(|&a, &b| {
-            self.leakage[a]
-                .partial_cmp(&self.leakage[b])
-                .expect("finite factors")
-                .then(a.cmp(&b))
-        });
+        idx.sort_by(|&a, &b| self.leakage[a].total_cmp(&self.leakage[b]).then(a.cmp(&b)));
         idx
     }
 }
@@ -244,7 +237,9 @@ mod tests {
 
     #[test]
     fn frequency_factors_are_clamped() {
-        let map = VariationModel::new(0.0, 0.2, 11).unwrap().generate(5_000);
+        let map = VariationModel::new(0.0, 0.2, 11)
+            .expect("test value")
+            .generate(5_000);
         for i in 0..map.len() {
             let f = map.frequency_factor(i);
             assert!((MIN_FREQUENCY_FACTOR..=1.0).contains(&f), "factor {f}");
@@ -275,7 +270,9 @@ mod tests {
 
     #[test]
     fn zero_sigma_collapses_to_uniform() {
-        let map = VariationModel::new(0.0, 0.0, 9).unwrap().generate(32);
+        let map = VariationModel::new(0.0, 0.0, 9)
+            .expect("test value")
+            .generate(32);
         for i in 0..32 {
             assert!((map.leakage_factor(i) - 1.0).abs() < 1e-12);
             assert_eq!(map.frequency_factor(i), 1.0);

@@ -1,7 +1,6 @@
 //! The frequency/voltage relation of Eq. (2) and operating regions.
 
 use darksil_units::{Hertz, Volts};
-use serde::{Deserialize, Serialize};
 
 use crate::{PowerError, TechnologyNode};
 
@@ -12,7 +11,7 @@ use crate::{PowerError, TechnologyNode};
 pub const DEFAULT_NTC_LIMIT_VOLTS: f64 = 0.55;
 
 /// Classification of an operating point per Figure 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OperatingRegion {
     /// Near-Threshold Computing: supply close to `Vth`.
     NearThreshold,
@@ -42,7 +41,7 @@ impl std::fmt::Display for OperatingRegion {
 /// voltage above [`VfRelation::voltage_for`] wastes power. All
 /// frequency/voltage pairs used in the workspace therefore come from
 /// this relation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VfRelation {
     /// Fitting factor `k` in GHz/V (3.7 at 22 nm, from Grenat et al.).
     k_ghz_per_volt: f64,
@@ -187,6 +186,12 @@ impl VfRelation {
     }
 }
 
+darksil_json::impl_json_enum!(OperatingRegion {
+    NearThreshold => "near_threshold",
+    SuperThreshold => "super_threshold",
+    Boost => "boost",
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,7 +209,7 @@ mod tests {
     fn inverse_round_trips() {
         let vf = VfRelation::paper_22nm();
         for ghz in [0.2, 0.5, 1.0, 2.0, 2.66, 3.5] {
-            let v = vf.voltage_for(Hertz::from_ghz(ghz)).unwrap();
+            let v = vf.voltage_for(Hertz::from_ghz(ghz)).expect("valid ladder");
             let back = vf.frequency_at(v);
             assert!(
                 (back.as_ghz() - ghz).abs() < 1e-9,
@@ -217,7 +222,7 @@ mod tests {
     #[test]
     fn zero_frequency_needs_only_threshold() {
         let vf = VfRelation::paper_22nm();
-        let v = vf.voltage_for(Hertz::zero()).unwrap();
+        let v = vf.voltage_for(Hertz::zero()).expect("valid ladder");
         assert!((v.value() - 0.178).abs() < 1e-9);
     }
 
@@ -245,8 +250,12 @@ mod tests {
     fn scaled_node_reaches_nominal_at_lower_voltage() {
         // 3.6 GHz at 16 nm should need less voltage than 3.6 GHz at 22 nm.
         let f = Hertz::from_ghz(3.6);
-        let v22 = VfRelation::paper_22nm().voltage_for(f).unwrap();
-        let v16 = VfRelation::for_node(TechnologyNode::Nm16).voltage_for(f).unwrap();
+        let v22 = VfRelation::paper_22nm()
+            .voltage_for(f)
+            .expect("valid ladder");
+        let v16 = VfRelation::for_node(TechnologyNode::Nm16)
+            .voltage_for(f)
+            .expect("valid platform");
         assert!(v16 < v22, "16 nm {v16} vs 22 nm {v22}");
         // And the 16 nm voltage for nominal max is within sane bounds.
         assert!(v16.value() > 0.8 && v16.value() < 1.05, "got {v16}");
@@ -256,9 +265,15 @@ mod tests {
     fn regions() {
         let vf = VfRelation::for_node(TechnologyNode::Nm16);
         // Near threshold.
-        assert_eq!(vf.region_of(Volts::new(0.4)), OperatingRegion::NearThreshold);
+        assert_eq!(
+            vf.region_of(Volts::new(0.4)),
+            OperatingRegion::NearThreshold
+        );
         // Normal DVFS range.
-        assert_eq!(vf.region_of(Volts::new(0.8)), OperatingRegion::SuperThreshold);
+        assert_eq!(
+            vf.region_of(Volts::new(0.8)),
+            OperatingRegion::SuperThreshold
+        );
         // Far above nominal max.
         assert_eq!(vf.region_of(Volts::new(1.4)), OperatingRegion::Boost);
     }
@@ -270,7 +285,7 @@ mod tests {
         // factors our relation needs a slightly lower voltage — the
         // *classification* as NTC is the claim that must hold).
         let vf = VfRelation::for_node(TechnologyNode::Nm11);
-        let v = vf.voltage_for(Hertz::from_ghz(1.0)).unwrap();
+        let v = vf.voltage_for(Hertz::from_ghz(1.0)).expect("valid ladder");
         assert!(v.value() > 0.25 && v.value() < 0.5, "model gives {v}");
         assert_eq!(vf.region_of(v), OperatingRegion::NearThreshold);
     }
@@ -281,7 +296,7 @@ mod tests {
         // (annotated 0.92 V in the paper; see DESIGN.md on the scaling
         // inconsistency — the region classification is the invariant).
         let vf = VfRelation::for_node(TechnologyNode::Nm11);
-        let v = vf.voltage_for(Hertz::from_ghz(3.0)).unwrap();
+        let v = vf.voltage_for(Hertz::from_ghz(3.0)).expect("valid ladder");
         assert!(v.value() > 0.5 && v.value() < 1.0, "model gives {v}");
         assert_eq!(vf.region_of(v), OperatingRegion::SuperThreshold);
     }

@@ -1,0 +1,240 @@
+//! The workspace-level error taxonomy.
+
+use std::fmt;
+
+use darksil_json::{Json, ToJson};
+
+/// Machine-readable classification of a [`DarksilError`].
+///
+/// Drivers branch on the class (retry solver failures, reject config
+/// errors, page on internal errors); the variant payloads carry the
+/// human-readable context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// A linear/ODE solver failed after exhausting its fallback chain.
+    Solver,
+    /// A NaN or infinity reached a numeric input.
+    NonFinite,
+    /// A configuration or scenario file was invalid.
+    Config,
+    /// Mismatched dimensions between coupled inputs.
+    Dimension,
+    /// A resource budget (cores, power, levels) cannot accommodate the
+    /// request.
+    Capacity,
+    /// A request outside the supported envelope (off-ladder frequency,
+    /// unknown policy, …).
+    Unsupported,
+    /// Filesystem or serialisation failure.
+    Io,
+    /// A deliberately injected fault surfaced to the caller.
+    Injected,
+    /// An invariant the library promises internally was broken.
+    Internal,
+}
+
+impl ErrorClass {
+    /// Stable lowercase label used in JSON error reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Solver => "solver",
+            Self::NonFinite => "non_finite",
+            Self::Config => "config",
+            Self::Dimension => "dimension",
+            Self::Capacity => "capacity",
+            Self::Unsupported => "unsupported",
+            Self::Io => "io",
+            Self::Injected => "injected",
+            Self::Internal => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ErrorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A classified, context-carrying error for the whole workspace.
+///
+/// Constructed via the class-named helpers ([`DarksilError::solver`],
+/// [`DarksilError::config`], …) or via the `From` impls each crate
+/// provides for its local error type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DarksilError {
+    class: ErrorClass,
+    message: String,
+    /// Outermost-first chain of contexts added by [`Self::context`].
+    trail: Vec<String>,
+}
+
+impl DarksilError {
+    /// Builds an error of the given class.
+    #[must_use]
+    pub fn new(class: ErrorClass, message: impl Into<String>) -> Self {
+        Self {
+            class,
+            message: message.into(),
+            trail: Vec::new(),
+        }
+    }
+
+    /// A solver failure (convergence, singularity).
+    #[must_use]
+    pub fn solver(message: impl Into<String>) -> Self {
+        Self::new(ErrorClass::Solver, message)
+    }
+
+    /// A NaN/Inf guard firing.
+    #[must_use]
+    pub fn non_finite(message: impl Into<String>) -> Self {
+        Self::new(ErrorClass::NonFinite, message)
+    }
+
+    /// An invalid configuration or scenario.
+    #[must_use]
+    pub fn config(message: impl Into<String>) -> Self {
+        Self::new(ErrorClass::Config, message)
+    }
+
+    /// Mismatched input dimensions.
+    #[must_use]
+    pub fn dimension(message: impl Into<String>) -> Self {
+        Self::new(ErrorClass::Dimension, message)
+    }
+
+    /// An exhausted resource budget.
+    #[must_use]
+    pub fn capacity(message: impl Into<String>) -> Self {
+        Self::new(ErrorClass::Capacity, message)
+    }
+
+    /// A request outside the supported envelope.
+    #[must_use]
+    pub fn unsupported(message: impl Into<String>) -> Self {
+        Self::new(ErrorClass::Unsupported, message)
+    }
+
+    /// A filesystem or serialisation failure.
+    #[must_use]
+    pub fn io(message: impl Into<String>) -> Self {
+        Self::new(ErrorClass::Io, message)
+    }
+
+    /// A deliberately injected fault.
+    #[must_use]
+    pub fn injected(message: impl Into<String>) -> Self {
+        Self::new(ErrorClass::Injected, message)
+    }
+
+    /// A broken internal invariant.
+    #[must_use]
+    pub fn internal(message: impl Into<String>) -> Self {
+        Self::new(ErrorClass::Internal, message)
+    }
+
+    /// The machine-readable class.
+    #[must_use]
+    pub fn class(&self) -> ErrorClass {
+        self.class
+    }
+
+    /// The innermost message, without the context trail.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Wraps the error with an outer context line ("while solving the
+    /// steady state for fig5: …").
+    #[must_use]
+    pub fn context(mut self, what: impl Into<String>) -> Self {
+        self.trail.insert(0, what.into());
+        self
+    }
+}
+
+impl fmt::Display for DarksilError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.class)?;
+        for ctx in &self.trail {
+            write!(f, "{ctx}: ")?;
+        }
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DarksilError {}
+
+impl ToJson for DarksilError {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "class".to_string(),
+                Json::Str(self.class.label().to_string()),
+            ),
+            ("message".to_string(), Json::Str(self.message.clone())),
+            (
+                "context".to_string(),
+                Json::Arr(self.trail.iter().map(|c| Json::Str(c.clone())).collect()),
+            ),
+        ])
+    }
+}
+
+impl From<darksil_json::JsonError> for DarksilError {
+    fn from(e: darksil_json::JsonError) -> Self {
+        Self::config(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for DarksilError {
+    fn from(e: std::io::Error) -> Self {
+        Self::io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_class_and_context() {
+        let e = DarksilError::solver("CG stalled at residual 3e-2")
+            .context("steady state")
+            .context("fig5");
+        let shown = e.to_string();
+        assert!(shown.starts_with("[solver] "), "{shown}");
+        assert!(shown.contains("fig5: steady state: CG stalled"), "{shown}");
+        assert_eq!(e.class(), ErrorClass::Solver);
+    }
+
+    #[test]
+    fn json_form_is_machine_readable() {
+        let e = DarksilError::non_finite("power[3] is NaN").context("rhs assembly");
+        let j = e.to_json();
+        assert_eq!(j.get("class"), Some(&Json::Str("non_finite".into())));
+        assert!(matches!(j.get("context"), Some(Json::Arr(a)) if a.len() == 1));
+    }
+
+    #[test]
+    fn every_class_has_a_stable_label() {
+        let classes = [
+            ErrorClass::Solver,
+            ErrorClass::NonFinite,
+            ErrorClass::Config,
+            ErrorClass::Dimension,
+            ErrorClass::Capacity,
+            ErrorClass::Unsupported,
+            ErrorClass::Io,
+            ErrorClass::Injected,
+            ErrorClass::Internal,
+        ];
+        let mut labels: Vec<_> = classes.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), classes.len(), "labels must be unique");
+    }
+}

@@ -1,0 +1,234 @@
+//! Deterministic fault injection for the thermal feedback loop.
+
+use crate::SplitMix64;
+
+/// One class of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Additive Gaussian noise on every thermal sensor reading.
+    SensorNoise {
+        /// Standard deviation in °C.
+        sigma_celsius: f64,
+    },
+    /// Every `period`-th control step, one sensor reading is dropped
+    /// (replaced by NaN, as a dead sensor reports).
+    SensorDropout {
+        /// Steps between dropouts; 1 drops a sensor every step.
+        period: u64,
+    },
+    /// Every `period`-th control step, one power sample becomes NaN.
+    PowerNan {
+        /// Steps between poisoned samples.
+        period: u64,
+    },
+    /// Caps the CG iteration budget, forcing [`ConvergenceFailure`]
+    /// so the fallback chain must engage.
+    ///
+    /// [`ConvergenceFailure`]: https://en.wikipedia.org/wiki/Conjugate_gradient_method
+    CgIterationCap {
+        /// The forced maximum iteration count.
+        cap: usize,
+    },
+    /// Replaces the requested operating frequency with an off-ladder
+    /// value; a graceful consumer throttles to the nearest safe level.
+    OffLadderFrequency {
+        /// The bogus request in GHz.
+        ghz: f64,
+    },
+}
+
+/// A deterministic schedule of faults, seeded so every run (and every
+/// shrunk test case) replays identically.
+///
+/// The plan is *passive*: consumers ask it to corrupt their sensor or
+/// power buffers at each control step and to report solver caps or
+/// bogus frequency requests. An empty plan is a no-op, so
+/// fault-tolerant code paths can take a `&FaultPlan` unconditionally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan: corrupts nothing, caps nothing.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            faults: Vec::new(),
+        }
+    }
+
+    /// An empty plan with a seed, ready for [`Self::with`].
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds a fault (builder style).
+    #[must_use]
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Whether the plan injects anything at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The faults in the plan.
+    #[must_use]
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    fn rng_for(&self, step: u64, salt: u64) -> SplitMix64 {
+        SplitMix64::new(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(step)
+                .wrapping_add(salt.wrapping_mul(0x517C_C1B7_2722_0A95)),
+        )
+    }
+
+    /// Corrupts thermal sensor readings (°C) for control step `step`.
+    /// Returns the number of entries touched.
+    pub fn corrupt_temperatures(&self, step: u64, temps_celsius: &mut [f64]) -> usize {
+        if temps_celsius.is_empty() {
+            return 0;
+        }
+        let mut touched = 0;
+        for fault in &self.faults {
+            match *fault {
+                Fault::SensorNoise { sigma_celsius } if sigma_celsius > 0.0 => {
+                    let mut rng = self.rng_for(step, 1);
+                    for t in temps_celsius.iter_mut() {
+                        *t += sigma_celsius * rng.next_gaussian();
+                    }
+                    touched += temps_celsius.len();
+                }
+                Fault::SensorDropout { period } if period > 0 && step.is_multiple_of(period) => {
+                    let mut rng = self.rng_for(step, 2);
+                    let idx = rng.next_below(temps_celsius.len() as u64) as usize;
+                    temps_celsius[idx] = f64::NAN;
+                    touched += 1;
+                }
+                _ => {}
+            }
+        }
+        touched
+    }
+
+    /// Corrupts a power map (watts) for control step `step`. Returns
+    /// the number of entries touched.
+    pub fn corrupt_power(&self, step: u64, power_watts: &mut [f64]) -> usize {
+        if power_watts.is_empty() {
+            return 0;
+        }
+        let mut touched = 0;
+        for fault in &self.faults {
+            if let Fault::PowerNan { period } = *fault {
+                if period > 0 && step.is_multiple_of(period) {
+                    let mut rng = self.rng_for(step, 3);
+                    let idx = rng.next_below(power_watts.len() as u64) as usize;
+                    power_watts[idx] = f64::NAN;
+                    touched += 1;
+                }
+            }
+        }
+        touched
+    }
+
+    /// The forced CG iteration cap, if the plan carries one.
+    #[must_use]
+    pub fn cg_iteration_cap(&self) -> Option<usize> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::CgIterationCap { cap } => Some(*cap),
+            _ => None,
+        })
+    }
+
+    /// The off-ladder frequency request, if the plan carries one.
+    #[must_use]
+    pub fn off_ladder_frequency_ghz(&self) -> Option<f64> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::OffLadderFrequency { ghz } => Some(*ghz),
+            _ => None,
+        })
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_a_no_op() {
+        let plan = FaultPlan::none();
+        let mut temps = vec![60.0, 61.0];
+        let mut power = vec![2.0, 3.0];
+        assert_eq!(plan.corrupt_temperatures(0, &mut temps), 0);
+        assert_eq!(plan.corrupt_power(0, &mut power), 0);
+        assert_eq!(temps, vec![60.0, 61.0]);
+        assert!(plan.cg_iteration_cap().is_none());
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn dropout_and_nan_follow_the_period() {
+        let plan = FaultPlan::new(9)
+            .with(Fault::SensorDropout { period: 3 })
+            .with(Fault::PowerNan { period: 2 });
+        let mut dropped = 0;
+        let mut poisoned = 0;
+        for step in 0..12 {
+            let mut temps = vec![70.0; 8];
+            let mut power = vec![2.5; 8];
+            dropped += plan.corrupt_temperatures(step, &mut temps);
+            poisoned += plan.corrupt_power(step, &mut power);
+            if step % 3 == 0 {
+                assert_eq!(temps.iter().filter(|t| t.is_nan()).count(), 1);
+            }
+            if step % 2 == 0 {
+                assert_eq!(power.iter().filter(|p| p.is_nan()).count(), 1);
+            }
+        }
+        assert_eq!(dropped, 4);
+        assert_eq!(poisoned, 6);
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_step() {
+        let plan = FaultPlan::new(5).with(Fault::SensorNoise { sigma_celsius: 2.0 });
+        let mut a = vec![60.0; 4];
+        let mut b = vec![60.0; 4];
+        plan.corrupt_temperatures(7, &mut a);
+        plan.corrupt_temperatures(7, &mut b);
+        assert_eq!(a, b);
+        let mut c = vec![60.0; 4];
+        plan.corrupt_temperatures(8, &mut c);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|t| (t - 60.0).abs() < 20.0));
+    }
+
+    #[test]
+    fn caps_and_off_ladder_queries() {
+        let plan = FaultPlan::new(1)
+            .with(Fault::CgIterationCap { cap: 2 })
+            .with(Fault::OffLadderFrequency { ghz: 3.333 });
+        assert_eq!(plan.cg_iteration_cap(), Some(2));
+        assert_eq!(plan.off_ladder_frequency_ghz(), Some(3.333));
+    }
+}

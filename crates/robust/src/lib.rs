@@ -1,0 +1,23 @@
+//! Resilience layer for the darksil pipeline.
+//!
+//! Two halves:
+//!
+//! - [`DarksilError`], the workspace-level error taxonomy. Every crate
+//!   keeps its own local error enum (so callers can still match on
+//!   domain-specific failures) and provides `From<LocalError> for
+//!   DarksilError` so drivers — the CLI, the `repro` harness, a future
+//!   service — can classify any failure into a small, stable set of
+//!   machine-readable classes without downcasting.
+//! - [`FaultPlan`], the fault-injection harness. Tests and the `repro
+//!   --inject` flag use it to corrupt sensor readings, poison power
+//!   samples with NaN, cap CG iteration budgets, and request
+//!   off-ladder frequencies, verifying that DTM and DsRem *degrade*
+//!   (throttle, report extra dark silicon) instead of panicking.
+
+mod error;
+mod fault;
+mod rng;
+
+pub use error::{DarksilError, ErrorClass};
+pub use fault::{Fault, FaultPlan};
+pub use rng::SplitMix64;

@@ -28,6 +28,13 @@ pub enum ThermalError {
         /// The layer that is too small.
         layer: &'static str,
     },
+    /// A per-core power input was NaN or infinite.
+    NonFinitePower {
+        /// Index of the offending core.
+        core: usize,
+        /// The offending value in watts.
+        value: f64,
+    },
     /// An inner linear-algebra failure.
     Solver(NumericsError),
 }
@@ -39,10 +46,16 @@ impl fmt::Display for ThermalError {
                 write!(f, "invalid package parameter {name} = {value}")
             }
             Self::PowerMapMismatch { got, expected } => {
-                write!(f, "power map has {got} entries, floorplan has {expected} cores")
+                write!(
+                    f,
+                    "power map has {got} entries, floorplan has {expected} cores"
+                )
             }
             Self::LayerTooSmall { layer } => {
                 write!(f, "{layer} is smaller than the layer it must cover")
+            }
+            Self::NonFinitePower { core, value } => {
+                write!(f, "power for core {core} is non-finite ({value})")
             }
             Self::Solver(e) => write!(f, "thermal solve failed: {e}"),
         }
@@ -61,6 +74,21 @@ impl Error for ThermalError {
 impl From<NumericsError> for ThermalError {
     fn from(e: NumericsError) -> Self {
         Self::Solver(e)
+    }
+}
+
+impl From<ThermalError> for darksil_robust::DarksilError {
+    fn from(e: ThermalError) -> Self {
+        match e {
+            ThermalError::Solver(inner) => {
+                darksil_robust::DarksilError::from(inner).context("thermal solve")
+            }
+            ThermalError::NonFinitePower { .. } => Self::non_finite(e.to_string()),
+            ThermalError::PowerMapMismatch { .. } => Self::dimension(e.to_string()),
+            ThermalError::InvalidPackage { .. } | ThermalError::LayerTooSmall { .. } => {
+                Self::config(e.to_string())
+            }
+        }
     }
 }
 

@@ -96,7 +96,10 @@ impl ThermalMap {
     ///
     /// Returns the floorplan error if `plan` does not match this map's
     /// core count.
-    pub fn to_grid_map(&self, plan: &Floorplan) -> Result<GridMap, darksil_floorplan::FloorplanError> {
+    pub fn to_grid_map(
+        &self,
+        plan: &Floorplan,
+    ) -> Result<GridMap, darksil_floorplan::FloorplanError> {
         GridMap::from_values(plan, self.die.clone())
     }
 
@@ -140,10 +143,10 @@ mod tests {
 
     #[test]
     fn grid_conversion() {
-        let plan = Floorplan::grid(2, 2, SquareMillimeters::new(1.0)).unwrap();
-        let g = map().to_grid_map(&plan).unwrap();
+        let plan = Floorplan::grid(2, 2, SquareMillimeters::new(1.0)).expect("valid floorplan");
+        let g = map().to_grid_map(&plan).expect("test value");
         assert_eq!(g.max(), Some(61.5));
-        let wrong = Floorplan::grid(3, 3, SquareMillimeters::new(1.0)).unwrap();
+        let wrong = Floorplan::grid(3, 3, SquareMillimeters::new(1.0)).expect("valid floorplan");
         assert!(map().to_grid_map(&wrong).is_err());
     }
 }

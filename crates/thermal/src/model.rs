@@ -2,7 +2,7 @@
 
 use darksil_floorplan::Floorplan;
 use darksil_numerics::{
-    conjugate_gradient, CgOptions, CsrMatrix, LuFactors, TripletMatrix,
+    solve_spd_robust, CgOptions, CsrMatrix, LuFactors, SolveDiagnostics, TripletMatrix,
 };
 use darksil_units::{Celsius, Watts};
 
@@ -115,7 +115,10 @@ impl ThermalModel {
         let cell_area = plan.core_area().value() * 1.0e-6; // mm² → m²
         let die_area = cell_area * n as f64;
 
-        let spreader_side = package.spreader.side_m.unwrap_or(plan.chip_width_mm() * 1e-3);
+        let spreader_side = package
+            .spreader
+            .side_m
+            .unwrap_or(plan.chip_width_mm() * 1e-3);
         let sink_side = package.sink.side_m.unwrap_or(spreader_side);
         let spreader_area = spreader_side * spreader_side;
         let sink_area = sink_side * sink_side;
@@ -173,10 +176,13 @@ impl ThermalModel {
 
             // Lateral neighbours (each undirected pair stamped once).
             let mut degree = 0;
-            for nb in plan.neighbors(core).map_err(|_| ThermalError::PowerMapMismatch {
-                got: i,
-                expected: n,
-            })? {
+            for nb in plan
+                .neighbors(core)
+                .map_err(|_| ThermalError::PowerMapMismatch {
+                    got: i,
+                    expected: n,
+                })?
+            {
                 degree += 1;
                 if nb.index() > i {
                     g.stamp_conductance(die_node, nb.index(), g_die_lat);
@@ -306,6 +312,12 @@ impl ThermalModel {
                 expected: self.cores,
             });
         }
+        if let Some(bad) = power.iter().position(|p| !p.value().is_finite()) {
+            return Err(ThermalError::NonFinitePower {
+                core: bad,
+                value: power[bad].value(),
+            });
+        }
         let mut rhs: Vec<f64> = self
             .g_ambient
             .iter()
@@ -337,17 +349,36 @@ impl ThermalModel {
         die
     }
 
-    /// Solves the steady-state temperatures for a per-core power map
-    /// using conjugate gradients.
+    /// Solves the steady-state temperatures for a per-core power map.
+    ///
+    /// The solve runs through the robust fallback chain (preconditioned
+    /// CG → restarted CG with relaxed tolerance → dense LU), so a
+    /// transiently ill-conditioned system degrades to a slower solve
+    /// instead of an error.
     ///
     /// # Errors
     ///
-    /// Returns [`ThermalError::PowerMapMismatch`] for wrong-length maps
-    /// and [`ThermalError::Solver`] if the solve fails.
+    /// Returns [`ThermalError::PowerMapMismatch`] for wrong-length maps,
+    /// [`ThermalError::NonFinitePower`] for NaN/Inf power inputs, and
+    /// [`ThermalError::Solver`] if every stage of the chain fails.
     pub fn steady_state(&self, power: &[Watts]) -> Result<ThermalMap, ThermalError> {
+        self.steady_state_with_diagnostics(power)
+            .map(|(map, _)| map)
+    }
+
+    /// Like [`ThermalModel::steady_state`] but also reports which solver
+    /// stage produced the answer and how much work it took.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ThermalModel::steady_state`].
+    pub fn steady_state_with_diagnostics(
+        &self,
+        power: &[Watts],
+    ) -> Result<(ThermalMap, SolveDiagnostics), ThermalError> {
         let rhs = self.rhs(power)?;
-        let state = conjugate_gradient(&self.g, &rhs, &CgOptions::default())?;
-        Ok(self.map_from_state(state))
+        let (state, diagnostics) = solve_spd_robust(&self.g, &rhs, &CgOptions::default())?;
+        Ok((self.map_from_state(state), diagnostics))
     }
 
     /// Pre-factors the conductance matrix (dense LU) for repeated
@@ -395,11 +426,11 @@ mod tests {
     use darksil_units::SquareMillimeters;
 
     fn plan() -> Floorplan {
-        Floorplan::grid(10, 10, SquareMillimeters::new(5.1)).unwrap()
+        Floorplan::grid(10, 10, SquareMillimeters::new(5.1)).expect("valid floorplan")
     }
 
     fn model() -> ThermalModel {
-        ThermalModel::new(&plan(), PackageConfig::paper_dac15()).unwrap()
+        ThermalModel::new(&plan(), PackageConfig::paper_dac15()).expect("valid thermal model")
     }
 
     #[test]
@@ -413,7 +444,9 @@ mod tests {
     #[test]
     fn zero_power_sits_at_ambient() {
         let m = model();
-        let map = m.steady_state(&vec![Watts::zero(); 100]).unwrap();
+        let map = m
+            .steady_state(&vec![Watts::zero(); 100])
+            .expect("solve succeeds");
         for core in plan().cores() {
             let t = map.core(core);
             assert!((t.value() - 45.0).abs() < 1e-6, "{core}: {t}");
@@ -424,7 +457,7 @@ mod tests {
     fn energy_balance_at_steady_state() {
         let m = model();
         let power = vec![Watts::new(1.85); 100]; // 185 W total
-        let map = m.steady_state(&power).unwrap();
+        let map = m.steady_state(&power).expect("solve succeeds");
         let out: f64 = m
             .ambient_conductances()
             .iter()
@@ -440,7 +473,9 @@ mod tests {
         // 18.5 °C; die should sit tens of degrees over ambient but well
         // below runaway.
         let m = model();
-        let map = m.steady_state(&vec![Watts::new(1.85); 100]).unwrap();
+        let map = m
+            .steady_state(&vec![Watts::new(1.85); 100])
+            .expect("solve succeeds");
         let peak = map.peak();
         assert!(peak.value() > 60.0 && peak.value() < 90.0, "peak {peak}");
         // Centre runs hotter than the corner under uniform power.
@@ -474,8 +509,8 @@ mod tests {
                 }
             })
             .collect();
-        let t_contig = m.steady_state(&contiguous).unwrap().peak();
-        let t_spread = m.steady_state(&spread).unwrap().peak();
+        let t_contig = m.steady_state(&contiguous).expect("solve succeeds").peak();
+        let t_spread = m.steady_state(&spread).expect("solve succeeds").peak();
         assert!(
             t_contig - t_spread > 0.5,
             "contiguous {t_contig} vs spread {t_spread}"
@@ -490,9 +525,15 @@ mod tests {
         let m = model();
         let per_core = 196.0 / 52.0;
         let contiguous: Vec<Watts> = (0..100)
-            .map(|i| if i < 52 { Watts::new(per_core) } else { Watts::zero() })
+            .map(|i| {
+                if i < 52 {
+                    Watts::new(per_core)
+                } else {
+                    Watts::zero()
+                }
+            })
             .collect();
-        let peak = m.steady_state(&contiguous).unwrap().peak();
+        let peak = m.steady_state(&contiguous).expect("solve succeeds").peak();
         assert!(
             peak.value() > 74.0 && peak.value() < 92.0,
             "fig-8 contiguous peak = {peak}"
@@ -503,9 +544,9 @@ mod tests {
     fn prefactored_matches_cg() {
         let m = model();
         let power: Vec<Watts> = (0..100).map(|i| Watts::new((i % 5) as f64)).collect();
-        let cg = m.steady_state(&power).unwrap();
-        let solver = m.prefactored().unwrap();
-        let lu = solver.solve(&power).unwrap();
+        let cg = m.steady_state(&power).expect("solve succeeds");
+        let solver = m.prefactored().expect("solve succeeds");
+        let lu = solver.solve(&power).expect("solve succeeds");
         for core in plan().cores() {
             assert!(
                 (cg.core(core) - lu.core(core)).abs() < 1e-5,
@@ -522,15 +563,27 @@ mod tests {
         // + (T(P2) − T_amb).
         let m = model();
         let p1: Vec<Watts> = (0..100)
-            .map(|i| if i < 30 { Watts::new(2.0) } else { Watts::zero() })
+            .map(|i| {
+                if i < 30 {
+                    Watts::new(2.0)
+                } else {
+                    Watts::zero()
+                }
+            })
             .collect();
         let p2: Vec<Watts> = (0..100)
-            .map(|i| if i >= 70 { Watts::new(1.0) } else { Watts::zero() })
+            .map(|i| {
+                if i >= 70 {
+                    Watts::new(1.0)
+                } else {
+                    Watts::zero()
+                }
+            })
             .collect();
         let both: Vec<Watts> = p1.iter().zip(&p2).map(|(a, b)| *a + *b).collect();
-        let t1 = m.steady_state(&p1).unwrap();
-        let t2 = m.steady_state(&p2).unwrap();
-        let t12 = m.steady_state(&both).unwrap();
+        let t1 = m.steady_state(&p1).expect("solve succeeds");
+        let t2 = m.steady_state(&p2).expect("solve succeeds");
+        let t12 = m.steady_state(&both).expect("solve succeeds");
         for core in plan().cores() {
             let lhs = t12.core(core).value() - 45.0;
             let rhs = (t1.core(core).value() - 45.0) + (t2.core(core).value() - 45.0);
@@ -543,7 +596,10 @@ mod tests {
         let m = model();
         assert!(matches!(
             m.steady_state(&vec![Watts::zero(); 99]),
-            Err(ThermalError::PowerMapMismatch { got: 99, expected: 100 })
+            Err(ThermalError::PowerMapMismatch {
+                got: 99,
+                expected: 100
+            })
         ));
     }
 
@@ -565,8 +621,9 @@ mod tests {
 
     #[test]
     fn grid_mode_shape() {
-        let plan = Floorplan::grid(4, 4, SquareMillimeters::new(5.1)).unwrap();
-        let m = ThermalModel::with_subdivision(&plan, PackageConfig::paper_dac15(), 2).unwrap();
+        let plan = Floorplan::grid(4, 4, SquareMillimeters::new(5.1)).expect("valid floorplan");
+        let m = ThermalModel::with_subdivision(&plan, PackageConfig::paper_dac15(), 2)
+            .expect("valid thermal model");
         assert_eq!(m.core_count(), 16);
         assert_eq!(m.subdivision(), 2);
         assert_eq!(m.die_cell_count(), 64);
@@ -582,13 +639,14 @@ mod tests {
 
     #[test]
     fn grid_mode_agrees_with_block_mode_on_uniform_load() {
-        let plan = Floorplan::grid(4, 4, SquareMillimeters::new(5.1)).unwrap();
-        let block = ThermalModel::new(&plan, PackageConfig::paper_dac15()).unwrap();
-        let grid =
-            ThermalModel::with_subdivision(&plan, PackageConfig::paper_dac15(), 2).unwrap();
+        let plan = Floorplan::grid(4, 4, SquareMillimeters::new(5.1)).expect("valid floorplan");
+        let block =
+            ThermalModel::new(&plan, PackageConfig::paper_dac15()).expect("valid thermal model");
+        let grid = ThermalModel::with_subdivision(&plan, PackageConfig::paper_dac15(), 2)
+            .expect("valid thermal model");
         let power = vec![Watts::new(3.0); 16];
-        let t_block = block.steady_state(&power).unwrap().peak();
-        let t_grid = grid.steady_state(&power).unwrap().peak();
+        let t_block = block.steady_state(&power).expect("solve succeeds").peak();
+        let t_grid = grid.steady_state(&power).expect("solve succeeds").peak();
         assert!(
             (t_block - t_grid).abs() < 1.0,
             "block {t_block} vs grid {t_grid}"
@@ -597,11 +655,12 @@ mod tests {
 
     #[test]
     fn grid_mode_energy_balance() {
-        let plan = Floorplan::grid(4, 4, SquareMillimeters::new(5.1)).unwrap();
-        let m = ThermalModel::with_subdivision(&plan, PackageConfig::paper_dac15(), 3).unwrap();
+        let plan = Floorplan::grid(4, 4, SquareMillimeters::new(5.1)).expect("valid floorplan");
+        let m = ThermalModel::with_subdivision(&plan, PackageConfig::paper_dac15(), 3)
+            .expect("valid thermal model");
         let power: Vec<Watts> = (0..16).map(|i| Watts::new((i % 4) as f64)).collect();
         let total: f64 = power.iter().map(|p| p.value()).sum();
-        let map = m.steady_state(&power).unwrap();
+        let map = m.steady_state(&power).expect("solve succeeds");
         let out: f64 = m
             .ambient_conductances()
             .iter()
@@ -618,16 +677,20 @@ mod tests {
         // block model lumps the core footprint into one node and cannot
         // represent heat spreading within it. (Power is uniform inside
         // a core, so grid mode relaxes, never sharpens, this case.)
-        let plan = Floorplan::grid(4, 4, SquareMillimeters::new(5.1)).unwrap();
-        let block = ThermalModel::new(&plan, PackageConfig::paper_dac15()).unwrap();
-        let grid =
-            ThermalModel::with_subdivision(&plan, PackageConfig::paper_dac15(), 3).unwrap();
+        let plan = Floorplan::grid(4, 4, SquareMillimeters::new(5.1)).expect("valid floorplan");
+        let block =
+            ThermalModel::new(&plan, PackageConfig::paper_dac15()).expect("valid thermal model");
+        let grid = ThermalModel::with_subdivision(&plan, PackageConfig::paper_dac15(), 3)
+            .expect("valid thermal model");
         let mut power = vec![Watts::zero(); 16];
         power[5] = Watts::new(8.0);
-        let t_block = block.steady_state(&power).unwrap().peak();
-        let map_grid = grid.steady_state(&power).unwrap();
+        let t_block = block.steady_state(&power).expect("solve succeeds").peak();
+        let map_grid = grid.steady_state(&power).expect("solve succeeds");
         let t_grid = map_grid.peak();
-        assert!(t_grid <= t_block + 0.05, "grid {t_grid} above block {t_block}");
+        assert!(
+            t_grid <= t_block + 0.05,
+            "grid {t_grid} above block {t_block}"
+        );
         assert!(
             (t_block - t_grid).abs() < 1.5,
             "models diverge: block {t_block} vs grid {t_grid}"
@@ -638,18 +701,21 @@ mod tests {
         let hottest = map_grid
             .die_temperatures()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("test value"))
             .map(|(i, _)| i)
-            .unwrap();
+            .expect("test value");
         assert_eq!(hottest, 5);
     }
 
     #[test]
     fn zero_subdivision_rejected() {
-        let plan = Floorplan::grid(2, 2, SquareMillimeters::new(5.1)).unwrap();
+        let plan = Floorplan::grid(2, 2, SquareMillimeters::new(5.1)).expect("valid floorplan");
         assert!(matches!(
             ThermalModel::with_subdivision(&plan, PackageConfig::paper_dac15(), 0),
-            Err(ThermalError::InvalidPackage { name: "subdivision", .. })
+            Err(ThermalError::InvalidPackage {
+                name: "subdivision",
+                ..
+            })
         ));
     }
 

@@ -1,12 +1,11 @@
 //! Package (die / TIM / spreader / sink) configuration.
 
 use darksil_units::Celsius;
-use serde::{Deserialize, Serialize};
 
 use crate::ThermalError;
 
 /// Geometry and material of one conductive layer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LayerConfig {
     /// Side length of the (square) layer in metres. `None` means the
     /// layer is congruent with the die.
@@ -45,7 +44,7 @@ impl LayerConfig {
 
 /// Full package description, defaulting to the paper's §2.1 HotSpot
 /// configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PackageConfig {
     /// Silicon die layer (congruent with the floorplan).
     pub die: LayerConfig,
@@ -227,7 +226,10 @@ mod tests {
         p.die.thickness_m = 0.0;
         assert!(matches!(
             p.validate(),
-            Err(ThermalError::InvalidPackage { name: "thickness", .. })
+            Err(ThermalError::InvalidPackage {
+                name: "thickness",
+                ..
+            })
         ));
 
         let mut p = PackageConfig::paper_dac15();

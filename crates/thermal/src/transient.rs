@@ -167,11 +167,7 @@ impl TransientSim {
     /// Builds `P + G_amb·T_amb`, spreading each core's power over its
     /// die cells.
     fn input_vector(&self, power: &[Watts]) -> Vec<f64> {
-        let mut b: Vec<f64> = self
-            .g_ambient
-            .iter()
-            .map(|g| g * self.ambient_c)
-            .collect();
+        let mut b: Vec<f64> = self.g_ambient.iter().map(|g| g * self.ambient_c).collect();
         let share = 1.0 / (self.subdivision * self.subdivision) as f64;
         for (cell, &owner) in self.core_of_cell.iter().enumerate() {
             b[cell] += power[owner].value() * share;
@@ -188,14 +184,14 @@ mod tests {
     use darksil_units::SquareMillimeters;
 
     fn small_model() -> ThermalModel {
-        let plan = Floorplan::grid(4, 4, SquareMillimeters::new(5.1)).unwrap();
-        ThermalModel::new(&plan, PackageConfig::paper_dac15()).unwrap()
+        let plan = Floorplan::grid(4, 4, SquareMillimeters::new(5.1)).expect("valid floorplan");
+        ThermalModel::new(&plan, PackageConfig::paper_dac15()).expect("valid thermal model")
     }
 
     #[test]
     fn starts_at_ambient() {
         let m = small_model();
-        let sim = TransientSim::new(&m, Seconds::new(1e-3)).unwrap();
+        let sim = TransientSim::new(&m, Seconds::new(1e-3)).expect("test value");
         let map = sim.snapshot();
         assert_eq!(map.peak(), m.ambient());
         assert_eq!(sim.elapsed(), Seconds::zero());
@@ -205,12 +201,12 @@ mod tests {
     fn transient_approaches_steady_state() {
         let m = small_model();
         let power = vec![Watts::new(3.0); 16];
-        let steady = m.steady_state(&power).unwrap();
+        let steady = m.steady_state(&power).expect("solve succeeds");
 
-        let mut sim = TransientSim::new(&m, Seconds::new(0.1)).unwrap();
+        let mut sim = TransientSim::new(&m, Seconds::new(0.1)).expect("test value");
         // The slowest time constant is the sink (tens of seconds); run
         // ten minutes of simulated time.
-        sim.run(&power, 6000).unwrap();
+        sim.run(&power, 6000).expect("test value");
         let now = sim.snapshot();
         assert!(
             (now.peak() - steady.peak()).abs() < 0.3,
@@ -225,10 +221,10 @@ mod tests {
     fn temperature_rises_monotonically_under_step_power() {
         let m = small_model();
         let power = vec![Watts::new(3.0); 16];
-        let mut sim = TransientSim::new(&m, Seconds::new(0.01)).unwrap();
+        let mut sim = TransientSim::new(&m, Seconds::new(0.01)).expect("test value");
         let mut last = sim.snapshot().peak();
         for _ in 0..100 {
-            let t = sim.step(&power).unwrap().peak();
+            let t = sim.step(&power).expect("solve succeeds").peak();
             assert!(t >= last - 1e-12);
             last = t;
         }
@@ -242,8 +238,8 @@ mod tests {
         // boosting controller exploits.
         let m = small_model();
         let power = vec![Watts::new(5.0); 16];
-        let mut sim = TransientSim::new(&m, Seconds::new(1e-3)).unwrap();
-        let map = sim.run(&power, 20).unwrap(); // 20 ms
+        let mut sim = TransientSim::new(&m, Seconds::new(1e-3)).expect("test value");
+        let map = sim.run(&power, 20).expect("test value"); // 20 ms
         let die_rise = map.peak() - m.ambient();
         let sink_node = map.state()[2 * 16 + 1];
         let sink_rise = sink_node - m.ambient().value();
@@ -255,22 +251,25 @@ mod tests {
     fn cooling_after_power_removed() {
         let m = small_model();
         let hot = vec![Watts::new(4.0); 16];
-        let mut sim = TransientSim::new(&m, Seconds::new(0.05)).unwrap();
-        sim.run(&hot, 400).unwrap();
+        let mut sim = TransientSim::new(&m, Seconds::new(0.05)).expect("test value");
+        sim.run(&hot, 400).expect("test value");
         let peak_hot = sim.snapshot().peak();
-        sim.run(&[Watts::zero(); 16], 4000).unwrap();
+        sim.run(&[Watts::zero(); 16], 4000).expect("test value");
         let peak_cold = sim.snapshot().peak();
         assert!(peak_cold < peak_hot);
-        assert!((peak_cold - m.ambient()).abs() < 0.5, "cooled to {peak_cold}");
+        assert!(
+            (peak_cold - m.ambient()).abs() < 0.5,
+            "cooled to {peak_cold}"
+        );
     }
 
     #[test]
     fn restart_from_steady_state_is_stationary() {
         let m = small_model();
         let power = vec![Watts::new(2.0); 16];
-        let steady = m.steady_state(&power).unwrap();
-        let mut sim = TransientSim::from_map(&m, &steady, Seconds::new(0.01)).unwrap();
-        let after = sim.run(&power, 50).unwrap();
+        let steady = m.steady_state(&power).expect("solve succeeds");
+        let mut sim = TransientSim::from_map(&m, &steady, Seconds::new(0.01)).expect("test value");
+        let after = sim.run(&power, 50).expect("test value");
         assert!(
             (after.peak() - steady.peak()).abs() < 1e-6,
             "drifted from {} to {}",
@@ -283,26 +282,34 @@ mod tests {
     fn invalid_inputs() {
         let m = small_model();
         assert!(TransientSim::new(&m, Seconds::zero()).is_err());
-        let mut sim = TransientSim::new(&m, Seconds::new(0.01)).unwrap();
+        let mut sim = TransientSim::new(&m, Seconds::new(0.01)).expect("test value");
         assert!(matches!(
             sim.step(&[Watts::zero(); 3]),
-            Err(ThermalError::PowerMapMismatch { got: 3, expected: 16 })
+            Err(ThermalError::PowerMapMismatch {
+                got: 3,
+                expected: 16
+            })
         ));
         // A map from a different-size model is rejected.
-        let other_plan = Floorplan::grid(2, 2, SquareMillimeters::new(5.1)).unwrap();
-        let other = ThermalModel::new(&other_plan, PackageConfig::paper_dac15()).unwrap();
-        let map = other.steady_state(&[Watts::zero(); 4]).unwrap();
+        let other_plan =
+            Floorplan::grid(2, 2, SquareMillimeters::new(5.1)).expect("valid floorplan");
+        let other = ThermalModel::new(&other_plan, PackageConfig::paper_dac15())
+            .expect("valid thermal model");
+        let map = other
+            .steady_state(&[Watts::zero(); 4])
+            .expect("solve succeeds");
         assert!(TransientSim::from_map(&m, &map, Seconds::new(0.01)).is_err());
     }
 
     #[test]
     fn grid_mode_transient_matches_its_steady_state() {
-        let plan = Floorplan::grid(3, 3, SquareMillimeters::new(5.1)).unwrap();
-        let m = ThermalModel::with_subdivision(&plan, PackageConfig::paper_dac15(), 2).unwrap();
+        let plan = Floorplan::grid(3, 3, SquareMillimeters::new(5.1)).expect("valid floorplan");
+        let m = ThermalModel::with_subdivision(&plan, PackageConfig::paper_dac15(), 2)
+            .expect("valid thermal model");
         let power = vec![Watts::new(2.5); 9];
-        let steady = m.steady_state(&power).unwrap();
-        let mut sim = TransientSim::new(&m, Seconds::new(0.1)).unwrap();
-        sim.run(&power, 6000).unwrap();
+        let steady = m.steady_state(&power).expect("solve succeeds");
+        let mut sim = TransientSim::new(&m, Seconds::new(0.1)).expect("test value");
+        sim.run(&power, 6000).expect("test value");
         let now = sim.snapshot();
         assert!(
             (now.peak() - steady.peak()).abs() < 0.3,
@@ -316,8 +323,8 @@ mod tests {
     #[test]
     fn elapsed_time_tracks_steps() {
         let m = small_model();
-        let mut sim = TransientSim::new(&m, Seconds::new(0.25)).unwrap();
-        sim.run(&[Watts::zero(); 16], 8).unwrap();
+        let mut sim = TransientSim::new(&m, Seconds::new(0.25)).expect("test value");
+        sim.run(&[Watts::zero(); 16], 8).expect("test value");
         assert!((sim.elapsed().value() - 2.0).abs() < 1e-12);
         assert_eq!(sim.dt(), Seconds::new(0.25));
     }

@@ -121,7 +121,11 @@ impl<'a> TspCalculator<'a> {
     pub fn worst_case_mapping(&self, m: usize) -> Vec<CoreId> {
         let n = self.plan.core_count();
         assert!(m <= n, "cannot activate {m} of {n} cores");
-        let centre = self.blob(m, self.plan.rows() as f64 / 2.0, self.plan.cols() as f64 / 2.0);
+        let centre = self.blob(
+            m,
+            self.plan.rows() as f64 / 2.0,
+            self.plan.cols() as f64 / 2.0,
+        );
         let corner = self.blob(m, 0.0, 0.0);
         // Lower budget = hotter arrangement = worse case.
         let b_centre = self.for_mapping(&centre);
@@ -138,14 +142,18 @@ impl<'a> TspCalculator<'a> {
         cores.sort_by(|a, b| {
             let da = Self::anchor_distance(self.plan, *a, anchor_row, anchor_col);
             let db = Self::anchor_distance(self.plan, *b, anchor_row, anchor_col);
-            da.partial_cmp(&db).expect("finite distances").then(a.cmp(b))
+            da.total_cmp(&db).then(a.cmp(b))
         });
         cores.truncate(m);
         cores
     }
 
     fn anchor_distance(plan: &Floorplan, core: CoreId, anchor_row: f64, anchor_col: f64) -> f64 {
-        let (r, c) = plan.coordinates(core).expect("core from plan iterator");
+        // Cores come from the plan's own iterator; an out-of-range id
+        // sorts last rather than panicking.
+        let Ok((r, c)) = plan.coordinates(core) else {
+            return f64::INFINITY;
+        };
         let dr = r as f64 + 0.5 - anchor_row;
         let dc = c as f64 + 0.5 - anchor_col;
         dr * dr + dc * dc
@@ -187,8 +195,9 @@ mod tests {
     use darksil_units::SquareMillimeters;
 
     fn setup() -> (Floorplan, ThermalModel) {
-        let plan = Floorplan::grid(10, 10, SquareMillimeters::new(5.1)).unwrap();
-        let model = ThermalModel::new(&plan, PackageConfig::paper_dac15()).unwrap();
+        let plan = Floorplan::grid(10, 10, SquareMillimeters::new(5.1)).expect("valid floorplan");
+        let model =
+            ThermalModel::new(&plan, PackageConfig::paper_dac15()).expect("valid thermal model");
         (plan, model)
     }
 
@@ -198,7 +207,7 @@ mod tests {
         let tsp = TspCalculator::new(&plan, &model, Celsius::new(80.0));
         let mut last = Watts::new(f64::INFINITY);
         for m in [1, 10, 25, 50, 75, 100] {
-            let p = tsp.worst_case(m).unwrap();
+            let p = tsp.worst_case(m).expect("test value");
             assert!(p < last, "TSP({m}) = {p} not below previous {last}");
             assert!(p.value() > 0.0);
             last = p;
@@ -210,12 +219,12 @@ mod tests {
         let (plan, model) = setup();
         let tsp = TspCalculator::new(&plan, &model, Celsius::new(80.0));
         let active = tsp.worst_case_mapping(40);
-        let budget = tsp.for_mapping(&active).unwrap();
+        let budget = tsp.for_mapping(&active).expect("test value");
         let mut power = vec![Watts::zero(); 100];
         for c in &active {
             power[c.index()] = budget;
         }
-        let peak = model.steady_state(&power).unwrap().peak();
+        let peak = model.steady_state(&power).expect("solve succeeds").peak();
         assert!(
             (peak.value() - 80.0).abs() < 0.01,
             "peak at TSP = {peak}, want 80 °C"
@@ -230,8 +239,8 @@ mod tests {
         let blob = tsp.worst_case_mapping(25);
         let spread: Vec<CoreId> = plan.cores().step_by(4).collect();
         assert_eq!(spread.len(), 25);
-        let p_blob = tsp.for_mapping(&blob).unwrap();
-        let p_spread = tsp.for_mapping(&spread).unwrap();
+        let p_blob = tsp.for_mapping(&blob).expect("test value");
+        let p_spread = tsp.for_mapping(&spread).expect("test value");
         assert!(
             p_spread > p_blob,
             "spread {p_spread} should beat blob {p_blob}"
@@ -246,17 +255,19 @@ mod tests {
         assert_eq!(blob.len(), 9);
         // The nine cores span at most a 4×4 bounding box (contiguous
         // blob, whether centred or corner-anchored).
-        let coords: Vec<(usize, usize)> =
-            blob.iter().map(|c| plan.coordinates(*c).unwrap()).collect();
-        let rmin = coords.iter().map(|c| c.0).min().unwrap();
-        let rmax = coords.iter().map(|c| c.0).max().unwrap();
-        let cmin = coords.iter().map(|c| c.1).min().unwrap();
-        let cmax = coords.iter().map(|c| c.1).max().unwrap();
+        let coords: Vec<(usize, usize)> = blob
+            .iter()
+            .map(|c| plan.coordinates(*c).expect("test value"))
+            .collect();
+        let rmin = coords.iter().map(|c| c.0).min().expect("test value");
+        let rmax = coords.iter().map(|c| c.0).max().expect("test value");
+        let cmin = coords.iter().map(|c| c.1).min().expect("test value");
+        let cmax = coords.iter().map(|c| c.1).max().expect("test value");
         assert!(rmax - rmin <= 3 && cmax - cmin <= 3, "{coords:?}");
         // And it is genuinely the worse of the two candidate anchors.
-        let budget = tsp.for_mapping(&blob).unwrap();
+        let budget = tsp.for_mapping(&blob).expect("test value");
         let spread: Vec<CoreId> = plan.cores().step_by(11).take(9).collect();
-        assert!(budget <= tsp.for_mapping(&spread).unwrap());
+        assert!(budget <= tsp.for_mapping(&spread).expect("test value"));
     }
 
     #[test]
@@ -266,7 +277,7 @@ mod tests {
         // whole point of the comparison.
         let (plan, model) = setup();
         let tsp = TspCalculator::new(&plan, &model, Celsius::new(80.0));
-        let per_core = tsp.worst_case(100).unwrap();
+        let per_core = tsp.worst_case(100).expect("test value");
         let total = per_core * 100.0;
         assert!(
             total.value() > 170.0 && total.value() < 300.0,
@@ -281,10 +292,10 @@ mod tests {
         // grows monotonically as edge relief accumulates.
         let (plan, model) = setup();
         let tsp = TspCalculator::new(&plan, &model, Celsius::new(80.0));
-        let curve = tsp.total_power_curve().unwrap();
+        let curve = tsp.total_power_curve().expect("test value");
         assert_eq!(curve.len(), 100);
-        let first = curve.first().unwrap().1;
-        let last = curve.last().unwrap().1;
+        let first = curve.first().expect("test value").1;
+        let last = curve.last().expect("test value").1;
         assert!(last > first);
     }
 
@@ -292,7 +303,11 @@ mod tests {
     fn empty_mapping_is_unbounded() {
         let (plan, model) = setup();
         let tsp = TspCalculator::new(&plan, &model, Celsius::new(80.0));
-        assert!(tsp.for_mapping(&[]).unwrap().value().is_infinite());
+        assert!(tsp
+            .for_mapping(&[])
+            .expect("numerics succeed")
+            .value()
+            .is_infinite());
     }
 
     #[test]
@@ -307,7 +322,7 @@ mod tests {
         let (plan, model) = setup();
         let t80 = TspCalculator::new(&plan, &model, Celsius::new(80.0));
         let t90 = TspCalculator::new(&plan, &model, Celsius::new(90.0));
-        assert!(t90.worst_case(50).unwrap() > t80.worst_case(50).unwrap());
+        assert!(t90.worst_case(50).expect("test value") > t80.worst_case(50).expect("test value"));
         assert_eq!(t80.critical_temperature(), Celsius::new(80.0));
     }
 }

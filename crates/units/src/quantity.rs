@@ -9,8 +9,7 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 macro_rules! quantity {
     ($(#[$meta:meta])* $name:ident, $unit:literal) => {
         $(#[$meta])*
-        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
-        #[serde(transparent)]
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
         pub struct $name(f64);
 
         impl $name {
@@ -180,6 +179,19 @@ macro_rules! quantity {
                 write!(f, "{} {}", self.0, $unit)
             }
         }
+
+        /// Serialises transparently as the raw number.
+        impl darksil_json::ToJson for $name {
+            fn to_json(&self) -> darksil_json::Json {
+                darksil_json::ToJson::to_json(&self.0)
+            }
+        }
+
+        impl darksil_json::FromJson for $name {
+            fn from_json(v: &darksil_json::Json) -> Result<Self, darksil_json::JsonError> {
+                <f64 as darksil_json::FromJson>::from_json(v).map(Self)
+            }
+        }
     };
 }
 
@@ -234,8 +246,7 @@ quantity!(
 
 /// Clock frequency. Stored internally in hertz; the paper works in GHz so
 /// [`Hertz::from_ghz`]/[`Hertz::as_ghz`] are the most common accessors.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
-        #[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Hertz(f64);
 
 impl Hertz {
@@ -487,6 +498,19 @@ impl Mul<WattsPerSquareMillimeter> for SquareMillimeters {
     #[inline]
     fn mul(self, rhs: WattsPerSquareMillimeter) -> Watts {
         rhs * self
+    }
+}
+
+/// Serialises transparently as the raw number.
+impl darksil_json::ToJson for Hertz {
+    fn to_json(&self) -> darksil_json::Json {
+        darksil_json::ToJson::to_json(&self.0)
+    }
+}
+
+impl darksil_json::FromJson for Hertz {
+    fn from_json(v: &darksil_json::Json) -> Result<Self, darksil_json::JsonError> {
+        <f64 as darksil_json::FromJson>::from_json(v).map(Self)
     }
 }
 

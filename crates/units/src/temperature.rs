@@ -17,8 +17,7 @@ pub const ABSOLUTE_ZERO_CELSIUS: f64 = -KELVIN_OFFSET;
 
 /// Temperature on the Celsius scale (the paper's native scale: the DTM
 /// threshold is 80 °C, ambient 45 °C).
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Celsius(f64);
 
 impl Celsius {
@@ -66,8 +65,7 @@ impl Celsius {
 }
 
 /// Temperature on the Kelvin scale.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Kelvin(f64);
 
 impl Kelvin {
@@ -182,6 +180,32 @@ impl fmt::Display for Celsius {
 impl fmt::Display for Kelvin {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} K", self.0)
+    }
+}
+
+/// Serialises transparently as the raw number.
+impl darksil_json::ToJson for Celsius {
+    fn to_json(&self) -> darksil_json::Json {
+        darksil_json::ToJson::to_json(&self.0)
+    }
+}
+
+impl darksil_json::FromJson for Celsius {
+    fn from_json(v: &darksil_json::Json) -> Result<Self, darksil_json::JsonError> {
+        <f64 as darksil_json::FromJson>::from_json(v).map(Self)
+    }
+}
+
+/// Serialises transparently as the raw number.
+impl darksil_json::ToJson for Kelvin {
+    fn to_json(&self) -> darksil_json::Json {
+        darksil_json::ToJson::to_json(&self.0)
+    }
+}
+
+impl darksil_json::FromJson for Kelvin {
+    fn from_json(v: &darksil_json::Json) -> Result<Self, darksil_json::JsonError> {
+        <f64 as darksil_json::FromJson>::from_json(v).map(Self)
     }
 }
 

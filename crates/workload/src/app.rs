@@ -4,7 +4,6 @@ use std::fmt;
 
 use darksil_archsim::{CoreModel, TraceProfile};
 use darksil_units::{Gips, Hertz};
-use serde::{Deserialize, Serialize};
 
 /// Maximum threads per application instance — the paper's experiments
 /// run "1, 2, …, 8 parallel dependent threads" per instance (§2.3).
@@ -29,7 +28,7 @@ const SYNC_ACTIVITY_DISCOUNT: f64 = 0.3;
 /// // … while canneal barely scales.
 /// assert!(ParsecApp::Canneal.profile().speedup(8) < 2.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ParsecApp {
     /// (a) H.264 video encoder — the paper's running example.
     X264,
@@ -85,8 +84,10 @@ impl ParsecApp {
             app: self,
             parallel_fraction,
             wide_fraction,
-            trace: TraceProfile::new(ilp, mpi, 60.0)
-                .expect("built-in profiles use valid parameters"),
+            trace: match TraceProfile::new(ilp, mpi, 60.0) {
+                Ok(trace) => trace,
+                Err(_) => unreachable!("built-in profile parameters are valid"),
+            },
             ceff_factor,
         }
     }
@@ -107,8 +108,16 @@ impl ParsecApp {
 
     /// The (a)–(g) letter the paper's figures use for this application.
     #[must_use]
-    pub fn letter(self) -> char {
-        (b'a' + Self::ALL.iter().position(|a| *a == self).expect("in ALL") as u8) as char
+    pub const fn letter(self) -> char {
+        match self {
+            Self::X264 => 'a',
+            Self::Blackscholes => 'b',
+            Self::Bodytrack => 'c',
+            Self::Ferret => 'd',
+            Self::Canneal => 'e',
+            Self::Dedup => 'f',
+            Self::Swaptions => 'g',
+        }
     }
 }
 
@@ -119,7 +128,7 @@ impl fmt::Display for ParsecApp {
 }
 
 /// The three-axis characterisation of one application (see module docs).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AppProfile {
     /// Which application this profiles.
     pub app: ParsecApp,
@@ -201,6 +210,16 @@ impl AppProfile {
         Gips::new(core.gips(&self.trace, f) * self.speedup(threads))
     }
 }
+
+darksil_json::impl_json_enum!(ParsecApp {
+    X264 => "x264",
+    Blackscholes => "blackscholes",
+    Bodytrack => "bodytrack",
+    Ferret => "ferret",
+    Canneal => "canneal",
+    Dedup => "dedup",
+    Swaptions => "swaptions",
+});
 
 #[cfg(test)]
 mod tests {
@@ -287,7 +306,10 @@ mod tests {
 
     #[test]
     fn swaptions_is_hungriest_canneal_lightest() {
-        let cf: Vec<f64> = ParsecApp::ALL.iter().map(|a| a.profile().ceff_factor).collect();
+        let cf: Vec<f64> = ParsecApp::ALL
+            .iter()
+            .map(|a| a.profile().ceff_factor)
+            .collect();
         let max = cf.iter().copied().fold(0.0, f64::max);
         let min = cf.iter().copied().fold(2.0, f64::min);
         assert_eq!(ParsecApp::Swaptions.profile().ceff_factor, max);
@@ -305,7 +327,11 @@ mod tests {
                 / p.instance_gips(&core, 1, Hertz::from_ghz(2.0))
         };
         let canneal = gain(ParsecApp::Canneal);
-        for app in [ParsecApp::X264, ParsecApp::Blackscholes, ParsecApp::Swaptions] {
+        for app in [
+            ParsecApp::X264,
+            ParsecApp::Blackscholes,
+            ParsecApp::Swaptions,
+        ] {
             assert!(gain(app) > canneal, "{app} vs canneal");
         }
         assert!(canneal < 1.5);

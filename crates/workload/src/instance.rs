@@ -5,7 +5,6 @@ use std::fmt;
 
 use darksil_archsim::CoreModel;
 use darksil_units::{Gips, Hertz};
-use serde::{Deserialize, Serialize};
 
 use crate::{AppProfile, ParsecApp, MAX_THREADS_PER_INSTANCE};
 
@@ -33,7 +32,7 @@ impl fmt::Display for WorkloadError {
 impl Error for WorkloadError {}
 
 /// One running copy of an application with a fixed thread count.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AppInstance {
     app: ParsecApp,
     threads: usize,
@@ -92,7 +91,7 @@ impl fmt::Display for AppInstance {
 
 /// An ordered collection of application instances to be mapped onto a
 /// chip.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Workload {
     instances: Vec<AppInstance>,
 }
@@ -145,7 +144,11 @@ impl Workload {
     /// Returns [`WorkloadError::InvalidThreadCount`] for invalid thread
     /// counts.
     pub fn high_ilp_mix(instances: usize, threads: usize) -> Result<Self, WorkloadError> {
-        let apps = [ParsecApp::Blackscholes, ParsecApp::Swaptions, ParsecApp::X264];
+        let apps = [
+            ParsecApp::Blackscholes,
+            ParsecApp::Swaptions,
+            ParsecApp::X264,
+        ];
         (0..instances)
             .map(|i| AppInstance::new(apps[i % apps.len()], threads))
             .collect::<Result<Vec<_>, _>>()
@@ -161,7 +164,11 @@ impl Workload {
     /// Returns [`WorkloadError::InvalidThreadCount`] for invalid thread
     /// counts.
     pub fn high_tlp_mix(instances: usize, threads: usize) -> Result<Self, WorkloadError> {
-        let apps = [ParsecApp::Swaptions, ParsecApp::Blackscholes, ParsecApp::X264];
+        let apps = [
+            ParsecApp::Swaptions,
+            ParsecApp::Blackscholes,
+            ParsecApp::X264,
+        ];
         (0..instances)
             .map(|i| AppInstance::new(apps[i % apps.len()], threads))
             .collect::<Result<Vec<_>, _>>()
@@ -256,6 +263,46 @@ impl IntoIterator for Workload {
     }
 }
 
+impl From<WorkloadError> for darksil_robust::DarksilError {
+    fn from(e: WorkloadError) -> Self {
+        Self::config(e.to_string())
+    }
+}
+
+impl darksil_json::ToJson for AppInstance {
+    fn to_json(&self) -> darksil_json::Json {
+        darksil_json::Json::Obj(vec![
+            ("app".to_string(), self.app.to_json()),
+            ("threads".to_string(), self.threads.to_json()),
+        ])
+    }
+}
+
+impl darksil_json::FromJson for AppInstance {
+    fn from_json(v: &darksil_json::Json) -> Result<Self, darksil_json::JsonError> {
+        let mut obj = darksil_json::ObjReader::new(v, "AppInstance")?;
+        let app = obj.req("app")?;
+        let threads = obj.req("threads")?;
+        obj.finish()?;
+        Self::new(app, threads)
+            .map_err(|e| darksil_json::JsonError::msg(e.to_string()).in_field("threads"))
+    }
+}
+
+impl darksil_json::ToJson for Workload {
+    fn to_json(&self) -> darksil_json::Json {
+        self.instances.to_json()
+    }
+}
+
+impl darksil_json::FromJson for Workload {
+    fn from_json(v: &darksil_json::Json) -> Result<Self, darksil_json::JsonError> {
+        Ok(Self {
+            instances: Vec::from_json(v)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,7 +311,7 @@ mod tests {
     fn instance_validation() {
         assert!(AppInstance::new(ParsecApp::X264, 0).is_err());
         assert!(AppInstance::new(ParsecApp::X264, 9).is_err());
-        let i = AppInstance::new(ParsecApp::X264, 8).unwrap();
+        let i = AppInstance::new(ParsecApp::X264, 8).expect("valid workload");
         assert_eq!(i.threads(), 8);
         assert_eq!(i.app(), ParsecApp::X264);
         assert_eq!(i.to_string(), "x264×8t");
@@ -272,7 +319,7 @@ mod tests {
 
     #[test]
     fn uniform_workload() {
-        let w = Workload::uniform(ParsecApp::Ferret, 12, 8).unwrap();
+        let w = Workload::uniform(ParsecApp::Ferret, 12, 8).expect("valid workload");
         assert_eq!(w.len(), 12);
         assert_eq!(w.total_threads(), 96);
         assert!(!w.is_empty());
@@ -280,7 +327,7 @@ mod tests {
 
     #[test]
     fn mix_cycles_through_all_apps() {
-        let w = Workload::parsec_mix(14, 4).unwrap();
+        let w = Workload::parsec_mix(14, 4).expect("valid workload");
         assert_eq!(w.len(), 14);
         // Two full cycles of the seven apps.
         let x264_count = w.iter().filter(|i| i.app() == ParsecApp::X264).count();
@@ -292,19 +339,15 @@ mod tests {
     fn named_mixes_have_the_advertised_character() {
         let core = CoreModel::alpha_21264();
         let f = Hertz::from_ghz(3.0);
-        let ilp = Workload::high_ilp_mix(6, 8).unwrap();
-        let mem = Workload::memory_bound_mix(6, 8).unwrap();
+        let ilp = Workload::high_ilp_mix(6, 8).expect("valid workload");
+        let mem = Workload::memory_bound_mix(6, 8).expect("valid workload");
         assert_eq!(ilp.len(), 6);
         assert_eq!(mem.len(), 6);
         // ILP mix out-runs the memory-bound mix at the same settings.
         assert!(ilp.total_gips(&core, f) > mem.total_gips(&core, f) * 2.0);
         // TLP mix keeps high 8-thread efficiency.
-        let tlp = Workload::high_tlp_mix(6, 8).unwrap();
-        let avg_eff: f64 = tlp
-            .iter()
-            .map(|i| i.profile().efficiency(8))
-            .sum::<f64>()
-            / 6.0;
+        let tlp = Workload::high_tlp_mix(6, 8).expect("valid workload");
+        let avg_eff: f64 = tlp.iter().map(|i| i.profile().efficiency(8)).sum::<f64>() / 6.0;
         assert!(avg_eff > 0.5, "avg efficiency {avg_eff}");
     }
 
@@ -312,8 +355,10 @@ mod tests {
     fn total_gips_is_sum_of_instances() {
         let core = CoreModel::alpha_21264();
         let f = Hertz::from_ghz(3.0);
-        let w = Workload::uniform(ParsecApp::Dedup, 3, 4).unwrap();
-        let one = AppInstance::new(ParsecApp::Dedup, 4).unwrap().gips(&core, f);
+        let w = Workload::uniform(ParsecApp::Dedup, 3, 4).expect("valid workload");
+        let one = AppInstance::new(ParsecApp::Dedup, 4)
+            .expect("valid workload")
+            .gips(&core, f);
         assert!((w.total_gips(&core, f).value() - 3.0 * one.value()).abs() < 1e-9);
     }
 
@@ -322,8 +367,12 @@ mod tests {
         let core = CoreModel::alpha_21264();
         let f = Hertz::from_ghz(3.0);
         for app in ParsecApp::ALL {
-            let g1 = AppInstance::new(app, 1).unwrap().gips(&core, f);
-            let g8 = AppInstance::new(app, 8).unwrap().gips(&core, f);
+            let g1 = AppInstance::new(app, 1)
+                .expect("valid workload")
+                .gips(&core, f);
+            let g8 = AppInstance::new(app, 8)
+                .expect("valid workload")
+                .gips(&core, f);
             assert!(g8 > g1, "{app}");
         }
     }
@@ -331,10 +380,10 @@ mod tests {
     #[test]
     fn collect_and_extend() {
         let mut w: Workload = (1..=4)
-            .map(|t| AppInstance::new(ParsecApp::Canneal, t).unwrap())
+            .map(|t| AppInstance::new(ParsecApp::Canneal, t).expect("valid workload"))
             .collect();
         assert_eq!(w.total_threads(), 10);
-        w.extend([AppInstance::new(ParsecApp::X264, 2).unwrap()]);
+        w.extend([AppInstance::new(ParsecApp::X264, 2).expect("valid workload")]);
         assert_eq!(w.len(), 5);
         let threads: Vec<usize> = (&w).into_iter().map(AppInstance::threads).collect();
         assert_eq!(threads, vec![1, 2, 3, 4, 2]);

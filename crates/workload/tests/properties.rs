@@ -60,17 +60,17 @@ proptest! {
         prop_assert!(p.activity(threads + 1) <= a + 1e-12);
     }
 
-    /// Serde round-trips preserve workloads exactly.
+    /// JSON round-trips preserve workloads exactly.
     #[test]
-    fn workload_serde_round_trip(
+    fn workload_json_round_trip(
         counts in prop::collection::vec((0_usize..7, 1_usize..9), 0..8),
     ) {
         let mut w = Workload::new();
         for (app_idx, t) in counts {
             w.push(AppInstance::new(ParsecApp::ALL[app_idx], t).unwrap());
         }
-        let json = serde_json::to_string(&w).unwrap();
-        let back: Workload = serde_json::from_str(&json).unwrap();
+        let json = darksil_json::to_string_pretty(&w);
+        let back: Workload = darksil_json::from_str(&json).unwrap();
         prop_assert_eq!(w, back);
     }
 

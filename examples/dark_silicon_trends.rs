@@ -13,7 +13,11 @@ use darksil_units::Watts;
 use darksil_workload::ParsecApp;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    for node in [TechnologyNode::Nm16, TechnologyNode::Nm11, TechnologyNode::Nm8] {
+    for node in [
+        TechnologyNode::Nm16,
+        TechnologyNode::Nm11,
+        TechnologyNode::Nm8,
+    ] {
         let est = DarkSiliconEstimator::for_node(node)?;
         let f = node.nominal_max_frequency();
         println!(
@@ -21,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             est.platform().core_count(),
             f.as_ghz()
         );
-        println!("{:<14} {:>10} {:>14} {:>10}", "app", "dark(TDP)", "dark(thermal)", "saved");
+        println!(
+            "{:<14} {:>10} {:>14} {:>10}",
+            "app", "dark(TDP)", "dark(thermal)", "saved"
+        );
 
         let mut reductions = Vec::new();
         for app in ParsecApp::ALL {

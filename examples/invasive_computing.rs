@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut arbiter = ResourceArbiter::new(platform);
 
     println!("100-core 16 nm chip, T_DTM = 80 °C\n");
-    println!("{:<28} {:>6} {:>8} {:>9} {:>9}", "event", "free", "claims", "GIPS", "power[W]");
+    println!(
+        "{:<28} {:>6} {:>8} {:>9} {:>9}",
+        "event", "free", "claims", "GIPS", "power[W]"
+    );
 
     let mut claims = Vec::new();
     let arrivals = [

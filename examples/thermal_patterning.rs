@@ -26,8 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, mapping) in [("contiguous", &contiguous), ("patterned", &patterned)] {
         let map = mapping.steady_temperatures(&platform)?;
         let temps: Vec<Celsius> = map.die_temperatures().collect();
-        let power: darksil_units::Watts =
-            mapping.power_map_at(&platform, &temps).iter().sum();
+        let power: darksil_units::Watts = mapping.power_map_at(&platform, &temps).iter().sum();
         println!(
             "\n== {name}: {} active cores @ {:.1} GHz, {:.0} W total ==",
             mapping.active_core_count(),
@@ -45,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         // One glyph per core, fixed 64–82 °C scale so the two maps are
         // directly comparable (denser glyph = hotter).
-        println!("{}", map.to_grid_map(platform.floorplan())?.render_ascii_scaled(64.0, 82.0));
+        println!(
+            "{}",
+            map.to_grid_map(platform.floorplan())?
+                .render_ascii_scaled(64.0, 82.0)
+        );
     }
 
     println!(

@@ -16,11 +16,7 @@ use darksil_units::Celsius;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let est = DarkSiliconEstimator::for_node(TechnologyNode::Nm16)?;
     let platform = est.platform();
-    let tsp = TspCalculator::new(
-        platform.floorplan(),
-        platform.thermal(),
-        Celsius::new(80.0),
-    );
+    let tsp = TspCalculator::new(platform.floorplan(), platform.thermal(), Celsius::new(80.0));
 
     println!("== TSP vs TDP on the 16 nm / 100-core chip ==\n");
     println!("active  TSP/core[W]  total-safe[W]   vs TDP 185 W");

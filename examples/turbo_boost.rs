@@ -14,8 +14,8 @@ use darksil_units::{Hertz, Seconds};
 use darksil_workload::{ParsecApp, Workload};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let platform = Platform::for_node(TechnologyNode::Nm16)?
-        .with_boost_levels(Hertz::from_ghz(4.4))?;
+    let platform =
+        Platform::for_node(TechnologyNode::Nm16)?.with_boost_levels(Hertz::from_ghz(4.4))?;
     let workload = Workload::uniform(ParsecApp::X264, 12, 8)?;
     let mapping = place_patterned(platform.floorplan(), &workload, platform.max_level())?;
 

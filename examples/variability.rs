@@ -15,8 +15,8 @@ use darksil_units::Celsius;
 use darksil_workload::{ParsecApp, Workload};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let platform = Platform::for_node(TechnologyNode::Nm16)?
-        .with_variation(VariationModel::typical(0xDA51));
+    let platform =
+        Platform::for_node(TechnologyNode::Nm16)?.with_variation(VariationModel::typical(0xDA51));
 
     let spread = {
         let v = platform.variation();
@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let order = platform.variation().cores_by_leakage();
     let worst_cores: Vec<CoreId> = order.iter().rev().take(n).map(|&i| CoreId(i)).collect();
 
-    for (name, cores) in [("low-leakage pick", best_cores), ("leaky pick", worst_cores)] {
+    for (name, cores) in [
+        ("low-leakage pick", best_cores),
+        ("leaky pick", worst_cores),
+    ] {
         let mut mapping = Mapping::new(platform.core_count());
         let mut it = cores.iter().copied();
         for instance in &workload {
@@ -53,8 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let map = mapping.steady_temperatures(&platform)?;
         let temps: Vec<Celsius> = map.die_temperatures().collect();
-        let power: darksil_units::Watts =
-            mapping.power_map_at(&platform, &temps).iter().sum();
+        let power: darksil_units::Watts = mapping.power_map_at(&platform, &temps).iter().sum();
         println!(
             "{name:<17} total {:.1} W, peak {:.2} °C",
             power.value(),

@@ -110,7 +110,9 @@ fn parse_node(s: &str) -> Result<TechnologyNode, ParseError> {
         "16" => Ok(TechnologyNode::Nm16),
         "11" => Ok(TechnologyNode::Nm11),
         "8" => Ok(TechnologyNode::Nm8),
-        other => Err(ParseError(format!("unknown node '{other}' (use 22|16|11|8)"))),
+        other => Err(ParseError(format!(
+            "unknown node '{other}' (use 22|16|11|8)"
+        ))),
     }
 }
 
@@ -188,7 +190,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 )?));
             }
             "--tdp" => {
-                tdp = Some(Watts::new(parse_f64("--tdp", &next_value("--tdp", &mut it)?)?));
+                tdp = Some(Watts::new(parse_f64(
+                    "--tdp",
+                    &next_value("--tdp", &mut it)?,
+                )?));
             }
             "--thermal" => thermal = true,
             "--active" => {
@@ -217,7 +222,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 return Err(ParseError("pass --tdp WATTS or --thermal".into()));
             }
             if tdp.is_some() && thermal {
-                return Err(ParseError("--tdp and --thermal are mutually exclusive".into()));
+                return Err(ParseError(
+                    "--tdp and --thermal are mutually exclusive".into(),
+                ));
             }
             Ok(Command::Estimate {
                 node,
@@ -270,11 +277,10 @@ pub fn run(command: &Command) -> Result<(), Box<dyn std::error::Error>> {
     match command {
         Command::Help => println!("{USAGE}"),
         Command::Run { path, json } => {
-            let text = std::fs::read_to_string(path)?;
-            let scenario = crate::scenario::parse_scenario(&text)?;
+            let scenario = crate::scenario::parse_scenario_file(std::path::Path::new(path))?;
             let report = crate::scenario::run_scenario(&scenario)?;
             if *json {
-                println!("{}", serde_json::to_string_pretty(&report)?);
+                println!("{}", darksil_json::to_string_pretty(&report));
             } else {
                 println!("{}:", report.name);
                 println!(
@@ -336,11 +342,8 @@ pub fn run(command: &Command) -> Result<(), Box<dyn std::error::Error>> {
         }
         Command::Tsp { node, active } => {
             let platform = Platform::for_node(*node)?;
-            let tsp = TspCalculator::new(
-                platform.floorplan(),
-                platform.thermal(),
-                platform.t_dtm(),
-            );
+            let tsp =
+                TspCalculator::new(platform.floorplan(), platform.thermal(), platform.t_dtm());
             let counts: Vec<usize> = match active {
                 Some(m) => vec![*m],
                 None => {
@@ -368,7 +371,7 @@ pub fn run(command: &Command) -> Result<(), Box<dyn std::error::Error>> {
             let platform = Platform::for_node(*node)?;
             let workload = Workload::parsec_mix(*mix, 8)?;
             let mapping = if *dsrem {
-                DsRem::new(*tdp).map(&platform, &workload)?
+                DsRem::new(*tdp)?.map(&platform, &workload)?
             } else {
                 TdpMap::new(*tdp).map(&platform, &workload)?
             };
@@ -394,8 +397,7 @@ pub fn run(command: &Command) -> Result<(), Box<dyn std::error::Error>> {
             let platform = Platform::for_node(*node)?
                 .with_boost_levels(node.nominal_max_frequency() * 1.25)?;
             let workload = Workload::uniform(*app, *instances, 8)?;
-            let mapping =
-                place_patterned(platform.floorplan(), &workload, platform.max_level())?;
+            let mapping = place_patterned(platform.floorplan(), &workload, platform.max_level())?;
             let config = PolicyConfig {
                 period: Seconds::new(0.01),
                 ..PolicyConfig::default()
@@ -403,9 +405,7 @@ pub fn run(command: &Command) -> Result<(), Box<dyn std::error::Error>> {
             let horizon = Seconds::new(*duration);
             let boost = run_boosting(&platform, &mapping, horizon, &config)?;
             let constant = run_constant(&platform, &mapping, horizon, &config)?;
-            println!(
-                "{node} / {app} × {instances} instances × 8t, {duration} s simulated:"
-            );
+            println!("{node} / {app} × {instances} instances × 8t, {duration} s simulated:");
             println!(
                 "  boosting: avg {:.0} GIPS, peak {:.1} °C, peak {:.0} W",
                 boost.average_gips_tail(0.5).value(),
@@ -466,8 +466,7 @@ mod tests {
     fn estimate_requires_a_constraint() {
         let err = parse(&argv("estimate --node 16 --app x264")).unwrap_err();
         assert!(err.to_string().contains("--tdp"));
-        let err =
-            parse(&argv("estimate --node 16 --app x264 --tdp 185 --thermal")).unwrap_err();
+        let err = parse(&argv("estimate --node 16 --app x264 --tdp 185 --thermal")).unwrap_err();
         assert!(err.to_string().contains("mutually exclusive"));
     }
 

@@ -1,9 +1,7 @@
 //! End-to-end assertions of the paper's four Observations and headline
 //! numbers, spanning every crate in the workspace.
 
-use darksil_boost::{
-    iso_performance_comparison, run_boosting, run_constant, PolicyConfig,
-};
+use darksil_boost::{iso_performance_comparison, run_boosting, run_constant, PolicyConfig};
 use darksil_core::{scenarios, tsp_eval, DarkSiliconEstimator};
 use darksil_mapping::{
     place_contiguous, place_patterned, place_thermal_aware, DsRem, Platform, TdpMap,
@@ -74,8 +72,7 @@ fn observation3_boosting_small_gain_big_power() {
         .with_boost_levels(Hertz::from_ghz(4.4))
         .unwrap();
     let workload = Workload::uniform(ParsecApp::X264, 12, 8).unwrap();
-    let mapping =
-        place_patterned(platform.floorplan(), &workload, platform.max_level()).unwrap();
+    let mapping = place_patterned(platform.floorplan(), &workload, platform.max_level()).unwrap();
     let config = PolicyConfig {
         period: Seconds::new(0.02),
         ..PolicyConfig::default()
@@ -101,8 +98,7 @@ fn observation4_ntc_for_energy_not_performance() {
     let x264 = iso_performance_comparison(&platform, ParsecApp::X264, 24, 500.0).unwrap();
     assert!(x264.ntc_wins());
     // Non-scaling canneal: NTC wastes energy.
-    let canneal =
-        iso_performance_comparison(&platform, ParsecApp::Canneal, 24, 500.0).unwrap();
+    let canneal = iso_performance_comparison(&platform, ParsecApp::Canneal, 24, 500.0).unwrap();
     assert!(!canneal.ntc_wins());
     // The STC comparison points really are in the STC region.
     assert_eq!(
@@ -170,7 +166,7 @@ fn figure9_dsrem_beats_tdpmap() {
     let workload = Workload::parsec_mix(14, 8).unwrap();
     let tdp = Watts::new(185.0);
     let a = TdpMap::new(tdp).map(&platform, &workload).unwrap();
-    let b = DsRem::new(tdp).map(&platform, &workload).unwrap();
+    let b = DsRem::new(tdp).unwrap().map(&platform, &workload).unwrap();
     let speedup = b.total_gips(&platform) / a.total_gips(&platform);
     assert!(speedup > 1.3, "DsRem speed-up only {speedup}");
     assert!(b.peak_temperature(&platform).unwrap() <= platform.t_dtm() + 0.2);

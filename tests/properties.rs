@@ -150,12 +150,8 @@ fn tsp_antitone_in_core_count() {
 fn estimates_are_deterministic() {
     let platform = Platform::with_core_count(TechnologyNode::Nm16, 25).unwrap();
     let workload = darksil_workload::Workload::parsec_mix(3, 8).unwrap();
-    let m = darksil_mapping::place_patterned(
-        platform.floorplan(),
-        &workload,
-        platform.max_level(),
-    )
-    .unwrap();
+    let m = darksil_mapping::place_patterned(platform.floorplan(), &workload, platform.max_level())
+        .unwrap();
     let a = m.peak_temperature(&platform).unwrap();
     let b = m.peak_temperature(&platform).unwrap();
     assert_eq!(a, b);

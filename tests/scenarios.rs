@@ -10,10 +10,10 @@ fn shipped_scenarios_parse_and_run() {
         let path = entry.unwrap().path();
         if path.extension().is_some_and(|e| e == "json") {
             let text = std::fs::read_to_string(&path).unwrap();
-            let scenario = parse_scenario(&text)
-                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
-            let report = run_scenario(&scenario)
-                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            let scenario =
+                parse_scenario(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            let report =
+                run_scenario(&scenario).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
             assert!(report.total_gips > 0.0, "{}", path.display());
             ran += 1;
         }

@@ -102,7 +102,11 @@ fn platforms_grow_denser_across_nodes() {
     let f22 = TechnologyNode::Nm22.nominal_max_frequency();
     let mut last_cores = 0;
     let mut last_density = 0.0;
-    for node in [TechnologyNode::Nm16, TechnologyNode::Nm11, TechnologyNode::Nm8] {
+    for node in [
+        TechnologyNode::Nm16,
+        TechnologyNode::Nm11,
+        TechnologyNode::Nm8,
+    ] {
         let platform = Platform::for_node(node).unwrap();
         let cores = platform.core_count();
         assert!(cores > last_cores);
