@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <artefact> [--json DIR] [--paper] [--inject ARTEFACT]
+//!                  [--jobs N] [--no-cache] [--cache-dir DIR]
 //!
 //! artefacts: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!            fig11 fig12 fig13 fig14 dtm aging variability cooling
@@ -10,35 +11,57 @@
 //! --paper           run transients at the paper's full horizons (slow)
 //! --inject ARTEFACT inject a NaN-power fault into that artefact (test
 //!                   hook for the partial-failure machinery)
+//! --jobs N          worker threads for the artefact fan-out (default:
+//!                   DARKSIL_JOBS, else the available parallelism);
+//!                   `--jobs 1` runs everything serially
+//! --no-cache        recompute every artefact, bypassing the result cache
+//! --cache-dir DIR   result-cache location (default `results/.cache`)
 //! ```
 //!
-//! Every artefact runs in isolation: an error (or even a panic) in one
-//! figure does not stop the others, the per-artefact outcomes are
-//! collected into `error_report.json` (under `--json DIR`, otherwise
-//! printed to stderr), and the exit code reflects the aggregate.
+//! Every artefact runs in isolation as a `darksil-engine` job: an error
+//! (or even a panic) in one figure does not stop the others, the
+//! per-artefact outcomes are collected into `error_report.json` (under
+//! `--json DIR`, otherwise printed to stderr), and the exit code
+//! reflects the aggregate. Results come back in artefact order, so the
+//! emitted files and console report are identical at any `--jobs`
+//! setting. Wall-clock timings land in `results/bench_repro.json`.
+//!
+//! Artefact payloads are memoised in a content-addressed cache keyed by
+//! the scenario inputs (fidelity) plus a code-version salt; a warm run
+//! replays the stored JSON instead of recomputing. Corrupt or stale
+//! entries fall back to recomputation with a typed diagnostic.
 
 use std::env;
+use std::fmt::Write as _;
 use std::fs;
 use std::panic::{self, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
 use darksil_bench::{fig14_total_energy, Fidelity};
+use darksil_engine::{CacheOutcome, Engine, ResultCache, DEFAULT_CACHE_DIR};
 use darksil_json::{Json, ToJson};
 use darksil_robust::DarksilError;
+
+/// Bump whenever an artefact's generating code changes meaning: the
+/// salt is folded into every cache key, so stale entries from older
+/// binaries become unreachable instead of being replayed.
+const CACHE_SALT: &str = "repro-v1";
 
 struct Options {
     json_dir: Option<PathBuf>,
     fidelity: Fidelity,
     inject: Option<String>,
+    cache: Option<ResultCache>,
 }
 
+/// An artefact builder: buffers its human-readable report into `out`
+/// and returns the machine-readable payload.
+type RunnerFn = fn(&Options, &mut String) -> Result<Json, Box<dyn std::error::Error>>;
+
 /// One named artefact runner for the dispatch tables.
-type Runner = (
-    &'static str,
-    fn(&Options) -> Result<(), Box<dyn std::error::Error>>,
-);
+type Runner = (&'static str, RunnerFn);
 
 const RUNNERS: [Runner; 19] = [
     ("table1", table1),
@@ -71,6 +94,8 @@ struct ArtefactOutcome {
     error: Option<DarksilError>,
     /// Wall-clock seconds spent.
     seconds: f64,
+    /// `hit`, `miss`, `recovered` or `off`.
+    cache: &'static str,
 }
 
 impl ArtefactOutcome {
@@ -93,31 +118,59 @@ impl ToJson for ArtefactOutcome {
     }
 }
 
+/// Everything a finished artefact job hands back to the reporter.
+struct ArtefactRun {
+    outcome: ArtefactOutcome,
+    /// The machine-readable payload, present for `ok` outcomes.
+    payload: Option<Json>,
+    /// The buffered human-readable report (empty on cache hits).
+    text: String,
+}
+
 fn main() -> ExitCode {
     let mut args = env::args().skip(1);
     let Some(artefact) = args.next() else {
-        eprintln!("usage: repro <table1|fig2..fig14|dtm|aging|variability|cooling|pareto|all> [--json DIR] [--paper] [--inject ARTEFACT]");
+        eprintln!(
+            "usage: repro <table1|fig2..fig14|dtm|aging|variability|cooling|pareto|all> \
+             [--json DIR] [--paper] [--inject ARTEFACT] [--jobs N] [--no-cache] [--cache-dir DIR]"
+        );
         return ExitCode::FAILURE;
     };
-    let mut options = Options {
-        json_dir: None,
-        fidelity: Fidelity::Quick,
-        inject: None,
-    };
+    let mut json_dir = None;
+    let mut fidelity = Fidelity::Quick;
+    let mut inject = None;
+    let mut jobs_flag: Option<usize> = None;
+    let mut use_cache = true;
+    let mut cache_dir = PathBuf::from(DEFAULT_CACHE_DIR);
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--json" => match args.next() {
-                Some(dir) => options.json_dir = Some(PathBuf::from(dir)),
+                Some(dir) => json_dir = Some(PathBuf::from(dir)),
                 None => {
                     eprintln!("--json requires a directory");
                     return ExitCode::FAILURE;
                 }
             },
-            "--paper" => options.fidelity = Fidelity::Paper,
+            "--paper" => fidelity = Fidelity::Paper,
             "--inject" => match args.next() {
-                Some(name) => options.inject = Some(name),
+                Some(name) => inject = Some(name),
                 None => {
                     eprintln!("--inject requires an artefact name");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" => match args.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => jobs_flag = Some(n),
+                _ => {
+                    eprintln!("--jobs requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--no-cache" => use_cache = false,
+            "--cache-dir" => match args.next() {
+                Some(dir) => cache_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--cache-dir requires a directory");
                     return ExitCode::FAILURE;
                 }
             },
@@ -127,30 +180,81 @@ fn main() -> ExitCode {
             }
         }
     }
+    let jobs = jobs_flag
+        .unwrap_or_else(darksil_engine::default_jobs)
+        .max(1);
+    // Nested engine fan-outs (inside the figures) follow the same
+    // setting as the artefact-level pool.
+    darksil_engine::set_default_jobs(jobs);
+    let options = Options {
+        json_dir,
+        fidelity,
+        inject,
+        cache: use_cache.then(|| ResultCache::open(cache_dir, CACHE_SALT)),
+    };
 
-    let selected: Vec<&Runner> = if artefact == "all" {
-        RUNNERS.iter().collect()
+    let selected: Vec<Runner> = if artefact == "all" {
+        RUNNERS.to_vec()
     } else {
         match RUNNERS.iter().find(|(name, _)| *name == artefact) {
-            Some(runner) => vec![runner],
+            Some(runner) => vec![*runner],
             None => {
                 eprintln!("unknown artefact {artefact}");
                 return ExitCode::FAILURE;
             }
         }
     };
+    let names: Vec<&'static str> = selected.iter().map(|(name, _)| *name).collect();
 
-    let mut outcomes: Vec<ArtefactOutcome> = Vec::with_capacity(selected.len());
-    for (name, run) in selected {
-        if artefact == "all" {
+    let started = Instant::now();
+    let runs = Engine::new(jobs).par_map(selected, |(name, run)| {
+        Ok(run_artefact(name, run, &options))
+    });
+    let total_seconds = started.elapsed().as_secs_f64();
+
+    let show_headers = artefact == "all";
+    let mut outcomes: Vec<ArtefactOutcome> = Vec::with_capacity(runs.len());
+    for (name, run) in names.into_iter().zip(runs) {
+        // The engine's own panic isolation is a backstop; `run_artefact`
+        // already catches panics, so this arm is not normally reachable.
+        let art = run.unwrap_or_else(|e| ArtefactRun {
+            outcome: ArtefactOutcome {
+                name,
+                status: "panic",
+                error: Some(e.context(name)),
+                seconds: 0.0,
+                cache: "off",
+            },
+            payload: None,
+            text: String::new(),
+        });
+        if show_headers {
             println!("\n================ {name} ================");
         }
-        outcomes.push(run_isolated(name, *run, &options));
+        print!("{}", art.text);
+        if art.outcome.cache == "hit" {
+            println!("[{name}: cache hit]");
+        }
+        let mut outcome = art.outcome;
+        if let (Some(dir), Some(payload)) = (&options.json_dir, &art.payload) {
+            if let Err(e) = write_artefact_json(dir, name, payload) {
+                eprintln!("repro {name}: cannot write artefact JSON: {e}");
+                if outcome.succeeded() {
+                    outcome.status = "error";
+                    outcome.error = Some(DarksilError::io(e.to_string()).context(name));
+                }
+            }
+        }
+        outcomes.push(outcome);
     }
 
     let failed = outcomes.iter().filter(|o| !o.succeeded()).count();
     if let Err(e) = write_error_report(&options, &outcomes, failed) {
         eprintln!("cannot write error report: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = write_bench_report(jobs, total_seconds, &outcomes) {
+        eprintln!("cannot write bench report: {e}");
         return ExitCode::FAILURE;
     }
     for o in outcomes.iter().filter(|o| !o.succeeded()) {
@@ -172,34 +276,96 @@ fn main() -> ExitCode {
     }
 }
 
+/// The scenario inputs an artefact's payload depends on; folded into
+/// the cache key so a fidelity change is a natural cache miss.
+fn cache_inputs(options: &Options) -> Json {
+    let fidelity = match options.fidelity {
+        Fidelity::Quick => "quick",
+        Fidelity::Paper => "paper",
+    };
+    Json::Obj(vec![(
+        "fidelity".to_string(),
+        Json::Str(fidelity.to_string()),
+    )])
+}
+
 /// Runs one artefact with full isolation: errors are classified into
 /// the workspace taxonomy and panics are caught, so one broken figure
-/// can never take the others down.
-fn run_isolated(
-    name: &'static str,
-    run: fn(&Options) -> Result<(), Box<dyn std::error::Error>>,
-    options: &Options,
-) -> ArtefactOutcome {
+/// can never take the others down. Consults the result cache first;
+/// fault injection disables caching for the targeted artefact so the
+/// failure machinery is always exercised live.
+fn run_artefact(name: &'static str, run: RunnerFn, options: &Options) -> ArtefactRun {
     let started = Instant::now();
+    let cache = options
+        .cache
+        .as_ref()
+        .filter(|_| options.inject.as_deref() != Some(name));
+    let inputs = cache_inputs(options);
+    let mut recovery: Option<DarksilError> = None;
+    if let Some(cache) = cache {
+        let (found, outcome) = cache.lookup(&cache.key(name, &inputs));
+        if let Some(payload) = found {
+            return ArtefactRun {
+                outcome: ArtefactOutcome {
+                    name,
+                    status: "ok",
+                    error: None,
+                    seconds: started.elapsed().as_secs_f64(),
+                    cache: "hit",
+                },
+                payload: Some(payload),
+                text: String::new(),
+            };
+        }
+        if let CacheOutcome::Recovered(e) = outcome {
+            recovery = Some(e);
+        }
+    }
+    let mut text = String::new();
     let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
         if options.inject.as_deref() == Some(name) {
             injected_failure()?;
         }
-        run(options)
+        run(options, &mut text)
     }));
     let seconds = started.elapsed().as_secs_f64();
+    let miss_label = if cache.is_some() { "miss" } else { "off" };
     match attempt {
-        Ok(Ok(())) => ArtefactOutcome {
-            name,
-            status: "ok",
-            error: None,
-            seconds,
-        },
-        Ok(Err(e)) => ArtefactOutcome {
-            name,
-            status: "error",
-            error: Some(classify(e.as_ref()).context(name)),
-            seconds,
+        Ok(Ok(payload)) => {
+            if let Some(cache) = cache {
+                if let Err(e) = cache.store(&cache.key(name, &inputs), &payload) {
+                    recovery = Some(e);
+                }
+            }
+            let label = match &recovery {
+                Some(e) => {
+                    eprintln!("repro {name}: cache diagnostic — {e}");
+                    "recovered"
+                }
+                None => miss_label,
+            };
+            ArtefactRun {
+                outcome: ArtefactOutcome {
+                    name,
+                    status: "ok",
+                    error: None,
+                    seconds,
+                    cache: label,
+                },
+                payload: Some(payload),
+                text,
+            }
+        }
+        Ok(Err(e)) => ArtefactRun {
+            outcome: ArtefactOutcome {
+                name,
+                status: "error",
+                error: Some(classify(e.as_ref()).context(name)),
+                seconds,
+                cache: miss_label,
+            },
+            payload: None,
+            text,
         },
         Err(payload) => {
             let message = payload
@@ -207,11 +373,16 @@ fn run_isolated(
                 .map(|s| (*s).to_string())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "opaque panic payload".to_string());
-            ArtefactOutcome {
-                name,
-                status: "panic",
-                error: Some(DarksilError::internal(message).context(name)),
-                seconds,
+            ArtefactRun {
+                outcome: ArtefactOutcome {
+                    name,
+                    status: "panic",
+                    error: Some(DarksilError::internal(message).context(name)),
+                    seconds,
+                    cache: miss_label,
+                },
+                payload: None,
+                text,
             }
         }
     }
@@ -261,6 +432,15 @@ fn injected_failure() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Writes one artefact's machine-readable series under `--json DIR`.
+fn write_artefact_json(dir: &Path, name: &str, payload: &Json) -> Result<(), std::io::Error> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, darksil_json::to_string_pretty(payload))?;
+    println!("[wrote {}]", path.display());
+    Ok(())
+}
+
 /// Writes the machine-readable per-artefact report. With `--json DIR`
 /// it lands in `DIR/error_report.json`; otherwise it goes to stderr so
 /// scripted callers always have it.
@@ -291,127 +471,161 @@ fn write_error_report(
     Ok(())
 }
 
-fn dump<T: ToJson>(
-    options: &Options,
-    name: &str,
-    data: &T,
+/// Writes per-artefact wall-clock timings and cache outcomes to
+/// `results/bench_repro.json` on every run.
+fn write_bench_report(
+    jobs: usize,
+    total_seconds: f64,
+    outcomes: &[ArtefactOutcome],
 ) -> Result<(), Box<dyn std::error::Error>> {
-    if let Some(dir) = &options.json_dir {
-        fs::create_dir_all(dir)?;
-        let path = dir.join(format!("{name}.json"));
-        fs::write(&path, darksil_json::to_string_pretty(data))?;
-        println!("[wrote {}]", path.display());
-    }
+    let artefacts = outcomes
+        .iter()
+        .map(|o| {
+            Json::Obj(vec![
+                ("artefact".to_string(), Json::Str(o.name.to_string())),
+                ("status".to_string(), Json::Str(o.status.to_string())),
+                ("seconds".to_string(), Json::Num(o.seconds)),
+                ("cache".to_string(), Json::Str(o.cache.to_string())),
+            ])
+        })
+        .collect();
+    let report = Json::Obj(vec![
+        ("jobs".to_string(), Json::Num(jobs as f64)),
+        ("total_seconds".to_string(), Json::Num(total_seconds)),
+        ("artefacts".to_string(), Json::Arr(artefacts)),
+    ]);
+    let dir = Path::new("results");
+    fs::create_dir_all(dir)?;
+    let path = dir.join("bench_repro.json");
+    fs::write(&path, darksil_json::to_string_pretty(&report))?;
+    println!("[wrote {}]", path.display());
     Ok(())
 }
 
-fn table1(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+fn table1(_options: &Options, out: &mut String) -> Result<Json, Box<dyn std::error::Error>> {
     let rows = darksil_bench::table1();
-    println!("Technology  Vdd   Freq  Cap   Area  Core-area[mm²]");
+    writeln!(out, "Technology  Vdd   Freq  Cap   Area  Core-area[mm²]")?;
     for r in &rows {
-        println!(
+        writeln!(
+            out,
             "{:>6} nm  {:>5.2} {:>5.2} {:>5.2} {:>5.2}  {:>6.1}",
             r.node_nm, r.vdd, r.frequency, r.capacitance, r.area, r.core_area_mm2
-        );
+        )?;
     }
-    dump(options, "table1", &rows)
+    Ok(rows.to_json())
 }
 
-fn fig2(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+fn fig2(_options: &Options, out: &mut String) -> Result<Json, Box<dyn std::error::Error>> {
     let pts = darksil_bench::fig2(27);
-    println!("Voltage[V]  Frequency[GHz]  Region");
+    writeln!(out, "Voltage[V]  Frequency[GHz]  Region")?;
     for p in &pts {
-        println!(
+        writeln!(
+            out,
             "{:>9.3}  {:>13.3}  {}",
             p.voltage.value(),
             p.frequency.as_ghz(),
             p.region
-        );
+        )?;
     }
-    dump(options, "fig2", &pts)
+    Ok(pts.to_json())
 }
 
-fn fig3(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+fn fig3(_options: &Options, out: &mut String) -> Result<Json, Box<dyn std::error::Error>> {
     let f = darksil_bench::fig3()?;
-    println!("Frequency[GHz]  Measured[W]  Model[W]");
+    writeln!(out, "Frequency[GHz]  Measured[W]  Model[W]")?;
     for p in &f.points {
-        println!(
+        writeln!(
+            out,
             "{:>13.2}  {:>10.2}  {:>8.2}",
             p.frequency.as_ghz(),
             p.measured.value(),
             p.fitted.value()
-        );
+        )?;
     }
-    println!("fit RMSE: {:.3} W", f.rmse.value());
-    dump(options, "fig3", &f)
+    writeln!(out, "fit RMSE: {:.3} W", f.rmse.value())?;
+    Ok(f.to_json())
 }
 
-fn fig4(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+fn fig4(_options: &Options, out: &mut String) -> Result<Json, Box<dyn std::error::Error>> {
     let series = darksil_bench::fig4();
-    print!("Threads ");
+    write!(out, "Threads ")?;
     for s in &series {
-        print!("{:>12}", s.app.name());
+        write!(out, "{:>12}", s.app.name())?;
     }
-    println!();
+    writeln!(out)?;
     for i in 0..series[0].points.len() {
-        print!("{:>7} ", series[0].points[i].0);
+        write!(out, "{:>7} ", series[0].points[i].0)?;
         for s in &series {
-            print!("{:>12.2}", s.points[i].1);
+            write!(out, "{:>12.2}", s.points[i].1)?;
         }
-        println!();
+        writeln!(out)?;
     }
-    dump(options, "fig4", &series)
+    Ok(series.to_json())
 }
 
-fn fig5(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+fn fig5(_options: &Options, out: &mut String) -> Result<Json, Box<dyn std::error::Error>> {
     let panels = darksil_bench::fig5()?;
     for panel in &panels {
-        println!("-- TDP = {} --", panel.tdp);
-        println!("app           2.8GHz  3.0GHz  3.2GHz  3.4GHz  3.6GHz   (dark %)");
+        writeln!(out, "-- TDP = {} --", panel.tdp)?;
+        writeln!(
+            out,
+            "app           2.8GHz  3.0GHz  3.2GHz  3.4GHz  3.6GHz   (dark %)"
+        )?;
         for app in darksil_workload::ParsecApp::ALL {
-            print!("{:<13}", app.name());
+            write!(out, "{:<13}", app.name())?;
             for cell in panel.cells.iter().filter(|c| c.app == app) {
-                print!(" {:>6.0}%", cell.dark_percent);
+                write!(out, " {:>6.0}%", cell.dark_percent)?;
             }
-            println!();
+            writeln!(out)?;
         }
-        println!("peak temperatures at 3.6 GHz:");
+        writeln!(out, "peak temperatures at 3.6 GHz:")?;
         for (app, t) in &panel.peak_temperatures {
-            println!("  {:<13} {:>6.1} °C", app.name(), t.value());
+            writeln!(out, "  {:<13} {:>6.1} °C", app.name(), t.value())?;
         }
-        println!("any thermal violation: {}", panel.any_violation);
+        writeln!(out, "any thermal violation: {}", panel.any_violation)?;
     }
-    dump(options, "fig5", &panels)
+    Ok(panels.to_json())
 }
 
-fn fig6(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+fn fig6(_options: &Options, out: &mut String) -> Result<Json, Box<dyn std::error::Error>> {
     let panels = darksil_bench::fig6()?;
     for panel in &panels {
-        println!("-- {} @ {:.1} GHz --", panel.node, panel.frequency.as_ghz());
-        println!("app           dark(TDP)  dark(thermal)");
+        writeln!(
+            out,
+            "-- {} @ {:.1} GHz --",
+            panel.node,
+            panel.frequency.as_ghz()
+        )?;
+        writeln!(out, "app           dark(TDP)  dark(thermal)")?;
         for row in &panel.rows {
-            println!(
+            writeln!(
+                out,
                 "{:<13} {:>8.0}%  {:>12.0}%",
                 row.app.name(),
                 row.dark_tdp_percent,
                 row.dark_thermal_percent
-            );
+            )?;
         }
-        println!(
+        writeln!(
+            out,
             "average dark-silicon reduction: {:.0}%",
             panel.average_reduction_percent
-        );
+        )?;
     }
-    dump(options, "fig6", &panels)
+    Ok(panels.to_json())
 }
 
-fn fig7(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+fn fig7(_options: &Options, out: &mut String) -> Result<Json, Box<dyn std::error::Error>> {
     let panels = darksil_bench::fig7()?;
     for panel in &panels {
-        println!("-- {} --", panel.node);
-        println!("app           GIPS(nom)  GIPS(dvfs)  act%(nom)  act%(dvfs)  chosen");
+        writeln!(out, "-- {} --", panel.node)?;
+        writeln!(
+            out,
+            "app           GIPS(nom)  GIPS(dvfs)  act%(nom)  act%(dvfs)  chosen"
+        )?;
         for r in &panel.rows {
-            println!(
+            writeln!(
+                out,
                 "{:<13} {:>9.0}  {:>10.0}  {:>8.0}%  {:>9.0}%  {}t @ {:.1} GHz",
                 r.app.name(),
                 r.nominal_gips.value(),
@@ -420,37 +634,43 @@ fn fig7(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
                 r.tuned_active_percent,
                 r.chosen_threads,
                 r.chosen_frequency.as_ghz()
-            );
+            )?;
         }
-        println!(
+        writeln!(
+            out,
             "max performance gain: {:.0}%",
             (panel.max_gain - 1.0) * 100.0
-        );
+        )?;
     }
-    dump(options, "fig7", &panels)
+    Ok(panels.to_json())
 }
 
-fn fig8(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+fn fig8(_options: &Options, out: &mut String) -> Result<Json, Box<dyn std::error::Error>> {
     let patterns = darksil_bench::fig8()?;
     for p in &patterns {
-        println!(
+        writeln!(
+            out,
             "-- {}: {} cores @ 3.6 GHz, Ptotal = {:.0} W, peak = {:.1} °C, violates T_DTM: {} --",
             p.name,
             p.active_cores,
             p.total_power.value(),
             p.peak_temperature.value(),
             p.violates
-        );
-        println!("{}", p.thermal_art);
+        )?;
+        writeln!(out, "{}", p.thermal_art)?;
     }
-    dump(options, "fig8", &patterns)
+    Ok(patterns.to_json())
 }
 
-fn fig9(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+fn fig9(_options: &Options, out: &mut String) -> Result<Json, Box<dyn std::error::Error>> {
     let rows = darksil_bench::fig9()?;
-    println!("mix             TDPmap[GIPS]  DsRem[GIPS]  act%(TDP)  act%(Ds)  speedup");
+    writeln!(
+        out,
+        "mix             TDPmap[GIPS]  DsRem[GIPS]  act%(TDP)  act%(Ds)  speedup"
+    )?;
     for r in &rows {
-        println!(
+        writeln!(
+            out,
             "{:<15} {:>12.0}  {:>11.0}  {:>8.0}%  {:>7.0}%  {:>6.2}x",
             r.mix,
             r.tdpmap_gips.value(),
@@ -458,67 +678,76 @@ fn fig9(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
             r.tdpmap_active_percent,
             r.dsrem_active_percent,
             r.speedup
-        );
+        )?;
     }
-    dump(options, "fig9", &rows)
+    Ok(rows.to_json())
 }
 
-fn fig10(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+fn fig10(_options: &Options, out: &mut String) -> Result<Json, Box<dyn std::error::Error>> {
     let bars = darksil_bench::fig10()?;
-    println!("node    dark%   TSP/core[W]  total[GIPS]");
+    writeln!(out, "node    dark%   TSP/core[W]  total[GIPS]")?;
     for b in &bars {
-        println!(
+        writeln!(
+            out,
             "{:<7} {:>4.0}%  {:>10.2}  {:>11.0}",
             b.node.to_string(),
             100.0 * b.dark_fraction,
             b.tsp_per_core.value(),
             b.total_gips.value()
-        );
+        )?;
     }
-    dump(options, "fig10", &bars)
+    Ok(bars.to_json())
 }
 
-fn fig11(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+fn fig11(options: &Options, out: &mut String) -> Result<Json, Box<dyn std::error::Error>> {
     let f = darksil_bench::fig11(options.fidelity)?;
-    println!(
+    writeln!(
+        out,
         "boosting: avg {:.1} GIPS, settled temperature band {:.1}–{:.1} °C",
         f.boosting_avg_gips.value(),
         f.boosting_temp_band.0.value(),
         f.boosting_temp_band.1.value()
-    );
-    println!(
+    )?;
+    writeln!(
+        out,
         "constant: avg {:.1} GIPS, peak {:.1} °C",
         f.constant_avg_gips.value(),
         f.constant_peak_temp.value()
-    );
-    println!(
+    )?;
+    writeln!(
+        out,
         "boosting gain: {:.1}%",
         100.0 * (f.boosting_avg_gips / f.constant_avg_gips - 1.0)
-    );
-    dump(options, "fig11", &f)
+    )?;
+    Ok(f.to_json())
 }
 
-fn fig12(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+fn fig12(options: &Options, out: &mut String) -> Result<Json, Box<dyn std::error::Error>> {
     let points = darksil_bench::fig12(options.fidelity)?;
-    println!("cores  boost[GIPS]  const[GIPS]  boostP[W]  constP[W]");
+    writeln!(out, "cores  boost[GIPS]  const[GIPS]  boostP[W]  constP[W]")?;
     for p in &points {
-        println!(
+        writeln!(
+            out,
             "{:>5}  {:>10.0}  {:>10.0}  {:>9.0}  {:>8.0}",
             p.active_cores,
             p.boosting_gips.value(),
             p.constant_gips.value(),
             p.boosting_power.value(),
             p.constant_power.value()
-        );
+        )?;
     }
-    dump(options, "fig12", &points)
+    Ok(points.to_json())
 }
 
-fn fig13(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+fn fig13(options: &Options, out: &mut String) -> Result<Json, Box<dyn std::error::Error>> {
     let rows = darksil_bench::fig13(options.fidelity)?;
-    println!("app           inst  boost[GIPS]  const[GIPS]  boostP[W]  constP[W]");
+    writeln!(
+        out,
+        "app           inst  boost[GIPS]  const[GIPS]  boostP[W]  constP[W]"
+    )?;
     for r in &rows {
-        println!(
+        writeln!(
+            out,
             "{:<13} {:>4}  {:>10.0}  {:>10.0}  {:>9.0}  {:>8.0}",
             r.app.name(),
             r.instances,
@@ -526,97 +755,118 @@ fn fig13(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
             r.constant_gips.value(),
             r.boosting_peak_power.value(),
             r.constant_peak_power.value()
-        );
+        )?;
     }
-    dump(options, "fig13", &rows)
+    Ok(rows.to_json())
 }
 
-fn dtm(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+fn dtm(_options: &Options, out: &mut String) -> Result<Json, Box<dyn std::error::Error>> {
     let rows = darksil_bench::dtm_response()?;
-    println!("TDP[W]  admitted-dark  sustained-dark  powered-down  DTM fired");
+    writeln!(
+        out,
+        "TDP[W]  admitted-dark  sustained-dark  powered-down  DTM fired"
+    )?;
     for r in &rows {
-        println!(
+        writeln!(
+            out,
             "{:>6.0}  {:>12.0}%  {:>13.0}%  {:>12}  {}",
             r.tdp.value(),
             r.admitted_dark_percent,
             r.sustained_dark_percent,
             r.instances_powered_down,
             r.triggered
-        );
+        )?;
     }
-    println!("Optimistic TDPs hide dark silicon behind the DTM reaction (§3.1).");
-    dump(options, "dtm", &rows)
+    writeln!(
+        out,
+        "Optimistic TDPs hide dark silicon behind the DTM reaction (§3.1)."
+    )?;
+    Ok(rows.to_json())
 }
 
-fn aging(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+fn aging(_options: &Options, out: &mut String) -> Result<Json, Box<dyn std::error::Error>> {
     let cmp = darksil_bench::aging_rotation()?;
-    println!(
+    writeln!(
+        out,
         "{} epochs × {} h, 56/100 cores active:",
         cmp.epochs, cmp.epoch_hours
-    );
-    println!(
+    )?;
+    writeln!(
+        out,
         "  static placement: max wear {:.0} ref-s, imbalance {:.2}",
         cmp.static_max_wear, cmp.static_imbalance
-    );
-    println!(
+    )?;
+    writeln!(
+        out,
         "  rotating dark set: max wear {:.0} ref-s, imbalance {:.2}",
         cmp.rotating_max_wear, cmp.rotating_imbalance
-    );
-    println!("  implied lifetime gain: {:.2}x", cmp.lifetime_gain());
-    dump(options, "aging", &cmp)
+    )?;
+    writeln!(out, "  implied lifetime gain: {:.2}x", cmp.lifetime_gain())?;
+    Ok(cmp.to_json())
 }
 
-fn variability(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+fn variability(_options: &Options, out: &mut String) -> Result<Json, Box<dyn std::error::Error>> {
     let rows = darksil_bench::variability_savings(5)?;
-    println!("chip  best-pick[W]  leaky-pick[W]  saving");
+    writeln!(out, "chip  best-pick[W]  leaky-pick[W]  saving")?;
     for r in &rows {
-        println!(
+        writeln!(
+            out,
             "{:>4}  {:>11.1}  {:>12.1}  {:>5.1}%",
             r.seed,
             r.best_pick_power.value(),
             r.worst_pick_power.value(),
             r.saving_percent
-        );
+        )?;
     }
-    dump(options, "variability", &rows)
+    Ok(rows.to_json())
 }
 
-fn cooling(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+fn cooling(_options: &Options, out: &mut String) -> Result<Json, Box<dyn std::error::Error>> {
     let (packages, sweep) = darksil_bench::cooling_sensitivity()?;
-    println!("package            dark%   active  peak[°C]");
+    writeln!(out, "package            dark%   active  peak[°C]")?;
     for p in &packages {
-        println!(
+        writeln!(
+            out,
             "{:<17} {:>5.0}%  {:>6}  {:>7.1}",
             p.package,
             100.0 * p.dark_fraction,
             p.active_cores,
             p.peak_temperature.value()
-        );
+        )?;
     }
-    println!("\nR_conv[K/W]  dark%   active  power[W]");
+    writeln!(out, "\nR_conv[K/W]  dark%   active  power[W]")?;
     for pt in &sweep {
-        println!(
+        writeln!(
+            out,
             "{:>10.2}  {:>5.0}%  {:>6}  {:>7.0}",
             pt.convection_resistance,
             100.0 * pt.dark_fraction,
             pt.active_cores,
             pt.total_power.value()
-        );
+        )?;
     }
-    println!("\nDark silicon is a property of chip + cooling, not of the chip alone.");
-    dump(options, "cooling", &(packages, sweep))
+    writeln!(
+        out,
+        "\nDark silicon is a property of chip + cooling, not of the chip alone."
+    )?;
+    Ok((packages, sweep).to_json())
 }
 
-fn pareto(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+fn pareto(_options: &Options, out: &mut String) -> Result<Json, Box<dyn std::error::Error>> {
     let (points, frontier) = darksil_bench::pareto_x264()?;
-    println!(
+    writeln!(
+        out,
         "{} feasible of {} configurations; Pareto frontier:",
         points.iter().filter(|p| p.feasible).count(),
         points.len()
-    );
-    println!("threads  inst  f[GHz]  GIPS   power[W]  dark%  peak[°C]");
+    )?;
+    writeln!(
+        out,
+        "threads  inst  f[GHz]  GIPS   power[W]  dark%  peak[°C]"
+    )?;
     for p in &frontier {
-        println!(
+        writeln!(
+            out,
             "{:>7}  {:>4}  {:>5.1}  {:>5.0}  {:>8.0}  {:>4.0}%  {:>7.1}",
             p.threads,
             p.instances,
@@ -625,33 +875,36 @@ fn pareto(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
             p.total_power.value(),
             100.0 * p.dark_fraction,
             p.peak_temperature.value()
-        );
+        )?;
     }
-    println!(
+    writeln!(
+        out,
         "\nThe §3.3 trade-off made explicit: both axes (threads, V/f) appear on the frontier."
-    );
-    dump(options, "pareto", &frontier)
+    )?;
+    Ok(frontier.to_json())
 }
 
-fn fig14(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+fn fig14(_options: &Options, out: &mut String) -> Result<Json, Box<dyn std::error::Error>> {
     let rows = darksil_bench::fig14()?;
-    println!("app           NTC[kJ]  STC1[kJ]  STC2[kJ]  NTC wins");
+    writeln!(out, "app           NTC[kJ]  STC1[kJ]  STC2[kJ]  NTC wins")?;
     for r in &rows {
-        println!(
+        writeln!(
+            out,
             "{:<13} {:>7.2}  {:>8.2}  {:>8.2}  {}",
             r.app.name(),
             r.ntc.energy.value() / 1e3,
             r.stc_one_thread.energy.value() / 1e3,
             r.stc_two_threads.energy.value() / 1e3,
             r.ntc_wins()
-        );
+        )?;
     }
     let (ntc, stc1, stc2) = fig14_total_energy(&rows);
-    println!(
+    writeln!(
+        out,
         "totals: NTC {:.1} kJ vs STC1 {:.1} kJ vs STC2 {:.1} kJ",
         ntc.value() / 1e3,
         stc1.value() / 1e3,
         stc2.value() / 1e3
-    );
-    dump(options, "fig14", &rows)
+    )?;
+    Ok(rows.to_json())
 }

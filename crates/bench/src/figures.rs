@@ -1,15 +1,22 @@
 //! Data builders, one per table/figure.
+//!
+//! The multi-panel figures fan their independent inner loops (per-app,
+//! per-node, per-instance-count work) out over `darksil-engine`; the
+//! engine returns results in submission order, so the emitted series
+//! are byte-identical at any `--jobs` setting.
 
 use darksil_archsim::{McPatSampler, SampleSweep};
 use darksil_boost::{
     iso_performance_comparison, run_boosting, run_constant, sweep_active_cores, IsoPerfComparison,
-    PolicyConfig, SweepPoint,
+    PolicyConfig, PolicyTrace, SweepPoint,
 };
-use darksil_core::{scenarios, tsp_eval, DarkSiliconEstimator, EstimateError};
+use darksil_core::{scenarios, tsp_eval, DarkSiliconEstimator};
+use darksil_engine::Engine;
 use darksil_mapping::{
     place_contiguous, place_patterned, place_thermal_aware, DsRem, Platform, TdpMap,
 };
 use darksil_power::{CorePowerModel, LeakageModel, OperatingRegion, TechnologyNode, VfRelation};
+use darksil_robust::DarksilError;
 use darksil_units::{Celsius, Gips, Hertz, Joules, Seconds, Volts, Watts};
 use darksil_workload::{ParsecApp, Workload};
 
@@ -251,16 +258,19 @@ pub struct Fig5Panel {
 /// # Errors
 ///
 /// Propagates estimation failures.
-pub fn fig5() -> Result<Vec<Fig5Panel>, EstimateError> {
+pub fn fig5() -> Result<Vec<Fig5Panel>, DarksilError> {
     let est = DarkSiliconEstimator::for_node(TechnologyNode::Nm16)?;
     let freqs = [2.8, 3.0, 3.2, 3.4, 3.6];
+    let engine = Engine::auto();
     let mut panels = Vec::new();
     for tdp_w in [220.0, 185.0] {
         let tdp = Watts::new(tdp_w);
-        let mut cells = Vec::new();
-        let mut peaks = Vec::new();
-        let mut any_violation = false;
-        for app in ParsecApp::ALL {
+        // One job per application; submission order preserves the
+        // `ParsecApp::ALL` row order of the panel.
+        let per_app = engine.try_par_map(ParsecApp::ALL.to_vec(), |app| {
+            let mut cells = Vec::new();
+            let mut peak = None;
+            let mut violation = false;
             for ghz in freqs {
                 let e = est.under_power_budget(app, 8, Hertz::from_ghz(ghz), tdp)?;
                 cells.push(Fig5Cell {
@@ -270,10 +280,19 @@ pub fn fig5() -> Result<Vec<Fig5Panel>, EstimateError> {
                     dark_percent: 100.0 * e.dark_fraction,
                 });
                 if (ghz - 3.6).abs() < 1e-9 {
-                    peaks.push((app, e.peak_temperature));
-                    any_violation |= e.thermal_violation;
+                    peak = Some((app, e.peak_temperature));
+                    violation |= e.thermal_violation;
                 }
             }
+            Ok((cells, peak, violation))
+        })?;
+        let mut cells = Vec::new();
+        let mut peaks = Vec::new();
+        let mut any_violation = false;
+        for (app_cells, peak, violation) in per_app {
+            cells.extend(app_cells);
+            peaks.extend(peak);
+            any_violation |= violation;
         }
         panels.push(Fig5Panel {
             tdp,
@@ -320,28 +339,31 @@ pub struct Fig6Panel {
 /// # Errors
 ///
 /// Propagates estimation failures.
-pub fn fig6() -> Result<Vec<Fig6Panel>, EstimateError> {
+pub fn fig6() -> Result<Vec<Fig6Panel>, DarksilError> {
+    let engine = Engine::auto();
     let mut panels = Vec::new();
     for node in [TechnologyNode::Nm16, TechnologyNode::Nm11] {
         let est = DarkSiliconEstimator::for_node(node)?;
         let f = node.nominal_max_frequency();
-        let mut rows = Vec::new();
-        let mut reductions = Vec::new();
-        for app in ParsecApp::ALL {
+        // Both constraints for one application are a single job; rows
+        // come back in `ParsecApp::ALL` order.
+        let rows = engine.try_par_map(ParsecApp::ALL.to_vec(), |app| {
             let tdp = est.under_power_budget(app, 8, f, Watts::new(185.0))?;
             let thermal = est.under_temperature_constraint(app, 8, f)?;
-            let row = Fig6Row {
+            Ok(Fig6Row {
                 app,
                 dark_tdp_percent: 100.0 * tdp.dark_fraction,
                 dark_thermal_percent: 100.0 * thermal.dark_fraction,
-            };
+            })
+        })?;
+        let mut reductions = Vec::new();
+        for row in &rows {
             if row.dark_tdp_percent > 0.0 {
                 reductions.push(
                     100.0 * (row.dark_tdp_percent - row.dark_thermal_percent)
                         / row.dark_tdp_percent,
                 );
             }
-            rows.push(row);
         }
         let average_reduction_percent = if reductions.is_empty() {
             0.0
@@ -398,16 +420,16 @@ pub struct Fig7Panel {
 /// # Errors
 ///
 /// Propagates estimation failures.
-pub fn fig7() -> Result<Vec<Fig7Panel>, EstimateError> {
+pub fn fig7() -> Result<Vec<Fig7Panel>, DarksilError> {
+    let engine = Engine::auto();
     let mut panels = Vec::new();
     for node in [TechnologyNode::Nm16, TechnologyNode::Nm11] {
         let est = DarkSiliconEstimator::for_node(node)?;
-        let mut rows = Vec::new();
-        let mut max_gain: f64 = 1.0;
-        for app in ParsecApp::ALL {
+        // The scenario search per application is independent; the gain
+        // fold below runs over the ordered results.
+        let per_app = engine.try_par_map(ParsecApp::ALL.to_vec(), |app| {
             let c = scenarios::compare(&est, app, Watts::new(185.0))?;
-            max_gain = max_gain.max(c.gain());
-            rows.push(Fig7Row {
+            let row = Fig7Row {
                 app,
                 nominal_gips: c.nominal.total_gips,
                 tuned_gips: c.tuned.total_gips,
@@ -415,7 +437,14 @@ pub fn fig7() -> Result<Vec<Fig7Panel>, EstimateError> {
                 tuned_active_percent: 100.0 * (1.0 - c.tuned.dark_fraction),
                 chosen_threads: c.config.threads,
                 chosen_frequency: c.config.frequency,
-            });
+            };
+            Ok((row, c.gain()))
+        })?;
+        let mut rows = Vec::new();
+        let mut max_gain: f64 = 1.0;
+        for (row, gain) in per_app {
+            max_gain = max_gain.max(gain);
+            rows.push(row);
         }
         panels.push(Fig7Panel {
             node,
@@ -577,26 +606,33 @@ pub struct Fig10Bar {
 /// # Errors
 ///
 /// Propagates estimation failures.
-pub fn fig10() -> Result<Vec<Fig10Bar>, EstimateError> {
+pub fn fig10() -> Result<Vec<Fig10Bar>, DarksilError> {
     let cases = [
         (TechnologyNode::Nm16, [0.10, 0.20, 0.30]),
         (TechnologyNode::Nm11, [0.20, 0.30, 0.40]),
         (TechnologyNode::Nm8, [0.30, 0.40, 0.50]),
     ];
-    let mut bars = Vec::new();
+    // Build the estimators serially (cheap, fallible setup), then fan
+    // every (node, fraction) TSP evaluation out as one job.
+    let mut estimators = Vec::new();
+    let mut jobs = Vec::new();
     for (node, fractions) in cases {
-        let est = DarkSiliconEstimator::for_node(node)?;
+        estimators.push((node, DarkSiliconEstimator::for_node(node)?));
+        let est_index = estimators.len() - 1;
         for dark in fractions {
-            let perf = tsp_eval::tsp_performance(&est, dark)?;
-            bars.push(Fig10Bar {
-                node,
-                dark_fraction: dark,
-                total_gips: perf.total_gips,
-                tsp_per_core: perf.tsp_per_core,
-            });
+            jobs.push((est_index, dark));
         }
     }
-    Ok(bars)
+    Engine::auto().try_par_map(jobs, |(est_index, dark)| {
+        let (node, est) = &estimators[est_index];
+        let perf = tsp_eval::tsp_performance(est, dark)?;
+        Ok(Fig10Bar {
+            node: *node,
+            dark_fraction: dark,
+            total_gips: perf.total_gips,
+            tsp_per_core: perf.tsp_per_core,
+        })
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -636,8 +672,18 @@ pub fn fig11(fidelity: Fidelity) -> Result<Fig11, Box<dyn std::error::Error>> {
         ..PolicyConfig::default()
     };
     let horizon = fidelity.horizon();
-    let boost = run_boosting(&platform, &mapping, horizon, &config)?;
-    let constant = run_constant(&platform, &mapping, horizon, &config)?;
+    // The two policies simulate the same mapping independently — run
+    // them as two engine jobs and destructure in submission order.
+    let traces = Engine::auto().try_par_map(vec![true, false], |boosting| {
+        Ok(if boosting {
+            run_boosting(&platform, &mapping, horizon, &config)?
+        } else {
+            run_constant(&platform, &mapping, horizon, &config)?
+        })
+    })?;
+    let [boost, constant]: [PolicyTrace; 2] = traces
+        .try_into()
+        .map_err(|_| DarksilError::internal("fig11 expected exactly two policy traces"))?;
 
     let decimate = |trace: &darksil_boost::PolicyTrace| {
         let stride = (trace.len() / 200).max(1);
@@ -715,27 +761,32 @@ pub fn fig13(fidelity: Fidelity) -> Result<Vec<Fig13Row>, Box<dyn std::error::Er
         ..PolicyConfig::default()
     };
     let horizon = fidelity.sweep_horizon();
-    let mut rows = Vec::new();
+    let mut pairs = Vec::new();
     for app in ParsecApp::ALL {
         for instances in [12_usize, 24] {
-            let workload = Workload::uniform(app, instances, 8)?;
-            if workload.total_threads() > platform.core_count() {
-                continue;
-            }
-            let mapping = place_patterned(platform.floorplan(), &workload, platform.max_level())?;
-            let boost = run_boosting(&platform, &mapping, horizon, &config)?;
-            let constant = run_constant(&platform, &mapping, horizon, &config)?;
-            rows.push(Fig13Row {
-                app,
-                instances,
-                boosting_gips: boost.average_gips_tail(0.5),
-                constant_gips: constant.average_gips_tail(0.5),
-                boosting_peak_power: boost.peak_power(),
-                constant_peak_power: constant.peak_power(),
-            });
+            pairs.push((app, instances));
         }
     }
-    Ok(rows)
+    // Oversized groups are skipped (`None`), not errors, so the row
+    // list matches the serial loop after flattening.
+    let rows = Engine::auto().try_par_map(pairs, |(app, instances)| {
+        let workload = Workload::uniform(app, instances, 8)?;
+        if workload.total_threads() > platform.core_count() {
+            return Ok(None);
+        }
+        let mapping = place_patterned(platform.floorplan(), &workload, platform.max_level())?;
+        let boost = run_boosting(&platform, &mapping, horizon, &config)?;
+        let constant = run_constant(&platform, &mapping, horizon, &config)?;
+        Ok(Some(Fig13Row {
+            app,
+            instances,
+            boosting_gips: boost.average_gips_tail(0.5),
+            constant_gips: constant.average_gips_tail(0.5),
+            boosting_peak_power: boost.peak_power(),
+            constant_peak_power: constant.peak_power(),
+        }))
+    })?;
+    Ok(rows.into_iter().flatten().collect())
 }
 
 /// Regenerates Figure 14: STC (1 and 2 threads) vs NTC (8 threads at
@@ -747,10 +798,9 @@ pub fn fig13(fidelity: Fidelity) -> Result<Vec<Fig13Row>, Box<dyn std::error::Er
 /// Propagates power-model failures.
 pub fn fig14() -> Result<Vec<IsoPerfComparison>, Box<dyn std::error::Error>> {
     let platform = Platform::for_node(TechnologyNode::Nm11)?;
-    let mut rows = Vec::new();
-    for app in ParsecApp::ALL {
-        rows.push(iso_performance_comparison(&platform, app, 24, 500.0)?);
-    }
+    let rows = Engine::auto().try_par_map(ParsecApp::ALL.to_vec(), |app| {
+        Ok(iso_performance_comparison(&platform, app, 24, 500.0)?)
+    })?;
     Ok(rows)
 }
 

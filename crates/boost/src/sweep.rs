@@ -1,11 +1,13 @@
 //! Active-core sweeps: performance and power vs number of active cores
 //! (Figures 12 and 13).
 
+use darksil_engine::Engine;
 use darksil_mapping::{place_patterned, Platform};
+use darksil_robust::DarksilError;
 use darksil_units::{Gips, Seconds, Watts};
 use darksil_workload::{ParsecApp, Workload};
 
-use crate::{run_boosting, run_constant, BoostError, PolicyConfig};
+use crate::{run_boosting, run_constant, PolicyConfig};
 
 /// One point of the Figure 12 sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,34 +32,43 @@ pub struct SweepPoint {
 /// 100 s at 1 ms, which is what the bench harness runs — tests use a
 /// coarser period via `config`.
 ///
+/// The per-instance-count transients are independent, so they fan out
+/// over the execution engine (`--jobs` / `DARKSIL_JOBS`); results come
+/// back in instance-count order regardless of completion order.
+///
 /// # Errors
 ///
-/// Propagates mapping and simulation failures.
+/// Propagates mapping and simulation failures, classified into the
+/// workspace taxonomy.
 pub fn sweep_active_cores(
     platform: &Platform,
     app: ParsecApp,
     max_instances: usize,
     settle_time: Seconds,
     config: &PolicyConfig,
-) -> Result<Vec<SweepPoint>, BoostError> {
-    let mut points = Vec::with_capacity(max_instances);
+) -> Result<Vec<SweepPoint>, DarksilError> {
+    // Build the (cheap) workloads serially so the capacity cut-off
+    // stays a plain loop; only the expensive transients fan out.
+    let mut workloads = Vec::with_capacity(max_instances);
     for count in 1..=max_instances {
         let workload = Workload::uniform(app, count, 8)?;
         if workload.total_threads() > platform.core_count() {
             break;
         }
+        workloads.push(workload);
+    }
+    Engine::auto().try_par_map(workloads, |workload| {
         let mapping = place_patterned(platform.floorplan(), &workload, platform.max_level())?;
         let boost = run_boosting(platform, &mapping, settle_time, config)?;
         let constant = run_constant(platform, &mapping, settle_time, config)?;
-        points.push(SweepPoint {
+        Ok(SweepPoint {
             active_cores: workload.total_threads(),
             boosting_gips: boost.average_gips_tail(0.5),
             boosting_power: boost.peak_power(),
             constant_gips: constant.average_gips_tail(0.5),
             constant_power: constant.peak_power(),
-        });
-    }
-    Ok(points)
+        })
+    })
 }
 
 darksil_json::impl_json!(struct SweepPoint {

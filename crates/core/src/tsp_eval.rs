@@ -7,11 +7,13 @@
 //! 30 % at 11 nm and 40 % at 8 nm and finds total performance *still
 //! rising* with technology scaling despite the growing dark fraction.
 
+use darksil_engine::Engine;
+use darksil_robust::DarksilError;
 use darksil_tsp::TspCalculator;
 use darksil_units::{Celsius, Gips, Watts};
 use darksil_workload::{ParsecApp, MAX_THREADS_PER_INSTANCE};
 
-use crate::{DarkSiliconEstimator, EstimateError};
+use crate::DarkSiliconEstimator;
 
 /// Result of one TSP-budgeted evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,13 +35,17 @@ pub struct TspPerformance {
 /// chip; every instance runs at the fastest ladder level whose per-core
 /// power stays within the worst-case TSP for that active-core count.
 ///
+/// The per-instance level search fans out over the execution engine
+/// (`--jobs` / `DARKSIL_JOBS`); contributions are summed in instance
+/// order, so the result is bit-identical at any worker count.
+///
 /// # Errors
 ///
-/// Propagates thermal failures.
+/// Propagates thermal failures, classified into the workspace taxonomy.
 pub fn tsp_performance(
     est: &DarkSiliconEstimator,
     dark_fraction: f64,
-) -> Result<TspPerformance, EstimateError> {
+) -> Result<TspPerformance, DarksilError> {
     assert!(
         (0.0..1.0).contains(&dark_fraction),
         "dark fraction must be in [0, 1)"
@@ -54,9 +60,7 @@ pub fn tsp_performance(
     let tsp = tsp_calc.for_mapping(&tsp_calc.worst_case_mapping(used_cores.max(1)))?;
 
     let admission = Celsius::new(80.0);
-    let mut total_gips = Gips::zero();
-    let mut total_power = Watts::zero();
-    for i in 0..instances {
+    let contributions = Engine::auto().try_par_map((0..instances).collect(), |i| {
         let app = ParsecApp::ALL[i % ParsecApp::ALL.len()];
         let profile = app.profile();
         let model = platform.app_model(app);
@@ -73,14 +77,25 @@ pub fn tsp_performance(
                 break;
             }
         }
-        if let Some((level, per_core)) = chosen {
-            total_gips += profile.instance_gips(
-                platform.core_model(),
-                MAX_THREADS_PER_INSTANCE,
-                level.frequency,
-            );
-            total_power += per_core * MAX_THREADS_PER_INSTANCE as f64;
-        }
+        Ok(chosen.map(|(level, per_core)| {
+            (
+                profile.instance_gips(
+                    platform.core_model(),
+                    MAX_THREADS_PER_INSTANCE,
+                    level.frequency,
+                ),
+                per_core * MAX_THREADS_PER_INSTANCE as f64,
+            )
+        }))
+    })?;
+    // Sum in submission (instance) order: float addition is not
+    // associative, so this is what keeps the result independent of the
+    // worker count.
+    let mut total_gips = Gips::zero();
+    let mut total_power = Watts::zero();
+    for (gips, power) in contributions.into_iter().flatten() {
+        total_gips += gips;
+        total_power += power;
     }
 
     Ok(TspPerformance {

@@ -1,0 +1,314 @@
+//! Content-addressed result cache with an in-memory front and an
+//! on-disk store.
+//!
+//! A cache key is a stable 64-bit FNV-1a digest over the artefact
+//! name, a code-version salt, and the canonical (compact) JSON of the
+//! job's scenario inputs. Changing any of the three changes the digest
+//! and therefore the on-disk file name, so stale entries simply miss —
+//! no mtime heuristics. Entries that *do* resolve but are unreadable
+//! (truncated file, hand-edited garbage, digest/salt mismatch inside
+//! the envelope) are reported as [`CacheOutcome::Recovered`] with a
+//! typed [`DarksilError`] diagnostic and the value is recomputed; a bad
+//! cache can never fail a run.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::ErrorKind;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use darksil_json::Json;
+use darksil_robust::DarksilError;
+
+/// Where drivers keep the on-disk store by default.
+pub const DEFAULT_CACHE_DIR: &str = "results/.cache";
+
+/// Envelope schema marker; bump when the on-disk layout changes.
+const SCHEMA: &str = "darksil-cache-v1";
+
+/// Stable 64-bit FNV-1a hash. Not cryptographic — it keys a local
+/// result cache, where speed and stability across runs are what
+/// matters.
+#[must_use]
+pub fn stable_hash(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The content address of one cached result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey {
+    artefact: String,
+    digest: u64,
+}
+
+impl CacheKey {
+    /// Builds the key for `artefact` with the given scenario `inputs`
+    /// and code-version `salt`.
+    #[must_use]
+    pub fn new(artefact: &str, inputs: &Json, salt: &str) -> Self {
+        let mut material = String::new();
+        material.push_str(artefact);
+        material.push('\0');
+        material.push_str(salt);
+        material.push('\0');
+        material.push_str(&inputs.compact());
+        Self {
+            artefact: artefact.to_string(),
+            digest: stable_hash(material.as_bytes()),
+        }
+    }
+
+    /// The artefact name this key belongs to.
+    #[must_use]
+    pub fn artefact(&self) -> &str {
+        &self.artefact
+    }
+
+    /// The digest as a fixed-width hex string (JSON-safe: a raw u64
+    /// does not survive an f64 round trip).
+    #[must_use]
+    pub fn digest_hex(&self) -> String {
+        format!("{:016x}", self.digest)
+    }
+
+    /// The on-disk file name: `<artefact>-<digest>.json`, with the
+    /// artefact sanitised to a conservative character set.
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        let safe: String = self
+            .artefact
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        format!("{safe}-{}.json", self.digest_hex())
+    }
+}
+
+/// How a cache consultation went.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheOutcome {
+    /// The entry was served from memory or disk.
+    Hit,
+    /// No entry existed; the value was (or must be) computed.
+    Miss,
+    /// An entry existed but was corrupt or stale; it was discarded and
+    /// the value recomputed. Carries the diagnostic.
+    Recovered(DarksilError),
+}
+
+impl CacheOutcome {
+    /// Stable lowercase label for machine-readable reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Hit => "hit",
+            Self::Miss => "miss",
+            Self::Recovered(_) => "recovered",
+        }
+    }
+
+    /// Whether the value was served without recomputation.
+    #[must_use]
+    pub fn is_hit(&self) -> bool {
+        matches!(self, Self::Hit)
+    }
+}
+
+/// The cache: an in-memory map in front of a directory of JSON
+/// envelopes. Safe to share across worker threads by reference.
+pub struct ResultCache {
+    dir: PathBuf,
+    salt: String,
+    memory: Mutex<HashMap<String, Json>>,
+}
+
+impl ResultCache {
+    /// Opens (lazily — the directory is created on first store) a cache
+    /// rooted at `dir` with the given code-version `salt`.
+    pub fn open(dir: impl Into<PathBuf>, salt: impl Into<String>) -> Self {
+        Self {
+            dir: dir.into(),
+            salt: salt.into(),
+            memory: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The on-disk root.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Builds the content address for `artefact` under this cache's
+    /// salt.
+    #[must_use]
+    pub fn key(&self, artefact: &str, inputs: &Json) -> CacheKey {
+        CacheKey::new(artefact, inputs, &self.salt)
+    }
+
+    /// Looks the key up in memory, then on disk. Never fails: disk
+    /// problems are folded into the returned [`CacheOutcome`].
+    pub fn lookup(&self, key: &CacheKey) -> (Option<Json>, CacheOutcome) {
+        let name = key.file_name();
+        if let Ok(memory) = self.memory.lock() {
+            if let Some(payload) = memory.get(&name) {
+                return (Some(payload.clone()), CacheOutcome::Hit);
+            }
+        }
+        match self.load_from_disk(key, &name) {
+            Ok(Some(payload)) => {
+                if let Ok(mut memory) = self.memory.lock() {
+                    memory.insert(name, payload.clone());
+                }
+                (Some(payload), CacheOutcome::Hit)
+            }
+            Ok(None) => (None, CacheOutcome::Miss),
+            Err(diagnostic) => (None, CacheOutcome::Recovered(diagnostic)),
+        }
+    }
+
+    /// Writes `payload` for `key` to memory and disk (atomically, via a
+    /// temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DarksilError`] of class `io` when the store cannot
+    /// be written; callers that only cache opportunistically may ignore
+    /// it.
+    pub fn store(&self, key: &CacheKey, payload: &Json) -> Result<(), DarksilError> {
+        let name = key.file_name();
+        let envelope = Json::Obj(vec![
+            ("schema".to_string(), Json::Str(SCHEMA.to_string())),
+            (
+                "artefact".to_string(),
+                Json::Str(key.artefact().to_string()),
+            ),
+            ("salt".to_string(), Json::Str(self.salt.clone())),
+            ("digest".to_string(), Json::Str(key.digest_hex())),
+            ("payload".to_string(), payload.clone()),
+        ]);
+        fs::create_dir_all(&self.dir)
+            .map_err(|e| DarksilError::io(format!("cannot create {}: {e}", self.dir.display())))?;
+        let path = self.dir.join(&name);
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        fs::write(&tmp, envelope.pretty())
+            .map_err(|e| DarksilError::io(format!("cannot write {}: {e}", tmp.display())))?;
+        fs::rename(&tmp, &path)
+            .map_err(|e| DarksilError::io(format!("cannot commit {}: {e}", path.display())))?;
+        if let Ok(mut memory) = self.memory.lock() {
+            memory.insert(name, payload.clone());
+        }
+        Ok(())
+    }
+
+    /// Serves `key` from the cache or computes and stores it.
+    ///
+    /// A corrupt or stale entry is discarded ([`CacheOutcome::Recovered`])
+    /// and the value recomputed; a failure to *store* the fresh value is
+    /// likewise folded into the outcome rather than failing the call.
+    ///
+    /// # Errors
+    ///
+    /// Only `compute`'s own error is propagated.
+    pub fn get_or_compute(
+        &self,
+        key: &CacheKey,
+        compute: impl FnOnce() -> Result<Json, DarksilError>,
+    ) -> Result<(Json, CacheOutcome), DarksilError> {
+        let (cached, outcome) = self.lookup(key);
+        if let Some(payload) = cached {
+            return Ok((payload, outcome));
+        }
+        let payload = compute()?;
+        let outcome = match (self.store(key, &payload), outcome) {
+            (Ok(()), outcome) => outcome,
+            (Err(diag), CacheOutcome::Recovered(prior)) => {
+                CacheOutcome::Recovered(diag.context(prior.to_string()))
+            }
+            (Err(diag), _) => CacheOutcome::Recovered(diag),
+        };
+        Ok((payload, outcome))
+    }
+
+    /// Reads and validates one envelope. `Ok(None)` means "no entry";
+    /// `Err` means "entry present but unusable".
+    fn load_from_disk(&self, key: &CacheKey, name: &str) -> Result<Option<Json>, DarksilError> {
+        let path = self.dir.join(name);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(DarksilError::io(format!(
+                    "cannot read cache entry {}: {e}",
+                    path.display()
+                )))
+            }
+        };
+        let envelope = darksil_json::parse(&text).map_err(|e| {
+            DarksilError::cache(format!("corrupt cache entry {}: {e}", path.display()))
+        })?;
+        let field = |name: &str| {
+            envelope.get(name).and_then(|v| match v {
+                Json::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+        };
+        if field("schema") != Some(SCHEMA)
+            || field("salt") != Some(self.salt.as_str())
+            || field("digest") != Some(key.digest_hex().as_str())
+            || field("artefact") != Some(key.artefact())
+        {
+            return Err(DarksilError::cache(format!(
+                "stale cache entry {} (schema/salt/digest mismatch)",
+                path.display()
+            )));
+        }
+        envelope.get("payload").cloned().map(Some).ok_or_else(|| {
+            DarksilError::cache(format!("cache entry {} has no payload", path.display()))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(stable_hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(stable_hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(stable_hash(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn keys_are_stable_and_sensitive_to_every_component() {
+        let inputs = Json::Obj(vec![("fidelity".into(), Json::Str("quick".into()))]);
+        let a = CacheKey::new("fig5", &inputs, "v1");
+        let b = CacheKey::new("fig5", &inputs, "v1");
+        assert_eq!(a, b);
+        assert_ne!(a, CacheKey::new("fig6", &inputs, "v1"));
+        assert_ne!(a, CacheKey::new("fig5", &inputs, "v2"));
+        let other = Json::Obj(vec![("fidelity".into(), Json::Str("paper".into()))]);
+        assert_ne!(a, CacheKey::new("fig5", &other, "v1"));
+    }
+
+    #[test]
+    fn file_names_are_sanitised() {
+        let key = CacheKey::new("weird/../name", &Json::Null, "v1");
+        let name = key.file_name();
+        assert!(!name.contains('/'), "{name}");
+        assert!(name.ends_with(".json"), "{name}");
+    }
+}

@@ -1,0 +1,98 @@
+//! `darksil-engine` — the workspace's parallel execution subsystem.
+//!
+//! Three pieces, all std-only (the workspace is dependency-free by
+//! design):
+//!
+//! - [`ThreadPool`], a fixed-size worker pool over `std::thread` with a
+//!   `Mutex`/`Condvar` job queue and `mpsc` result channels. Every job
+//!   runs under `catch_unwind`, so a panicking job surfaces as a
+//!   classified [`DarksilError`] on its [`JobHandle`] instead of taking
+//!   a worker (or the process) down.
+//! - [`Engine::par_map`], a deterministic fan-out primitive: results
+//!   come back **in submission order** regardless of completion order,
+//!   so `--jobs 4` output is byte-identical to `--jobs 1`. With one job
+//!   the pool is bypassed entirely — jobs run inline on the caller's
+//!   thread, which keeps serial debugging trivial.
+//! - [`ResultCache`], a content-addressed result cache. Jobs are keyed
+//!   by a stable FNV-1a hash of their scenario inputs plus a
+//!   code-version salt; hits are served from an in-memory map backed by
+//!   an on-disk store (default `results/.cache/`) written via
+//!   `darksil-json`. Corrupt or stale entries fall back to
+//!   recomputation with a typed [`DarksilError`] diagnostic
+//!   (`cache`/`io` class) rather than failing the run.
+//!
+//! # Worker-count resolution
+//!
+//! Drivers pick the parallelism once via [`set_default_jobs`] (the
+//! `--jobs` flag); otherwise the `DARKSIL_JOBS` environment variable
+//! applies, and failing that [`std::thread::available_parallelism`].
+//! [`Engine::auto`] reads the resolved value.
+
+mod cache;
+mod par_map;
+mod pool;
+
+pub use cache::{stable_hash, CacheKey, CacheOutcome, ResultCache, DEFAULT_CACHE_DIR};
+pub use par_map::Engine;
+pub use pool::{JobHandle, ThreadPool};
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide default worker count; 0 means "not configured".
+static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default worker count used by [`Engine::auto`].
+///
+/// Passing 0 clears the override, restoring the `DARKSIL_JOBS` /
+/// `available_parallelism` fallback chain.
+pub fn set_default_jobs(jobs: usize) {
+    DEFAULT_JOBS.store(jobs, Ordering::SeqCst);
+}
+
+/// Resolves the default worker count: the [`set_default_jobs`] override
+/// if any, else a positive integer `DARKSIL_JOBS`, else
+/// [`std::thread::available_parallelism`], else 1.
+#[must_use]
+pub fn default_jobs() -> usize {
+    let configured = DEFAULT_JOBS.load(Ordering::SeqCst);
+    if configured > 0 {
+        return configured;
+    }
+    if let Ok(value) = std::env::var("DARKSIL_JOBS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Extracts a human-readable message from a panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn panic_messages_are_extracted() {
+        let boxed: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(panic_message(boxed.as_ref()), "static str");
+        let boxed: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_message(boxed.as_ref()), "owned");
+        let boxed: Box<dyn std::any::Any + Send> = Box::new(42_u32);
+        assert_eq!(panic_message(boxed.as_ref()), "opaque panic payload");
+    }
+}

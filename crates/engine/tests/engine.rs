@@ -1,0 +1,248 @@
+//! Integration tests for the execution engine: the determinism
+//! contract, cache hit/invalidation/recovery behaviour, and panic
+//! isolation under fire.
+
+use std::fs;
+use std::path::PathBuf;
+
+use darksil_engine::{CacheKey, CacheOutcome, Engine, ResultCache, ThreadPool};
+use darksil_json::{Json, ToJson};
+use darksil_robust::{DarksilError, ErrorClass};
+use proptest::prelude::*;
+
+/// A fresh scratch directory per test, cleaned up at the end.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(test: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("darksil-engine-{test}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Self(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The "fixed scenario" of the determinism tests: a deterministic
+/// pseudo-workload whose output is sensitive to evaluation order if the
+/// engine ever got it wrong.
+fn scenario_job(seed: u64) -> Result<Json, DarksilError> {
+    let mut acc = 0.0_f64;
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    for _ in 0..512 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        acc += (state % 1000) as f64 / 997.0;
+    }
+    Ok(Json::Obj(vec![
+        ("seed".to_string(), Json::Num(seed as f64)),
+        ("metric".to_string(), Json::Num(acc)),
+    ]))
+}
+
+#[test]
+fn jobs_4_output_is_byte_identical_to_jobs_1() {
+    let items: Vec<u64> = (0..57).collect();
+    let serial = Engine::new(1).par_map(items.clone(), scenario_job);
+    let parallel = Engine::new(4).par_map(items, scenario_job);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        let s = s.as_ref().expect("serial job succeeds");
+        let p = p.as_ref().expect("parallel job succeeds");
+        // Byte-level comparison of the serialised artefacts, the same
+        // form repro writes to disk.
+        assert_eq!(s.pretty(), p.pretty());
+    }
+}
+
+#[test]
+fn cache_hits_on_unchanged_inputs() {
+    let scratch = Scratch::new("hit");
+    let cache = ResultCache::open(&scratch.0, "v1");
+    let inputs = Json::Obj(vec![("tdp".to_string(), Json::Num(185.0))]);
+    let key = cache.key("fig5", &inputs);
+
+    let (first, outcome) = cache
+        .get_or_compute(&key, || scenario_job(5))
+        .expect("compute succeeds");
+    assert_eq!(outcome, CacheOutcome::Miss);
+
+    let (second, outcome) = cache
+        .get_or_compute(&key, || panic!("must not recompute on a warm cache"))
+        .expect("served from cache");
+    assert!(outcome.is_hit());
+    assert_eq!(first.pretty(), second.pretty());
+
+    // A second cache instance over the same directory (cold memory,
+    // warm disk) also hits.
+    let reopened = ResultCache::open(&scratch.0, "v1");
+    let (third, outcome) = reopened
+        .get_or_compute(&key, || panic!("disk entry must satisfy the lookup"))
+        .expect("served from disk");
+    assert!(outcome.is_hit());
+    assert_eq!(first.pretty(), third.pretty());
+}
+
+#[test]
+fn cache_invalidates_when_inputs_or_salt_change() {
+    let scratch = Scratch::new("invalidate");
+    let cache = ResultCache::open(&scratch.0, "v1");
+    let inputs = Json::Obj(vec![("tdp".to_string(), Json::Num(185.0))]);
+    let key = cache.key("fig5", &inputs);
+    cache
+        .get_or_compute(&key, || scenario_job(5))
+        .expect("seed the cache");
+
+    // Changed scenario JSON → different digest → miss.
+    let changed = Json::Obj(vec![("tdp".to_string(), Json::Num(220.0))]);
+    let (_, outcome) = cache
+        .get_or_compute(&cache.key("fig5", &changed), || scenario_job(6))
+        .expect("recompute");
+    assert_eq!(outcome, CacheOutcome::Miss);
+
+    // Changed code-version salt → different digest → miss, even for
+    // identical inputs.
+    let bumped = ResultCache::open(&scratch.0, "v2");
+    let (_, outcome) = bumped
+        .get_or_compute(&bumped.key("fig5", &inputs), || scenario_job(5))
+        .expect("recompute under new salt");
+    assert_eq!(outcome, CacheOutcome::Miss);
+}
+
+#[test]
+fn truncated_or_corrupt_entries_recover_with_a_typed_diagnostic() {
+    let scratch = Scratch::new("corrupt");
+    let cache = ResultCache::open(&scratch.0, "v1");
+    let key = cache.key("fig9", &Json::Null);
+    cache
+        .get_or_compute(&key, || scenario_job(9))
+        .expect("seed the cache");
+
+    // Truncate the entry mid-document.
+    let path = scratch.0.join(key.file_name());
+    let text = fs::read_to_string(&path).expect("entry exists");
+    fs::write(&path, &text[..text.len() / 2]).expect("truncate");
+
+    // A cold cache must recover: recompute, report the diagnostic.
+    let cold = ResultCache::open(&scratch.0, "v1");
+    let (payload, outcome) = cold
+        .get_or_compute(&key, || scenario_job(9))
+        .expect("recovery never fails the run");
+    match outcome {
+        CacheOutcome::Recovered(diag) => {
+            assert_eq!(diag.class(), ErrorClass::Cache);
+            assert!(diag.to_string().contains("corrupt"), "{diag}");
+        }
+        other => panic!("expected recovery, got {other:?}"),
+    }
+    assert_eq!(
+        payload.pretty(),
+        scenario_job(9).expect("reference value").pretty()
+    );
+
+    // The recomputed value was re-stored: next lookup hits again.
+    let rewarmed = ResultCache::open(&scratch.0, "v1");
+    let (_, outcome) = rewarmed
+        .get_or_compute(&key, || panic!("entry was repaired"))
+        .expect("hit after repair");
+    assert!(outcome.is_hit());
+
+    // An envelope whose salt field was tampered with is stale, not
+    // silently trusted.
+    let envelope = fs::read_to_string(&path).expect("entry exists");
+    fs::write(&path, envelope.replace("\"v1\"", "\"v0\"")).expect("tamper");
+    let tampered = ResultCache::open(&scratch.0, "v1");
+    let (_, outcome) = tampered
+        .get_or_compute(&key, || scenario_job(9))
+        .expect("stale envelope recomputes");
+    assert!(
+        matches!(outcome, CacheOutcome::Recovered(ref d) if d.class() == ErrorClass::Cache),
+        "{outcome:?}"
+    );
+}
+
+#[test]
+fn cache_key_digest_survives_json_round_trip() {
+    // Digests are stored as hex strings because u64 > 2^53 does not
+    // survive an f64 round trip; verify the representation is stable.
+    let key = CacheKey::new("fig10", &Json::Num(0.3), "v1");
+    assert_eq!(key.digest_hex().len(), 16);
+    assert_eq!(key.file_name(), format!("fig10-{}.json", key.digest_hex()));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A pool fed a mixed batch of healthy and panicking jobs returns
+    /// ordered results for the survivors and a typed internal error for
+    /// every panicker — regardless of worker count.
+    #[test]
+    fn pool_with_injected_panics_keeps_survivors_ordered(
+        plan in prop::collection::vec(any::<bool>(), 1..40),
+        workers in 1_usize..6,
+    ) {
+        let engine = Engine::new(workers);
+        let items: Vec<(usize, bool)> = plan.iter().copied().enumerate().collect();
+        let results = engine.par_map(items, |(index, panics)| {
+            assert!(!panics, "injected panic in job {index}");
+            Ok(index * 10)
+        });
+        prop_assert_eq!(results.len(), plan.len());
+        for (index, (result, panics)) in results.iter().zip(&plan).enumerate() {
+            if *panics {
+                let err = result.as_ref().expect_err("panicking job must error");
+                prop_assert_eq!(err.class(), ErrorClass::Internal);
+            } else {
+                prop_assert_eq!(*result.as_ref().expect("survivor"), index * 10);
+            }
+        }
+    }
+
+    /// The persistent pool gives the same guarantee via handles.
+    #[test]
+    fn persistent_pool_survives_panic_storms(
+        plan in prop::collection::vec(any::<bool>(), 1..20),
+    ) {
+        let pool = ThreadPool::new(3).expect("spawn pool");
+        let handles: Vec<_> = plan
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(index, panics)| {
+                pool.submit(move || {
+                    assert!(!panics, "injected panic in job {index}");
+                    Ok(index)
+                })
+            })
+            .collect();
+        for (index, (handle, panics)) in handles.into_iter().zip(&plan).enumerate() {
+            let result = handle.join();
+            if *panics {
+                prop_assert_eq!(
+                    result.expect_err("panic surfaces").class(),
+                    ErrorClass::Internal
+                );
+            } else {
+                prop_assert_eq!(result.expect("survivor"), index);
+            }
+        }
+    }
+}
+
+#[test]
+fn outcome_labels_are_stable() {
+    assert_eq!(CacheOutcome::Hit.label(), "hit");
+    assert_eq!(CacheOutcome::Miss.label(), "miss");
+    assert_eq!(
+        CacheOutcome::Recovered(DarksilError::cache("x")).label(),
+        "recovered"
+    );
+    // Serialisable into reports.
+    assert_eq!("hit".to_json(), Json::Str("hit".into()));
+}

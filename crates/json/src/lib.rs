@@ -510,10 +510,13 @@ impl<'a> ObjReader<'a> {
 /// }
 /// impl_json!(struct Point { x, y } opt { label });
 ///
-/// let p: Point = from_str(r#"{ "x": 1, "y": 2.5 }"#).unwrap();
+/// # fn main() -> Result<(), darksil_json::JsonError> {
+/// let p: Point = from_str(r#"{ "x": 1, "y": 2.5 }"#)?;
 /// assert_eq!(p, Point { x: 1.0, y: 2.5, label: None });
-/// let round: Point = from_str(&to_string_pretty(&p)).unwrap();
+/// let round: Point = from_str(&to_string_pretty(&p))?;
 /// assert_eq!(round, p);
+/// # Ok(())
+/// # }
 /// ```
 #[macro_export]
 macro_rules! impl_json {
@@ -559,8 +562,11 @@ macro_rules! impl_json {
 /// enum Mode { Fast, Slow }
 /// impl_json_enum!(Mode { Fast => "fast", Slow => "slow" });
 ///
-/// assert_eq!(from_str::<Mode>("\"fast\"").unwrap(), Mode::Fast);
+/// # fn main() -> Result<(), darksil_json::JsonError> {
+/// assert_eq!(from_str::<Mode>("\"fast\"")?, Mode::Fast);
 /// assert!(from_str::<Mode>("\"warp\"").is_err());
+/// # Ok(())
+/// # }
 /// ```
 #[macro_export]
 macro_rules! impl_json_enum {

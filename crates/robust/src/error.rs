@@ -27,6 +27,9 @@ pub enum ErrorClass {
     Unsupported,
     /// Filesystem or serialisation failure.
     Io,
+    /// A result-cache entry was corrupt, stale, or unwritable; the
+    /// computation was (or must be) redone from scratch.
+    Cache,
     /// A deliberately injected fault surfaced to the caller.
     Injected,
     /// An invariant the library promises internally was broken.
@@ -45,6 +48,7 @@ impl ErrorClass {
             Self::Capacity => "capacity",
             Self::Unsupported => "unsupported",
             Self::Io => "io",
+            Self::Cache => "cache",
             Self::Injected => "injected",
             Self::Internal => "internal",
         }
@@ -121,6 +125,12 @@ impl DarksilError {
     #[must_use]
     pub fn io(message: impl Into<String>) -> Self {
         Self::new(ErrorClass::Io, message)
+    }
+
+    /// A corrupt, stale, or unwritable result-cache entry.
+    #[must_use]
+    pub fn cache(message: impl Into<String>) -> Self {
+        Self::new(ErrorClass::Cache, message)
     }
 
     /// A deliberately injected fault.
@@ -229,6 +239,7 @@ mod tests {
             ErrorClass::Capacity,
             ErrorClass::Unsupported,
             ErrorClass::Io,
+            ErrorClass::Cache,
             ErrorClass::Injected,
             ErrorClass::Internal,
         ];

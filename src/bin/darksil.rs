@@ -1,12 +1,23 @@
 //! The `darksil` command-line tool. All logic lives in
 //! `darksil::cli` so it stays unit-testable; this shim only
-//! adapts process arguments and exit codes.
+//! adapts process arguments and exit codes, and points the
+//! execution engine at the requested `--jobs` worker count.
 
 use std::env;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
+    let (args, jobs) = match darksil::cli::extract_jobs(&args) {
+        Ok(split) => split,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", darksil::cli::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(jobs) = jobs {
+        darksil_engine::set_default_jobs(jobs);
+    }
     match darksil::cli::parse(&args) {
         Ok(command) => match darksil::cli::run(&command) {
             Ok(()) => ExitCode::SUCCESS,

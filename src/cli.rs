@@ -10,11 +10,16 @@
 //! darksil map      --node <nm> --policy <tdpmap|dsrem> [--mix N] [--tdp W]
 //! darksil boost    --node <nm> [--app NAME] [--instances N] [--duration S]
 //! ```
+//!
+//! Every subcommand additionally accepts `--jobs N` to size the
+//! execution-engine worker pool (default: `DARKSIL_JOBS`, else the
+//! available parallelism; `--jobs 1` runs serially).
 
 use std::fmt;
 
 use darksil_boost::{run_boosting, run_constant, PolicyConfig};
 use darksil_core::DarkSiliconEstimator;
+use darksil_engine::Engine;
 use darksil_mapping::{place_patterned, DsRem, Platform, TdpMap};
 use darksil_power::TechnologyNode;
 use darksil_tsp::TspCalculator;
@@ -102,7 +107,39 @@ USAGE:
   darksil run      <scenario.json> [--json]
   darksil help
 
+Every subcommand also accepts --jobs N (worker threads for parallel
+sweeps; default DARKSIL_JOBS or the available parallelism).
+
 apps: x264 blackscholes bodytrack ferret canneal dedup swaptions";
+
+/// Splits `--jobs N` (accepted uniformly, anywhere on the command
+/// line) out of argv so the subcommand parsers never see it. Returns
+/// the remaining arguments and the requested worker count.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] when `--jobs` is missing its value or the
+/// value is not a positive integer.
+pub fn extract_jobs(args: &[String]) -> Result<(Vec<String>, Option<usize>), ParseError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut jobs = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--jobs" {
+            let value = it
+                .next()
+                .ok_or_else(|| ParseError("--jobs expects a value".into()))?;
+            let n = parse_usize("--jobs", value)?;
+            if n == 0 {
+                return Err(ParseError("--jobs expects a positive integer".into()));
+            }
+            jobs = Some(n);
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok((rest, jobs))
+}
 
 fn parse_node(s: &str) -> Result<TechnologyNode, ParseError> {
     match s {
@@ -353,8 +390,10 @@ pub fn run(command: &Command) -> Result<(), Box<dyn std::error::Error>> {
             };
             println!("{node}: TSP (worst-case mappings, T_DTM = 80 °C)");
             println!("  active  per-core[W]  total[W]");
-            for m in counts {
-                let per = tsp.worst_case(m)?;
+            // Each worst-case TSP solve is independent — fan the curve
+            // out over the engine; rows come back in count order.
+            let rows = Engine::auto().try_par_map(counts, |m| Ok((m, tsp.worst_case(m)?)))?;
+            for (m, per) in rows {
                 println!(
                     "  {m:>6}  {:>10.2}  {:>8.0}",
                     per.value(),
@@ -525,6 +564,37 @@ mod tests {
         );
         assert!(parse(&argv("run")).is_err());
         assert!(parse(&argv("run a.json --frob")).is_err());
+    }
+
+    #[test]
+    fn jobs_flag_is_stripped_uniformly() {
+        let (rest, jobs) = extract_jobs(&argv("tsp --jobs 4 --node 16")).unwrap();
+        assert_eq!(jobs, Some(4));
+        assert_eq!(rest, argv("tsp --node 16"));
+        assert_eq!(
+            parse(&rest).unwrap(),
+            Command::Tsp {
+                node: TechnologyNode::Nm16,
+                active: None,
+            }
+        );
+        // Trailing position and the run subcommand work too.
+        let (rest, jobs) = extract_jobs(&argv("run scenario.json --json --jobs 2")).unwrap();
+        assert_eq!(jobs, Some(2));
+        assert!(parse(&rest).is_ok());
+        // Absent flag passes argv through untouched.
+        let (rest, jobs) = extract_jobs(&argv("help")).unwrap();
+        assert_eq!(jobs, None);
+        assert_eq!(rest, argv("help"));
+    }
+
+    #[test]
+    fn jobs_flag_rejects_bad_values() {
+        assert!(extract_jobs(&argv("tsp --node 16 --jobs")).is_err());
+        assert!(extract_jobs(&argv("tsp --node 16 --jobs zero")).is_err());
+        assert!(extract_jobs(&argv("tsp --node 16 --jobs 0")).is_err());
+        // Without the pre-strip, subcommand parsers reject the flag.
+        assert!(parse(&argv("tsp --node 16 --jobs 4")).is_err());
     }
 
     #[test]
