@@ -41,6 +41,7 @@
 //! assert!(core.ipc(&compute_bound, f) > core.ipc(&memory_bound, f));
 //! # Ok::<(), darksil_archsim::ArchSimError>(())
 //! ```
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod core_model;
 mod error;

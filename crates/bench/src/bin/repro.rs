@@ -1,35 +1,41 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro <artefact> [--json DIR] [--paper] [--inject ARTEFACT]
+//! repro <artefact> [--json DIR] [--paper] [--inject ARTEFACT[:KIND]]
 //!                  [--jobs N] [--no-cache] [--cache-dir DIR]
+//!                  [--deadline SECS] [--retries N] [--resume]
+//!                  [--journal PATH]
 //!
 //! artefacts: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!            fig11 fig12 fig13 fig14 dtm aging variability cooling
 //!            pareto all
-//! --json DIR        additionally write machine-readable series to DIR
-//! --paper           run transients at the paper's full horizons (slow)
-//! --inject ARTEFACT inject a NaN-power fault into that artefact (test
-//!                   hook for the partial-failure machinery)
-//! --jobs N          worker threads for the artefact fan-out (default:
-//!                   DARKSIL_JOBS, else the available parallelism);
-//!                   `--jobs 1` runs everything serially
-//! --no-cache        recompute every artefact, bypassing the result cache
-//! --cache-dir DIR   result-cache location (default `results/.cache`)
 //! ```
 //!
-//! Every artefact runs in isolation as a `darksil-engine` job: an error
-//! (or even a panic) in one figure does not stop the others, the
-//! per-artefact outcomes are collected into `error_report.json` (under
-//! `--json DIR`, otherwise printed to stderr), and the exit code
-//! reflects the aggregate. Results come back in artefact order, so the
-//! emitted files and console report are identical at any `--jobs`
-//! setting. Wall-clock timings land in `results/bench_repro.json`.
+//! Run `repro --help` for the full flag reference and exit-code
+//! semantics.
+//!
+//! Every artefact runs in isolation as a **supervised** `darksil-engine`
+//! job: each attempt gets a wall-clock deadline (per artefact class,
+//! overridable with `--deadline`) observed cooperatively at CG-iteration
+//! and policy-step boundaries; retryable failures re-run with seeded
+//! jittered exponential backoff under a per-class circuit breaker; and
+//! thermal artefacts that exhaust their retries re-run once in declared
+//! degraded mode (relaxed CG tolerance), tagging the artefact JSON with
+//! `"degraded": true` instead of leaving a hole in the figure set.
+//!
+//! Progress is journalled per artefact to `results/run_journal.json`
+//! (atomic temp-file + rename on every transition), so a killed run can
+//! be continued with `--resume`: completed artefacts are skipped —
+//! their JSON files were written *before* the journal marked them done
+//! — and interrupted or failed ones are re-queued. Results come back in
+//! artefact order, so emitted files and the console report are
+//! identical at any `--jobs` setting.
 //!
 //! Artefact payloads are memoised in a content-addressed cache keyed by
 //! the scenario inputs (fidelity) plus a code-version salt; a warm run
 //! replays the stored JSON instead of recomputing. Corrupt or stale
-//! entries fall back to recomputation with a typed diagnostic.
+//! entries fall back to recomputation with a typed diagnostic. Degraded
+//! payloads are never cached.
 
 use std::env;
 use std::fmt::Write as _;
@@ -37,23 +43,111 @@ use std::fs;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use darksil_bench::{fig14_total_energy, Fidelity};
-use darksil_engine::{CacheOutcome, Engine, ResultCache, DEFAULT_CACHE_DIR};
+use darksil_bench::{
+    fig14_total_energy, ArtefactState, Fidelity, Journal, JournalEntry, DEFAULT_JOURNAL_PATH,
+};
+use darksil_engine::{
+    BackoffPolicy, CacheOutcome, Engine, JobSpec, ResultCache, Supervised, Supervisor,
+    DEFAULT_CACHE_DIR,
+};
 use darksil_json::{Json, ToJson};
-use darksil_robust::DarksilError;
+use darksil_robust::{DarksilError, Fault, FaultPlan};
 
 /// Bump whenever an artefact's generating code changes meaning: the
 /// salt is folded into every cache key, so stale entries from older
 /// binaries become unreachable instead of being replayed.
 const CACHE_SALT: &str = "repro-v1";
 
+/// Usage-error exit code, distinct from artefact failures (1).
+const EXIT_USAGE: u8 = 2;
+
+const USAGE: &str = "usage: repro <table1|fig2..fig14|dtm|aging|variability|cooling|pareto|all>
+             [--json DIR] [--paper] [--inject ARTEFACT[:KIND]] [--jobs N]
+             [--no-cache] [--cache-dir DIR] [--deadline SECS] [--retries N]
+             [--resume] [--journal PATH]
+
+  --json DIR         additionally write machine-readable series to DIR
+  --paper            run transients at the paper's full horizons (slow)
+  --inject A[:KIND]  inject a fault into artefact A. KIND: nan (default,
+                     NaN power into the thermal solver — not retryable),
+                     hang (cooperative spin until the deadline cancels
+                     it), slow (1.5 s stall before the work), transient
+                     (fails the first attempt, succeeds on retry)
+  --jobs N           worker threads for the artefact fan-out (default:
+                     DARKSIL_JOBS, else the available parallelism);
+                     --jobs 1 runs everything serially
+  --no-cache         recompute every artefact, bypassing the result cache
+  --cache-dir DIR    result-cache location (default results/.cache)
+  --deadline SECS    per-attempt wall-clock budget for every artefact,
+                     overriding the class defaults (fast 60 s,
+                     steady-state thermal 300 s, transient 600 s)
+  --retries N        retries per artefact after the first attempt
+                     (default 2; only retryable error classes re-run)
+  --resume           continue an interrupted run: artefacts the journal
+                     records as done/degraded are skipped, interrupted
+                     and failed ones are re-queued. The selection,
+                     fidelity and injection flags must match the
+                     journalled run.
+  --journal PATH     journal location (default results/run_journal.json)
+
+exit codes:
+  0  every artefact completed; a warning is printed on stderr when any
+     finished in declared degraded mode
+  1  at least one artefact failed (or a report could not be written)
+  2  usage error (bad flags, unknown artefact, or --resume with a
+     missing or mismatched journal)";
+
 struct Options {
     json_dir: Option<PathBuf>,
     fidelity: Fidelity,
-    inject: Option<String>,
+    inject: Option<Inject>,
     cache: Option<ResultCache>,
+    deadline_override: Option<Duration>,
+    retries: u32,
+}
+
+/// What `--inject` asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InjectKind {
+    /// NaN power into the thermal solver (class `non_finite`, not
+    /// retryable — the run must fail).
+    Nan,
+    /// Cooperative infinite spin; only the deadline ends it.
+    Hang,
+    /// A 1.5 s stall before the real work.
+    Slow,
+    /// Fails the first attempt with an `injected`-class error, then
+    /// succeeds.
+    Transient,
+}
+
+impl InjectKind {
+    fn parse(kind: &str) -> Option<Self> {
+        match kind {
+            "nan" => Some(Self::Nan),
+            "hang" => Some(Self::Hang),
+            "slow" => Some(Self::Slow),
+            "transient" => Some(Self::Transient),
+            _ => None,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Self::Nan => "nan",
+            Self::Hang => "hang",
+            Self::Slow => "slow",
+            Self::Transient => "transient",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Inject {
+    artefact: String,
+    kind: InjectKind,
 }
 
 /// An artefact builder: buffers its human-readable report into `out`
@@ -85,17 +179,43 @@ const RUNNERS: [Runner; 19] = [
     ("pareto", pareto),
 ];
 
+/// The supervision class of one artefact: closed-form/architectural
+/// artefacts are `fast`, steady-state thermal solves `thermal`, and
+/// transient policy simulations `transient`. The class picks the
+/// default deadline and shares a circuit breaker.
+fn artefact_class(name: &str) -> &'static str {
+    match name {
+        "table1" | "fig2" | "fig3" | "fig4" => "fast",
+        "fig11" | "fig12" | "fig13" | "fig14" => "transient",
+        _ => "thermal",
+    }
+}
+
+/// Default per-attempt wall-clock budget for a supervision class.
+fn default_deadline(class: &str) -> Duration {
+    match class {
+        "fast" => Duration::from_secs(60),
+        "transient" => Duration::from_secs(600),
+        _ => Duration::from_secs(300),
+    }
+}
+
 /// The result of one isolated artefact run.
 struct ArtefactOutcome {
     name: &'static str,
     /// `ok`, `error` or `panic`.
     status: &'static str,
+    /// Whether an `ok` outcome came from the declared-degraded
+    /// fallback.
+    degraded: bool,
     /// The classified error for non-`ok` outcomes.
     error: Option<DarksilError>,
-    /// Wall-clock seconds spent.
+    /// Wall-clock seconds spent (across all attempts).
     seconds: f64,
-    /// `hit`, `miss`, `recovered` or `off`.
+    /// `hit`, `miss`, `recovered`, `resume` or `off`.
     cache: &'static str,
+    /// Supervision attempt timeline (empty for cache hits and resumes).
+    attempts: Vec<Json>,
 }
 
 impl ArtefactOutcome {
@@ -109,10 +229,14 @@ impl ToJson for ArtefactOutcome {
         let mut fields = vec![
             ("artefact".to_string(), Json::Str(self.name.to_string())),
             ("status".to_string(), Json::Str(self.status.to_string())),
+            ("degraded".to_string(), Json::Bool(self.degraded)),
             ("seconds".to_string(), Json::Num(self.seconds)),
         ];
         if let Some(e) = &self.error {
             fields.push(("error".to_string(), e.to_json()));
+        }
+        if !self.attempts.is_empty() {
+            fields.push(("attempts".to_string(), Json::Arr(self.attempts.clone())));
         }
         Json::Obj(fields)
     }
@@ -121,63 +245,86 @@ impl ToJson for ArtefactOutcome {
 /// Everything a finished artefact job hands back to the reporter.
 struct ArtefactRun {
     outcome: ArtefactOutcome,
-    /// The machine-readable payload, present for `ok` outcomes.
-    payload: Option<Json>,
-    /// The buffered human-readable report (empty on cache hits).
+    /// The buffered human-readable report (empty on cache hits), with
+    /// any `[wrote …]` lines appended — printed in artefact order by
+    /// the reporter so stdout is deterministic at any `--jobs`.
     text: String,
 }
 
 fn main() -> ExitCode {
     let mut args = env::args().skip(1);
     let Some(artefact) = args.next() else {
-        eprintln!(
-            "usage: repro <table1|fig2..fig14|dtm|aging|variability|cooling|pareto|all> \
-             [--json DIR] [--paper] [--inject ARTEFACT] [--jobs N] [--no-cache] [--cache-dir DIR]"
-        );
-        return ExitCode::FAILURE;
+        eprintln!("{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
     };
+    if artefact == "--help" || artefact == "-h" {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     let mut json_dir = None;
     let mut fidelity = Fidelity::Quick;
-    let mut inject = None;
+    let mut inject: Option<Inject> = None;
     let mut jobs_flag: Option<usize> = None;
     let mut use_cache = true;
     let mut cache_dir = PathBuf::from(DEFAULT_CACHE_DIR);
+    let mut deadline_override: Option<Duration> = None;
+    let mut retries: u32 = 2;
+    let mut resume = false;
+    let mut journal_path = PathBuf::from(DEFAULT_JOURNAL_PATH);
     while let Some(flag) = args.next() {
         match flag.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
             "--json" => match args.next() {
                 Some(dir) => json_dir = Some(PathBuf::from(dir)),
-                None => {
-                    eprintln!("--json requires a directory");
-                    return ExitCode::FAILURE;
-                }
+                None => return usage_error("--json requires a directory"),
             },
             "--paper" => fidelity = Fidelity::Paper,
             "--inject" => match args.next() {
-                Some(name) => inject = Some(name),
-                None => {
-                    eprintln!("--inject requires an artefact name");
-                    return ExitCode::FAILURE;
+                Some(spec) => {
+                    let (name, kind) = match spec.split_once(':') {
+                        Some((name, kind)) => (name.to_string(), kind),
+                        None => (spec.clone(), "nan"),
+                    };
+                    let Some(kind) = InjectKind::parse(kind) else {
+                        return usage_error(&format!(
+                            "unknown inject kind {kind:?} (expected nan, hang, slow or transient)"
+                        ));
+                    };
+                    inject = Some(Inject {
+                        artefact: name,
+                        kind,
+                    });
                 }
+                None => return usage_error("--inject requires an artefact name"),
             },
             "--jobs" => match args.next().map(|n| n.parse::<usize>()) {
                 Some(Ok(n)) if n >= 1 => jobs_flag = Some(n),
-                _ => {
-                    eprintln!("--jobs requires a positive integer");
-                    return ExitCode::FAILURE;
-                }
+                _ => return usage_error("--jobs requires a positive integer"),
             },
             "--no-cache" => use_cache = false,
             "--cache-dir" => match args.next() {
                 Some(dir) => cache_dir = PathBuf::from(dir),
-                None => {
-                    eprintln!("--cache-dir requires a directory");
-                    return ExitCode::FAILURE;
-                }
+                None => return usage_error("--cache-dir requires a directory"),
             },
-            other => {
-                eprintln!("unknown flag {other}");
-                return ExitCode::FAILURE;
-            }
+            "--deadline" => match args.next().map(|n| n.parse::<f64>()) {
+                Some(Ok(secs)) if secs > 0.0 && secs.is_finite() => {
+                    deadline_override = Some(Duration::from_secs_f64(secs));
+                }
+                _ => return usage_error("--deadline requires a positive number of seconds"),
+            },
+            "--retries" => match args.next().map(|n| n.parse::<u32>()) {
+                Some(Ok(n)) => retries = n,
+                _ => return usage_error("--retries requires a non-negative integer"),
+            },
+            "--resume" => resume = true,
+            "--journal" => match args.next() {
+                Some(path) => journal_path = PathBuf::from(path),
+                None => return usage_error("--journal requires a file path"),
+            },
+            other => return usage_error(&format!("unknown flag {other}")),
         }
     }
     let jobs = jobs_flag
@@ -191,6 +338,8 @@ fn main() -> ExitCode {
         fidelity,
         inject,
         cache: use_cache.then(|| ResultCache::open(cache_dir, CACHE_SALT)),
+        deadline_override,
+        retries,
     };
 
     let selected: Vec<Runner> = if artefact == "all" {
@@ -198,17 +347,53 @@ fn main() -> ExitCode {
     } else {
         match RUNNERS.iter().find(|(name, _)| *name == artefact) {
             Some(runner) => vec![*runner],
-            None => {
-                eprintln!("unknown artefact {artefact}");
-                return ExitCode::FAILURE;
-            }
+            None => return usage_error(&format!("unknown artefact {artefact}")),
         }
     };
     let names: Vec<&'static str> = selected.iter().map(|(name, _)| *name).collect();
 
+    // The journal fingerprints everything that shapes artefact content;
+    // resuming under a different configuration would mix incompatible
+    // results, so a mismatch is a usage error.
+    let fingerprint = run_fingerprint(&artefact, &options);
+    let journal = if resume {
+        let journal = match Journal::load(&journal_path) {
+            Ok(journal) => journal,
+            Err(e) => {
+                eprintln!("repro --resume: {e}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        };
+        if journal.config() != &fingerprint {
+            eprintln!(
+                "repro --resume: journal {} was recorded for a different run \
+                 configuration\n  journalled: {}\n  requested:  {}",
+                journal_path.display(),
+                journal.config().compact(),
+                fingerprint.compact()
+            );
+            return ExitCode::from(EXIT_USAGE);
+        }
+        let requeued = journal.requeue_unfinished();
+        let completed = journal.completed_names().len();
+        eprintln!(
+            "repro --resume: {completed} artefact(s) already complete, \
+             {requeued} re-queued"
+        );
+        journal
+    } else {
+        Journal::create(&journal_path, fingerprint, &names)
+    };
+    if let Err(e) = journal.save() {
+        eprintln!("cannot write journal: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let supervisor = Supervisor::new(BackoffPolicy::default(), 4);
+
     let started = Instant::now();
     let runs = Engine::new(jobs).par_map(selected, |(name, run)| {
-        Ok(run_artefact(name, run, &options))
+        Ok(run_artefact(name, run, &options, &supervisor, &journal))
     });
     let total_seconds = started.elapsed().as_secs_f64();
 
@@ -221,35 +406,29 @@ fn main() -> ExitCode {
             outcome: ArtefactOutcome {
                 name,
                 status: "panic",
+                degraded: false,
                 error: Some(e.context(name)),
                 seconds: 0.0,
                 cache: "off",
+                attempts: Vec::new(),
             },
-            payload: None,
             text: String::new(),
         });
         if show_headers {
             println!("\n================ {name} ================");
         }
         print!("{}", art.text);
-        if art.outcome.cache == "hit" {
-            println!("[{name}: cache hit]");
+        match art.outcome.cache {
+            "hit" => println!("[{name}: cache hit]"),
+            "resume" => println!("[{name}: resumed from journal]"),
+            _ => {}
         }
-        let mut outcome = art.outcome;
-        if let (Some(dir), Some(payload)) = (&options.json_dir, &art.payload) {
-            if let Err(e) = write_artefact_json(dir, name, payload) {
-                eprintln!("repro {name}: cannot write artefact JSON: {e}");
-                if outcome.succeeded() {
-                    outcome.status = "error";
-                    outcome.error = Some(DarksilError::io(e.to_string()).context(name));
-                }
-            }
-        }
-        outcomes.push(outcome);
+        outcomes.push(art.outcome);
     }
 
     let failed = outcomes.iter().filter(|o| !o.succeeded()).count();
-    if let Err(e) = write_error_report(&options, &outcomes, failed) {
+    let degraded = outcomes.iter().filter(|o| o.degraded).count();
+    if let Err(e) = write_error_report(&options, &outcomes, failed, degraded) {
         eprintln!("cannot write error report: {e}");
         return ExitCode::FAILURE;
     }
@@ -265,6 +444,13 @@ fn main() -> ExitCode {
         eprintln!("repro {}: {} — {detail}", o.name, o.status);
     }
     if failed == 0 {
+        if degraded > 0 {
+            eprintln!(
+                "repro: warning — {degraded} of {} artefacts completed in degraded \
+                 mode (tagged \"degraded\": true in their JSON)",
+                outcomes.len()
+            );
+        }
         ExitCode::SUCCESS
     } else {
         eprintln!(
@@ -276,65 +462,224 @@ fn main() -> ExitCode {
     }
 }
 
+/// Prints a usage diagnostic and returns the usage exit code.
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("repro: {message}\n\n{USAGE}");
+    ExitCode::from(EXIT_USAGE)
+}
+
+/// The run-configuration fingerprint embedded in the journal: every
+/// flag that shapes artefact content. Cache and parallelism settings
+/// are deliberately excluded — they change performance, not payloads.
+fn run_fingerprint(selection: &str, options: &Options) -> Json {
+    let mut fields = vec![
+        ("selection".to_string(), Json::Str(selection.to_string())),
+        (
+            "fidelity".to_string(),
+            Json::Str(fidelity_label(options.fidelity).to_string()),
+        ),
+    ];
+    if let Some(inject) = &options.inject {
+        fields.push((
+            "inject".to_string(),
+            Json::Str(format!("{}:{}", inject.artefact, inject.kind.label())),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+fn fidelity_label(fidelity: Fidelity) -> &'static str {
+    match fidelity {
+        Fidelity::Quick => "quick",
+        Fidelity::Paper => "paper",
+    }
+}
+
 /// The scenario inputs an artefact's payload depends on; folded into
 /// the cache key so a fidelity change is a natural cache miss.
 fn cache_inputs(options: &Options) -> Json {
-    let fidelity = match options.fidelity {
-        Fidelity::Quick => "quick",
-        Fidelity::Paper => "paper",
-    };
     Json::Obj(vec![(
         "fidelity".to_string(),
-        Json::Str(fidelity.to_string()),
+        Json::Str(fidelity_label(options.fidelity).to_string()),
     )])
 }
 
-/// Runs one artefact with full isolation: errors are classified into
-/// the workspace taxonomy and panics are caught, so one broken figure
-/// can never take the others down. Consults the result cache first;
-/// fault injection disables caching for the targeted artefact so the
-/// failure machinery is always exercised live.
-fn run_artefact(name: &'static str, run: RunnerFn, options: &Options) -> ArtefactRun {
+/// Wraps a degraded artefact payload with the declared accuracy knobs,
+/// so downstream consumers can quantify (or reject) the loss.
+fn degraded_envelope(payload: Json) -> Json {
+    Json::Obj(vec![
+        ("degraded".to_string(), Json::Bool(true)),
+        (
+            "knobs".to_string(),
+            Json::Obj(vec![(
+                "cg_tolerance".to_string(),
+                Json::Num(darksil_thermal::DEGRADED_CG_TOLERANCE),
+            )]),
+        ),
+        ("payload".to_string(), payload),
+    ])
+}
+
+/// A resumed artefact's synthesized outcome: the journal already
+/// records its completion, its JSON file is already on disk.
+fn resumed_run(name: &'static str, entry: &JournalEntry) -> ArtefactRun {
+    ArtefactRun {
+        outcome: ArtefactOutcome {
+            name,
+            status: "ok",
+            degraded: entry.state == ArtefactState::Degraded,
+            error: None,
+            seconds: entry.seconds,
+            cache: "resume",
+            attempts: entry.attempts.clone(),
+        },
+        text: String::new(),
+    }
+}
+
+/// Runs one artefact under full supervision: a cache consult first,
+/// then deadline-bounded attempts with retry/backoff and (for solver
+/// classes) a final declared-degraded attempt. Errors are classified
+/// into the workspace taxonomy and panics are caught, so one broken
+/// figure can never take the others down. Every lifecycle transition is
+/// journalled; the artefact JSON is written *before* the journal marks
+/// the artefact done, so a kill between the two re-runs the artefact
+/// rather than losing its file.
+fn run_artefact(
+    name: &'static str,
+    run: RunnerFn,
+    options: &Options,
+    supervisor: &Supervisor,
+    journal: &Journal,
+) -> ArtefactRun {
+    // --resume: completed artefacts are skipped outright.
+    if journal
+        .state_of(name)
+        .is_some_and(ArtefactState::is_complete)
+    {
+        if let Some(entry) = journal.entries().into_iter().find(|e| e.name == name) {
+            return resumed_run(name, &entry);
+        }
+    }
     let started = Instant::now();
-    let cache = options
-        .cache
+    journal_note(journal.transition(name, ArtefactState::Running));
+
+    let injected = options
+        .inject
         .as_ref()
-        .filter(|_| options.inject.as_deref() != Some(name));
+        .filter(|inject| inject.artefact == name);
+    let cache = options.cache.as_ref().filter(|_| injected.is_none());
     let inputs = cache_inputs(options);
     let mut recovery: Option<DarksilError> = None;
     if let Some(cache) = cache {
         let (found, outcome) = cache.lookup(&cache.key(name, &inputs));
         if let Some(payload) = found {
-            return ArtefactRun {
-                outcome: ArtefactOutcome {
-                    name,
-                    status: "ok",
-                    error: None,
-                    seconds: started.elapsed().as_secs_f64(),
-                    cache: "hit",
-                },
-                payload: Some(payload),
-                text: String::new(),
+            let mut text = String::new();
+            let status = persist_payload(options, name, &payload, &mut text);
+            let seconds = started.elapsed().as_secs_f64();
+            return match status {
+                Ok(()) => {
+                    journal_note(journal.record_finished(
+                        name,
+                        ArtefactState::Done,
+                        None,
+                        Vec::new(),
+                        seconds,
+                    ));
+                    ArtefactRun {
+                        outcome: ArtefactOutcome {
+                            name,
+                            status: "ok",
+                            degraded: false,
+                            error: None,
+                            seconds,
+                            cache: "hit",
+                            attempts: Vec::new(),
+                        },
+                        text,
+                    }
+                }
+                Err(error) => {
+                    journal_note(journal.record_finished(
+                        name,
+                        ArtefactState::Failed,
+                        Some(error.to_string()),
+                        Vec::new(),
+                        seconds,
+                    ));
+                    ArtefactRun {
+                        outcome: ArtefactOutcome {
+                            name,
+                            status: "error",
+                            degraded: false,
+                            error: Some(error),
+                            seconds,
+                            cache: "hit",
+                            attempts: Vec::new(),
+                        },
+                        text,
+                    }
+                }
             };
         }
         if let CacheOutcome::Recovered(e) = outcome {
             recovery = Some(e);
         }
     }
-    let mut text = String::new();
-    let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
-        if options.inject.as_deref() == Some(name) {
-            injected_failure()?;
+
+    let class = artefact_class(name);
+    let spec = JobSpec {
+        name: name.to_string(),
+        class: class.to_string(),
+        deadline: Some(
+            options
+                .deadline_override
+                .unwrap_or_else(|| default_deadline(class)),
+        ),
+        max_retries: options.retries,
+        // Only solver-backed classes have a declared relaxation to
+        // fall back to; the closed-form `fast` artefacts do not.
+        degrade_on_exhaustion: class != "fast",
+    };
+    let supervised: Supervised<(Json, String)> = supervisor.run(&spec, || {
+        let mut text = String::new();
+        let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
+            if let Some(inject) = injected {
+                apply_injection(inject, name)?;
+            }
+            run(options, &mut text)
+        }));
+        match attempt {
+            Ok(Ok(payload)) => Ok((payload, text)),
+            Ok(Err(e)) => Err(classify(e.as_ref()).context(name)),
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                Err(DarksilError::internal(format!("artefact panicked: {message}")).context(name))
+            }
         }
-        run(options, &mut text)
-    }));
+    });
+    let attempts: Vec<Json> = supervised.attempts.iter().map(ToJson::to_json).collect();
     let seconds = started.elapsed().as_secs_f64();
     let miss_label = if cache.is_some() { "miss" } else { "off" };
-    match attempt {
-        Ok(Ok(payload)) => {
-            if let Some(cache) = cache {
-                if let Err(e) = cache.store(&cache.key(name, &inputs), &payload) {
-                    recovery = Some(e);
+
+    match supervised.result {
+        Ok((payload, mut text)) => {
+            let payload = if supervised.degraded {
+                degraded_envelope(payload)
+            } else {
+                payload
+            };
+            // Degraded payloads are never cached: a later run at full
+            // health must recompute, not replay the relaxed answer.
+            if !supervised.degraded {
+                if let Some(cache) = cache {
+                    if let Err(e) = cache.store(&cache.key(name, &inputs), &payload) {
+                        recovery = Some(e);
+                    }
                 }
             }
             let label = match &recovery {
@@ -344,47 +689,111 @@ fn run_artefact(name: &'static str, run: RunnerFn, options: &Options) -> Artefac
                 }
                 None => miss_label,
             };
-            ArtefactRun {
-                outcome: ArtefactOutcome {
-                    name,
-                    status: "ok",
-                    error: None,
-                    seconds,
-                    cache: label,
-                },
-                payload: Some(payload),
-                text,
+            match persist_payload(options, name, &payload, &mut text) {
+                Ok(()) => {
+                    let state = if supervised.degraded {
+                        ArtefactState::Degraded
+                    } else {
+                        ArtefactState::Done
+                    };
+                    journal_note(journal.record_finished(
+                        name,
+                        state,
+                        None,
+                        attempts.clone(),
+                        seconds,
+                    ));
+                    ArtefactRun {
+                        outcome: ArtefactOutcome {
+                            name,
+                            status: "ok",
+                            degraded: supervised.degraded,
+                            error: None,
+                            seconds,
+                            cache: label,
+                            attempts,
+                        },
+                        text,
+                    }
+                }
+                Err(error) => {
+                    journal_note(journal.record_finished(
+                        name,
+                        ArtefactState::Failed,
+                        Some(error.to_string()),
+                        attempts.clone(),
+                        seconds,
+                    ));
+                    ArtefactRun {
+                        outcome: ArtefactOutcome {
+                            name,
+                            status: "error",
+                            degraded: false,
+                            error: Some(error),
+                            seconds,
+                            cache: label,
+                            attempts,
+                        },
+                        text,
+                    }
+                }
             }
         }
-        Ok(Err(e)) => ArtefactRun {
-            outcome: ArtefactOutcome {
+        Err(error) => {
+            let status = if error.message().starts_with("artefact panicked") {
+                "panic"
+            } else {
+                "error"
+            };
+            journal_note(journal.record_finished(
                 name,
-                status: "error",
-                error: Some(classify(e.as_ref()).context(name)),
+                ArtefactState::Failed,
+                Some(error.to_string()),
+                attempts.clone(),
                 seconds,
-                cache: miss_label,
-            },
-            payload: None,
-            text,
-        },
-        Err(payload) => {
-            let message = payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "opaque panic payload".to_string());
+            ));
             ArtefactRun {
                 outcome: ArtefactOutcome {
                     name,
-                    status: "panic",
-                    error: Some(DarksilError::internal(message).context(name)),
+                    status,
+                    degraded: false,
+                    error: Some(error),
                     seconds,
                     cache: miss_label,
+                    attempts,
                 },
-                payload: None,
-                text,
+                text: String::new(),
             }
         }
+    }
+}
+
+/// Journal writes must never fail an artefact; surface the diagnostic
+/// and keep going (the next transition retries the write).
+fn journal_note(result: Result<(), DarksilError>) {
+    if let Err(e) = result {
+        eprintln!("repro: journal write failed — {e}");
+    }
+}
+
+/// Writes the artefact JSON (when `--json` is active) and buffers the
+/// `[wrote …]` line. Called *before* the journal marks the artefact
+/// done, so a crash between the two re-runs the artefact.
+fn persist_payload(
+    options: &Options,
+    name: &str,
+    payload: &Json,
+    text: &mut String,
+) -> Result<(), DarksilError> {
+    let Some(dir) = &options.json_dir else {
+        return Ok(());
+    };
+    match write_artefact_json(dir, name, payload) {
+        Ok(path) => {
+            let _ = writeln!(text, "[wrote {}]", path.display());
+            Ok(())
+        }
+        Err(e) => Err(DarksilError::io(format!("cannot write artefact JSON: {e}")).context(name)),
     }
 }
 
@@ -421,9 +830,25 @@ fn classify(e: &(dyn std::error::Error + 'static)) -> DarksilError {
     DarksilError::internal(e.to_string())
 }
 
-/// Test hook behind `--inject`: feeds a NaN power sample into the real
-/// thermal solver, exercising the library's non-finite input guard the
-/// same way a broken power model would.
+/// Applies the requested `--inject` fault at the top of an attempt.
+/// `nan` feeds a NaN power sample into the real thermal solver; the
+/// other kinds route through [`FaultPlan::inject_job_faults`], which
+/// observes the supervision context (deadline token, attempt number,
+/// degraded flag).
+fn apply_injection(inject: &Inject, what: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let fault = match inject.kind {
+        InjectKind::Nan => return injected_failure(),
+        InjectKind::Hang => Fault::Hang,
+        InjectKind::Slow => Fault::SlowJob { millis: 1500 },
+        InjectKind::Transient => Fault::TransientThenSucceed { failures: 1 },
+    };
+    FaultPlan::new(0).with(fault).inject_job_faults(what)?;
+    Ok(())
+}
+
+/// Test hook behind `--inject NAME` / `--inject NAME:nan`: feeds a NaN
+/// power sample into the real thermal solver, exercising the library's
+/// non-finite input guard the same way a broken power model would.
 fn injected_failure() -> Result<(), Box<dyn std::error::Error>> {
     let platform = darksil_mapping::Platform::for_node(darksil_power::TechnologyNode::Nm16)?;
     let mut power = vec![darksil_units::Watts::new(1.0); platform.core_count()];
@@ -432,13 +857,16 @@ fn injected_failure() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-/// Writes one artefact's machine-readable series under `--json DIR`.
-fn write_artefact_json(dir: &Path, name: &str, payload: &Json) -> Result<(), std::io::Error> {
+/// Writes one artefact's machine-readable series under `--json DIR`,
+/// atomically (temp file + rename) so a kill mid-write can never leave
+/// a truncated artefact behind. Returns the final path.
+fn write_artefact_json(dir: &Path, name: &str, payload: &Json) -> Result<PathBuf, std::io::Error> {
     fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
-    fs::write(&path, darksil_json::to_string_pretty(payload))?;
-    println!("[wrote {}]", path.display());
-    Ok(())
+    let tmp = dir.join(format!("{name}.json.tmp"));
+    fs::write(&tmp, darksil_json::to_string_pretty(payload))?;
+    fs::rename(&tmp, &path)?;
+    Ok(path)
 }
 
 /// Writes the machine-readable per-artefact report. With `--json DIR`
@@ -448,10 +876,12 @@ fn write_error_report(
     options: &Options,
     outcomes: &[ArtefactOutcome],
     failed: usize,
+    degraded: usize,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let report = Json::Obj(vec![
         ("artefacts".to_string(), Json::Num(outcomes.len() as f64)),
         ("failed".to_string(), Json::Num(failed as f64)),
+        ("degraded".to_string(), Json::Num(degraded as f64)),
         (
             "outcomes".to_string(),
             Json::Arr(outcomes.iter().map(ToJson::to_json).collect()),

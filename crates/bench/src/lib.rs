@@ -22,9 +22,14 @@
 //! | [`fig12`]   | performance/power vs active cores |
 //! | [`fig13`]   | boosting vs constant across applications |
 //! | [`fig14`]   | STC vs NTC iso-performance energy |
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod extras;
 pub mod figures;
+pub mod journal;
 
 pub use extras::*;
 pub use figures::*;
+pub use journal::{
+    ArtefactState, Journal, JournalCounts, JournalEntry, DEFAULT_JOURNAL_PATH, JOURNAL_SCHEMA,
+};

@@ -91,6 +91,7 @@ pub fn run_constant(
     let mut trace = PolicyTrace::new();
 
     for _ in 0..steps {
+        crate::error::check_step("constant-frequency policy step")?;
         let temps: Vec<Celsius> = sim.snapshot().die_temperatures().collect();
         let power_map = working.power_map_at(platform, &temps);
         let total_power: Watts = power_map.iter().sum();

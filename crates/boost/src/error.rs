@@ -25,6 +25,12 @@ pub enum BoostError {
     Thermal(ThermalError),
     /// Propagated power-model failure.
     Power(PowerError),
+    /// The policy loop observed a tripped cancellation token (deadline
+    /// or explicit cancel) at a step boundary and stopped.
+    Cancelled {
+        /// What was interrupted and why.
+        context: String,
+    },
 }
 
 impl fmt::Display for BoostError {
@@ -40,6 +46,7 @@ impl fmt::Display for BoostError {
             Self::Mapping(e) => write!(f, "mapping error: {e}"),
             Self::Thermal(e) => write!(f, "thermal error: {e}"),
             Self::Power(e) => write!(f, "power error: {e}"),
+            Self::Cancelled { context } => write!(f, "policy loop cancelled: {context}"),
         }
     }
 }
@@ -93,8 +100,21 @@ impl From<BoostError> for darksil_robust::DarksilError {
             BoostError::Power(inner) => {
                 darksil_robust::DarksilError::from(inner).context("boost policy")
             }
+            BoostError::Cancelled { context } => darksil_robust::DarksilError::deadline(context),
         }
     }
+}
+
+/// Polls the current cancellation token at a policy-step boundary.
+///
+/// # Errors
+///
+/// [`BoostError::Cancelled`] when the supervising deadline has passed
+/// or the job was cancelled; always `Ok` outside a supervised scope.
+pub(crate) fn check_step(what: &str) -> Result<(), BoostError> {
+    darksil_robust::check_deadline(what).map_err(|e| BoostError::Cancelled {
+        context: e.message().to_string(),
+    })
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@
 //! domain (modern per-core DVFS) for comparison against the paper's
 //! chip-wide loop, and [`run_phased_boosting`] strings workload phases
 //! through one thermal history — the boost budget is stateful.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod constant;
 mod error;

@@ -63,6 +63,7 @@ pub fn run_per_instance_boosting(
     let mut trace = PolicyTrace::new();
 
     for _ in 0..steps {
+        crate::error::check_step("per-instance boosting step")?;
         for (entry, &idx) in working.entries_mut().iter_mut().zip(&levels) {
             if let Some(level) = dvfs.get(idx) {
                 entry.level = level;

@@ -76,6 +76,7 @@ pub fn run_phased_boosting(
         let mut trace = PolicyTrace::new();
 
         for _ in 0..steps {
+            crate::error::check_step("phased boosting step")?;
             let Some(level) = dvfs.get(level_idx) else {
                 break;
             };

@@ -80,6 +80,7 @@ pub fn run_boosting(
     let mut trace = PolicyTrace::new();
 
     for _ in 0..steps {
+        crate::error::check_step("turbo boosting step")?;
         let Some(level) = dvfs.get(level_idx) else {
             break;
         };
@@ -142,6 +143,21 @@ mod tests {
             period: Seconds::new(0.02),
             ..PolicyConfig::default()
         }
+    }
+
+    #[test]
+    fn an_expired_deadline_cancels_the_policy_loop() {
+        let (platform, mapping) = setup();
+        let ctx = darksil_robust::RunContext::with_token(
+            darksil_robust::CancellationToken::with_deadline(std::time::Duration::from_millis(0)),
+        );
+        let err = darksil_robust::scoped(&ctx, || {
+            run_boosting(&platform, &mapping, Seconds::new(60.0), &fast_config())
+        })
+        .expect_err("expired deadline stops the loop");
+        assert!(matches!(err, BoostError::Cancelled { .. }), "{err:?}");
+        let classified: darksil_robust::DarksilError = err.into();
+        assert_eq!(classified.class(), darksil_robust::ErrorClass::Deadline);
     }
 
     #[test]

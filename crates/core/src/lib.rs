@@ -51,6 +51,7 @@
 //! assert!(thermal.dark_fraction <= tdp.dark_fraction);
 //! # Ok::<(), darksil_core::EstimateError>(())
 //! ```
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod dtm;
 mod estimator;

@@ -7,6 +7,7 @@
 //! `criterion_group!`/`criterion_main!` macros — with a simple
 //! wall-clock timer printing mean/min per benchmark. No statistics,
 //! plots, or baselines.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};

@@ -10,6 +10,12 @@
 //! the envelope) are reported as [`CacheOutcome::Recovered`] with a
 //! typed [`DarksilError`] diagnostic and the value is recomputed; a bad
 //! cache can never fail a run.
+//!
+//! Envelopes additionally carry `payload_fnv`, the FNV-1a digest of the
+//! canonical payload text, so a flipped bit inside an otherwise
+//! well-formed entry is caught on load — and so the offline maintenance
+//! pass ([`scan_dir`]) can verify entries without knowing the scenario
+//! inputs or salt that keyed them.
 
 use std::collections::HashMap;
 use std::fs;
@@ -24,7 +30,9 @@ use darksil_robust::DarksilError;
 pub const DEFAULT_CACHE_DIR: &str = "results/.cache";
 
 /// Envelope schema marker; bump when the on-disk layout changes.
-const SCHEMA: &str = "darksil-cache-v1";
+/// v2 added `payload_fnv` (self-verifying payload digest); v1 entries
+/// read as stale and are recomputed.
+const SCHEMA: &str = "darksil-cache-v2";
 
 /// Stable 64-bit FNV-1a hash. Not cryptographic — it keys a local
 /// result cache, where speed and stability across runs are what
@@ -196,6 +204,10 @@ impl ResultCache {
             ),
             ("salt".to_string(), Json::Str(self.salt.clone())),
             ("digest".to_string(), Json::Str(key.digest_hex())),
+            (
+                "payload_fnv".to_string(),
+                Json::Str(payload_fnv_hex(payload)),
+            ),
             ("payload".to_string(), payload.clone()),
         ]);
         fs::create_dir_all(&self.dir)
@@ -274,10 +286,218 @@ impl ResultCache {
                 path.display()
             )));
         }
-        envelope.get("payload").cloned().map(Some).ok_or_else(|| {
+        let payload = envelope.get("payload").cloned().ok_or_else(|| {
             DarksilError::cache(format!("cache entry {} has no payload", path.display()))
-        })
+        })?;
+        let expected = payload_fnv_hex(&payload);
+        if field("payload_fnv") != Some(expected.as_str()) {
+            return Err(DarksilError::cache(format!(
+                "corrupt cache entry {} (payload digest mismatch)",
+                path.display()
+            )));
+        }
+        Ok(Some(payload))
     }
+}
+
+/// The FNV-1a digest of a payload's canonical (compact) text, as a
+/// fixed-width hex string.
+fn payload_fnv_hex(payload: &Json) -> String {
+    format!("{:016x}", stable_hash(payload.compact().as_bytes()))
+}
+
+/// The condition of one on-disk entry as judged by [`scan_dir`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntryCondition {
+    /// The envelope parses, carries the current schema, and its stored
+    /// payload digest re-checks against the payload.
+    Valid,
+    /// The entry is unusable; carries the reason. Includes leftover
+    /// `.tmp` files from interrupted writes and stale-schema entries.
+    Corrupt(String),
+}
+
+/// One entry from a maintenance scan of a cache directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryReport {
+    /// File name inside the cache directory.
+    pub file_name: String,
+    /// The artefact recorded in the envelope, when readable.
+    pub artefact: Option<String>,
+    /// On-disk size in bytes.
+    pub bytes: u64,
+    /// Verification verdict.
+    pub condition: EntryCondition,
+}
+
+impl EntryReport {
+    /// Whether this entry verified clean.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.condition == EntryCondition::Valid
+    }
+}
+
+/// Scans a cache directory and verifies every entry *structurally*:
+/// envelope parses, schema is current, required fields are present, and
+/// the stored `payload_fnv` digest matches the payload. This is
+/// salt-agnostic — it needs no knowledge of the scenario inputs that
+/// keyed the entries, so it works on any cache directory, whichever
+/// driver produced it. Leftover `.tmp` files from interrupted writes
+/// are reported as corrupt. Reports come back sorted by file name.
+///
+/// A missing directory scans as empty (a cache that was never written
+/// is clean, not broken).
+///
+/// # Errors
+///
+/// Returns a [`DarksilError`] of class `io` when the directory itself
+/// cannot be listed.
+pub fn scan_dir(dir: &Path) -> Result<Vec<EntryReport>, DarksilError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => {
+            return Err(DarksilError::io(format!(
+                "cannot list cache dir {}: {e}",
+                dir.display()
+            )))
+        }
+    };
+    let mut reports = Vec::new();
+    for entry in entries {
+        let entry =
+            entry.map_err(|e| DarksilError::io(format!("cannot list {}: {e}", dir.display())))?;
+        let file_name = entry.file_name().to_string_lossy().into_owned();
+        let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+        if file_name.ends_with(".json.tmp") {
+            reports.push(EntryReport {
+                file_name,
+                artefact: None,
+                bytes,
+                condition: EntryCondition::Corrupt(
+                    "leftover temp file from an interrupted write".to_string(),
+                ),
+            });
+            continue;
+        }
+        if !file_name.ends_with(".json") {
+            continue;
+        }
+        let (artefact, condition) = verify_entry(&dir.join(&file_name));
+        reports.push(EntryReport {
+            file_name,
+            artefact,
+            bytes,
+            condition,
+        });
+    }
+    reports.sort_by(|a, b| a.file_name.cmp(&b.file_name));
+    Ok(reports)
+}
+
+/// Deletes the corrupt entries named in `reports` from `dir`, returning
+/// how many were removed.
+///
+/// # Errors
+///
+/// Returns a [`DarksilError`] of class `io` on the first failed delete.
+pub fn evict_corrupt(dir: &Path, reports: &[EntryReport]) -> Result<usize, DarksilError> {
+    let mut removed = 0;
+    for report in reports.iter().filter(|r| !r.is_valid()) {
+        let path = dir.join(&report.file_name);
+        fs::remove_file(&path)
+            .map_err(|e| DarksilError::io(format!("cannot remove {}: {e}", path.display())))?;
+        removed += 1;
+    }
+    Ok(removed)
+}
+
+/// Deletes every cache entry (valid or not, including `.tmp` leftovers)
+/// from `dir`, returning how many files were removed. The directory
+/// itself and any unrelated files are left alone; a missing directory
+/// clears zero entries.
+///
+/// # Errors
+///
+/// Returns a [`DarksilError`] of class `io` when listing or deleting
+/// fails.
+pub fn clear_dir(dir: &Path) -> Result<usize, DarksilError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == ErrorKind::NotFound => return Ok(0),
+        Err(e) => {
+            return Err(DarksilError::io(format!(
+                "cannot list cache dir {}: {e}",
+                dir.display()
+            )))
+        }
+    };
+    let mut removed = 0;
+    for entry in entries {
+        let entry =
+            entry.map_err(|e| DarksilError::io(format!("cannot list {}: {e}", dir.display())))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !(name.ends_with(".json") || name.ends_with(".json.tmp")) {
+            continue;
+        }
+        let path = entry.path();
+        fs::remove_file(&path)
+            .map_err(|e| DarksilError::io(format!("cannot remove {}: {e}", path.display())))?;
+        removed += 1;
+    }
+    Ok(removed)
+}
+
+/// Structural verification of one envelope file.
+fn verify_entry(path: &Path) -> (Option<String>, EntryCondition) {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => return (None, EntryCondition::Corrupt(format!("unreadable: {e}"))),
+    };
+    let envelope = match darksil_json::parse(&text) {
+        Ok(envelope) => envelope,
+        Err(e) => return (None, EntryCondition::Corrupt(format!("invalid JSON: {e}"))),
+    };
+    let field = |name: &str| {
+        envelope.get(name).and_then(|v| match v {
+            Json::Str(s) => Some(s.to_string()),
+            _ => None,
+        })
+    };
+    let artefact = field("artefact");
+    match field("schema") {
+        Some(schema) if schema == SCHEMA => {}
+        Some(schema) => {
+            return (
+                artefact,
+                EntryCondition::Corrupt(format!("stale schema {schema}, expected {SCHEMA}")),
+            )
+        }
+        None => {
+            return (
+                artefact,
+                EntryCondition::Corrupt("no schema field".to_string()),
+            )
+        }
+    }
+    if field("salt").is_none() || field("digest").is_none() || artefact.is_none() {
+        return (
+            artefact,
+            EntryCondition::Corrupt("missing envelope fields".to_string()),
+        );
+    }
+    let Some(payload) = envelope.get("payload") else {
+        return (artefact, EntryCondition::Corrupt("no payload".to_string()));
+    };
+    let expected = payload_fnv_hex(payload);
+    if field("payload_fnv").as_deref() != Some(expected.as_str()) {
+        return (
+            artefact,
+            EntryCondition::Corrupt("payload digest mismatch".to_string()),
+        );
+    }
+    (artefact, EntryCondition::Valid)
 }
 
 #[cfg(test)]

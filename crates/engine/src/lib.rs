@@ -20,6 +20,12 @@
 //!   `darksil-json`. Corrupt or stale entries fall back to
 //!   recomputation with a typed [`DarksilError`] diagnostic
 //!   (`cache`/`io` class) rather than failing the run.
+//! - [`Supervisor`], the job-supervision layer: per-attempt wall-clock
+//!   deadlines delivered through `darksil-robust`'s scoped
+//!   `RunContext`, retries with seeded jittered exponential backoff
+//!   ([`BackoffPolicy`]), a per-class [`CircuitBreaker`] against retry
+//!   storms, and an optional final declared-degraded attempt. Every
+//!   attempt is journalled as an [`AttemptRecord`].
 //!
 //! # Worker-count resolution
 //!
@@ -28,13 +34,22 @@
 //! applies, and failing that [`std::thread::available_parallelism`].
 //! [`Engine::auto`] reads the resolved value.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod cache;
 mod par_map;
 mod pool;
+mod supervisor;
 
-pub use cache::{stable_hash, CacheKey, CacheOutcome, ResultCache, DEFAULT_CACHE_DIR};
+pub use cache::{
+    clear_dir, evict_corrupt, scan_dir, stable_hash, CacheKey, CacheOutcome, EntryCondition,
+    EntryReport, ResultCache, DEFAULT_CACHE_DIR,
+};
 pub use par_map::Engine;
 pub use pool::{JobHandle, ThreadPool};
+pub use supervisor::{
+    AttemptRecord, BackoffPolicy, CircuitBreaker, JobSpec, Supervised, Supervisor,
+};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -79,11 +79,19 @@ impl Engine {
         let mut slots: Vec<Option<Result<T, DarksilError>>> = Vec::with_capacity(total);
         slots.resize_with(total, || None);
 
+        // The caller's RunContext (cancellation token, degraded flag,
+        // attempt number) is re-installed inside every worker, so a
+        // supervised job's deadline reaches nested fan-outs too. The
+        // serial path above needs nothing: it never leaves the caller's
+        // thread.
+        let context = darksil_robust::run_context();
+
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let tx = tx.clone();
                 let queue = &queue;
                 let f = &f;
+                let context = &context;
                 scope.spawn(move || loop {
                     // The lock is only held to pop; jobs run unlocked,
                     // so a panicking job can never poison the queue.
@@ -91,7 +99,8 @@ impl Engine {
                     let Ok(Some((index, item))) = next else {
                         break;
                     };
-                    if tx.send((index, run_job(f, item))).is_err() {
+                    let outcome = darksil_robust::scoped(context, || run_job(f, item));
+                    if tx.send((index, outcome)).is_err() {
                         break;
                     }
                 });
@@ -212,6 +221,42 @@ mod tests {
         assert!(err.to_string().contains("budget blown at 6"), "{err}");
         let ok = engine.try_par_map((0..10).collect::<Vec<usize>>(), Ok);
         assert_eq!(ok.expect("all succeed"), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn workers_inherit_the_callers_run_context() {
+        let ctx = darksil_robust::RunContext::unbounded()
+            .degraded_mode(true)
+            .attempt_number(3);
+        let results = darksil_robust::scoped(&ctx, || {
+            Engine::new(4).par_map((0..8).collect::<Vec<usize>>(), |i| {
+                if darksil_robust::is_degraded() && darksil_robust::current_attempt() == 3 {
+                    Ok(i)
+                } else {
+                    Err(DarksilError::internal("context did not reach the worker"))
+                }
+            })
+        });
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r.as_ref().expect("context propagated"), i);
+        }
+    }
+
+    #[test]
+    fn an_expired_context_cancels_jobs_inside_workers() {
+        let ctx = darksil_robust::RunContext::with_token(
+            darksil_robust::CancellationToken::with_deadline(std::time::Duration::from_millis(0)),
+        );
+        let results = darksil_robust::scoped(&ctx, || {
+            Engine::new(2).par_map(vec![(); 4], |()| {
+                darksil_robust::check_deadline("fan-out job")?;
+                Ok(())
+            })
+        });
+        for r in &results {
+            let err = r.as_ref().expect_err("deadline observed in worker");
+            assert_eq!(err.class(), darksil_robust::ErrorClass::Deadline);
+        }
     }
 
     #[test]

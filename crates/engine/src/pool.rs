@@ -86,14 +86,18 @@ impl ThreadPool {
         F: FnOnce() -> Result<T, DarksilError> + Send + 'static,
     {
         let (tx, rx) = mpsc::channel();
+        // Capture the submitter's RunContext so a supervised caller's
+        // deadline/degraded state travels with the job onto the worker.
+        let context = darksil_robust::run_context();
         let wrapped: Job = Box::new(move || {
-            let outcome = match catch_unwind(AssertUnwindSafe(job)) {
-                Ok(result) => result,
-                Err(payload) => Err(DarksilError::internal(format!(
-                    "job panicked: {}",
-                    crate::panic_message(payload.as_ref())
-                ))),
-            };
+            let outcome =
+                darksil_robust::scoped(&context, || match catch_unwind(AssertUnwindSafe(job)) {
+                    Ok(result) => result,
+                    Err(payload) => Err(DarksilError::internal(format!(
+                        "job panicked: {}",
+                        crate::panic_message(payload.as_ref())
+                    ))),
+                });
             // The receiver may have been dropped; nothing to do then.
             let _ = tx.send(outcome);
         });

@@ -1,0 +1,575 @@
+//! Job supervision: deadlines, retries with deterministic backoff, a
+//! per-class circuit breaker, and declared graceful degradation.
+//!
+//! The [`Supervisor`] wraps one job closure and drives it through a
+//! policy described by a [`JobSpec`]:
+//!
+//! 1. Every attempt runs under a fresh [`CancellationToken`] carrying
+//!    the spec's wall-clock budget, installed as the thread-scoped
+//!    [`RunContext`] — CG iterations and policy-step loops below poll
+//!    it and return `ErrorClass::Deadline` instead of wedging the
+//!    worker.
+//! 2. Failures whose [`ErrorClass::is_retryable`] re-run up to
+//!    `max_retries` times, sleeping a seeded, jittered exponential
+//!    backoff between attempts ([`BackoffPolicy`]). The delays are a
+//!    pure function of (seed, job name, attempt), so a replayed run
+//!    waits exactly the same milliseconds.
+//! 3. A [`CircuitBreaker`] counts consecutive failures per artefact
+//!    class; once a class trips, further retries in that class are
+//!    skipped (first attempts still run), stopping retry storms when a
+//!    whole family of jobs is broken.
+//! 4. When retries are exhausted and the spec allows it, one final
+//!    attempt runs in *declared degraded mode* (`RunContext::is_degraded`
+//!    set): solvers relax their tolerances, injected hangs stand down,
+//!    and a success is reported with `degraded = true` so the artefact
+//!    can be tagged rather than dropped.
+//!
+//! Every attempt is recorded as an [`AttemptRecord`] (outcome, class,
+//! backoff, wall-clock) for the run journal and error report.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use darksil_json::{Json, ToJson};
+use darksil_robust::{CancellationToken, DarksilError, RunContext, SplitMix64};
+
+/// Seeded, jittered exponential backoff. `delay_ms(name, retry)` is a
+/// pure function of the policy and its inputs — deterministic across
+/// runs, de-synchronised across jobs (the job name salts the jitter).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry, in milliseconds.
+    pub base_ms: u64,
+    /// Upper bound on any single delay, in milliseconds.
+    pub cap_ms: u64,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by a factor
+    /// drawn uniformly from `1 ± jitter`.
+    pub jitter: f64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        Self {
+            base_ms: 50,
+            cap_ms: 2_000,
+            jitter: 0.25,
+            seed: 0x5eed_ba5e,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The delay before retry number `retry` (1-based) of the job
+    /// called `name`, in milliseconds.
+    #[must_use]
+    pub fn delay_ms(&self, name: &str, retry: u32) -> u64 {
+        let exponential = self
+            .base_ms
+            .saturating_mul(1_u64 << retry.saturating_sub(1).min(20))
+            .min(self.cap_ms);
+        let salt = crate::stable_hash(name.as_bytes());
+        let mut rng = SplitMix64::new(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(salt)
+                .wrapping_add(u64::from(retry)),
+        );
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        let factor = 1.0 - jitter + 2.0 * jitter * rng.next_f64();
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+        #[allow(clippy::cast_sign_loss)]
+        let jittered = (exponential as f64 * factor).round() as u64;
+        jittered.min(self.cap_ms)
+    }
+}
+
+/// Consecutive-failure counter per artefact class. A class whose count
+/// reaches the threshold is *open*: the supervisor stops retrying jobs
+/// of that class (first attempts still run, and a success resets the
+/// counter and closes the breaker).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    consecutive: Mutex<HashMap<String, u32>>,
+}
+
+impl CircuitBreaker {
+    /// A breaker that opens after `threshold` consecutive failures in
+    /// one class (clamped to at least 1).
+    #[must_use]
+    pub fn new(threshold: u32) -> Self {
+        Self {
+            threshold: threshold.max(1),
+            consecutive: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Whether `class` has tripped the breaker.
+    #[must_use]
+    pub fn is_open(&self, class: &str) -> bool {
+        self.consecutive
+            .lock()
+            .map(|map| map.get(class).copied().unwrap_or(0) >= self.threshold)
+            .unwrap_or(false)
+    }
+
+    /// Records a successful attempt, closing the class's breaker.
+    pub fn record_success(&self, class: &str) {
+        if let Ok(mut map) = self.consecutive.lock() {
+            map.remove(class);
+        }
+    }
+
+    /// Records a failed attempt.
+    pub fn record_failure(&self, class: &str) {
+        if let Ok(mut map) = self.consecutive.lock() {
+            *map.entry(class.to_string()).or_insert(0) += 1;
+        }
+    }
+}
+
+/// The supervision policy for one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Job name, used in diagnostics and to salt the backoff jitter.
+    pub name: String,
+    /// Artefact class for the circuit breaker (jobs sharing a class
+    /// share a consecutive-failure counter).
+    pub class: String,
+    /// Wall-clock budget per attempt; `None` runs unbounded.
+    pub deadline: Option<Duration>,
+    /// Retries after the first attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Whether to run one final declared-degraded attempt after the
+    /// retry budget is exhausted on a retryable failure.
+    pub degrade_on_exhaustion: bool,
+}
+
+impl JobSpec {
+    /// A spec with the given name and class, no deadline, two retries,
+    /// and no degradation.
+    #[must_use]
+    pub fn new(name: impl Into<String>, class: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            class: class.into(),
+            deadline: None,
+            max_retries: 2,
+            degrade_on_exhaustion: false,
+        }
+    }
+}
+
+/// One attempt in a supervised job's timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptRecord {
+    /// 0-based attempt number.
+    pub attempt: u32,
+    /// Whether this attempt ran in declared degraded mode.
+    pub degraded: bool,
+    /// `"ok"` or the failing error's class label.
+    pub outcome: String,
+    /// The failure message, for non-`ok` attempts.
+    pub error: Option<String>,
+    /// Backoff slept *after* this attempt before the next one, in
+    /// milliseconds (0 when no retry followed).
+    pub backoff_ms: u64,
+    /// Wall-clock seconds this attempt took.
+    pub seconds: f64,
+}
+
+impl ToJson for AttemptRecord {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("attempt".to_string(), Json::Num(f64::from(self.attempt))),
+            ("degraded".to_string(), Json::Bool(self.degraded)),
+            ("outcome".to_string(), Json::Str(self.outcome.clone())),
+        ];
+        if let Some(error) = &self.error {
+            fields.push(("error".to_string(), Json::Str(error.clone())));
+        }
+        #[allow(clippy::cast_precision_loss)]
+        fields.push(("backoff_ms".to_string(), Json::Num(self.backoff_ms as f64)));
+        fields.push(("seconds".to_string(), Json::Num(self.seconds)));
+        Json::Obj(fields)
+    }
+}
+
+/// The outcome of a supervised job: the final result, the per-attempt
+/// timeline, and whether the success came from a degraded attempt.
+#[derive(Debug)]
+pub struct Supervised<T> {
+    /// The last attempt's result.
+    pub result: Result<T, DarksilError>,
+    /// Every attempt, in order.
+    pub attempts: Vec<AttemptRecord>,
+    /// Whether [`Self::result`] is a success produced in declared
+    /// degraded mode.
+    pub degraded: bool,
+}
+
+/// Drives jobs through deadline/retry/degrade supervision. Safe to
+/// share across worker threads by reference (the breaker state is
+/// internally locked).
+#[derive(Debug)]
+pub struct Supervisor {
+    backoff: BackoffPolicy,
+    breaker: CircuitBreaker,
+    /// Sleeps are real by default; tests shrink them via the policy.
+    sleep: fn(Duration),
+}
+
+impl Supervisor {
+    /// A supervisor with the given backoff policy and circuit-breaker
+    /// threshold.
+    #[must_use]
+    pub fn new(backoff: BackoffPolicy, breaker_threshold: u32) -> Self {
+        Self {
+            backoff,
+            breaker: CircuitBreaker::new(breaker_threshold),
+            sleep: std::thread::sleep,
+        }
+    }
+
+    /// The breaker, for reporting which classes have tripped.
+    #[must_use]
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Runs `job` under `spec`'s policy. The job closure observes its
+    /// deadline, attempt number, and degraded flag through the
+    /// thread-scoped [`RunContext`] (`darksil_robust::check_deadline`
+    /// and friends); it needs no supervision-aware signature.
+    pub fn run<T>(
+        &self,
+        spec: &JobSpec,
+        job: impl Fn() -> Result<T, DarksilError>,
+    ) -> Supervised<T> {
+        let mut attempts = Vec::new();
+        let mut attempt: u32 = 0;
+        loop {
+            let (result, seconds) = self.attempt(spec, attempt, false, &job);
+            match result {
+                Ok(value) => {
+                    self.breaker.record_success(&spec.class);
+                    attempts.push(AttemptRecord {
+                        attempt,
+                        degraded: false,
+                        outcome: "ok".to_string(),
+                        error: None,
+                        backoff_ms: 0,
+                        seconds,
+                    });
+                    return Supervised {
+                        result: Ok(value),
+                        attempts,
+                        degraded: false,
+                    };
+                }
+                Err(error) => {
+                    self.breaker.record_failure(&spec.class);
+                    let retryable = error.class().is_retryable();
+                    let breaker_open = self.breaker.is_open(&spec.class);
+                    if retryable && attempt < spec.max_retries && !breaker_open {
+                        let next_retry = attempt + 1;
+                        let backoff_ms = self.backoff.delay_ms(&spec.name, next_retry);
+                        attempts.push(AttemptRecord {
+                            attempt,
+                            degraded: false,
+                            outcome: error.class().label().to_string(),
+                            error: Some(error.to_string()),
+                            backoff_ms,
+                            seconds,
+                        });
+                        (self.sleep)(Duration::from_millis(backoff_ms));
+                        attempt = next_retry;
+                        continue;
+                    }
+                    attempts.push(AttemptRecord {
+                        attempt,
+                        degraded: false,
+                        outcome: error.class().label().to_string(),
+                        error: Some(error.to_string()),
+                        backoff_ms: 0,
+                        seconds,
+                    });
+                    // Last resort: one declared-degraded attempt with a
+                    // fresh deadline. The breaker does not gate it — it
+                    // is the escape hatch, not another retry.
+                    if retryable && spec.degrade_on_exhaustion {
+                        let degraded_attempt = attempt + 1;
+                        let (result, seconds) = self.attempt(spec, degraded_attempt, true, &job);
+                        match result {
+                            Ok(value) => {
+                                self.breaker.record_success(&spec.class);
+                                attempts.push(AttemptRecord {
+                                    attempt: degraded_attempt,
+                                    degraded: true,
+                                    outcome: "ok".to_string(),
+                                    error: None,
+                                    backoff_ms: 0,
+                                    seconds,
+                                });
+                                return Supervised {
+                                    result: Ok(value),
+                                    attempts,
+                                    degraded: true,
+                                };
+                            }
+                            Err(final_error) => {
+                                self.breaker.record_failure(&spec.class);
+                                attempts.push(AttemptRecord {
+                                    attempt: degraded_attempt,
+                                    degraded: true,
+                                    outcome: final_error.class().label().to_string(),
+                                    error: Some(final_error.to_string()),
+                                    backoff_ms: 0,
+                                    seconds,
+                                });
+                                return Supervised {
+                                    result: Err(final_error),
+                                    attempts,
+                                    degraded: false,
+                                };
+                            }
+                        }
+                    }
+                    return Supervised {
+                        result: Err(error),
+                        attempts,
+                        degraded: false,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Runs one attempt under a fresh token scoped to the thread.
+    fn attempt<T>(
+        &self,
+        spec: &JobSpec,
+        attempt: u32,
+        degraded: bool,
+        job: &impl Fn() -> Result<T, DarksilError>,
+    ) -> (Result<T, DarksilError>, f64) {
+        let token = spec.deadline.map_or_else(
+            CancellationToken::unbounded,
+            CancellationToken::with_deadline,
+        );
+        let context = RunContext::with_token(token)
+            .attempt_number(attempt)
+            .degraded_mode(degraded);
+        let started = Instant::now();
+        let result = darksil_robust::scoped(&context, job);
+        (result, started.elapsed().as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn fast_supervisor(threshold: u32) -> Supervisor {
+        Supervisor::new(
+            BackoffPolicy {
+                base_ms: 0,
+                cap_ms: 0,
+                ..BackoffPolicy::default()
+            },
+            threshold,
+        )
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_jittered() {
+        let policy = BackoffPolicy::default();
+        let a = policy.delay_ms("fig5", 1);
+        let b = policy.delay_ms("fig5", 1);
+        assert_eq!(a, b, "same inputs, same delay");
+        assert_ne!(
+            policy.delay_ms("fig5", 1),
+            policy.delay_ms("fig6", 1),
+            "different jobs de-synchronise"
+        );
+        // Jitter stays within ±25% of the exponential schedule.
+        for retry in 1..=4 {
+            let nominal = 50 * (1 << (retry - 1));
+            let delay = policy.delay_ms("fig5", retry);
+            #[allow(clippy::cast_precision_loss)]
+            let ratio = delay as f64 / f64::from(nominal);
+            assert!((0.75..=1.25).contains(&ratio), "retry {retry}: {delay} ms");
+        }
+        // The cap bounds even deep retries.
+        assert!(policy.delay_ms("fig5", 30) <= policy.cap_ms);
+    }
+
+    #[test]
+    fn first_success_needs_no_retries() {
+        let sup = fast_supervisor(4);
+        let spec = JobSpec::new("job", "fast");
+        let out = sup.run(&spec, || Ok(42));
+        assert_eq!(out.result.expect("ok"), 42);
+        assert_eq!(out.attempts.len(), 1);
+        assert_eq!(out.attempts[0].outcome, "ok");
+        assert!(!out.degraded);
+    }
+
+    #[test]
+    fn transient_failures_are_retried_until_success() {
+        let sup = fast_supervisor(10);
+        let spec = JobSpec {
+            max_retries: 3,
+            ..JobSpec::new("flaky", "thermal")
+        };
+        let calls = AtomicU32::new(0);
+        let out = sup.run(&spec, || {
+            if calls.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err(DarksilError::injected("transient"))
+            } else {
+                Ok("done")
+            }
+        });
+        assert_eq!(out.result.expect("third attempt wins"), "done");
+        assert_eq!(out.attempts.len(), 3);
+        assert_eq!(out.attempts[0].outcome, "injected");
+        assert_eq!(out.attempts[2].outcome, "ok");
+        // Attempt numbers line up with the RunContext the job saw.
+        assert_eq!(out.attempts[2].attempt, 2);
+    }
+
+    #[test]
+    fn non_retryable_failures_fail_fast() {
+        let sup = fast_supervisor(4);
+        let spec = JobSpec {
+            max_retries: 5,
+            ..JobSpec::new("bad-config", "fast")
+        };
+        let calls = AtomicU32::new(0);
+        let out = sup.run(&spec, || -> Result<(), DarksilError> {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(DarksilError::config("node 14 does not exist"))
+        });
+        assert!(out.result.is_err());
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "config errors never retry");
+    }
+
+    #[test]
+    fn the_job_observes_its_attempt_number_and_deadline() {
+        let sup = fast_supervisor(10);
+        let spec = JobSpec {
+            deadline: Some(Duration::from_secs(3600)),
+            max_retries: 2,
+            ..JobSpec::new("ctx", "fast")
+        };
+        let out = sup.run(&spec, || {
+            let attempt = darksil_robust::current_attempt();
+            darksil_robust::check_deadline("probe")?;
+            if attempt < 2 {
+                Err(DarksilError::solver(format!("stall on attempt {attempt}")))
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out.result.expect("succeeds on attempt 2"), 2);
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_when_allowed() {
+        let sup = fast_supervisor(10);
+        let spec = JobSpec {
+            max_retries: 1,
+            degrade_on_exhaustion: true,
+            ..JobSpec::new("hot", "thermal")
+        };
+        let out = sup.run(&spec, || {
+            if darksil_robust::is_degraded() {
+                Ok("coarse answer")
+            } else {
+                Err(DarksilError::deadline("full-accuracy solve too slow"))
+            }
+        });
+        assert_eq!(out.result.expect("degraded attempt wins"), "coarse answer");
+        assert!(out.degraded);
+        let last = out.attempts.last().expect("records");
+        assert!(last.degraded);
+        assert_eq!(last.outcome, "ok");
+        assert_eq!(out.attempts.len(), 3, "2 strict attempts + 1 degraded");
+    }
+
+    #[test]
+    fn an_open_breaker_stops_retries_but_not_first_attempts() {
+        let sup = fast_supervisor(2);
+        let spec = JobSpec {
+            max_retries: 5,
+            ..JobSpec::new("storm", "thermal")
+        };
+        let calls = AtomicU32::new(0);
+        let out = sup.run(&spec, || -> Result<(), DarksilError> {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(DarksilError::solver("still broken"))
+        });
+        assert!(out.result.is_err());
+        // Threshold 2: first attempt + one retry, then the breaker opens.
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert!(sup.breaker().is_open("thermal"));
+        // A different job in the tripped class fails fast on attempt 1.
+        let calls2 = AtomicU32::new(0);
+        let out2 = sup.run(&spec, || -> Result<(), DarksilError> {
+            calls2.fetch_add(1, Ordering::SeqCst);
+            Err(DarksilError::solver("same storm"))
+        });
+        assert!(out2.result.is_err());
+        assert_eq!(calls2.load(Ordering::SeqCst), 1, "no retry while open");
+        // A success closes the breaker again.
+        let _ = sup.run(&spec, || Ok(()));
+        assert!(!sup.breaker().is_open("thermal"));
+    }
+
+    #[test]
+    fn a_deadline_cancels_a_cooperative_spin_and_degrades() {
+        let sup = fast_supervisor(10);
+        let spec = JobSpec {
+            deadline: Some(Duration::from_millis(30)),
+            max_retries: 1,
+            degrade_on_exhaustion: true,
+            ..JobSpec::new("hang", "thermal")
+        };
+        let out = sup.run(&spec, || {
+            if darksil_robust::is_degraded() {
+                return Ok("relaxed solve converged");
+            }
+            loop {
+                darksil_robust::check_deadline("spin")?;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        assert_eq!(
+            out.result.expect("degraded rescue"),
+            "relaxed solve converged"
+        );
+        assert!(out.degraded);
+        assert_eq!(out.attempts[0].outcome, "deadline");
+        assert_eq!(out.attempts[1].outcome, "deadline");
+    }
+
+    #[test]
+    fn attempt_records_serialise() {
+        let record = AttemptRecord {
+            attempt: 1,
+            degraded: false,
+            outcome: "deadline".to_string(),
+            error: Some("[deadline] cg iteration: wall-clock deadline exceeded".to_string()),
+            backoff_ms: 75,
+            seconds: 0.5,
+        };
+        let json = record.to_json();
+        assert_eq!(json.get("outcome"), Some(&Json::Str("deadline".into())));
+        assert_eq!(json.get("backoff_ms"), Some(&Json::Num(75.0)));
+        assert!(json.get("error").is_some());
+    }
+}

@@ -168,6 +168,86 @@ fn truncated_or_corrupt_entries_recover_with_a_typed_diagnostic() {
 }
 
 #[test]
+fn a_flipped_payload_bit_is_caught_by_the_payload_digest() {
+    let scratch = Scratch::new("bitflip");
+    let cache = ResultCache::open(&scratch.0, "v1");
+    let key = cache.key("fig7", &Json::Null);
+    cache
+        .get_or_compute(&key, || scenario_job(7))
+        .expect("seed the cache");
+
+    // Corrupt the payload *inside* an otherwise well-formed envelope:
+    // every header field still matches, only the payload digest can
+    // catch this.
+    let path = scratch.0.join(key.file_name());
+    let text = fs::read_to_string(&path).expect("entry exists");
+    let tampered = text.replace("\"seed\": 7", "\"seed\": 8");
+    assert_ne!(text, tampered, "tamper point must exist");
+    fs::write(&path, tampered).expect("tamper");
+
+    let cold = ResultCache::open(&scratch.0, "v1");
+    let (_, outcome) = cold
+        .get_or_compute(&key, || scenario_job(7))
+        .expect("recovery never fails the run");
+    assert!(
+        matches!(outcome, CacheOutcome::Recovered(ref d)
+            if d.to_string().contains("payload digest mismatch")),
+        "{outcome:?}"
+    );
+}
+
+#[test]
+fn maintenance_scan_verify_evict_and_clear() {
+    let scratch = Scratch::new("maintenance");
+    let cache = ResultCache::open(&scratch.0, "v1");
+    for (artefact, seed) in [("fig5", 5_u64), ("fig6", 6), ("fig7", 7)] {
+        let key = cache.key(artefact, &Json::Null);
+        cache
+            .get_or_compute(&key, || scenario_job(seed))
+            .expect("seed the cache");
+    }
+
+    // A clean cache scans valid.
+    let reports = darksil_engine::scan_dir(&scratch.0).expect("scan");
+    assert_eq!(reports.len(), 3);
+    assert!(reports.iter().all(darksil_engine::EntryReport::is_valid));
+    assert_eq!(reports[0].artefact.as_deref(), Some("fig5"));
+    assert!(reports[0].bytes > 0);
+
+    // Corrupt one entry, plant a leftover temp file, and drop in an
+    // unrelated file that maintenance must leave alone.
+    let victim = scratch.0.join(cache.key("fig6", &Json::Null).file_name());
+    fs::write(&victim, "{ not json").expect("corrupt");
+    fs::write(scratch.0.join("orphan.json.tmp"), "partial").expect("tmp leftover");
+    fs::write(scratch.0.join("README"), "not a cache entry").expect("bystander");
+
+    let reports = darksil_engine::scan_dir(&scratch.0).expect("scan");
+    assert_eq!(reports.len(), 4, "3 entries + 1 tmp, README ignored");
+    let corrupt: Vec<_> = reports.iter().filter(|r| !r.is_valid()).collect();
+    assert_eq!(corrupt.len(), 2);
+
+    // Evict removes exactly the corrupt files.
+    let removed = darksil_engine::evict_corrupt(&scratch.0, &reports).expect("evict");
+    assert_eq!(removed, 2);
+    let reports = darksil_engine::scan_dir(&scratch.0).expect("rescan");
+    assert_eq!(reports.len(), 2);
+    assert!(reports.iter().all(darksil_engine::EntryReport::is_valid));
+
+    // Clear removes the remaining entries but not the bystander.
+    let removed = darksil_engine::clear_dir(&scratch.0).expect("clear");
+    assert_eq!(removed, 2);
+    assert!(darksil_engine::scan_dir(&scratch.0)
+        .expect("scan")
+        .is_empty());
+    assert!(scratch.0.join("README").exists());
+
+    // A directory that never existed is clean, not an error.
+    let ghost = scratch.0.join("never-created");
+    assert!(darksil_engine::scan_dir(&ghost).expect("scan").is_empty());
+    assert_eq!(darksil_engine::clear_dir(&ghost).expect("clear"), 0);
+}
+
+#[test]
 fn cache_key_digest_survives_json_round_trip() {
     // Digests are stored as hex strings because u64 > 2^53 does not
     // survive an f64 round trip; verify the representation is stable.

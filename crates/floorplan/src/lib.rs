@@ -23,6 +23,7 @@
 //! assert!((plan.chip_area().value() - 510.0).abs() < 1e-9);
 //! # Ok::<(), darksil_floorplan::FloorplanError>(())
 //! ```
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod grid_map;
 mod plan;

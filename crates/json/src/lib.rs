@@ -20,6 +20,7 @@
 //! by the parser and serialise as `null`; [`FromJson`] for `f64`
 //! rejects `null`, so a NaN smuggled through serialisation is caught on
 //! the way back in rather than silently propagated into a solver.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod parse;
 mod write;
@@ -67,6 +68,33 @@ impl Json {
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Self::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string value, when this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, when this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Self::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, when this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Self::Bool(b) => Some(*b),
             _ => None,
         }
     }

@@ -40,6 +40,7 @@
 //! assert!(mapping.active_core_count() <= 100);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod arbiter;
 mod dsrem;

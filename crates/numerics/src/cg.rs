@@ -191,6 +191,15 @@ pub fn conjugate_gradient_best_effort(
     let mut ap = vec![0.0; n];
 
     for iter in 1..=max_iter {
+        // Cancellation point: a supervised job's deadline (or explicit
+        // cancel) stops a runaway solve here instead of wedging the
+        // worker. Unsupervised callers run under an unbounded context,
+        // where the poll always passes.
+        if let Err(e) = darksil_robust::check_deadline("cg iteration") {
+            return Err(NumericsError::Cancelled {
+                context: format!("{} after {} iterations", e.message(), iter - 1),
+            });
+        }
         a.mul_vec_into(&p, &mut ap);
         let p_ap = dot(&p, &ap);
         if p_ap <= 0.0 {
@@ -354,6 +363,21 @@ mod tests {
             err,
             NumericsError::ConvergenceFailure { iterations: 2, .. }
         ));
+    }
+
+    #[test]
+    fn a_tripped_deadline_cancels_the_iteration() {
+        let a = laplacian(100);
+        let b = vec![1.0; 100];
+        let ctx = darksil_robust::RunContext::with_token(
+            darksil_robust::CancellationToken::with_deadline(std::time::Duration::from_millis(0)),
+        );
+        let err =
+            darksil_robust::scoped(&ctx, || conjugate_gradient(&a, &b, &CgOptions::default()))
+                .expect_err("expired deadline stops the solve");
+        assert!(matches!(err, NumericsError::Cancelled { .. }), "{err:?}");
+        // Outside the scope the same solve completes normally.
+        conjugate_gradient(&a, &b, &CgOptions::default()).expect("unsupervised solve converges");
     }
 
     #[test]

@@ -30,6 +30,13 @@ pub enum NumericsError {
         /// Where the offending value was found.
         context: String,
     },
+    /// The solve observed a tripped cancellation token (wall-clock
+    /// deadline or explicit cancel) at an iteration boundary and
+    /// stopped cooperatively.
+    Cancelled {
+        /// What was interrupted and why.
+        context: String,
+    },
 }
 
 impl fmt::Display for NumericsError {
@@ -51,6 +58,9 @@ impl fmt::Display for NumericsError {
             Self::NonFinite { context } => {
                 write!(f, "non-finite value: {context}")
             }
+            Self::Cancelled { context } => {
+                write!(f, "solve cancelled: {context}")
+            }
         }
     }
 }
@@ -65,6 +75,7 @@ impl From<NumericsError> for darksil_robust::DarksilError {
             }
             NumericsError::DimensionMismatch { .. } => Self::dimension(e.to_string()),
             NumericsError::NonFinite { .. } => Self::non_finite(e.to_string()),
+            NumericsError::Cancelled { .. } => Self::deadline(e.to_string()),
         }
     }
 }
@@ -92,5 +103,18 @@ mod tests {
             residual: 1.0e-3,
         };
         assert!(e.to_string().contains("100 iterations"));
+        let e = NumericsError::Cancelled {
+            context: "cg iteration: wall-clock deadline exceeded".into(),
+        };
+        assert!(e.to_string().contains("cancelled"));
+    }
+
+    #[test]
+    fn cancellation_maps_to_the_deadline_class() {
+        let e: darksil_robust::DarksilError = NumericsError::Cancelled {
+            context: "cg iteration".into(),
+        }
+        .into();
+        assert_eq!(e.class(), darksil_robust::ErrorClass::Deadline);
     }
 }

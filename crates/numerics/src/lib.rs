@@ -28,10 +28,12 @@
 //! t.add(1, 0, 1.0);
 //! t.add(1, 1, 3.0);
 //! let a = t.to_csr();
-//! let x = conjugate_gradient(&a, &[1.0, 2.0], &CgOptions::default())
-//!     .expect("converges");
+//! let x = conjugate_gradient(&a, &[1.0, 2.0], &CgOptions::default())?;
 //! assert!((a.mul_vec(&x)[0] - 1.0).abs() < 1e-8);
+//! # Ok::<(), darksil_numerics::NumericsError>(())
 //! ```
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod cg;
 mod dense;

@@ -41,8 +41,8 @@ impl std::fmt::Display for VfLevel {
 /// let table = DvfsTable::standard(&vf, Hertz::from_ghz(3.6))?;
 /// // 200 MHz steps: 0.2 … 3.6 GHz.
 /// assert_eq!(table.len(), 18);
-/// let level = table.floor(Hertz::from_ghz(3.05)).expect("on ladder");
-/// assert_eq!(level.frequency, Hertz::from_ghz(3.0));
+/// let floor = table.floor(Hertz::from_ghz(3.05)).map(|level| level.frequency);
+/// assert_eq!(floor, Some(Hertz::from_ghz(3.0)));
 /// # Ok::<(), darksil_power::PowerError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]

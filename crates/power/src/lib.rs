@@ -41,6 +41,7 @@
 //! assert!(p.value() > 1.0 && p.value() < 10.0);
 //! # Ok::<(), darksil_power::PowerError>(())
 //! ```
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod aging;
 mod dvfs;

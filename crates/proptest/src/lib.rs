@@ -12,6 +12,7 @@
 //! - no shrinking: a failing case reports its inputs and stops;
 //! - the default case count is 64 (not 256) to keep `cargo test` fast;
 //! - no persistence files (`*.proptest-regressions` are ignored).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::cell::Cell;
 use std::ops::Range;

@@ -32,6 +32,9 @@ pub enum ErrorClass {
     Cache,
     /// A deliberately injected fault surfaced to the caller.
     Injected,
+    /// A job exceeded its wall-clock budget (or was cancelled) and
+    /// stopped cooperatively at an iteration boundary.
+    Deadline,
     /// An invariant the library promises internally was broken.
     Internal,
 }
@@ -50,8 +53,24 @@ impl ErrorClass {
             Self::Io => "io",
             Self::Cache => "cache",
             Self::Injected => "injected",
+            Self::Deadline => "deadline",
             Self::Internal => "internal",
         }
+    }
+
+    /// Whether a supervisor may retry a failure of this class.
+    ///
+    /// Transient-by-nature classes (a stalled solver, an injected
+    /// fault, a corrupt cache entry, a filesystem hiccup, an expired
+    /// deadline) are worth a fresh attempt; deterministic rejections
+    /// (bad config, mismatched dimensions, exceeded capacity) would
+    /// fail identically every time.
+    #[must_use]
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            Self::Solver | Self::Injected | Self::Cache | Self::Io | Self::Deadline
+        )
     }
 }
 
@@ -137,6 +156,12 @@ impl DarksilError {
     #[must_use]
     pub fn injected(message: impl Into<String>) -> Self {
         Self::new(ErrorClass::Injected, message)
+    }
+
+    /// An exceeded wall-clock budget or observed cancellation.
+    #[must_use]
+    pub fn deadline(message: impl Into<String>) -> Self {
+        Self::new(ErrorClass::Deadline, message)
     }
 
     /// A broken internal invariant.
@@ -241,11 +266,35 @@ mod tests {
             ErrorClass::Io,
             ErrorClass::Cache,
             ErrorClass::Injected,
+            ErrorClass::Deadline,
             ErrorClass::Internal,
         ];
         let mut labels: Vec<_> = classes.iter().map(|c| c.label()).collect();
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), classes.len(), "labels must be unique");
+    }
+
+    #[test]
+    fn retryability_matches_the_supervision_policy() {
+        for class in [
+            ErrorClass::Solver,
+            ErrorClass::Injected,
+            ErrorClass::Cache,
+            ErrorClass::Io,
+            ErrorClass::Deadline,
+        ] {
+            assert!(class.is_retryable(), "{class} should be retryable");
+        }
+        for class in [
+            ErrorClass::Config,
+            ErrorClass::Dimension,
+            ErrorClass::Capacity,
+            ErrorClass::Unsupported,
+            ErrorClass::NonFinite,
+            ErrorClass::Internal,
+        ] {
+            assert!(!class.is_retryable(), "{class} should not be retryable");
+        }
     }
 }

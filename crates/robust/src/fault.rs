@@ -1,6 +1,9 @@
-//! Deterministic fault injection for the thermal feedback loop.
+//! Deterministic fault injection for the thermal feedback loop and
+//! the job-supervision layer.
 
-use crate::SplitMix64;
+use std::time::Duration;
+
+use crate::{DarksilError, SplitMix64};
 
 /// One class of injected fault.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,6 +37,24 @@ pub enum Fault {
     OffLadderFrequency {
         /// The bogus request in GHz.
         ghz: f64,
+    },
+    /// The job spins forever (cooperatively observing its cancellation
+    /// token), modelling a diverging solve. A supervisor must cancel it
+    /// at the deadline; a declared *degraded* attempt skips the hang,
+    /// modelling the relaxed solve that does converge.
+    Hang,
+    /// The job sleeps for `millis` before doing any work, modelling an
+    /// overloaded stage that may or may not beat its deadline.
+    SlowJob {
+        /// Added latency in milliseconds.
+        millis: u64,
+    },
+    /// The job fails with an `injected`-class error on its first
+    /// `failures` attempts and succeeds afterwards, exercising the
+    /// retry machinery end-to-end.
+    TransientThenSucceed {
+        /// Attempts that fail before the first success.
+        failures: u32,
     },
 }
 
@@ -162,6 +183,71 @@ impl FaultPlan {
             _ => None,
         })
     }
+
+    /// Whether the plan carries a [`Fault::Hang`].
+    #[must_use]
+    pub fn hangs(&self) -> bool {
+        self.faults.iter().any(|f| matches!(f, Fault::Hang))
+    }
+
+    /// The added job latency, if the plan carries a [`Fault::SlowJob`].
+    #[must_use]
+    pub fn slow_job_millis(&self) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::SlowJob { millis } => Some(*millis),
+            _ => None,
+        })
+    }
+
+    /// The number of leading attempts that must fail, if the plan
+    /// carries a [`Fault::TransientThenSucceed`].
+    #[must_use]
+    pub fn transient_failures(&self) -> Option<u32> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::TransientThenSucceed { failures } => Some(*failures),
+            _ => None,
+        })
+    }
+
+    /// Applies the job-level faults (slow start, transient failure,
+    /// hang) under the current [`RunContext`](crate::RunContext),
+    /// describing the job as `what` in any error.
+    ///
+    /// - [`Fault::SlowJob`] sleeps, then re-polls the deadline.
+    /// - [`Fault::TransientThenSucceed`] fails with an `injected`-class
+    ///   error while [`crate::current_attempt`] is below the configured
+    ///   count, and passes afterwards.
+    /// - [`Fault::Hang`] spins observing the token until it trips,
+    ///   returning the resulting `deadline`-class error — unless the
+    ///   current attempt is declared degraded, which skips the hang
+    ///   (the degraded re-run is the supervisor's escape hatch for a
+    ///   diverging solve).
+    ///
+    /// # Errors
+    ///
+    /// `injected`-class for a transient failure, `deadline`-class when
+    /// a hang (or slow start) runs into the token.
+    pub fn inject_job_faults(&self, what: &str) -> Result<(), DarksilError> {
+        if let Some(millis) = self.slow_job_millis() {
+            std::thread::sleep(Duration::from_millis(millis));
+            crate::check_deadline(what)?;
+        }
+        if let Some(failures) = self.transient_failures() {
+            let attempt = crate::current_attempt();
+            if attempt < failures {
+                return Err(DarksilError::injected(format!(
+                    "{what}: injected transient fault (attempt {attempt} of {failures} failing)"
+                )));
+            }
+        }
+        if self.hangs() && !crate::is_degraded() {
+            loop {
+                crate::check_deadline(what)?;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Default for FaultPlan {
@@ -230,5 +316,48 @@ mod tests {
             .with(Fault::OffLadderFrequency { ghz: 3.333 });
         assert_eq!(plan.cg_iteration_cap(), Some(2));
         assert_eq!(plan.off_ladder_frequency_ghz(), Some(3.333));
+    }
+
+    #[test]
+    fn supervision_fault_queries() {
+        let plan = FaultPlan::new(1)
+            .with(Fault::Hang)
+            .with(Fault::SlowJob { millis: 15 })
+            .with(Fault::TransientThenSucceed { failures: 2 });
+        assert!(plan.hangs());
+        assert_eq!(plan.slow_job_millis(), Some(15));
+        assert_eq!(plan.transient_failures(), Some(2));
+        let empty = FaultPlan::none();
+        assert!(!empty.hangs());
+        assert_eq!(empty.slow_job_millis(), None);
+        assert_eq!(empty.transient_failures(), None);
+        empty.inject_job_faults("noop").expect("empty plan passes");
+    }
+
+    #[test]
+    fn transient_fault_respects_the_attempt_counter() {
+        let plan = FaultPlan::new(1).with(Fault::TransientThenSucceed { failures: 2 });
+        for attempt in 0..2 {
+            let ctx = crate::RunContext::unbounded().attempt_number(attempt);
+            let err = crate::scoped(&ctx, || plan.inject_job_faults("job"))
+                .expect_err("early attempts fail");
+            assert_eq!(err.class(), crate::ErrorClass::Injected);
+        }
+        let ctx = crate::RunContext::unbounded().attempt_number(2);
+        crate::scoped(&ctx, || plan.inject_job_faults("job")).expect("third attempt passes");
+    }
+
+    #[test]
+    fn hang_is_cancelled_at_the_deadline_and_skipped_when_degraded() {
+        let plan = FaultPlan::new(1).with(Fault::Hang);
+        let bounded = crate::RunContext::with_token(crate::CancellationToken::with_deadline(
+            Duration::from_millis(20),
+        ));
+        let err = crate::scoped(&bounded, || plan.inject_job_faults("hung solve"))
+            .expect_err("deadline cancels the hang");
+        assert_eq!(err.class(), crate::ErrorClass::Deadline);
+        let degraded = crate::RunContext::unbounded().degraded_mode(true);
+        crate::scoped(&degraded, || plan.inject_job_faults("hung solve"))
+            .expect("degraded attempt skips the hang");
     }
 }

@@ -10,14 +10,27 @@
 //!   machine-readable classes without downcasting.
 //! - [`FaultPlan`], the fault-injection harness. Tests and the `repro
 //!   --inject` flag use it to corrupt sensor readings, poison power
-//!   samples with NaN, cap CG iteration budgets, and request
-//!   off-ladder frequencies, verifying that DTM and DsRem *degrade*
-//!   (throttle, report extra dark silicon) instead of panicking.
+//!   samples with NaN, cap CG iteration budgets, request off-ladder
+//!   frequencies, and simulate hung/slow/transiently-failing jobs,
+//!   verifying that DTM, DsRem and the job supervisor *degrade*
+//!   (throttle, retry, relax tolerances) instead of panicking.
+//! - [`CancellationToken`] / [`RunContext`], cooperative cancellation
+//!   with wall-clock deadlines. The context is thread-scoped (see
+//!   [`scoped`]) so CG iterations and per-step policy loops can poll
+//!   [`check_deadline`] without every solver signature growing a token
+//!   parameter.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod cancel;
 mod error;
 mod fault;
 mod rng;
 
+pub use cancel::{
+    check_deadline, current_attempt, is_degraded, run_context, scoped, CancellationToken,
+    RunContext,
+};
 pub use error::{DarksilError, ErrorClass};
 pub use fault::{Fault, FaultPlan};
 pub use rng::SplitMix64;

@@ -377,8 +377,25 @@ impl ThermalModel {
         power: &[Watts],
     ) -> Result<(ThermalMap, SolveDiagnostics), ThermalError> {
         let rhs = self.rhs(power)?;
-        let (state, diagnostics) = solve_spd_robust(&self.g, &rhs, &CgOptions::default())?;
+        let (state, diagnostics) = solve_spd_robust(&self.g, &rhs, &self.cg_options())?;
         Ok((self.map_from_state(state), diagnostics))
+    }
+
+    /// The CG configuration for steady-state solves: the strict default
+    /// normally, the declared-degraded tolerance
+    /// ([`DEGRADED_CG_TOLERANCE`](crate::DEGRADED_CG_TOLERANCE)) when
+    /// the current [`darksil_robust::RunContext`] runs a degraded
+    /// attempt — a supervisor's last resort for a solve that blew its
+    /// deadline at full accuracy.
+    fn cg_options(&self) -> CgOptions {
+        if darksil_robust::is_degraded() {
+            CgOptions {
+                tolerance: crate::DEGRADED_CG_TOLERANCE,
+                ..CgOptions::default()
+            }
+        } else {
+            CgOptions::default()
+        }
     }
 
     /// Pre-factors the conductance matrix (dense LU) for repeated

@@ -38,6 +38,7 @@
 //! assert!(p20 > p80);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use darksil_floorplan::{CoreId, Floorplan};
 use darksil_thermal::{ThermalError, ThermalModel};

@@ -30,6 +30,7 @@
 //! assert_eq!(e.value(), 6.8); // joules
 //! assert_eq!(v.value(), 1.05);
 //! ```
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod quantity;
 mod temperature;

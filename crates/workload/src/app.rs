@@ -84,9 +84,13 @@ impl ParsecApp {
             app: self,
             parallel_fraction,
             wide_fraction,
-            trace: match TraceProfile::new(ilp, mpi, 60.0) {
-                Ok(trace) => trace,
-                Err(_) => unreachable!("built-in profile parameters are valid"),
+            // The built-in parameters are all finite and positive, so
+            // the fallible constructor is bypassed with a literal
+            // rather than panicking on an impossible error.
+            trace: TraceProfile {
+                ilp_limit: ilp,
+                misses_per_instr: mpi,
+                mem_latency_ns: 60.0,
             },
             ceff_factor,
         }

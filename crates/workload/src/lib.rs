@@ -35,6 +35,7 @@
 //! assert!(gips.value() > 150.0 && gips.value() < 350.0);
 //! # Ok::<(), darksil_workload::WorkloadError>(())
 //! ```
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod app;
 mod instance;

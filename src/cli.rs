@@ -78,8 +78,43 @@ pub enum Command {
         /// Simulated seconds.
         duration: f64,
     },
+    /// Result-cache maintenance (`results/.cache` by default).
+    Cache {
+        /// What to do with the cache.
+        action: CacheAction,
+        /// Cache directory.
+        dir: String,
+        /// For `verify`: delete corrupt entries instead of only
+        /// reporting them.
+        evict: bool,
+    },
     /// Print usage.
     Help,
+}
+
+/// A `darksil cache` action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheAction {
+    /// Summarise the cache: entry count, bytes, corrupt entries.
+    Stats,
+    /// Re-check every entry's envelope and payload digest; non-zero
+    /// exit when corruption is found (unless `--evict` removes it).
+    Verify,
+    /// Delete every cache entry.
+    Clear,
+}
+
+impl CacheAction {
+    fn parse(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "stats" => Ok(Self::Stats),
+            "verify" => Ok(Self::Verify),
+            "clear" => Ok(Self::Clear),
+            other => Err(ParseError(format!(
+                "unknown cache action '{other}' (use stats|verify|clear)"
+            ))),
+        }
+    }
 }
 
 /// A parse failure with a user-facing message.
@@ -105,6 +140,7 @@ USAGE:
   darksil map      --node <nm> --policy <tdpmap|dsrem> [--mix N] [--tdp W]
   darksil boost    --node <nm> [--app NAME] [--instances N] [--duration S]
   darksil run      <scenario.json> [--json]
+  darksil cache    <stats|verify|clear> [--dir DIR] [--evict]
   darksil help
 
 Every subcommand also accepts --jobs N (worker threads for parallel
@@ -194,6 +230,30 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         }
         let path = path.ok_or_else(|| ParseError("run expects a scenario file".into()))?;
         return Ok(Command::Run { path, json });
+    }
+    if cmd == "cache" {
+        let action =
+            CacheAction::parse(it.next().ok_or_else(|| {
+                ParseError("cache expects an action (stats|verify|clear)".into())
+            })?)?;
+        let mut dir = darksil_engine::DEFAULT_CACHE_DIR.to_string();
+        let mut evict = false;
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--dir" => {
+                    dir = it
+                        .next()
+                        .cloned()
+                        .ok_or_else(|| ParseError("--dir expects a value".into()))?;
+                }
+                "--evict" => evict = true,
+                other => return Err(ParseError(format!("unknown argument '{other}'"))),
+            }
+        }
+        if evict && action != CacheAction::Verify {
+            return Err(ParseError("--evict only applies to cache verify".into()));
+        }
+        return Ok(Command::Cache { action, dir, evict });
     }
     let mut node = None;
     let mut app = None;
@@ -458,8 +518,56 @@ pub fn run(command: &Command) -> Result<(), Box<dyn std::error::Error>> {
                 constant.peak_power().value()
             );
         }
+        Command::Cache { action, dir, evict } => run_cache(*action, dir, *evict)?,
     }
     Ok(())
+}
+
+/// Executes `darksil cache <action>` against `dir`.
+fn run_cache(
+    action: CacheAction,
+    dir: &str,
+    evict: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use darksil_engine::{clear_dir, evict_corrupt, scan_dir, EntryCondition};
+    let dir = std::path::Path::new(dir);
+    if action == CacheAction::Clear {
+        let removed = clear_dir(dir)?;
+        println!("cache {}: removed {removed} entries", dir.display());
+        return Ok(());
+    }
+    let reports = scan_dir(dir)?;
+    let bytes: u64 = reports.iter().map(|r| r.bytes).sum();
+    let corrupt: Vec<_> = reports.iter().filter(|r| !r.is_valid()).collect();
+    println!(
+        "cache {}: {} entries, {} bytes, {} corrupt",
+        dir.display(),
+        reports.len(),
+        bytes,
+        corrupt.len()
+    );
+    if action == CacheAction::Stats {
+        return Ok(());
+    }
+    for report in &corrupt {
+        if let EntryCondition::Corrupt(reason) = &report.condition {
+            println!("  corrupt: {} — {reason}", report.file_name);
+        }
+    }
+    if corrupt.is_empty() {
+        println!("  all entries verified");
+        return Ok(());
+    }
+    if evict {
+        let removed = evict_corrupt(dir, &reports)?;
+        println!("  evicted {removed} corrupt entries");
+        Ok(())
+    } else {
+        Err(Box::new(ParseError(format!(
+            "{} corrupt cache entries found (re-run with --evict to remove them)",
+            corrupt.len()
+        ))))
+    }
 }
 
 #[cfg(test)]
@@ -595,6 +703,69 @@ mod tests {
         assert!(extract_jobs(&argv("tsp --node 16 --jobs 0")).is_err());
         // Without the pre-strip, subcommand parsers reject the flag.
         assert!(parse(&argv("tsp --node 16 --jobs 4")).is_err());
+    }
+
+    #[test]
+    fn parses_cache() {
+        assert_eq!(
+            parse(&argv("cache stats")).unwrap(),
+            Command::Cache {
+                action: CacheAction::Stats,
+                dir: darksil_engine::DEFAULT_CACHE_DIR.into(),
+                evict: false,
+            }
+        );
+        assert_eq!(
+            parse(&argv("cache verify --dir /tmp/c --evict")).unwrap(),
+            Command::Cache {
+                action: CacheAction::Verify,
+                dir: "/tmp/c".into(),
+                evict: true,
+            }
+        );
+        assert!(parse(&argv("cache")).is_err()); // missing action
+        assert!(parse(&argv("cache defrag")).is_err()); // unknown action
+        assert!(parse(&argv("cache stats --dir")).is_err()); // dangling value
+        assert!(parse(&argv("cache clear --evict")).is_err()); // evict needs verify
+    }
+
+    #[test]
+    fn cache_command_reports_and_evicts_corruption() {
+        let dir = std::env::temp_dir().join(format!("darksil-cli-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("broken.json"), "{ not json").unwrap();
+        let dir_s = dir.to_string_lossy().into_owned();
+
+        // Stats never fails, verify without --evict does, verify with
+        // --evict removes the bad entry, and clear empties the rest.
+        run(&Command::Cache {
+            action: CacheAction::Stats,
+            dir: dir_s.clone(),
+            evict: false,
+        })
+        .unwrap();
+        let err = run(&Command::Cache {
+            action: CacheAction::Verify,
+            dir: dir_s.clone(),
+            evict: false,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("--evict"));
+        run(&Command::Cache {
+            action: CacheAction::Verify,
+            dir: dir_s.clone(),
+            evict: true,
+        })
+        .unwrap();
+        assert!(!dir.join("broken.json").exists());
+        run(&Command::Cache {
+            action: CacheAction::Clear,
+            dir: dir_s,
+            evict: false,
+        })
+        .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! println!("{:.0}% dark", 100.0 * e.dark_fraction);
 //! # Ok::<(), darksil::core::EstimateError>(())
 //! ```
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub use darksil_archsim as archsim;
 pub use darksil_boost as boost;
