@@ -1,10 +1,10 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro <artefact> [--json DIR] [--paper] [--inject ARTEFACT[:KIND]]
-//!                  [--jobs N] [--no-cache] [--cache-dir DIR]
-//!                  [--deadline SECS] [--retries N] [--resume]
-//!                  [--journal PATH]
+//! repro <artefact>... [--json DIR] [--paper] [--inject ARTEFACT[:KIND]]
+//!                     [--jobs N] [--no-cache] [--cache-dir DIR]
+//!                     [--deadline SECS] [--retries N] [--resume]
+//!                     [--journal PATH] [--profile]
 //!
 //! artefacts: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!            fig11 fig12 fig13 fig14 dtm aging variability cooling
@@ -36,6 +36,13 @@
 //! replays the stored JSON instead of recomputing. Corrupt or stale
 //! entries fall back to recomputation with a typed diagnostic. Degraded
 //! payloads are never cached.
+//!
+//! `--profile` turns on `darksil-obs` tracing for the run: per-artefact
+//! spans (with engine/numerics/thermal child spans) land in
+//! `results/trace_repro.json`, and an aggregated perf report with
+//! regression bounds is written to `BENCH_repro.json` in the working
+//! directory. Artefact payloads are byte-identical with profiling on or
+//! off — the trace is a parallel output, never an input.
 
 use std::env;
 use std::fmt::Write as _;
@@ -63,10 +70,13 @@ const CACHE_SALT: &str = "repro-v1";
 /// Usage-error exit code, distinct from artefact failures (1).
 const EXIT_USAGE: u8 = 2;
 
-const USAGE: &str = "usage: repro <table1|fig2..fig14|dtm|aging|variability|cooling|pareto|all>
+const USAGE: &str = "usage: repro <table1|fig2..fig14|dtm|aging|variability|cooling|pareto|all>...
              [--json DIR] [--paper] [--inject ARTEFACT[:KIND]] [--jobs N]
              [--no-cache] [--cache-dir DIR] [--deadline SECS] [--retries N]
-             [--resume] [--journal PATH]
+             [--resume] [--journal PATH] [--profile]
+
+  several artefact names may be given (e.g. `repro table1 fig2 fig8`);
+  `all` selects every artefact and cannot be combined with names
 
   --json DIR         additionally write machine-readable series to DIR
   --paper            run transients at the paper's full horizons (slow)
@@ -91,6 +101,12 @@ const USAGE: &str = "usage: repro <table1|fig2..fig14|dtm|aging|variability|cool
                      fidelity and injection flags must match the
                      journalled run.
   --journal PATH     journal location (default results/run_journal.json)
+  --profile          record a darksil-obs trace of the run: writes
+                     results/trace_repro.json (the span tree — inspect
+                     with `darksil trace summarize`) and BENCH_repro.json
+                     (aggregated per-phase timings with regression
+                     bounds; the committed copy is the CI baseline).
+                     Artefact payloads are unaffected
 
 exit codes:
   0  every artefact completed; a warning is printed on stderr when any
@@ -271,6 +287,8 @@ fn main() -> ExitCode {
     let mut retries: u32 = 2;
     let mut resume = false;
     let mut journal_path = PathBuf::from(DEFAULT_JOURNAL_PATH);
+    let mut profile = false;
+    let mut requested: Vec<String> = vec![artefact.clone()];
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--help" | "-h" => {
@@ -324,6 +342,8 @@ fn main() -> ExitCode {
                 Some(path) => journal_path = PathBuf::from(path),
                 None => return usage_error("--journal requires a file path"),
             },
+            "--profile" => profile = true,
+            other if !other.starts_with('-') => requested.push(other.to_string()),
             other => return usage_error(&format!("unknown flag {other}")),
         }
     }
@@ -342,20 +362,37 @@ fn main() -> ExitCode {
         retries,
     };
 
-    let selected: Vec<Runner> = if artefact == "all" {
+    let selected: Vec<Runner> = if requested.iter().any(|name| name == "all") {
+        if requested.len() > 1 {
+            return usage_error("`all` cannot be combined with artefact names");
+        }
         RUNNERS.to_vec()
     } else {
-        match RUNNERS.iter().find(|(name, _)| *name == artefact) {
-            Some(runner) => vec![*runner],
-            None => return usage_error(&format!("unknown artefact {artefact}")),
+        let mut picked: Vec<Runner> = Vec::new();
+        for name in &requested {
+            match RUNNERS.iter().find(|(known, _)| known == name) {
+                Some(runner) if !picked.iter().any(|(n, _)| n == &runner.0) => {
+                    picked.push(*runner);
+                }
+                Some(_) => {}
+                None => return usage_error(&format!("unknown artefact {name}")),
+            }
         }
+        picked
     };
     let names: Vec<&'static str> = selected.iter().map(|(name, _)| *name).collect();
+    // Stable label for the journal fingerprint and the profile reports:
+    // `all`, a single name, or the deduplicated names joined with `+`.
+    let selection_label = if artefact == "all" {
+        "all".to_string()
+    } else {
+        names.join("+")
+    };
 
     // The journal fingerprints everything that shapes artefact content;
     // resuming under a different configuration would mix incompatible
     // results, so a mismatch is a usage error.
-    let fingerprint = run_fingerprint(&artefact, &options);
+    let fingerprint = run_fingerprint(&selection_label, &options);
     let journal = if resume {
         let journal = match Journal::load(&journal_path) {
             Ok(journal) => journal,
@@ -391,11 +428,16 @@ fn main() -> ExitCode {
 
     let supervisor = Supervisor::new(BackoffPolicy::default(), 4);
 
+    if profile {
+        darksil_obs::enable();
+    }
+    let root_span = darksil_obs::span("repro.run");
     let started = Instant::now();
     let runs = Engine::new(jobs).par_map(selected, |(name, run)| {
         Ok(run_artefact(name, run, &options, &supervisor, &journal))
     });
     let total_seconds = started.elapsed().as_secs_f64();
+    drop(root_span);
 
     let show_headers = artefact == "all";
     let mut outcomes: Vec<ArtefactOutcome> = Vec::with_capacity(runs.len());
@@ -435,6 +477,15 @@ fn main() -> ExitCode {
     if let Err(e) = write_bench_report(jobs, total_seconds, &outcomes) {
         eprintln!("cannot write bench report: {e}");
         return ExitCode::FAILURE;
+    }
+    if profile {
+        let trace = darksil_obs::drain();
+        if let Err(e) =
+            write_profile_reports(&trace, jobs, &selection_label, total_seconds, &outcomes)
+        {
+            eprintln!("cannot write profile reports: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     for o in outcomes.iter().filter(|o| !o.succeeded()) {
         let detail = o
@@ -552,6 +603,7 @@ fn run_artefact(
     supervisor: &Supervisor,
     journal: &Journal,
 ) -> ArtefactRun {
+    let _span = darksil_obs::span_lazy(|| format!("artefact.{name}"));
     // --resume: completed artefacts are skipped outright.
     if journal
         .state_of(name)
@@ -785,6 +837,7 @@ fn persist_payload(
     payload: &Json,
     text: &mut String,
 ) -> Result<(), DarksilError> {
+    let _span = darksil_obs::span("repro.persist");
     let Some(dir) = &options.json_dir else {
         return Ok(());
     };
@@ -928,6 +981,51 @@ fn write_bench_report(
     fs::create_dir_all(dir)?;
     let path = dir.join("bench_repro.json");
     fs::write(&path, darksil_json::to_string_pretty(&report))?;
+    println!("[wrote {}]", path.display());
+    Ok(())
+}
+
+/// How much headroom `--profile` bakes into `BENCH_repro.json` bounds:
+/// a phase may take this many times its measured duration before the
+/// CI comparison fails. Generous on purpose — CI machines are slower
+/// and noisier than the machine that recorded the baseline.
+const PROFILE_TOLERANCE_FACTOR: f64 = 25.0;
+
+/// Writes the `--profile` outputs: the raw span tree to
+/// `results/trace_repro.json` and the aggregated baseline report (per
+/// artefact, per phase, with regression bounds) to `BENCH_repro.json`
+/// in the working directory.
+fn write_profile_reports(
+    trace: &darksil_obs::Trace,
+    jobs: usize,
+    selection: &str,
+    total_seconds: f64,
+    outcomes: &[ArtefactOutcome],
+) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir)?;
+    let trace_path = dir.join("trace_repro.json");
+    fs::write(&trace_path, darksil_json::to_string_pretty(trace))?;
+    println!("[wrote {}]", trace_path.display());
+
+    let artefacts = outcomes
+        .iter()
+        .map(|o| darksil_obs::ArtefactTiming {
+            artefact: o.name.to_string(),
+            seconds: o.seconds,
+            cache: o.cache.to_string(),
+        })
+        .collect();
+    let report = darksil_obs::BenchBaseline::from_trace(
+        trace,
+        jobs,
+        selection,
+        PROFILE_TOLERANCE_FACTOR,
+        total_seconds,
+        artefacts,
+    );
+    let path = Path::new("BENCH_repro.json");
+    fs::write(path, darksil_json::to_string_pretty(&report))?;
     println!("[wrote {}]", path.display());
     Ok(())
 }

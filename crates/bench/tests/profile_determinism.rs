@@ -1,0 +1,122 @@
+//! `repro --profile` must never change what the harness computes: the
+//! artefact payloads have to be byte-identical with profiling on or
+//! off, at any worker count, while the profile run additionally emits
+//! the trace and baseline reports.
+
+use std::fs;
+use std::path::Path;
+use std::process::Command;
+
+/// Runs the `repro` binary in `work_dir` and asserts it succeeded.
+fn repro(work_dir: &Path, args: &[&str]) {
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .current_dir(work_dir)
+        .output()
+        .expect("repro binary runs");
+    assert!(
+        output.status.success(),
+        "repro {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+/// Collects `name → bytes` for every artefact file in a `--json`
+/// output directory. `error_report.json` is run diagnostics (wall-clock
+/// timings), not an artefact payload — it differs between any two runs,
+/// profiled or not, so it is excluded from the byte comparison.
+fn dir_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = fs::read_dir(dir)
+        .expect("artefact dir exists")
+        .filter_map(|entry| {
+            let entry = entry.expect("dir entry");
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name == "error_report.json" {
+                return None;
+            }
+            let bytes = fs::read(entry.path()).expect("artefact readable");
+            Some((name, bytes))
+        })
+        .collect();
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    files
+}
+
+#[test]
+fn profile_flag_never_changes_artefact_bytes() {
+    let root = std::env::temp_dir().join(format!("darksil-profile-det-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    let plain = root.join("plain");
+    let profiled = root.join("profiled");
+    fs::create_dir_all(&plain).expect("mkdir plain");
+    fs::create_dir_all(&profiled).expect("mkdir profiled");
+
+    // Same artefact, profiling off at --jobs 1 vs on at --jobs 2: any
+    // difference in the payload bytes is a determinism bug.
+    repro(
+        &plain,
+        &["table1", "--no-cache", "--jobs", "1", "--json", "out"],
+    );
+    repro(
+        &profiled,
+        &[
+            "table1",
+            "--no-cache",
+            "--jobs",
+            "2",
+            "--profile",
+            "--json",
+            "out",
+        ],
+    );
+
+    let a = dir_bytes(&plain.join("out"));
+    let b = dir_bytes(&profiled.join("out"));
+    assert!(!a.is_empty(), "plain run produced no artefacts");
+    assert_eq!(
+        a.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        b.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        "artefact file sets differ"
+    );
+    for ((name, plain_bytes), (_, profiled_bytes)) in a.iter().zip(&b) {
+        assert_eq!(
+            plain_bytes, profiled_bytes,
+            "artefact '{name}' differs between --profile off and on"
+        );
+    }
+
+    // Profiling off writes no trace; profiling on writes both reports.
+    assert!(
+        !plain.join("results/trace_repro.json").exists(),
+        "trace written without --profile"
+    );
+    let trace_text =
+        fs::read_to_string(profiled.join("results/trace_repro.json")).expect("trace written");
+    let trace: darksil_obs::Trace = darksil_json::from_str(&trace_text).expect("trace parses");
+    assert!(
+        trace.spans.iter().any(|s| s.name == "repro.run"),
+        "root span missing"
+    );
+    assert!(
+        trace.spans.iter().any(|s| s.name == "artefact.table1"),
+        "artefact span missing"
+    );
+
+    let bench_text =
+        fs::read_to_string(profiled.join("BENCH_repro.json")).expect("baseline written");
+    let baseline: darksil_obs::BenchBaseline =
+        darksil_json::from_str(&bench_text).expect("baseline parses");
+    assert_eq!(baseline.jobs, 2);
+    assert_eq!(baseline.selection, "table1");
+    assert!(baseline.total_seconds > 0.0);
+    assert!(baseline.max_total_seconds >= baseline.total_seconds);
+    assert!(
+        baseline.phases.iter().any(|p| p.span == "artefact.table1"),
+        "baseline lacks the artefact phase"
+    );
+    // A fresh report never regresses against itself.
+    assert!(baseline.regressions_in(&baseline).is_empty());
+
+    let _ = fs::remove_dir_all(&root);
+}

@@ -168,9 +168,11 @@ impl ResultCache {
     /// Looks the key up in memory, then on disk. Never fails: disk
     /// problems are folded into the returned [`CacheOutcome`].
     pub fn lookup(&self, key: &CacheKey) -> (Option<Json>, CacheOutcome) {
+        let _span = darksil_obs::span("engine.cache.lookup");
         let name = key.file_name();
         if let Ok(memory) = self.memory.lock() {
             if let Some(payload) = memory.get(&name) {
+                darksil_obs::counter("engine.cache.hit", 1);
                 return (Some(payload.clone()), CacheOutcome::Hit);
             }
         }
@@ -179,10 +181,17 @@ impl ResultCache {
                 if let Ok(mut memory) = self.memory.lock() {
                     memory.insert(name, payload.clone());
                 }
+                darksil_obs::counter("engine.cache.hit", 1);
                 (Some(payload), CacheOutcome::Hit)
             }
-            Ok(None) => (None, CacheOutcome::Miss),
-            Err(diagnostic) => (None, CacheOutcome::Recovered(diagnostic)),
+            Ok(None) => {
+                darksil_obs::counter("engine.cache.miss", 1);
+                (None, CacheOutcome::Miss)
+            }
+            Err(diagnostic) => {
+                darksil_obs::counter("engine.cache.recovered", 1);
+                (None, CacheOutcome::Recovered(diagnostic))
+            }
         }
     }
 
@@ -195,6 +204,8 @@ impl ResultCache {
     /// be written; callers that only cache opportunistically may ignore
     /// it.
     pub fn store(&self, key: &CacheKey, payload: &Json) -> Result<(), DarksilError> {
+        let _span = darksil_obs::span("engine.cache.store");
+        darksil_obs::counter("engine.cache.store", 1);
         let name = key.file_name();
         let envelope = Json::Obj(vec![
             ("schema".to_string(), Json::Str(SCHEMA.to_string())),

@@ -6,8 +6,8 @@
 //! - [`ThreadPool`], a fixed-size worker pool over `std::thread` with a
 //!   `Mutex`/`Condvar` job queue and `mpsc` result channels. Every job
 //!   runs under `catch_unwind`, so a panicking job surfaces as a
-//!   classified [`DarksilError`] on its [`JobHandle`] instead of taking
-//!   a worker (or the process) down.
+//!   classified [`DarksilError`](darksil_robust::DarksilError) on its
+//!   [`JobHandle`] instead of taking a worker (or the process) down.
 //! - [`Engine::par_map`], a deterministic fan-out primitive: results
 //!   come back **in submission order** regardless of completion order,
 //!   so `--jobs 4` output is byte-identical to `--jobs 1`. With one job
@@ -18,7 +18,8 @@
 //!   code-version salt; hits are served from an in-memory map backed by
 //!   an on-disk store (default `results/.cache/`) written via
 //!   `darksil-json`. Corrupt or stale entries fall back to
-//!   recomputation with a typed [`DarksilError`] diagnostic
+//!   recomputation with a typed
+//!   [`DarksilError`](darksil_robust::DarksilError) diagnostic
 //!   (`cache`/`io` class) rather than failing the run.
 //! - [`Supervisor`], the job-supervision layer: per-attempt wall-clock
 //!   deadlines delivered through `darksil-robust`'s scoped
@@ -33,6 +34,35 @@
 //! `--jobs` flag); otherwise the `DARKSIL_JOBS` environment variable
 //! applies, and failing that [`std::thread::available_parallelism`].
 //! [`Engine::auto`] reads the resolved value.
+//!
+//! # Example
+//!
+//! Fan a batch out over four workers and collect the results in
+//! submission order:
+//!
+//! ```
+//! use darksil_engine::Engine;
+//! use darksil_robust::DarksilError;
+//!
+//! # fn main() -> Result<(), DarksilError> {
+//! let engine = Engine::new(4);
+//! let squares = engine.try_par_map((0_u64..8).collect(), |i| Ok(i * i))?;
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Observability
+//!
+//! When tracing is on (`darksil_obs::enable()`, e.g. via
+//! `repro --profile`), the engine records `engine.par_map` /
+//! `engine.job` / `engine.supervisor.attempt` spans, per-job
+//! `engine.queue_wait_s` observations, and
+//! `engine.cache.{hit,miss,recovered,store}` plus
+//! `engine.supervisor.{retry,degraded}` counters. Worker threads
+//! inherit the submitting thread's open span, so job spans nest under
+//! the fan-out that scheduled them. Disabled, every probe is a single
+//! relaxed atomic load.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 

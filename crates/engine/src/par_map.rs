@@ -68,8 +68,15 @@ impl Engine {
         F: Fn(I) -> Result<T, DarksilError> + Sync,
     {
         let total = items.len();
+        let _map_span = darksil_obs::span("engine.par_map");
         if self.jobs == 1 || total <= 1 {
-            return items.into_iter().map(|item| run_job(&f, item)).collect();
+            return items
+                .into_iter()
+                .map(|item| {
+                    let _job_span = darksil_obs::span("engine.job");
+                    run_job(&f, item)
+                })
+                .collect();
         }
 
         let queue: Mutex<VecDeque<(usize, I)>> =
@@ -82,9 +89,12 @@ impl Engine {
         // The caller's RunContext (cancellation token, degraded flag,
         // attempt number) is re-installed inside every worker, so a
         // supervised job's deadline reaches nested fan-outs too. The
-        // serial path above needs nothing: it never leaves the caller's
-        // thread.
+        // trace parent travels the same way: spans a job opens hang off
+        // the submitter's `engine.par_map` span. The serial path above
+        // needs nothing: it never leaves the caller's thread.
         let context = darksil_robust::run_context();
+        let trace_parent = darksil_obs::current_span();
+        let submitted = std::time::Instant::now();
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -92,16 +102,27 @@ impl Engine {
                 let queue = &queue;
                 let f = &f;
                 let context = &context;
-                scope.spawn(move || loop {
-                    // The lock is only held to pop; jobs run unlocked,
-                    // so a panicking job can never poison the queue.
-                    let next = queue.lock().map(|mut q| q.pop_front());
-                    let Ok(Some((index, item))) = next else {
-                        break;
-                    };
-                    let outcome = darksil_robust::scoped(context, || run_job(f, item));
-                    if tx.send((index, outcome)).is_err() {
-                        break;
+                scope.spawn(move || {
+                    let _trace_scope = darksil_obs::parent_scope(trace_parent);
+                    loop {
+                        // The lock is only held to pop; jobs run
+                        // unlocked, so a panicking job can never poison
+                        // the queue.
+                        let next = queue.lock().map(|mut q| q.pop_front());
+                        let Ok(Some((index, item))) = next else {
+                            break;
+                        };
+                        darksil_obs::observe(
+                            "engine.queue_wait_s",
+                            submitted.elapsed().as_secs_f64(),
+                        );
+                        let outcome = darksil_robust::scoped(context, || {
+                            let _job_span = darksil_obs::span("engine.job");
+                            run_job(f, item)
+                        });
+                        if tx.send((index, outcome)).is_err() {
+                            break;
+                        }
                     }
                 });
             }

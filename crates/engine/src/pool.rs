@@ -87,17 +87,25 @@ impl ThreadPool {
     {
         let (tx, rx) = mpsc::channel();
         // Capture the submitter's RunContext so a supervised caller's
-        // deadline/degraded state travels with the job onto the worker.
+        // deadline/degraded state travels with the job onto the worker;
+        // the trace parent rides along so the job's spans hang off the
+        // submitter's open span.
         let context = darksil_robust::run_context();
+        let trace_parent = darksil_obs::current_span();
+        let submitted = std::time::Instant::now();
         let wrapped: Job = Box::new(move || {
-            let outcome =
-                darksil_robust::scoped(&context, || match catch_unwind(AssertUnwindSafe(job)) {
+            let _trace_scope = darksil_obs::parent_scope(trace_parent);
+            darksil_obs::observe("engine.queue_wait_s", submitted.elapsed().as_secs_f64());
+            let outcome = darksil_robust::scoped(&context, || {
+                let _job_span = darksil_obs::span("engine.pool.job");
+                match catch_unwind(AssertUnwindSafe(job)) {
                     Ok(result) => result,
                     Err(payload) => Err(DarksilError::internal(format!(
                         "job panicked: {}",
                         crate::panic_message(payload.as_ref())
                     ))),
-                });
+                }
+            });
             // The receiver may have been dropped; nothing to do then.
             let _ = tx.send(outcome);
         });

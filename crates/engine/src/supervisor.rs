@@ -277,6 +277,7 @@ impl Supervisor {
                     if retryable && attempt < spec.max_retries && !breaker_open {
                         let next_retry = attempt + 1;
                         let backoff_ms = self.backoff.delay_ms(&spec.name, next_retry);
+                        darksil_obs::counter("engine.supervisor.retry", 1);
                         attempts.push(AttemptRecord {
                             attempt,
                             degraded: false,
@@ -302,6 +303,7 @@ impl Supervisor {
                     // is the escape hatch, not another retry.
                     if retryable && spec.degrade_on_exhaustion {
                         let degraded_attempt = attempt + 1;
+                        darksil_obs::counter("engine.supervisor.degraded", 1);
                         let (result, seconds) = self.attempt(spec, degraded_attempt, true, &job);
                         match result {
                             Ok(value) => {
@@ -363,6 +365,7 @@ impl Supervisor {
         let context = RunContext::with_token(token)
             .attempt_number(attempt)
             .degraded_mode(degraded);
+        let _span = darksil_obs::span("engine.supervisor.attempt");
         let started = Instant::now();
         let result = darksil_robust::scoped(&context, job);
         (result, started.elapsed().as_secs_f64())

@@ -68,6 +68,32 @@ pub fn solve_spd_robust(
     b: &[f64],
     options: &CgOptions,
 ) -> Result<(Vec<f64>, SolveDiagnostics), NumericsError> {
+    let _span = darksil_obs::span("numerics.solve_spd");
+    #[allow(clippy::cast_precision_loss)]
+    darksil_obs::observe("numerics.solve_rows", a.rows() as f64);
+    let result = solve_chain(a, b, options);
+    if let Ok((_, diag)) = &result {
+        darksil_obs::counter(
+            match diag.stage {
+                SolveStage::Cg => "numerics.stage.cg",
+                SolveStage::RestartedCg => "numerics.stage.restarted_cg",
+                SolveStage::DenseLu => "numerics.stage.dense_lu",
+            },
+            1,
+        );
+        darksil_obs::counter("numerics.fallback", diag.fallbacks as u64);
+        #[allow(clippy::cast_precision_loss)]
+        darksil_obs::observe("numerics.cg.iterations", diag.cg_iterations as f64);
+        darksil_obs::observe("numerics.cg.residual", diag.residual);
+    }
+    result
+}
+
+fn solve_chain(
+    a: &CsrMatrix,
+    b: &[f64],
+    options: &CgOptions,
+) -> Result<(Vec<f64>, SolveDiagnostics), NumericsError> {
     check_finite_inputs(a, b)?;
 
     // Stage 1: the caller's CG configuration.

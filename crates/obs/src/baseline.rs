@@ -1,0 +1,349 @@
+//! The recorded perf baseline: an aggregated view of a profiled repro
+//! run (`BENCH_repro.json`) and the regression check CI runs against it.
+
+use crate::trace::Trace;
+use darksil_json::{FromJson, Json, JsonError, ObjReader, ToJson};
+
+/// Schema tag written into every serialised baseline report.
+pub const BASELINE_SCHEMA: &str = "darksil-bench-baseline-v1";
+
+/// Regression bounds never drop below this, so sub-millisecond phases
+/// do not fail CI on scheduler noise.
+const MIN_BOUND_SECONDS: f64 = 0.25;
+
+/// Wall-clock timing for one artefact of a profiled run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArtefactTiming {
+    /// Artefact name, e.g. `fig5`.
+    pub artefact: String,
+    /// Wall-clock seconds spent producing it.
+    pub seconds: f64,
+    /// Cache outcome label (`hit` / `miss` / `recovered` / `off`).
+    pub cache: String,
+}
+
+darksil_json::impl_json!(struct ArtefactTiming { artefact, seconds, cache });
+
+/// Aggregate time for one span name, with the regression bound CI
+/// enforces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseBound {
+    /// Span name, e.g. `thermal.steady_state`.
+    pub span: String,
+    /// Number of spans with this name in the run.
+    pub count: u64,
+    /// Total inclusive wall-clock seconds.
+    pub seconds: f64,
+    /// Maximum inclusive seconds a later run may spend here before the
+    /// comparison fails.
+    pub max_seconds: f64,
+}
+
+darksil_json::impl_json!(struct PhaseBound { span, count, seconds, max_seconds });
+
+/// The aggregated perf report a profiled repro run writes to
+/// `BENCH_repro.json`; the committed copy at the repo root is the
+/// reference baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchBaseline {
+    /// Worker count the run used (`--jobs`).
+    pub jobs: usize,
+    /// Artefact selection the run covered (names joined with `+`, or
+    /// `all`).
+    pub selection: String,
+    /// Multiplier applied to measured phase times to derive
+    /// `max_seconds` bounds (generous, to absorb machine variance).
+    pub tolerance_factor: f64,
+    /// End-to-end wall-clock seconds for the run.
+    pub total_seconds: f64,
+    /// Bound on `total_seconds` for later runs.
+    pub max_total_seconds: f64,
+    /// Per-artefact timings.
+    pub artefacts: Vec<ArtefactTiming>,
+    /// Per-span aggregates with regression bounds.
+    pub phases: Vec<PhaseBound>,
+    /// Counters carried over from the trace (cache hits, retries, …).
+    pub counters: Vec<(String, u64)>,
+}
+
+impl BenchBaseline {
+    /// Builds a report from a drained trace plus run-level metadata.
+    /// Phase bounds are `seconds · tolerance_factor`, floored at a
+    /// quarter second so tiny phases tolerate scheduler noise.
+    #[must_use]
+    pub fn from_trace(
+        trace: &Trace,
+        jobs: usize,
+        selection: &str,
+        tolerance_factor: f64,
+        total_seconds: f64,
+        artefacts: Vec<ArtefactTiming>,
+    ) -> Self {
+        let phases = trace
+            .summary()
+            .into_iter()
+            .map(|row| PhaseBound {
+                span: row.name,
+                count: row.count,
+                seconds: row.inclusive_s,
+                max_seconds: (row.inclusive_s * tolerance_factor).max(MIN_BOUND_SECONDS),
+            })
+            .collect();
+        Self {
+            jobs,
+            selection: selection.to_string(),
+            tolerance_factor,
+            total_seconds,
+            max_total_seconds: (total_seconds * tolerance_factor).max(MIN_BOUND_SECONDS),
+            artefacts,
+            phases,
+            counters: trace.counters.clone(),
+        }
+    }
+
+    /// Checks `current` against this baseline's bounds. A phase is
+    /// compared only when both reports contain it, so a baseline
+    /// recorded over the full artefact set still bounds a CI run over a
+    /// subset. Returns one [`Regression`] per exceeded bound; empty
+    /// means the run is within budget.
+    #[must_use]
+    pub fn regressions_in(&self, current: &Self) -> Vec<Regression> {
+        let mut out = Vec::new();
+        if current.total_seconds > self.max_total_seconds {
+            out.push(Regression {
+                what: "total".to_string(),
+                seconds: current.total_seconds,
+                max_seconds: self.max_total_seconds,
+            });
+        }
+        for phase in &current.phases {
+            if let Some(bound) = self.phases.iter().find(|p| p.span == phase.span) {
+                if phase.seconds > bound.max_seconds {
+                    out.push(Regression {
+                        what: phase.span.clone(),
+                        seconds: phase.seconds,
+                        max_seconds: bound.max_seconds,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One exceeded bound from [`BenchBaseline::regressions_in`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// What regressed: a span name, or `total`.
+    pub what: String,
+    /// Seconds the current run spent there.
+    pub seconds: f64,
+    /// The baseline's bound.
+    pub max_seconds: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {:.3}s exceeds baseline bound {:.3}s",
+            self.what, self.seconds, self.max_seconds
+        )
+    }
+}
+
+impl ToJson for BenchBaseline {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".to_string(), BASELINE_SCHEMA.to_json()),
+            ("jobs".to_string(), self.jobs.to_json()),
+            ("selection".to_string(), self.selection.to_json()),
+            (
+                "tolerance_factor".to_string(),
+                self.tolerance_factor.to_json(),
+            ),
+            ("total_seconds".to_string(), self.total_seconds.to_json()),
+            (
+                "max_total_seconds".to_string(),
+                self.max_total_seconds.to_json(),
+            ),
+            ("artefacts".to_string(), self.artefacts.to_json()),
+            ("phases".to_string(), self.phases.to_json()),
+            (
+                "counters".to_string(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl FromJson for BenchBaseline {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut r = ObjReader::new(v, "BenchBaseline")?;
+        let schema: String = r.req("schema")?;
+        if schema != BASELINE_SCHEMA {
+            return Err(JsonError::msg(format!(
+                "unsupported baseline schema `{schema}` (expected `{BASELINE_SCHEMA}`)"
+            )));
+        }
+        let jobs = r.req("jobs")?;
+        let selection = r.req("selection")?;
+        let tolerance_factor = r.req("tolerance_factor")?;
+        let total_seconds = r.req("total_seconds")?;
+        let max_total_seconds = r.req("max_total_seconds")?;
+        let artefacts = r.req("artefacts")?;
+        let phases = r.req("phases")?;
+        let counters = match r.req::<Json>("counters")? {
+            Json::Obj(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), u64::from_json(v).map_err(|e| e.in_field(k))?)))
+                .collect::<Result<Vec<_>, JsonError>>()?,
+            other => {
+                return Err(JsonError::msg(format!(
+                    "expected counters object, found {}",
+                    other.type_name()
+                )))
+            }
+        };
+        r.finish()?;
+        Ok(Self {
+            jobs,
+            selection,
+            tolerance_factor,
+            total_seconds,
+            max_total_seconds,
+            artefacts,
+            phases,
+            counters,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SpanRecord;
+
+    fn trace() -> Trace {
+        Trace {
+            spans: vec![
+                SpanRecord {
+                    id: 1,
+                    parent: None,
+                    thread: 0,
+                    name: "artefact.fig5".to_string(),
+                    start_s: 0.0,
+                    seconds: 1.0,
+                },
+                SpanRecord {
+                    id: 2,
+                    parent: Some(1),
+                    thread: 0,
+                    name: "thermal.steady_state".to_string(),
+                    start_s: 0.1,
+                    seconds: 0.6,
+                },
+            ],
+            counters: vec![("engine.cache.miss".to_string(), 1)],
+            observations: Vec::new(),
+        }
+    }
+
+    fn baseline() -> BenchBaseline {
+        BenchBaseline::from_trace(
+            &trace(),
+            2,
+            "fig5",
+            10.0,
+            1.2,
+            vec![ArtefactTiming {
+                artefact: "fig5".to_string(),
+                seconds: 1.0,
+                cache: "miss".to_string(),
+            }],
+        )
+    }
+
+    #[test]
+    fn bounds_scale_with_tolerance_and_floor() {
+        let b = baseline();
+        let fig5 = b
+            .phases
+            .iter()
+            .find(|p| p.span == "artefact.fig5")
+            .expect("fig5");
+        assert!((fig5.max_seconds - 10.0).abs() < 1e-9);
+        assert!((b.max_total_seconds - 12.0).abs() < 1e-9);
+        // A microscopic phase still gets the floor bound.
+        let tiny = Trace {
+            spans: vec![SpanRecord {
+                id: 1,
+                parent: None,
+                thread: 0,
+                name: "blink".to_string(),
+                start_s: 0.0,
+                seconds: 1e-4,
+            }],
+            counters: Vec::new(),
+            observations: Vec::new(),
+        };
+        let tb = BenchBaseline::from_trace(&tiny, 1, "x", 10.0, 1e-4, Vec::new());
+        assert!((tb.phases[0].max_seconds - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn within_bounds_passes() {
+        let b = baseline();
+        assert!(b.regressions_in(&b).is_empty());
+    }
+
+    #[test]
+    fn exceeded_phase_and_total_are_reported() {
+        let b = baseline();
+        let mut slow = b.clone();
+        slow.total_seconds = 100.0;
+        for phase in &mut slow.phases {
+            phase.seconds = 50.0;
+        }
+        let regressions = b.regressions_in(&slow);
+        assert_eq!(regressions.len(), 3, "{regressions:?}");
+        assert_eq!(regressions[0].what, "total");
+        assert!(
+            regressions[0].to_string().contains("exceeds"),
+            "{}",
+            regressions[0]
+        );
+    }
+
+    #[test]
+    fn unknown_phases_in_current_are_ignored() {
+        let b = baseline();
+        let mut current = b.clone();
+        current.phases.push(PhaseBound {
+            span: "brand.new".to_string(),
+            count: 1,
+            seconds: 1e6,
+            max_seconds: 1e7,
+        });
+        assert!(b.regressions_in(&current).is_empty());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let b = baseline();
+        let text = darksil_json::to_string_pretty(&b);
+        let back: BenchBaseline = darksil_json::from_str(&text).expect("round trip");
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let text = darksil_json::to_string_pretty(&baseline()).replace(BASELINE_SCHEMA, "bogus-v0");
+        assert!(darksil_json::from_str::<BenchBaseline>(&text).is_err());
+    }
+}

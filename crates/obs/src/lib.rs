@@ -1,0 +1,49 @@
+//! Structured tracing for the darksil workspace: spans, counters, and
+//! scalar observations, recorded into an in-process buffer and drained
+//! as a JSON-serialisable [`Trace`].
+//!
+//! The pipeline instruments its hot paths (engine job scheduling, cache
+//! lookups, CG solves, thermal transients) with calls into this crate.
+//! Recording is off by default and every entry point is guarded by a
+//! single relaxed atomic load, so the disabled path performs no
+//! allocation, takes no lock, and costs a few nanoseconds — artefact
+//! bytes are identical whether profiling is on or off.
+//!
+//! Spans form a thread-aware hierarchy: each thread keeps a stack of
+//! open spans, a new span's parent is the top of that stack, and worker
+//! threads inherit the submitting thread's open span through
+//! [`parent_scope`] (the engine installs this next to its `RunContext`
+//! propagation). Counters and observations are plain named aggregates.
+//!
+//! ```
+//! darksil_obs::enable();
+//! {
+//!     let _outer = darksil_obs::span("example.outer");
+//!     let _inner = darksil_obs::span("example.inner");
+//!     darksil_obs::counter("example.events", 2);
+//!     darksil_obs::observe("example.residual", 1.5e-9);
+//! }
+//! let trace = darksil_obs::drain();
+//! assert_eq!(trace.spans.len(), 2);
+//! assert_eq!(trace.counter("example.events"), 2);
+//! // The inner span's parent is the outer span, on the same thread.
+//! let outer = trace.spans.iter().find(|s| s.name == "example.outer").ok_or("missing")?;
+//! let inner = trace.spans.iter().find(|s| s.name == "example.inner").ok_or("missing")?;
+//! assert_eq!(inner.parent, Some(outer.id));
+//! // After drain, recording is off again and spans are free no-ops.
+//! assert!(!darksil_obs::is_enabled());
+//! # Ok::<(), &'static str>(())
+//! ```
+#![deny(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod baseline;
+mod recorder;
+mod trace;
+
+pub use baseline::{ArtefactTiming, BenchBaseline, PhaseBound, Regression, BASELINE_SCHEMA};
+pub use recorder::{
+    counter, current_span, disable, drain, enable, is_enabled, observe, parent_scope, span,
+    span_lazy, ParentScope, Span,
+};
+pub use trace::{ObservationStats, SpanRecord, SpanSummary, Trace, TRACE_SCHEMA};

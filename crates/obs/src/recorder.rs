@@ -1,0 +1,402 @@
+//! The global recorder: enable/disable switch, span guards, counters.
+
+use crate::trace::{ObservationStats, SpanRecord, Trace};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// Fast-path switch checked (one relaxed load) by every entry point.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Monotonic span-id source; ids are unique for the process lifetime so
+/// a stale guard from a previous recording session cannot alias a new
+/// span.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Monotonic thread-id source for the trace's `thread` field (the OS
+/// thread id is not portable and `ThreadId` has no stable integer).
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+
+static RECORDER: Mutex<Option<Recorder>> = Mutex::new(None);
+
+struct Recorder {
+    epoch: Instant,
+    spans: Vec<SpanRecord>,
+    counters: Vec<(String, u64)>,
+    observations: Vec<(String, ObservationStats)>,
+}
+
+thread_local! {
+    /// Stack of open span ids on this thread; the top is the parent of
+    /// the next span. May be seeded with a remote parent by
+    /// [`parent_scope`].
+    static OPEN_SPANS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ID: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+fn lock_recorder() -> MutexGuard<'static, Option<Recorder>> {
+    RECORDER.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn local_thread_id() -> u64 {
+    THREAD_ID.with(|cell| match cell.get() {
+        Some(id) => id,
+        None => {
+            let id = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+            cell.set(Some(id));
+            id
+        }
+    })
+}
+
+/// Starts recording into a fresh buffer. Timestamps in the resulting
+/// trace are relative to this call. Any previously buffered (undrained)
+/// data is discarded.
+pub fn enable() {
+    let mut guard = lock_recorder();
+    *guard = Some(Recorder {
+        epoch: Instant::now(),
+        spans: Vec::new(),
+        counters: Vec::new(),
+        observations: Vec::new(),
+    });
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Stops recording without draining. Open span guards become no-ops on
+/// drop; buffered data stays available to [`drain`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Whether recording is currently on.
+#[must_use]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Stops recording and returns everything buffered since [`enable`] as
+/// a [`Trace`]. Returns an empty trace if recording was never enabled.
+/// Spans are ordered by id (creation order); counters and observations
+/// are sorted by name so the output is deterministic.
+#[must_use]
+pub fn drain() -> Trace {
+    ENABLED.store(false, Ordering::SeqCst);
+    let taken = lock_recorder().take();
+    let mut trace = Trace::default();
+    if let Some(rec) = taken {
+        trace.spans = rec.spans;
+        trace.counters = rec.counters;
+        trace.observations = rec.observations;
+        trace.spans.sort_by_key(|s| s.id);
+        trace.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        trace.observations.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+    trace
+}
+
+/// The id of the innermost open span on this thread, if recording is on
+/// and a span is open. Capture this before handing work to another
+/// thread and re-install it there with [`parent_scope`].
+#[must_use]
+pub fn current_span() -> Option<u64> {
+    if !is_enabled() {
+        return None;
+    }
+    OPEN_SPANS.with(|stack| stack.borrow().last().copied())
+}
+
+/// An RAII guard for a timed region. Created by [`span`] / [`span_lazy`];
+/// records a [`SpanRecord`] when dropped (if recording is still on).
+#[must_use = "a span measures the region it is alive for; bind it to a variable"]
+pub struct Span {
+    data: Option<SpanData>,
+}
+
+struct SpanData {
+    id: u64,
+    parent: Option<u64>,
+    thread: u64,
+    name: String,
+    started: Instant,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(data) = self.data.take() else {
+            return;
+        };
+        OPEN_SPANS.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&id| id == data.id) {
+                stack.remove(pos);
+            }
+        });
+        if !is_enabled() {
+            return;
+        }
+        let ended = Instant::now();
+        let mut guard = lock_recorder();
+        if let Some(rec) = guard.as_mut() {
+            // A span that straddled a re-enable would have started
+            // before the current epoch; clamp instead of panicking.
+            let start = data
+                .started
+                .checked_duration_since(rec.epoch)
+                .unwrap_or_default();
+            let length = ended
+                .checked_duration_since(data.started)
+                .unwrap_or_default();
+            rec.spans.push(SpanRecord {
+                id: data.id,
+                parent: data.parent,
+                thread: data.thread,
+                name: data.name,
+                start_s: start.as_secs_f64(),
+                seconds: length.as_secs_f64(),
+            });
+        }
+    }
+}
+
+fn open_span(name: String) -> Span {
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let thread = local_thread_id();
+    let parent = OPEN_SPANS.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied();
+        stack.push(id);
+        parent
+    });
+    Span {
+        data: Some(SpanData {
+            id,
+            parent,
+            thread,
+            name,
+            started: Instant::now(),
+        }),
+    }
+}
+
+/// Opens a span named `name`. When recording is off this returns an
+/// inert guard without allocating or taking any lock.
+pub fn span(name: &str) -> Span {
+    if !is_enabled() {
+        return Span { data: None };
+    }
+    open_span(name.to_string())
+}
+
+/// Like [`span`] but the name is built lazily, so callers with dynamic
+/// names (`format!`-built) pay nothing when recording is off.
+pub fn span_lazy(name: impl FnOnce() -> String) -> Span {
+    if !is_enabled() {
+        return Span { data: None };
+    }
+    open_span(name())
+}
+
+/// An RAII guard that makes `parent` the ambient parent span on the
+/// current thread. Created by [`parent_scope`].
+#[must_use = "the parent applies only while this guard is alive"]
+pub struct ParentScope {
+    installed: Option<u64>,
+}
+
+impl Drop for ParentScope {
+    fn drop(&mut self) {
+        let Some(id) = self.installed.take() else {
+            return;
+        };
+        OPEN_SPANS.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&x| x == id) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+/// Installs `parent` (a span id from [`current_span`], usually captured
+/// on another thread) as the ambient parent for spans opened on this
+/// thread while the guard lives. No-op when recording is off or
+/// `parent` is `None`.
+pub fn parent_scope(parent: Option<u64>) -> ParentScope {
+    let Some(id) = parent else {
+        return ParentScope { installed: None };
+    };
+    if !is_enabled() {
+        return ParentScope { installed: None };
+    }
+    OPEN_SPANS.with(|stack| stack.borrow_mut().push(id));
+    ParentScope {
+        installed: Some(id),
+    }
+}
+
+/// Adds `delta` to the named counter. No-op when recording is off.
+pub fn counter(name: &str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut guard = lock_recorder();
+    if let Some(rec) = guard.as_mut() {
+        match rec.counters.iter_mut().find(|(k, _)| k == name) {
+            Some((_, v)) => *v += delta,
+            None => rec.counters.push((name.to_string(), delta)),
+        }
+    }
+}
+
+/// Records a scalar sample into the named observation series
+/// (count/sum/min/max are kept, not individual samples). No-op when
+/// recording is off.
+pub fn observe(name: &str, value: f64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut guard = lock_recorder();
+    if let Some(rec) = guard.as_mut() {
+        match rec.observations.iter_mut().find(|(k, _)| k == name) {
+            Some((_, stats)) => stats.record(value),
+            None => {
+                let mut stats = ObservationStats::default();
+                stats.record(value);
+                rec.observations.push((name.to_string(), stats));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The recorder is process-global; tests that enable it must not
+    /// interleave.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn serial() -> MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_path_records_nothing() {
+        let _serial = serial();
+        disable();
+        let _ = drain();
+        {
+            let _s = span("never");
+            let _l = span_lazy(|| unreachable!("name closure must not run when disabled"));
+            counter("never.counter", 1);
+            observe("never.obs", 1.0);
+        }
+        let trace = drain();
+        assert!(trace.spans.is_empty());
+        assert!(trace.counters.is_empty());
+        assert!(trace.observations.is_empty());
+        assert_eq!(current_span(), None);
+    }
+
+    #[test]
+    fn spans_nest_on_one_thread() {
+        let _serial = serial();
+        enable();
+        {
+            let _outer = span("outer");
+            let outer_id = current_span().expect("outer open");
+            {
+                let _inner = span("inner");
+                assert_ne!(current_span(), Some(outer_id));
+            }
+            assert_eq!(current_span(), Some(outer_id));
+        }
+        let trace = drain();
+        assert_eq!(trace.spans.len(), 2);
+        let outer = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "outer")
+            .expect("outer");
+        let inner = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "inner")
+            .expect("inner");
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.thread, inner.thread);
+        assert!(inner.seconds <= outer.seconds + 1e-3);
+    }
+
+    #[test]
+    fn parent_scope_bridges_threads() {
+        let _serial = serial();
+        enable();
+        let (parent_id, child_thread) = {
+            let _root = span("root");
+            let parent = current_span();
+            let handle = std::thread::spawn(move || {
+                let _scope = parent_scope(parent);
+                let _work = span("worker");
+                current_span()
+            });
+            (
+                parent.expect("root open"),
+                handle.join().expect("worker thread"),
+            )
+        };
+        // Inside the worker the ambient span was the worker's own span,
+        // whose parent must be the root from the spawning thread.
+        assert!(child_thread.is_some());
+        let trace = drain();
+        let root = trace.spans.iter().find(|s| s.name == "root").expect("root");
+        let worker = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "worker")
+            .expect("worker");
+        assert_eq!(root.id, parent_id);
+        assert_eq!(worker.parent, Some(parent_id));
+        assert_ne!(worker.thread, root.thread);
+    }
+
+    #[test]
+    fn counters_and_observations_aggregate() {
+        let _serial = serial();
+        enable();
+        counter("c.hits", 2);
+        counter("c.hits", 3);
+        counter("a.misses", 1);
+        observe("o.residual", 4.0);
+        observe("o.residual", 2.0);
+        let trace = drain();
+        // Sorted by name on drain.
+        assert_eq!(trace.counters[0].0, "a.misses");
+        assert_eq!(trace.counter("c.hits"), 5);
+        let (_, stats) = &trace.observations[0];
+        assert_eq!(stats.count, 2);
+        assert!((stats.sum - 6.0).abs() < 1e-12);
+        assert!((stats.min - 2.0).abs() < 1e-12);
+        assert!((stats.max - 4.0).abs() < 1e-12);
+        assert!((stats.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disable_freezes_buffer_until_drain() {
+        let _serial = serial();
+        enable();
+        counter("kept", 1);
+        disable();
+        counter("dropped", 1);
+        {
+            let _s = span("dropped-span");
+        }
+        let trace = drain();
+        assert_eq!(trace.counter("kept"), 1);
+        assert_eq!(trace.counter("dropped"), 0);
+        assert!(trace.spans.is_empty());
+    }
+}

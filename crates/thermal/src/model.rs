@@ -376,6 +376,9 @@ impl ThermalModel {
         &self,
         power: &[Watts],
     ) -> Result<(ThermalMap, SolveDiagnostics), ThermalError> {
+        let _span = darksil_obs::span("thermal.steady_state");
+        #[allow(clippy::cast_precision_loss)]
+        darksil_obs::observe("thermal.solve_nodes", self.node_count() as f64);
         let rhs = self.rhs(power)?;
         let (state, diagnostics) = solve_spd_robust(&self.g, &rhs, &self.cg_options())?;
         Ok((self.map_from_state(state), diagnostics))
@@ -430,6 +433,7 @@ impl SteadySolver<'_> {
     /// Returns [`ThermalError::PowerMapMismatch`] for wrong-length maps
     /// and [`ThermalError::Solver`] on substitution failure.
     pub fn solve(&self, power: &[Watts]) -> Result<ThermalMap, ThermalError> {
+        let _span = darksil_obs::span("thermal.steady_lu");
         let rhs = self.model.rhs(power)?;
         let state = self.lu.solve(&rhs)?;
         Ok(self.model.map_from_state(state))

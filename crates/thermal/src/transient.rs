@@ -134,6 +134,10 @@ impl TransientSim {
     ///
     /// Same as [`TransientSim::step`].
     pub fn run(&mut self, power: &[Watts], steps: usize) -> Result<ThermalMap, ThermalError> {
+        // One coarse span for the whole batch: `step` runs in a tight
+        // loop, so per-step spans would distort what they measure.
+        let _span = darksil_obs::span("thermal.transient.run");
+        darksil_obs::counter("thermal.transient.steps", steps as u64);
         for _ in 0..steps.saturating_sub(1) {
             self.step(power)?;
         }

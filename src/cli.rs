@@ -88,9 +88,37 @@ pub enum Command {
         /// reporting them.
         evict: bool,
     },
+    /// Inspect traces and perf baselines written by `repro --profile`.
+    Trace(TraceAction),
     /// Print usage.
     Help,
 }
+
+/// A `darksil trace` action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceAction {
+    /// Render the hot-path table of a recorded trace.
+    Summarize {
+        /// Trace file (`results/trace_repro.json` by default).
+        path: String,
+        /// Number of span rows to print.
+        top: usize,
+    },
+    /// Compare a current `BENCH_repro.json` against a committed
+    /// baseline; non-zero exit when any phase exceeds its bound.
+    Compare {
+        /// Baseline report (the committed reference).
+        baseline: String,
+        /// Current report (the fresh measurement).
+        current: String,
+    },
+}
+
+/// Default trace path used by `darksil trace summarize`.
+pub const DEFAULT_TRACE_PATH: &str = "results/trace_repro.json";
+
+/// Default row count for the summarize hot-path table.
+const DEFAULT_SUMMARY_TOP: usize = 12;
 
 /// A `darksil cache` action.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,7 +169,14 @@ USAGE:
   darksil boost    --node <nm> [--app NAME] [--instances N] [--duration S]
   darksil run      <scenario.json> [--json]
   darksil cache    <stats|verify|clear> [--dir DIR] [--evict]
+  darksil trace    summarize [PATH] [--top N]
+  darksil trace    compare <BASELINE> <CURRENT>
   darksil help
+
+`trace summarize` renders the hot-path table of a trace recorded by
+`repro --profile` (default PATH: results/trace_repro.json); `trace
+compare` checks a fresh BENCH_repro.json against a committed baseline
+and exits non-zero on any regression beyond the recorded bounds.
 
 Every subcommand also accepts --jobs N (worker threads for parallel
 sweeps; default DARKSIL_JOBS or the available parallelism).
@@ -255,6 +290,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         }
         return Ok(Command::Cache { action, dir, evict });
     }
+    if cmd == "trace" {
+        return parse_trace(&mut it);
+    }
     let mut node = None;
     let mut app = None;
     let mut threads = 8_usize;
@@ -362,6 +400,60 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(ParseError(format!("unknown command '{other}'"))),
+    }
+}
+
+/// Parses the arguments after `darksil trace`.
+fn parse_trace(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseError> {
+    let action = it
+        .next()
+        .ok_or_else(|| ParseError("trace expects an action (summarize|compare)".into()))?;
+    match action.as_str() {
+        "summarize" => {
+            let mut path = None;
+            let mut top = DEFAULT_SUMMARY_TOP;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--top" => {
+                        let value = it
+                            .next()
+                            .ok_or_else(|| ParseError("--top expects a value".into()))?;
+                        top = parse_usize("--top", value)?;
+                        if top == 0 {
+                            return Err(ParseError("--top expects a positive integer".into()));
+                        }
+                    }
+                    p if path.is_none() && !p.starts_with('-') => path = Some(p.to_string()),
+                    other => return Err(ParseError(format!("unknown argument '{other}'"))),
+                }
+            }
+            Ok(Command::Trace(TraceAction::Summarize {
+                path: path.unwrap_or_else(|| DEFAULT_TRACE_PATH.to_string()),
+                top,
+            }))
+        }
+        "compare" => {
+            let mut paths = Vec::new();
+            for arg in it {
+                if arg.starts_with('-') {
+                    return Err(ParseError(format!("unknown argument '{arg}'")));
+                }
+                paths.push(arg.clone());
+            }
+            if paths.len() != 2 {
+                return Err(ParseError(
+                    "trace compare expects exactly two files: <BASELINE> <CURRENT>".into(),
+                ));
+            }
+            let mut paths = paths.into_iter();
+            let (Some(baseline), Some(current)) = (paths.next(), paths.next()) else {
+                return Err(ParseError("trace compare expects two files".into()));
+            };
+            Ok(Command::Trace(TraceAction::Compare { baseline, current }))
+        }
+        other => Err(ParseError(format!(
+            "unknown trace action '{other}' (use summarize|compare)"
+        ))),
     }
 }
 
@@ -519,8 +611,54 @@ pub fn run(command: &Command) -> Result<(), Box<dyn std::error::Error>> {
             );
         }
         Command::Cache { action, dir, evict } => run_cache(*action, dir, *evict)?,
+        Command::Trace(action) => run_trace(action)?,
     }
     Ok(())
+}
+
+/// Executes `darksil trace summarize|compare`.
+fn run_trace(action: &TraceAction) -> Result<(), Box<dyn std::error::Error>> {
+    match action {
+        TraceAction::Summarize { path, top } => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ParseError(format!("cannot read trace '{path}': {e}")))?;
+            let trace: darksil_obs::Trace = darksil_json::from_str(&text)
+                .map_err(|e| ParseError(format!("'{path}' is not a valid trace: {e}")))?;
+            println!("trace {path}:");
+            println!("{}", trace.render_summary(*top));
+            Ok(())
+        }
+        TraceAction::Compare { baseline, current } => {
+            let load = |path: &str| -> Result<darksil_obs::BenchBaseline, ParseError> {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| ParseError(format!("cannot read baseline '{path}': {e}")))?;
+                darksil_json::from_str(&text)
+                    .map_err(|e| ParseError(format!("'{path}' is not a valid baseline: {e}")))
+            };
+            let base = load(baseline)?;
+            let cur = load(current)?;
+            let regressions = base.regressions_in(&cur);
+            println!(
+                "baseline {baseline} (selection '{}', jobs {}) vs {current} (selection '{}', jobs {}):",
+                base.selection, base.jobs, cur.selection, cur.jobs
+            );
+            println!(
+                "  total: {:.2} s (bound {:.2} s)",
+                cur.total_seconds, base.max_total_seconds
+            );
+            if regressions.is_empty() {
+                println!("  no regressions beyond recorded bounds");
+                return Ok(());
+            }
+            for regression in &regressions {
+                println!("  REGRESSION {regression}");
+            }
+            Err(Box::new(ParseError(format!(
+                "{} perf regression(s) beyond baseline bounds",
+                regressions.len()
+            ))))
+        }
+    }
 }
 
 /// Executes `darksil cache <action>` against `dir`.
@@ -765,6 +903,128 @@ mod tests {
             evict: false,
         })
         .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parses_trace() {
+        assert_eq!(
+            parse(&argv("trace summarize")).unwrap(),
+            Command::Trace(TraceAction::Summarize {
+                path: DEFAULT_TRACE_PATH.into(),
+                top: DEFAULT_SUMMARY_TOP,
+            })
+        );
+        assert_eq!(
+            parse(&argv("trace summarize my_trace.json --top 5")).unwrap(),
+            Command::Trace(TraceAction::Summarize {
+                path: "my_trace.json".into(),
+                top: 5,
+            })
+        );
+        assert_eq!(
+            parse(&argv("trace compare BENCH_base.json BENCH_new.json")).unwrap(),
+            Command::Trace(TraceAction::Compare {
+                baseline: "BENCH_base.json".into(),
+                current: "BENCH_new.json".into(),
+            })
+        );
+        assert!(parse(&argv("trace")).is_err()); // missing action
+        assert!(parse(&argv("trace frob")).is_err()); // unknown action
+        assert!(parse(&argv("trace summarize --top")).is_err()); // dangling
+        assert!(parse(&argv("trace summarize --top 0")).is_err());
+        assert!(parse(&argv("trace summarize a.json b.json")).is_err());
+        assert!(parse(&argv("trace compare one.json")).is_err());
+        assert!(parse(&argv("trace compare a b c")).is_err());
+        assert!(parse(&argv("trace compare a --frob")).is_err());
+    }
+
+    #[test]
+    fn trace_summarize_and_compare_roundtrip() {
+        use darksil_obs::{ArtefactTiming, BenchBaseline, SpanRecord, Trace};
+        let dir = std::env::temp_dir().join(format!("darksil-cli-trace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let trace = Trace {
+            spans: vec![
+                SpanRecord {
+                    id: 1,
+                    parent: None,
+                    thread: 0,
+                    name: "repro.run".into(),
+                    start_s: 0.0,
+                    seconds: 2.0,
+                },
+                SpanRecord {
+                    id: 2,
+                    parent: Some(1),
+                    thread: 0,
+                    name: "artefact.fig5".into(),
+                    start_s: 0.1,
+                    seconds: 1.5,
+                },
+            ],
+            counters: vec![
+                ("engine.cache.hit".into(), 3),
+                ("engine.cache.miss".into(), 1),
+            ],
+            observations: Vec::new(),
+        };
+        let trace_path = dir.join("trace.json");
+        std::fs::write(&trace_path, darksil_json::to_string_pretty(&trace)).unwrap();
+        run(&Command::Trace(TraceAction::Summarize {
+            path: trace_path.to_string_lossy().into_owned(),
+            top: 10,
+        }))
+        .unwrap();
+
+        // A report compared against itself passes; inflating the total
+        // beyond the recorded bound is caught as a regression.
+        let base = BenchBaseline::from_trace(
+            &trace,
+            2,
+            "fig5",
+            25.0,
+            2.0,
+            vec![ArtefactTiming {
+                artefact: "fig5".into(),
+                seconds: 1.5,
+                cache: "miss".into(),
+            }],
+        );
+        let base_path = dir.join("base.json");
+        std::fs::write(&base_path, darksil_json::to_string_pretty(&base)).unwrap();
+        let base_s = base_path.to_string_lossy().into_owned();
+        run(&Command::Trace(TraceAction::Compare {
+            baseline: base_s.clone(),
+            current: base_s.clone(),
+        }))
+        .unwrap();
+
+        let mut slow = base.clone();
+        slow.total_seconds = base.max_total_seconds + 1.0;
+        let slow_path = dir.join("slow.json");
+        std::fs::write(&slow_path, darksil_json::to_string_pretty(&slow)).unwrap();
+        let err = run(&Command::Trace(TraceAction::Compare {
+            baseline: base_s,
+            current: slow_path.to_string_lossy().into_owned(),
+        }))
+        .unwrap_err();
+        assert!(err.to_string().contains("regression"), "{err}");
+
+        // Missing or malformed inputs surface readable errors.
+        let missing = dir.join("nope.json").to_string_lossy().into_owned();
+        assert!(run(&Command::Trace(TraceAction::Summarize {
+            path: missing.clone(),
+            top: 3,
+        }))
+        .is_err());
+        assert!(run(&Command::Trace(TraceAction::Compare {
+            baseline: missing.clone(),
+            current: missing,
+        }))
+        .is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
