@@ -73,7 +73,7 @@ const EXIT_USAGE: u8 = 2;
 const USAGE: &str = "usage: repro <table1|fig2..fig14|dtm|aging|variability|cooling|pareto|all>...
              [--json DIR] [--paper] [--inject ARTEFACT[:KIND]] [--jobs N]
              [--no-cache] [--cache-dir DIR] [--deadline SECS] [--retries N]
-             [--resume] [--journal PATH] [--profile]
+             [--resume] [--journal PATH] [--profile] [--events]
 
   several artefact names may be given (e.g. `repro table1 fig2 fig8`);
   `all` selects every artefact and cannot be combined with names
@@ -107,6 +107,12 @@ const USAGE: &str = "usage: repro <table1|fig2..fig14|dtm|aging|variability|cool
                      (aggregated per-phase timings with regression
                      bounds; the committed copy is the CI baseline).
                      Artefact payloads are unaffected
+  --events           record the domain event stream (thermal samples,
+                     DVFS transitions, mapping decisions, TSP budgets):
+                     writes results/events_<selection>.jsonl — inspect
+                     with `darksil events summarize` or render with
+                     `darksil report` — plus results/trace_repro.json.
+                     The stream is byte-identical at any --jobs setting
 
 exit codes:
   0  every artefact completed; a warning is printed on stderr when any
@@ -288,6 +294,7 @@ fn main() -> ExitCode {
     let mut resume = false;
     let mut journal_path = PathBuf::from(DEFAULT_JOURNAL_PATH);
     let mut profile = false;
+    let mut events = false;
     let mut requested: Vec<String> = vec![artefact.clone()];
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -343,6 +350,7 @@ fn main() -> ExitCode {
                 None => return usage_error("--journal requires a file path"),
             },
             "--profile" => profile = true,
+            "--events" => events = true,
             other if !other.starts_with('-') => requested.push(other.to_string()),
             other => return usage_error(&format!("unknown flag {other}")),
         }
@@ -428,7 +436,11 @@ fn main() -> ExitCode {
 
     let supervisor = Supervisor::new(BackoffPolicy::default(), 4);
 
-    if profile {
+    // `--events` implies span recording (enable_events is a superset of
+    // enable); `--profile` alone records spans only.
+    if events {
+        darksil_obs::enable_events();
+    } else if profile {
         darksil_obs::enable();
     }
     let root_span = darksil_obs::span("repro.run");
@@ -478,13 +490,25 @@ fn main() -> ExitCode {
         eprintln!("cannot write bench report: {e}");
         return ExitCode::FAILURE;
     }
-    if profile {
-        let trace = darksil_obs::drain();
-        if let Err(e) =
-            write_profile_reports(&trace, jobs, &selection_label, total_seconds, &outcomes)
-        {
-            eprintln!("cannot write profile reports: {e}");
+    if events || profile {
+        let (trace, stream) = darksil_obs::drain_all();
+        if let Err(e) = write_trace_report(&trace) {
+            eprintln!("cannot write trace report: {e}");
             return ExitCode::FAILURE;
+        }
+        if events {
+            if let Err(e) = write_event_report(&stream, &selection_label) {
+                eprintln!("cannot write event report: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if profile {
+            if let Err(e) =
+                write_bench_baseline(&trace, jobs, &selection_label, total_seconds, &outcomes)
+            {
+                eprintln!("cannot write profile reports: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     for o in outcomes.iter().filter(|o| !o.succeeded()) {
@@ -991,23 +1015,48 @@ fn write_bench_report(
 /// and noisier than the machine that recorded the baseline.
 const PROFILE_TOLERANCE_FACTOR: f64 = 25.0;
 
-/// Writes the `--profile` outputs: the raw span tree to
-/// `results/trace_repro.json` and the aggregated baseline report (per
+/// Writes the raw span tree to `results/trace_repro.json` (shared by
+/// `--profile` and `--events`).
+fn write_trace_report(trace: &darksil_obs::Trace) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir)?;
+    let trace_path = dir.join("trace_repro.json");
+    fs::write(&trace_path, darksil_json::to_string_pretty(trace))?;
+    println!("[wrote {}]", trace_path.display());
+    Ok(())
+}
+
+/// Writes the `--events` output: the drained domain event stream as
+/// JSONL to `results/events_<selection>.jsonl`. The stream carries no
+/// timing or worker-count data, so the file is byte-identical across
+/// `--jobs` settings for the same selection (cache state changes which
+/// artefacts run, so comparisons should use the same cache mode).
+fn write_event_report(
+    stream: &darksil_obs::EventStream,
+    selection: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("events_{selection}.jsonl"));
+    fs::write(&path, stream.to_jsonl())?;
+    println!(
+        "[wrote {} ({} events)]",
+        path.display(),
+        stream.events.len()
+    );
+    Ok(())
+}
+
+/// Writes the `--profile` baseline: the aggregated report (per
 /// artefact, per phase, with regression bounds) to `BENCH_repro.json`
 /// in the working directory.
-fn write_profile_reports(
+fn write_bench_baseline(
     trace: &darksil_obs::Trace,
     jobs: usize,
     selection: &str,
     total_seconds: f64,
     outcomes: &[ArtefactOutcome],
 ) -> Result<(), Box<dyn std::error::Error>> {
-    let dir = Path::new("results");
-    fs::create_dir_all(dir)?;
-    let trace_path = dir.join("trace_repro.json");
-    fs::write(&trace_path, darksil_json::to_string_pretty(trace))?;
-    println!("[wrote {}]", trace_path.display());
-
     let artefacts = outcomes
         .iter()
         .map(|o| darksil_obs::ArtefactTiming {

@@ -75,6 +75,7 @@ pub fn run_boosting(
         .unwrap_or(dvfs.len() - 1);
 
     let mut sim = TransientSim::new(platform.thermal(), config.period)?;
+    sim.set_watermark(config.threshold);
     let steps = (duration.value() / config.period.value()).round() as usize;
     let mut working = mapping.clone();
     let mut trace = PolicyTrace::new();
@@ -104,10 +105,34 @@ pub fn run_boosting(
         });
 
         let over_cap = config.power_cap.is_some_and(|cap| total_power > cap);
+        let prev_idx = level_idx;
         if peak > config.threshold || over_cap {
             level_idx = dvfs.step_down(level_idx);
         } else {
             level_idx = dvfs.step_up(level_idx);
+        }
+        if level_idx != prev_idx && darksil_obs::events_enabled() {
+            // The controller changed the chip-wide V/f level: record the
+            // transition with whichever condition forced the decision.
+            let reason = if peak > config.threshold {
+                "thermal"
+            } else if over_cap {
+                "power_cap"
+            } else {
+                "boost"
+            };
+            let to_ghz = dvfs
+                .get(level_idx)
+                .map_or(level.frequency.as_ghz(), |l| l.frequency.as_ghz());
+            darksil_obs::event("boost.transition", || {
+                vec![
+                    ("t_s", sim.elapsed().value().into()),
+                    ("from_ghz", level.frequency.as_ghz().into()),
+                    ("to_ghz", to_ghz.into()),
+                    ("peak_c", peak.value().into()),
+                    ("reason", reason.into()),
+                ]
+            });
         }
     }
     Ok(trace)

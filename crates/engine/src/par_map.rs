@@ -69,10 +69,16 @@ impl Engine {
     {
         let total = items.len();
         let _map_span = darksil_obs::span("engine.par_map");
+        // Every fan-out is an event-ordering fork: each job gets its own
+        // branch keyed by submission index, on the serial path too, so
+        // the drained event stream is identical at any worker count.
+        let fork = darksil_obs::event_fork();
         if self.jobs == 1 || total <= 1 {
             return items
                 .into_iter()
-                .map(|item| {
+                .enumerate()
+                .map(|(index, item)| {
+                    let _event_scope = fork.child(index as u64);
                     let _job_span = darksil_obs::span("engine.job");
                     run_job(&f, item)
                 })
@@ -102,6 +108,7 @@ impl Engine {
                 let queue = &queue;
                 let f = &f;
                 let context = &context;
+                let fork = &fork;
                 scope.spawn(move || {
                     let _trace_scope = darksil_obs::parent_scope(trace_parent);
                     loop {
@@ -112,14 +119,17 @@ impl Engine {
                         let Ok(Some((index, item))) = next else {
                             break;
                         };
-                        darksil_obs::observe(
+                        darksil_obs::observe_hist(
                             "engine.queue_wait_s",
                             submitted.elapsed().as_secs_f64(),
                         );
-                        let outcome = darksil_robust::scoped(context, || {
-                            let _job_span = darksil_obs::span("engine.job");
-                            run_job(f, item)
-                        });
+                        let outcome = {
+                            let _event_scope = fork.child(index as u64);
+                            darksil_robust::scoped(context, || {
+                                let _job_span = darksil_obs::span("engine.job");
+                                run_job(f, item)
+                            })
+                        };
                         if tx.send((index, outcome)).is_err() {
                             break;
                         }

@@ -92,20 +92,29 @@ impl ThreadPool {
         // submitter's open span.
         let context = darksil_robust::run_context();
         let trace_parent = darksil_obs::current_span();
+        // Each submission is its own event-ordering fork, captured on
+        // the submitting thread; the worker enters the (single) child
+        // branch so the job's events order at the submission point.
+        let fork = darksil_obs::event_fork();
         let submitted = std::time::Instant::now();
         let wrapped: Job = Box::new(move || {
             let _trace_scope = darksil_obs::parent_scope(trace_parent);
-            darksil_obs::observe("engine.queue_wait_s", submitted.elapsed().as_secs_f64());
-            let outcome = darksil_robust::scoped(&context, || {
-                let _job_span = darksil_obs::span("engine.pool.job");
-                match catch_unwind(AssertUnwindSafe(job)) {
-                    Ok(result) => result,
-                    Err(payload) => Err(DarksilError::internal(format!(
-                        "job panicked: {}",
-                        crate::panic_message(payload.as_ref())
-                    ))),
-                }
-            });
+            darksil_obs::observe_hist("engine.queue_wait_s", submitted.elapsed().as_secs_f64());
+            let outcome = {
+                // Dropped (flushing the event buffer) before the result
+                // is sent, so a join can never observe missing events.
+                let _event_scope = fork.child(0);
+                darksil_robust::scoped(&context, || {
+                    let _job_span = darksil_obs::span("engine.pool.job");
+                    match catch_unwind(AssertUnwindSafe(job)) {
+                        Ok(result) => result,
+                        Err(payload) => Err(DarksilError::internal(format!(
+                            "job panicked: {}",
+                            crate::panic_message(payload.as_ref())
+                        ))),
+                    }
+                })
+            };
             // The receiver may have been dropped; nothing to do then.
             let _ = tx.send(outcome);
         });

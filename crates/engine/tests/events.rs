@@ -1,0 +1,88 @@
+//! Determinism of the domain event stream under the engine's fan-out.
+//!
+//! The contract under test: for the same workload, the drained event
+//! stream is **byte-identical** at any worker count, because events are
+//! keyed by submission order (fork/child prefixes), not by wall-clock
+//! or thread interleaving. And with events disabled, a probe never runs
+//! its field closure at all.
+
+use std::sync::Mutex;
+
+use darksil_engine::Engine;
+use proptest::prelude::*;
+
+/// Serializes tests that flip the process-global recorder.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs a two-level fan-out (par_map with a nested par_map in flagged
+/// jobs), drains, and returns the serialized stream.
+fn run_workload(jobs: usize, plan: &[bool]) -> String {
+    let engine = Engine::new(jobs);
+    let items: Vec<(usize, bool)> = plan.iter().copied().enumerate().collect();
+    let results = engine.par_map(items, |(index, nested)| {
+        darksil_obs::event("job.start", || vec![("index", (index as u64).into())]);
+        if nested {
+            // Nested fan-out: inner events key under this job's branch.
+            let inner = Engine::new(jobs.min(2)).par_map(vec![0_u64, 1, 2], |k| {
+                darksil_obs::event("job.inner", || vec![("k", k.into())]);
+                Ok(k)
+            });
+            for r in inner {
+                r.expect("inner job succeeds");
+            }
+        }
+        darksil_obs::event("job.end", || vec![("index", (index as u64).into())]);
+        Ok(index)
+    });
+    for r in results {
+        r.expect("job succeeds");
+    }
+    let (_trace, stream) = darksil_obs::drain_all();
+    stream.to_jsonl()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Serial and parallel runs of the same workload produce the same
+    /// bytes, event for event, whatever the interleaving was.
+    #[test]
+    fn event_streams_are_byte_identical_across_worker_counts(
+        plan in prop::collection::vec(any::<bool>(), 1..24),
+        jobs in 2_usize..6,
+    ) {
+        let _guard = OBS_LOCK.lock().expect("obs lock");
+        darksil_obs::enable_events();
+        let serial = run_workload(1, &plan);
+        darksil_obs::enable_events();
+        let parallel = run_workload(jobs, &plan);
+        prop_assert_eq!(serial, parallel);
+    }
+}
+
+#[test]
+fn jobs_one_and_four_agree_on_a_fixed_workload() {
+    let _guard = OBS_LOCK.lock().expect("obs lock");
+    let plan = [true, false, true, true, false, false, true, false];
+    darksil_obs::enable_events();
+    let serial = run_workload(1, &plan);
+    darksil_obs::enable_events();
+    let parallel = run_workload(4, &plan);
+    assert_eq!(serial, parallel);
+    assert!(serial.contains("job.inner"), "nested events recorded");
+}
+
+#[test]
+fn disabled_probes_never_run_their_field_closures() {
+    let _guard = OBS_LOCK.lock().expect("obs lock");
+    assert!(!darksil_obs::events_enabled());
+    // With recording off, the probe must stop at its atomic-load guard:
+    // reaching the closure would panic every job.
+    let results = Engine::new(4).par_map((0..8).collect::<Vec<u64>>(), |i| {
+        darksil_obs::event("never.emitted", || unreachable!("disabled probe ran"));
+        Ok(i)
+    });
+    for r in results {
+        r.expect("probe stayed dormant");
+    }
+}

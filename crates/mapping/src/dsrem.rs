@@ -218,6 +218,19 @@ impl DsRem {
                 Some((i, threads, level_index, _)) => {
                     configs[i].threads = threads;
                     configs[i].level_index = level_index;
+                    if darksil_obs::events_enabled() {
+                        let ghz = platform
+                            .dvfs()
+                            .get(level_index)
+                            .map_or(0.0, |l| l.frequency.as_ghz());
+                        darksil_obs::event("dsrem.trim", || {
+                            vec![
+                                ("instance", (i as u64).into()),
+                                ("threads", (threads as u64).into()),
+                                ("ghz", ghz.into()),
+                            ]
+                        });
+                    }
                 }
                 None => return, // nothing left to trim
             }
@@ -239,6 +252,20 @@ impl DsRem {
             if let Some(level) = platform.dvfs().get(cfg.level_index) {
                 entry.level = level;
             }
+        }
+        if darksil_obs::events_enabled() {
+            let instances = mapping.entries().len() as u64;
+            let active_cores = mapping
+                .entries()
+                .iter()
+                .map(|e| e.cores.len() as u64)
+                .sum::<u64>();
+            darksil_obs::event("dsrem.place", || {
+                vec![
+                    ("instances", instances.into()),
+                    ("active_cores", active_cores.into()),
+                ]
+            });
         }
         Ok(mapping)
     }
@@ -294,9 +321,29 @@ impl DsRem {
                     }
                     *mapping = rebuilt;
                     frozen = vec![false; mapping.entries().len()];
+                    if darksil_obs::events_enabled() {
+                        darksil_obs::event("dsrem.unmap", || {
+                            vec![
+                                ("step", (step as u64).into()),
+                                ("instance", (owner as u64).into()),
+                                ("peak_c", peak.value().into()),
+                            ]
+                        });
+                    }
                 } else if let Some(new_level) = platform.dvfs().get(idx - 1) {
                     mapping.entries_mut()[owner].level = new_level;
                     frozen[owner] = true; // don't bounce it back up
+                    if darksil_obs::events_enabled() {
+                        let ghz = new_level.frequency.as_ghz();
+                        darksil_obs::event("dsrem.throttle", || {
+                            vec![
+                                ("step", (step as u64).into()),
+                                ("instance", (owner as u64).into()),
+                                ("peak_c", peak.value().into()),
+                                ("ghz", ghz.into()),
+                            ]
+                        });
+                    }
                 }
                 continue;
             }
@@ -334,6 +381,16 @@ impl DsRem {
                 if total + delta > self.tdp {
                     mapping.entries_mut()[i].level = old;
                     frozen[i] = true;
+                } else if darksil_obs::events_enabled() {
+                    let ghz = new_level.frequency.as_ghz();
+                    darksil_obs::event("dsrem.exploit", || {
+                        vec![
+                            ("step", (step as u64).into()),
+                            ("instance", (i as u64).into()),
+                            ("peak_c", peak.value().into()),
+                            ("ghz", ghz.into()),
+                        ]
+                    });
                 }
                 continue;
             }

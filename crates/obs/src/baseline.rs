@@ -129,6 +129,20 @@ impl BenchBaseline {
         }
         out
     }
+
+    /// Names of phases this baseline bounds that `current` did not run.
+    /// [`Self::regressions_in`] intersects the two phase sets, so a
+    /// phase that silently disappears from the run (renamed span,
+    /// dropped artefact) would otherwise escape comparison entirely;
+    /// callers surface these as warnings.
+    #[must_use]
+    pub fn missing_phases(&self, current: &Self) -> Vec<String> {
+        self.phases
+            .iter()
+            .filter(|p| !current.phases.iter().any(|c| c.span == p.span))
+            .map(|p| p.span.clone())
+            .collect()
+    }
 }
 
 /// One exceeded bound from [`BenchBaseline::regressions_in`].
@@ -251,6 +265,7 @@ mod tests {
             ],
             counters: vec![("engine.cache.miss".to_string(), 1)],
             observations: Vec::new(),
+            hists: Vec::new(),
         }
     }
 
@@ -291,6 +306,7 @@ mod tests {
             }],
             counters: Vec::new(),
             observations: Vec::new(),
+            hists: Vec::new(),
         };
         let tb = BenchBaseline::from_trace(&tiny, 1, "x", 10.0, 1e-4, Vec::new());
         assert!((tb.phases[0].max_seconds - 0.25).abs() < 1e-9);
@@ -331,6 +347,23 @@ mod tests {
             max_seconds: 1e7,
         });
         assert!(b.regressions_in(&current).is_empty());
+        // The extra phase is only missing in the other direction.
+        assert!(b.missing_phases(&current).is_empty());
+        assert_eq!(current.missing_phases(&b), vec!["brand.new".to_string()]);
+    }
+
+    #[test]
+    fn baseline_phases_absent_from_current_are_reported_missing() {
+        let b = baseline();
+        let mut current = b.clone();
+        current.phases.retain(|p| p.span != "thermal.steady_state");
+        // The intersection comparison stays green …
+        assert!(b.regressions_in(&current).is_empty());
+        // … but the dropped phase is named so callers can warn.
+        assert_eq!(
+            b.missing_phases(&current),
+            vec!["thermal.steady_state".to_string()]
+        );
     }
 
     #[test]

@@ -1,0 +1,585 @@
+//! The domain event stream: typed simulation events with a
+//! deterministic total order.
+//!
+//! Spans answer "where did the time go"; events answer "what did the
+//! simulation *decide*" — DTM throttles, DVFS transitions, DsRem moves,
+//! TSP budget recomputes, temperature watermarks. Events are recorded by
+//! [`event`](crate::event) behind the same fast path as spans, keyed by
+//! a hierarchical submission index (see [`EventRecord::seq`]) rather
+//! than wall-clock time, so the drained stream is **byte-identical at
+//! any `--jobs` value**.
+//!
+//! The on-disk form is JSON Lines under schema [`EVENTS_SCHEMA`]: a
+//! header object followed by one compact object per event, in key order.
+
+use darksil_json::{Json, JsonError, ObjReader, ToJson};
+
+/// Schema tag on the first line of an events file.
+pub const EVENTS_SCHEMA: &str = "darksil-events-v1";
+
+/// One field value on an event.
+///
+/// Events carry a small closed set of value shapes so domain crates can
+/// emit without depending on the JSON crate; `From` conversions keep
+/// call sites terse (`("peak_c", peak.into())`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventValue {
+    /// A scalar measurement (temperature, frequency, seconds, watts).
+    F64(f64),
+    /// An index or count (instance id, step number, core count).
+    U64(u64),
+    /// A flag.
+    Bool(bool),
+    /// A label (transition reason, decision kind).
+    Str(String),
+    /// A per-core vector (temperatures in floorplan order).
+    F64s(Vec<f64>),
+}
+
+impl From<f64> for EventValue {
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+
+impl From<u64> for EventValue {
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+
+impl From<usize> for EventValue {
+    fn from(v: usize) -> Self {
+        Self::U64(v as u64)
+    }
+}
+
+impl From<bool> for EventValue {
+    fn from(v: bool) -> Self {
+        Self::Bool(v)
+    }
+}
+
+impl From<&str> for EventValue {
+    fn from(v: &str) -> Self {
+        Self::Str(v.to_string())
+    }
+}
+
+impl From<String> for EventValue {
+    fn from(v: String) -> Self {
+        Self::Str(v)
+    }
+}
+
+impl From<Vec<f64>> for EventValue {
+    fn from(v: Vec<f64>) -> Self {
+        Self::F64s(v)
+    }
+}
+
+impl EventValue {
+    fn to_json(&self) -> Json {
+        match self {
+            Self::F64(v) => Json::Num(*v),
+            #[allow(clippy::cast_precision_loss)]
+            Self::U64(v) => Json::Num(*v as f64),
+            Self::Bool(v) => Json::Bool(*v),
+            Self::Str(v) => Json::Str(v.clone()),
+            Self::F64s(v) => Json::Arr(v.iter().map(|&x| Json::Num(x)).collect()),
+        }
+    }
+
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Num(v) => Ok(Self::F64(*v)),
+            Json::Bool(v) => Ok(Self::Bool(*v)),
+            Json::Str(v) => Ok(Self::Str(v.clone())),
+            Json::Arr(items) => {
+                let mut values = Vec::with_capacity(items.len());
+                for item in items {
+                    values
+                        .push(item.as_f64().ok_or_else(|| {
+                            JsonError::msg("event array field must hold numbers")
+                        })?);
+                }
+                Ok(Self::F64s(values))
+            }
+            other => Err(JsonError::msg(format!(
+                "unsupported event field type: {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// The value as a scalar, if it is one (`U64` widens to `f64`).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Self::F64(v) => Some(*v),
+            #[allow(clippy::cast_precision_loss)]
+            Self::U64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::Str(v) => Some(v.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The value as a float vector, if it is one.
+    #[must_use]
+    pub fn as_f64s(&self) -> Option<&[f64]> {
+        match self {
+            Self::F64s(v) => Some(v.as_slice()),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded domain event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Hierarchical submission key. The root scope is `[]`; each engine
+    /// fan-out appends `[fork, job_index]` and every emission appends a
+    /// per-scope sequence number, so lexicographic order over `seq`
+    /// reproduces the serial submission order regardless of which
+    /// thread actually ran the job.
+    pub seq: Vec<u64>,
+    /// Dotted event kind, e.g. `boost.transition` or `dsrem.throttle`.
+    pub kind: String,
+    /// Named field values, in emission order.
+    pub fields: Vec<(String, EventValue)>,
+}
+
+impl EventRecord {
+    /// Looks up a scalar field by name.
+    #[must_use]
+    pub fn f64_field(&self, name: &str) -> Option<f64> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_f64())
+    }
+
+    /// Looks up a string field by name.
+    #[must_use]
+    pub fn str_field(&self, name: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_str())
+    }
+
+    /// Looks up a float-vector field by name.
+    #[must_use]
+    pub fn f64s_field(&self, name: &str) -> Option<&[f64]> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_f64s())
+    }
+
+    /// Serializes to one compact JSONL line (no trailing newline).
+    #[must_use]
+    pub fn to_jsonl_line(&self) -> String {
+        #[allow(clippy::cast_precision_loss)]
+        let seq = Json::Arr(self.seq.iter().map(|&s| Json::Num(s as f64)).collect());
+        let fields = Json::Obj(
+            self.fields
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("seq".to_string(), seq),
+            ("kind".to_string(), Json::Str(self.kind.clone())),
+            ("fields".to_string(), fields),
+        ])
+        .compact()
+    }
+
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let mut r = ObjReader::new(json, "EventRecord")?;
+        let raw_seq: Vec<f64> = r.req("seq")?;
+        let kind: String = r.req("kind")?;
+        let raw_fields: Json = r.req("fields")?;
+        r.finish()?;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let seq = raw_seq.iter().map(|&s| s as u64).collect();
+        let Json::Obj(entries) = &raw_fields else {
+            return Err(JsonError::msg("event fields must be an object"));
+        };
+        let mut fields = Vec::with_capacity(entries.len());
+        for (name, value) in entries {
+            fields.push((
+                name.clone(),
+                EventValue::from_json(value).map_err(|e| e.in_field(name))?,
+            ));
+        }
+        Ok(Self { seq, kind, fields })
+    }
+}
+
+/// A drained, ordered stream of [`EventRecord`]s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventStream {
+    /// Events in deterministic submission order.
+    pub events: Vec<EventRecord>,
+}
+
+impl EventStream {
+    /// Whether the stream holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serializes the stream as JSON Lines: a schema header followed by
+    /// one compact object per event. The output contains nothing that
+    /// varies with worker count or wall-clock time, so two runs of the
+    /// same workload produce identical bytes.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        #[allow(clippy::cast_precision_loss)]
+        let header = Json::Obj(vec![
+            ("schema".to_string(), Json::Str(EVENTS_SCHEMA.to_string())),
+            ("events".to_string(), Json::Num(self.events.len() as f64)),
+        ]);
+        out.push_str(&header.compact());
+        out.push('\n');
+        for event in &self.events {
+            out.push_str(&event.to_jsonl_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSONL events file produced by [`Self::to_jsonl`].
+    ///
+    /// # Errors
+    /// Fails on an empty input, a missing or mismatched schema header,
+    /// a malformed line, or an event-count mismatch.
+    pub fn from_jsonl(text: &str) -> Result<Self, JsonError> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header_line = lines
+            .next()
+            .ok_or_else(|| JsonError::msg("events file is empty (missing schema header)"))?;
+        let header: Json = darksil_json::from_str(header_line)?;
+        let mut r = ObjReader::new(&header, "events header")?;
+        let schema: String = r.req("schema")?;
+        let declared: f64 = r.req("events")?;
+        r.finish()?;
+        if schema != EVENTS_SCHEMA {
+            return Err(JsonError::msg(format!(
+                "unsupported events schema '{schema}' (expected '{EVENTS_SCHEMA}')"
+            )));
+        }
+        let mut events = Vec::new();
+        for line in lines {
+            let json: Json = darksil_json::from_str(line)?;
+            events.push(EventRecord::from_json(&json)?);
+        }
+        #[allow(clippy::cast_precision_loss, clippy::float_cmp)]
+        let count_matches = declared == events.len() as f64;
+        if !count_matches {
+            return Err(JsonError::msg(format!(
+                "events header declares {declared} events but the file holds {}",
+                events.len()
+            )));
+        }
+        Ok(Self { events })
+    }
+
+    /// Counts events per kind, sorted by kind name.
+    #[must_use]
+    pub fn kind_counts(&self) -> Vec<(String, usize)> {
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        for event in &self.events {
+            match counts.iter_mut().find(|(k, _)| *k == event.kind) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((event.kind.clone(), 1)),
+            }
+        }
+        counts.sort_by(|a, b| a.0.cmp(&b.0));
+        counts
+    }
+
+    /// Events of one kind, in stream order.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a EventRecord> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Fraction of the boost-trace time spent below the top DVFS level
+    /// reached, derived from `boost.transition` events. `None` when the
+    /// stream has fewer than two transitions.
+    #[must_use]
+    pub fn throttle_residency(&self) -> Option<f64> {
+        let transitions: Vec<&EventRecord> = self.of_kind("boost.transition").collect();
+        let first_t = transitions.first().and_then(|e| e.f64_field("t_s"))?;
+        let last_t = transitions.last().and_then(|e| e.f64_field("t_s"))?;
+        let span = last_t - first_t;
+        if !span.is_finite() || span <= 0.0 {
+            return None;
+        }
+        let top_ghz = transitions
+            .iter()
+            .filter_map(|e| e.f64_field("to_ghz"))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mut throttled = 0.0;
+        for pair in transitions.windows(2) {
+            let (Some(t0), Some(t1)) = (pair[0].f64_field("t_s"), pair[1].f64_field("t_s")) else {
+                continue;
+            };
+            if pair[0].f64_field("to_ghz").is_some_and(|g| g < top_ghz) {
+                throttled += t1 - t0;
+            }
+        }
+        Some(throttled / span)
+    }
+
+    /// Seconds each core spent above the watermark threshold, derived
+    /// from decimated `thermal.cores` samples (a core is charged for the
+    /// interval following a sample where it was above). Cores with zero
+    /// residency are omitted; the result is sorted by core index.
+    #[must_use]
+    pub fn time_above_threshold(&self) -> Vec<(usize, f64)> {
+        let samples: Vec<&EventRecord> = self
+            .of_kind("thermal.cores")
+            .filter(|e| e.f64_field("threshold_c").is_some())
+            .collect();
+        let mut above: Vec<(usize, f64)> = Vec::new();
+        for pair in samples.windows(2) {
+            let (Some(t0), Some(t1)) = (pair[0].f64_field("t_s"), pair[1].f64_field("t_s")) else {
+                continue;
+            };
+            let dt = t1 - t0;
+            let (Some(threshold), Some(cores)) = (
+                pair[0].f64_field("threshold_c"),
+                pair[0].f64s_field("cores"),
+            ) else {
+                continue;
+            };
+            if !dt.is_finite() || dt <= 0.0 {
+                continue;
+            }
+            for (core, &temp) in cores.iter().enumerate() {
+                if temp > threshold {
+                    match above.iter_mut().find(|(c, _)| *c == core) {
+                        Some((_, total)) => *total += dt,
+                        None => above.push((core, dt)),
+                    }
+                }
+            }
+        }
+        above.sort_by_key(|&(core, _)| core);
+        above
+    }
+
+    /// Renders the `darksil events summarize` table.
+    #[must_use]
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("events: {} total\n", self.events.len()));
+        out.push_str(&format!("{:<24} {:>8}\n", "kind", "count"));
+        for (kind, count) in self.kind_counts() {
+            out.push_str(&format!("{kind:<24} {count:>8}\n"));
+        }
+        if let Some(residency) = self.throttle_residency() {
+            out.push_str(&format!(
+                "throttle residency: {:.1}% of the boost trace below peak frequency\n",
+                residency * 100.0
+            ));
+        }
+        let above = self.time_above_threshold();
+        if !above.is_empty() {
+            out.push_str("time above threshold (per core, from decimated samples):\n");
+            for (core, seconds) in above.iter().take(16) {
+                out.push_str(&format!("  core {core:<4} {seconds:>10.3} s\n"));
+            }
+            if above.len() > 16 {
+                out.push_str(&format!("  … and {} more cores\n", above.len() - 16));
+            }
+        }
+        out
+    }
+}
+
+/// `ToJson` renders the whole stream as one array (used in tests and by
+/// callers that want the stream inside a larger JSON document; the
+/// on-disk format is [`EventStream::to_jsonl`]).
+impl ToJson for EventStream {
+    fn to_json(&self) -> Json {
+        Json::Arr(
+            self.events
+                .iter()
+                .map(|e| {
+                    #[allow(clippy::cast_precision_loss)]
+                    let seq = Json::Arr(e.seq.iter().map(|&s| Json::Num(s as f64)).collect());
+                    Json::Obj(vec![
+                        ("seq".to_string(), seq),
+                        ("kind".to_string(), Json::Str(e.kind.clone())),
+                        (
+                            "fields".to_string(),
+                            Json::Obj(
+                                e.fields
+                                    .iter()
+                                    .map(|(k, v)| (k.clone(), v.to_json()))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stream() -> EventStream {
+        EventStream {
+            events: vec![
+                EventRecord {
+                    seq: vec![0],
+                    kind: "tsp.budget".to_string(),
+                    fields: vec![
+                        ("active".to_string(), EventValue::U64(64)),
+                        ("per_core_w".to_string(), EventValue::F64(1.75)),
+                    ],
+                },
+                EventRecord {
+                    seq: vec![1, 0, 0],
+                    kind: "boost.transition".to_string(),
+                    fields: vec![
+                        ("t_s".to_string(), EventValue::F64(0.5)),
+                        ("reason".to_string(), EventValue::Str("thermal".to_string())),
+                        ("cooling".to_string(), EventValue::Bool(true)),
+                    ],
+                },
+                EventRecord {
+                    seq: vec![1, 1, 0],
+                    kind: "thermal.cores".to_string(),
+                    fields: vec![
+                        ("t_s".to_string(), EventValue::F64(1.0)),
+                        ("cores".to_string(), EventValue::F64s(vec![71.5, 82.25])),
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_byte_stable() {
+        let stream = sample_stream();
+        let text = stream.to_jsonl();
+        assert!(text.starts_with("{\"schema\":\"darksil-events-v1\""));
+        let back = EventStream::from_jsonl(&text).expect("stream parses");
+        assert_eq!(back.events.len(), 3);
+        assert_eq!(back.events[1].str_field("reason"), Some("thermal"));
+        assert_eq!(back.events[2].f64s_field("cores"), Some(&[71.5, 82.25][..]));
+        // Re-serialization of the parsed stream reproduces the bytes.
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn empty_input_is_rejected_with_a_clear_error() {
+        let err = EventStream::from_jsonl("").expect_err("empty file must fail");
+        assert!(err.to_string().contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let err = EventStream::from_jsonl("{\"schema\":\"darksil-events-v9\",\"events\":0}\n")
+            .expect_err("unknown schema must fail");
+        assert!(err.to_string().contains("darksil-events-v9"), "{err}");
+    }
+
+    #[test]
+    fn count_mismatch_is_rejected() {
+        let text = "{\"schema\":\"darksil-events-v1\",\"events\":2}\n\
+                    {\"seq\":[0],\"kind\":\"x\",\"fields\":{}}\n";
+        let err = EventStream::from_jsonl(text).expect_err("count mismatch must fail");
+        assert!(err.to_string().contains("declares"), "{err}");
+    }
+
+    #[test]
+    fn kind_counts_are_sorted_by_name() {
+        let stream = sample_stream();
+        let counts = stream.kind_counts();
+        assert_eq!(
+            counts,
+            vec![
+                ("boost.transition".to_string(), 1),
+                ("thermal.cores".to_string(), 1),
+                ("tsp.budget".to_string(), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn throttle_residency_charges_below_peak_intervals() {
+        let transition = |t: f64, to: f64| EventRecord {
+            seq: vec![t.to_bits() & 0xff],
+            kind: "boost.transition".to_string(),
+            fields: vec![
+                ("t_s".to_string(), EventValue::F64(t)),
+                ("to_ghz".to_string(), EventValue::F64(to)),
+            ],
+        };
+        let stream = EventStream {
+            // Peak is 3.0 GHz: throttled from t=1 (down to 2.4) until
+            // t=3 (back at 3.0), over a 4-second trace = 50%.
+            events: vec![
+                transition(0.0, 3.0),
+                transition(1.0, 2.4),
+                transition(3.0, 3.0),
+                transition(4.0, 3.0),
+            ],
+        };
+        let residency = stream.throttle_residency().expect("residency");
+        assert!((residency - 0.5).abs() < 1e-9, "residency = {residency}");
+    }
+
+    #[test]
+    fn time_above_threshold_integrates_sample_intervals() {
+        let sample = |t: f64, cores: Vec<f64>| EventRecord {
+            seq: vec![(t * 10.0) as u64],
+            kind: "thermal.cores".to_string(),
+            fields: vec![
+                ("t_s".to_string(), EventValue::F64(t)),
+                ("cores".to_string(), EventValue::F64s(cores)),
+                ("threshold_c".to_string(), EventValue::F64(80.0)),
+            ],
+        };
+        let stream = EventStream {
+            events: vec![
+                sample(0.0, vec![85.0, 70.0]),
+                sample(1.0, vec![85.0, 81.0]),
+                sample(2.5, vec![60.0, 60.0]),
+            ],
+        };
+        let above = stream.time_above_threshold();
+        // Core 0: above at t=0 and t=1 → charged 1.0 + 1.5 s. Core 1:
+        // above only at t=1 → charged 1.5 s.
+        assert_eq!(above.len(), 2);
+        assert!((above[0].1 - 2.5).abs() < 1e-9);
+        assert!((above[1].1 - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_mentions_counts_and_residency() {
+        let stream = sample_stream();
+        let text = stream.render_summary();
+        assert!(text.contains("events: 3 total"));
+        assert!(text.contains("boost.transition"));
+    }
+}

@@ -1,0 +1,285 @@
+//! Log-bucket histograms for latency-style metrics.
+//!
+//! [`ObservationStats`](crate::ObservationStats) keeps count/sum/min/max,
+//! which is enough for a mean but says nothing about the tail. A
+//! [`HistogramStats`] adds a sparse log-bucketed distribution so the
+//! summary can report p50/p95/p99 with bounded memory: each power of two
+//! is split into [`BUCKETS_PER_DOUBLING`] buckets (~9% relative error per
+//! bucket), and only occupied buckets are stored. Merging and quantile
+//! extraction are independent of insertion order, so a histogram built
+//! from a parallel run is deterministic up to the sample multiset.
+
+use darksil_json::{FromJson, Json, JsonError, ObjReader, ToJson};
+
+/// Buckets per doubling of the value; 8 gives ~9% relative resolution.
+const BUCKETS_PER_DOUBLING: f64 = 8.0;
+
+/// Bucket index reserved for non-positive and non-finite samples.
+const UNDERFLOW_BUCKET: i32 = i32::MIN;
+
+/// Returns the log-bucket index for `value`.
+fn bucket_of(value: f64) -> i32 {
+    if value <= 0.0 || !value.is_finite() {
+        return UNDERFLOW_BUCKET;
+    }
+    let raw = (value.log2() * BUCKETS_PER_DOUBLING).floor();
+    if raw < f64::from(i32::MIN + 1) {
+        UNDERFLOW_BUCKET
+    } else if raw > f64::from(i32::MAX) {
+        i32::MAX
+    } else {
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            raw as i32
+        }
+    }
+}
+
+/// Upper bound of a bucket (quantiles report this, clamped to the
+/// observed min/max so estimates never leave the sampled range).
+fn bucket_upper(bucket: i32) -> f64 {
+    if bucket == UNDERFLOW_BUCKET {
+        return 0.0;
+    }
+    2.0_f64.powf((f64::from(bucket) + 1.0) / BUCKETS_PER_DOUBLING)
+}
+
+/// A sparse log-bucket histogram with summary statistics.
+///
+/// Built by [`observe_hist`](crate::observe_hist); serialized inside the
+/// trace as `{"count", "sum", "min", "max", "buckets": [[index, n], …]}`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramStats {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample (`0.0` when empty).
+    pub min: f64,
+    /// Largest sample (`0.0` when empty).
+    pub max: f64,
+    /// Occupied buckets as `(index, samples)`, sorted by index.
+    buckets: Vec<(i32, u64)>,
+}
+
+impl HistogramStats {
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+        let bucket = bucket_of(value);
+        match self.buckets.binary_search_by_key(&bucket, |&(b, _)| b) {
+            Ok(pos) => self.buckets[pos].1 += 1,
+            Err(pos) => self.buckets.insert(pos, (bucket, 1)),
+        }
+    }
+
+    /// Mean of all samples; `0.0` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.sum / self.count as f64
+            }
+        }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`). The estimate is a
+    /// bucket upper bound clamped to the observed `[min, max]`, so it is
+    /// within one bucket width (~9%) of the true quantile. `0.0` when
+    /// empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0_u64;
+        for &(bucket, n) in &self.buckets {
+            cumulative += n;
+            if cumulative >= target {
+                return bucket_upper(bucket).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    #[must_use]
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+impl ToJson for HistogramStats {
+    fn to_json(&self) -> Json {
+        let buckets = self
+            .buckets
+            .iter()
+            .map(|&(bucket, n)| {
+                #[allow(clippy::cast_precision_loss)]
+                let count = n as f64;
+                Json::Arr(vec![Json::Num(f64::from(bucket)), Json::Num(count)])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("count".to_string(), self.count.to_json()),
+            ("sum".to_string(), Json::Num(self.sum)),
+            ("min".to_string(), Json::Num(self.min)),
+            ("max".to_string(), Json::Num(self.max)),
+            ("buckets".to_string(), Json::Arr(buckets)),
+        ])
+    }
+}
+
+impl FromJson for HistogramStats {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let mut r = ObjReader::new(json, "HistogramStats")?;
+        let count: u64 = r.req("count")?;
+        let sum: f64 = r.req("sum")?;
+        let min: f64 = r.req("min")?;
+        let max: f64 = r.req("max")?;
+        let raw: Vec<Json> = r.req("buckets")?;
+        r.finish()?;
+        let mut buckets = Vec::with_capacity(raw.len());
+        for pair in &raw {
+            let Json::Arr(items) = pair else {
+                return Err(JsonError::msg(
+                    "histogram bucket must be a [index, count] pair",
+                ));
+            };
+            if items.len() != 2 {
+                return Err(JsonError::msg(
+                    "histogram bucket must be a [index, count] pair",
+                ));
+            }
+            let index = items[0]
+                .as_f64()
+                .ok_or_else(|| JsonError::msg("bucket index must be a number"))?;
+            let n = items[1]
+                .as_f64()
+                .ok_or_else(|| JsonError::msg("bucket count must be a number"))?;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let entry = (index as i32, n as u64);
+            buckets.push(entry);
+        }
+        buckets.sort_by_key(|&(b, _)| b);
+        Ok(Self {
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = HistogramStats::default();
+        assert_eq!(h.count, 0);
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p99(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_samples() {
+        let mut h = HistogramStats::default();
+        for i in 1..=100 {
+            h.record(f64::from(i));
+        }
+        assert_eq!(h.count, 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+        // Log buckets give ~9% relative error; accept a generous band.
+        assert!(h.p50() >= 45.0 && h.p50() <= 60.0, "p50 = {}", h.p50());
+        assert!(h.p95() >= 90.0 && h.p95() <= 100.0, "p95 = {}", h.p95());
+        assert!(h.p99() >= 95.0 && h.p99() <= 100.0, "p99 = {}", h.p99());
+        assert_eq!(h.quantile(1.0), 100.0);
+        // The 0-quantile reports the first bucket's upper bound, which
+        // sits within one bucket width (~9%) of the true minimum.
+        let q0 = h.quantile(0.0);
+        assert!((1.0..=1.1).contains(&q0), "q0 = {q0}");
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let mut h = HistogramStats::default();
+        h.record(0.125);
+        assert_eq!(h.p50(), 0.125);
+        assert_eq!(h.p99(), 0.125);
+        assert_eq!(h.min, 0.125);
+        assert_eq!(h.max, 0.125);
+    }
+
+    #[test]
+    fn non_positive_samples_land_in_the_underflow_bucket() {
+        let mut h = HistogramStats::default();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(2.0);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, -3.0);
+        // The p50 walk hits the underflow bucket whose upper bound (0)
+        // clamps into the observed range.
+        assert!(h.p50() <= 2.0);
+    }
+
+    #[test]
+    fn insertion_order_does_not_change_the_histogram() {
+        let samples = [0.004, 1.5, 0.8, 12.0, 0.004, 3.3];
+        let mut forward = HistogramStats::default();
+        let mut backward = HistogramStats::default();
+        for &s in &samples {
+            forward.record(s);
+        }
+        for &s in samples.iter().rev() {
+            backward.record(s);
+        }
+        assert_eq!(forward.buckets, backward.buckets);
+        assert_eq!(forward.p95(), backward.p95());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_quantiles() {
+        let mut h = HistogramStats::default();
+        for i in 1..=50 {
+            h.record(f64::from(i) * 0.01);
+        }
+        let text = darksil_json::to_string_pretty(&h);
+        let back: HistogramStats = darksil_json::from_str(&text).expect("histogram parses");
+        assert_eq!(back, h);
+        assert_eq!(back.p99(), h.p99());
+    }
+}

@@ -1,6 +1,7 @@
-//! Structured tracing for the darksil workspace: spans, counters, and
-//! scalar observations, recorded into an in-process buffer and drained
-//! as a JSON-serialisable [`Trace`].
+//! Structured tracing for the darksil workspace: spans, counters,
+//! scalar observations, log-bucket histograms, and a domain event
+//! stream, recorded into an in-process buffer and drained as a
+//! JSON-serialisable [`Trace`] plus an [`EventStream`].
 //!
 //! The pipeline instruments its hot paths (engine job scheduling, cache
 //! lookups, CG solves, thermal transients) with calls into this crate.
@@ -13,7 +14,17 @@
 //! open spans, a new span's parent is the top of that stack, and worker
 //! threads inherit the submitting thread's open span through
 //! [`parent_scope`] (the engine installs this next to its `RunContext`
-//! propagation). Counters and observations are plain named aggregates.
+//! propagation). Counters and observations are plain named aggregates;
+//! [`observe_hist`] additionally keeps a log-bucket distribution for
+//! p50/p95/p99 tails.
+//!
+//! Domain events ([`event`]) record what the *simulation* decided —
+//! DVFS transitions, DsRem moves, TSP budgets, temperature watermarks.
+//! They are keyed by a hierarchical submission index maintained through
+//! [`event_fork`] at engine fan-out points rather than by wall-clock
+//! time, so a drained [`EventStream`] is byte-identical at any worker
+//! count; [`render_report`] turns a stream into a self-contained HTML
+//! run report.
 //!
 //! ```
 //! darksil_obs::enable();
@@ -38,12 +49,19 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod baseline;
+mod event;
+mod hist;
 mod recorder;
+mod report;
 mod trace;
 
 pub use baseline::{ArtefactTiming, BenchBaseline, PhaseBound, Regression, BASELINE_SCHEMA};
+pub use event::{EventRecord, EventStream, EventValue, EVENTS_SCHEMA};
+pub use hist::HistogramStats;
 pub use recorder::{
-    counter, current_span, disable, drain, enable, is_enabled, observe, parent_scope, span,
-    span_lazy, ParentScope, Span,
+    counter, current_span, disable, drain, drain_all, enable, enable_events, event, event_fork,
+    events_enabled, is_enabled, observe, observe_hist, parent_scope, span, span_lazy, EventFork,
+    EventScope, ParentScope, Span,
 };
+pub use report::render_report;
 pub use trace::{ObservationStats, SpanRecord, SpanSummary, Trace, TRACE_SCHEMA};

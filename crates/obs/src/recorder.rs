@@ -1,5 +1,8 @@
-//! The global recorder: enable/disable switch, span guards, counters.
+//! The global recorder: enable/disable switch, span guards, counters,
+//! histograms, and the domain event stream.
 
+use crate::event::{EventRecord, EventStream, EventValue};
+use crate::hist::HistogramStats;
 use crate::trace::{ObservationStats, SpanRecord, Trace};
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -8,6 +11,17 @@ use std::time::Instant;
 
 /// Fast-path switch checked (one relaxed load) by every entry point.
 static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Secondary switch for the domain event stream; only consulted after
+/// `ENABLED` passes, so a fully disabled probe site still costs exactly
+/// one relaxed atomic load.
+static EVENTS: AtomicBool = AtomicBool::new(false);
+
+/// Ordering-state generation. [`enable_events`] bumps this so thread
+/// locals left over from a previous recording session reset lazily —
+/// every session starts from the same `([], 0)` ordering state on every
+/// thread and therefore produces the same event keys.
+static EVENT_GENERATION: AtomicU64 = AtomicU64::new(1);
 
 /// Monotonic span-id source; ids are unique for the process lifetime so
 /// a stale guard from a previous recording session cannot alias a new
@@ -25,6 +39,36 @@ struct Recorder {
     spans: Vec<SpanRecord>,
     counters: Vec<(String, u64)>,
     observations: Vec<(String, ObservationStats)>,
+    hists: Vec<(String, HistogramStats)>,
+    events: Vec<EventRecord>,
+}
+
+/// Per-thread event-ordering state: the hierarchical key prefix
+/// installed by the innermost [`EventScope`] and the next per-scope
+/// sequence number. `generation` detects state left over from an
+/// earlier recording session.
+struct OrderState {
+    generation: u64,
+    prefix: Vec<u64>,
+    next: u64,
+}
+
+impl OrderState {
+    const fn fresh(generation: u64) -> Self {
+        Self {
+            generation,
+            prefix: Vec::new(),
+            next: 0,
+        }
+    }
+
+    /// Resets to the root state if this thread's state belongs to an
+    /// older recording session.
+    fn sync(&mut self, generation: u64) {
+        if self.generation != generation {
+            *self = Self::fresh(generation);
+        }
+    }
 }
 
 thread_local! {
@@ -33,6 +77,12 @@ thread_local! {
     /// [`parent_scope`].
     static OPEN_SPANS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
     static THREAD_ID: Cell<Option<u64>> = const { Cell::new(None) };
+    /// Event ordering state for this thread (see [`OrderState`]).
+    static EVENT_ORDER: RefCell<OrderState> = const { RefCell::new(OrderState::fresh(0)) };
+    /// Events buffered on this thread while an [`EventScope`] is open;
+    /// flushed to the global recorder when the scope closes so the
+    /// recorder lock is taken once per job, not once per event.
+    static EVENT_BUFFER: RefCell<Vec<EventRecord>> = const { RefCell::new(Vec::new()) };
 }
 
 fn lock_recorder() -> MutexGuard<'static, Option<Recorder>> {
@@ -60,8 +110,28 @@ pub fn enable() {
         spans: Vec::new(),
         counters: Vec::new(),
         observations: Vec::new(),
+        hists: Vec::new(),
+        events: Vec::new(),
     });
+    EVENTS.store(false, Ordering::SeqCst);
     ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Starts recording (like [`enable`]) and additionally turns on the
+/// domain event stream. Bumps the ordering generation so the event keys
+/// of this session are independent of any earlier one.
+pub fn enable_events() {
+    enable();
+    EVENT_GENERATION.fetch_add(1, Ordering::SeqCst);
+    EVENTS.store(true, Ordering::SeqCst);
+}
+
+/// Whether the domain event stream is currently being recorded. Domain
+/// crates use this to gate derived-value computation (per-core vectors,
+/// previous-peak tracking) that only feeds events.
+#[must_use]
+pub fn events_enabled() -> bool {
+    is_enabled() && EVENTS.load(Ordering::Relaxed)
 }
 
 /// Stops recording without draining. Open span guards become no-ops on
@@ -82,18 +152,34 @@ pub fn is_enabled() -> bool {
 /// are sorted by name so the output is deterministic.
 #[must_use]
 pub fn drain() -> Trace {
+    drain_all().0
+}
+
+/// Stops recording and returns both the [`Trace`] and the domain
+/// [`EventStream`]. Events are sorted by their hierarchical submission
+/// key, which reproduces the serial submission order regardless of the
+/// worker count the run actually used.
+#[must_use]
+pub fn drain_all() -> (Trace, EventStream) {
+    flush_event_buffer();
     ENABLED.store(false, Ordering::SeqCst);
+    EVENTS.store(false, Ordering::SeqCst);
     let taken = lock_recorder().take();
     let mut trace = Trace::default();
+    let mut stream = EventStream::default();
     if let Some(rec) = taken {
         trace.spans = rec.spans;
         trace.counters = rec.counters;
         trace.observations = rec.observations;
+        trace.hists = rec.hists;
         trace.spans.sort_by_key(|s| s.id);
         trace.counters.sort_by(|a, b| a.0.cmp(&b.0));
         trace.observations.sort_by(|a, b| a.0.cmp(&b.0));
+        trace.hists.sort_by(|a, b| a.0.cmp(&b.0));
+        stream.events = rec.events;
+        stream.events.sort_by(|a, b| a.seq.cmp(&b.seq));
     }
-    trace
+    (trace, stream)
 }
 
 /// The id of the innermost open span on this thread, if recording is on
@@ -270,6 +356,177 @@ pub fn observe(name: &str, value: f64) {
     }
 }
 
+/// Records a scalar sample into the named log-bucket histogram, which
+/// additionally tracks the distribution so the summary can report
+/// p50/p95/p99 (see [`HistogramStats`]). No-op when recording is off.
+pub fn observe_hist(name: &str, value: f64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut guard = lock_recorder();
+    if let Some(rec) = guard.as_mut() {
+        match rec.hists.iter_mut().find(|(k, _)| k == name) {
+            Some((_, hist)) => hist.record(value),
+            None => {
+                let mut hist = HistogramStats::default();
+                hist.record(value);
+                rec.hists.push((name.to_string(), hist));
+            }
+        }
+    }
+}
+
+/// Moves this thread's buffered events into the global recorder.
+fn flush_event_buffer() {
+    let drained = EVENT_BUFFER.with(|buffer| std::mem::take(&mut *buffer.borrow_mut()));
+    if drained.is_empty() {
+        return;
+    }
+    let mut guard = lock_recorder();
+    if let Some(rec) = guard.as_mut() {
+        rec.events.extend(drained);
+    }
+}
+
+/// Records a domain event of the given dotted `kind`. The field list is
+/// built lazily, so a disabled probe site never allocates — when the
+/// recorder is fully off this is a single relaxed atomic load, and when
+/// only spans are being recorded it is two.
+///
+/// Events carry **no wall-clock data**; ordering comes from a
+/// hierarchical submission key maintained by [`event_fork`] /
+/// [`EventFork::child`], so a drained stream is byte-identical at any
+/// worker count. Timestamps that belong in an event are *simulated*
+/// times passed as ordinary fields.
+pub fn event<F>(kind: &str, fields: F)
+where
+    F: FnOnce() -> Vec<(&'static str, EventValue)>,
+{
+    if !is_enabled() {
+        return;
+    }
+    if !EVENTS.load(Ordering::Relaxed) {
+        return;
+    }
+    let generation = EVENT_GENERATION.load(Ordering::Relaxed);
+    let (seq, scoped) = EVENT_ORDER.with(|cell| {
+        let mut state = cell.borrow_mut();
+        state.sync(generation);
+        let mut seq = state.prefix.clone();
+        seq.push(state.next);
+        state.next += 1;
+        (seq, !state.prefix.is_empty())
+    });
+    let record = EventRecord {
+        seq,
+        kind: kind.to_string(),
+        fields: fields()
+            .into_iter()
+            .map(|(name, value)| (name.to_string(), value))
+            .collect(),
+    };
+    if scoped {
+        // Inside an engine job: batch on this thread; the closing
+        // `EventScope` flushes once per job.
+        EVENT_BUFFER.with(|buffer| buffer.borrow_mut().push(record));
+    } else {
+        let mut guard = lock_recorder();
+        if let Some(rec) = guard.as_mut() {
+            rec.events.push(record);
+        }
+    }
+}
+
+/// A fork point in the event-ordering hierarchy, captured where work
+/// fans out (one per `par_map` call or pool submission). Created by
+/// [`event_fork`]; hand [`EventFork::child`] the stable job index to
+/// give each job its own ordering branch.
+#[derive(Debug)]
+pub struct EventFork {
+    /// `(generation, key prefix for children)`; `None` when events are
+    /// off, making the whole mechanism free.
+    base: Option<(u64, Vec<u64>)>,
+}
+
+/// Captures a fork point at the current position in this thread's event
+/// order. Consumes one sequence number, so events emitted after the
+/// fork order after every child's events. Returns an inert fork when
+/// events are not being recorded.
+#[must_use]
+pub fn event_fork() -> EventFork {
+    if !is_enabled() || !EVENTS.load(Ordering::Relaxed) {
+        return EventFork { base: None };
+    }
+    let generation = EVENT_GENERATION.load(Ordering::Relaxed);
+    let base = EVENT_ORDER.with(|cell| {
+        let mut state = cell.borrow_mut();
+        state.sync(generation);
+        let mut base = state.prefix.clone();
+        base.push(state.next);
+        state.next += 1;
+        base
+    });
+    EventFork {
+        base: Some((generation, base)),
+    }
+}
+
+impl EventFork {
+    /// Enters the ordering branch for child `index` on the current
+    /// thread (which may differ from the thread that called
+    /// [`event_fork`]). Events emitted while the returned guard lives
+    /// are keyed `fork_prefix ++ [index, local_seq…]`, so the drained
+    /// stream orders them exactly as a serial run would have.
+    #[must_use = "events are only re-keyed while the scope guard is alive"]
+    pub fn child(&self, index: u64) -> EventScope {
+        let Some((generation, base)) = &self.base else {
+            return EventScope { saved: None };
+        };
+        if !is_enabled()
+            || !EVENTS.load(Ordering::Relaxed)
+            || EVENT_GENERATION.load(Ordering::Relaxed) != *generation
+        {
+            return EventScope { saved: None };
+        }
+        let saved = EVENT_ORDER.with(|cell| {
+            let mut state = cell.borrow_mut();
+            state.sync(*generation);
+            let mut prefix = base.clone();
+            prefix.push(index);
+            let old_prefix = std::mem::replace(&mut state.prefix, prefix);
+            let old_next = std::mem::replace(&mut state.next, 0);
+            (old_prefix, old_next)
+        });
+        EventScope {
+            saved: Some((*generation, saved.0, saved.1)),
+        }
+    }
+}
+
+/// RAII guard installed by [`EventFork::child`]. Restores the previous
+/// ordering state and flushes this thread's event buffer on drop.
+#[must_use = "events are only re-keyed while this guard is alive"]
+pub struct EventScope {
+    /// `(generation, saved prefix, saved next)` to restore on drop.
+    saved: Option<(u64, Vec<u64>, u64)>,
+}
+
+impl Drop for EventScope {
+    fn drop(&mut self) {
+        let Some((generation, prefix, next)) = self.saved.take() else {
+            return;
+        };
+        flush_event_buffer();
+        EVENT_ORDER.with(|cell| {
+            let mut state = cell.borrow_mut();
+            if state.generation == generation {
+                state.prefix = prefix;
+                state.next = next;
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,12 +549,134 @@ mod tests {
             let _l = span_lazy(|| unreachable!("name closure must not run when disabled"));
             counter("never.counter", 1);
             observe("never.obs", 1.0);
+            observe_hist("never.hist", 1.0);
+            event("never.event", || {
+                unreachable!("field closure must not run when disabled")
+            });
         }
-        let trace = drain();
+        let (trace, events) = drain_all();
         assert!(trace.spans.is_empty());
         assert!(trace.counters.is_empty());
         assert!(trace.observations.is_empty());
+        assert!(trace.hists.is_empty());
+        assert!(events.is_empty());
         assert_eq!(current_span(), None);
+    }
+
+    #[test]
+    fn events_off_by_default_even_while_profiling() {
+        let _serial = serial();
+        enable();
+        assert!(!events_enabled());
+        // Spans are on, events are not: the field closure must not run
+        // and the fork machinery must be inert.
+        event("never.event", || {
+            unreachable!("field closure must not run with events off")
+        });
+        let fork = event_fork();
+        {
+            let _scope = fork.child(0);
+            event("never.event", || unreachable!("still off inside a scope"));
+        }
+        let (_, events) = drain_all();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn events_drain_in_submission_order_across_threads() {
+        let _serial = serial();
+        enable_events();
+        assert!(events_enabled());
+        event("root.first", Vec::new);
+        let fork = event_fork();
+        // Run the children on real threads in reverse order; the drain
+        // must still order child 0 before child 1, and both before the
+        // post-fork root event.
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for index in (0..3_u64).rev() {
+                let fork = &fork;
+                handles.push(scope.spawn(move || {
+                    let _scope = fork.child(index);
+                    event("child.a", || vec![("index", index.into())]);
+                    event("child.b", || vec![("index", index.into())]);
+                }));
+            }
+            for handle in handles {
+                handle.join().expect("child thread");
+            }
+        });
+        event("root.last", Vec::new);
+        let (_, stream) = drain_all();
+        let kinds: Vec<&str> = stream.events.iter().map(|e| e.kind.as_str()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "root.first",
+                "child.a",
+                "child.b",
+                "child.a",
+                "child.b",
+                "child.a",
+                "child.b",
+                "root.last",
+            ]
+        );
+        let indices: Vec<f64> = stream
+            .events
+            .iter()
+            .filter_map(|e| e.f64_field("index"))
+            .collect();
+        assert_eq!(indices, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn nested_forks_extend_the_key_hierarchy() {
+        let _serial = serial();
+        enable_events();
+        let outer = event_fork();
+        {
+            let _outer_scope = outer.child(1);
+            let inner = event_fork();
+            {
+                let _inner_scope = inner.child(4);
+                event("deep", Vec::new);
+            }
+        }
+        let (_, stream) = drain_all();
+        assert_eq!(stream.events.len(), 1);
+        // outer fork consumed root seq 0; inner fork consumed child
+        // seq 0; the event is the first in the inner scope.
+        assert_eq!(stream.events[0].seq, vec![0, 1, 0, 4, 0]);
+    }
+
+    #[test]
+    fn event_generation_resets_thread_state_between_sessions() {
+        let _serial = serial();
+        enable_events();
+        event("first.session", Vec::new);
+        let (_, first) = drain_all();
+        enable_events();
+        event("second.session", Vec::new);
+        let (_, second) = drain_all();
+        // Both sessions start from the same root state, so the keys
+        // match even though the thread-local state persisted.
+        assert_eq!(first.events[0].seq, second.events[0].seq);
+    }
+
+    #[test]
+    fn histograms_aggregate_and_sort_on_drain() {
+        let _serial = serial();
+        enable();
+        observe_hist("z.latency", 0.2);
+        observe_hist("a.latency", 0.1);
+        observe_hist("z.latency", 0.4);
+        let (trace, _) = drain_all();
+        assert_eq!(trace.hists.len(), 2);
+        assert_eq!(trace.hists[0].0, "a.latency");
+        assert_eq!(trace.hists[1].0, "z.latency");
+        assert_eq!(trace.hists[1].1.count, 2);
+        assert!((trace.hists[1].1.sum - 0.6).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,832 @@
+//! Self-contained HTML run reports.
+//!
+//! [`render_report`] turns a drained [`EventStream`] (plus, optionally,
+//! the run's [`Trace`]) into a single dependency-free HTML document:
+//! inline SVG for the temperature timeline with event overlays, a
+//! per-core heatmap strip, and a span Gantt, plus plain tables for
+//! histograms, counters, and event-kind counts. No scripts, no external
+//! fonts or stylesheets — the file can be archived with the run and
+//! opened anywhere.
+//!
+//! Charts follow the repo's visualization conventions: one axis per
+//! chart, thin marks, categorical hues in fixed order (blue, then
+//! orange), a single-hue light→dark ramp for the heatmap magnitude,
+//! status red reserved for threshold crossings (always paired with a
+//! label), text in ink tokens rather than series colors, and a table
+//! view alongside every chart.
+
+use crate::event::EventStream;
+use crate::trace::Trace;
+use std::fmt::Write as _;
+
+/// Plot width of every SVG chart, in CSS pixels.
+const PLOT_W: f64 = 820.0;
+
+/// Sequential blue ramp (steps 100→700) for heatmap magnitude.
+const HEAT_RAMP: [&str; 13] = [
+    "#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7", "#3987e5", "#2a78d6",
+    "#256abf", "#1c5cab", "#184f95", "#104281", "#0d366b",
+];
+
+/// Escapes text for HTML/SVG content and attribute positions.
+fn esc(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a number for labels: enough precision to be useful, no noise.
+fn fnum(v: f64) -> String {
+    if !v.is_finite() {
+        return "–".to_string();
+    }
+    let a = v.abs();
+    if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.1}")
+    } else if a >= 0.01 || a == 0.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+/// Maps `v` from `[lo, hi]` to `[out_lo, out_hi]` (clamped).
+fn scale(v: f64, lo: f64, hi: f64, out_lo: f64, out_hi: f64) -> f64 {
+    if hi <= lo {
+        return f64::midpoint(out_lo, out_hi);
+    }
+    let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+    (out_hi - out_lo).mul_add(t, out_lo)
+}
+
+/// A point series downsampled to at most `cap` points (every k-th,
+/// always keeping the final point so the trace ends where the run did).
+fn downsample(points: &[(f64, f64)], cap: usize) -> Vec<(f64, f64)> {
+    if points.len() <= cap || cap < 2 {
+        return points.to_vec();
+    }
+    let stride = points.len().div_ceil(cap);
+    let mut out: Vec<(f64, f64)> = points.iter().copied().step_by(stride).collect();
+    if let (Some(&last_in), Some(&last_out)) = (points.last(), out.last()) {
+        if last_out != last_in {
+            out.push(last_in);
+        }
+    }
+    out
+}
+
+/// One overlay tick on the timeline.
+struct Overlay {
+    x: f64,
+    /// CSS class carrying the series color.
+    class: &'static str,
+    /// Tooltip text.
+    title: String,
+}
+
+/// Stride-samples each overlay class down to at most `cap` ticks.
+///
+/// Dense transient runs emit a `boost.transition` on nearly every step;
+/// thousands of 2px ticks overplot into a solid band, so each class is
+/// decimated independently (watermark crossings are rarer and must not
+/// be starved by boost ticks).
+fn cap_overlays(overlays: Vec<Overlay>, cap: usize) -> Vec<Overlay> {
+    let mut by_class: Vec<(&'static str, Vec<Overlay>)> = Vec::new();
+    for overlay in overlays {
+        match by_class.iter_mut().find(|(c, _)| *c == overlay.class) {
+            Some((_, group)) => group.push(overlay),
+            None => by_class.push((overlay.class, vec![overlay])),
+        }
+    }
+    let mut out = Vec::new();
+    for (_, group) in by_class {
+        if group.len() <= cap {
+            out.extend(group);
+        } else {
+            let stride = group.len().div_ceil(cap);
+            out.extend(group.into_iter().step_by(stride));
+        }
+    }
+    out
+}
+
+/// Gathers the peak-temperature series and its x-axis meaning.
+///
+/// Transient runs stream `thermal.step` events and get a true time
+/// axis. Steady-state-only runs (e.g. `table1 fig6 fig8`) have no
+/// simulated clock, so the timeline falls back to *stream position*:
+/// each `thermal.steady` solve is plotted at its index in the drained
+/// stream, which is the deterministic submission order.
+fn timeline_series(stream: &EventStream) -> (Vec<(f64, f64)>, bool) {
+    let stepped: Vec<(f64, f64)> = stream
+        .of_kind("thermal.step")
+        .filter_map(|e| Some((e.f64_field("t_s")?, e.f64_field("peak_c")?)))
+        .collect();
+    if stepped.len() >= 2 {
+        return (stepped, true);
+    }
+    let by_position: Vec<(f64, f64)> = stream
+        .events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.kind == "thermal.steady")
+        .filter_map(|(i, e)| {
+            #[allow(clippy::cast_precision_loss)]
+            let position = i as f64;
+            Some((position, e.f64_field("peak_c")?))
+        })
+        .collect();
+    (by_position, false)
+}
+
+/// The temperature timeline with event overlays.
+fn render_timeline(stream: &EventStream) -> String {
+    let (raw, time_axis) = timeline_series(stream);
+    if raw.len() < 2 {
+        return "<p class=\"note\">No temperature samples in this stream — run a transient or \
+                steady-state artefact with <code>--events</code>.</p>\n"
+            .to_string();
+    }
+    let points = downsample(&raw, 600);
+    let threshold = stream
+        .events
+        .iter()
+        .filter(|e| e.kind == "thermal.watermark" || e.kind == "thermal.cores")
+        .filter_map(|e| e.f64_field("threshold_c"))
+        .fold(f64::NAN, f64::max);
+
+    let mut overlays: Vec<Overlay> = Vec::new();
+    for (index, event) in stream.events.iter().enumerate() {
+        #[allow(clippy::cast_precision_loss)]
+        let x_of = |e: &crate::event::EventRecord| {
+            if time_axis {
+                e.f64_field("t_s")
+            } else {
+                Some(index as f64)
+            }
+        };
+        match event.kind.as_str() {
+            "boost.transition" => {
+                if let Some(x) = x_of(event) {
+                    let title = format!(
+                        "boost.transition {} → {} GHz ({}) at peak {} °C",
+                        fnum(event.f64_field("from_ghz").unwrap_or(f64::NAN)),
+                        fnum(event.f64_field("to_ghz").unwrap_or(f64::NAN)),
+                        event.str_field("reason").unwrap_or("?"),
+                        fnum(event.f64_field("peak_c").unwrap_or(f64::NAN)),
+                    );
+                    overlays.push(Overlay {
+                        x,
+                        class: "ov-boost",
+                        title,
+                    });
+                }
+            }
+            "thermal.watermark" => {
+                if let Some(x) = x_of(event) {
+                    let title = format!(
+                        "thermal.watermark {} threshold at {} °C",
+                        event.str_field("direction").unwrap_or("?"),
+                        fnum(event.f64_field("peak_c").unwrap_or(f64::NAN)),
+                    );
+                    overlays.push(Overlay {
+                        x,
+                        class: "ov-watermark",
+                        title,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    let overlays = cap_overlays(overlays, 240);
+
+    let (h, ml, mr, mt, mb) = (230.0, 54.0, 14.0, 14.0, 40.0);
+    let (x0, x1) = (ml, PLOT_W - mr);
+    let (y0, y1) = (h - mb, mt);
+    let xs_lo = points.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let xs_hi = points.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let mut t_lo = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let mut t_hi = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    if threshold.is_finite() {
+        t_lo = t_lo.min(threshold);
+        t_hi = t_hi.max(threshold);
+    }
+    let pad = ((t_hi - t_lo) * 0.08).max(0.5);
+    t_lo -= pad;
+    t_hi += pad;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        "<svg viewBox=\"0 0 {PLOT_W} {h}\" role=\"img\" aria-label=\"Peak temperature timeline\">"
+    );
+    // Gridlines + y tick labels.
+    for i in 0..=4 {
+        let value = scale(f64::from(i), 0.0, 4.0, t_lo, t_hi);
+        let y = scale(value, t_lo, t_hi, y0, y1);
+        let _ = writeln!(
+            svg,
+            "<line class=\"grid\" x1=\"{x0:.1}\" y1=\"{y:.1}\" x2=\"{x1:.1}\" y2=\"{y:.1}\"/>\
+             <text class=\"tick\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{}</text>",
+            x0 - 6.0,
+            y + 3.5,
+            fnum(value)
+        );
+    }
+    // X tick labels.
+    for i in 0..=4 {
+        let value = scale(f64::from(i), 0.0, 4.0, xs_lo, xs_hi);
+        let x = scale(value, xs_lo, xs_hi, x0, x1);
+        let _ = writeln!(
+            svg,
+            "<text class=\"tick\" x=\"{x:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>",
+            y0 + 16.0,
+            fnum(value)
+        );
+    }
+    let _ = writeln!(
+        svg,
+        "<text class=\"axis-label\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>",
+        f64::midpoint(x0, x1),
+        h - 6.0,
+        if time_axis {
+            "simulated time [s]"
+        } else {
+            "stream position (submission order)"
+        }
+    );
+    // Threshold line (status color, always labeled).
+    if threshold.is_finite() {
+        let y = scale(threshold, t_lo, t_hi, y0, y1);
+        let _ = writeln!(
+            svg,
+            "<line class=\"threshold\" x1=\"{x0:.1}\" y1=\"{y:.1}\" x2=\"{x1:.1}\" y2=\"{y:.1}\"/>\
+             <text class=\"threshold-label\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">threshold {} °C</text>",
+            x1 - 4.0,
+            y - 4.0,
+            fnum(threshold)
+        );
+    }
+    // Event overlay ticks under the baseline.
+    for overlay in &overlays {
+        let x = scale(overlay.x, xs_lo, xs_hi, x0, x1);
+        let _ = writeln!(
+            svg,
+            "<line class=\"{}\" x1=\"{x:.1}\" y1=\"{:.1}\" x2=\"{x:.1}\" y2=\"{:.1}\"><title>{}</title></line>",
+            overlay.class,
+            y0 + 2.0,
+            y0 + 12.0,
+            esc(&overlay.title)
+        );
+    }
+    // The peak-temperature line itself.
+    let mut path = String::new();
+    for (i, (x, t)) in points.iter().enumerate() {
+        let px = scale(*x, xs_lo, xs_hi, x0, x1);
+        let py = scale(*t, t_lo, t_hi, y0, y1);
+        let _ = write!(path, "{}{px:.1},{py:.1} ", if i == 0 { "M" } else { "L" });
+    }
+    let _ = writeln!(
+        svg,
+        "<path class=\"series-line\" d=\"{}\"/>",
+        path.trim_end()
+    );
+    let _ = writeln!(svg, "</svg>");
+
+    let mut legend = String::from(
+        "<div class=\"legend\"><span><i class=\"swatch sw-peak\"></i>peak temperature [°C]</span>",
+    );
+    if overlays.iter().any(|o| o.class == "ov-boost") {
+        legend.push_str("<span><i class=\"swatch sw-boost\"></i>boost.transition</span>");
+    }
+    if overlays.iter().any(|o| o.class == "ov-watermark") {
+        legend.push_str("<span><i class=\"swatch sw-watermark\"></i>⚠ thermal.watermark</span>");
+    }
+    legend.push_str("</div>\n");
+    format!("{legend}{svg}")
+}
+
+/// The per-core heatmap strip: one column per (decimated) sample, one
+/// row per core, magnitude on the sequential blue ramp.
+fn render_heatmap(stream: &EventStream) -> String {
+    let mut samples: Vec<Vec<f64>> = stream
+        .of_kind("thermal.cores")
+        .filter_map(|e| e.f64s_field("cores").map(<[f64]>::to_vec))
+        .collect();
+    if samples.is_empty() {
+        samples = stream
+            .of_kind("thermal.steady")
+            .filter_map(|e| e.f64s_field("cores").map(<[f64]>::to_vec))
+            .collect();
+    }
+    let cores = samples.iter().map(Vec::len).min().unwrap_or(0);
+    if samples.is_empty() || cores == 0 {
+        return "<p class=\"note\">No per-core samples in this stream.</p>\n".to_string();
+    }
+    // Decimate columns.
+    let cap = 160_usize;
+    let columns: Vec<&Vec<f64>> = if samples.len() > cap {
+        let stride = samples.len().div_ceil(cap);
+        samples.iter().step_by(stride).collect()
+    } else {
+        samples.iter().collect()
+    };
+    let lo = columns
+        .iter()
+        .flat_map(|c| c[..cores].iter())
+        .fold(f64::INFINITY, |a, &b| a.min(b));
+    let hi = columns
+        .iter()
+        .flat_map(|c| c[..cores].iter())
+        .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+
+    let (ml, mt) = (54.0, 6.0);
+    #[allow(clippy::cast_precision_loss)]
+    let cell_w = (PLOT_W - ml - 14.0) / columns.len() as f64;
+    let cell_h = (4.0 * cell_w).clamp(3.0, 14.0);
+    #[allow(clippy::cast_precision_loss)]
+    let h = cell_h.mul_add(cores as f64, mt + 26.0);
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        "<svg viewBox=\"0 0 {PLOT_W} {h:.1}\" role=\"img\" aria-label=\"Per-core temperature heatmap\">"
+    );
+    for (col, sample) in columns.iter().enumerate() {
+        for (row, &temp) in sample[..cores].iter().enumerate() {
+            let t = scale(temp, lo, hi, 0.0, 1.0);
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let shade = HEAT_RAMP
+                [((t * (HEAT_RAMP.len() - 1) as f64).round() as usize).min(HEAT_RAMP.len() - 1)];
+            #[allow(clippy::cast_precision_loss)]
+            let (x, y) = (
+                (col as f64).mul_add(cell_w, ml),
+                (row as f64).mul_add(cell_h, mt),
+            );
+            let _ = writeln!(
+                svg,
+                "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{:.2}\" height=\"{cell_h:.2}\" fill=\"{shade}\">\
+                 <title>core {row}, sample {col}: {} °C</title></rect>",
+                cell_w + 0.05,
+                fnum(temp)
+            );
+        }
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let strip_bottom = cell_h.mul_add(cores as f64, mt);
+    let _ = writeln!(
+        svg,
+        "<text class=\"tick\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">core 0</text>\
+         <text class=\"tick\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">core {}</text>",
+        ml - 6.0,
+        mt + 9.0,
+        ml - 6.0,
+        strip_bottom - 1.0,
+        cores - 1
+    );
+    let _ = writeln!(
+        svg,
+        "<text class=\"axis-label\" x=\"{ml}\" y=\"{:.1}\">{} samples · {} → {} °C (light → dark)</text>",
+        strip_bottom + 16.0,
+        columns.len(),
+        fnum(lo),
+        fnum(hi)
+    );
+    let _ = writeln!(svg, "</svg>");
+    svg
+}
+
+/// The span Gantt from the trace: the longest spans laid out on the
+/// run's wall-clock axis, one row each.
+fn render_gantt(trace: &Trace) -> String {
+    if trace.spans.is_empty() {
+        return "<p class=\"note\">No trace recorded for this run.</p>\n".to_string();
+    }
+    let mut spans: Vec<&crate::trace::SpanRecord> = trace.spans.iter().collect();
+    spans.sort_by(|a, b| {
+        b.seconds
+            .total_cmp(&a.seconds)
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    spans.truncate(24);
+    spans.sort_by(|a, b| {
+        a.start_s
+            .total_cmp(&b.start_s)
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    let end = spans
+        .iter()
+        .map(|s| s.start_s + s.seconds)
+        .fold(0.0_f64, f64::max)
+        .max(1e-9);
+
+    let row_h = 16.0_f64;
+    let (ml, mt) = (230.0, 6.0);
+    #[allow(clippy::cast_precision_loss)]
+    let h = row_h.mul_add(spans.len() as f64, mt + 26.0);
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        "<svg viewBox=\"0 0 {PLOT_W} {h:.1}\" role=\"img\" aria-label=\"Span Gantt\">"
+    );
+    for (row, span) in spans.iter().enumerate() {
+        #[allow(clippy::cast_precision_loss)]
+        let y = (row as f64).mul_add(row_h, mt);
+        let x = scale(span.start_s, 0.0, end, ml, PLOT_W - 14.0);
+        let x_end = scale(span.start_s + span.seconds, 0.0, end, ml, PLOT_W - 14.0);
+        let w = (x_end - x).max(1.5);
+        let _ = writeln!(
+            svg,
+            "<text class=\"tick\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{}</text>\
+             <rect class=\"gantt-bar\" x=\"{x:.1}\" y=\"{:.1}\" width=\"{w:.1}\" height=\"{:.1}\" rx=\"2\">\
+             <title>{} — {} s (thread {})</title></rect>",
+            ml - 8.0,
+            y + row_h - 5.0,
+            esc(&span.name),
+            y + 2.0,
+            row_h - 4.0,
+            esc(&span.name),
+            fnum(span.seconds),
+            span.thread
+        );
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let base = row_h.mul_add(spans.len() as f64, mt);
+    let _ = writeln!(
+        svg,
+        "<text class=\"axis-label\" x=\"{ml}\" y=\"{:.1}\">0 → {} s wall clock · top {} spans by length</text>",
+        base + 16.0,
+        fnum(end),
+        spans.len()
+    );
+    let _ = writeln!(svg, "</svg>");
+    svg
+}
+
+/// Renders tables: event-kind counts, derived stats, histograms.
+fn render_tables(stream: &EventStream, trace: Option<&Trace>) -> String {
+    let mut out = String::new();
+    let counts = stream.kind_counts();
+    if !counts.is_empty() {
+        out.push_str(
+            "<h2>Event kinds</h2>\n<table><thead><tr><th>kind</th>\
+                      <th class=\"num\">count</th></tr></thead><tbody>\n",
+        );
+        for (kind, count) in &counts {
+            let _ = writeln!(
+                out,
+                "<tr><td><code>{}</code></td><td class=\"num\">{count}</td></tr>",
+                esc(kind)
+            );
+        }
+        out.push_str("</tbody></table>\n");
+    }
+    let mut derived = String::new();
+    if let Some(residency) = stream.throttle_residency() {
+        let _ = writeln!(
+            derived,
+            "<tr><td>throttle residency (below peak frequency)</td>\
+             <td class=\"num\">{:.1}%</td></tr>",
+            residency * 100.0
+        );
+    }
+    for (core, seconds) in stream.time_above_threshold().iter().take(12) {
+        let _ = writeln!(
+            derived,
+            "<tr><td>core {core} time above threshold</td><td class=\"num\">{} s</td></tr>",
+            fnum(*seconds)
+        );
+    }
+    if !derived.is_empty() {
+        out.push_str(
+            "<h2>Derived statistics</h2>\n<table><thead><tr><th>statistic</th>\
+                      <th class=\"num\">value</th></tr></thead><tbody>\n",
+        );
+        out.push_str(&derived);
+        out.push_str("</tbody></table>\n");
+    }
+    if let Some(trace) = trace {
+        if !trace.hists.is_empty() {
+            out.push_str(
+                "<h2>Histograms</h2>\n<table><thead><tr><th>metric</th><th class=\"num\">n</th>\
+                 <th class=\"num\">mean</th><th class=\"num\">p50</th><th class=\"num\">p95</th>\
+                 <th class=\"num\">p99</th><th class=\"num\">max</th></tr></thead><tbody>\n",
+            );
+            for (name, hist) in &trace.hists {
+                let _ = writeln!(
+                    out,
+                    "<tr><td><code>{}</code></td><td class=\"num\">{}</td><td class=\"num\">{}</td>\
+                     <td class=\"num\">{}</td><td class=\"num\">{}</td><td class=\"num\">{}</td>\
+                     <td class=\"num\">{}</td></tr>",
+                    esc(name),
+                    hist.count,
+                    fnum(hist.mean()),
+                    fnum(hist.p50()),
+                    fnum(hist.p95()),
+                    fnum(hist.p99()),
+                    fnum(hist.max)
+                );
+            }
+            out.push_str("</tbody></table>\n");
+        }
+    }
+    out
+}
+
+/// Renders the full self-contained HTML report for one run.
+///
+/// `run` is the run label (usually the artefact selection), `stream`
+/// the drained event stream, and `trace` the matching trace when one
+/// was written (it feeds the Gantt and histogram tables).
+#[must_use]
+pub fn render_report(run: &str, stream: &EventStream, trace: Option<&Trace>) -> String {
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "<h1>darksil run report — <code>{}</code></h1>",
+        esc(run)
+    );
+    let _ = writeln!(
+        body,
+        "<p class=\"subtitle\">{} events · schema <code>{}</code> · deterministic submission order</p>",
+        stream.events.len(),
+        crate::event::EVENTS_SCHEMA
+    );
+    body.push_str("<h2>Peak temperature timeline</h2>\n");
+    body.push_str(&render_timeline(stream));
+    body.push_str("<h2>Per-core heatmap</h2>\n");
+    body.push_str(&render_heatmap(stream));
+    if let Some(trace) = trace {
+        body.push_str("<h2>Phase Gantt</h2>\n");
+        body.push_str(&render_gantt(trace));
+    }
+    body.push_str(&render_tables(stream, trace));
+
+    format!(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n\
+         <title>darksil run report — {}</title>\n<style>\n{CSS}\n</style>\n</head>\n\
+         <body class=\"viz-root\">\n<main>\n{body}</main>\n</body>\n</html>\n",
+        esc(run)
+    )
+}
+
+/// The report stylesheet: light/dark values for every color role, with
+/// charts written against the roles.
+const CSS: &str = r"
+:root { color-scheme: light dark; }
+.viz-root {
+  --page:           #f9f9f7;
+  --surface-1:      #fcfcfb;
+  --text-primary:   #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted:     #898781;
+  --gridline:       #e1e0d9;
+  --baseline:       #c3c2b7;
+  --series-1:       #2a78d6;  /* peak temperature, gantt bars */
+  --series-2:       #eb6834;  /* boost transitions */
+  --status-critical:#d03b3b;  /* threshold crossings, labeled */
+  --border:         rgba(11,11,11,0.10);
+}
+@media (prefers-color-scheme: dark) {
+  .viz-root {
+    --page:           #0d0d0d;
+    --surface-1:      #1a1a19;
+    --text-primary:   #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted:     #898781;
+    --gridline:       #2c2c2a;
+    --baseline:       #383835;
+    --series-1:       #3987e5;
+    --series-2:       #d95926;
+    --status-critical:#e66767;
+    --border:         rgba(255,255,255,0.10);
+  }
+}
+body {
+  margin: 0; background: var(--page); color: var(--text-primary);
+  font: 14px/1.5 system-ui, -apple-system, 'Segoe UI', sans-serif;
+}
+main { max-width: 900px; margin: 0 auto; padding: 24px 16px 48px; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 8px; color: var(--text-primary); }
+.subtitle { color: var(--text-secondary); margin: 0 0 16px; }
+.note { color: var(--text-muted); }
+code { font-family: ui-monospace, 'SF Mono', monospace; font-size: 0.92em; }
+svg {
+  display: block; width: 100%; height: auto; background: var(--surface-1);
+  border: 1px solid var(--border); border-radius: 6px;
+}
+.grid { stroke: var(--gridline); stroke-width: 1; }
+.tick { fill: var(--text-muted); font-size: 10px; font-variant-numeric: tabular-nums; }
+.axis-label { fill: var(--text-secondary); font-size: 11px; }
+.series-line { fill: none; stroke: var(--series-1); stroke-width: 2; stroke-linejoin: round; }
+.threshold { stroke: var(--status-critical); stroke-width: 1; stroke-dasharray: 5 4; }
+.threshold-label { fill: var(--status-critical); font-size: 10px; }
+.ov-boost { stroke: var(--series-2); stroke-width: 2; }
+.ov-watermark { stroke: var(--status-critical); stroke-width: 2; }
+.gantt-bar { fill: var(--series-1); }
+.legend { display: flex; gap: 16px; margin: 0 0 6px; color: var(--text-secondary); font-size: 12px; }
+.legend .swatch { display: inline-block; width: 10px; height: 10px; border-radius: 2px; margin-right: 5px; }
+.sw-peak { background: var(--series-1); }
+.sw-boost { background: var(--series-2); }
+.sw-watermark { background: var(--status-critical); }
+table { border-collapse: collapse; width: 100%; background: var(--surface-1);
+        border: 1px solid var(--border); border-radius: 6px; }
+th, td { text-align: left; padding: 5px 10px; border-bottom: 1px solid var(--gridline); }
+th { color: var(--text-secondary); font-weight: 600; font-size: 12px; }
+tr:last-child td { border-bottom: none; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventRecord, EventValue};
+
+    fn transient_stream() -> EventStream {
+        let mut events = Vec::new();
+        for i in 0..40_u64 {
+            #[allow(clippy::cast_precision_loss)]
+            let t = i as f64 * 0.1;
+            events.push(EventRecord {
+                seq: vec![i, 0],
+                kind: "thermal.step".to_string(),
+                fields: vec![
+                    ("t_s".to_string(), EventValue::F64(t)),
+                    (
+                        "peak_c".to_string(),
+                        EventValue::F64(60.0 + 25.0 * (t * 1.3).sin()),
+                    ),
+                ],
+            });
+            if i % 8 == 0 {
+                events.push(EventRecord {
+                    seq: vec![i, 1],
+                    kind: "thermal.cores".to_string(),
+                    fields: vec![
+                        ("t_s".to_string(), EventValue::F64(t)),
+                        (
+                            "cores".to_string(),
+                            EventValue::F64s(vec![55.0 + t, 60.0 + t, 58.0, 71.0]),
+                        ),
+                        ("threshold_c".to_string(), EventValue::F64(80.0)),
+                    ],
+                });
+            }
+        }
+        events.push(EventRecord {
+            seq: vec![40],
+            kind: "boost.transition".to_string(),
+            fields: vec![
+                ("t_s".to_string(), EventValue::F64(2.0)),
+                ("from_ghz".to_string(), EventValue::F64(3.0)),
+                ("to_ghz".to_string(), EventValue::F64(2.6)),
+                ("peak_c".to_string(), EventValue::F64(81.0)),
+                ("reason".to_string(), EventValue::Str("thermal".to_string())),
+            ],
+        });
+        EventStream { events }
+    }
+
+    #[test]
+    fn report_is_self_contained_html() {
+        let html = render_report("table1+fig8", &transient_stream(), None);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<svg"), "timeline SVG present");
+        assert!(html.contains("boost.transition"));
+        assert!(html.contains("threshold 80"), "{html}");
+        // Self-contained: no external fetches of any kind.
+        assert!(!html.contains("http://"));
+        assert!(!html.contains("https://"));
+        assert!(!html.contains("<script"));
+    }
+
+    #[test]
+    fn steady_only_streams_fall_back_to_stream_position() {
+        let events = (0..6_u64)
+            .map(|i| {
+                #[allow(clippy::cast_precision_loss)]
+                let peak = 70.0 + i as f64;
+                EventRecord {
+                    seq: vec![i],
+                    kind: "thermal.steady".to_string(),
+                    fields: vec![
+                        ("peak_c".to_string(), EventValue::F64(peak)),
+                        (
+                            "cores".to_string(),
+                            EventValue::F64s(vec![65.0, 66.0, 67.0]),
+                        ),
+                    ],
+                }
+            })
+            .collect();
+        let html = render_report("fig6", &EventStream { events }, None);
+        assert!(html.contains("stream position"), "{html}");
+        assert!(html.contains("Per-core heatmap"));
+    }
+
+    #[test]
+    fn gantt_and_histograms_render_from_the_trace() {
+        use crate::hist::HistogramStats;
+        use crate::trace::SpanRecord;
+        let mut hist = HistogramStats::default();
+        for i in 1..=16 {
+            hist.record(f64::from(i) * 1e-3);
+        }
+        let trace = Trace {
+            spans: vec![SpanRecord {
+                id: 1,
+                parent: None,
+                thread: 0,
+                name: "repro.run".to_string(),
+                start_s: 0.0,
+                seconds: 1.25,
+            }],
+            counters: Vec::new(),
+            observations: Vec::new(),
+            hists: vec![("engine.queue_wait_s".to_string(), hist)],
+        };
+        let html = render_report("all", &transient_stream(), Some(&trace));
+        assert!(html.contains("Phase Gantt"));
+        assert!(html.contains("repro.run"));
+        assert!(html.contains("engine.queue_wait_s"));
+        assert!(html.contains("p99"));
+    }
+
+    #[test]
+    fn overlay_ticks_are_decimated_per_class() {
+        let mut events = Vec::new();
+        for i in 0..2000_u64 {
+            #[allow(clippy::cast_precision_loss)]
+            let t = i as f64 * 0.01;
+            events.push(EventRecord {
+                seq: vec![i, 0],
+                kind: "thermal.step".to_string(),
+                fields: vec![
+                    ("t_s".to_string(), EventValue::F64(t)),
+                    ("peak_c".to_string(), EventValue::F64(60.0)),
+                ],
+            });
+            events.push(EventRecord {
+                seq: vec![i, 1],
+                kind: "boost.transition".to_string(),
+                fields: vec![
+                    ("t_s".to_string(), EventValue::F64(t)),
+                    ("from_ghz".to_string(), EventValue::F64(3.0)),
+                    ("to_ghz".to_string(), EventValue::F64(2.6)),
+                    ("peak_c".to_string(), EventValue::F64(60.0)),
+                    ("reason".to_string(), EventValue::Str("boost".to_string())),
+                ],
+            });
+            if i < 3 {
+                events.push(EventRecord {
+                    seq: vec![i, 2],
+                    kind: "thermal.watermark".to_string(),
+                    fields: vec![
+                        ("t_s".to_string(), EventValue::F64(t)),
+                        ("peak_c".to_string(), EventValue::F64(81.0)),
+                        ("threshold_c".to_string(), EventValue::F64(80.0)),
+                        (
+                            "direction".to_string(),
+                            EventValue::Str("above".to_string()),
+                        ),
+                    ],
+                });
+            }
+        }
+        let html = render_report("dtm", &EventStream { events }, None);
+        let boost_ticks = html.matches("class=\"ov-boost\"").count();
+        let watermark_ticks = html.matches("class=\"ov-watermark\"").count();
+        assert!(
+            boost_ticks <= 240,
+            "boost ticks decimated, got {boost_ticks}"
+        );
+        assert_eq!(watermark_ticks, 3, "sparse classes are kept whole");
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let stream = EventStream {
+            events: vec![EventRecord {
+                seq: vec![0],
+                kind: "thermal.steady".to_string(),
+                fields: vec![("peak_c".to_string(), EventValue::F64(70.0))],
+            }],
+        };
+        let html = render_report("<run> & \"q\"", &stream, None);
+        assert!(html.contains("&lt;run&gt; &amp; &quot;q&quot;"));
+        assert!(!html.contains("<run>"));
+    }
+}

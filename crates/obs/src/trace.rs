@@ -1,11 +1,16 @@
 //! The drained trace: span records, aggregates, JSON round-trip, and
 //! the human-readable summary table.
 
+use crate::hist::HistogramStats;
 use darksil_json::{FromJson, Json, JsonError, ObjReader, ToJson};
 use std::fmt::Write as _;
 
-/// Schema tag written into every serialised trace.
-pub const TRACE_SCHEMA: &str = "darksil-trace-v1";
+/// Schema tag written into every serialised trace. v2 added the
+/// `hists` section; v1 traces (no histograms) still parse.
+pub const TRACE_SCHEMA: &str = "darksil-trace-v2";
+
+/// The previous schema tag, still accepted on read.
+const TRACE_SCHEMA_V1: &str = "darksil-trace-v1";
 
 /// One completed span.
 #[derive(Debug, Clone, PartialEq)]
@@ -132,6 +137,8 @@ pub struct Trace {
     pub counters: Vec<(String, u64)>,
     /// Named observation aggregates, sorted by name.
     pub observations: Vec<(String, ObservationStats)>,
+    /// Named log-bucket histograms, sorted by name.
+    pub hists: Vec<(String, HistogramStats)>,
 }
 
 /// Per-name aggregate over a trace's spans.
@@ -165,6 +172,12 @@ impl Trace {
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, s)| s)
+    }
+
+    /// The histogram for a named series, if recorded.
+    #[must_use]
+    pub fn hist(&self, name: &str) -> Option<&HistogramStats> {
+        self.hists.iter().find(|(k, _)| k == name).map(|(_, h)| h)
     }
 
     /// Aggregates spans by name, sorted by inclusive time descending
@@ -283,6 +296,20 @@ impl Trace {
                 );
             }
         }
+        if !self.hists.is_empty() {
+            let _ = writeln!(out, "\nhistograms:");
+            for (name, hist) in &self.hists {
+                let _ = writeln!(
+                    out,
+                    "  {name:<32} n={} p50={:.4} p95={:.4} p99={:.4} max={:.4}",
+                    hist.count,
+                    hist.p50(),
+                    hist.p95(),
+                    hist.p99(),
+                    hist.max
+                );
+            }
+        }
         out
     }
 }
@@ -310,6 +337,15 @@ impl ToJson for Trace {
                         .collect(),
                 ),
             ),
+            (
+                "hists".to_string(),
+                Json::Obj(
+                    self.hists
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -318,7 +354,7 @@ impl FromJson for Trace {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
         let mut r = ObjReader::new(v, "Trace")?;
         let schema: String = r.req("schema")?;
-        if schema != TRACE_SCHEMA {
+        if schema != TRACE_SCHEMA && schema != TRACE_SCHEMA_V1 {
             return Err(JsonError::msg(format!(
                 "unsupported trace schema `{schema}` (expected `{TRACE_SCHEMA}`)"
             )));
@@ -353,11 +389,31 @@ impl FromJson for Trace {
                 )))
             }
         };
+        // `hists` arrived with schema v2; absent in v1 traces.
+        let hists = match r.opt::<Json>("hists")? {
+            None => Vec::new(),
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .map(|(k, v)| {
+                    Ok((
+                        k.clone(),
+                        HistogramStats::from_json(v).map_err(|e| e.in_field(k))?,
+                    ))
+                })
+                .collect::<Result<Vec<_>, JsonError>>()?,
+            Some(other) => {
+                return Err(JsonError::msg(format!(
+                    "expected hists object, found {}",
+                    other.type_name()
+                )))
+            }
+        };
         r.finish()?;
         Ok(Self {
             spans,
             counters,
             observations,
+            hists,
         })
     }
 }
@@ -407,6 +463,13 @@ mod tests {
                     max: 40.0,
                 },
             )],
+            hists: vec![("engine.queue_wait_s".to_string(), {
+                let mut h = HistogramStats::default();
+                for i in 1..=20 {
+                    h.record(f64::from(i) * 1e-3);
+                }
+                h
+            })],
         }
     }
 
@@ -450,6 +513,37 @@ mod tests {
         assert!(text.contains("artefact.fig5"), "{text}");
         assert!(text.contains("75.0% hit rate"), "{text}");
         assert!(text.contains("numerics.cg.iterations"), "{text}");
+        assert!(text.contains("engine.queue_wait_s"), "{text}");
+        assert!(text.contains("p95="), "{text}");
+        assert!(text.contains("p99="), "{text}");
+    }
+
+    #[test]
+    fn v1_traces_without_histograms_still_parse() {
+        let trace = fixture();
+        let text = darksil_json::to_string_pretty(&trace);
+        // Rewrite as a v1 document: old schema tag, no hists section.
+        let v1 = {
+            let json: Json = darksil_json::from_str(&text).expect("self parse");
+            let Json::Obj(fields) = json else {
+                panic!("trace is an object")
+            };
+            let fields = fields
+                .into_iter()
+                .filter(|(k, _)| k != "hists")
+                .map(|(k, v)| {
+                    if k == "schema" {
+                        (k, Json::Str(TRACE_SCHEMA_V1.to_string()))
+                    } else {
+                        (k, v)
+                    }
+                })
+                .collect();
+            darksil_json::to_string_pretty(&Json::Obj(fields))
+        };
+        let back: Trace = darksil_json::from_str(&v1).expect("v1 parses");
+        assert_eq!(back.spans, trace.spans);
+        assert!(back.hists.is_empty());
     }
 
     #[test]

@@ -381,7 +381,15 @@ impl ThermalModel {
         darksil_obs::observe("thermal.solve_nodes", self.node_count() as f64);
         let rhs = self.rhs(power)?;
         let (state, diagnostics) = solve_spd_robust(&self.g, &rhs, &self.cg_options())?;
-        Ok((self.map_from_state(state), diagnostics))
+        let map = self.map_from_state(state);
+        if darksil_obs::events_enabled() {
+            let peak = map.peak().value();
+            let cores: Vec<f64> = map.die_temperatures().map(Celsius::value).collect();
+            darksil_obs::event("thermal.steady", || {
+                vec![("peak_c", peak.into()), ("cores", cores.into())]
+            });
+        }
+        Ok((map, diagnostics))
     }
 
     /// The CG configuration for steady-state solves: the strict default

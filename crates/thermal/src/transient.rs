@@ -1,9 +1,14 @@
 //! Transient thermal simulation.
 
 use darksil_numerics::ode::{BackwardEuler, LinearOde};
-use darksil_units::{Seconds, Watts};
+use darksil_units::{Celsius, Seconds, Watts};
 
 use crate::{ThermalError, ThermalMap, ThermalModel};
+
+/// Per-core `thermal.cores` samples are decimated to one every this
+/// many steps, keeping the event stream proportional to simulated time
+/// rather than to the (much finer) integration step.
+const CORE_SAMPLE_EVERY: u64 = 32;
 
 /// A stateful transient simulation over a [`ThermalModel`].
 ///
@@ -41,6 +46,13 @@ pub struct TransientSim {
     core_of_cell: Vec<usize>,
     elapsed: f64,
     dt: f64,
+    /// Threshold for `thermal.watermark` crossing events, when set.
+    watermark: Option<f64>,
+    /// Steps taken so far (drives `thermal.cores` decimation).
+    steps_taken: u64,
+    /// Peak of the previous step; tracked only while events are being
+    /// recorded, to detect watermark crossings.
+    prev_peak: Option<f64>,
 }
 
 impl TransientSim {
@@ -68,7 +80,26 @@ impl TransientSim {
             core_of_cell: model.core_of_cell().to_vec(),
             elapsed: 0.0,
             dt: dt.value(),
+            watermark: None,
+            steps_taken: 0,
+            prev_peak: None,
         })
+    }
+
+    /// Sets the watermark threshold: while events are being recorded,
+    /// every step's peak is checked against it and crossings emit
+    /// `thermal.watermark` events (and per-core samples carry the
+    /// threshold so time-above-threshold can be derived). Controllers
+    /// set this to their DTM threshold; it has no effect on the
+    /// simulation itself.
+    pub fn set_watermark(&mut self, threshold: Celsius) {
+        self.watermark = Some(threshold.value());
+    }
+
+    /// The configured watermark threshold, if any.
+    #[must_use]
+    pub fn watermark(&self) -> Option<Celsius> {
+        self.watermark.map(Celsius::new)
     }
 
     /// Creates a simulation starting from a previously computed map
@@ -124,7 +155,50 @@ impl TransientSim {
         let b = self.input_vector(power);
         self.state = self.stepper.step(&self.state, &b)?;
         self.elapsed += self.dt;
-        Ok(self.snapshot())
+        self.steps_taken += 1;
+        let map = self.snapshot();
+        if darksil_obs::events_enabled() {
+            self.emit_step_events(&map);
+        }
+        Ok(map)
+    }
+
+    /// Emits the per-step domain events (`thermal.step`, decimated
+    /// `thermal.cores`, watermark crossings). Only called while event
+    /// recording is on, so the disabled path stays a single atomic load
+    /// inside `events_enabled`.
+    fn emit_step_events(&mut self, map: &ThermalMap) {
+        let peak = map.peak().value();
+        let t_s = self.elapsed;
+        darksil_obs::event("thermal.step", || {
+            vec![("t_s", t_s.into()), ("peak_c", peak.into())]
+        });
+        if let Some(threshold) = self.watermark {
+            let is_above = peak > threshold;
+            let was_above = self.prev_peak.map(|p| p > threshold);
+            if was_above != Some(is_above) && (is_above || was_above.is_some()) {
+                darksil_obs::event("thermal.watermark", || {
+                    vec![
+                        ("t_s", t_s.into()),
+                        ("peak_c", peak.into()),
+                        ("threshold_c", threshold.into()),
+                        ("direction", if is_above { "above" } else { "below" }.into()),
+                    ]
+                });
+            }
+        }
+        self.prev_peak = Some(peak);
+        if self.steps_taken.is_multiple_of(CORE_SAMPLE_EVERY) {
+            let cores: Vec<f64> = map.die_temperatures().map(Celsius::value).collect();
+            let threshold = self.watermark;
+            darksil_obs::event("thermal.cores", || {
+                let mut fields = vec![("t_s", t_s.into()), ("cores", cores.into())];
+                if let Some(threshold) = threshold {
+                    fields.push(("threshold_c", threshold.into()));
+                }
+                fields
+            });
+        }
     }
 
     /// Advances `steps` steps under constant power, returning the final

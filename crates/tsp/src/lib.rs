@@ -106,7 +106,19 @@ impl<'a> TspCalculator<'a> {
         if peak_rise <= 0.0 {
             return Ok(Watts::new(f64::INFINITY));
         }
-        Ok(Watts::new(headroom / peak_rise))
+        let budget = headroom / peak_rise;
+        if darksil_obs::events_enabled() {
+            let active_count = active.len() as u64;
+            darksil_obs::event("tsp.budget", || {
+                vec![
+                    ("active", active_count.into()),
+                    ("per_core_w", budget.into()),
+                    ("headroom_c", headroom.into()),
+                    ("peak_rise_c", peak_rise.into()),
+                ]
+            });
+        }
+        Ok(Watts::new(budget))
     }
 
     /// The most thermally adverse arrangement of `m` active cores found

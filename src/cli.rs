@@ -90,9 +90,46 @@ pub enum Command {
     },
     /// Inspect traces and perf baselines written by `repro --profile`.
     Trace(TraceAction),
+    /// Inspect domain event streams written by `repro --events`.
+    Events(EventsAction),
+    /// Render a self-contained HTML run report from an event stream.
+    Report {
+        /// Run label or events file; `None` picks the sole
+        /// `results/events_*.jsonl`.
+        run: Option<String>,
+        /// Optional trace file for the span Gantt and histograms
+        /// (`results/trace_repro.json` is used when present).
+        trace: Option<String>,
+        /// Output path; defaults to `results/report_<run>.html`.
+        out: Option<String>,
+    },
     /// Print usage.
     Help,
 }
+
+/// A `darksil events` action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventsAction {
+    /// Print per-kind counts and derived statistics of a stream.
+    Summarize {
+        /// Run label or events file; `None` picks the sole
+        /// `results/events_*.jsonl`.
+        path: Option<String>,
+    },
+    /// Print matching events of one kind as JSONL.
+    Filter {
+        /// Run label or events file; `None` picks the sole
+        /// `results/events_*.jsonl`.
+        path: Option<String>,
+        /// Event kind to keep (e.g. `boost.transition`).
+        kind: String,
+        /// Maximum number of events to print (0 = unlimited).
+        limit: usize,
+    },
+}
+
+/// Default row cap for `darksil events filter`.
+const DEFAULT_FILTER_LIMIT: usize = 20;
 
 /// A `darksil trace` action.
 #[derive(Debug, Clone, PartialEq)]
@@ -171,12 +208,24 @@ USAGE:
   darksil cache    <stats|verify|clear> [--dir DIR] [--evict]
   darksil trace    summarize [PATH] [--top N]
   darksil trace    compare <BASELINE> <CURRENT>
+  darksil events   summarize [RUN|PATH]
+  darksil events   filter <KIND> [RUN|PATH] [--limit N]
+  darksil report   [RUN|PATH] [--trace PATH] [--out PATH]
   darksil help
 
 `trace summarize` renders the hot-path table of a trace recorded by
 `repro --profile` (default PATH: results/trace_repro.json); `trace
 compare` checks a fresh BENCH_repro.json against a committed baseline
 and exits non-zero on any regression beyond the recorded bounds.
+
+`events` inspects a domain event stream written by `repro --events`
+(per-kind counts, throttle residency, time above threshold; `filter`
+prints one kind as JSONL). `report` renders the stream — plus the trace
+when available — into a self-contained HTML report with a temperature
+timeline, event overlays, a span Gantt and histogram tables, written to
+results/report_<run>.html. RUN may be a run label (resolved against
+results/events_<RUN>.jsonl) or an explicit file path; with a single
+recorded stream in results/ it may be omitted.
 
 Every subcommand also accepts --jobs N (worker threads for parallel
 sweeps; default DARKSIL_JOBS or the available parallelism).
@@ -292,6 +341,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     }
     if cmd == "trace" {
         return parse_trace(&mut it);
+    }
+    if cmd == "events" {
+        return parse_events(&mut it);
+    }
+    if cmd == "report" {
+        return parse_report(&mut it);
     }
     let mut node = None;
     let mut app = None;
@@ -457,6 +512,81 @@ fn parse_trace(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseEr
     }
 }
 
+/// Parses the arguments after `darksil events`.
+fn parse_events(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseError> {
+    let action = it
+        .next()
+        .ok_or_else(|| ParseError("events expects an action (summarize|filter)".into()))?;
+    match action.as_str() {
+        "summarize" => {
+            let mut path = None;
+            for arg in it {
+                if path.is_none() && !arg.starts_with('-') {
+                    path = Some(arg.clone());
+                } else {
+                    return Err(ParseError(format!("unknown argument '{arg}'")));
+                }
+            }
+            Ok(Command::Events(EventsAction::Summarize { path }))
+        }
+        "filter" => {
+            let kind = it
+                .next()
+                .cloned()
+                .ok_or_else(|| ParseError("events filter expects an event kind".into()))?;
+            if kind.starts_with('-') {
+                return Err(ParseError("events filter expects an event kind".into()));
+            }
+            let mut path = None;
+            let mut limit = DEFAULT_FILTER_LIMIT;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--limit" => {
+                        let value = it
+                            .next()
+                            .ok_or_else(|| ParseError("--limit expects a value".into()))?;
+                        limit = parse_usize("--limit", value)?;
+                    }
+                    p if path.is_none() && !p.starts_with('-') => path = Some(p.to_string()),
+                    other => return Err(ParseError(format!("unknown argument '{other}'"))),
+                }
+            }
+            Ok(Command::Events(EventsAction::Filter { path, kind, limit }))
+        }
+        other => Err(ParseError(format!(
+            "unknown events action '{other}' (use summarize|filter)"
+        ))),
+    }
+}
+
+/// Parses the arguments after `darksil report`.
+fn parse_report(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseError> {
+    let mut run = None;
+    let mut trace = None;
+    let mut out = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => {
+                trace = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| ParseError("--trace expects a value".into()))?,
+                );
+            }
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| ParseError("--out expects a value".into()))?,
+                );
+            }
+            p if run.is_none() && !p.starts_with('-') => run = Some(p.to_string()),
+            other => return Err(ParseError(format!("unknown argument '{other}'"))),
+        }
+    }
+    Ok(Command::Report { run, trace, out })
+}
+
 /// Executes a command, writing human-readable output to stdout.
 ///
 /// # Errors
@@ -612,7 +742,159 @@ pub fn run(command: &Command) -> Result<(), Box<dyn std::error::Error>> {
         }
         Command::Cache { action, dir, evict } => run_cache(*action, dir, *evict)?,
         Command::Trace(action) => run_trace(action)?,
+        Command::Events(action) => run_events(action)?,
+        Command::Report { run, trace, out } => {
+            run_report(run.as_deref(), trace.as_deref(), out.as_deref())?;
+        }
     }
+    Ok(())
+}
+
+/// Resolves a `RUN|PATH` argument to an events file: an existing path
+/// is taken as-is, otherwise the run label is looked up as
+/// `results/events_<RUN>.jsonl`; with no argument the sole
+/// `results/events_*.jsonl` is picked.
+fn resolve_events_path(spec: Option<&str>) -> Result<std::path::PathBuf, ParseError> {
+    use std::path::{Path, PathBuf};
+    if let Some(spec) = spec {
+        let direct = PathBuf::from(spec);
+        if direct.is_file() {
+            return Ok(direct);
+        }
+        let labelled = Path::new("results").join(format!("events_{spec}.jsonl"));
+        if labelled.is_file() {
+            return Ok(labelled);
+        }
+        return Err(ParseError(format!(
+            "no events file '{spec}' (looked for the path itself and {})",
+            labelled.display()
+        )));
+    }
+    let mut found: Vec<PathBuf> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir("results") {
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with("events_") && name.ends_with(".jsonl") {
+                found.push(entry.path());
+            }
+        }
+    }
+    found.sort();
+    match found.len() {
+        0 => Err(ParseError(
+            "no results/events_*.jsonl found — record one with `repro --events`".into(),
+        )),
+        1 => Ok(found.remove(0)),
+        _ => Err(ParseError(format!(
+            "{} event streams in results/ — name one: {}",
+            found.len(),
+            found
+                .iter()
+                .map(|p| p.display().to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))),
+    }
+}
+
+/// Loads an event stream from a resolved path.
+fn load_events(path: &std::path::Path) -> Result<darksil_obs::EventStream, ParseError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ParseError(format!("cannot read events '{}': {e}", path.display())))?;
+    darksil_obs::EventStream::from_jsonl(&text).map_err(|e| {
+        ParseError(format!(
+            "'{}' is not a valid event stream: {e}",
+            path.display()
+        ))
+    })
+}
+
+/// The run label an events file was recorded under (`events_X.jsonl`
+/// → `X`), used to name the report output.
+fn run_label(path: &std::path::Path) -> String {
+    let stem = path
+        .file_stem()
+        .map_or_else(|| "run".into(), |s| s.to_string_lossy().into_owned());
+    stem.strip_prefix("events_").unwrap_or(&stem).to_string()
+}
+
+/// Executes `darksil events summarize|filter`.
+fn run_events(action: &EventsAction) -> Result<(), Box<dyn std::error::Error>> {
+    match action {
+        EventsAction::Summarize { path } => {
+            let path = resolve_events_path(path.as_deref())?;
+            let stream = load_events(&path)?;
+            println!("events {}:", path.display());
+            println!("{}", stream.render_summary());
+        }
+        EventsAction::Filter { path, kind, limit } => {
+            let path = resolve_events_path(path.as_deref())?;
+            let stream = load_events(&path)?;
+            let mut shown = 0_usize;
+            let mut total = 0_usize;
+            for event in stream.of_kind(kind) {
+                total += 1;
+                if *limit == 0 || shown < *limit {
+                    println!("{}", event.to_jsonl_line());
+                    shown += 1;
+                }
+            }
+            if total == 0 {
+                println!("no '{kind}' events in {}", path.display());
+            } else if shown < total {
+                println!("… {} more ({total} total; raise --limit)", total - shown);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Executes `darksil report`: renders the event stream (plus the trace
+/// when available) into a self-contained HTML file.
+fn run_report(
+    run: Option<&str>,
+    trace: Option<&str>,
+    out: Option<&str>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let events_path = resolve_events_path(run)?;
+    let stream = load_events(&events_path)?;
+    let label = run_label(&events_path);
+    let trace_loaded: Option<darksil_obs::Trace> = match trace {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ParseError(format!("cannot read trace '{path}': {e}")))?;
+            Some(
+                darksil_json::from_str(&text)
+                    .map_err(|e| ParseError(format!("'{path}' is not a valid trace: {e}")))?,
+            )
+        }
+        // No explicit trace: use the default profile output when it
+        // exists, quietly skipping the Gantt/histograms otherwise.
+        None => std::fs::read_to_string(DEFAULT_TRACE_PATH)
+            .ok()
+            .and_then(|text| darksil_json::from_str(&text).ok()),
+    };
+    let html = darksil_obs::render_report(&label, &stream, trace_loaded.as_ref());
+    let out_path = out.map_or_else(
+        || std::path::Path::new("results").join(format!("report_{label}.html")),
+        std::path::PathBuf::from,
+    );
+    if let Some(parent) = out_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(&out_path, html)?;
+    println!(
+        "[wrote {} ({} events{})]",
+        out_path.display(),
+        stream.events.len(),
+        if trace_loaded.is_some() {
+            ", with trace"
+        } else {
+            ", no trace"
+        }
+    );
     Ok(())
 }
 
@@ -646,6 +928,12 @@ fn run_trace(action: &TraceAction) -> Result<(), Box<dyn std::error::Error>> {
                 "  total: {:.2} s (bound {:.2} s)",
                 cur.total_seconds, base.max_total_seconds
             );
+            // A phase that vanished from the current run is suspicious
+            // (renamed span, dead instrumentation) but not a regression:
+            // warn without failing.
+            for span in base.missing_phases(&cur) {
+                println!("  warning: phase `{span}` missing from current run");
+            }
             if regressions.is_empty() {
                 println!("  no regressions beyond recorded bounds");
                 return Ok(());
@@ -970,6 +1258,7 @@ mod tests {
                 ("engine.cache.miss".into(), 1),
             ],
             observations: Vec::new(),
+            hists: Vec::new(),
         };
         let trace_path = dir.join("trace.json");
         std::fs::write(&trace_path, darksil_json::to_string_pretty(&trace)).unwrap();
@@ -1023,6 +1312,238 @@ mod tests {
         assert!(run(&Command::Trace(TraceAction::Compare {
             baseline: missing.clone(),
             current: missing,
+        }))
+        .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compare_rejects_empty_and_non_numeric_baselines() {
+        let dir = std::env::temp_dir().join(format!("darksil-cli-cmp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // An empty baseline file is a parse error, not a silent pass.
+        let empty = dir.join("empty.json");
+        std::fs::write(&empty, "").unwrap();
+        let empty_s = empty.to_string_lossy().into_owned();
+        let err = run(&Command::Trace(TraceAction::Compare {
+            baseline: empty_s.clone(),
+            current: empty_s,
+        }))
+        .unwrap_err();
+        assert!(err.to_string().contains("not a valid baseline"), "{err}");
+
+        // Non-numeric seconds (null) are rejected on load.
+        let nan = dir.join("nan.json");
+        std::fs::write(
+            &nan,
+            r#"{"schema": "darksil-bench-v1", "jobs": 1, "selection": "fig5",
+                "total_seconds": null, "max_total_seconds": 1.0,
+                "artefacts": [], "phases": []}"#,
+        )
+        .unwrap();
+        let nan_s = nan.to_string_lossy().into_owned();
+        let err = run(&Command::Trace(TraceAction::Compare {
+            baseline: nan_s.clone(),
+            current: nan_s,
+        }))
+        .unwrap_err();
+        assert!(err.to_string().contains("not a valid baseline"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compare_warns_but_passes_when_a_baseline_phase_is_missing() {
+        use darksil_obs::{ArtefactTiming, BenchBaseline, SpanRecord, Trace};
+        let dir = std::env::temp_dir().join(format!("darksil-cli-miss-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let trace = |names: &[&str]| Trace {
+            spans: names
+                .iter()
+                .enumerate()
+                .map(|(i, name)| SpanRecord {
+                    id: i as u64 + 1,
+                    parent: None,
+                    thread: 0,
+                    name: (*name).to_string(),
+                    start_s: 0.0,
+                    seconds: 1.0,
+                })
+                .collect(),
+            counters: Vec::new(),
+            observations: Vec::new(),
+            hists: Vec::new(),
+        };
+        let report = |t: &Trace| {
+            BenchBaseline::from_trace(
+                t,
+                1,
+                "fig5",
+                25.0,
+                1.0,
+                vec![ArtefactTiming {
+                    artefact: "fig5".into(),
+                    seconds: 1.0,
+                    cache: "miss".into(),
+                }],
+            )
+        };
+        let base = report(&trace(&["repro.run", "thermal.steady_state"]));
+        let cur = report(&trace(&["repro.run"]));
+        assert_eq!(base.missing_phases(&cur), vec!["thermal.steady_state"]);
+        let base_path = dir.join("base.json");
+        let cur_path = dir.join("cur.json");
+        std::fs::write(&base_path, darksil_json::to_string_pretty(&base)).unwrap();
+        std::fs::write(&cur_path, darksil_json::to_string_pretty(&cur)).unwrap();
+        // The vanished phase is a warning, not a regression failure.
+        run(&Command::Trace(TraceAction::Compare {
+            baseline: base_path.to_string_lossy().into_owned(),
+            current: cur_path.to_string_lossy().into_owned(),
+        }))
+        .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parses_events_and_report() {
+        assert_eq!(
+            parse(&argv("events summarize")).unwrap(),
+            Command::Events(EventsAction::Summarize { path: None })
+        );
+        assert_eq!(
+            parse(&argv("events summarize all")).unwrap(),
+            Command::Events(EventsAction::Summarize {
+                path: Some("all".into()),
+            })
+        );
+        assert_eq!(
+            parse(&argv("events filter boost.transition all --limit 5")).unwrap(),
+            Command::Events(EventsAction::Filter {
+                path: Some("all".into()),
+                kind: "boost.transition".into(),
+                limit: 5,
+            })
+        );
+        assert_eq!(
+            parse(&argv("report table1 --trace t.json --out r.html")).unwrap(),
+            Command::Report {
+                run: Some("table1".into()),
+                trace: Some("t.json".into()),
+                out: Some("r.html".into()),
+            }
+        );
+        assert_eq!(
+            parse(&argv("report")).unwrap(),
+            Command::Report {
+                run: None,
+                trace: None,
+                out: None,
+            }
+        );
+        assert!(parse(&argv("events")).is_err()); // missing action
+        assert!(parse(&argv("events frob")).is_err()); // unknown action
+        assert!(parse(&argv("events summarize a b")).is_err());
+        assert!(parse(&argv("events filter")).is_err()); // missing kind
+        assert!(parse(&argv("events filter k --limit")).is_err());
+        assert!(parse(&argv("report a b")).is_err());
+        assert!(parse(&argv("report --trace")).is_err());
+    }
+
+    /// A tiny valid stream: two boost transitions and two core samples.
+    fn sample_stream_jsonl() -> String {
+        let mut s = darksil_obs::EventStream::default();
+        let mut push = |kind: &str, fields: Vec<(String, darksil_obs::EventValue)>| {
+            let seq = vec![s.events.len() as u64];
+            s.events.push(darksil_obs::EventRecord {
+                seq,
+                kind: kind.to_string(),
+                fields,
+            });
+        };
+        push(
+            "boost.transition",
+            vec![
+                ("t_s".into(), 0.5.into()),
+                ("from_ghz".into(), 3.4.into()),
+                ("to_ghz".into(), 3.6.into()),
+                ("peak_c".into(), 71.0.into()),
+                ("reason".into(), "boost".into()),
+            ],
+        );
+        push(
+            "thermal.cores",
+            vec![
+                ("t_s".into(), 0.5.into()),
+                ("cores".into(), vec![70.0, 72.0].into()),
+                ("threshold_c".into(), 80.0.into()),
+            ],
+        );
+        push(
+            "boost.transition",
+            vec![
+                ("t_s".into(), 1.0.into()),
+                ("from_ghz".into(), 3.6.into()),
+                ("to_ghz".into(), 3.4.into()),
+                ("peak_c".into(), 81.0.into()),
+                ("reason".into(), "thermal".into()),
+            ],
+        );
+        push(
+            "thermal.cores",
+            vec![
+                ("t_s".into(), 1.0.into()),
+                ("cores".into(), vec![74.0, 81.0].into()),
+                ("threshold_c".into(), 80.0.into()),
+            ],
+        );
+        s.to_jsonl()
+    }
+
+    #[test]
+    fn events_summarize_filter_and_report_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("darksil-cli-events-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let events = dir.join("events_smoke.jsonl");
+        std::fs::write(&events, sample_stream_jsonl()).unwrap();
+        let events_s = events.to_string_lossy().into_owned();
+
+        run(&Command::Events(EventsAction::Summarize {
+            path: Some(events_s.clone()),
+        }))
+        .unwrap();
+        run(&Command::Events(EventsAction::Filter {
+            path: Some(events_s.clone()),
+            kind: "boost.transition".into(),
+            limit: 1,
+        }))
+        .unwrap();
+
+        // The report is written where --out points and is standalone.
+        let out = dir.join("report.html");
+        run(&Command::Report {
+            run: Some(events_s.clone()),
+            trace: None,
+            out: Some(out.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        let html = std::fs::read_to_string(&out).unwrap();
+        assert!(html.contains("<svg"), "report embeds SVG");
+        assert!(html.contains("boost.transition"));
+        assert!(!html.contains("<script"), "report is dependency-free");
+
+        // Unknown labels and malformed streams surface readable errors.
+        assert!(run(&Command::Events(EventsAction::Summarize {
+            path: Some("no-such-run-label".into()),
+        }))
+        .is_err());
+        let bad = dir.join("events_bad.jsonl");
+        std::fs::write(&bad, "not jsonl").unwrap();
+        assert!(run(&Command::Events(EventsAction::Summarize {
+            path: Some(bad.to_string_lossy().into_owned()),
         }))
         .is_err());
         let _ = std::fs::remove_dir_all(&dir);
