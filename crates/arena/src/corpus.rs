@@ -1,0 +1,225 @@
+//! Reproducer corpus: minimal failing cases persisted as
+//! `darksil-repro-v1` JSON, replayed by the regression suite forever
+//! after.
+//!
+//! A reproducer is self-contained — the full (shrunk) scenario plus the
+//! fault schedule and inject mode — so replay does not depend on the
+//! generator staying bit-compatible across releases. The seed and case
+//! index are recorded for provenance: `darksil fuzz --seed S --cases N`
+//! with the recorded values regenerates the unshrunk ancestor.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use darksil_scenario::Scenario;
+
+use crate::gen::{ArenaCase, FaultSpec, InjectMode};
+use crate::oracle::Oracle;
+use crate::runner::{run_single, CaseOutcome};
+
+/// Schema tag on every corpus file.
+pub const REPRO_SCHEMA: &str = "darksil-repro-v1";
+
+/// One persisted minimal reproducer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reproducer {
+    /// Always [`REPRO_SCHEMA`].
+    pub schema: String,
+    /// Fuzz seed the ancestor case was generated from.
+    pub seed: u64,
+    /// Index of the ancestor case within that seed's population.
+    pub case_index: usize,
+    /// Name of the violated invariant (from the oracle catalogue).
+    pub invariant: String,
+    /// Human-readable violation detail at capture time.
+    pub detail: String,
+    /// The shrunk scenario that still trips the invariant.
+    pub scenario: Scenario,
+    /// Inject mode (`nan` / `time` / `tsp`), for deliberate violations.
+    pub inject: Option<String>,
+    /// Fault schedule, when the violation needs the fault path.
+    pub faults: Option<FaultSpec>,
+}
+
+darksil_json::impl_json!(struct Reproducer {
+    schema,
+    seed,
+    case_index,
+    invariant,
+    detail,
+    scenario,
+} opt {
+    inject,
+    faults,
+});
+
+impl Reproducer {
+    /// Rebuilds the runnable case this reproducer captures.
+    #[must_use]
+    pub fn to_case(&self) -> ArenaCase {
+        ArenaCase {
+            index: self.case_index,
+            scenario: self.scenario.clone(),
+            faults: self.faults.clone(),
+            inject: self.inject.as_deref().and_then(InjectMode::parse),
+        }
+    }
+
+    /// The deterministic corpus filename for this reproducer.
+    #[must_use]
+    pub fn filename(&self) -> String {
+        format!("{}-{}.json", self.invariant, self.scenario.name)
+    }
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Writes `repro` into `dir` (created if absent) under its
+/// deterministic filename and returns the path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_reproducer(dir: &Path, repro: &Reproducer) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(repro.filename());
+    let mut text = darksil_json::to_string_pretty(repro);
+    if !text.ends_with('\n') {
+        text.push('\n');
+    }
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// Loads every `*.json` reproducer in `dir`, sorted by filename so the
+/// replay order is stable. A missing directory is an empty corpus.
+///
+/// # Errors
+///
+/// Fails on unreadable files, malformed JSON, or a schema mismatch —
+/// a corrupt corpus should fail loudly, not shrink silently.
+pub fn load_corpus(dir: &Path) -> io::Result<Vec<(PathBuf, Reproducer)>> {
+    if !dir.exists() {
+        return Ok(Vec::new());
+    }
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    paths.sort();
+    let mut corpus = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(&path)?;
+        let repro: Reproducer = darksil_json::from_str(&text)
+            .map_err(|e| invalid(format!("{}: {e}", path.display())))?;
+        if repro.schema != REPRO_SCHEMA {
+            return Err(invalid(format!(
+                "{}: unsupported reproducer schema '{}' (expected '{REPRO_SCHEMA}')",
+                path.display(),
+                repro.schema
+            )));
+        }
+        corpus.push((path, repro));
+    }
+    Ok(corpus)
+}
+
+/// Replays one reproducer serially and verdicts it — the regression
+/// gate asserts the recorded invariant is still caught.
+#[must_use]
+pub fn replay(repro: &Reproducer, oracle: &Oracle) -> CaseOutcome {
+    run_single(&repro.to_case(), oracle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darksil_scenario::{ExperimentSpec, WorkloadSpec};
+
+    fn sample() -> Reproducer {
+        Reproducer {
+            schema: REPRO_SCHEMA.to_string(),
+            seed: 42,
+            case_index: 7,
+            invariant: "no-nan".into(),
+            detail: "field `poisoned_c` of `arena.inject` is not finite".into(),
+            scenario: Scenario {
+                name: "fuzz-7".into(),
+                node: 22,
+                cores: Some(9),
+                t_dtm_celsius: None,
+                variation_seed: None,
+                workload: vec![WorkloadSpec {
+                    app: "blackscholes".into(),
+                    instances: 1,
+                    threads: 1,
+                }],
+                experiment: ExperimentSpec::Thermal {
+                    frequency_ghz: None,
+                },
+            },
+            inject: Some("nan".into()),
+            faults: None,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let repro = sample();
+        let text = darksil_json::to_string_pretty(&repro);
+        let back: Reproducer = darksil_json::from_str(&text).expect("parses");
+        assert_eq!(back, repro);
+    }
+
+    #[test]
+    fn save_then_load_corpus() {
+        let dir = std::env::temp_dir().join(format!("darksil-corpus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let repro = sample();
+        let path = save_reproducer(&dir, &repro).expect("saves");
+        assert_eq!(
+            path.file_name().and_then(|n| n.to_str()),
+            Some("no-nan-fuzz-7.json")
+        );
+        let corpus = load_corpus(&dir).expect("loads");
+        assert_eq!(corpus.len(), 1);
+        assert_eq!(corpus[0].1, repro);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_corpus() {
+        let corpus = load_corpus(Path::new("/nonexistent/darksil-corpus")).expect("empty corpus");
+        assert!(corpus.is_empty());
+    }
+
+    #[test]
+    fn schema_mismatch_fails_loudly() {
+        let dir = std::env::temp_dir().join(format!("darksil-corpus-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut repro = sample();
+        repro.schema = "darksil-repro-v9".into();
+        save_reproducer(&dir, &repro).expect("saves");
+        let err = load_corpus(&dir).expect_err("schema mismatch must fail");
+        assert!(err.to_string().contains("darksil-repro-v9"), "{err}");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn replay_catches_the_recorded_invariant() {
+        let _guard = crate::testutil::recorder_lock();
+        let repro = sample();
+        let outcome = replay(&repro, &Oracle::default());
+        assert!(
+            outcome
+                .violations
+                .iter()
+                .any(|v| v.invariant == repro.invariant),
+            "{:?}",
+            outcome.violations
+        );
+    }
+}

@@ -1,0 +1,329 @@
+//! Seeded generation of valid fuzz cases.
+//!
+//! Every generated [`Scenario`] passes [`validate_scenario`] by
+//! construction — the strategies draw from the same legal domains the
+//! strict validator enforces (known nodes and applications, the 200 MHz
+//! DVFS ladder, thread counts within `MAX_THREADS_PER_INSTANCE`,
+//! periods no longer than durations). Generation is pure in the seed:
+//! the same `(seed, index)` always yields the same case, which is what
+//! lets a corpus reproducer name a case by those two numbers alone.
+
+use darksil_robust::{Fault, FaultPlan};
+use darksil_scenario::{validate_scenario, ExperimentSpec, Scenario, WorkloadSpec};
+use darksil_workload::ParsecApp;
+use proptest::{Strategy, TestRng};
+
+/// Core-count choices for fuzz platforms. Small dies keep a thermal
+/// solve cheap enough for hundreds of cases; the spread still exercises
+/// square and non-square floorplans.
+const CORE_CHOICES: &[usize] = &[9, 12, 16, 20, 25];
+
+/// DTM-threshold choices (°C); `None` keeps the platform default.
+const T_DTM_CHOICES: &[f64] = &[65.0, 70.0, 75.0, 80.0, 85.0];
+
+/// JSON-serialisable description of an injected fault schedule — the
+/// subset of [`Fault`] the sensor/power feedback path consumes, so a
+/// corpus reproducer can persist it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Seed for the fault plan's own deterministic choices.
+    pub seed: u64,
+    /// Additive Gaussian sensor noise, σ in °C.
+    pub sensor_noise_sigma_c: Option<f64>,
+    /// Steps between dropped (NaN) sensor readings.
+    pub sensor_dropout_period: Option<u64>,
+    /// Steps between poisoned (NaN) power samples.
+    pub power_nan_period: Option<u64>,
+}
+
+darksil_json::impl_json!(struct FaultSpec { seed } opt {
+    sensor_noise_sigma_c,
+    sensor_dropout_period,
+    power_nan_period,
+});
+
+impl FaultSpec {
+    /// Materialises the equivalent [`FaultPlan`].
+    #[must_use]
+    pub fn to_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::new(self.seed);
+        if let Some(sigma_celsius) = self.sensor_noise_sigma_c {
+            plan = plan.with(Fault::SensorNoise { sigma_celsius });
+        }
+        if let Some(period) = self.sensor_dropout_period {
+            plan = plan.with(Fault::SensorDropout { period });
+        }
+        if let Some(period) = self.power_nan_period {
+            plan = plan.with(Fault::PowerNan { period });
+        }
+        plan
+    }
+}
+
+/// Deliberate-violation modes for `darksil fuzz --inject` — each emits
+/// events that trip exactly one invariant, proving the catch → shrink →
+/// persist pipeline end to end without weakening the real simulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectMode {
+    /// Emits a NaN field (trips `no-nan`).
+    Nan,
+    /// Emits a backwards simulated-time pair (trips `monotone-time`).
+    Time,
+    /// Emits a TSP probe pair whose budget grows with the active count
+    /// (trips `tsp-monotone`).
+    Tsp,
+}
+
+impl InjectMode {
+    /// Parses a `--inject` argument.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "nan" => Some(Self::Nan),
+            "time" => Some(Self::Time),
+            "tsp" => Some(Self::Tsp),
+            _ => None,
+        }
+    }
+
+    /// The CLI name of this mode.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Nan => "nan",
+            Self::Time => "time",
+            Self::Tsp => "tsp",
+        }
+    }
+}
+
+/// One fuzz case: a generated scenario, an optional fault schedule for
+/// the DTM probe, and an optional deliberate-violation mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArenaCase {
+    /// Position in the generated population (stable across `--jobs`).
+    pub index: usize,
+    /// The scenario to execute.
+    pub scenario: Scenario,
+    /// Fault schedule for the fault-path probe, if any.
+    pub faults: Option<FaultSpec>,
+    /// Deliberate-violation mode, if `--inject` was given.
+    pub inject: Option<InjectMode>,
+}
+
+fn pick<'a, T>(rng: &mut TestRng, choices: &'a [T]) -> &'a T {
+    &choices[rng.next_below(choices.len() as u64) as usize]
+}
+
+/// Draws one valid scenario. Pure in `(rng state, index)`; the index
+/// only names the scenario.
+#[must_use]
+pub fn generate_scenario(rng: &mut TestRng, index: usize) -> Scenario {
+    let node = *pick(rng, &[22_u32, 16, 11, 8]);
+    let cores = *pick(rng, CORE_CHOICES);
+
+    let t_dtm_celsius = if rng.next_below(3) == 0 {
+        Some(*pick(rng, T_DTM_CHOICES))
+    } else {
+        None
+    };
+    let variation_seed = if rng.next_below(3) == 0 {
+        Some(rng.next_below(1 << 16))
+    } else {
+        None
+    };
+
+    let workload = generate_workload(rng, cores);
+    let experiment = generate_experiment(rng);
+
+    Scenario {
+        name: format!("fuzz-{index}"),
+        node,
+        cores: Some(cores),
+        t_dtm_celsius,
+        variation_seed,
+        workload,
+        experiment,
+    }
+}
+
+/// Draws 1–2 workload lines whose total thread demand fits the chip, so
+/// placement failures stay rare and every run exercises the oracle.
+fn generate_workload(rng: &mut TestRng, cores: usize) -> Vec<WorkloadSpec> {
+    let lines = 1 + rng.next_below(2) as usize;
+    let mut specs: Vec<WorkloadSpec> = Vec::with_capacity(lines);
+    let mut used = 0_usize;
+    for _ in 0..lines {
+        let app = pick(rng, &ParsecApp::ALL).name().to_string();
+        let threads = (1_usize..5).generate(rng);
+        // Keep the total demand within the die.
+        let mut instances = (1_usize..4).generate(rng);
+        while instances > 1 && used + instances * threads > cores {
+            instances -= 1;
+        }
+        if used + instances * threads > cores {
+            continue;
+        }
+        used += instances * threads;
+        specs.push(WorkloadSpec {
+            app,
+            instances,
+            threads,
+        });
+    }
+    if specs.is_empty() {
+        // The first line alone was too wide for the die: fall back to a
+        // single single-threaded instance, which always fits.
+        specs.push(WorkloadSpec {
+            app: ParsecApp::ALL[0].name().to_string(),
+            instances: 1,
+            threads: 1,
+        });
+    }
+    specs
+}
+
+fn generate_experiment(rng: &mut TestRng) -> ExperimentSpec {
+    let tdp_grid = |rng: &mut TestRng| 20.0 + 5.0 * rng.next_below(37) as f64; // 20–200 W
+    match rng.next_below(4) {
+        0 => ExperimentSpec::PowerBudget {
+            tdp_watts: tdp_grid(rng),
+        },
+        1 => ExperimentSpec::Thermal {
+            // On the 200 MHz ladder: 1.0–2.6 GHz, or the node default.
+            frequency_ghz: if rng.next_below(4) == 0 {
+                None
+            } else {
+                Some(0.2 * (5 + rng.next_below(9)) as f64)
+            },
+        },
+        2 => ExperimentSpec::Policy {
+            policy: if rng.next_below(2) == 0 {
+                "dsrem".into()
+            } else {
+                "tdpmap".into()
+            },
+            tdp_watts: tdp_grid(rng),
+        },
+        _ => ExperimentSpec::Boost {
+            duration_s: *pick(rng, &[0.4, 0.6, 0.8]),
+            period_s: *pick(rng, &[0.005, 0.01, 0.02]),
+        },
+    }
+}
+
+fn generate_faults(rng: &mut TestRng) -> Option<FaultSpec> {
+    // Roughly a quarter of the population probes the fault path.
+    if rng.next_below(4) != 0 {
+        return None;
+    }
+    let seed = rng.next_below(1 << 16);
+    let mut spec = FaultSpec {
+        seed,
+        sensor_noise_sigma_c: None,
+        sensor_dropout_period: None,
+        power_nan_period: None,
+    };
+    match rng.next_below(3) {
+        0 => spec.sensor_noise_sigma_c = Some(0.1 + 0.9 * rng.next_f64()),
+        1 => spec.sensor_dropout_period = Some(2 + rng.next_below(8)),
+        _ => spec.power_nan_period = Some(2 + rng.next_below(8)),
+    }
+    Some(spec)
+}
+
+/// Generates the fuzz population for `seed`: `count` cases, each valid
+/// under the strict scenario validator, with the given inject mode (if
+/// any) attached to every case.
+///
+/// # Panics
+///
+/// Panics if a generated scenario fails strict validation — that is a
+/// generator bug, and the panic names the case.
+#[must_use]
+pub fn generate_cases(seed: u64, count: usize, inject: Option<InjectMode>) -> Vec<ArenaCase> {
+    (0..count)
+        .map(|index| {
+            // One rng per case keyed by (seed, index): case K is the
+            // same whether 10 or 10 000 cases were requested.
+            let mut rng = TestRng::new(seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let scenario = generate_scenario(&mut rng, index);
+            if let Err(e) = validate_scenario(&scenario) {
+                panic!("generator produced an invalid scenario for case {index}: {e}");
+            }
+            let faults = generate_faults(&mut rng);
+            ArenaCase {
+                index,
+                scenario,
+                faults,
+                inject,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        let a = generate_cases(42, 50, None);
+        let b = generate_cases(42, 50, None);
+        assert_eq!(a, b);
+        for case in &a {
+            validate_scenario(&case.scenario).expect("generated scenario validates");
+        }
+    }
+
+    #[test]
+    fn case_k_is_stable_under_population_growth() {
+        let small = generate_cases(7, 5, None);
+        let large = generate_cases(7, 50, None);
+        assert_eq!(small[..], large[..5]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_cases(1, 20, None);
+        let b = generate_cases(2, 20, None);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn workload_always_fits_the_die() {
+        for case in generate_cases(99, 100, None) {
+            let cores = case.scenario.cores.expect("generator sets cores");
+            let demand: usize = case
+                .scenario
+                .workload
+                .iter()
+                .map(|l| l.instances * l.threads)
+                .sum();
+            assert!(demand <= cores, "case {}: {demand} > {cores}", case.index);
+        }
+    }
+
+    #[test]
+    fn fault_spec_round_trips_and_builds_a_plan() {
+        let spec = FaultSpec {
+            seed: 11,
+            sensor_noise_sigma_c: None,
+            sensor_dropout_period: Some(3),
+            power_nan_period: None,
+        };
+        let json = darksil_json::to_string_pretty(&spec);
+        let back: FaultSpec = darksil_json::from_str(&json).expect("round trip");
+        assert_eq!(spec, back);
+        assert!(!spec.to_plan().is_empty());
+    }
+
+    #[test]
+    fn inject_modes_parse() {
+        assert_eq!(InjectMode::parse("nan"), Some(InjectMode::Nan));
+        assert_eq!(InjectMode::parse("time"), Some(InjectMode::Time));
+        assert_eq!(InjectMode::parse("tsp"), Some(InjectMode::Tsp));
+        assert_eq!(InjectMode::parse("bogus"), None);
+        assert_eq!(InjectMode::Tsp.name(), "tsp");
+    }
+}

@@ -1,0 +1,53 @@
+//! Physics-invariant fuzzing arena (the `darksil fuzz` / `darksil
+//! tournament` backend).
+//!
+//! The arena generates randomized-but-valid
+//! [`Scenario`](darksil_scenario::Scenario)s under seeded
+//! strategies, runs each through the ordinary engine pipeline with the
+//! domain event stream on, and checks **physical invariants** over the
+//! drained stream instead of example-based expectations: temperatures
+//! bounded outside declared boost windows, simulated time monotone,
+//! watermark crossings alternating and bracketing every over-threshold
+//! step, TSP budgets antitone in the active-core count, energy
+//! bookkeeping consistent between the per-step power samples and the
+//! policy trace, and no NaN/Inf in any emitted field.
+//!
+//! On a violation the [`shrink`] pass reduces the case to a minimal
+//! reproducer that still trips the same invariant, and [`corpus`]
+//! persists it as a `darksil-repro-v1` JSON file that the regression
+//! suite replays forever after. [`tournament`] pits the mapping and
+//! boosting policies against each other over the generated population
+//! and emits a deterministic leaderboard (JSON + self-contained HTML).
+//!
+//! Everything is deterministic: the same `--seed` produces the same
+//! cases, verdicts and leaderboard bytes at any `--jobs` count, because
+//! per-case events ride the engine's forked ordering keys.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod corpus;
+pub mod gen;
+pub mod oracle;
+pub mod runner;
+pub mod shrink;
+pub mod tournament;
+
+pub use corpus::{load_corpus, replay, save_reproducer, Reproducer, REPRO_SCHEMA};
+pub use gen::{generate_cases, generate_scenario, ArenaCase, FaultSpec, InjectMode};
+pub use oracle::{Oracle, Violation};
+pub use runner::{run_cases, run_single, CaseOutcome, Verdict};
+pub use shrink::shrink;
+pub use tournament::{leaderboard_html, run_tournament, Leaderboard, PolicyScore};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    /// The event recorder is process-global; every test that touches it
+    /// must hold this lock.
+    static RECORDER_LOCK: Mutex<()> = Mutex::new(());
+
+    pub(crate) fn recorder_lock() -> MutexGuard<'static, ()> {
+        RECORDER_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}

@@ -1,0 +1,379 @@
+//! Batch execution: run fuzz cases through the ordinary engine pipeline
+//! with events on, then hand each case's slice of the drained stream to
+//! the [`Oracle`].
+//!
+//! Determinism contract: [`run_cases`] fans out over
+//! [`Engine::par_map`], whose event fork keys every case's events by
+//! submission index. The drained stream — and therefore every verdict
+//! and the serialized stream bytes — is identical at any `--jobs`
+//! count.
+//!
+//! The event recorder is process-global, so two concurrent `run_cases`
+//! calls in one process would interleave their streams. The CLI is
+//! single-threaded and tests serialize on a lock; library callers must
+//! do the same.
+
+use darksil_core::dtm::simulate_dtm_with_faults;
+use darksil_core::DarkSiliconEstimator;
+use darksil_engine::Engine;
+use darksil_obs::{EventRecord, EventStream};
+use darksil_robust::FaultPlan;
+use darksil_scenario::{build_platform, run_scenario, ExperimentSpec, ScenarioReport};
+use darksil_tsp::TspCalculator;
+use darksil_units::Watts;
+use darksil_workload::ParsecApp;
+
+use crate::gen::{ArenaCase, InjectMode};
+use crate::oracle::{Oracle, Violation};
+
+/// TDP handed to the DTM probe when the experiment does not name one.
+const DEFAULT_PROBE_TDP_W: f64 = 120.0;
+
+/// The per-case verdict, in increasing order of severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// The case ran and every invariant held.
+    Pass,
+    /// The case could not run to completion (placement, solver or
+    /// validation error). Not an invariant violation, but reported.
+    Error,
+    /// At least one physical invariant was violated.
+    Violated,
+}
+
+impl Verdict {
+    /// The CLI label for this verdict.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Pass => "pass",
+            Self::Error => "error",
+            Self::Violated => "VIOLATED",
+        }
+    }
+}
+
+/// Everything the arena knows about one executed case.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// Position in the generated population.
+    pub index: usize,
+    /// Scenario name (`fuzz-<index>` for generated cases).
+    pub name: String,
+    /// The scenario report, when the run completed.
+    pub report: Option<ScenarioReport>,
+    /// The run error, when it did not.
+    pub error: Option<String>,
+    /// Invariant violations found by the oracle, first-offence order.
+    pub violations: Vec<Violation>,
+    /// Derived throttle residency over the case's own events, when the
+    /// case produced a boost trace (the tournament's tie-break stat).
+    pub throttle_residency: Option<f64>,
+}
+
+impl CaseOutcome {
+    /// Collapses the outcome to a [`Verdict`].
+    #[must_use]
+    pub fn verdict(&self) -> Verdict {
+        if !self.violations.is_empty() {
+            Verdict::Violated
+        } else if self.error.is_some() {
+            Verdict::Error
+        } else {
+            Verdict::Pass
+        }
+    }
+}
+
+/// What one case's execution produced, before the oracle looks at it.
+struct CaseRun {
+    report: Option<ScenarioReport>,
+    error: Option<String>,
+}
+
+/// Emits the deliberate violation for `--inject`. Each mode trips
+/// exactly one invariant, proving the catch → shrink → persist pipeline
+/// without weakening the simulators themselves.
+fn emit_injection(mode: InjectMode) {
+    match mode {
+        InjectMode::Nan => {
+            darksil_obs::event("arena.inject", || vec![("poisoned_c", f64::NAN.into())]);
+        }
+        InjectMode::Time => {
+            darksil_obs::event("boost.run", || {
+                vec![("policy", "injected".into()), ("period_s", 0.01.into())]
+            });
+            darksil_obs::event("thermal.step", || {
+                vec![("t_s", 2.0.into()), ("peak_c", 40.0.into())]
+            });
+            darksil_obs::event("thermal.step", || {
+                vec![("t_s", 1.0.into()), ("peak_c", 40.0.into())]
+            });
+            darksil_obs::event("boost.summary", || vec![("policy", "injected".into())]);
+        }
+        InjectMode::Tsp => {
+            darksil_obs::event("arena.tsp_probe", || {
+                vec![("active", 1_u64.into()), ("per_core_w", 5.0.into())]
+            });
+            darksil_obs::event("arena.tsp_probe", || {
+                vec![("active", 2_u64.into()), ("per_core_w", 9.0.into())]
+            });
+        }
+    }
+}
+
+/// Probes TSP antitonicity on the case's own platform: the worst-case
+/// per-core budget at an ascending ladder of active-core counts, each
+/// emitted as `arena.tsp_probe` for the oracle's `tsp-monotone` check.
+fn emit_tsp_probes(case: &ArenaCase) {
+    let Ok(platform) = build_platform(&case.scenario) else {
+        return; // run_scenario reports the build error
+    };
+    let cores = platform.core_count();
+    let calc = TspCalculator::new(platform.floorplan(), platform.thermal(), platform.t_dtm());
+    let mut ladder: Vec<usize> = vec![1, cores / 4, cores / 2, 3 * cores / 4, cores];
+    ladder.retain(|&m| m >= 1);
+    ladder.dedup();
+    for m in ladder {
+        let Ok(budget) = calc.worst_case(m) else {
+            continue;
+        };
+        let per_core_w = budget.value();
+        if !per_core_w.is_finite() {
+            continue; // degenerate budget, not comparable
+        }
+        darksil_obs::event("arena.tsp_probe", move || {
+            vec![("active", m.into()), ("per_core_w", per_core_w.into())]
+        });
+    }
+}
+
+/// Probes the DTM failsafe under the case's fault schedule: admit under
+/// a TDP, let DTM power instances down, and emit the dark-silicon
+/// bookkeeping as `arena.dtm_probe` for the `dtm-failsafe` check.
+fn emit_dtm_probe(case: &ArenaCase, faults: &FaultPlan) {
+    let Ok(platform) = build_platform(&case.scenario) else {
+        return;
+    };
+    let Some(line) = case.scenario.workload.first() else {
+        return;
+    };
+    let Some(app) = ParsecApp::ALL
+        .iter()
+        .copied()
+        .find(|a| a.name() == line.app)
+    else {
+        return;
+    };
+    let tdp = match &case.scenario.experiment {
+        ExperimentSpec::PowerBudget { tdp_watts } | ExperimentSpec::Policy { tdp_watts, .. } => {
+            *tdp_watts
+        }
+        _ => DEFAULT_PROBE_TDP_W,
+    };
+    let frequency = platform.max_level().frequency;
+    let est = DarkSiliconEstimator::new(platform);
+    let Ok(outcome) =
+        simulate_dtm_with_faults(&est, app, line.threads, frequency, Watts::new(tdp), faults)
+    else {
+        return; // probe errors are not verdicts; run_scenario covers the case
+    };
+    let admitted_dark = outcome.admitted.dark_fraction;
+    let sustained_dark = outcome.sustained.dark_fraction;
+    let hidden_dark = outcome.hidden_dark_fraction();
+    let powered_down = outcome.instances_powered_down;
+    let triggered = outcome.triggered;
+    darksil_obs::event("arena.dtm_probe", move || {
+        vec![
+            ("admitted_dark", admitted_dark.into()),
+            ("sustained_dark", sustained_dark.into()),
+            ("hidden_dark", hidden_dark.into()),
+            ("powered_down", powered_down.into()),
+            ("triggered", triggered.into()),
+        ]
+    });
+}
+
+/// Runs one case inside the current event scope: injection first, then
+/// the scenario itself, then the platform probes.
+fn execute_case(case: &ArenaCase) -> CaseRun {
+    if let Some(mode) = case.inject {
+        emit_injection(mode);
+    }
+    let (report, error) = match run_scenario(&case.scenario) {
+        Ok(report) => (Some(report), None),
+        Err(e) => (None, Some(e.to_string())),
+    };
+    emit_tsp_probes(case);
+    if let Some(spec) = &case.faults {
+        emit_dtm_probe(case, &spec.to_plan());
+    }
+    CaseRun { report, error }
+}
+
+/// Runs `cases` over `jobs` workers and verdicts each against `oracle`.
+///
+/// Returns the outcomes (one per case, in case order) and the complete
+/// drained event stream — byte-identical at any `jobs` value, which is
+/// what `darksil fuzz` prints a digest of and the determinism tests
+/// compare directly.
+#[must_use]
+pub fn run_cases(
+    cases: &[ArenaCase],
+    jobs: usize,
+    oracle: &Oracle,
+) -> (Vec<CaseOutcome>, EventStream) {
+    darksil_obs::enable_events();
+    let engine = Engine::new(jobs.max(1));
+    let runs = engine.par_map(cases.to_vec(), |case| Ok(execute_case(&case)));
+    let (_trace, stream) = darksil_obs::drain_all();
+
+    let mut outcomes = Vec::with_capacity(cases.len());
+    for (position, (case, run)) in cases.iter().zip(runs).enumerate() {
+        let (report, error) = match run {
+            Ok(r) => (r.report, r.error),
+            // A panicking job is isolated by the engine; surface it as
+            // a run error on its own case.
+            Err(e) => (None, Some(e.to_string())),
+        };
+        // The engine fork keys events by *submission position*, which
+        // for a replayed sub-population differs from `case.index`.
+        let case_stream = case_slice(&stream, position as u64);
+        outcomes.push(CaseOutcome {
+            index: case.index,
+            name: case.scenario.name.clone(),
+            report,
+            error,
+            violations: oracle.verify(&case_stream),
+            throttle_residency: case_stream.throttle_residency(),
+        });
+    }
+    (outcomes, stream)
+}
+
+/// Runs one case serially (no fan-out) and verdicts it. This is what
+/// the shrinker and corpus replay use: the whole drained stream belongs
+/// to the case.
+#[must_use]
+pub fn run_single(case: &ArenaCase, oracle: &Oracle) -> CaseOutcome {
+    darksil_obs::enable_events();
+    let run = execute_case(case);
+    let (_trace, stream) = darksil_obs::drain_all();
+    CaseOutcome {
+        index: case.index,
+        name: case.scenario.name.clone(),
+        report: run.report,
+        error: run.error,
+        violations: oracle.verify(&stream),
+        throttle_residency: stream.throttle_residency(),
+    }
+}
+
+/// The sub-stream of events belonging to fan-out job `index`: the
+/// engine fork gives every case's events a `[fork, job_index, …]` seq
+/// prefix, so membership is `seq[1] == index`.
+fn case_slice(stream: &EventStream, index: u64) -> EventStream {
+    let events: Vec<EventRecord> = stream
+        .events
+        .iter()
+        .filter(|e| e.seq.len() >= 2 && e.seq[1] == index)
+        .cloned()
+        .collect();
+    EventStream { events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate_cases;
+    use crate::testutil::recorder_lock;
+    use darksil_scenario::{Scenario, WorkloadSpec};
+
+    fn boost_case(index: usize) -> ArenaCase {
+        ArenaCase {
+            index,
+            scenario: Scenario {
+                name: format!("boost-{index}"),
+                node: 22,
+                cores: Some(9),
+                t_dtm_celsius: None,
+                variation_seed: None,
+                workload: vec![WorkloadSpec {
+                    app: "blackscholes".into(),
+                    instances: 1,
+                    threads: 4,
+                }],
+                experiment: darksil_scenario::ExperimentSpec::Boost {
+                    duration_s: 0.2,
+                    period_s: 0.01,
+                },
+            },
+            faults: None,
+            inject: None,
+        }
+    }
+
+    #[test]
+    fn boost_case_passes_clean() {
+        let _guard = recorder_lock();
+        let outcome = run_single(&boost_case(0), &Oracle::default());
+        assert_eq!(outcome.error, None);
+        assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
+        assert_eq!(outcome.verdict(), Verdict::Pass);
+    }
+
+    #[test]
+    fn injected_nan_is_caught() {
+        let _guard = recorder_lock();
+        let mut case = boost_case(0);
+        case.inject = Some(InjectMode::Nan);
+        let outcome = run_single(&case, &Oracle::default());
+        assert_eq!(outcome.verdict(), Verdict::Violated);
+        assert!(outcome.violations.iter().any(|v| v.invariant == "no-nan"));
+    }
+
+    #[test]
+    fn injected_time_and_tsp_trip_their_invariants() {
+        let _guard = recorder_lock();
+        for (mode, invariant) in [
+            (InjectMode::Time, "monotone-time"),
+            (InjectMode::Tsp, "tsp-monotone"),
+        ] {
+            let mut case = boost_case(0);
+            case.inject = Some(mode);
+            let outcome = run_single(&case, &Oracle::default());
+            assert!(
+                outcome.violations.iter().any(|v| v.invariant == invariant),
+                "{mode:?} should trip {invariant}: {:?}",
+                outcome.violations
+            );
+        }
+    }
+
+    #[test]
+    fn verdicts_and_stream_identical_across_jobs() {
+        let _guard = recorder_lock();
+        let cases = generate_cases(3, 6, None);
+        let (serial, stream_1) = run_cases(&cases, 1, &Oracle::default());
+        let (parallel, stream_4) = run_cases(&cases, 4, &Oracle::default());
+        assert_eq!(stream_1.to_jsonl(), stream_4.to_jsonl());
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.verdict(), b.verdict(), "case {}", a.index);
+            assert_eq!(a.violations, b.violations, "case {}", a.index);
+            assert_eq!(a.error, b.error, "case {}", a.index);
+        }
+    }
+
+    #[test]
+    fn case_slice_partitions_by_job_index() {
+        let _guard = recorder_lock();
+        let cases = vec![boost_case(0), boost_case(1)];
+        let (_outcomes, stream) = run_cases(&cases, 2, &Oracle::default());
+        let a = case_slice(&stream, 0);
+        let b = case_slice(&stream, 1);
+        assert!(!a.events.is_empty());
+        assert_eq!(a.events.len() + b.events.len(), stream.events.len());
+        assert!(a.events.iter().all(|e| e.seq[1] == 0));
+    }
+}

@@ -1,0 +1,213 @@
+//! Deterministic scenario-aware shrinking.
+//!
+//! When a case trips an invariant, the shrinker tries a fixed catalogue
+//! of structural reductions — drop a workload line, halve instance and
+//! thread counts, shrink the die, strip optional knobs, shorten a boost
+//! window — keeping a candidate only if a serial rerun still trips the
+//! **same named invariant**. The candidate order is fixed and each
+//! accepted reduction restarts the pass, so the result is a local
+//! minimum that does not depend on wall clock, worker count, or rng
+//! state: the same failing case always shrinks to the same reproducer.
+
+use darksil_scenario::{validate_scenario, ExperimentSpec, Scenario};
+
+use crate::gen::ArenaCase;
+use crate::oracle::Oracle;
+use crate::runner::run_single;
+
+/// Upper bound on accepted reductions; each candidate pass is linear,
+/// so this caps shrinking at a few hundred serial reruns.
+const MAX_ROUNDS: usize = 64;
+
+/// Every one-step reduction of `scenario`, most aggressive first.
+fn candidates(scenario: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+
+    // Drop whole workload lines (the biggest single cut).
+    if scenario.workload.len() > 1 {
+        for drop in 0..scenario.workload.len() {
+            let mut s = scenario.clone();
+            s.workload.remove(drop);
+            out.push(s);
+        }
+    }
+
+    // Halve instance and thread counts line by line.
+    for (i, line) in scenario.workload.iter().enumerate() {
+        if line.instances > 1 {
+            let mut s = scenario.clone();
+            s.workload[i].instances = line.instances / 2;
+            out.push(s);
+        }
+        if line.threads > 1 {
+            let mut s = scenario.clone();
+            s.workload[i].threads = line.threads / 2;
+            out.push(s);
+        }
+    }
+
+    // Shrink the die towards the smallest fuzzed floorplan.
+    if let Some(cores) = scenario.cores {
+        for smaller in [9, 12, 16, 20] {
+            if smaller < cores {
+                let mut s = scenario.clone();
+                s.cores = Some(smaller);
+                out.push(s);
+                break;
+            }
+        }
+    }
+
+    // Strip optional knobs.
+    if scenario.t_dtm_celsius.is_some() {
+        let mut s = scenario.clone();
+        s.t_dtm_celsius = None;
+        out.push(s);
+    }
+    if scenario.variation_seed.is_some() {
+        let mut s = scenario.clone();
+        s.variation_seed = None;
+        out.push(s);
+    }
+
+    // Shorten a boost window (period must stay within the duration).
+    if let ExperimentSpec::Boost {
+        duration_s,
+        period_s,
+    } = scenario.experiment
+    {
+        let halved = duration_s / 2.0;
+        if halved >= period_s {
+            let mut s = scenario.clone();
+            s.experiment = ExperimentSpec::Boost {
+                duration_s: halved,
+                period_s,
+            };
+            out.push(s);
+        }
+    }
+
+    out
+}
+
+/// Every one-step reduction of the whole case: scenario reductions
+/// first, then dropping the fault schedule.
+fn case_candidates(case: &ArenaCase) -> Vec<ArenaCase> {
+    let mut out: Vec<ArenaCase> = candidates(&case.scenario)
+        .into_iter()
+        .filter(|s| validate_scenario(s).is_ok())
+        .map(|scenario| ArenaCase {
+            scenario,
+            ..case.clone()
+        })
+        .collect();
+    if case.faults.is_some() {
+        out.push(ArenaCase {
+            faults: None,
+            ..case.clone()
+        });
+    }
+    out
+}
+
+/// Shrinks `case` to a smaller case that still trips `invariant`
+/// (matched by name), rerunning each candidate serially. Returns the
+/// original case unchanged when no reduction reproduces the violation.
+///
+/// Runs cases on the process-global event recorder — see the
+/// concurrency note on [`crate::runner`].
+#[must_use]
+pub fn shrink(case: &ArenaCase, invariant: &str, oracle: &Oracle) -> ArenaCase {
+    let still_fails = |candidate: &ArenaCase| {
+        run_single(candidate, oracle)
+            .violations
+            .iter()
+            .any(|v| v.invariant == invariant)
+    };
+
+    let mut current = case.clone();
+    for _ in 0..MAX_ROUNDS {
+        let Some(smaller) = case_candidates(&current)
+            .into_iter()
+            .find(|c| still_fails(c))
+        else {
+            break; // local minimum: no single reduction reproduces it
+        };
+        current = smaller;
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::InjectMode;
+    use darksil_scenario::WorkloadSpec;
+
+    fn big_case() -> ArenaCase {
+        ArenaCase {
+            index: 0,
+            scenario: Scenario {
+                name: "shrink-me".into(),
+                node: 22,
+                cores: Some(25),
+                t_dtm_celsius: Some(75.0),
+                variation_seed: Some(9),
+                workload: vec![
+                    WorkloadSpec {
+                        app: "blackscholes".into(),
+                        instances: 2,
+                        threads: 4,
+                    },
+                    WorkloadSpec {
+                        app: "ferret".into(),
+                        instances: 1,
+                        threads: 2,
+                    },
+                ],
+                experiment: ExperimentSpec::Boost {
+                    duration_s: 0.4,
+                    period_s: 0.01,
+                },
+            },
+            faults: None,
+            inject: Some(InjectMode::Nan),
+        }
+    }
+
+    #[test]
+    fn candidates_are_all_valid_and_strictly_smaller_in_some_axis() {
+        let case = big_case();
+        let cands = case_candidates(&case);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            validate_scenario(&c.scenario).expect("candidate validates");
+            assert_ne!(c, &case);
+        }
+    }
+
+    #[test]
+    fn injected_nan_shrinks_to_the_minimal_case() {
+        let _guard = crate::testutil::recorder_lock();
+        // The injection fires regardless of the scenario, so shrinking
+        // must reach the floor of every axis.
+        let shrunk = shrink(&big_case(), "no-nan", &Oracle::default());
+        assert_eq!(shrunk.scenario.workload.len(), 1);
+        assert_eq!(shrunk.scenario.workload[0].instances, 1);
+        assert_eq!(shrunk.scenario.workload[0].threads, 1);
+        assert_eq!(shrunk.scenario.cores, Some(9));
+        assert_eq!(shrunk.scenario.t_dtm_celsius, None);
+        assert_eq!(shrunk.scenario.variation_seed, None);
+        // And shrinking twice is a fixpoint.
+        let again = shrink(&shrunk, "no-nan", &Oracle::default());
+        assert_eq!(again, shrunk);
+    }
+
+    #[test]
+    fn shrink_preserves_the_violation() {
+        let _guard = crate::testutil::recorder_lock();
+        let shrunk = shrink(&big_case(), "no-nan", &Oracle::default());
+        let outcome = run_single(&shrunk, &Oracle::default());
+        assert!(outcome.violations.iter().any(|v| v.invariant == "no-nan"));
+    }
+}

@@ -80,12 +80,14 @@ pub fn run_constant(
     }
 
     let level = max_safe_level(platform, mapping, config)?;
+    crate::events::emit_run_start("constant", config);
     let mut working = mapping.clone();
     for entry in working.entries_mut() {
         entry.level = level;
     }
 
     let mut sim = TransientSim::new(platform.thermal(), config.period)?;
+    sim.set_watermark(config.threshold);
     let steps = (duration.value() / config.period.value()).round() as usize;
     let gips = working.total_gips(platform);
     let mut trace = PolicyTrace::new();
@@ -104,6 +106,7 @@ pub fn run_constant(
             power: total_power,
         });
     }
+    crate::events::emit_run_summary("constant", &trace);
     Ok(trace)
 }
 

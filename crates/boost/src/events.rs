@@ -1,0 +1,53 @@
+//! Shared `boost.run` / `boost.summary` emission for transient policies.
+//!
+//! Every policy run restarts the simulated clock at zero, so a stream
+//! holding several runs (e.g. a Boost scenario executing boosting and
+//! constant back to back) is not globally time-monotone. The `boost.run`
+//! marker opens a segment and `boost.summary` closes it; stream
+//! consumers (the fuzzing oracle, `darksil events verify`) check
+//! per-segment invariants between the two.
+
+use crate::{PolicyConfig, PolicyTrace};
+
+/// Emits the `boost.run` segment-opening marker.
+pub(crate) fn emit_run_start(policy: &'static str, config: &PolicyConfig) {
+    if !darksil_obs::events_enabled() {
+        return;
+    }
+    let threshold_c = config.threshold.value();
+    let period_s = config.period.value();
+    let power_cap_w = config.power_cap.map(darksil_units::Watts::value);
+    darksil_obs::event("boost.run", move || {
+        let mut fields = vec![
+            ("policy", policy.into()),
+            ("threshold_c", threshold_c.into()),
+            ("period_s", period_s.into()),
+        ];
+        if let Some(cap) = power_cap_w {
+            fields.push(("power_cap_w", cap.into()));
+        }
+        fields
+    });
+}
+
+/// Emits the `boost.summary` segment-closing marker with the totals the
+/// energy-conservation invariant cross-checks against the integrated
+/// `thermal.step` power samples.
+pub(crate) fn emit_run_summary(policy: &'static str, trace: &PolicyTrace) {
+    if !darksil_obs::events_enabled() {
+        return;
+    }
+    let energy_j = trace.total_energy().value();
+    let peak_w = trace.peak_power().value();
+    let peak_c = trace.peak_temperature().value();
+    let samples = trace.len() as u64;
+    darksil_obs::event("boost.summary", move || {
+        vec![
+            ("policy", policy.into()),
+            ("energy_j", energy_j.into()),
+            ("peak_w", peak_w.into()),
+            ("peak_c", peak_c.into()),
+            ("samples", samples.into()),
+        ]
+    });
+}

@@ -25,6 +25,7 @@
 
 mod constant;
 mod error;
+mod events;
 mod ntc;
 mod per_instance;
 mod phases;

@@ -69,6 +69,7 @@ pub fn run_boosting(
     config: &PolicyConfig,
 ) -> Result<PolicyTrace, BoostError> {
     config.validate(mapping, duration)?;
+    crate::events::emit_run_start("boosting", config);
     let dvfs = platform.dvfs();
     let mut level_idx = dvfs
         .floor_index(platform.node().nominal_max_frequency())
@@ -135,6 +136,7 @@ pub fn run_boosting(
             });
         }
     }
+    crate::events::emit_run_summary("boosting", &trace);
     Ok(trace)
 }
 

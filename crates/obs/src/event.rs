@@ -319,29 +319,60 @@ impl EventStream {
     /// Fraction of the boost-trace time spent below the top DVFS level
     /// reached, derived from `boost.transition` events. `None` when the
     /// stream has fewer than two transitions.
+    ///
+    /// Each policy run restarts its clock at zero, so a stream holding
+    /// several runs (a pipeline recording, a multi-case fuzz batch) has
+    /// `t_s` drop at every run boundary. Transitions are therefore split
+    /// into monotone-time segments first; the result is the
+    /// duration-weighted residency across segments, each judged against
+    /// its own top level. On a single-run stream this matches the naive
+    /// first-to-last derivation.
     #[must_use]
     pub fn throttle_residency(&self) -> Option<f64> {
         let transitions: Vec<&EventRecord> = self.of_kind("boost.transition").collect();
-        let first_t = transitions.first().and_then(|e| e.f64_field("t_s"))?;
-        let last_t = transitions.last().and_then(|e| e.f64_field("t_s"))?;
-        let span = last_t - first_t;
-        if !span.is_finite() || span <= 0.0 {
+        if transitions.len() < 2 {
             return None;
         }
-        let top_ghz = transitions
-            .iter()
-            .filter_map(|e| e.f64_field("to_ghz"))
-            .fold(f64::NEG_INFINITY, f64::max);
-        let mut throttled = 0.0;
-        for pair in transitions.windows(2) {
-            let (Some(t0), Some(t1)) = (pair[0].f64_field("t_s"), pair[1].f64_field("t_s")) else {
-                continue;
+        // Split on clock resets: a drop in t_s starts a new segment.
+        let mut segments: Vec<Vec<&EventRecord>> = Vec::new();
+        let mut last_t = f64::NEG_INFINITY;
+        for event in transitions {
+            let Some(t) = event.f64_field("t_s") else {
+                continue; // malformed transition: ignore, as before
             };
-            if pair[0].f64_field("to_ghz").is_some_and(|g| g < top_ghz) {
-                throttled += t1 - t0;
+            if !t.is_finite() {
+                return None;
+            }
+            if t < last_t || segments.is_empty() {
+                segments.push(Vec::new());
+            }
+            if let Some(segment) = segments.last_mut() {
+                segment.push(event);
+            }
+            last_t = t;
+        }
+        let mut total_span = 0.0;
+        let mut throttled = 0.0;
+        for segment in &segments {
+            let top_ghz = segment
+                .iter()
+                .filter_map(|e| e.f64_field("to_ghz"))
+                .fold(f64::NEG_INFINITY, f64::max);
+            for pair in segment.windows(2) {
+                let (Some(t0), Some(t1)) = (pair[0].f64_field("t_s"), pair[1].f64_field("t_s"))
+                else {
+                    continue;
+                };
+                total_span += t1 - t0;
+                if pair[0].f64_field("to_ghz").is_some_and(|g| g < top_ghz) {
+                    throttled += t1 - t0;
+                }
             }
         }
-        Some(throttled / span)
+        if total_span <= 0.0 {
+            return None;
+        }
+        Some(throttled / total_span)
     }
 
     /// Seconds each core spent above the watermark threshold, derived
@@ -547,6 +578,70 @@ mod tests {
         };
         let residency = stream.throttle_residency().expect("residency");
         assert!((residency - 0.5).abs() < 1e-9, "residency = {residency}");
+    }
+
+    #[test]
+    fn throttle_residency_survives_multi_run_streams() {
+        let transition = |t: f64, to: f64| EventRecord {
+            seq: vec![t.to_bits() & 0xff],
+            kind: "boost.transition".to_string(),
+            fields: vec![
+                ("t_s".to_string(), EventValue::F64(t)),
+                ("to_ghz".to_string(), EventValue::F64(to)),
+            ],
+        };
+        // Two policy runs back to back: each restarts its clock at zero.
+        // The naive first-to-last derivation paired the last transition
+        // of run one with the first of run two, charged a *negative*
+        // interval for it, and reported a residency outside [0, 1]
+        // (found by `darksil events verify` on a pipeline recording).
+        let stream = EventStream {
+            events: vec![
+                // Run one: throttled from t=1 to the end of the run.
+                transition(0.0, 3.6),
+                transition(1.0, 3.4),
+                // Run two: clock reset, never throttled.
+                transition(0.0, 3.6),
+                transition(1.0, 3.6),
+            ],
+        };
+        let residency = stream.throttle_residency().expect("residency");
+        assert!(
+            (0.0..=1.0).contains(&residency),
+            "residency = {residency} outside [0, 1]"
+        );
+        // Segment one spends its whole measured window at the top level
+        // (the 3.4 GHz dip has no following transition to close it),
+        // segment two likewise: weighted residency is exactly zero.
+        assert!(residency.abs() < 1e-9, "residency = {residency}");
+    }
+
+    #[test]
+    fn throttle_residency_weights_segments_by_duration() {
+        let transition = |t: f64, to: f64| EventRecord {
+            seq: vec![(t * 10.0) as u64],
+            kind: "boost.transition".to_string(),
+            fields: vec![
+                ("t_s".to_string(), EventValue::F64(t)),
+                ("to_ghz".to_string(), EventValue::F64(to)),
+            ],
+        };
+        let stream = EventStream {
+            events: vec![
+                // Run one (2 s): throttled for 1 s.
+                transition(0.0, 3.0),
+                transition(1.0, 2.4),
+                transition(2.0, 3.0),
+                // Run two (4 s): never throttled.
+                transition(0.0, 3.0),
+                transition(4.0, 3.0),
+            ],
+        };
+        let residency = stream.throttle_residency().expect("residency");
+        assert!(
+            (residency - 1.0 / 6.0).abs() < 1e-9,
+            "residency = {residency}"
+        );
     }
 
     #[test]

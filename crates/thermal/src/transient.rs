@@ -158,7 +158,8 @@ impl TransientSim {
         self.steps_taken += 1;
         let map = self.snapshot();
         if darksil_obs::events_enabled() {
-            self.emit_step_events(&map);
+            let total_w: f64 = power.iter().map(|w| w.value()).sum();
+            self.emit_step_events(&map, total_w);
         }
         Ok(map)
     }
@@ -167,11 +168,15 @@ impl TransientSim {
     /// `thermal.cores`, watermark crossings). Only called while event
     /// recording is on, so the disabled path stays a single atomic load
     /// inside `events_enabled`.
-    fn emit_step_events(&mut self, map: &ThermalMap) {
+    fn emit_step_events(&mut self, map: &ThermalMap, total_power_w: f64) {
         let peak = map.peak().value();
         let t_s = self.elapsed;
         darksil_obs::event("thermal.step", || {
-            vec![("t_s", t_s.into()), ("peak_c", peak.into())]
+            vec![
+                ("t_s", t_s.into()),
+                ("peak_c", peak.into()),
+                ("power_w", total_power_w.into()),
+            ]
         });
         if let Some(threshold) = self.watermark {
             let is_above = peak > threshold;

@@ -92,6 +92,30 @@ pub enum Command {
     Trace(TraceAction),
     /// Inspect domain event streams written by `repro --events`.
     Events(EventsAction),
+    /// Physics-invariant fuzzing: generated scenarios through the
+    /// event-stream oracle, with shrinking and corpus persistence.
+    Fuzz {
+        /// Population seed.
+        seed: u64,
+        /// Number of generated cases.
+        cases: usize,
+        /// Deliberate-violation mode (`nan`|`time`|`tsp`).
+        inject: Option<darksil_arena::InjectMode>,
+        /// Reproducer corpus directory.
+        corpus: String,
+        /// Replay the corpus instead of fuzzing.
+        replay: bool,
+    },
+    /// Policy tournament over a generated population; writes a
+    /// deterministic leaderboard (JSON + HTML).
+    Tournament {
+        /// Population seed.
+        seed: u64,
+        /// Number of base cases (each fights all policies).
+        cases: usize,
+        /// Output directory for leaderboard artefacts.
+        out: String,
+    },
     /// Render a self-contained HTML run report from an event stream.
     Report {
         /// Run label or events file; `None` picks the sole
@@ -126,7 +150,26 @@ pub enum EventsAction {
         /// Maximum number of events to print (0 = unlimited).
         limit: usize,
     },
+    /// Check every physical invariant over a stream; non-zero exit on
+    /// the first violated invariant.
+    Verify {
+        /// Run label or events file; `None` picks the sole
+        /// `results/events_*.jsonl`.
+        path: Option<String>,
+    },
 }
+
+/// Default fuzz population seed.
+const DEFAULT_FUZZ_SEED: u64 = 1;
+
+/// Default fuzz population size.
+const DEFAULT_FUZZ_CASES: usize = 25;
+
+/// Default tournament base-case count.
+const DEFAULT_TOURNAMENT_CASES: usize = 8;
+
+/// Default reproducer corpus directory (committed, replayed in CI).
+pub const DEFAULT_CORPUS_DIR: &str = "tests/corpus";
 
 /// Default row cap for `darksil events filter`.
 const DEFAULT_FILTER_LIMIT: usize = 20;
@@ -210,7 +253,11 @@ USAGE:
   darksil trace    compare <BASELINE> <CURRENT>
   darksil events   summarize [RUN|PATH]
   darksil events   filter <KIND> [RUN|PATH] [--limit N]
+  darksil events   verify [RUN|PATH]
   darksil report   [RUN|PATH] [--trace PATH] [--out PATH]
+  darksil fuzz     [--seed N] [--cases N] [--inject nan|time|tsp]
+                   [--corpus DIR] [--replay]
+  darksil tournament [--seed N] [--cases N] [--out DIR]
   darksil help
 
 `trace summarize` renders the hot-path table of a trace recorded by
@@ -226,6 +273,22 @@ timeline, event overlays, a span Gantt and histogram tables, written to
 results/report_<run>.html. RUN may be a run label (resolved against
 results/events_<RUN>.jsonl) or an explicit file path; with a single
 recorded stream in results/ it may be omitted.
+
+`events verify` checks every physical invariant (no-nan, monotone-time,
+temp-bound, watermark-alternation, watermark-windows, tsp-monotone,
+energy-conserved, dtm-failsafe, throttle-residency) over a stream and
+exits non-zero naming the first violated invariant and the offending
+event's seq.
+
+`fuzz` generates seeded, schema-valid scenarios, runs them through the
+engine pipeline with events on, and verdicts each case against the same
+invariants; violations are shrunk to minimal reproducers persisted in
+the corpus (default tests/corpus/) and the exit code is non-zero.
+`--replay` re-runs the committed corpus instead: reproducers with an
+inject mode must still be caught, fixed real-bug reproducers must stay
+clean. `tournament` pits dsrem vs tdpmap vs boosting over the generated
+population and writes leaderboard.json + leaderboard.html (deterministic
+bytes for a given --seed/--cases at any --jobs).
 
 Every subcommand also accepts --jobs N (worker threads for parallel
 sweeps; default DARKSIL_JOBS or the available parallelism).
@@ -291,6 +354,11 @@ fn parse_usize(flag: &str, s: &str) -> Result<usize, ParseError> {
         .map_err(|_| ParseError(format!("{flag} expects an integer, got '{s}'")))
 }
 
+fn parse_u64(flag: &str, s: &str) -> Result<u64, ParseError> {
+    s.parse()
+        .map_err(|_| ParseError(format!("{flag} expects an integer, got '{s}'")))
+}
+
 /// Parses argv (without the program name) into a [`Command`].
 ///
 /// # Errors
@@ -347,6 +415,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     }
     if cmd == "report" {
         return parse_report(&mut it);
+    }
+    if cmd == "fuzz" {
+        return parse_fuzz(&mut it);
+    }
+    if cmd == "tournament" {
+        return parse_tournament(&mut it);
     }
     let mut node = None;
     let mut app = None;
@@ -516,9 +590,10 @@ fn parse_trace(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseEr
 fn parse_events(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseError> {
     let action = it
         .next()
-        .ok_or_else(|| ParseError("events expects an action (summarize|filter)".into()))?;
+        .ok_or_else(|| ParseError("events expects an action (summarize|filter|verify)".into()))?;
     match action.as_str() {
-        "summarize" => {
+        "summarize" | "verify" => {
+            let verify = action == "verify";
             let mut path = None;
             for arg in it {
                 if path.is_none() && !arg.starts_with('-') {
@@ -527,7 +602,11 @@ fn parse_events(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseE
                     return Err(ParseError(format!("unknown argument '{arg}'")));
                 }
             }
-            Ok(Command::Events(EventsAction::Summarize { path }))
+            Ok(Command::Events(if verify {
+                EventsAction::Verify { path }
+            } else {
+                EventsAction::Summarize { path }
+            }))
         }
         "filter" => {
             let kind = it
@@ -554,9 +633,99 @@ fn parse_events(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseE
             Ok(Command::Events(EventsAction::Filter { path, kind, limit }))
         }
         other => Err(ParseError(format!(
-            "unknown events action '{other}' (use summarize|filter)"
+            "unknown events action '{other}' (use summarize|filter|verify)"
         ))),
     }
+}
+
+/// Parses the arguments after `darksil fuzz`.
+fn parse_fuzz(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseError> {
+    let mut seed = DEFAULT_FUZZ_SEED;
+    let mut cases = DEFAULT_FUZZ_CASES;
+    let mut inject = None;
+    let mut corpus = DEFAULT_CORPUS_DIR.to_string();
+    let mut replay = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ParseError("--seed expects a value".into()))?;
+                seed = parse_u64("--seed", value)?;
+            }
+            "--cases" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ParseError("--cases expects a value".into()))?;
+                cases = parse_usize("--cases", value)?;
+                if cases == 0 {
+                    return Err(ParseError("--cases expects a positive integer".into()));
+                }
+            }
+            "--inject" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ParseError("--inject expects a mode".into()))?;
+                inject = Some(darksil_arena::InjectMode::parse(value).ok_or_else(|| {
+                    ParseError(format!("unknown inject mode '{value}' (use nan|time|tsp)"))
+                })?);
+            }
+            "--corpus" => {
+                corpus = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| ParseError("--corpus expects a directory".into()))?;
+            }
+            "--replay" => replay = true,
+            other => return Err(ParseError(format!("unknown argument '{other}'"))),
+        }
+    }
+    if replay && inject.is_some() {
+        return Err(ParseError(
+            "--replay re-runs the corpus; --inject only applies to fuzzing".into(),
+        ));
+    }
+    Ok(Command::Fuzz {
+        seed,
+        cases,
+        inject,
+        corpus,
+        replay,
+    })
+}
+
+/// Parses the arguments after `darksil tournament`.
+fn parse_tournament(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseError> {
+    let mut seed = DEFAULT_FUZZ_SEED;
+    let mut cases = DEFAULT_TOURNAMENT_CASES;
+    let mut out = "results".to_string();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ParseError("--seed expects a value".into()))?;
+                seed = parse_u64("--seed", value)?;
+            }
+            "--cases" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ParseError("--cases expects a value".into()))?;
+                cases = parse_usize("--cases", value)?;
+                if cases == 0 {
+                    return Err(ParseError("--cases expects a positive integer".into()));
+                }
+            }
+            "--out" => {
+                out = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| ParseError("--out expects a directory".into()))?;
+            }
+            other => return Err(ParseError(format!("unknown argument '{other}'"))),
+        }
+    }
+    Ok(Command::Tournament { seed, cases, out })
 }
 
 /// Parses the arguments after `darksil report`.
@@ -743,6 +912,20 @@ pub fn run(command: &Command) -> Result<(), Box<dyn std::error::Error>> {
         Command::Cache { action, dir, evict } => run_cache(*action, dir, *evict)?,
         Command::Trace(action) => run_trace(action)?,
         Command::Events(action) => run_events(action)?,
+        Command::Fuzz {
+            seed,
+            cases,
+            inject,
+            corpus,
+            replay,
+        } => {
+            if *replay {
+                run_fuzz_replay(corpus)?;
+            } else {
+                run_fuzz(*seed, *cases, *inject, corpus)?;
+            }
+        }
+        Command::Tournament { seed, cases, out } => run_tournament_cmd(*seed, *cases, out)?,
         Command::Report { run, trace, out } => {
             run_report(run.as_deref(), trace.as_deref(), out.as_deref())?;
         }
@@ -845,7 +1028,263 @@ fn run_events(action: &EventsAction) -> Result<(), Box<dyn std::error::Error>> {
                 println!("… {} more ({total} total; raise --limit)", total - shown);
             }
         }
+        EventsAction::Verify { path } => {
+            let path = resolve_events_path(path.as_deref())?;
+            let stream = load_events(&path)?;
+            let violations = darksil_arena::Oracle::default().verify(&stream);
+            if violations.is_empty() {
+                println!(
+                    "ok: {} events in {}, all invariants hold",
+                    stream.events.len(),
+                    path.display()
+                );
+            } else {
+                for violation in &violations {
+                    println!("VIOLATION {violation}");
+                }
+                let first = &violations[0];
+                return Err(Box::new(ParseError(format!(
+                    "invariant `{}` violated (first at seq [{}])",
+                    first.invariant,
+                    first
+                        .seq
+                        .iter()
+                        .map(u64::to_string)
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ))));
+            }
+        }
     }
+    Ok(())
+}
+
+/// Executes `darksil fuzz`: generate → run → verdict → shrink →
+/// persist. Non-zero exit when any invariant was violated.
+fn run_fuzz(
+    seed: u64,
+    cases: usize,
+    inject: Option<darksil_arena::InjectMode>,
+    corpus: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use darksil_arena::{generate_cases, run_cases, save_reproducer, shrink, Oracle, Reproducer};
+    let oracle = Oracle::default();
+    let population = generate_cases(seed, cases, inject);
+    let jobs = Engine::auto().jobs();
+    let (outcomes, stream) = run_cases(&population, jobs, &oracle);
+
+    let mut passed = 0_usize;
+    let mut errored = 0_usize;
+    let mut violated: Vec<usize> = Vec::new();
+    for (position, outcome) in outcomes.iter().enumerate() {
+        match outcome.verdict() {
+            darksil_arena::Verdict::Pass => passed += 1,
+            darksil_arena::Verdict::Error => errored += 1,
+            darksil_arena::Verdict::Violated => violated.push(position),
+        }
+    }
+    println!(
+        "fuzz seed {seed}: {cases} cases over {jobs} jobs — {passed} pass, \
+         {errored} errors, {} violated ({} events)",
+        violated.len(),
+        stream.events.len()
+    );
+    for &position in &violated {
+        let outcome = &outcomes[position];
+        for violation in &outcome.violations {
+            println!("  {}: {violation}", outcome.name);
+        }
+    }
+    for outcome in &outcomes {
+        if let (darksil_arena::Verdict::Error, Some(error)) =
+            (outcome.verdict(), outcome.error.as_ref())
+        {
+            println!("  {} error: {error}", outcome.name);
+        }
+    }
+    if violated.is_empty() {
+        println!("corpus untouched — no violations");
+        return Ok(());
+    }
+
+    // Shrink and persist one reproducer per violated invariant: the
+    // first case to trip it. Shrinking reruns candidates serially, so
+    // bounding the work per invariant keeps even --inject runs (where
+    // every case violates) fast.
+    let mut persisted: Vec<String> = Vec::new();
+    for &position in &violated {
+        let outcome = &outcomes[position];
+        let Some(first) = outcome.violations.first() else {
+            continue;
+        };
+        if persisted.iter().any(|i| i == &first.invariant) {
+            continue;
+        }
+        persisted.push(first.invariant.clone());
+        let minimal = shrink(&population[position], &first.invariant, &oracle);
+        let repro = Reproducer {
+            schema: darksil_arena::REPRO_SCHEMA.to_string(),
+            seed,
+            case_index: outcome.index,
+            invariant: first.invariant.clone(),
+            detail: first.detail.clone(),
+            scenario: minimal.scenario.clone(),
+            inject: minimal.inject.map(|m| m.name().to_string()),
+            faults: minimal.faults.clone(),
+        };
+        let path = save_reproducer(std::path::Path::new(corpus), &repro)?;
+        println!(
+            "  shrunk `{}` reproducer -> {}",
+            first.invariant,
+            path.display()
+        );
+    }
+    Err(Box::new(ParseError(format!(
+        "{} of {cases} cases violated physical invariants",
+        violated.len()
+    ))))
+}
+
+/// Executes `darksil fuzz --replay`: the corpus regression gate.
+/// Reproducers with an inject mode must still be *caught* (the oracle
+/// keeps catching that violation class); reproducers without one
+/// captured real, since-fixed bugs and must now run *clean*.
+/// Replays the committed `*.jsonl` stream regressions in the corpus:
+/// recorded event streams that once tripped an invariant and must now
+/// verify clean. Returns (replayed, failed).
+fn replay_stream_corpus(
+    corpus: &std::path::Path,
+    oracle: &darksil_arena::Oracle,
+) -> (usize, usize) {
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(corpus)
+        .map(|dir| {
+            dir.filter_map(Result::ok)
+                .map(|entry| entry.path())
+                .filter(|p| p.extension().is_some_and(|e| e == "jsonl"))
+                .collect()
+        })
+        .unwrap_or_default();
+    paths.sort();
+    let mut failures = 0_usize;
+    for path in &paths {
+        let violations = std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| darksil_obs::EventStream::from_jsonl(&text).map_err(|e| e.to_string()))
+            .map(|stream| oracle.verify(&stream));
+        match violations {
+            Ok(violations) if violations.is_empty() => {
+                println!("replay {} [stream]: ok", path.display());
+            }
+            Ok(violations) => {
+                println!("replay {} [stream]: FAIL", path.display());
+                for violation in &violations {
+                    println!("  {violation}");
+                }
+                failures += 1;
+            }
+            Err(error) => {
+                println!("replay {} [stream]: FAIL ({error})", path.display());
+                failures += 1;
+            }
+        }
+    }
+    (paths.len(), failures)
+}
+
+fn run_fuzz_replay(corpus: &str) -> Result<(), Box<dyn std::error::Error>> {
+    use darksil_arena::{load_corpus, replay, Oracle};
+    let oracle = Oracle::default();
+    let corpus_dir = std::path::Path::new(corpus);
+    let entries = load_corpus(corpus_dir)?;
+    let (streams, mut failures) = replay_stream_corpus(corpus_dir, &oracle);
+    if entries.is_empty() && streams == 0 {
+        println!("corpus {corpus}: empty — nothing to replay");
+        return Ok(());
+    }
+    for (path, repro) in &entries {
+        let outcome = replay(repro, &oracle);
+        let caught = outcome
+            .violations
+            .iter()
+            .any(|v| v.invariant == repro.invariant);
+        let ok = if repro.inject.is_some() {
+            caught // the oracle must keep catching the injected class
+        } else {
+            outcome.violations.is_empty() // the real bug must stay fixed
+        };
+        let verdict = if ok { "ok" } else { "FAIL" };
+        println!(
+            "replay {} [{}] `{}`: {verdict}",
+            path.display(),
+            if repro.inject.is_some() {
+                "inject"
+            } else {
+                "regression"
+            },
+            repro.invariant
+        );
+        if !ok {
+            for violation in &outcome.violations {
+                println!("  {violation}");
+            }
+            failures += 1;
+        }
+    }
+    println!(
+        "corpus {corpus}: {} reproducer(s) replayed ({} scenario, {streams} stream)",
+        entries.len() + streams,
+        entries.len()
+    );
+    if failures > 0 {
+        return Err(Box::new(ParseError(format!(
+            "{failures} corpus reproducer(s) failed replay"
+        ))));
+    }
+    Ok(())
+}
+
+/// Executes `darksil tournament`: fight the policies and write the
+/// deterministic leaderboard artefacts.
+fn run_tournament_cmd(
+    seed: u64,
+    cases: usize,
+    out: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use darksil_arena::{leaderboard_html, run_tournament, Oracle};
+    let jobs = Engine::auto().jobs();
+    let board = run_tournament(seed, cases, jobs, &Oracle::default());
+    println!("tournament seed {seed}: {cases} cases × 3 policies over {jobs} jobs");
+    println!(
+        "  {:<3} {:<8} {:>6} {:>5} {:>4} {:>10} {:>11}",
+        "#", "policy", "points", "wins", "DQ", "mean GIPS", "mean peak C"
+    );
+    for (rank, score) in board.scores.iter().enumerate() {
+        println!(
+            "  {:<3} {:<8} {:>6} {:>5} {:>4} {:>10.1} {:>11.1}",
+            rank + 1,
+            score.policy,
+            score.points,
+            score.wins,
+            score.disqualified,
+            score.mean_gips,
+            score.mean_peak_c,
+        );
+    }
+    let dir = std::path::Path::new(out);
+    std::fs::create_dir_all(dir)?;
+    let json_path = dir.join("leaderboard.json");
+    let mut json = darksil_json::to_string_pretty(&board);
+    if !json.ends_with('\n') {
+        json.push('\n');
+    }
+    std::fs::write(&json_path, json)?;
+    let html_path = dir.join("leaderboard.html");
+    std::fs::write(&html_path, leaderboard_html(&board))?;
+    println!(
+        "[wrote {} and {}]",
+        json_path.display(),
+        html_path.display()
+    );
     Ok(())
 }
 
@@ -1452,6 +1891,13 @@ mod tests {
         assert!(parse(&argv("report --trace")).is_err());
     }
 
+    /// Serializes tests that drive the process-global event recorder.
+    fn recorder_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// A tiny valid stream: two boost transitions and two core samples.
     fn sample_stream_jsonl() -> String {
         let mut s = darksil_obs::EventStream::default();
@@ -1546,6 +1992,184 @@ mod tests {
             path: Some(bad.to_string_lossy().into_owned()),
         }))
         .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parses_fuzz_and_tournament() {
+        assert_eq!(
+            parse(&argv("fuzz")).unwrap(),
+            Command::Fuzz {
+                seed: DEFAULT_FUZZ_SEED,
+                cases: DEFAULT_FUZZ_CASES,
+                inject: None,
+                corpus: DEFAULT_CORPUS_DIR.into(),
+                replay: false,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "fuzz --seed 7 --cases 200 --inject nan --corpus /tmp/c"
+            ))
+            .unwrap(),
+            Command::Fuzz {
+                seed: 7,
+                cases: 200,
+                inject: Some(darksil_arena::InjectMode::Nan),
+                corpus: "/tmp/c".into(),
+                replay: false,
+            }
+        );
+        assert_eq!(
+            parse(&argv("fuzz --replay --corpus tests/corpus")).unwrap(),
+            Command::Fuzz {
+                seed: DEFAULT_FUZZ_SEED,
+                cases: DEFAULT_FUZZ_CASES,
+                inject: None,
+                corpus: "tests/corpus".into(),
+                replay: true,
+            }
+        );
+        assert_eq!(
+            parse(&argv("tournament --seed 3 --cases 5 --out /tmp/t")).unwrap(),
+            Command::Tournament {
+                seed: 3,
+                cases: 5,
+                out: "/tmp/t".into(),
+            }
+        );
+        assert!(parse(&argv("fuzz --cases 0")).is_err());
+        assert!(parse(&argv("fuzz --inject frob")).is_err());
+        assert!(parse(&argv("fuzz --inject")).is_err());
+        assert!(parse(&argv("fuzz --replay --inject nan")).is_err());
+        assert!(parse(&argv("fuzz --frob")).is_err());
+        assert!(parse(&argv("tournament --cases 0")).is_err());
+        assert!(parse(&argv("tournament --out")).is_err());
+    }
+
+    #[test]
+    fn parses_events_verify() {
+        assert_eq!(
+            parse(&argv("events verify")).unwrap(),
+            Command::Events(EventsAction::Verify { path: None })
+        );
+        assert_eq!(
+            parse(&argv("events verify results/events_all.jsonl")).unwrap(),
+            Command::Events(EventsAction::Verify {
+                path: Some("results/events_all.jsonl".into()),
+            })
+        );
+        assert!(parse(&argv("events verify a b")).is_err());
+    }
+
+    #[test]
+    fn events_verify_passes_clean_and_fails_poisoned_streams() {
+        let dir = std::env::temp_dir().join(format!("darksil-cli-verify-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let clean = dir.join("events_clean.jsonl");
+        std::fs::write(&clean, sample_stream_jsonl()).unwrap();
+        run(&Command::Events(EventsAction::Verify {
+            path: Some(clean.to_string_lossy().into_owned()),
+        }))
+        .unwrap();
+
+        // A backwards-time stream inside a policy segment must fail,
+        // naming the invariant.
+        let mut s = darksil_obs::EventStream::default();
+        let mut push = |kind: &str, fields: Vec<(String, darksil_obs::EventValue)>| {
+            let seq = vec![s.events.len() as u64];
+            s.events.push(darksil_obs::EventRecord {
+                seq,
+                kind: kind.to_string(),
+                fields,
+            });
+        };
+        push(
+            "boost.run",
+            vec![
+                ("policy".into(), "boosting".into()),
+                ("threshold_c".into(), 80.0.into()),
+            ],
+        );
+        push(
+            "thermal.step",
+            vec![("t_s".into(), 2.0.into()), ("peak_c".into(), 40.0.into())],
+        );
+        push(
+            "thermal.step",
+            vec![("t_s".into(), 1.0.into()), ("peak_c".into(), 40.0.into())],
+        );
+        let bad = dir.join("events_bad.jsonl");
+        std::fs::write(&bad, s.to_jsonl()).unwrap();
+        let err = run(&Command::Events(EventsAction::Verify {
+            path: Some(bad.to_string_lossy().into_owned()),
+        }))
+        .unwrap_err();
+        assert!(err.to_string().contains("monotone-time"), "{err}");
+        assert!(err.to_string().contains("seq [2]"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fuzz_inject_caught_shrunk_and_replayed() {
+        let _guard = recorder_lock();
+        let dir = std::env::temp_dir().join(format!("darksil-cli-fuzz-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let corpus = dir.join("corpus").to_string_lossy().into_owned();
+
+        // An injected NaN must fail the run and persist a reproducer…
+        let err = run(&Command::Fuzz {
+            seed: 11,
+            cases: 2,
+            inject: Some(darksil_arena::InjectMode::Nan),
+            corpus: corpus.clone(),
+            replay: false,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("violated"), "{err}");
+        let saved: Vec<_> = std::fs::read_dir(&corpus).unwrap().collect();
+        assert_eq!(saved.len(), 1, "one reproducer per violated invariant");
+
+        // …which the corpus replay gate then keeps catching.
+        run(&Command::Fuzz {
+            seed: 11,
+            cases: 2,
+            inject: None,
+            corpus: corpus.clone(),
+            replay: true,
+        })
+        .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tournament_writes_deterministic_leaderboard() {
+        let _guard = recorder_lock();
+        let dir = std::env::temp_dir().join(format!("darksil-cli-tour-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.to_string_lossy().into_owned();
+        run(&Command::Tournament {
+            seed: 5,
+            cases: 2,
+            out: out.clone(),
+        })
+        .unwrap();
+        let json1 = std::fs::read_to_string(dir.join("leaderboard.json")).unwrap();
+        let html = std::fs::read_to_string(dir.join("leaderboard.html")).unwrap();
+        assert!(json1.contains("darksil-leaderboard-v1"));
+        assert!(html.contains("<!DOCTYPE html>"));
+        assert!(!html.contains("<script"));
+        // Re-running produces identical bytes.
+        run(&Command::Tournament {
+            seed: 5,
+            cases: 2,
+            out,
+        })
+        .unwrap();
+        let json2 = std::fs::read_to_string(dir.join("leaderboard.json")).unwrap();
+        assert_eq!(json1, json2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

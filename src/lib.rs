@@ -27,6 +27,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub use darksil_archsim as archsim;
+pub use darksil_arena as arena;
 pub use darksil_boost as boost;
 pub use darksil_core as core;
 pub use darksil_floorplan as floorplan;
