@@ -152,6 +152,8 @@ mod tests {
                 cores: Some(9),
                 t_dtm_celsius: None,
                 variation_seed: None,
+                leakage_sigma: None,
+                frequency_sigma: None,
                 workload: vec![WorkloadSpec {
                     app: "blackscholes".into(),
                     instances: 1,

@@ -132,6 +132,18 @@ pub fn generate_scenario(rng: &mut TestRng, index: usize) -> Scenario {
     } else {
         None
     };
+    // Occasionally widen the variation spread beyond the typical model;
+    // only meaningful alongside a seed, but legal either way.
+    let leakage_sigma = if rng.next_below(4) == 0 {
+        Some(0.05 + 0.45 * rng.next_f64())
+    } else {
+        None
+    };
+    let frequency_sigma = if rng.next_below(4) == 0 {
+        Some(0.01 + 0.09 * rng.next_f64())
+    } else {
+        None
+    };
 
     let workload = generate_workload(rng, cores);
     let experiment = generate_experiment(rng);
@@ -142,6 +154,8 @@ pub fn generate_scenario(rng: &mut TestRng, index: usize) -> Scenario {
         cores: Some(cores),
         t_dtm_celsius,
         variation_seed,
+        leakage_sigma,
+        frequency_sigma,
         workload,
         experiment,
     }

@@ -69,6 +69,16 @@ fn candidates(scenario: &Scenario) -> Vec<Scenario> {
         s.variation_seed = None;
         out.push(s);
     }
+    if scenario.leakage_sigma.is_some() {
+        let mut s = scenario.clone();
+        s.leakage_sigma = None;
+        out.push(s);
+    }
+    if scenario.frequency_sigma.is_some() {
+        let mut s = scenario.clone();
+        s.frequency_sigma = None;
+        out.push(s);
+    }
 
     // Shorten a boost window (period must stay within the duration).
     if let ExperimentSpec::Boost {
@@ -153,6 +163,8 @@ mod tests {
                 cores: Some(25),
                 t_dtm_celsius: Some(75.0),
                 variation_seed: Some(9),
+                leakage_sigma: None,
+                frequency_sigma: None,
                 workload: vec![
                     WorkloadSpec {
                         app: "blackscholes".into(),

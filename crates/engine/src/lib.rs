@@ -94,9 +94,18 @@ pub fn set_default_jobs(jobs: usize) {
     DEFAULT_JOBS.store(jobs, Ordering::SeqCst);
 }
 
-/// Resolves the default worker count: the [`set_default_jobs`] override
-/// if any, else a positive integer `DARKSIL_JOBS`, else
-/// [`std::thread::available_parallelism`], else 1.
+/// Resolves the default worker count.
+///
+/// Precedence, highest first:
+///
+/// 1. the [`set_default_jobs`] override — the CLI's `--jobs` flag lands
+///    here, so `--jobs` always beats the environment;
+/// 2. a positive integer `DARKSIL_JOBS` environment variable;
+/// 3. [`std::thread::available_parallelism`], else 1.
+///
+/// A `DARKSIL_JOBS` value that is set but not a positive integer is
+/// ignored, but no longer silently: a warning naming the bad value is
+/// printed to stderr once per process.
 #[must_use]
 pub fn default_jobs() -> usize {
     let configured = DEFAULT_JOBS.load(Ordering::SeqCst);
@@ -104,9 +113,17 @@ pub fn default_jobs() -> usize {
         return configured;
     }
     if let Ok(value) = std::env::var("DARKSIL_JOBS") {
-        if let Ok(n) = value.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
+        match value.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring DARKSIL_JOBS={value:?}: \
+                         expected a positive integer; falling back to \
+                         available parallelism (use --jobs to override)"
+                    );
+                });
             }
         }
     }

@@ -53,6 +53,7 @@ mod event;
 mod hist;
 mod recorder;
 mod report;
+pub mod svg;
 mod trace;
 
 pub use baseline::{ArtefactTiming, BenchBaseline, PhaseBound, Regression, BASELINE_SCHEMA};

@@ -16,74 +16,15 @@
 //! view alongside every chart.
 
 use crate::event::EventStream;
+use crate::svg::{downsample, esc, fnum, html_page, scale, PLOT_W};
 use crate::trace::Trace;
 use std::fmt::Write as _;
-
-/// Plot width of every SVG chart, in CSS pixels.
-const PLOT_W: f64 = 820.0;
 
 /// Sequential blue ramp (steps 100→700) for heatmap magnitude.
 const HEAT_RAMP: [&str; 13] = [
     "#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7", "#3987e5", "#2a78d6",
     "#256abf", "#1c5cab", "#184f95", "#104281", "#0d366b",
 ];
-
-/// Escapes text for HTML/SVG content and attribute positions.
-fn esc(text: &str) -> String {
-    let mut out = String::with_capacity(text.len());
-    for c in text.chars() {
-        match c {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '"' => out.push_str("&quot;"),
-            _ => out.push(c),
-        }
-    }
-    out
-}
-
-/// Formats a number for labels: enough precision to be useful, no noise.
-fn fnum(v: f64) -> String {
-    if !v.is_finite() {
-        return "–".to_string();
-    }
-    let a = v.abs();
-    if a >= 1000.0 {
-        format!("{v:.0}")
-    } else if a >= 10.0 {
-        format!("{v:.1}")
-    } else if a >= 0.01 || a == 0.0 {
-        format!("{v:.3}")
-    } else {
-        format!("{v:.2e}")
-    }
-}
-
-/// Maps `v` from `[lo, hi]` to `[out_lo, out_hi]` (clamped).
-fn scale(v: f64, lo: f64, hi: f64, out_lo: f64, out_hi: f64) -> f64 {
-    if hi <= lo {
-        return f64::midpoint(out_lo, out_hi);
-    }
-    let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
-    (out_hi - out_lo).mul_add(t, out_lo)
-}
-
-/// A point series downsampled to at most `cap` points (every k-th,
-/// always keeping the final point so the trace ends where the run did).
-fn downsample(points: &[(f64, f64)], cap: usize) -> Vec<(f64, f64)> {
-    if points.len() <= cap || cap < 2 {
-        return points.to_vec();
-    }
-    let stride = points.len().div_ceil(cap);
-    let mut out: Vec<(f64, f64)> = points.iter().copied().step_by(stride).collect();
-    if let (Some(&last_in), Some(&last_out)) = (points.last(), out.last()) {
-        if last_out != last_in {
-            out.push(last_in);
-        }
-    }
-    out
-}
 
 /// One overlay tick on the timeline.
 struct Overlay {
@@ -573,82 +514,8 @@ pub fn render_report(run: &str, stream: &EventStream, trace: Option<&Trace>) -> 
     }
     body.push_str(&render_tables(stream, trace));
 
-    format!(
-        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
-         <meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n\
-         <title>darksil run report — {}</title>\n<style>\n{CSS}\n</style>\n</head>\n\
-         <body class=\"viz-root\">\n<main>\n{body}</main>\n</body>\n</html>\n",
-        esc(run)
-    )
+    html_page(&format!("darksil run report — {run}"), &body)
 }
-
-/// The report stylesheet: light/dark values for every color role, with
-/// charts written against the roles.
-const CSS: &str = r"
-:root { color-scheme: light dark; }
-.viz-root {
-  --page:           #f9f9f7;
-  --surface-1:      #fcfcfb;
-  --text-primary:   #0b0b0b;
-  --text-secondary: #52514e;
-  --text-muted:     #898781;
-  --gridline:       #e1e0d9;
-  --baseline:       #c3c2b7;
-  --series-1:       #2a78d6;  /* peak temperature, gantt bars */
-  --series-2:       #eb6834;  /* boost transitions */
-  --status-critical:#d03b3b;  /* threshold crossings, labeled */
-  --border:         rgba(11,11,11,0.10);
-}
-@media (prefers-color-scheme: dark) {
-  .viz-root {
-    --page:           #0d0d0d;
-    --surface-1:      #1a1a19;
-    --text-primary:   #ffffff;
-    --text-secondary: #c3c2b7;
-    --text-muted:     #898781;
-    --gridline:       #2c2c2a;
-    --baseline:       #383835;
-    --series-1:       #3987e5;
-    --series-2:       #d95926;
-    --status-critical:#e66767;
-    --border:         rgba(255,255,255,0.10);
-  }
-}
-body {
-  margin: 0; background: var(--page); color: var(--text-primary);
-  font: 14px/1.5 system-ui, -apple-system, 'Segoe UI', sans-serif;
-}
-main { max-width: 900px; margin: 0 auto; padding: 24px 16px 48px; }
-h1 { font-size: 20px; margin: 0 0 4px; }
-h2 { font-size: 15px; margin: 28px 0 8px; color: var(--text-primary); }
-.subtitle { color: var(--text-secondary); margin: 0 0 16px; }
-.note { color: var(--text-muted); }
-code { font-family: ui-monospace, 'SF Mono', monospace; font-size: 0.92em; }
-svg {
-  display: block; width: 100%; height: auto; background: var(--surface-1);
-  border: 1px solid var(--border); border-radius: 6px;
-}
-.grid { stroke: var(--gridline); stroke-width: 1; }
-.tick { fill: var(--text-muted); font-size: 10px; font-variant-numeric: tabular-nums; }
-.axis-label { fill: var(--text-secondary); font-size: 11px; }
-.series-line { fill: none; stroke: var(--series-1); stroke-width: 2; stroke-linejoin: round; }
-.threshold { stroke: var(--status-critical); stroke-width: 1; stroke-dasharray: 5 4; }
-.threshold-label { fill: var(--status-critical); font-size: 10px; }
-.ov-boost { stroke: var(--series-2); stroke-width: 2; }
-.ov-watermark { stroke: var(--status-critical); stroke-width: 2; }
-.gantt-bar { fill: var(--series-1); }
-.legend { display: flex; gap: 16px; margin: 0 0 6px; color: var(--text-secondary); font-size: 12px; }
-.legend .swatch { display: inline-block; width: 10px; height: 10px; border-radius: 2px; margin-right: 5px; }
-.sw-peak { background: var(--series-1); }
-.sw-boost { background: var(--series-2); }
-.sw-watermark { background: var(--status-critical); }
-table { border-collapse: collapse; width: 100%; background: var(--surface-1);
-        border: 1px solid var(--border); border-radius: 6px; }
-th, td { text-align: left; padding: 5px 10px; border-bottom: 1px solid var(--gridline); }
-th { color: var(--text-secondary); font-weight: 600; font-size: 12px; }
-tr:last-child td { border-bottom: none; }
-td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
-";
 
 #[cfg(test)]
 mod tests {

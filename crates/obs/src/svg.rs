@@ -1,0 +1,208 @@
+//! Shared building blocks for self-contained HTML/SVG reports.
+//!
+//! The run report ([`crate::report`]) and downstream renderers (the
+//! sweep report in `darksil-sweep`) emit the same kind of document:
+//! inline SVG charts, plain tables, no scripts, no external fetches.
+//! This module holds the pieces they share — escaping, label
+//! formatting, coordinate scaling, series downsampling, the common
+//! plot width and the stylesheet — so every report looks and behaves
+//! identically.
+
+/// Plot width of every SVG chart, in CSS pixels.
+pub const PLOT_W: f64 = 820.0;
+
+/// Escapes text for HTML/SVG content and attribute positions.
+#[must_use]
+pub fn esc(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a number for labels: enough precision to be useful, no noise.
+#[must_use]
+pub fn fnum(v: f64) -> String {
+    if !v.is_finite() {
+        return "–".to_string();
+    }
+    let a = v.abs();
+    if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.1}")
+    } else if a >= 0.01 || a == 0.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+/// Maps `v` from `[lo, hi]` to `[out_lo, out_hi]` (clamped).
+#[must_use]
+pub fn scale(v: f64, lo: f64, hi: f64, out_lo: f64, out_hi: f64) -> f64 {
+    if hi <= lo {
+        return f64::midpoint(out_lo, out_hi);
+    }
+    let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+    (out_hi - out_lo).mul_add(t, out_lo)
+}
+
+/// A point series downsampled to at most `cap` points (every k-th,
+/// always keeping the final point so the trace ends where the run did).
+#[must_use]
+pub fn downsample(points: &[(f64, f64)], cap: usize) -> Vec<(f64, f64)> {
+    if points.len() <= cap || cap < 2 {
+        return points.to_vec();
+    }
+    let stride = points.len().div_ceil(cap);
+    let mut out: Vec<(f64, f64)> = points.iter().copied().step_by(stride).collect();
+    if let (Some(&last_in), Some(&last_out)) = (points.last(), out.last()) {
+        if last_out != last_in {
+            out.push(last_in);
+        }
+    }
+    out
+}
+
+/// Wraps a report body into the full self-contained HTML document:
+/// doctype, charset/viewport metas, escaped `title`, the shared
+/// stylesheet, and the `viz-root` theming class. No scripts, no
+/// external fetches.
+#[must_use]
+pub fn html_page(title: &str, body: &str) -> String {
+    format!(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n\
+         <title>{}</title>\n<style>\n{CSS}\n</style>\n</head>\n\
+         <body class=\"viz-root\">\n<main>\n{body}</main>\n</body>\n</html>\n",
+        esc(title)
+    )
+}
+
+/// The report stylesheet: light/dark values for every color role, with
+/// charts written against the roles.
+pub const CSS: &str = r"
+:root { color-scheme: light dark; }
+.viz-root {
+  --page:           #f9f9f7;
+  --surface-1:      #fcfcfb;
+  --text-primary:   #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted:     #898781;
+  --gridline:       #e1e0d9;
+  --baseline:       #c3c2b7;
+  --series-1:       #2a78d6;  /* peak temperature, gantt bars */
+  --series-2:       #eb6834;  /* boost transitions */
+  --status-critical:#d03b3b;  /* threshold crossings, labeled */
+  --border:         rgba(11,11,11,0.10);
+}
+@media (prefers-color-scheme: dark) {
+  .viz-root {
+    --page:           #0d0d0d;
+    --surface-1:      #1a1a19;
+    --text-primary:   #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted:     #898781;
+    --gridline:       #2c2c2a;
+    --baseline:       #383835;
+    --series-1:       #3987e5;
+    --series-2:       #d95926;
+    --status-critical:#e66767;
+    --border:         rgba(255,255,255,0.10);
+  }
+}
+body {
+  margin: 0; background: var(--page); color: var(--text-primary);
+  font: 14px/1.5 system-ui, -apple-system, 'Segoe UI', sans-serif;
+}
+main { max-width: 900px; margin: 0 auto; padding: 24px 16px 48px; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 8px; color: var(--text-primary); }
+.subtitle { color: var(--text-secondary); margin: 0 0 16px; }
+.note { color: var(--text-muted); }
+code { font-family: ui-monospace, 'SF Mono', monospace; font-size: 0.92em; }
+svg {
+  display: block; width: 100%; height: auto; background: var(--surface-1);
+  border: 1px solid var(--border); border-radius: 6px;
+}
+.grid { stroke: var(--gridline); stroke-width: 1; }
+.tick { fill: var(--text-muted); font-size: 10px; font-variant-numeric: tabular-nums; }
+.axis-label { fill: var(--text-secondary); font-size: 11px; }
+.series-line { fill: none; stroke: var(--series-1); stroke-width: 2; stroke-linejoin: round; }
+.series-band { fill: var(--series-1); opacity: 0.18; stroke: none; }
+.threshold { stroke: var(--status-critical); stroke-width: 1; stroke-dasharray: 5 4; }
+.threshold-label { fill: var(--status-critical); font-size: 10px; }
+.ov-boost { stroke: var(--series-2); stroke-width: 2; }
+.ov-watermark { stroke: var(--status-critical); stroke-width: 2; }
+.gantt-bar { fill: var(--series-1); }
+.pt-frontier { fill: var(--series-2); }
+.pt-dominated { fill: var(--series-1); opacity: 0.35; }
+.legend { display: flex; gap: 16px; margin: 0 0 6px; color: var(--text-secondary); font-size: 12px; }
+.legend .swatch { display: inline-block; width: 10px; height: 10px; border-radius: 2px; margin-right: 5px; }
+.sw-peak { background: var(--series-1); }
+.sw-boost { background: var(--series-2); }
+.sw-watermark { background: var(--status-critical); }
+.sw-frontier { background: var(--series-2); }
+.sw-dominated { background: var(--series-1); opacity: 0.45; }
+table { border-collapse: collapse; width: 100%; background: var(--surface-1);
+        border: 1px solid var(--border); border-radius: 6px; }
+th, td { text-align: left; padding: 5px 10px; border-bottom: 1px solid var(--gridline); }
+th { color: var(--text-secondary); font-weight: 600; font-size: 12px; }
+tr:last-child td { border-bottom: none; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_markup_characters() {
+        assert_eq!(esc("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+        assert_eq!(esc("plain"), "plain");
+    }
+
+    #[test]
+    fn label_formatting_adapts_precision() {
+        assert_eq!(fnum(f64::NAN), "–");
+        assert_eq!(fnum(1234.5), "1234");
+        assert_eq!(fnum(56.78), "56.8");
+        assert_eq!(fnum(0.5), "0.500");
+        assert_eq!(fnum(0.0001), "1.00e-4");
+    }
+
+    #[test]
+    fn scaling_clamps_and_handles_degenerate_ranges() {
+        assert!((scale(5.0, 0.0, 10.0, 0.0, 100.0) - 50.0).abs() < 1e-12);
+        assert!((scale(-1.0, 0.0, 10.0, 0.0, 100.0)).abs() < 1e-12);
+        assert!((scale(3.0, 2.0, 2.0, 0.0, 100.0) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn downsampling_keeps_the_final_point() {
+        let pts: Vec<(f64, f64)> = (0..100).map(|i| (f64::from(i), 0.0)).collect();
+        let ds = downsample(&pts, 10);
+        assert!(ds.len() <= 11);
+        assert_eq!(ds.last(), pts.last());
+        assert_eq!(downsample(&pts, 1), pts);
+    }
+
+    #[test]
+    fn html_page_is_self_contained_and_escaped() {
+        let page = html_page("a <title> & more", "<p>body</p>");
+        assert!(page.starts_with("<!DOCTYPE html>"));
+        assert!(page.contains("a &lt;title&gt; &amp; more"));
+        assert!(page.contains("<p>body</p>"));
+        assert!(!page.contains("<script"));
+        assert!(!page.contains("http://"));
+        assert!(!page.contains("https://"));
+    }
+}

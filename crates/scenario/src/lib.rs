@@ -150,13 +150,25 @@ pub struct Scenario {
     pub t_dtm_celsius: Option<f64>,
     /// Process-variation seed; an ideal chip if omitted.
     pub variation_seed: Option<u64>,
+    /// Log-leakage spread σ (power-scale variability); the typical 0.25
+    /// if omitted while a variation is in effect.
+    pub leakage_sigma: Option<f64>,
+    /// Frequency spread σ (perf-scale variability); the typical 0.03 if
+    /// omitted while a variation is in effect.
+    pub frequency_sigma: Option<f64>,
     /// The workload.
     pub workload: Vec<WorkloadSpec>,
     /// The experiment to run.
     pub experiment: ExperimentSpec,
 }
 
-darksil_json::impl_json!(struct Scenario { name, node, workload, experiment } opt { cores, t_dtm_celsius, variation_seed });
+darksil_json::impl_json!(struct Scenario { name, node, workload, experiment } opt {
+    cores,
+    t_dtm_celsius,
+    variation_seed,
+    leakage_sigma,
+    frequency_sigma,
+});
 
 /// The outcome of a scenario run — JSON-serialisable, one per scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -305,6 +317,24 @@ pub fn validate_scenario(s: &Scenario) -> Result<(), ScenarioError> {
             .into());
         }
     }
+    if let Some(sigma) = s.leakage_sigma {
+        if !sigma.is_finite() || !(0.0..=2.0).contains(&sigma) {
+            return Err(field_err(
+                format!("leakage_sigma must be finite in 0..=2, got {sigma}"),
+                "leakage_sigma",
+            )
+            .into());
+        }
+    }
+    if let Some(sigma) = s.frequency_sigma {
+        if !sigma.is_finite() || !(0.0..=0.5).contains(&sigma) {
+            return Err(field_err(
+                format!("frequency_sigma must be finite in 0..=0.5, got {sigma}"),
+                "frequency_sigma",
+            )
+            .into());
+        }
+    }
     if s.workload.is_empty() {
         return Err(field_err("workload must not be empty".into(), "workload").into());
     }
@@ -431,8 +461,14 @@ pub fn build_platform(s: &Scenario) -> Result<Platform, ScenarioError> {
     if let Some(t) = s.t_dtm_celsius {
         platform = platform.with_t_dtm(Celsius::new(t));
     }
-    if let Some(seed) = s.variation_seed {
-        platform = platform.with_variation(VariationModel::typical(seed));
+    if s.variation_seed.is_some() || s.leakage_sigma.is_some() || s.frequency_sigma.is_some() {
+        let seed = s.variation_seed.unwrap_or(0);
+        let model = match (s.leakage_sigma, s.frequency_sigma) {
+            (None, None) => VariationModel::typical(seed),
+            (leak, freq) => VariationModel::new(leak.unwrap_or(0.25), freq.unwrap_or(0.03), seed)
+                .map_err(run_err)?,
+        };
+        platform = platform.with_variation(model);
     }
     Ok(platform)
 }
@@ -612,6 +648,8 @@ mod tests {
             cores: Some(36),
             t_dtm_celsius: None,
             variation_seed: None,
+            leakage_sigma: None,
+            frequency_sigma: None,
             workload: vec![
                 WorkloadSpec {
                     app: "x264".into(),
@@ -754,5 +792,34 @@ mod tests {
         s.variation_seed = Some(9);
         let report = run_scenario(&s).unwrap();
         assert!(report.peak_temperature_c <= 70.2);
+    }
+
+    #[test]
+    fn variation_sigmas_validate_and_change_the_outcome() {
+        let mut s = policy_scenario();
+        s.leakage_sigma = Some(3.0);
+        let err = validate_scenario(&s).expect_err("σ bound");
+        assert!(err.to_string().contains("leakage_sigma"), "{err}");
+
+        let mut s = policy_scenario();
+        s.frequency_sigma = Some(f64::NAN);
+        let err = validate_scenario(&s).expect_err("NaN σ");
+        assert!(err.to_string().contains("frequency_sigma"), "{err}");
+
+        // Sigmas take effect even without an explicit seed, and a wider
+        // leakage spread yields a different report than the typical one.
+        let mut typical = policy_scenario();
+        typical.variation_seed = Some(5);
+        let mut wide = typical.clone();
+        wide.leakage_sigma = Some(0.8);
+        validate_scenario(&wide).expect("valid σ");
+        let a = run_scenario(&typical).unwrap();
+        let b = run_scenario(&wide).unwrap();
+        assert_ne!(a, b);
+
+        // Round trip keeps the new optional fields.
+        let json = darksil_json::to_string_pretty(&wide);
+        let back = parse_scenario(&json).expect("round trip");
+        assert_eq!(wide, back);
     }
 }

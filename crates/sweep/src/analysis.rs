@@ -1,0 +1,495 @@
+//! Sweep analysis: uncertainty bands, Pareto frontier, summary stats.
+//!
+//! Per grid point the Monte-Carlo draws are collapsed into exact
+//! p5/p50/p95 order statistics (linear interpolation between sorted
+//! samples — not the obs log-bucket estimate, since a point rarely has
+//! more than a few dozen draws and exactness keeps the result bytes
+//! stable). The frontier is then extracted over the three objectives of
+//! the paper's trade-off: throughput up, dark fraction down, peak
+//! temperature down. Sweep-wide distributions reuse the obs
+//! [`HistogramStats`] machinery. Nothing here touches the wall clock,
+//! so the serialised result is byte-identical at any worker count.
+
+use darksil_json::{Json, ToJson};
+use darksil_obs::HistogramStats;
+
+use crate::expand::{point_label, SweepPlan};
+use crate::run::{CacheCounts, EvalOutcome};
+use crate::spec::{AxisValue, SweepSpec};
+
+/// Schema tag of the machine-readable sweep result.
+pub const SWEEPRESULT_SCHEMA: &str = "darksil-sweepresult-v1";
+
+/// An exact p5/p50/p95 band over a point's Monte-Carlo draws.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Band {
+    /// 5th percentile.
+    pub p5: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+impl Band {
+    /// Exact order statistics of `samples` (need not be sorted).
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Self {
+            p5: order_stat(&sorted, 0.05),
+            p50: order_stat(&sorted, 0.50),
+            p95: order_stat(&sorted, 0.95),
+        }
+    }
+}
+
+impl ToJson for Band {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("p5".to_string(), self.p5.to_json()),
+            ("p50".to_string(), self.p50.to_json()),
+            ("p95".to_string(), self.p95.to_json()),
+        ])
+    }
+}
+
+/// Linear-interpolated order statistic of an already-sorted slice.
+fn order_stat(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let h = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let lo = h.floor() as usize;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let hi = (h.ceil() as usize).min(sorted.len() - 1);
+    let frac = h - h.floor();
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// One Monte-Carlo draw of one grid point, flattened for the result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrawRecord {
+    /// Draw index within the point.
+    pub draw_index: usize,
+    /// Gauss-sampled axis values for this draw, in axis order.
+    pub sampled: Vec<(String, f64)>,
+    /// Throughput in GIPS.
+    pub total_gips: f64,
+    /// Dark-silicon fraction.
+    pub dark_fraction: f64,
+    /// Peak die temperature in °C.
+    pub peak_temperature_c: f64,
+    /// Total power in watts.
+    pub total_power_w: f64,
+    /// Active cores after mapping.
+    pub active_cores: usize,
+    /// Whether the DTM threshold was exceeded.
+    pub thermal_violation: bool,
+    /// Cache outcome label: `hit`, `miss`, `recovered`, or `off`.
+    pub cache: &'static str,
+}
+
+impl ToJson for DrawRecord {
+    fn to_json(&self) -> Json {
+        let sampled = Json::Obj(
+            self.sampled
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("draw_index".to_string(), self.draw_index.to_json()),
+            ("sampled".to_string(), sampled),
+            ("total_gips".to_string(), self.total_gips.to_json()),
+            ("dark_fraction".to_string(), self.dark_fraction.to_json()),
+            (
+                "peak_temperature_c".to_string(),
+                self.peak_temperature_c.to_json(),
+            ),
+            ("total_power_w".to_string(), self.total_power_w.to_json()),
+            ("active_cores".to_string(), self.active_cores.to_json()),
+            (
+                "thermal_violation".to_string(),
+                self.thermal_violation.to_json(),
+            ),
+            ("cache".to_string(), Json::Str(self.cache.to_string())),
+        ])
+    }
+}
+
+/// One grid point: its deterministic coordinates, uncertainty bands
+/// across draws, and Pareto status.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSummary {
+    /// Grid-point index (row-major over the deterministic axes).
+    pub point_index: usize,
+    /// Human-readable `param=value` label (`base` for an empty grid).
+    pub label: String,
+    /// Deterministic axis values, in axis order.
+    pub params: Vec<(String, AxisValue)>,
+    /// Whether the point sits on the Pareto frontier.
+    pub pareto: bool,
+    /// Median throughput relative to point 0's median.
+    pub speedup: f64,
+    /// Throughput band (GIPS).
+    pub total_gips: Band,
+    /// Dark-fraction band.
+    pub dark_fraction: Band,
+    /// Peak-temperature band (°C).
+    pub peak_temperature_c: Band,
+    /// Total-power band (W).
+    pub total_power_w: Band,
+    /// Fraction of draws that violated the DTM threshold.
+    pub violation_rate: f64,
+    /// The individual draws.
+    pub draws: Vec<DrawRecord>,
+}
+
+impl ToJson for PointSummary {
+    fn to_json(&self) -> Json {
+        let params = Json::Obj(
+            self.params
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("point_index".to_string(), self.point_index.to_json()),
+            ("label".to_string(), Json::Str(self.label.clone())),
+            ("params".to_string(), params),
+            ("pareto".to_string(), self.pareto.to_json()),
+            ("speedup".to_string(), self.speedup.to_json()),
+            ("total_gips".to_string(), self.total_gips.to_json()),
+            ("dark_fraction".to_string(), self.dark_fraction.to_json()),
+            (
+                "peak_temperature_c".to_string(),
+                self.peak_temperature_c.to_json(),
+            ),
+            ("total_power_w".to_string(), self.total_power_w.to_json()),
+            ("violation_rate".to_string(), self.violation_rate.to_json()),
+            (
+                "draws".to_string(),
+                Json::Arr(self.draws.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl ToJson for CacheCounts {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("hit".to_string(), self.hit.to_json()),
+            ("miss".to_string(), self.miss.to_json()),
+            ("recovered".to_string(), self.recovered.to_json()),
+        ])
+    }
+}
+
+/// Sweep-wide distribution of one metric across all evaluations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSummary {
+    /// Metric name.
+    pub metric: String,
+    /// Mean across all evaluations.
+    pub mean: f64,
+    /// Log-bucket p50 estimate.
+    pub p50: f64,
+    /// Log-bucket p95 estimate.
+    pub p95: f64,
+}
+
+impl ToJson for MetricSummary {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("metric".to_string(), Json::Str(self.metric.clone())),
+            ("mean".to_string(), self.mean.to_json()),
+            ("p50".to_string(), self.p50.to_json()),
+            ("p95".to_string(), self.p95.to_json()),
+        ])
+    }
+}
+
+/// The complete analysed sweep: schema `darksil-sweepresult-v1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// Sweep name (from the spec).
+    pub name: String,
+    /// FNV-1a digest of the compact spec JSON, hex.
+    pub spec_digest: String,
+    /// Monte-Carlo seed.
+    pub seed: u64,
+    /// Draws per grid point.
+    pub draws: usize,
+    /// Deterministic grid size.
+    pub grid_points: usize,
+    /// Total evaluations (`grid_points × draws`).
+    pub evals: usize,
+    /// The deterministic axes and their expanded values (for axis cuts).
+    pub grid_axes: Vec<(String, Vec<AxisValue>)>,
+    /// Cache outcome counters.
+    pub cache: CacheCounts,
+    /// Per-point summaries, in grid order.
+    pub points: Vec<PointSummary>,
+    /// Indices (into `points`) of the Pareto frontier, in grid order.
+    pub frontier: Vec<usize>,
+    /// Sweep-wide metric distributions.
+    pub summary: Vec<MetricSummary>,
+}
+
+impl ToJson for SweepResult {
+    fn to_json(&self) -> Json {
+        let grid_axes = Json::Arr(
+            self.grid_axes
+                .iter()
+                .map(|(param, values)| {
+                    Json::Obj(vec![
+                        ("param".to_string(), Json::Str(param.clone())),
+                        (
+                            "values".to_string(),
+                            Json::Arr(values.iter().map(ToJson::to_json).collect()),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            (
+                "schema".to_string(),
+                Json::Str(SWEEPRESULT_SCHEMA.to_string()),
+            ),
+            ("name".to_string(), Json::Str(self.name.clone())),
+            (
+                "spec_digest".to_string(),
+                Json::Str(self.spec_digest.clone()),
+            ),
+            ("seed".to_string(), self.seed.to_json()),
+            ("draws".to_string(), self.draws.to_json()),
+            ("grid_points".to_string(), self.grid_points.to_json()),
+            ("evals".to_string(), self.evals.to_json()),
+            (
+                "objectives".to_string(),
+                Json::Str(
+                    "maximise total_gips, minimise dark_fraction, \
+                     minimise peak_temperature_c (over point medians)"
+                        .to_string(),
+                ),
+            ),
+            ("grid_axes".to_string(), grid_axes),
+            ("cache".to_string(), self.cache.to_json()),
+            (
+                "points".to_string(),
+                Json::Arr(self.points.iter().map(ToJson::to_json).collect()),
+            ),
+            (
+                "frontier".to_string(),
+                Json::Arr(self.frontier.iter().map(ToJson::to_json).collect()),
+            ),
+            (
+                "summary".to_string(),
+                Json::Arr(self.summary.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// Whether point `a` Pareto-dominates point `b`: at least as good in
+/// every objective, strictly better in at least one.
+fn dominates(a: &PointSummary, b: &PointSummary) -> bool {
+    let ge = a.total_gips.p50 >= b.total_gips.p50
+        && a.dark_fraction.p50 <= b.dark_fraction.p50
+        && a.peak_temperature_c.p50 <= b.peak_temperature_c.p50;
+    let strict = a.total_gips.p50 > b.total_gips.p50
+        || a.dark_fraction.p50 < b.dark_fraction.p50
+        || a.peak_temperature_c.p50 < b.peak_temperature_c.p50;
+    ge && strict
+}
+
+/// Collapses finished evaluations into the analysed [`SweepResult`].
+///
+/// `outcomes` must be the full plan in submission order (the runner
+/// guarantees this); draws of a point are grouped by `point_index`.
+#[must_use]
+pub fn analyze(
+    spec: &SweepSpec,
+    plan: &SweepPlan,
+    outcomes: &[EvalOutcome],
+    cache: CacheCounts,
+) -> SweepResult {
+    let digest = darksil_engine::stable_hash(spec.to_json().compact().as_bytes());
+
+    // Group draws per point, preserving order.
+    let mut points: Vec<PointSummary> = Vec::with_capacity(plan.points);
+    for outcome in outcomes {
+        if points.last().map(|p| p.point_index) != Some(outcome.point_index) {
+            points.push(PointSummary {
+                point_index: outcome.point_index,
+                label: point_label(&outcome.params),
+                params: outcome.params.clone(),
+                pareto: false,
+                speedup: 1.0,
+                total_gips: Band::from_samples(&[]),
+                dark_fraction: Band::from_samples(&[]),
+                peak_temperature_c: Band::from_samples(&[]),
+                total_power_w: Band::from_samples(&[]),
+                violation_rate: 0.0,
+                draws: Vec::new(),
+            });
+        }
+        let point = match points.last_mut() {
+            Some(point) => point,
+            None => unreachable!("pushed above"),
+        };
+        point.draws.push(DrawRecord {
+            draw_index: outcome.draw_index,
+            sampled: outcome.sampled.clone(),
+            total_gips: outcome.report.total_gips,
+            dark_fraction: outcome.report.dark_fraction,
+            peak_temperature_c: outcome.report.peak_temperature_c,
+            total_power_w: outcome.report.total_power_w,
+            active_cores: outcome.report.active_cores,
+            thermal_violation: outcome.report.thermal_violation,
+            cache: outcome.cache,
+        });
+    }
+
+    for point in &mut points {
+        fn band(draws: &[DrawRecord], f: fn(&DrawRecord) -> f64) -> Band {
+            let samples: Vec<f64> = draws.iter().map(f).collect();
+            Band::from_samples(&samples)
+        }
+        point.total_gips = band(&point.draws, |d| d.total_gips);
+        point.dark_fraction = band(&point.draws, |d| d.dark_fraction);
+        point.peak_temperature_c = band(&point.draws, |d| d.peak_temperature_c);
+        point.total_power_w = band(&point.draws, |d| d.total_power_w);
+        let violations = point.draws.iter().filter(|d| d.thermal_violation).count();
+        #[allow(clippy::cast_precision_loss)]
+        if !point.draws.is_empty() {
+            point.violation_rate = violations as f64 / point.draws.len() as f64;
+        }
+    }
+
+    let baseline = points.first().map_or(0.0, |p| p.total_gips.p50);
+    for point in &mut points {
+        point.speedup = if baseline > 0.0 {
+            point.total_gips.p50 / baseline
+        } else {
+            1.0
+        };
+    }
+
+    let mut frontier = Vec::new();
+    for i in 0..points.len() {
+        let dominated = points
+            .iter()
+            .enumerate()
+            .any(|(j, other)| j != i && dominates(other, &points[i]));
+        points[i].pareto = !dominated;
+        if !dominated {
+            frontier.push(i);
+        }
+    }
+
+    let summary = [
+        "total_gips",
+        "dark_fraction",
+        "peak_temperature_c",
+        "total_power_w",
+    ]
+    .iter()
+    .map(|&metric| {
+        let mut hist = HistogramStats::default();
+        for outcome in outcomes {
+            let value = match metric {
+                "total_gips" => outcome.report.total_gips,
+                "dark_fraction" => outcome.report.dark_fraction,
+                "peak_temperature_c" => outcome.report.peak_temperature_c,
+                _ => outcome.report.total_power_w,
+            };
+            hist.record(value);
+        }
+        MetricSummary {
+            metric: metric.to_string(),
+            mean: hist.mean(),
+            p50: hist.p50(),
+            p95: hist.p95(),
+        }
+    })
+    .collect();
+
+    SweepResult {
+        name: spec.name.clone(),
+        spec_digest: format!("{digest:016x}"),
+        seed: spec.seed,
+        draws: spec.draws,
+        grid_points: plan.points,
+        evals: outcomes.len(),
+        grid_axes: plan.grid_axes.clone(),
+        cache,
+        points,
+        frontier,
+        summary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_are_exact_order_statistics() {
+        let band = Band::from_samples(&[4.0, 1.0, 3.0, 2.0]);
+        assert!((band.p50 - 2.5).abs() < 1e-12, "p50 {}", band.p50);
+        assert!((band.p5 - 1.15).abs() < 1e-12, "p5 {}", band.p5);
+        assert!((band.p95 - 3.85).abs() < 1e-12, "p95 {}", band.p95);
+
+        let single = Band::from_samples(&[7.0]);
+        assert_eq!((single.p5, single.p50, single.p95), (7.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn dominance_requires_a_strict_edge() {
+        let mk = |gips: f64, dark: f64, temp: f64| PointSummary {
+            point_index: 0,
+            label: String::new(),
+            params: Vec::new(),
+            pareto: false,
+            speedup: 1.0,
+            total_gips: Band {
+                p5: gips,
+                p50: gips,
+                p95: gips,
+            },
+            dark_fraction: Band {
+                p5: dark,
+                p50: dark,
+                p95: dark,
+            },
+            peak_temperature_c: Band {
+                p5: temp,
+                p50: temp,
+                p95: temp,
+            },
+            total_power_w: Band {
+                p5: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+            },
+            violation_rate: 0.0,
+            draws: Vec::new(),
+        };
+        let a = mk(10.0, 0.5, 80.0);
+        let b = mk(8.0, 0.5, 80.0);
+        assert!(dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+        // Equal in everything: neither dominates.
+        assert!(!dominates(&a, &mk(10.0, 0.5, 80.0)));
+        // Trade-off (more gips but hotter): neither dominates.
+        let hot = mk(12.0, 0.5, 95.0);
+        assert!(!dominates(&a, &hot));
+        assert!(!dominates(&hot, &a));
+    }
+}

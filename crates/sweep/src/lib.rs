@@ -1,0 +1,86 @@
+//! Declarative design-space exploration over [`darksil_scenario`]
+//! scenarios.
+//!
+//! The paper's figures are one-shot slices through a much larger design
+//! space. This crate turns figure reproduction into a general, cached,
+//! parallel exploration engine, in four layers:
+//!
+//! 1. **Spec** ([`spec`]): a versioned JSON format
+//!    (`darksil-sweepspec-v1`) describing a base scenario plus
+//!    per-parameter axes — `list`, `range`, `logrange`, and
+//!    `gauss(μ, σ, clamp)` Monte-Carlo distributions — over tech node,
+//!    fraction parallelism, core perf/power spread, TDP, and policy.
+//! 2. **Compiler** ([`expand`]): deterministic expansion into a job
+//!    plan — the cartesian grid of the deterministic axes × `draws`
+//!    Monte-Carlo draws, every sampled value regenerated in isolation
+//!    from a split-mix RNG keyed by `(seed, point_index, draw_index)`.
+//!    Every expanded scenario passes the strict scenario validator.
+//! 3. **Runner** ([`run`]): streams the plan through the
+//!    [`darksil_engine`] worker pool (submission-order results, so
+//!    output bytes are identical at any `--jobs`), the
+//!    content-addressed result cache (editing one axis recomputes only
+//!    the delta), supervision (deadline/retries/breaker), and the run
+//!    journal for resumability.
+//! 4. **Analysis & reporting** ([`analysis`], [`report`]):
+//!    Pareto-frontier extraction over (throughput, dark ratio, peak
+//!    temperature), per-point p5/p50/p95 uncertainty bands across
+//!    draws, summary stats on the obs histogram machinery, a
+//!    machine-readable `darksil-sweepresult-v1` JSON, and a
+//!    self-contained HTML report.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod analysis;
+mod expand;
+mod report;
+mod rng;
+mod run;
+mod spec;
+
+pub use analysis::{
+    analyze, Band, DrawRecord, MetricSummary, PointSummary, SweepResult, SWEEPRESULT_SCHEMA,
+};
+pub use expand::{expand, Evaluation, SweepPlan};
+pub use report::render_sweep_report;
+pub use run::{run_sweep, CacheCounts, EvalOutcome, SweepOptions, SWEEP_CACHE_SALT};
+pub use spec::{
+    parse_sweep_spec, parse_sweep_spec_file, validate_sweep_spec, Axis, AxisKind, AxisValue,
+    GaussAxis, LogRangeAxis, RangeAxis, SweepSpec, SWEEPSPEC_SCHEMA,
+};
+
+use darksil_json::JsonError;
+
+/// Errors from sweep parsing, expansion, and execution.
+#[derive(Debug)]
+pub enum SweepError {
+    /// The spec JSON was malformed or failed validation; carries the
+    /// field path (and file, when parsed from one).
+    Parse(JsonError),
+    /// Expansion produced an invalid point or an out-of-bounds plan.
+    Invalid(String),
+    /// An inner engine/scenario failure.
+    Run(darksil_robust::DarksilError),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Parse(e) => write!(f, "sweep spec error: {e}"),
+            Self::Invalid(msg) => write!(f, "invalid sweep: {msg}"),
+            Self::Run(e) => write!(f, "sweep failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<JsonError> for SweepError {
+    fn from(e: JsonError) -> Self {
+        Self::Parse(e)
+    }
+}
+
+impl From<darksil_robust::DarksilError> for SweepError {
+    fn from(e: darksil_robust::DarksilError) -> Self {
+        Self::Run(e)
+    }
+}

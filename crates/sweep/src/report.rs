@@ -1,0 +1,431 @@
+//! The sweep HTML report: frontier scatter, axis cuts with uncertainty
+//! bands, cache and summary tables.
+//!
+//! Rendered entirely from the analysed [`SweepResult`] with the shared
+//! [`darksil_obs::svg`] building blocks — self-contained, no scripts,
+//! no external fetches, and byte-identical for identical results.
+
+use darksil_obs::svg::{esc, fnum, html_page, scale, PLOT_W};
+
+use crate::analysis::{PointSummary, SweepResult};
+use crate::spec::AxisValue;
+
+/// Chart height in CSS pixels.
+const PLOT_H: f64 = 300.0;
+/// Chart margins: left, right, top, bottom.
+const MARGIN: (f64, f64, f64, f64) = (64.0, 16.0, 16.0, 40.0);
+
+/// A chart's data area and value ranges; maps values to pixels.
+struct Frame {
+    x_lo: f64,
+    x_hi: f64,
+    y_lo: f64,
+    y_hi: f64,
+}
+
+impl Frame {
+    /// A frame spanning the given value ranges, padded by 5 % so points
+    /// never sit on the border.
+    fn padded(xs: &[f64], ys: &[f64]) -> Self {
+        let span = |vals: &[f64]| {
+            let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            if lo.is_finite() && hi.is_finite() {
+                let pad = (hi - lo).abs().max(1e-9) * 0.05;
+                (lo - pad, hi + pad)
+            } else {
+                (0.0, 1.0)
+            }
+        };
+        let (x_lo, x_hi) = span(xs);
+        let (y_lo, y_hi) = span(ys);
+        Self {
+            x_lo,
+            x_hi,
+            y_lo,
+            y_hi,
+        }
+    }
+
+    fn px(&self, v: f64) -> f64 {
+        scale(v, self.x_lo, self.x_hi, MARGIN.0, PLOT_W - MARGIN.1)
+    }
+
+    fn py(&self, v: f64) -> f64 {
+        // SVG y grows downward.
+        scale(v, self.y_lo, self.y_hi, PLOT_H - MARGIN.3, MARGIN.2)
+    }
+
+    /// Gridlines plus tick labels for both axes.
+    fn grid(&self, out: &mut String, x_label: &str, y_label: &str) {
+        for i in 0..=4 {
+            let t = f64::from(i) / 4.0;
+            let xv = (self.x_hi - self.x_lo).mul_add(t, self.x_lo);
+            let yv = (self.y_hi - self.y_lo).mul_add(t, self.y_lo);
+            let x = self.px(xv);
+            let y = self.py(yv);
+            out.push_str(&format!(
+                "<line class=\"grid\" x1=\"{x:.1}\" y1=\"{:.1}\" x2=\"{x:.1}\" y2=\"{:.1}\"/>\
+                 <line class=\"grid\" x1=\"{:.1}\" y1=\"{y:.1}\" x2=\"{:.1}\" y2=\"{y:.1}\"/>\
+                 <text class=\"tick\" x=\"{x:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>\
+                 <text class=\"tick\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{}</text>\n",
+                MARGIN.2,
+                PLOT_H - MARGIN.3,
+                MARGIN.0,
+                PLOT_W - MARGIN.1,
+                PLOT_H - MARGIN.3 + 14.0,
+                fnum(xv),
+                MARGIN.0 - 6.0,
+                y + 3.0,
+                fnum(yv),
+            ));
+        }
+        out.push_str(&format!(
+            "<text class=\"axis-label\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>\
+             <text class=\"axis-label\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\" \
+              transform=\"rotate(-90 14 {:.1})\">{}</text>\n",
+            f64::midpoint(MARGIN.0, PLOT_W - MARGIN.1),
+            PLOT_H - 4.0,
+            esc(x_label),
+            14.0,
+            PLOT_H / 2.0,
+            PLOT_H / 2.0,
+            esc(y_label),
+        ));
+    }
+}
+
+fn open_svg(out: &mut String) {
+    out.push_str(&format!(
+        "<svg viewBox=\"0 0 {PLOT_W:.0} {PLOT_H:.0}\" role=\"img\">\n"
+    ));
+}
+
+/// The frontier scatter: dark fraction vs throughput, frontier points
+/// highlighted, dominated points dimmed, all three objectives in the
+/// hover tooltip.
+fn frontier_scatter(result: &SweepResult) -> String {
+    let xs: Vec<f64> = result.points.iter().map(|p| p.dark_fraction.p50).collect();
+    let ys: Vec<f64> = result.points.iter().map(|p| p.total_gips.p50).collect();
+    let frame = Frame::padded(&xs, &ys);
+
+    let mut out = String::new();
+    out.push_str(
+        "<div class=\"legend\">\
+         <span><span class=\"swatch sw-frontier\"></span>Pareto frontier</span>\
+         <span><span class=\"swatch sw-dominated\"></span>dominated</span></div>\n",
+    );
+    open_svg(&mut out);
+    frame.grid(
+        &mut out,
+        "dark fraction (median)",
+        "throughput, GIPS (median)",
+    );
+    // Dominated first so frontier points draw on top.
+    let mut ordered: Vec<&PointSummary> = result.points.iter().collect();
+    ordered.sort_by_key(|p| (p.pareto, p.point_index));
+    for point in ordered {
+        let class = if point.pareto {
+            "pt-frontier"
+        } else {
+            "pt-dominated"
+        };
+        let tooltip = format!(
+            "{} — {} GIPS, dark {}, peak {} °C",
+            point.label,
+            fnum(point.total_gips.p50),
+            fnum(point.dark_fraction.p50),
+            fnum(point.peak_temperature_c.p50),
+        );
+        out.push_str(&format!(
+            "<circle class=\"{class}\" cx=\"{:.1}\" cy=\"{:.1}\" r=\"5\">\
+             <title>{}</title></circle>\n",
+            frame.px(point.dark_fraction.p50),
+            frame.py(point.total_gips.p50),
+            esc(&tooltip),
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Numeric plotting coordinate for an axis value (string values plot at
+/// their index).
+fn axis_coord(value: &AxisValue, index: usize) -> f64 {
+    match value {
+        AxisValue::Num(v) => *v,
+        #[allow(clippy::cast_precision_loss)]
+        AxisValue::Str(_) => index as f64,
+    }
+}
+
+/// One axis cut: the sweep sliced along `param` with every other grid
+/// axis held at its first value; the median polyline shaded by the
+/// p5–p95 band.
+fn axis_cut(result: &SweepResult, axis_index: usize) -> Option<String> {
+    let (param, values) = &result.grid_axes[axis_index];
+    if values.len() < 2 {
+        return None;
+    }
+    // Hold the other axes at their first expanded value.
+    let held: Vec<(&String, &AxisValue)> = result
+        .grid_axes
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != axis_index)
+        .filter_map(|(_, (p, vs))| vs.first().map(|v| (p, v)))
+        .collect();
+    let cut: Vec<&PointSummary> = result
+        .points
+        .iter()
+        .filter(|point| {
+            held.iter()
+                .all(|(p, v)| point.params.iter().any(|(pp, pv)| &pp == p && &pv == v))
+        })
+        .collect();
+    if cut.len() < 2 {
+        return None;
+    }
+
+    let coords: Vec<f64> = cut
+        .iter()
+        .map(|point| {
+            let value = point
+                .params
+                .iter()
+                .find(|(p, _)| p == param)
+                .map(|(_, v)| v);
+            let index = value
+                .and_then(|v| values.iter().position(|x| x == v))
+                .unwrap_or(0);
+            value.map_or(0.0, |v| axis_coord(v, index))
+        })
+        .collect();
+    let mut ys: Vec<f64> = cut.iter().map(|p| p.total_gips.p50).collect();
+    ys.extend(cut.iter().map(|p| p.total_gips.p5));
+    ys.extend(cut.iter().map(|p| p.total_gips.p95));
+    let frame = Frame::padded(&coords, &ys);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<h2>Cut along <code>{}</code></h2>\n<p class=\"note\">other axes held at \
+         their first value; band is p5–p95 across {} draw(s)</p>\n",
+        esc(param),
+        result.draws,
+    ));
+    open_svg(&mut out);
+    frame.grid(&mut out, param, "throughput, GIPS");
+
+    let mut band = String::new();
+    for (point, &x) in cut.iter().zip(&coords) {
+        band.push_str(&format!(
+            "{:.1},{:.1} ",
+            frame.px(x),
+            frame.py(point.total_gips.p95)
+        ));
+    }
+    for (point, &x) in cut.iter().zip(&coords).rev() {
+        band.push_str(&format!(
+            "{:.1},{:.1} ",
+            frame.px(x),
+            frame.py(point.total_gips.p5)
+        ));
+    }
+    out.push_str(&format!(
+        "<polygon class=\"series-band\" points=\"{}\"/>\n",
+        band.trim_end()
+    ));
+
+    let line: Vec<String> = cut
+        .iter()
+        .zip(&coords)
+        .map(|(point, &x)| format!("{:.1},{:.1}", frame.px(x), frame.py(point.total_gips.p50)))
+        .collect();
+    out.push_str(&format!(
+        "<polyline class=\"series-line\" points=\"{}\"/>\n",
+        line.join(" ")
+    ));
+    out.push_str("</svg>\n");
+    Some(out)
+}
+
+/// The frontier table: every non-dominated point with its objectives.
+fn frontier_table(result: &SweepResult) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "<h2>Pareto frontier</h2>\n<table>\n<tr><th>point</th>\
+         <th class=\"num\">speedup</th><th class=\"num\">GIPS (p50)</th>\
+         <th class=\"num\">dark (p50)</th><th class=\"num\">peak °C (p50)</th>\
+         <th class=\"num\">violations</th></tr>\n",
+    );
+    for &index in &result.frontier {
+        let point = &result.points[index];
+        out.push_str(&format!(
+            "<tr><td><code>{}</code></td><td class=\"num\">{}×</td>\
+             <td class=\"num\">{}</td><td class=\"num\">{}</td>\
+             <td class=\"num\">{}</td><td class=\"num\">{}</td></tr>\n",
+            esc(&point.label),
+            fnum(point.speedup),
+            fnum(point.total_gips.p50),
+            fnum(point.dark_fraction.p50),
+            fnum(point.peak_temperature_c.p50),
+            fnum(point.violation_rate),
+        ));
+    }
+    out.push_str("</table>\n");
+    out
+}
+
+/// The cache and summary tables.
+fn tables(result: &SweepResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<h2>Cache</h2>\n<table>\n<tr><th class=\"num\">hit</th>\
+         <th class=\"num\">miss</th><th class=\"num\">recovered</th></tr>\n\
+         <tr><td class=\"num\">{}</td><td class=\"num\">{}</td>\
+         <td class=\"num\">{}</td></tr>\n</table>\n",
+        result.cache.hit, result.cache.miss, result.cache.recovered,
+    ));
+    out.push_str(
+        "<h2>Sweep-wide distributions</h2>\n<table>\n<tr><th>metric</th>\
+         <th class=\"num\">mean</th><th class=\"num\">p50</th>\
+         <th class=\"num\">p95</th></tr>\n",
+    );
+    for stat in &result.summary {
+        out.push_str(&format!(
+            "<tr><td><code>{}</code></td><td class=\"num\">{}</td>\
+             <td class=\"num\">{}</td><td class=\"num\">{}</td></tr>\n",
+            esc(&stat.metric),
+            fnum(stat.mean),
+            fnum(stat.p50),
+            fnum(stat.p95),
+        ));
+    }
+    out.push_str("</table>\n");
+    out
+}
+
+/// Renders the self-contained sweep report.
+#[must_use]
+pub fn render_sweep_report(result: &SweepResult) -> String {
+    let mut body = String::new();
+    body.push_str(&format!(
+        "<h1>darksil sweep — {}</h1>\n<p class=\"subtitle\">{} grid point(s) × {} \
+         draw(s) = {} evaluation(s) · seed {} · spec <code>{}</code></p>\n",
+        esc(&result.name),
+        result.grid_points,
+        result.draws,
+        result.evals,
+        result.seed,
+        esc(&result.spec_digest),
+    ));
+    body.push_str("<h2>Objective space</h2>\n");
+    body.push_str(&frontier_scatter(result));
+    for axis_index in 0..result.grid_axes.len() {
+        if let Some(cut) = axis_cut(result, axis_index) {
+            body.push_str(&cut);
+        }
+    }
+    body.push_str(&frontier_table(result));
+    body.push_str(&tables(result));
+    html_page(&format!("darksil sweep report — {}", result.name), &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{Band, DrawRecord, MetricSummary};
+    use crate::run::CacheCounts;
+
+    fn flat_band(v: f64) -> Band {
+        Band {
+            p5: v * 0.9,
+            p50: v,
+            p95: v * 1.1,
+        }
+    }
+
+    fn sample_result() -> SweepResult {
+        let mk = |i: usize, node: f64, gips: f64, dark: f64, temp: f64| PointSummary {
+            point_index: i,
+            label: format!("node={node:.0}"),
+            params: vec![("node".to_string(), AxisValue::Num(node))],
+            pareto: false,
+            speedup: 1.0,
+            total_gips: flat_band(gips),
+            dark_fraction: flat_band(dark),
+            peak_temperature_c: flat_band(temp),
+            total_power_w: flat_band(40.0),
+            violation_rate: 0.0,
+            draws: vec![DrawRecord {
+                draw_index: 0,
+                sampled: Vec::new(),
+                total_gips: gips,
+                dark_fraction: dark,
+                peak_temperature_c: temp,
+                total_power_w: 40.0,
+                active_cores: 8,
+                thermal_violation: false,
+                cache: "miss",
+            }],
+        };
+        let mut points = vec![
+            mk(0, 22.0, 10.0, 0.2, 70.0),
+            mk(1, 16.0, 14.0, 0.4, 75.0),
+            mk(2, 11.0, 12.0, 0.6, 90.0),
+        ];
+        points[0].pareto = true;
+        points[1].pareto = true;
+        SweepResult {
+            name: "demo & more".to_string(),
+            spec_digest: "00ff".to_string(),
+            seed: 1,
+            draws: 1,
+            grid_points: 3,
+            evals: 3,
+            grid_axes: vec![(
+                "node".to_string(),
+                vec![
+                    AxisValue::Num(22.0),
+                    AxisValue::Num(16.0),
+                    AxisValue::Num(11.0),
+                ],
+            )],
+            cache: CacheCounts {
+                hit: 1,
+                miss: 2,
+                recovered: 0,
+            },
+            points,
+            frontier: vec![0, 1],
+            summary: vec![MetricSummary {
+                metric: "total_gips".to_string(),
+                mean: 12.0,
+                p50: 12.0,
+                p95: 14.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn report_is_self_contained_and_escaped() {
+        let html = render_sweep_report(&sample_result());
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("demo &amp; more"));
+        assert!(!html.contains("<script"));
+        assert!(!html.contains("http://"));
+        assert!(!html.contains("NaN"));
+        assert!(html.contains("pt-frontier"));
+        assert!(html.contains("pt-dominated"));
+        assert!(html.contains("series-band"));
+        assert!(html.contains("Cut along <code>node</code>"));
+    }
+
+    #[test]
+    fn single_value_axes_render_no_cut() {
+        let mut result = sample_result();
+        result.grid_axes = vec![("node".to_string(), vec![AxisValue::Num(22.0)])];
+        let html = render_sweep_report(&result);
+        assert!(!html.contains("Cut along"));
+    }
+}

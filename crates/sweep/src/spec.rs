@@ -1,0 +1,886 @@
+//! The sweep-spec format: `darksil-sweepspec-v1`.
+//!
+//! A spec is a base [`Scenario`] plus per-parameter axes. Deterministic
+//! axes (`list`, `range`, `logrange`) span the cartesian grid; `gauss`
+//! axes describe Monte-Carlo parameter distributions sampled per draw.
+//!
+//! ```json
+//! {
+//!   "schema": "darksil-sweepspec-v1",
+//!   "name": "node vs parallelism",
+//!   "seed": 7,
+//!   "draws": 1,
+//!   "base": { "name": "x264", "node": 16, "workload": [...], "experiment": {...} },
+//!   "axes": [
+//!     { "param": "node", "list": [16, 8] },
+//!     { "param": "threads", "range": { "start": 1, "stop": 4, "step": 1 } },
+//!     { "param": "tdp_watts", "gauss": { "mean": 90, "sigma": 8, "clamp_min": 60 } }
+//!   ]
+//! }
+//! ```
+//!
+//! Validation is strict in the same spirit as the scenario validator:
+//! unknown fields, unknown parameters, duplicate axes, duplicate values
+//! within an axis, and kind/parameter mismatches are all rejected, and
+//! every error names the offending field (and file, when parsed from
+//! one).
+
+use darksil_json::{FromJson, Json, JsonError, ObjReader, ToJson};
+use darksil_scenario::{validate_scenario, ExperimentSpec, Scenario};
+
+use crate::SweepError;
+
+/// Spec schema marker; bump when the layout changes.
+pub const SWEEPSPEC_SCHEMA: &str = "darksil-sweepspec-v1";
+
+/// Upper bound on `draws`, to keep runaway Monte-Carlo specs from
+/// compiling into absurd plans.
+pub(crate) const MAX_DRAWS: usize = 10_000;
+
+/// Upper bound on the deterministic grid (product of axis
+/// cardinalities).
+pub(crate) const MAX_GRID_POINTS: usize = 65_536;
+
+/// One axis value: a number or (for `policy`) a string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AxisValue {
+    /// A numeric value (integers included — JSON has one number type).
+    Num(f64),
+    /// A string value.
+    Str(String),
+}
+
+impl AxisValue {
+    /// Renders the value the way point labels and scenario names do:
+    /// integral numbers without a fraction, strings verbatim.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Self::Num(v) => fmt_num(*v),
+            Self::Str(s) => s.clone(),
+        }
+    }
+}
+
+/// Formats a number for point labels: integral values without the
+/// fraction, everything else via the shortest round-trip form.
+pub(crate) fn fmt_num(v: f64) -> String {
+    if v.is_finite() && v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+impl ToJson for AxisValue {
+    fn to_json(&self) -> Json {
+        match self {
+            Self::Num(v) => v.to_json(),
+            Self::Str(s) => Json::Str(s.clone()),
+        }
+    }
+}
+
+impl FromJson for AxisValue {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Num(n) if n.is_finite() => Ok(Self::Num(*n)),
+            Json::Str(s) => Ok(Self::Str(s.clone())),
+            other => Err(JsonError::msg(format!(
+                "expected a finite number or string axis value, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+/// An inclusive arithmetic progression: `start`, `start + step`, …,
+/// up to `stop`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeAxis {
+    /// First value.
+    pub start: f64,
+    /// Inclusive upper bound.
+    pub stop: f64,
+    /// Positive increment.
+    pub step: f64,
+}
+
+darksil_json::impl_json!(struct RangeAxis { start, stop, step });
+
+/// A geometric progression of `points` values from `start` to `stop`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogRangeAxis {
+    /// First value (must be positive).
+    pub start: f64,
+    /// Last value (must be at least `start`).
+    pub stop: f64,
+    /// Number of values, at least 2.
+    pub points: usize,
+}
+
+darksil_json::impl_json!(struct LogRangeAxis { start, stop, points });
+
+/// A Gaussian parameter distribution, sampled once per Monte-Carlo
+/// draw and clamped to the optional bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussAxis {
+    /// Distribution mean μ.
+    pub mean: f64,
+    /// Distribution spread σ (non-negative).
+    pub sigma: f64,
+    /// Lower clamp applied after sampling.
+    pub clamp_min: Option<f64>,
+    /// Upper clamp applied after sampling.
+    pub clamp_max: Option<f64>,
+}
+
+darksil_json::impl_json!(struct GaussAxis { mean, sigma } opt { clamp_min, clamp_max });
+
+impl GaussAxis {
+    /// Applies the clamp bounds to a raw sample.
+    #[must_use]
+    pub fn clamp(&self, v: f64) -> f64 {
+        let v = self.clamp_min.map_or(v, |lo| v.max(lo));
+        self.clamp_max.map_or(v, |hi| v.min(hi))
+    }
+}
+
+/// How one axis varies its parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AxisKind {
+    /// An explicit value list.
+    List(Vec<AxisValue>),
+    /// An inclusive arithmetic progression.
+    Range(RangeAxis),
+    /// A geometric progression.
+    LogRange(LogRangeAxis),
+    /// A Monte-Carlo Gaussian distribution.
+    Gauss(GaussAxis),
+}
+
+impl AxisKind {
+    /// The JSON key naming this kind.
+    #[must_use]
+    pub fn key(&self) -> &'static str {
+        match self {
+            Self::List(_) => "list",
+            Self::Range(_) => "range",
+            Self::LogRange(_) => "logrange",
+            Self::Gauss(_) => "gauss",
+        }
+    }
+}
+
+/// One swept parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Axis {
+    /// The parameter name (see [`param_names`]).
+    pub param: String,
+    /// How the parameter varies.
+    pub kind: AxisKind,
+}
+
+impl ToJson for Axis {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![("param".to_string(), Json::Str(self.param.clone()))];
+        let (key, value) = match &self.kind {
+            AxisKind::List(values) => ("list", values.to_json()),
+            AxisKind::Range(r) => ("range", r.to_json()),
+            AxisKind::LogRange(r) => ("logrange", r.to_json()),
+            AxisKind::Gauss(g) => ("gauss", g.to_json()),
+        };
+        fields.push((key.to_string(), value));
+        Json::Obj(fields)
+    }
+}
+
+impl FromJson for Axis {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut r = ObjReader::new(v, "axis")?;
+        let param: String = r.req("param")?;
+        let list: Option<Vec<AxisValue>> = r.opt("list")?;
+        let range: Option<RangeAxis> = r.opt("range")?;
+        let logrange: Option<LogRangeAxis> = r.opt("logrange")?;
+        let gauss: Option<GaussAxis> = r.opt("gauss")?;
+        r.finish()?;
+        let mut kinds: Vec<AxisKind> = Vec::new();
+        if let Some(values) = list {
+            kinds.push(AxisKind::List(values));
+        }
+        if let Some(range) = range {
+            kinds.push(AxisKind::Range(range));
+        }
+        if let Some(logrange) = logrange {
+            kinds.push(AxisKind::LogRange(logrange));
+        }
+        if let Some(gauss) = gauss {
+            kinds.push(AxisKind::Gauss(gauss));
+        }
+        if kinds.len() != 1 {
+            return Err(JsonError::msg(format!(
+                "axis `{param}` must have exactly one of list|range|logrange|gauss, got {}",
+                kinds.len()
+            )));
+        }
+        let mut kinds = kinds.into_iter();
+        let kind = kinds.next().ok_or_else(|| JsonError::msg("axis kind"))?;
+        Ok(Self { param, kind })
+    }
+}
+
+/// A complete sweep spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Schema marker, [`SWEEPSPEC_SCHEMA`].
+    pub schema: String,
+    /// Human-readable sweep name (labels output files).
+    pub name: String,
+    /// Monte-Carlo seed (0 if omitted).
+    pub seed: u64,
+    /// Monte-Carlo draws per grid point (1 if omitted).
+    pub draws: usize,
+    /// The base scenario every point starts from.
+    pub base: Scenario,
+    /// The swept axes, in declaration order.
+    pub axes: Vec<Axis>,
+}
+
+impl ToJson for SweepSpec {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".to_string(), Json::Str(self.schema.clone())),
+            ("name".to_string(), Json::Str(self.name.clone())),
+            ("seed".to_string(), self.seed.to_json()),
+            ("draws".to_string(), self.draws.to_json()),
+            ("base".to_string(), self.base.to_json()),
+            ("axes".to_string(), self.axes.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SweepSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut r = ObjReader::new(v, "SweepSpec")?;
+        let spec = Self {
+            schema: r.req("schema")?,
+            name: r.req("name")?,
+            seed: r.opt_or("seed", 0_u64)?,
+            draws: r.opt_or("draws", 1_usize)?,
+            base: r.req("base")?,
+            axes: r.req("axes")?,
+        };
+        r.finish()?;
+        Ok(spec)
+    }
+}
+
+/// What values a swept parameter takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ParamType {
+    /// Non-negative integers (node, cores, threads, …).
+    UInt,
+    /// Finite floats.
+    Float,
+    /// Strings (`policy`).
+    Str,
+}
+
+/// One entry of the swept-parameter vocabulary.
+struct ParamDef {
+    name: &'static str,
+    ty: ParamType,
+    /// Whether a `gauss` axis makes sense for this parameter
+    /// (continuous, not grid-constrained).
+    gauss_ok: bool,
+}
+
+/// Every parameter a sweep can vary. `threads` and `instances` apply
+/// to all workload lines (fraction-parallelism axes); the experiment
+/// parameters must match the base experiment's type.
+const PARAMS: &[ParamDef] = &[
+    ParamDef {
+        name: "node",
+        ty: ParamType::UInt,
+        gauss_ok: false,
+    },
+    ParamDef {
+        name: "cores",
+        ty: ParamType::UInt,
+        gauss_ok: false,
+    },
+    ParamDef {
+        name: "threads",
+        ty: ParamType::UInt,
+        gauss_ok: false,
+    },
+    ParamDef {
+        name: "instances",
+        ty: ParamType::UInt,
+        gauss_ok: false,
+    },
+    ParamDef {
+        name: "variation_seed",
+        ty: ParamType::UInt,
+        gauss_ok: false,
+    },
+    ParamDef {
+        name: "tdp_watts",
+        ty: ParamType::Float,
+        gauss_ok: true,
+    },
+    ParamDef {
+        name: "frequency_ghz",
+        ty: ParamType::Float,
+        gauss_ok: false, // must stay on the 200 MHz DVFS ladder
+    },
+    ParamDef {
+        name: "t_dtm_celsius",
+        ty: ParamType::Float,
+        gauss_ok: true,
+    },
+    ParamDef {
+        name: "leakage_sigma",
+        ty: ParamType::Float,
+        gauss_ok: true,
+    },
+    ParamDef {
+        name: "frequency_sigma",
+        ty: ParamType::Float,
+        gauss_ok: true,
+    },
+    ParamDef {
+        name: "duration_s",
+        ty: ParamType::Float,
+        gauss_ok: true,
+    },
+    ParamDef {
+        name: "period_s",
+        ty: ParamType::Float,
+        gauss_ok: true,
+    },
+    ParamDef {
+        name: "policy",
+        ty: ParamType::Str,
+        gauss_ok: false,
+    },
+];
+
+fn param_def(name: &str) -> Option<&'static ParamDef> {
+    PARAMS.iter().find(|p| p.name == name)
+}
+
+/// The names of every sweepable parameter, for diagnostics.
+#[must_use]
+pub fn param_names() -> Vec<&'static str> {
+    PARAMS.iter().map(|p| p.name).collect()
+}
+
+fn axis_err(message: String, index: usize) -> SweepError {
+    SweepError::Parse(JsonError::msg(message).at_index(index).in_field("axes"))
+}
+
+/// Checks one concrete value against the parameter's type.
+fn check_value(def: &ParamDef, value: &AxisValue) -> Result<(), String> {
+    match (def.ty, value) {
+        (ParamType::UInt, AxisValue::Num(v)) => {
+            if !v.is_finite() || v.fract() != 0.0 || *v < 0.0 || *v > 2f64.powi(53) {
+                return Err(format!(
+                    "`{}` needs a non-negative integer, got {v}",
+                    def.name
+                ));
+            }
+            Ok(())
+        }
+        (ParamType::Float, AxisValue::Num(v)) => {
+            if !v.is_finite() {
+                return Err(format!("`{}` needs a finite number, got {v}", def.name));
+            }
+            Ok(())
+        }
+        (ParamType::Str, AxisValue::Str(_)) => Ok(()),
+        (ParamType::Str, AxisValue::Num(v)) => {
+            Err(format!("`{}` needs a string value, got {v}", def.name))
+        }
+        (_, AxisValue::Str(s)) => Err(format!("`{}` needs a numeric value, got `{s}`", def.name)),
+    }
+}
+
+/// Applies one resolved parameter value to a scenario. `threads` and
+/// `instances` rewrite every workload line; experiment parameters must
+/// match the base experiment's type.
+pub(crate) fn apply_param(
+    scenario: &mut Scenario,
+    param: &str,
+    value: &AxisValue,
+) -> Result<(), String> {
+    let num = |value: &AxisValue| match value {
+        AxisValue::Num(v) => Ok(*v),
+        AxisValue::Str(s) => Err(format!("`{param}` needs a numeric value, got `{s}`")),
+    };
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    match param {
+        "node" => scenario.node = num(value)? as u32,
+        "cores" => scenario.cores = Some(num(value)? as usize),
+        "variation_seed" => scenario.variation_seed = Some(num(value)? as u64),
+        "t_dtm_celsius" => scenario.t_dtm_celsius = Some(num(value)?),
+        "leakage_sigma" => scenario.leakage_sigma = Some(num(value)?),
+        "frequency_sigma" => scenario.frequency_sigma = Some(num(value)?),
+        "threads" => {
+            let threads = num(value)? as usize;
+            for line in &mut scenario.workload {
+                line.threads = threads;
+            }
+        }
+        "instances" => {
+            let instances = num(value)? as usize;
+            for line in &mut scenario.workload {
+                line.instances = instances;
+            }
+        }
+        "tdp_watts" => match &mut scenario.experiment {
+            ExperimentSpec::PowerBudget { tdp_watts }
+            | ExperimentSpec::Policy { tdp_watts, .. } => *tdp_watts = num(value)?,
+            other => {
+                return Err(format!(
+                    "`tdp_watts` needs a power_budget or policy experiment, base has {}",
+                    experiment_tag(other)
+                ))
+            }
+        },
+        "frequency_ghz" => match &mut scenario.experiment {
+            ExperimentSpec::Thermal { frequency_ghz } => *frequency_ghz = Some(num(value)?),
+            other => {
+                return Err(format!(
+                    "`frequency_ghz` needs a thermal experiment, base has {}",
+                    experiment_tag(other)
+                ))
+            }
+        },
+        "duration_s" => match &mut scenario.experiment {
+            ExperimentSpec::Boost { duration_s, .. } => *duration_s = num(value)?,
+            other => {
+                return Err(format!(
+                    "`duration_s` needs a boost experiment, base has {}",
+                    experiment_tag(other)
+                ))
+            }
+        },
+        "period_s" => match &mut scenario.experiment {
+            ExperimentSpec::Boost { period_s, .. } => *period_s = num(value)?,
+            other => {
+                return Err(format!(
+                    "`period_s` needs a boost experiment, base has {}",
+                    experiment_tag(other)
+                ))
+            }
+        },
+        "policy" => match (value, &mut scenario.experiment) {
+            (AxisValue::Str(name), ExperimentSpec::Policy { policy, .. }) => {
+                *policy = name.clone();
+            }
+            (AxisValue::Num(v), _) => {
+                return Err(format!("`policy` needs a string value, got {v}"))
+            }
+            (_, other) => {
+                return Err(format!(
+                    "`policy` needs a policy experiment, base has {}",
+                    experiment_tag(other)
+                ))
+            }
+        },
+        unknown => return Err(format!("unknown parameter `{unknown}`")),
+    }
+    Ok(())
+}
+
+fn experiment_tag(e: &ExperimentSpec) -> &'static str {
+    match e {
+        ExperimentSpec::PowerBudget { .. } => "power_budget",
+        ExperimentSpec::Thermal { .. } => "thermal",
+        ExperimentSpec::Policy { .. } => "policy",
+        ExperimentSpec::Boost { .. } => "boost",
+    }
+}
+
+/// Strict semantic validation of a parsed spec. Every error names the
+/// offending field.
+///
+/// # Errors
+///
+/// Returns [`SweepError::Parse`] with the field path on the first
+/// violation.
+#[allow(clippy::too_many_lines)]
+pub fn validate_sweep_spec(spec: &SweepSpec) -> Result<(), SweepError> {
+    if spec.schema != SWEEPSPEC_SCHEMA {
+        return Err(SweepError::Parse(
+            JsonError::msg(format!(
+                "unknown schema `{}` (expected {SWEEPSPEC_SCHEMA})",
+                spec.schema
+            ))
+            .in_field("schema"),
+        ));
+    }
+    if spec.name.trim().is_empty() {
+        return Err(SweepError::Parse(
+            JsonError::msg("sweep name must not be empty".to_string()).in_field("name"),
+        ));
+    }
+    if spec.draws == 0 || spec.draws > MAX_DRAWS {
+        return Err(SweepError::Parse(
+            JsonError::msg(format!("draws must be 1..={MAX_DRAWS}, got {}", spec.draws))
+                .in_field("draws"),
+        ));
+    }
+    if let Err(e) = validate_scenario(&spec.base) {
+        return Err(SweepError::Parse(
+            JsonError::msg(format!("base scenario is invalid: {e}")).in_field("base"),
+        ));
+    }
+    let mut has_gauss = false;
+    for (i, axis) in spec.axes.iter().enumerate() {
+        let Some(def) = param_def(&axis.param) else {
+            return Err(axis_err(
+                format!(
+                    "unknown parameter `{}` (expected one of: {})",
+                    axis.param,
+                    param_names().join(", ")
+                ),
+                i,
+            ));
+        };
+        if spec.axes[..i].iter().any(|a| a.param == axis.param) {
+            return Err(axis_err(
+                format!("duplicate axis for parameter `{}`", axis.param),
+                i,
+            ));
+        }
+        match &axis.kind {
+            AxisKind::List(values) => {
+                if values.is_empty() {
+                    return Err(axis_err(
+                        format!("axis `{}` has an empty list", axis.param),
+                        i,
+                    ));
+                }
+                for value in values {
+                    check_value(def, value).map_err(|msg| axis_err(msg, i))?;
+                }
+                for (j, value) in values.iter().enumerate() {
+                    if values[..j].contains(value) {
+                        return Err(axis_err(
+                            format!(
+                                "axis `{}` repeats the value {} — duplicate grid points \
+                                 would collide in the result cache",
+                                axis.param,
+                                value.label()
+                            ),
+                            i,
+                        ));
+                    }
+                }
+            }
+            AxisKind::Range(range) => {
+                if def.ty == ParamType::Str {
+                    return Err(axis_err(
+                        format!("`{}` is a string parameter; use a list axis", axis.param),
+                        i,
+                    ));
+                }
+                if !range.start.is_finite() || !range.stop.is_finite() || !range.step.is_finite() {
+                    return Err(axis_err(
+                        format!("axis `{}` has a non-finite range bound", axis.param),
+                        i,
+                    ));
+                }
+                if range.step <= 0.0 || range.stop < range.start {
+                    return Err(axis_err(
+                        format!(
+                            "axis `{}` needs step > 0 and stop >= start, got start {} stop {} step {}",
+                            axis.param, range.start, range.stop, range.step
+                        ),
+                        i,
+                    ));
+                }
+            }
+            AxisKind::LogRange(range) => {
+                if def.ty == ParamType::Str {
+                    return Err(axis_err(
+                        format!("`{}` is a string parameter; use a list axis", axis.param),
+                        i,
+                    ));
+                }
+                if !range.start.is_finite() || !range.stop.is_finite() {
+                    return Err(axis_err(
+                        format!("axis `{}` has a non-finite logrange bound", axis.param),
+                        i,
+                    ));
+                }
+                if range.start <= 0.0 || range.stop < range.start || range.points < 2 {
+                    return Err(axis_err(
+                        format!(
+                            "axis `{}` needs start > 0, stop >= start and points >= 2, \
+                             got start {} stop {} points {}",
+                            axis.param, range.start, range.stop, range.points
+                        ),
+                        i,
+                    ));
+                }
+            }
+            AxisKind::Gauss(gauss) => {
+                if !def.gauss_ok {
+                    return Err(axis_err(
+                        format!(
+                            "`{}` cannot take a gauss axis (grid-constrained parameter); \
+                             use list/range",
+                            axis.param
+                        ),
+                        i,
+                    ));
+                }
+                if !gauss.mean.is_finite() || !gauss.sigma.is_finite() || gauss.sigma < 0.0 {
+                    return Err(axis_err(
+                        format!(
+                            "axis `{}` needs a finite mean and non-negative finite sigma, \
+                             got mean {} sigma {}",
+                            axis.param, gauss.mean, gauss.sigma
+                        ),
+                        i,
+                    ));
+                }
+                for (label, bound) in [
+                    ("clamp_min", gauss.clamp_min),
+                    ("clamp_max", gauss.clamp_max),
+                ] {
+                    if let Some(b) = bound {
+                        if !b.is_finite() {
+                            return Err(axis_err(
+                                format!("axis `{}` has a non-finite {label}", axis.param),
+                                i,
+                            ));
+                        }
+                    }
+                }
+                if let (Some(lo), Some(hi)) = (gauss.clamp_min, gauss.clamp_max) {
+                    if lo > hi {
+                        return Err(axis_err(
+                            format!(
+                                "axis `{}` has clamp_min {lo} above clamp_max {hi}",
+                                axis.param
+                            ),
+                            i,
+                        ));
+                    }
+                }
+                has_gauss = true;
+            }
+        }
+    }
+    if spec.draws > 1 && !has_gauss {
+        return Err(SweepError::Parse(
+            JsonError::msg(
+                "draws > 1 needs at least one gauss axis — without one every draw \
+                 would repeat the same evaluation"
+                    .to_string(),
+            )
+            .in_field("draws"),
+        ));
+    }
+    Ok(())
+}
+
+/// Parses and validates a sweep spec from JSON text.
+///
+/// # Errors
+///
+/// Returns [`SweepError::Parse`] for malformed JSON and for values that
+/// fail [`validate_sweep_spec`] — the error names the offending field.
+pub fn parse_sweep_spec(json: &str) -> Result<SweepSpec, SweepError> {
+    let spec: SweepSpec = darksil_json::from_str(json)?;
+    validate_sweep_spec(&spec)?;
+    Ok(spec)
+}
+
+/// Reads, parses and validates a sweep-spec file; errors name both the
+/// offending field and the file.
+///
+/// # Errors
+///
+/// Returns [`SweepError::Parse`] for unreadable files, malformed JSON,
+/// and validation failures.
+pub fn parse_sweep_spec_file(path: &std::path::Path) -> Result<SweepSpec, SweepError> {
+    let file = path.display().to_string();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| JsonError::msg(format!("cannot read file: {e}")).in_file(&file))?;
+    match parse_sweep_spec(&text) {
+        Ok(spec) => Ok(spec),
+        Err(SweepError::Parse(e)) => Err(SweepError::Parse(e.in_file(&file))),
+        Err(other) => Err(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darksil_scenario::WorkloadSpec;
+
+    pub(crate) fn base_scenario() -> Scenario {
+        Scenario {
+            name: "grid base".into(),
+            node: 16,
+            cores: Some(16),
+            t_dtm_celsius: None,
+            variation_seed: None,
+            leakage_sigma: None,
+            frequency_sigma: None,
+            workload: vec![WorkloadSpec {
+                app: "x264".into(),
+                instances: 2,
+                threads: 2,
+            }],
+            experiment: ExperimentSpec::Policy {
+                policy: "tdpmap".into(),
+                tdp_watts: 45.0,
+            },
+        }
+    }
+
+    fn sample_spec() -> SweepSpec {
+        SweepSpec {
+            schema: SWEEPSPEC_SCHEMA.into(),
+            name: "sample".into(),
+            seed: 7,
+            draws: 1,
+            base: base_scenario(),
+            axes: vec![
+                Axis {
+                    param: "node".into(),
+                    kind: AxisKind::List(vec![AxisValue::Num(16.0), AxisValue::Num(8.0)]),
+                },
+                Axis {
+                    param: "threads".into(),
+                    kind: AxisKind::Range(RangeAxis {
+                        start: 1.0,
+                        stop: 4.0,
+                        step: 1.0,
+                    }),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = sample_spec();
+        let json = darksil_json::to_string_pretty(&spec);
+        let back = parse_sweep_spec(&json).expect("round trip");
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn defaults_fill_seed_and_draws() {
+        let json = format!(
+            r#"{{
+                "schema": "{SWEEPSPEC_SCHEMA}",
+                "name": "defaults",
+                "base": {},
+                "axes": [ {{ "param": "node", "list": [16, 8] }} ]
+            }}"#,
+            darksil_json::to_string_pretty(&base_scenario())
+        );
+        let spec = parse_sweep_spec(&json).expect("parses");
+        assert_eq!(spec.seed, 0);
+        assert_eq!(spec.draws, 1);
+    }
+
+    #[test]
+    fn validation_names_fields() {
+        let mut spec = sample_spec();
+        spec.schema = "darksil-sweepspec-v0".into();
+        let err = validate_sweep_spec(&spec).expect_err("schema");
+        assert!(err.to_string().contains("schema"), "{err}");
+
+        let mut spec = sample_spec();
+        spec.axes[1].param = "node".into();
+        let err = validate_sweep_spec(&spec).expect_err("duplicate axis");
+        assert!(err.to_string().contains("axes[1]"), "{err}");
+
+        let mut spec = sample_spec();
+        spec.axes[0].kind = AxisKind::List(vec![AxisValue::Num(16.0), AxisValue::Num(16.0)]);
+        let err = validate_sweep_spec(&spec).expect_err("duplicate value");
+        assert!(err.to_string().contains("axes[0]"), "{err}");
+        assert!(err.to_string().contains("16"), "{err}");
+
+        let mut spec = sample_spec();
+        spec.axes[0].param = "warp_factor".into();
+        let err = validate_sweep_spec(&spec).expect_err("unknown param");
+        assert!(err.to_string().contains("warp_factor"), "{err}");
+
+        let mut spec = sample_spec();
+        spec.axes[0] = Axis {
+            param: "node".into(),
+            kind: AxisKind::Gauss(GaussAxis {
+                mean: 16.0,
+                sigma: 1.0,
+                clamp_min: None,
+                clamp_max: None,
+            }),
+        };
+        let err = validate_sweep_spec(&spec).expect_err("gauss on uint");
+        assert!(err.to_string().contains("gauss"), "{err}");
+
+        let mut spec = sample_spec();
+        spec.draws = 4;
+        let err = validate_sweep_spec(&spec).expect_err("draws without gauss");
+        assert!(err.to_string().contains("draws"), "{err}");
+
+        let mut spec = sample_spec();
+        spec.base.node = 14;
+        let err = validate_sweep_spec(&spec).expect_err("bad base");
+        assert!(err.to_string().contains("base"), "{err}");
+
+        let mut spec = sample_spec();
+        spec.axes[1].kind = AxisKind::Range(RangeAxis {
+            start: 4.0,
+            stop: 1.0,
+            step: 1.0,
+        });
+        let err = validate_sweep_spec(&spec).expect_err("reversed range");
+        assert!(err.to_string().contains("axes[1]"), "{err}");
+    }
+
+    #[test]
+    fn axis_rejects_zero_or_two_kinds() {
+        let none: Result<Axis, _> = darksil_json::from_str(r#"{ "param": "node" }"#);
+        assert!(none.is_err());
+        let two: Result<Axis, _> = darksil_json::from_str(
+            r#"{ "param": "node", "list": [16], "range": { "start": 1, "stop": 2, "step": 1 } }"#,
+        );
+        assert!(two.is_err());
+    }
+
+    #[test]
+    fn file_errors_name_the_file() {
+        let err = parse_sweep_spec_file(std::path::Path::new("/nonexistent/sweep.json"))
+            .expect_err("missing file");
+        assert!(err.to_string().contains("/nonexistent/sweep.json"), "{err}");
+    }
+
+    #[test]
+    fn tdp_axis_requires_a_budgeted_experiment() {
+        let mut scenario = base_scenario();
+        scenario.experiment = ExperimentSpec::Thermal {
+            frequency_ghz: None,
+        };
+        let err =
+            apply_param(&mut scenario, "tdp_watts", &AxisValue::Num(60.0)).expect_err("mismatch");
+        assert!(err.contains("thermal"), "{err}");
+
+        let mut scenario = base_scenario();
+        apply_param(&mut scenario, "tdp_watts", &AxisValue::Num(60.0)).expect("policy has tdp");
+        assert!(matches!(
+            scenario.experiment,
+            ExperimentSpec::Policy { tdp_watts, .. } if tdp_watts == 60.0
+        ));
+    }
+}

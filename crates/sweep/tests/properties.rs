@@ -1,0 +1,136 @@
+//! Property tests for the sweep compiler: expansion cardinality and
+//! parse → expand → serialise → re-parse determinism over random
+//! bounded specs.
+
+use darksil_json::ToJson;
+use darksil_scenario::{ExperimentSpec, Scenario, WorkloadSpec};
+use darksil_sweep::{
+    expand, parse_sweep_spec, validate_sweep_spec, Axis, AxisKind, AxisValue, GaussAxis, RangeAxis,
+    SweepSpec, SWEEPSPEC_SCHEMA,
+};
+use proptest::prelude::*;
+
+fn base_scenario() -> Scenario {
+    Scenario {
+        name: "prop base".to_string(),
+        node: 16,
+        cores: Some(16),
+        t_dtm_celsius: None,
+        variation_seed: None,
+        leakage_sigma: None,
+        frequency_sigma: None,
+        workload: vec![WorkloadSpec {
+            app: "x264".to_string(),
+            instances: 2,
+            threads: 4,
+        }],
+        experiment: ExperimentSpec::PowerBudget { tdp_watts: 45.0 },
+    }
+}
+
+/// A random valid spec: a non-empty node subset, a threads range, an
+/// optional TDP gauss axis, and bounded draws. Returns the spec and
+/// its expected deterministic grid size.
+fn build_spec(
+    nodes_mask: usize,
+    thread_stop: usize,
+    draws: usize,
+    seed: u64,
+    with_gauss: bool,
+) -> (SweepSpec, usize) {
+    let all_nodes = [22.0, 16.0, 11.0, 8.0];
+    let nodes: Vec<AxisValue> = all_nodes
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| nodes_mask & (1 << i) != 0)
+        .map(|(_, &n)| AxisValue::Num(n))
+        .collect();
+    // Monte-Carlo draws require a gauss axis; force one when needed.
+    let with_gauss = with_gauss || draws > 1;
+    #[allow(clippy::cast_precision_loss)]
+    let stop = thread_stop as f64;
+    let mut axes = vec![
+        Axis {
+            param: "node".to_string(),
+            kind: AxisKind::List(nodes.clone()),
+        },
+        Axis {
+            param: "threads".to_string(),
+            kind: AxisKind::Range(RangeAxis {
+                start: 1.0,
+                stop,
+                step: 1.0,
+            }),
+        },
+    ];
+    if with_gauss {
+        axes.push(Axis {
+            param: "tdp_watts".to_string(),
+            kind: AxisKind::Gauss(GaussAxis {
+                mean: 45.0,
+                sigma: 5.0,
+                clamp_min: Some(20.0),
+                clamp_max: Some(80.0),
+            }),
+        });
+    }
+    let spec = SweepSpec {
+        schema: SWEEPSPEC_SCHEMA.to_string(),
+        name: "prop sweep".to_string(),
+        seed,
+        draws,
+        base: base_scenario(),
+        axes,
+    };
+    (spec, nodes.len() * thread_stop)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn expansion_count_is_grid_product_times_draws(
+        nodes_mask in 1_usize..16,
+        thread_stop in 1_usize..5,
+        draws in 1_usize..4,
+        seed in 0_u64..(1_u64 << 53),
+        with_gauss in any::<bool>(),
+    ) {
+        let (spec, grid) = build_spec(nodes_mask, thread_stop, draws, seed, with_gauss);
+        validate_sweep_spec(&spec).unwrap_or_else(|e| panic!("spec should validate: {e}"));
+        let plan = expand(&spec).unwrap_or_else(|e| panic!("spec should expand: {e}"));
+        prop_assert_eq!(plan.points, grid);
+        prop_assert_eq!(plan.evals.len(), grid * draws);
+        // Every expanded evaluation's name carries its point label.
+        for eval in &plan.evals {
+            prop_assert!(eval.scenario.name.contains('@'), "{}", eval.scenario.name);
+        }
+    }
+
+    #[test]
+    fn serialise_reparse_expand_is_deterministic(
+        nodes_mask in 1_usize..16,
+        thread_stop in 1_usize..5,
+        draws in 1_usize..4,
+        seed in 0_u64..(1_u64 << 53),
+        with_gauss in any::<bool>(),
+    ) {
+        let (spec, _) = build_spec(nodes_mask, thread_stop, draws, seed, with_gauss);
+        let text = darksil_json::to_string_pretty(&spec);
+        let reparsed =
+            parse_sweep_spec(&text).unwrap_or_else(|e| panic!("round trip should parse: {e}"));
+        prop_assert_eq!(&spec, &reparsed);
+
+        let a = expand(&spec).unwrap_or_else(|e| panic!("expand: {e}"));
+        let b = expand(&reparsed).unwrap_or_else(|e| panic!("expand reparsed: {e}"));
+        prop_assert_eq!(a.evals.len(), b.evals.len());
+        for (x, y) in a.evals.iter().zip(&b.evals) {
+            // Bit-identical scenarios, including Monte-Carlo samples.
+            prop_assert_eq!(
+                x.scenario.to_json().compact(),
+                y.scenario.to_json().compact()
+            );
+            prop_assert_eq!(&x.sampled, &y.sampled);
+        }
+    }
+}

@@ -116,6 +116,20 @@ pub enum Command {
         /// Output directory for leaderboard artefacts.
         out: String,
     },
+    /// Declarative design-space sweep: expand a sweep spec into a
+    /// cached, parallel job plan and write Pareto/band artefacts.
+    Sweep {
+        /// Path to the sweep-spec JSON.
+        path: String,
+        /// Output directory for result artefacts.
+        out: String,
+        /// Cache directory; `None` uses `results/.cache`.
+        cache_dir: Option<String>,
+        /// Disable the result cache entirely.
+        no_cache: bool,
+        /// Resume the journal of an interrupted run.
+        resume: bool,
+    },
     /// Render a self-contained HTML run report from an event stream.
     Report {
         /// Run label or events file; `None` picks the sole
@@ -258,6 +272,8 @@ USAGE:
   darksil fuzz     [--seed N] [--cases N] [--inject nan|time|tsp]
                    [--corpus DIR] [--replay]
   darksil tournament [--seed N] [--cases N] [--out DIR]
+  darksil sweep    <spec.json> [--out DIR] [--cache-dir DIR] [--no-cache]
+                   [--resume]
   darksil help
 
 `trace summarize` renders the hot-path table of a trace recorded by
@@ -290,8 +306,19 @@ clean. `tournament` pits dsrem vs tdpmap vs boosting over the generated
 population and writes leaderboard.json + leaderboard.html (deterministic
 bytes for a given --seed/--cases at any --jobs).
 
+`sweep` expands a darksil-sweepspec-v1 file (a base scenario plus
+list/range/logrange/gauss axes) into the full cartesian grid × N
+Monte-Carlo draws, runs every evaluation through the engine pool and
+the result cache, and writes sweep_<name>.json (Pareto frontier,
+p5/p50/p95 bands, cache counters), sweep_<name>.html and a resumable
+journal into --out. Output bytes are identical at any --jobs; editing
+one axis value recomputes only the affected points. Exit codes: 0 on
+success, 1 on a spec/validation error or a failed evaluation.
+
 Every subcommand also accepts --jobs N (worker threads for parallel
-sweeps; default DARKSIL_JOBS or the available parallelism).
+sweeps; default DARKSIL_JOBS or the available parallelism; --jobs
+always wins over DARKSIL_JOBS, and an unparseable DARKSIL_JOBS is
+ignored with a warning on stderr).
 
 apps: x264 blackscholes bodytrack ferret canneal dedup swaptions";
 
@@ -421,6 +448,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     }
     if cmd == "tournament" {
         return parse_tournament(&mut it);
+    }
+    if cmd == "sweep" {
+        return parse_sweep(&mut it);
     }
     let mut node = None;
     let mut app = None;
@@ -728,6 +758,49 @@ fn parse_tournament(it: &mut std::slice::Iter<'_, String>) -> Result<Command, Pa
     Ok(Command::Tournament { seed, cases, out })
 }
 
+/// Parses the arguments after `darksil sweep`.
+fn parse_sweep(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseError> {
+    let mut path = None;
+    let mut out = "results".to_string();
+    let mut cache_dir = None;
+    let mut no_cache = false;
+    let mut resume = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| ParseError("--out expects a directory".into()))?;
+            }
+            "--cache-dir" => {
+                cache_dir = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| ParseError("--cache-dir expects a directory".into()))?,
+                );
+            }
+            "--no-cache" => no_cache = true,
+            "--resume" => resume = true,
+            p if path.is_none() && !p.starts_with('-') => path = Some(p.to_string()),
+            other => return Err(ParseError(format!("unknown argument '{other}'"))),
+        }
+    }
+    let path = path.ok_or_else(|| ParseError("sweep expects a spec file".into()))?;
+    if no_cache && cache_dir.is_some() {
+        return Err(ParseError(
+            "--no-cache and --cache-dir are mutually exclusive".into(),
+        ));
+    }
+    Ok(Command::Sweep {
+        path,
+        out,
+        cache_dir,
+        no_cache,
+        resume,
+    })
+}
+
 /// Parses the arguments after `darksil report`.
 fn parse_report(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseError> {
     let mut run = None;
@@ -926,6 +999,13 @@ pub fn run(command: &Command) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         Command::Tournament { seed, cases, out } => run_tournament_cmd(*seed, *cases, out)?,
+        Command::Sweep {
+            path,
+            out,
+            cache_dir,
+            no_cache,
+            resume,
+        } => run_sweep_cmd(path, out, cache_dir.as_deref(), *no_cache, *resume)?,
         Command::Report { run, trace, out } => {
             run_report(run.as_deref(), trace.as_deref(), out.as_deref())?;
         }
@@ -1284,6 +1364,75 @@ fn run_tournament_cmd(
         "[wrote {} and {}]",
         json_path.display(),
         html_path.display()
+    );
+    Ok(())
+}
+
+/// Filesystem-safe artefact label for a sweep name (mirrors the cache
+/// key file-name policy: ASCII alphanumerics, `-` and `_` survive).
+fn sweep_label(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Executes `darksil sweep`: expand, run, analyse, write artefacts.
+fn run_sweep_cmd(
+    path: &str,
+    out: &str,
+    cache_dir: Option<&str>,
+    no_cache: bool,
+    resume: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use darksil_sweep::{parse_sweep_spec_file, render_sweep_report, run_sweep, SweepOptions};
+    let spec = parse_sweep_spec_file(std::path::Path::new(path))?;
+    let dir = std::path::Path::new(out);
+    std::fs::create_dir_all(dir)?;
+    let label = sweep_label(&spec.name);
+    let journal_path = dir.join(format!("sweep_{label}.journal.json"));
+    let opts = SweepOptions {
+        jobs: Engine::auto().jobs(),
+        cache_dir: cache_dir.map(std::path::PathBuf::from),
+        use_cache: !no_cache,
+        journal_path: Some(journal_path.clone()),
+        resume,
+    };
+    let result = run_sweep(&spec, &opts)?;
+    println!(
+        "sweep '{}': {} grid point(s) × {} draw(s) = {} evaluation(s) over {} job(s)",
+        spec.name, result.grid_points, result.draws, result.evals, opts.jobs,
+    );
+    println!(
+        "  cache: {} hit, {} miss, {} recovered{}",
+        result.cache.hit,
+        result.cache.miss,
+        result.cache.recovered,
+        if no_cache { " (cache off)" } else { "" },
+    );
+    println!(
+        "  Pareto frontier: {} of {} point(s)",
+        result.frontier.len(),
+        result.points.len(),
+    );
+    let json_path = dir.join(format!("sweep_{label}.json"));
+    let mut json = darksil_json::to_string_pretty(&result);
+    if !json.ends_with('\n') {
+        json.push('\n');
+    }
+    std::fs::write(&json_path, json)?;
+    let html_path = dir.join(format!("sweep_{label}.html"));
+    std::fs::write(&html_path, render_sweep_report(&result))?;
+    println!(
+        "[wrote {}, {} and {}]",
+        json_path.display(),
+        html_path.display(),
+        journal_path.display(),
     );
     Ok(())
 }
@@ -2045,6 +2194,91 @@ mod tests {
         assert!(parse(&argv("fuzz --frob")).is_err());
         assert!(parse(&argv("tournament --cases 0")).is_err());
         assert!(parse(&argv("tournament --out")).is_err());
+    }
+
+    #[test]
+    fn parses_sweep() {
+        assert_eq!(
+            parse(&argv("sweep scenarios/sweeps/fig8_node_parallelism.json")).unwrap(),
+            Command::Sweep {
+                path: "scenarios/sweeps/fig8_node_parallelism.json".into(),
+                out: "results".into(),
+                cache_dir: None,
+                no_cache: false,
+                resume: false,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "sweep spec.json --out /tmp/s --cache-dir /tmp/c --resume"
+            ))
+            .unwrap(),
+            Command::Sweep {
+                path: "spec.json".into(),
+                out: "/tmp/s".into(),
+                cache_dir: Some("/tmp/c".into()),
+                no_cache: false,
+                resume: true,
+            }
+        );
+        assert!(parse(&argv("sweep")).is_err());
+        assert!(parse(&argv("sweep spec.json --no-cache --cache-dir /tmp/c")).is_err());
+        assert!(parse(&argv("sweep spec.json --frob")).is_err());
+        assert!(parse(&argv("sweep spec.json --out")).is_err());
+    }
+
+    #[test]
+    fn sweep_writes_deterministic_artefacts() {
+        let _guard = recorder_lock();
+        let dir = std::env::temp_dir().join(format!("darksil-cli-sweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("spec.json");
+        std::fs::write(
+            &spec,
+            r#"{
+              "schema": "darksil-sweepspec-v1",
+              "name": "cli demo",
+              "base": {
+                "name": "base",
+                "node": 16,
+                "cores": 16,
+                "workload": [{ "app": "x264", "instances": 1, "threads": 2 }],
+                "experiment": { "type": "power_budget", "tdp_watts": 40.0 }
+              },
+              "axes": [{ "param": "node", "list": [22, 16] }]
+            }"#,
+        )
+        .unwrap();
+        let out = dir.join("out");
+        run(&Command::Sweep {
+            path: spec.to_string_lossy().into_owned(),
+            out: out.to_string_lossy().into_owned(),
+            cache_dir: Some(dir.join("cache").to_string_lossy().into_owned()),
+            no_cache: false,
+            resume: false,
+        })
+        .unwrap();
+        let json = std::fs::read_to_string(out.join("sweep_cli_demo.json")).unwrap();
+        assert!(json.contains("\"darksil-sweepresult-v1\""), "{json}");
+        assert!(json.contains("\"frontier\""));
+        let html = std::fs::read_to_string(out.join("sweep_cli_demo.html")).unwrap();
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(!html.contains("<script"));
+        assert!(out.join("sweep_cli_demo.journal.json").exists());
+
+        // A bad spec surfaces the file and field in the error.
+        std::fs::write(&spec, r#"{ "schema": "nope" }"#).unwrap();
+        let err = run(&Command::Sweep {
+            path: spec.to_string_lossy().into_owned(),
+            out: out.to_string_lossy().into_owned(),
+            cache_dir: None,
+            no_cache: true,
+            resume: false,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("spec.json"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

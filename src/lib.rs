@@ -41,3 +41,4 @@ pub use darksil_workload as workload;
 
 pub mod cli;
 pub mod scenario;
+pub mod sweep;

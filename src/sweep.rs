@@ -1,0 +1,6 @@
+//! Declarative design-space exploration — re-exported from
+//! [`darksil_sweep`] so `darksil::sweep::…` paths work like the other
+//! subsystem shims (the sweep engine lives in its own crate so tools
+//! can depend on it without pulling in the CLI).
+
+pub use darksil_sweep::*;

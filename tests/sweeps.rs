@@ -1,0 +1,186 @@
+//! Every shipped sweep spec must parse, validate strictly, round-trip
+//! through the serializer, and run deterministically: byte-identical
+//! artefacts at any worker count, uncertainty bands for Monte-Carlo
+//! specs, and warm-cache replays after a cold run.
+
+use darksil::sweep::{
+    parse_sweep_spec, parse_sweep_spec_file, render_sweep_report, run_sweep, validate_sweep_spec,
+    AxisKind, AxisValue, SweepOptions, SweepSpec,
+};
+use darksil_json::ToJson;
+
+fn shipped_sweeps() -> Vec<(std::path::PathBuf, SweepSpec)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/sweeps");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "json") {
+            let spec =
+                parse_sweep_spec_file(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            out.push((path, spec));
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    assert!(
+        out.len() >= 2,
+        "expected the shipped sweep set, found {}",
+        out.len()
+    );
+    out
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("darksil-sweeps-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn shipped_sweeps_parse_validate_and_round_trip() {
+    for (path, spec) in shipped_sweeps() {
+        validate_sweep_spec(&spec).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let text = darksil_json::to_string_pretty(&spec);
+        let reparsed =
+            parse_sweep_spec(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            spec.to_json().compact(),
+            reparsed.to_json().compact(),
+            "{}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn grid_sweep_is_byte_identical_at_any_job_count() {
+    let dir = temp_dir("grid");
+    let spec = parse_sweep_spec_file(std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/scenarios/sweeps/fig8_node_parallelism.json"
+    )))
+    .unwrap();
+    let run_at = |jobs: usize, sub: &str| {
+        let result = run_sweep(
+            &spec,
+            &SweepOptions {
+                jobs,
+                cache_dir: Some(dir.join(sub)),
+                use_cache: true,
+                journal_path: None,
+                resume: false,
+            },
+        )
+        .unwrap();
+        (
+            darksil_json::to_string_pretty(&result),
+            render_sweep_report(&result),
+        )
+    };
+    let (json_serial, html_serial) = run_at(1, "a");
+    let (json_parallel, html_parallel) = run_at(4, "b");
+    assert_eq!(json_serial, json_parallel);
+    assert_eq!(html_serial, html_parallel);
+    assert!(!json_serial.contains("NaN"));
+    assert!(!html_serial.contains("<script"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mc_sweep_reports_bands_and_frontier() {
+    let dir = temp_dir("mc");
+    let spec = parse_sweep_spec_file(std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/scenarios/sweeps/mc_tdp_variability.json"
+    )))
+    .unwrap();
+    let result = run_sweep(
+        &spec,
+        &SweepOptions {
+            jobs: 4,
+            cache_dir: Some(dir.join("cache")),
+            use_cache: true,
+            journal_path: None,
+            resume: false,
+        },
+    )
+    .unwrap();
+    assert_eq!(result.draws, 10);
+    assert_eq!(result.evals, result.grid_points * result.draws);
+    assert!(!result.frontier.is_empty());
+    for point in &result.points {
+        // Draws differ, so the Monte-Carlo band must have real width.
+        assert!(
+            point.total_gips.p95 >= point.total_gips.p50
+                && point.total_gips.p50 >= point.total_gips.p5
+        );
+        assert!(
+            point.total_gips.p5.is_finite()
+                && point.total_gips.p50.is_finite()
+                && point.total_gips.p95.is_finite(),
+            "non-finite band"
+        );
+        assert_eq!(point.draws.len(), result.draws);
+    }
+    let json = darksil_json::to_string_pretty(&result);
+    assert!(json.contains("\"p5\"") && json.contains("\"p95\""));
+    assert!(!json.contains("NaN"));
+    let html = render_sweep_report(&result);
+    assert!(html.contains("series-band"));
+    assert!(!html.contains("<script"));
+    assert!(!html.contains("NaN"));
+
+    // A warm rerun replays every evaluation from the cache.
+    let warm = run_sweep(
+        &spec,
+        &SweepOptions {
+            jobs: 2,
+            cache_dir: Some(dir.join("cache")),
+            use_cache: true,
+            journal_path: None,
+            resume: false,
+        },
+    )
+    .unwrap();
+    assert_eq!(warm.cache.hit, result.evals);
+    assert_eq!(warm.cache.miss, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn editing_one_axis_recomputes_only_the_delta() {
+    let dir = temp_dir("delta");
+    let spec = parse_sweep_spec_file(std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/scenarios/sweeps/fig8_node_parallelism.json"
+    )))
+    .unwrap();
+    let opts = SweepOptions {
+        jobs: 2,
+        cache_dir: Some(dir.join("cache")),
+        use_cache: true,
+        journal_path: None,
+        resume: false,
+    };
+    let cold = run_sweep(&spec, &opts).unwrap();
+    assert_eq!(cold.cache.miss, cold.evals);
+
+    // Swap one node value: points on the changed axis value recompute,
+    // everything else replays from the cache.
+    let mut edited = spec.clone();
+    for axis in &mut edited.axes {
+        if axis.param == "node" {
+            if let AxisKind::List(values) = &mut axis.kind {
+                assert_eq!(values[0], AxisValue::Num(16.0));
+                values[0] = AxisValue::Num(22.0);
+            }
+        }
+    }
+    validate_sweep_spec(&edited).unwrap();
+    let warm = run_sweep(&edited, &opts).unwrap();
+    assert_eq!(warm.evals, cold.evals);
+    assert!(warm.cache.hit > 0, "unchanged points must hit");
+    assert!(warm.cache.miss > 0, "changed points must recompute");
+    assert_eq!(warm.cache.hit + warm.cache.miss, warm.evals);
+    let _ = std::fs::remove_dir_all(&dir);
+}
