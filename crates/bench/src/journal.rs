@@ -325,6 +325,35 @@ impl Journal {
         reset
     }
 
+    /// Adds a `pending` entry for `name` if the journal does not
+    /// already track it, persisting the snapshot. Returns whether a
+    /// new entry was added. Long-running services admit work after the
+    /// journal is created, so unlike [`create`](Self::create) the
+    /// artefact list here grows dynamically.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DarksilError`] of class `io` when the journal cannot
+    /// be written.
+    pub fn ensure(&self, name: &str) -> Result<bool, DarksilError> {
+        let mut entries = self
+            .entries
+            .lock()
+            .map_err(|_| DarksilError::internal("journal lock poisoned"))?;
+        if entries.iter().any(|e| e.name == name) {
+            return Ok(false);
+        }
+        entries.push(JournalEntry {
+            name: name.to_string(),
+            state: ArtefactState::Pending,
+            error: None,
+            attempts: Vec::new(),
+            seconds: 0.0,
+        });
+        self.write_snapshot(&entries)?;
+        Ok(true)
+    }
+
     /// Transitions `name` to `state` and persists the journal. Unknown
     /// names are ignored (the journal is authoritative for its own
     /// artefact list).
@@ -548,6 +577,22 @@ mod tests {
         .expect("write");
         let err = Journal::load(scratch.journal_path()).expect_err("wrong schema");
         assert!(err.to_string().contains("darksil-journal-v0"), "{err}");
+    }
+
+    #[test]
+    fn ensure_grows_the_artefact_list_dynamically() {
+        let scratch = Scratch::new("ensure");
+        let journal = Journal::create(scratch.journal_path(), Json::Null, &[]);
+        assert!(journal.ensure("job-a").expect("first add"));
+        assert!(!journal.ensure("job-a").expect("idempotent"));
+        assert!(journal.ensure("job-b").expect("second add"));
+        journal
+            .transition("job-a", ArtefactState::Done)
+            .expect("transition applies to ensured entries");
+
+        let reloaded = Journal::load(scratch.journal_path()).expect("reload");
+        assert_eq!(reloaded.state_of("job-a"), Some(ArtefactState::Done));
+        assert_eq!(reloaded.state_of("job-b"), Some(ArtefactState::Pending));
     }
 
     #[test]

@@ -290,6 +290,13 @@ impl Supervisor {
                         attempt = next_retry;
                         continue;
                     }
+                    if retryable && attempt < spec.max_retries && breaker_open {
+                        // The retry budget was there but the breaker
+                        // vetoed it — operators watching `trace
+                        // summarize` need this distinct from ordinary
+                        // exhaustion to spot a failing class.
+                        darksil_obs::counter("engine.supervisor.breaker_open", 1);
+                    }
                     attempts.push(AttemptRecord {
                         attempt,
                         degraded: false,
@@ -443,6 +450,27 @@ mod tests {
         assert_eq!(out.attempts[2].outcome, "ok");
         // Attempt numbers line up with the RunContext the job saw.
         assert_eq!(out.attempts[2].attempt, 2);
+    }
+
+    #[test]
+    fn breaker_vetoed_retries_are_counted_for_operators() {
+        darksil_obs::enable();
+        let sup = fast_supervisor(1);
+        let spec = JobSpec {
+            max_retries: 3,
+            ..JobSpec::new("storm", "storm-class")
+        };
+        // First failure trips the threshold-1 breaker; the remaining
+        // retry budget is vetoed and surfaced as a counter.
+        let out = sup.run(&spec, || -> Result<(), DarksilError> {
+            Err(DarksilError::injected("always fails"))
+        });
+        assert!(out.result.is_err());
+        assert_eq!(out.attempts.len(), 1, "no retries once the breaker opens");
+        let trace = darksil_obs::drain();
+        assert_eq!(trace.counter("engine.supervisor.breaker_open"), 1);
+        assert_eq!(trace.counter("engine.supervisor.retry"), 0);
+        darksil_obs::disable();
     }
 
     #[test]

@@ -270,10 +270,12 @@ impl Trace {
         }
         let retries = self.counter("engine.supervisor.retry");
         let degraded = self.counter("engine.supervisor.degraded");
-        if retries > 0 || degraded > 0 {
+        let breaker_skips = self.counter("engine.supervisor.breaker_open");
+        if retries > 0 || degraded > 0 || breaker_skips > 0 {
             let _ = writeln!(
                 out,
-                "supervisor: {retries} retries, {degraded} degraded runs"
+                "supervisor: {retries} retries, {degraded} degraded runs, \
+                 {breaker_skips} retries skipped (breaker open)"
             );
         }
 
@@ -550,5 +552,40 @@ mod tests {
     fn render_summary_truncates_to_top_n() {
         let text = fixture().render_summary(1);
         assert!(text.contains("2 more span names"), "{text}");
+    }
+
+    #[test]
+    fn render_summary_derives_supervisor_stats() {
+        // The fixture records no supervisor activity: the line is
+        // suppressed entirely.
+        assert!(!fixture().render_summary(10).contains("supervisor:"));
+
+        let mut trace = fixture();
+        trace.counters.extend([
+            ("engine.supervisor.retry".to_string(), 5),
+            ("engine.supervisor.degraded".to_string(), 2),
+            ("engine.supervisor.breaker_open".to_string(), 3),
+        ]);
+        let text = trace.render_summary(10);
+        assert!(
+            text.contains(
+                "supervisor: 5 retries, 2 degraded runs, 3 retries skipped (breaker open)"
+            ),
+            "{text}"
+        );
+
+        // Breaker skips alone still surface the line — a fully open
+        // breaker produces no retries at all.
+        let mut skips_only = fixture();
+        skips_only
+            .counters
+            .push(("engine.supervisor.breaker_open".to_string(), 7));
+        let text = skips_only.render_summary(10);
+        assert!(
+            text.contains(
+                "supervisor: 0 retries, 0 degraded runs, 7 retries skipped (breaker open)"
+            ),
+            "{text}"
+        );
     }
 }

@@ -66,6 +66,20 @@ impl CancellationToken {
         }
     }
 
+    /// A token that expires at the absolute instant `at`. Connection
+    /// handlers that amortise one wall-clock budget across several
+    /// blocking reads anchor the deadline once and re-check it between
+    /// reads, instead of granting a fresh budget per read.
+    #[must_use]
+    pub fn with_deadline_at(at: Instant) -> Self {
+        Self {
+            inner: Arc::new(TokenState {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(at),
+            }),
+        }
+    }
+
     /// Trips the token; every clone observes it.
     pub fn cancel(&self) {
         self.inner.cancelled.store(true, Ordering::SeqCst);
@@ -280,6 +294,15 @@ mod tests {
         assert_eq!(err.class(), ErrorClass::Deadline);
         assert!(err.to_string().contains("deadline exceeded"), "{err}");
         assert!(err.to_string().contains("cg iteration"), "{err}");
+    }
+
+    #[test]
+    fn absolute_deadlines_anchor_to_the_given_instant() {
+        let expired = CancellationToken::with_deadline_at(Instant::now());
+        assert!(expired.is_cancelled());
+        let future = CancellationToken::with_deadline_at(Instant::now() + Duration::from_secs(60));
+        assert!(!future.is_cancelled());
+        assert!(future.remaining().expect("bounded") > Duration::from_secs(30));
     }
 
     #[test]

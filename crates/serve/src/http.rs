@@ -1,0 +1,492 @@
+//! Minimal, allocation-bounded HTTP/1.1 request parsing and response
+//! serialisation.
+//!
+//! The parser is a pure function over the bytes received so far: it
+//! either produces a complete [`Request`] (plus how many bytes it
+//! consumed), asks for more input, or rejects the stream with an
+//! [`HttpError`] carrying the 4xx status the connection handler should
+//! write back. It never panics and never allocates proportionally to
+//! attacker-controlled lengths beyond the hard caps below, which is
+//! what makes the daemon slowloris-safe: a client drip-feeding garbage
+//! can at worst pin [`MAX_HEAD_BYTES`] + [`MAX_BODY_BYTES`] per
+//! connection until the read deadline reaps it.
+//!
+//! Scope is deliberately narrow — `GET`/`POST`/`DELETE` with an
+//! optional `Content-Length` body, one request per connection,
+//! `Connection: close` on every response. Chunked transfer encoding is
+//! rejected outright; nothing in the darksil protocol needs it.
+
+/// Hard cap on the request line plus all headers, in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Hard cap on a request body, in bytes. Scenario documents are a few
+/// KiB; a megabyte leaves generous headroom for batched sweeps.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// Hard cap on the number of header lines.
+pub const MAX_HEADERS: usize = 64;
+/// Hard cap on the request target (path + query), in bytes.
+pub const MAX_TARGET_BYTES: usize = 2048;
+
+/// A parsed request: method, origin-form target, headers (names
+/// lower-cased), and the raw body bytes.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-case method token, e.g. `GET`.
+    pub method: String,
+    /// Origin-form target, e.g. `/v1/jobs/abc123`.
+    pub target: String,
+    /// Header name/value pairs; names are lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header with the given (case-insensitive) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let wanted = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(key, _)| *key == wanted)
+            .map(|(_, value)| value.as_str())
+    }
+
+    /// The target split into path and query (query without the `?`).
+    #[must_use]
+    pub fn path(&self) -> &str {
+        match self.target.split_once('?') {
+            Some((path, _)) => path,
+            None => &self.target,
+        }
+    }
+}
+
+/// A protocol-level rejection: the status code to send and a short
+/// human-readable reason for the response body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// HTTP status code (4xx/5xx).
+    pub status: u16,
+    /// One-line description, safe to echo to the client.
+    pub message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.status, self.message)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Outcome of feeding the bytes received so far to the parser.
+#[derive(Debug)]
+pub enum Parsed {
+    /// A full request plus the number of bytes it consumed from the
+    /// front of the buffer. Anything after those bytes (pipelined
+    /// garbage) is ignored — the server closes after one response.
+    Complete(Request, usize),
+    /// The buffer holds a syntactically plausible prefix; read more.
+    Incomplete,
+}
+
+/// Incrementally parses an HTTP/1.1 request from `buf`.
+///
+/// # Errors
+///
+/// An [`HttpError`] with the 4xx status the caller should answer
+/// with: 400 for malformed syntax, 413 for an oversized body, 431 for
+/// an oversized head, 501 for transfer encodings we do not implement.
+pub fn parse_request(buf: &[u8]) -> Result<Parsed, HttpError> {
+    let Some(head_len) = find_head_end(buf) else {
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(HttpError::new(431, "request head exceeds 16 KiB"));
+        }
+        // Reject early if what we have so far already cannot be a
+        // valid head (bare control bytes before the terminator).
+        if buf.contains(&0) {
+            return Err(HttpError::new(400, "NUL byte in request head"));
+        }
+        return Ok(Parsed::Incomplete);
+    };
+    if head_len > MAX_HEAD_BYTES {
+        return Err(HttpError::new(431, "request head exceeds 16 KiB"));
+    }
+    let head = buf.get(..head_len).unwrap_or_default();
+    let head = std::str::from_utf8(head)
+        .map_err(|_| HttpError::new(400, "request head is not valid UTF-8"))?;
+
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::new(400, "empty request"))?;
+    let (method, target) = parse_request_line(request_line)?;
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::new(431, "too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::new(400, "header line without a colon"))?;
+        if name.is_empty() || !name.bytes().all(is_token_byte) {
+            return Err(HttpError::new(400, "malformed header name"));
+        }
+        // Checked before trimming: some control bytes (VT, FF) count
+        // as Unicode whitespace and would otherwise be silently
+        // trimmed instead of rejected.
+        if value.bytes().any(|b| b < 0x20 && b != b'\t') {
+            return Err(HttpError::new(400, "control byte in header value"));
+        }
+        let value = value.trim();
+        headers.push((name.to_ascii_lowercase(), value.to_string()));
+    }
+
+    if headers
+        .iter()
+        .any(|(name, value)| name == "transfer-encoding" && !value.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::new(501, "transfer encodings are not supported"));
+    }
+
+    let body_len = content_length(&headers)?;
+    if body_len > MAX_BODY_BYTES {
+        return Err(HttpError::new(413, "request body exceeds 1 MiB"));
+    }
+    let total = head_len.saturating_add(body_len);
+    if buf.len() < total {
+        return Ok(Parsed::Incomplete);
+    }
+    let body = buf.get(head_len..total).unwrap_or_default().to_vec();
+
+    Ok(Parsed::Complete(
+        Request {
+            method,
+            target,
+            headers,
+            body,
+        },
+        total,
+    ))
+}
+
+/// Byte offset just past the `\r\n\r\n` head terminator, if present
+/// within the scanning window.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let window = buf.get(..buf.len().min(MAX_HEAD_BYTES + 4)).unwrap_or(buf);
+    window
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|at| at + 4)
+}
+
+fn parse_request_line(line: &str) -> Result<(String, String), HttpError> {
+    let mut parts = line.split(' ');
+    let method = parts.next().unwrap_or_default();
+    let target = parts.next().unwrap_or_default();
+    let version = parts.next().unwrap_or_default();
+    if parts.next().is_some() {
+        return Err(HttpError::new(400, "malformed request line"));
+    }
+    if method.is_empty() || method.len() > 16 || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::new(400, "malformed method"));
+    }
+    if !target.starts_with('/') || target.len() > MAX_TARGET_BYTES {
+        return Err(HttpError::new(400, "malformed request target"));
+    }
+    if target.bytes().any(|b| b <= 0x20 || b == 0x7f) {
+        return Err(HttpError::new(400, "control byte in request target"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::new(400, "unsupported HTTP version"));
+    }
+    Ok((method.to_string(), target.to_string()))
+}
+
+fn content_length(headers: &[(String, String)]) -> Result<usize, HttpError> {
+    let mut lengths = headers
+        .iter()
+        .filter(|(name, _)| name == "content-length")
+        .map(|(_, value)| value.as_str());
+    let Some(first) = lengths.next() else {
+        return Ok(0);
+    };
+    if lengths.any(|other| other != first) {
+        return Err(HttpError::new(400, "conflicting content-length headers"));
+    }
+    first
+        .parse::<usize>()
+        .map_err(|_| HttpError::new(400, "malformed content-length"))
+}
+
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+/// An HTTP response ready to serialise. Every response carries
+/// `Connection: close`; the daemon serves exactly one exchange per
+/// connection.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond the always-present set.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    content_type: &'static str,
+}
+
+impl Response {
+    /// A JSON response rendered with a trailing newline.
+    #[must_use]
+    pub fn json(status: u16, body: &darksil_json::Json) -> Self {
+        let mut bytes = body.pretty().into_bytes();
+        bytes.push(b'\n');
+        Self {
+            status,
+            headers: Vec::new(),
+            body: bytes,
+            content_type: "application/json",
+        }
+    }
+
+    /// A response whose body is pre-rendered JSON bytes (artefacts are
+    /// served byte-for-byte from disk).
+    #[must_use]
+    pub fn json_bytes(status: u16, body: Vec<u8>) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            body,
+            content_type: "application/json",
+        }
+    }
+
+    /// An HTML response.
+    #[must_use]
+    pub fn html(status: u16, body: String) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            body: body.into_bytes(),
+            content_type: "text/html; charset=utf-8",
+        }
+    }
+
+    /// A typed error response: the body is a JSON envelope holding the
+    /// [`DarksilError`] so clients see the same error shape the CLI
+    /// prints.
+    #[must_use]
+    pub fn error(status: u16, error: &darksil_robust::DarksilError) -> Self {
+        use darksil_json::{Json, ToJson};
+        let body = Json::Obj(vec![
+            ("status".to_string(), Json::Num(f64::from(status))),
+            ("error".to_string(), error.to_json()),
+        ]);
+        Self::json(status, &body)
+    }
+
+    /// An error response for a protocol-level [`HttpError`].
+    #[must_use]
+    pub fn from_http_error(error: &HttpError) -> Self {
+        let typed = darksil_robust::DarksilError::config(error.message.clone());
+        Self::error(error.status, &typed)
+    }
+
+    /// Adds a header (builder style).
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// The canonical reason phrase for the status code.
+    #[must_use]
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            501 => "Not Implemented",
+            503 => "Service Unavailable",
+            _ => "Response",
+        }
+    }
+
+    /// Serialises the status line, headers, and body.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            Self::reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            out.push_str(name);
+            out.push_str(": ");
+            out.push_str(value);
+            out.push_str("\r\n");
+        }
+        out.push_str("\r\n");
+        let mut bytes = out.into_bytes();
+        bytes.extend_from_slice(&self.body);
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(raw: &[u8]) -> (Request, usize) {
+        match parse_request(raw) {
+            Ok(Parsed::Complete(request, used)) => (request, used),
+            other => panic!("expected a complete request, got {other:?}"),
+        }
+    }
+
+    fn rejected(raw: &[u8]) -> HttpError {
+        match parse_request(raw) {
+            Err(error) => error,
+            other => panic!("expected a rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_get_without_a_body() {
+        let raw = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+        let (request, used) = complete(raw);
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.target, "/healthz");
+        assert_eq!(request.header("host"), Some("x"));
+        assert!(request.body.is_empty());
+        assert_eq!(used, raw.len());
+    }
+
+    #[test]
+    fn parses_a_post_with_a_content_length_body() {
+        let raw = b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"";
+        let (request, used) = complete(raw);
+        assert_eq!(request.body, b"{\"a\"");
+        assert_eq!(used, raw.len());
+    }
+
+    #[test]
+    fn pipelined_trailing_bytes_are_not_consumed() {
+        let raw = b"GET / HTTP/1.1\r\n\r\nGARBAGE AFTERWARDS";
+        let (request, used) = complete(raw);
+        assert_eq!(request.target, "/");
+        assert_eq!(used, 18);
+    }
+
+    #[test]
+    fn truncated_requests_ask_for_more_bytes() {
+        for raw in [
+            &b"GET /healthz HT"[..],
+            b"GET / HTTP/1.1\r\nHost: x\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+        ] {
+            assert!(matches!(parse_request(raw), Ok(Parsed::Incomplete)));
+        }
+    }
+
+    #[test]
+    fn header_and_query_helpers() {
+        let (request, _) = complete(b"GET /v1/jobs/abc?verbose=1 HTTP/1.1\r\n\r\n");
+        assert_eq!(request.path(), "/v1/jobs/abc");
+        assert_eq!(request.header("absent"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        assert_eq!(rejected(b"get / HTTP/1.1\r\n\r\n").status, 400);
+        assert_eq!(rejected(b"GET noslash HTTP/1.1\r\n\r\n").status, 400);
+        assert_eq!(rejected(b"GET / HTTP/9.9\r\n\r\n").status, 400);
+        assert_eq!(rejected(b"GET / HTTP/1.1 extra\r\n\r\n").status, 400);
+    }
+
+    #[test]
+    fn rejects_malformed_headers() {
+        assert_eq!(rejected(b"GET / HTTP/1.1\r\nno-colon\r\n\r\n").status, 400);
+        assert_eq!(rejected(b"GET / HTTP/1.1\r\n: empty\r\n\r\n").status, 400);
+        assert_eq!(
+            rejected(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n").status,
+            400
+        );
+        assert_eq!(
+            rejected(b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n").status,
+            400
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_heads_and_bodies() {
+        let huge_head = format!(
+            "GET / HTTP/1.1\r\nx: {}\r\n\r\n",
+            "y".repeat(MAX_HEAD_BYTES)
+        );
+        assert_eq!(rejected(huge_head.as_bytes()).status, 431);
+        let huge_body = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(rejected(huge_body.as_bytes()).status, 413);
+        let header_storm = format!(
+            "GET / HTTP/1.1\r\n{}\r\n",
+            "a: b\r\n".repeat(MAX_HEADERS + 1)
+        );
+        assert_eq!(rejected(header_storm.as_bytes()).status, 431);
+    }
+
+    #[test]
+    fn rejects_chunked_transfer_encoding() {
+        assert_eq!(
+            rejected(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").status,
+            501
+        );
+    }
+
+    #[test]
+    fn duplicate_identical_content_lengths_are_tolerated() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok";
+        let (request, _) = complete(raw);
+        assert_eq!(request.body, b"ok");
+    }
+
+    #[test]
+    fn response_serialisation_includes_framing_headers() {
+        let response =
+            Response::json(200, &darksil_json::Json::Null).with_header("retry-after", "1");
+        let bytes = response.to_bytes();
+        let text = String::from_utf8(bytes).expect("ascii response");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 5\r\n"), "{text}");
+        assert!(text.contains("connection: close\r\n"), "{text}");
+        assert!(text.contains("retry-after: 1\r\n"), "{text}");
+        assert!(text.ends_with("null\n"), "{text}");
+    }
+}

@@ -1,0 +1,246 @@
+//! Property tests for the HTTP/1.1 request parser.
+//!
+//! The parser is the daemon's attack surface: every byte a socket
+//! delivers flows through [`parse_request`] before anything else looks
+//! at it. These properties pin the robustness contract from ISSUE 8:
+//! arbitrary byte soup, truncated heads, oversized bodies, and
+//! pipelined garbage all produce a clean typed outcome — `Complete`,
+//! `Incomplete`, or a 4xx/5xx [`HttpError`] — and never a panic. The
+//! parser is pure (no I/O, no loops over anything but the input), so
+//! "never hangs past the read deadline" reduces to termination on
+//! every input, which each property exercises by construction.
+
+use darksil_serve::http::{
+    parse_request, HttpError, Parsed, Request, MAX_BODY_BYTES, MAX_HEADERS, MAX_HEAD_BYTES,
+};
+use proptest::prelude::*;
+
+/// Drives the parser and asserts the outcome is one of the three legal
+/// shapes; any `Err` must carry a client/server error status.
+fn outcome(raw: &[u8]) -> Result<Parsed, HttpError> {
+    let result = parse_request(raw);
+    if let Err(error) = &result {
+        assert!(
+            (400..=599).contains(&error.status),
+            "rejection must be 4xx/5xx, got {} for input {:?}",
+            error.status,
+            &raw[..raw.len().min(80)]
+        );
+    }
+    result
+}
+
+/// A syntactically valid request assembled from constrained parts, so
+/// round-trip properties know exactly what the parser should recover.
+fn build_request(method: &str, target: &str, headers: &[(String, String)], body: &[u8]) -> Vec<u8> {
+    let mut raw = Vec::new();
+    raw.extend_from_slice(method.as_bytes());
+    raw.push(b' ');
+    raw.extend_from_slice(target.as_bytes());
+    raw.extend_from_slice(b" HTTP/1.1\r\n");
+    for (name, value) in headers {
+        raw.extend_from_slice(name.as_bytes());
+        raw.extend_from_slice(b": ");
+        raw.extend_from_slice(value.as_bytes());
+        raw.extend_from_slice(b"\r\n");
+    }
+    raw.extend_from_slice(format!("content-length: {}\r\n", body.len()).as_bytes());
+    raw.extend_from_slice(b"\r\n");
+    raw.extend_from_slice(body);
+    raw
+}
+
+/// Draws a token from an alphabet by index, for printable header names
+/// and targets without relying on string strategies the shim lacks.
+fn pick(alphabet: &[u8], indices: &[usize]) -> String {
+    indices
+        .iter()
+        .map(|i| char::from(alphabet[i % alphabet.len()]))
+        .collect()
+}
+
+const METHODS: [&str; 5] = ["GET", "POST", "PUT", "DELETE", "HEAD"];
+const TARGET_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-_./";
+const NAME_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz-";
+const VALUE_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789 ,;=/";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary byte soup: the parser classifies every input without
+    /// panicking, and whatever it rejects carries a 4xx/5xx status.
+    #[test]
+    fn byte_soup_never_panics(raw in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = outcome(&raw);
+    }
+
+    /// Byte soup that at least starts like HTTP exercises the deeper
+    /// header/body paths; still no panics, still typed outcomes.
+    #[test]
+    fn http_shaped_soup_never_panics(
+        method_idx in 0_usize..METHODS.len(),
+        tail in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut raw = METHODS[method_idx].as_bytes().to_vec();
+        raw.extend_from_slice(b" /v1/jobs HTTP/1.1\r\n");
+        raw.extend_from_slice(&tail);
+        let _ = outcome(&raw);
+    }
+
+    /// Every truncation of a valid request is either `Incomplete`
+    /// (more bytes could still complete it) or a clean rejection —
+    /// never `Complete`, never a panic.
+    #[test]
+    fn truncated_requests_never_parse_as_complete(
+        target_idx in prop::collection::vec(0_usize..TARGET_CHARS.len(), 1..24),
+        body in prop::collection::vec(any::<u8>(), 0..64),
+        cut_scale in 0.0_f64..1.0,
+    ) {
+        let target = format!("/{}", pick(TARGET_CHARS, &target_idx));
+        let raw = build_request("POST", &target, &[], &body);
+        let cut = ((raw.len() as f64) * cut_scale) as usize;
+        prop_assume!(cut < raw.len());
+        match outcome(&raw[..cut]) {
+            Ok(Parsed::Complete(..)) => panic!("{cut}-byte prefix of a {}-byte request parsed as complete", raw.len()),
+            Ok(Parsed::Incomplete) | Err(_) => {}
+        }
+    }
+
+    /// A declared body larger than the cap is refused with 413 as soon
+    /// as the head is readable — the daemon never buffers toward an
+    /// unbounded content-length.
+    #[test]
+    fn oversized_bodies_are_rejected_with_413(excess in 1_u64..1_000_000) {
+        let declared = MAX_BODY_BYTES as u64 + excess;
+        let raw = format!("POST /v1/jobs HTTP/1.1\r\ncontent-length: {declared}\r\n\r\n");
+        match outcome(raw.as_bytes()) {
+            Err(error) => prop_assert_eq!(error.status, 413),
+            Ok(parsed) => panic!("oversized declaration accepted: {parsed:?}"),
+        }
+    }
+
+    /// A head that never terminates is cut off at the head cap with
+    /// 431 instead of being buffered forever (slowloris).
+    #[test]
+    fn unterminated_heads_hit_the_431_cap(filler in any::<u8>(), pad in 0_usize..64) {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        let printable = if filler.is_ascii_graphic() { filler } else { b'x' };
+        raw.resize(MAX_HEAD_BYTES + pad, printable);
+        match outcome(&raw) {
+            Err(error) => prop_assert_eq!(error.status, 431),
+            Ok(parsed) => panic!("unterminated head accepted: {parsed:?}"),
+        }
+    }
+
+    /// More headers than the cap is 431 regardless of their content.
+    #[test]
+    fn header_floods_are_rejected(extra in 1_usize..16) {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..(MAX_HEADERS + extra) {
+            raw.push_str(&format!("x-h{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        match outcome(raw.as_bytes()) {
+            Err(error) => prop_assert_eq!(error.status, 431),
+            Ok(parsed) => panic!("header flood accepted: {parsed:?}"),
+        }
+    }
+
+    /// Round trip: a well-formed request parses back to exactly the
+    /// method, target, headers, and body it was built from, and the
+    /// consumed length covers precisely the request's own bytes.
+    #[test]
+    fn well_formed_requests_round_trip(
+        method_idx in 0_usize..METHODS.len(),
+        target_idx in prop::collection::vec(0_usize..TARGET_CHARS.len(), 1..32),
+        name_idx in prop::collection::vec(0_usize..NAME_CHARS.len(), 1..12),
+        value_idx in prop::collection::vec(0_usize..VALUE_CHARS.len(), 0..24),
+        body in prop::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let method = METHODS[method_idx];
+        let target = format!("/{}", pick(TARGET_CHARS, &target_idx));
+        let name = pick(NAME_CHARS, &name_idx);
+        prop_assume!(name != "content-length" && name != "transfer-encoding");
+        let value = pick(VALUE_CHARS, &value_idx);
+        let value = value.trim().to_string();
+        let headers = vec![(name.clone(), value.clone())];
+        let raw = build_request(method, &target, &headers, &body);
+        match outcome(&raw) {
+            Ok(Parsed::Complete(request, used)) => {
+                prop_assert_eq!(used, raw.len());
+                prop_assert_eq!(request.method.as_str(), method);
+                prop_assert_eq!(request.target.as_str(), target.as_str());
+                prop_assert_eq!(request.header(&name), Some(value.as_str()));
+                prop_assert_eq!(request.body.as_slice(), body.as_slice());
+            }
+            other => panic!("well-formed request not parsed: {other:?}"),
+        }
+    }
+
+    /// Pipelined garbage after a complete request is left untouched:
+    /// the reported consumed length stops at the first request's end,
+    /// whatever bytes follow.
+    #[test]
+    fn pipelined_garbage_is_not_consumed(
+        body in prop::collection::vec(any::<u8>(), 0..64),
+        garbage in prop::collection::vec(any::<u8>(), 1..256),
+    ) {
+        let raw = build_request("POST", "/v1/jobs", &[], &body);
+        let mut wire = raw.clone();
+        wire.extend_from_slice(&garbage);
+        match outcome(&wire) {
+            Ok(Parsed::Complete(request, used)) => {
+                prop_assert_eq!(used, raw.len());
+                prop_assert_eq!(request.body.as_slice(), body.as_slice());
+            }
+            other => panic!("request followed by garbage not parsed: {other:?}"),
+        }
+    }
+
+    /// Interior NUL and control bytes in the head are rejected, not
+    /// smuggled into header values.
+    #[test]
+    fn control_bytes_in_the_head_are_rejected(ctl in 0_u8..32, position in 0_usize..8) {
+        prop_assume!(ctl != b'\r' && ctl != b'\n' && ctl != b'\t');
+        let mut value = b"benign".to_vec();
+        value.insert(position % (value.len() + 1), ctl);
+        let mut raw = b"GET / HTTP/1.1\r\nx-smuggle: ".to_vec();
+        raw.extend_from_slice(&value);
+        raw.extend_from_slice(b"\r\n\r\n");
+        match outcome(&raw) {
+            Err(error) => prop_assert_eq!(error.status, 400),
+            Ok(Parsed::Complete(request, _)) => {
+                panic!("control byte {ctl:#04x} smuggled into {:?}", request.headers)
+            }
+            Ok(Parsed::Incomplete) => panic!("control byte {ctl:#04x} stalled the parser"),
+        }
+    }
+}
+
+/// Non-property check kept alongside: the canonical submission path
+/// parses, so the generators above cannot drift away from reality.
+#[test]
+fn canonical_submission_parses() {
+    let raw = build_request("POST", "/v1/jobs", &[], br#"{"tenant":"acme"}"#);
+    match parse_request(&raw) {
+        Ok(Parsed::Complete(request, used)) => {
+            assert_eq!(used, raw.len());
+            assert_eq!(request.path(), "/v1/jobs");
+        }
+        other => panic!("canonical request failed: {other:?}"),
+    }
+}
+
+/// `Request::path` splits the query string without allocating a new
+/// target; exercised here because routing depends on it.
+#[test]
+fn path_strips_query() {
+    let raw = build_request("GET", "/v1/stats?verbose=1", &[], b"");
+    match parse_request(&raw) {
+        Ok(Parsed::Complete(request, _)) => {
+            let request: Request = request;
+            assert_eq!(request.path(), "/v1/stats");
+        }
+        other => panic!("query target failed: {other:?}"),
+    }
+}

@@ -1,0 +1,488 @@
+//! End-to-end tests for the `darksil serve` daemon: real sockets, the
+//! real engine pool, and the real durable state directory.
+//!
+//! Each test binds port 0 on localhost, drives the daemon with a
+//! hand-rolled HTTP/1.1 client (one exchange per connection, matching
+//! the server's `Connection: close` contract), and exercises the ISSUE
+//! 8 acceptance points that don't need a separate process: submit /
+//! poll / fetch, cross-tenant dedup, quota backpressure (429 +
+//! Retry-After), typed 4xx rejections, graceful drain, restart
+//! serving byte-identical artefacts, resume of journalled-but-
+//! unfinished jobs, and FaultPlan chaos through the HTTP path
+//! (transient retries and a hang that degrades instead of wedging).
+//! The SIGKILL variant of the restart story runs in CI's `service`
+//! job, where the daemon is a real child process.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use darksil_json::Json;
+use darksil_serve::{DrainSummary, ServeConfig, Server};
+
+/// A scratch state directory removed on drop, unique per test.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "darksil-serve-test-{}-{}-{}",
+            std::process::id(),
+            tag,
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Self(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A daemon running on a background thread; `drain()` asks it to stop
+/// and joins for the [`DrainSummary`].
+struct Daemon {
+    addr: SocketAddr,
+    handle: Option<JoinHandle<DrainSummary>>,
+}
+
+impl Daemon {
+    fn start(config: ServeConfig) -> Self {
+        let server = Server::bind(config).expect("bind daemon");
+        let addr = server.local_addr().expect("local addr");
+        let handle = std::thread::spawn(move || server.run().expect("daemon run"));
+        Self {
+            addr,
+            handle: Some(handle),
+        }
+    }
+
+    fn drain(mut self) -> DrainSummary {
+        let (status, _, _) = request(self.addr, "POST", "/v1/drain", None);
+        assert_eq!(status, 202, "drain is acknowledged");
+        let handle = self.handle.take().expect("daemon thread");
+        handle.join().expect("daemon thread exits cleanly")
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = request(self.addr, "POST", "/v1/drain", None);
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One HTTP exchange: status code, lowercased headers, body bytes.
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> (u16, BTreeMap<String, String>, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let body = body.unwrap_or("");
+    let wire = format!(
+        "{method} {path} HTTP/1.1\r\nhost: localhost\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(wire.as_bytes()).expect("send request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> (u16, BTreeMap<String, String>, Vec<u8>) {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head terminator");
+    let head = std::str::from_utf8(&raw[..head_end]).expect("UTF-8 response head");
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        }
+    }
+    (status, headers, raw[head_end + 4..].to_vec())
+}
+
+fn json_body(body: &[u8]) -> Json {
+    let text = std::str::from_utf8(body).expect("UTF-8 body");
+    darksil_json::parse(text).expect("JSON body")
+}
+
+fn scenario_json(name: &str) -> String {
+    format!(
+        r#"{{"name": "{name}", "node": 16, "cores": 8,
+            "workload": [{{"app": "x264", "instances": 1, "threads": 4}}],
+            "experiment": {{"type": "policy", "policy": "tdpmap", "tdp_watts": 40.0}}}}"#
+    )
+}
+
+fn submission(tenant: &str, scenario_name: &str, faults: Option<&str>) -> String {
+    let faults = faults.map_or(String::new(), |f| format!(", \"faults\": {f}"));
+    format!(
+        r#"{{"tenant": "{tenant}", "scenario": {}{faults}}}"#,
+        scenario_json(scenario_name)
+    )
+}
+
+/// Submits and returns the (status, response-json) pair.
+fn submit(addr: SocketAddr, body: &str) -> (u16, Json) {
+    let (status, _, raw) = request(addr, "POST", "/v1/jobs", Some(body));
+    (status, json_body(&raw))
+}
+
+fn field<'a>(json: &'a Json, key: &str) -> &'a Json {
+    json.get(key)
+        .unwrap_or_else(|| panic!("response field `{key}` in {json:?}"))
+}
+
+fn str_field(json: &Json, key: &str) -> String {
+    field(json, key)
+        .as_str()
+        .unwrap_or_else(|| panic!("string field `{key}`"))
+        .to_string()
+}
+
+/// Polls job status until it leaves the queued/running states.
+fn await_job(addr: SocketAddr, digest: &str) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, _, raw) = request(addr, "GET", &format!("/v1/jobs/{digest}"), None);
+        assert_eq!(status, 200, "job {digest} visible while polling");
+        let json = json_body(&raw);
+        let state = str_field(&json, "state");
+        if state != "queued" && state != "running" {
+            return json;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job {digest} still `{state}` after 60 s"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn test_config(scratch: &Scratch) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 2,
+        state_dir: scratch.path().to_path_buf(),
+        drain_grace: Duration::from_secs(20),
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn submit_poll_fetch_and_cross_tenant_dedup() {
+    let scratch = Scratch::new("dedup");
+    let daemon = Daemon::start(test_config(&scratch));
+
+    let (status, ack) = submit(daemon.addr, &submission("acme", "steady", None));
+    assert_eq!(status, 202, "fresh submissions are acknowledged: {ack:?}");
+    assert_eq!(field(&ack, "deduped"), &Json::Bool(false));
+    let digest = str_field(&ack, "job");
+    assert_eq!(digest.len(), 16, "digest is the 16-hex cache key");
+
+    let done = await_job(daemon.addr, &digest);
+    assert_eq!(str_field(&done, "state"), "done", "job finishes: {done:?}");
+
+    let (status, _, artefact) =
+        request(daemon.addr, "GET", &format!("/v1/artefacts/{digest}"), None);
+    assert_eq!(status, 200);
+    let report = json_body(&artefact);
+    assert_eq!(str_field(&report, "name"), "steady");
+
+    // The same scenario from another tenant is the same job: no second
+    // solve, an immediate 200, and both tenants on the record.
+    let (status, dup) = submit(daemon.addr, &submission("globex", "steady", None));
+    assert_eq!(status, 200, "duplicate submissions return the record");
+    assert_eq!(field(&dup, "deduped"), &Json::Bool(true));
+    assert_eq!(str_field(&dup, "job"), digest);
+    let tenants = format!("{:?}", field(&dup, "tenants"));
+    assert!(
+        tenants.contains("acme") && tenants.contains("globex"),
+        "{tenants}"
+    );
+
+    let (status, _, page) = request(
+        daemon.addr,
+        "GET",
+        &format!("/v1/jobs/{digest}/report"),
+        None,
+    );
+    assert_eq!(status, 200);
+    let page = String::from_utf8(page).expect("UTF-8 report");
+    assert!(
+        page.contains("steady") && page.contains("<html"),
+        "HTML report"
+    );
+
+    let (status, _, raw) = request(daemon.addr, "GET", "/v1/stats", None);
+    assert_eq!(status, 200);
+    let stats = json_body(&raw).compact().to_string();
+    assert!(
+        stats.contains("deduped"),
+        "stats expose dedup counts: {stats}"
+    );
+
+    let summary = daemon.drain();
+    assert!(summary.drained, "all work finished before the grace period");
+    assert_eq!(summary.unfinished, 0);
+}
+
+#[test]
+fn tenant_quota_rejections_are_429_with_retry_after() {
+    let scratch = Scratch::new("quota");
+    let config = ServeConfig {
+        tenant_quota: 1,
+        ..test_config(&scratch)
+    };
+    let daemon = Daemon::start(config);
+
+    // A slow job pins the tenant's single quota slot.
+    let (status, ack) = submit(
+        daemon.addr,
+        &submission("acme", "slowpoke", Some(r#"{"slow_ms": 1500}"#)),
+    );
+    assert_eq!(status, 202, "{ack:?}");
+    let digest = str_field(&ack, "job");
+
+    // A *different* scenario from the same tenant now exceeds the
+    // quota: 429, Retry-After, and a typed capacity error.
+    let (status, headers, raw) = request(
+        daemon.addr,
+        "POST",
+        "/v1/jobs",
+        Some(&submission("acme", "rejected", None)),
+    );
+    assert_eq!(status, 429, "over-quota submissions are backpressured");
+    assert!(headers.contains_key("retry-after"), "Retry-After present");
+    let error = json_body(&raw);
+    let rendered = error.compact().to_string();
+    assert!(
+        rendered.contains("capacity"),
+        "typed capacity error: {rendered}"
+    );
+    assert!(
+        rendered.contains("acme"),
+        "error names the tenant: {rendered}"
+    );
+
+    // Another tenant is unaffected by acme's quota.
+    let (status, other) = submit(daemon.addr, &submission("globex", "rejected", None));
+    assert_eq!(status, 202, "{other:?}");
+
+    let done = await_job(daemon.addr, &digest);
+    assert_eq!(str_field(&done, "state"), "done");
+    daemon.drain();
+}
+
+#[test]
+fn malformed_submissions_get_typed_4xx_not_panics() {
+    let scratch = Scratch::new("badreq");
+    let daemon = Daemon::start(test_config(&scratch));
+
+    // Body is not JSON.
+    let (status, _, raw) = request(daemon.addr, "POST", "/v1/jobs", Some("{nope"));
+    assert_eq!(status, 400);
+    assert!(json_body(&raw).compact().to_string().contains("error"));
+
+    // JSON but no tenant.
+    let body = format!(r#"{{"scenario": {}}}"#, scenario_json("orphan"));
+    let (status, _, _) = request(daemon.addr, "POST", "/v1/jobs", Some(&body));
+    assert_eq!(status, 400);
+
+    // Tenant name outside the allowed charset.
+    let (status, _, _) = request(
+        daemon.addr,
+        "POST",
+        "/v1/jobs",
+        Some(&submission("bad tenant!", "x", None)),
+    );
+    assert_eq!(status, 400);
+
+    // Invalid scenario (unknown node) is a 400, not a queued failure.
+    let body = r#"{"tenant": "acme", "scenario": {"name": "x", "node": 3,
+        "workload": [{"app": "x264", "instances": 1, "threads": 4}],
+        "experiment": {"type": "policy", "policy": "tdpmap", "tdp_watts": 40.0}}}"#;
+    let (status, _, _) = request(daemon.addr, "POST", "/v1/jobs", Some(body));
+    assert_eq!(status, 400);
+
+    // Unknown job digests and paths are 404; wrong methods are 405.
+    let (status, _, _) = request(daemon.addr, "GET", "/v1/jobs/0123456789abcdef", None);
+    assert_eq!(status, 404);
+    let (status, _, _) = request(daemon.addr, "GET", "/v1/nope", None);
+    assert_eq!(status, 404);
+    let (status, _, _) = request(daemon.addr, "GET", "/v1/jobs", None);
+    assert_eq!(status, 405);
+
+    let (status, _, raw) = request(daemon.addr, "GET", "/healthz", None);
+    assert_eq!(status, 200, "daemon still healthy after abuse");
+    assert!(json_body(&raw).compact().to_string().contains("ok"));
+    daemon.drain();
+}
+
+#[test]
+fn restart_serves_byte_identical_artefacts() {
+    let scratch = Scratch::new("restart");
+
+    // First incarnation: solve one scenario, remember the bytes.
+    let daemon = Daemon::start(test_config(&scratch));
+    let addr = daemon.addr;
+    let (status, ack) = submit(addr, &submission("acme", "durable", None));
+    assert_eq!(status, 202, "{ack:?}");
+    let digest = str_field(&ack, "job");
+    await_job(addr, &digest);
+    let (status, _, first_bytes) = request(addr, "GET", &format!("/v1/artefacts/{digest}"), None);
+    assert_eq!(status, 200);
+    let summary = daemon.drain();
+    assert!(summary.drained);
+
+    // Second incarnation on the same state directory: the job is
+    // restored as done and the artefact is byte-identical.
+    let daemon = Daemon::start(test_config(&scratch));
+    let (status, _, raw) = request(daemon.addr, "GET", &format!("/v1/jobs/{digest}"), None);
+    assert_eq!(status, 200, "restart restores the finished record");
+    assert_eq!(str_field(&json_body(&raw), "state"), "done");
+    let (status, _, second_bytes) =
+        request(daemon.addr, "GET", &format!("/v1/artefacts/{digest}"), None);
+    assert_eq!(status, 200);
+    assert_eq!(first_bytes, second_bytes, "artefact bytes survive restart");
+    daemon.drain();
+}
+
+#[test]
+fn restart_resumes_journalled_unfinished_jobs() {
+    let scratch = Scratch::new("resume");
+    let digest = "00112233445566aa";
+
+    // Fabricate the durable state a SIGKILL'd daemon leaves behind: a
+    // journal entry still Pending and its spooled request, but no
+    // artefact. The spool layout is the daemon's own (schema'd) file.
+    let fingerprint = Json::Obj(vec![
+        (
+            "service".to_string(),
+            Json::Str("darksil-serve".to_string()),
+        ),
+        ("schema".to_string(), Json::Num(1.0)),
+    ]);
+    let journal =
+        darksil_bench::Journal::create(scratch.path().join("journal.json"), fingerprint, &[]);
+    journal.ensure(digest).expect("journal the fabricated job");
+    let spool = format!(
+        r#"{{"schema": "{}", "digest": "{digest}", "tenants": ["acme"],
+            "scenario": {}, "faults": {{}}}}"#,
+        darksil_serve::SPOOL_SCHEMA,
+        scenario_json("interrupted")
+    );
+    let jobs_dir = scratch.path().join("jobs");
+    std::fs::create_dir_all(&jobs_dir).expect("jobs dir");
+    std::fs::write(jobs_dir.join(format!("{digest}.json")), spool).expect("spool file");
+
+    // A fresh daemon picks the job up with no new submission and runs
+    // it to completion.
+    let daemon = Daemon::start(test_config(&scratch));
+    let done = await_job(daemon.addr, digest);
+    assert_eq!(
+        str_field(&done, "state"),
+        "done",
+        "resumed job ran: {done:?}"
+    );
+    let (status, _, raw) = request(daemon.addr, "GET", &format!("/v1/artefacts/{digest}"), None);
+    assert_eq!(status, 200);
+    assert_eq!(str_field(&json_body(&raw), "name"), "interrupted");
+    daemon.drain();
+}
+
+#[test]
+fn chaos_through_http_transient_retries_and_hang_degrades() {
+    let scratch = Scratch::new("chaos");
+    let config = ServeConfig {
+        job_deadline: Duration::from_millis(250),
+        ..test_config(&scratch)
+    };
+    let daemon = Daemon::start(config);
+
+    // Two transient failures: the supervisor retries through them and
+    // the attempt timeline shows the injected errors.
+    let (status, ack) = submit(
+        daemon.addr,
+        &submission("acme", "flaky", Some(r#"{"transient": 2}"#)),
+    );
+    assert_eq!(status, 202, "{ack:?}");
+    let flaky = str_field(&ack, "job");
+    let done = await_job(daemon.addr, &flaky);
+    assert_eq!(str_field(&done, "state"), "done");
+    let timeline = field(&done, "attempts").compact().to_string();
+    assert!(timeline.contains("injected"), "retries visible: {timeline}");
+
+    // A hang eats every full-fidelity attempt's deadline, then the
+    // degraded attempt completes: degraded state, artefact still
+    // served (the "degraded-but-200" acceptance point).
+    let (status, ack) = submit(
+        daemon.addr,
+        &submission("acme", "wedged", Some(r#"{"hang": true}"#)),
+    );
+    assert_eq!(status, 202, "{ack:?}");
+    let wedged = str_field(&ack, "job");
+    let outcome = await_job(daemon.addr, &wedged);
+    assert_eq!(
+        str_field(&outcome, "state"),
+        "degraded",
+        "hang degrades instead of wedging: {outcome:?}"
+    );
+    let (status, _, raw) = request(daemon.addr, "GET", &format!("/v1/artefacts/{wedged}"), None);
+    assert_eq!(status, 200, "degraded artefacts are still served");
+    assert_eq!(str_field(&json_body(&raw), "name"), "wedged");
+
+    // A NaN poison is non-retryable: failed state, typed error, 409
+    // when the artefact is requested.
+    let (status, ack) = submit(
+        daemon.addr,
+        &submission("acme", "poisoned", Some(r#"{"nan": true}"#)),
+    );
+    assert_eq!(status, 202, "{ack:?}");
+    let poisoned = str_field(&ack, "job");
+    let outcome = await_job(daemon.addr, &poisoned);
+    assert_eq!(str_field(&outcome, "state"), "failed");
+    assert!(
+        str_field(&outcome, "error").contains("non-finite")
+            || str_field(&outcome, "error").contains("NaN"),
+        "typed non-finite error: {outcome:?}"
+    );
+    let (status, _, _) = request(
+        daemon.addr,
+        "GET",
+        &format!("/v1/artefacts/{poisoned}"),
+        None,
+    );
+    assert_eq!(status, 409, "no artefact for a failed job");
+    daemon.drain();
+}

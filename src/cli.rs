@@ -22,6 +22,7 @@ use darksil_core::DarkSiliconEstimator;
 use darksil_engine::Engine;
 use darksil_mapping::{place_patterned, DsRem, Platform, TdpMap};
 use darksil_power::TechnologyNode;
+use darksil_robust::DarksilError;
 use darksil_tsp::TspCalculator;
 use darksil_units::{Hertz, Seconds, Watts};
 use darksil_workload::{ParsecApp, Workload};
@@ -140,6 +141,23 @@ pub enum Command {
         trace: Option<String>,
         /// Output path; defaults to `results/report_<run>.html`.
         out: Option<String>,
+    },
+    /// Long-running multi-tenant HTTP service over the engine
+    /// (`darksil-d`).
+    Serve {
+        /// Listen address (`host:port`; port 0 picks a free one).
+        addr: String,
+        /// Global cap on jobs queued or running.
+        max_inflight: usize,
+        /// Per-tenant cap on jobs queued or running.
+        tenant_quota: usize,
+        /// Durable state directory (journal, request spool, artefacts,
+        /// result cache).
+        state_dir: String,
+        /// Per-attempt solve deadline in seconds.
+        deadline_s: f64,
+        /// Drain grace period in seconds.
+        drain_grace_s: f64,
     },
     /// Print usage.
     Help,
@@ -274,6 +292,8 @@ USAGE:
   darksil tournament [--seed N] [--cases N] [--out DIR]
   darksil sweep    <spec.json> [--out DIR] [--cache-dir DIR] [--no-cache]
                    [--resume]
+  darksil serve    [--addr HOST:PORT] [--max-inflight N] [--tenant-quota N]
+                   [--state-dir DIR] [--deadline-s S] [--drain-grace-s S]
   darksil help
 
 `trace summarize` renders the hot-path table of a trace recorded by
@@ -314,6 +334,16 @@ p5/p50/p95 bands, cache counters), sweep_<name>.html and a resumable
 journal into --out. Output bytes are identical at any --jobs; editing
 one axis value recomputes only the affected points. Exit codes: 0 on
 success, 1 on a spec/validation error or a failed evaluation.
+
+`serve` starts darksil-d, a multi-tenant HTTP/1.1 daemon over the
+engine: POST /v1/jobs submits {tenant, scenario, faults?}, identical
+submissions dedupe by content digest across tenants, per-tenant quotas
+and --max-inflight reject excess load with 429 + Retry-After, and every
+job is journalled under --state-dir so a killed daemon resumes
+unfinished work on restart and serves byte-identical artefacts. Poll
+GET /v1/jobs/<digest>, fetch GET /v1/artefacts/<digest> or
+/v1/jobs/<digest>/report, and drain gracefully with SIGTERM or
+POST /v1/drain (exit 0). See DESIGN.md §17 for the full protocol.
 
 Every subcommand also accepts --jobs N (worker threads for parallel
 sweeps; default DARKSIL_JOBS or the available parallelism; --jobs
@@ -451,6 +481,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     }
     if cmd == "sweep" {
         return parse_sweep(&mut it);
+    }
+    if cmd == "serve" {
+        return parse_serve(&mut it);
     }
     let mut node = None;
     let mut app = None;
@@ -801,6 +834,79 @@ fn parse_sweep(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseEr
     })
 }
 
+/// Parses the arguments after `darksil serve`.
+fn parse_serve(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseError> {
+    let mut addr = "127.0.0.1:8787".to_string();
+    let mut max_inflight = 64_usize;
+    let mut tenant_quota = 8_usize;
+    let mut state_dir = "state".to_string();
+    let mut deadline_s = 30.0_f64;
+    let mut drain_grace_s = 30.0_f64;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| ParseError("--addr expects host:port".into()))?;
+            }
+            "--max-inflight" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ParseError("--max-inflight expects a value".into()))?;
+                max_inflight = parse_usize("--max-inflight", value)?;
+            }
+            "--tenant-quota" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ParseError("--tenant-quota expects a value".into()))?;
+                tenant_quota = parse_usize("--tenant-quota", value)?;
+            }
+            "--state-dir" => {
+                state_dir = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| ParseError("--state-dir expects a directory".into()))?;
+            }
+            "--deadline-s" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ParseError("--deadline-s expects seconds".into()))?;
+                deadline_s = parse_f64("--deadline-s", value)?;
+            }
+            "--drain-grace-s" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ParseError("--drain-grace-s expects seconds".into()))?;
+                drain_grace_s = parse_f64("--drain-grace-s", value)?;
+            }
+            other => return Err(ParseError(format!("unknown argument '{other}'"))),
+        }
+    }
+    if max_inflight == 0 || tenant_quota == 0 {
+        return Err(ParseError(
+            "--max-inflight and --tenant-quota must be positive".into(),
+        ));
+    }
+    let sane = deadline_s.is_finite()
+        && deadline_s > 0.0
+        && drain_grace_s.is_finite()
+        && drain_grace_s >= 0.0;
+    if !sane {
+        return Err(ParseError(
+            "--deadline-s must be positive and --drain-grace-s non-negative".into(),
+        ));
+    }
+    Ok(Command::Serve {
+        addr,
+        max_inflight,
+        tenant_quota,
+        state_dir,
+        deadline_s,
+        drain_grace_s,
+    })
+}
+
 /// Parses the arguments after `darksil report`.
 fn parse_report(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseError> {
     let mut run = None;
@@ -1009,31 +1115,48 @@ pub fn run(command: &Command) -> Result<(), Box<dyn std::error::Error>> {
         Command::Report { run, trace, out } => {
             run_report(run.as_deref(), trace.as_deref(), out.as_deref())?;
         }
+        Command::Serve {
+            addr,
+            max_inflight,
+            tenant_quota,
+            state_dir,
+            deadline_s,
+            drain_grace_s,
+        } => {
+            let config = darksil_serve::ServeConfig {
+                addr: addr.clone(),
+                // --jobs is stripped by `extract_jobs` and lands in
+                // `darksil_engine::set_default_jobs`; 0 defers to it.
+                jobs: 0,
+                max_inflight: *max_inflight,
+                tenant_quota: *tenant_quota,
+                state_dir: std::path::PathBuf::from(state_dir),
+                job_deadline: std::time::Duration::from_secs_f64(*deadline_s),
+                drain_grace: std::time::Duration::from_secs_f64(*drain_grace_s),
+                ..darksil_serve::ServeConfig::default()
+            };
+            let server = darksil_serve::Server::bind(config)?;
+            println!("darksil-d listening on {}", server.local_addr()?);
+            let summary = server.run()?;
+            println!(
+                "drained ({}, {} unfinished job(s) checkpointed in the journal)",
+                if summary.drained {
+                    "all jobs finished"
+                } else {
+                    "grace period expired"
+                },
+                summary.unfinished
+            );
+        }
     }
     Ok(())
 }
 
-/// Resolves a `RUN|PATH` argument to an events file: an existing path
-/// is taken as-is, otherwise the run label is looked up as
-/// `results/events_<RUN>.jsonl`; with no argument the sole
-/// `results/events_*.jsonl` is picked.
-fn resolve_events_path(spec: Option<&str>) -> Result<std::path::PathBuf, ParseError> {
-    use std::path::{Path, PathBuf};
-    if let Some(spec) = spec {
-        let direct = PathBuf::from(spec);
-        if direct.is_file() {
-            return Ok(direct);
-        }
-        let labelled = Path::new("results").join(format!("events_{spec}.jsonl"));
-        if labelled.is_file() {
-            return Ok(labelled);
-        }
-        return Err(ParseError(format!(
-            "no events file '{spec}' (looked for the path itself and {})",
-            labelled.display()
-        )));
-    }
-    let mut found: Vec<PathBuf> = Vec::new();
+/// Recorded event streams (`results/events_*.jsonl`), sorted. An
+/// absent or empty `results/` directory yields an empty list, not an
+/// I/O error.
+fn available_runs() -> Vec<std::path::PathBuf> {
+    let mut found = Vec::new();
     if let Ok(entries) = std::fs::read_dir("results") {
         for entry in entries.flatten() {
             let name = entry.file_name().to_string_lossy().into_owned();
@@ -1043,20 +1166,61 @@ fn resolve_events_path(spec: Option<&str>) -> Result<std::path::PathBuf, ParseEr
         }
     }
     found.sort();
+    found
+}
+
+/// Human-readable listing of the recorded runs, for error messages.
+fn available_runs_listing(found: &[std::path::PathBuf]) -> String {
+    if found.is_empty() {
+        "(none recorded — record one with `repro --events`)".to_string()
+    } else {
+        found
+            .iter()
+            .map(|p| p.display().to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// Resolves a `RUN|PATH` argument to an events file: an existing path
+/// is taken as-is, otherwise the run label is looked up as
+/// `results/events_<RUN>.jsonl`; with no argument the sole
+/// `results/events_*.jsonl` is picked. Failures are typed
+/// [`DarksilError`]s naming the paths that were tried and listing the
+/// runs that do exist, so `darksil report NO-SUCH-RUN` exits 1 with an
+/// actionable message instead of a bare I/O error.
+fn resolve_events_path(spec: Option<&str>) -> Result<std::path::PathBuf, DarksilError> {
+    use std::path::{Path, PathBuf};
+    let found = available_runs();
+    if let Some(spec) = spec {
+        let direct = PathBuf::from(spec);
+        if direct.is_file() {
+            return Ok(direct);
+        }
+        let labelled = Path::new("results").join(format!("events_{spec}.jsonl"));
+        if labelled.is_file() {
+            return Ok(labelled);
+        }
+        return Err(DarksilError::io(format!(
+            "no events file '{spec}' (looked for the path itself and {}); available runs: {}",
+            labelled.display(),
+            available_runs_listing(&found)
+        ))
+        .context("report"));
+    }
+    let mut found = found;
     match found.len() {
-        0 => Err(ParseError(
-            "no results/events_*.jsonl found — record one with `repro --events`".into(),
-        )),
+        0 => Err(DarksilError::io(
+            "no results/events_*.jsonl found — record one with `repro --events`",
+        )
+        .context("report")),
         1 => Ok(found.remove(0)),
-        _ => Err(ParseError(format!(
+        _ => Err(DarksilError::config(format!(
             "{} event streams in results/ — name one: {}",
             found.len(),
-            found
-                .iter()
-                .map(|p| p.display().to_string())
-                .collect::<Vec<_>>()
-                .join(", ")
-        ))),
+            available_runs_listing(&found)
+        ))
+        .context("report")),
     }
 }
 
@@ -2413,6 +2577,60 @@ mod tests {
         assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
         assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
         assert!(USAGE.contains("darksil estimate"));
+    }
+
+    #[test]
+    fn parses_serve_with_defaults_and_overrides() {
+        assert_eq!(
+            parse(&argv("serve")).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:8787".to_string(),
+                max_inflight: 64,
+                tenant_quota: 8,
+                state_dir: "state".to_string(),
+                deadline_s: 30.0,
+                drain_grace_s: 30.0,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "serve --addr 0.0.0.0:9000 --max-inflight 128 --tenant-quota 4 \
+                 --state-dir /tmp/darksil --deadline-s 5.5 --drain-grace-s 0"
+            ))
+            .unwrap(),
+            Command::Serve {
+                addr: "0.0.0.0:9000".to_string(),
+                max_inflight: 128,
+                tenant_quota: 4,
+                state_dir: "/tmp/darksil".to_string(),
+                deadline_s: 5.5,
+                drain_grace_s: 0.0,
+            }
+        );
+    }
+
+    #[test]
+    fn serve_rejects_nonsense_limits() {
+        assert!(parse(&argv("serve --max-inflight 0")).is_err());
+        assert!(parse(&argv("serve --tenant-quota 0")).is_err());
+        assert!(parse(&argv("serve --deadline-s 0")).is_err());
+        assert!(parse(&argv("serve --deadline-s nan")).is_err());
+        assert!(parse(&argv("serve --drain-grace-s -1")).is_err());
+        assert!(parse(&argv("serve --addr")).is_err());
+        assert!(parse(&argv("serve --bogus")).is_err());
+    }
+
+    #[test]
+    fn missing_events_run_is_a_typed_error_listing_alternatives() {
+        let err = resolve_events_path(Some("/nonexistent/darksil-zzz.jsonl")).unwrap_err();
+        assert_eq!(err.class(), darksil_robust::ErrorClass::Io);
+        let msg = err.to_string();
+        assert!(msg.contains("/nonexistent/darksil-zzz.jsonl"), "{msg}");
+        assert!(msg.contains("available runs"), "{msg}");
+        assert!(
+            msg.contains("report"),
+            "context names the subcommand: {msg}"
+        );
     }
 
     #[test]
