@@ -12,7 +12,7 @@
 //! bookkeeping consistent between the per-step power samples and the
 //! policy trace, and no NaN/Inf in any emitted field.
 //!
-//! On a violation the [`shrink`] pass reduces the case to a minimal
+//! On a violation the [`shrink()`] pass reduces the case to a minimal
 //! reproducer that still trips the same invariant, and [`corpus`]
 //! persists it as a `darksil-repro-v1` JSON file that the regression
 //! suite replays forever after. [`tournament`] pits the mapping and

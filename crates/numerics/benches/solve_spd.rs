@@ -6,7 +6,7 @@ use std::hint::black_box;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use darksil_numerics::{solve_spd_robust, CgOptions, CsrMatrix, TripletMatrix};
+use darksil_numerics::{factor_spd, solve_spd_robust, CgOptions, CsrMatrix, TripletMatrix};
 
 /// A W×H grid Laplacian: lateral conductances between 4-neighbours
 /// plus a vertical leak to the reference node, matching the structure
@@ -38,7 +38,11 @@ fn bench_solve_spd(c: &mut Criterion) {
     g.warm_up_time(Duration::from_millis(300));
     g.measurement_time(Duration::from_secs(2));
 
-    for (label, w, h) in [("small_8x8", 8, 8), ("medium_20x20", 20, 20)] {
+    for (label, w, h) in [
+        ("small_8x8", 8, 8),
+        ("medium_20x20", 20, 20),
+        ("large_40x40", 40, 40),
+    ] {
         let a = grid_laplacian(w, h);
         let b = checkerboard_load(w * h);
         let options = CgOptions::default();
@@ -53,5 +57,54 @@ fn bench_solve_spd(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_solve_spd);
+/// The fig8 hot-path comparison: one matrix, many right-hand sides
+/// (like the ~100 steady-state solves behind a thermal-aware placement).
+/// "cg_per_rhs" pays a full iterative solve per load; "factor_once"
+/// factors once and substitutes per load.
+fn bench_factor_vs_cg(c: &mut Criterion) {
+    const RHS_COUNT: usize = 32;
+
+    let mut g = c.benchmark_group("factor_once_vs_cg_per_rhs");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(20);
+
+    for (label, w, h) in [
+        ("small_8x8", 8, 8),
+        ("medium_20x20", 20, 20),
+        ("large_40x40", 40, 40),
+    ] {
+        let a = grid_laplacian(w, h);
+        let n = w * h;
+        let loads: Vec<Vec<f64>> = (0..RHS_COUNT)
+            .map(|k| {
+                (0..n)
+                    .map(|i| if (i + k) % 3 == 0 { 3.0 } else { 0.5 })
+                    .collect()
+            })
+            .collect();
+        let options = CgOptions::default();
+
+        g.bench_with_input(BenchmarkId::new("cg_per_rhs", label), &a, |bench, a| {
+            bench.iter(|| {
+                for b in &loads {
+                    let (x, _) = solve_spd_robust(black_box(a), black_box(b), &options)
+                        .expect("SPD grid system must solve");
+                    black_box(x);
+                }
+            });
+        });
+
+        g.bench_with_input(BenchmarkId::new("factor_once", label), &a, |bench, a| {
+            bench.iter(|| {
+                let factors = factor_spd(black_box(a)).expect("grid factors");
+                let xs = factors.solve_many(black_box(&loads)).expect("batch solves");
+                black_box(xs)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_solve_spd, bench_factor_vs_cg);
 criterion_main!(benches);

@@ -5,18 +5,72 @@
 //! integrate stiff linear ODEs (transient turbo-boost simulations), and
 //! the power crate fits Eq. (1) of the paper to sampled data. Rather than
 //! pull in a linear-algebra dependency, this crate provides exactly the
-//! kernels needed:
+//! kernels needed, organised around **two solve paths**:
 //!
-//! * [`DenseMatrix`] with LU factorisation ([`LuFactors`]) and partial
-//!   pivoting — used for small systems and for cross-validating the
-//!   iterative solver,
-//! * [`CsrMatrix`] compressed sparse row storage built via
-//!   [`TripletMatrix`],
-//! * [`conjugate_gradient`] with Jacobi preconditioning for SPD systems,
-//! * [`ode`] backward-Euler / RK4 steppers for `C·dx/dt = b − G·x`,
-//! * [`fit_least_squares`] linear least squares via normal equations.
+//! # The factor-cached fast path
+//!
+//! The RC conductance topology is fixed per floorplan — across a sweep,
+//! a leakage fixed point, or a placement-optimisation loop only the
+//! power right-hand side changes. [`factor_spd`] pays for a
+//! fill-reducing ordering and symbolic analysis **once**, returning
+//! reusable [`SpdFactors`] whose [`solve`](SpdFactors::solve) /
+//! [`solve_many`](SpdFactors::solve_many) are pure sparse
+//! substitutions, and whose
+//! [`refactor_diagonal`](SpdFactors::refactor_diagonal) absorbs
+//! diagonal-only matrix updates without repeating the symbolic work.
+//! [`FactorCache`] keys factors by content digest (bounded,
+//! thread-safe), and [`solve_spd_cached`] is the drop-in entry point:
+//! factored solve + residual check, falling back to the robust chain
+//! when the matrix is unfactorable or the solution drifts.
+//!
+//! # The robust iterative path
+//!
+//! [`solve_spd_robust`] runs Jacobi-preconditioned
+//! [`conjugate_gradient`], escalating to restarted CG and finally dense
+//! LU ([`DenseMatrix`], [`LuFactors`]) so callers always get a finite
+//! answer or a typed error. [`solve_spd_robust_from`] warm-starts the
+//! first CG attempt from a caller-supplied seed (e.g. the neighbouring
+//! sweep point's solution), guarded so a warm start never returns a
+//! worse residual than a cold one.
+//!
+//! Supporting kernels: [`CsrMatrix`] / [`TripletMatrix`] sparse
+//! storage, [`ode`] backward-Euler / RK4 steppers for
+//! `C·dx/dt = b − G·x`, and [`fit_least_squares`] linear least squares.
 //!
 //! # Examples
+//!
+//! Factor once, solve many — the fig8 hot-path shape:
+//!
+//! ```
+//! use darksil_numerics::{factor_spd, TripletMatrix};
+//!
+//! // A 1-D RC chain: fixed topology, varying power inputs.
+//! let n = 16;
+//! let mut t = TripletMatrix::new(n, n);
+//! for i in 0..n - 1 {
+//!     t.stamp_conductance(i, i + 1, 2.0);
+//! }
+//! for i in 0..n {
+//!     t.stamp_to_reference(i, 0.5);
+//! }
+//! let g = t.to_csr();
+//!
+//! // Ordering + symbolic analysis + numeric factorisation: once.
+//! let factors = factor_spd(&g)?;
+//!
+//! // Every subsequent right-hand side is a cheap substitution.
+//! let loads: Vec<Vec<f64>> = (0..4)
+//!     .map(|k| (0..n).map(|i| ((i + k) % 3) as f64).collect())
+//!     .collect();
+//! let temps = factors.solve_many(&loads)?;
+//! for (b, x) in loads.iter().zip(&temps) {
+//!     let r = g.mul_vec(x);
+//!     assert!(r.iter().zip(b).all(|(ri, bi)| (ri - bi).abs() < 1e-9));
+//! }
+//! # Ok::<(), darksil_numerics::NumericsError>(())
+//! ```
+//!
+//! The robust iterative path for one-off systems:
 //!
 //! ```
 //! use darksil_numerics::{TripletMatrix, conjugate_gradient, CgOptions};
@@ -38,6 +92,7 @@
 mod cg;
 mod dense;
 mod error;
+pub mod factor;
 mod lstsq;
 pub mod ode;
 pub mod robust;
@@ -49,8 +104,12 @@ pub use cg::{
 };
 pub use dense::{DenseMatrix, LuFactors};
 pub use error::NumericsError;
+pub use factor::{
+    factor_cache_stats, factor_spd, matrix_digest, solve_spd_cached, solve_spd_cached_from,
+    solve_spd_factored, FactorCache, FactorCacheStats, SpdFactors,
+};
 pub use lstsq::{fit_least_squares, polynomial_fit};
-pub use robust::{solve_spd_robust, SolveDiagnostics, SolveStage};
+pub use robust::{solve_spd_robust, solve_spd_robust_from, SolveDiagnostics, SolveStage};
 pub use sparse::{CsrMatrix, TripletMatrix};
 
 /// Euclidean norm of a vector.

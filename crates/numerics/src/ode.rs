@@ -7,6 +7,9 @@
 //! so the default stepper is backward Euler (A-stable). An explicit RK4
 //! stepper is provided for accuracy cross-checks at small steps.
 
+use std::sync::{Arc, OnceLock};
+
+use crate::factor::{FactorCache, SpdFactors};
 use crate::{conjugate_gradient, CgOptions, CsrMatrix, NumericsError, TripletMatrix};
 
 /// A linear first-order system `C·dx/dt = b − G·x` with diagonal `C`.
@@ -101,6 +104,7 @@ impl LinearOde {
             system: t.to_csr(),
             c_over_dt: self.capacitance.iter().map(|c| c / dt).collect(),
             dt,
+            factors: OnceLock::new(),
         })
     }
 
@@ -127,11 +131,20 @@ impl LinearOde {
 }
 
 /// Pre-assembled backward-Euler stepper for a [`LinearOde`].
+///
+/// The implicit matrix `(C/dt + G)` is fixed for the stepper's lifetime,
+/// so the first [`BackwardEuler::step`] factors it through the global
+/// [`FactorCache`]; every subsequent step is a sparse substitution. When
+/// the matrix cannot be factored the stepper transparently falls back to
+/// conjugate gradient per step.
 #[derive(Debug, Clone)]
 pub struct BackwardEuler {
     system: CsrMatrix,
     c_over_dt: Vec<f64>,
     dt: f64,
+    /// Lazily-resolved cached factors: `None` inside means the matrix was
+    /// tried and is not factorable (use CG per step).
+    factors: OnceLock<Option<Arc<SpdFactors>>>,
 }
 
 impl BackwardEuler {
@@ -145,8 +158,8 @@ impl BackwardEuler {
     ///
     /// # Errors
     ///
-    /// Propagates solver failures from the inner conjugate-gradient
-    /// solve.
+    /// Propagates solver failures from the inner solve (factored fast
+    /// path with conjugate-gradient fallback).
     ///
     /// # Panics
     ///
@@ -160,6 +173,15 @@ impl BackwardEuler {
             .zip(b)
             .map(|((xi, ci), bi)| ci * xi + bi)
             .collect();
+        let factors = self
+            .factors
+            .get_or_init(|| FactorCache::global().get_or_factor(&self.system));
+        if let Some(factors) = factors {
+            let x_next = factors.solve(&rhs)?;
+            if x_next.iter().all(|v| v.is_finite()) {
+                return Ok(x_next);
+            }
+        }
         conjugate_gradient(&self.system, &rhs, &CgOptions::default())
     }
 }

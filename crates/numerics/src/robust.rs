@@ -19,6 +19,8 @@ const RELAXED_FLOOR: f64 = 1.0e-6;
 /// Which stage of the fallback chain produced the solution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SolveStage {
+    /// Direct solve through cached sparse LDLᵀ factors — no iteration.
+    Factored,
     /// First-attempt preconditioned CG.
     Cg,
     /// CG restarted from the stalled iterate with relaxed tolerance.
@@ -32,6 +34,7 @@ impl SolveStage {
     #[must_use]
     pub fn label(self) -> &'static str {
         match self {
+            Self::Factored => "factored",
             Self::Cg => "cg",
             Self::RestartedCg => "restarted_cg",
             Self::DenseLu => "dense_lu",
@@ -68,36 +71,88 @@ pub fn solve_spd_robust(
     b: &[f64],
     options: &CgOptions,
 ) -> Result<(Vec<f64>, SolveDiagnostics), NumericsError> {
+    solve_spd_robust_from(a, b, None, options)
+}
+
+/// [`solve_spd_robust`] with an optional warm-start seed for the first
+/// CG attempt — typically the previous fixed-point iteration's or the
+/// neighbouring sweep point's solution.
+///
+/// The seed is guarded: it is only used when it is finite and its
+/// residual beats a cold (zero) start, so a warm-started solve never
+/// returns a worse residual than a cold one would.
+///
+/// # Errors
+///
+/// Same as [`solve_spd_robust`].
+pub fn solve_spd_robust_from(
+    a: &CsrMatrix,
+    b: &[f64],
+    seed: Option<&[f64]>,
+    options: &CgOptions,
+) -> Result<(Vec<f64>, SolveDiagnostics), NumericsError> {
     let _span = darksil_obs::span("numerics.solve_spd");
     #[allow(clippy::cast_precision_loss)]
     darksil_obs::observe("numerics.solve_rows", a.rows() as f64);
-    let result = solve_chain(a, b, options);
+    let result = solve_chain_from(a, b, seed, options);
     if let Ok((_, diag)) = &result {
-        darksil_obs::counter(
-            match diag.stage {
-                SolveStage::Cg => "numerics.stage.cg",
-                SolveStage::RestartedCg => "numerics.stage.restarted_cg",
-                SolveStage::DenseLu => "numerics.stage.dense_lu",
-            },
-            1,
-        );
-        darksil_obs::counter("numerics.fallback", diag.fallbacks as u64);
-        #[allow(clippy::cast_precision_loss)]
-        darksil_obs::observe("numerics.cg.iterations", diag.cg_iterations as f64);
-        darksil_obs::observe("numerics.cg.residual", diag.residual);
+        record_diagnostics(diag);
     }
     result
 }
 
-fn solve_chain(
+/// Records the per-solve counters and observations for a finished
+/// solve. Shared between the robust chain and the factor-cached path so
+/// both feed the same `trace summarize` derived solver line.
+pub(crate) fn record_diagnostics(diag: &SolveDiagnostics) {
+    darksil_obs::counter(
+        match diag.stage {
+            SolveStage::Factored => "numerics.stage.factored",
+            SolveStage::Cg => "numerics.stage.cg",
+            SolveStage::RestartedCg => "numerics.stage.restarted_cg",
+            SolveStage::DenseLu => "numerics.stage.dense_lu",
+        },
+        1,
+    );
+    darksil_obs::counter("numerics.fallback", diag.fallbacks as u64);
+    // CG observations describe the iterative chain; a factored solve
+    // never ran it, and skipping the zero samples keeps the fast path
+    // lean and the series meaningful.
+    if diag.stage != SolveStage::Factored {
+        #[allow(clippy::cast_precision_loss)]
+        darksil_obs::observe("numerics.cg.iterations", diag.cg_iterations as f64);
+        darksil_obs::observe("numerics.cg.residual", diag.residual);
+    }
+}
+
+pub(crate) fn solve_chain_from(
     a: &CsrMatrix,
     b: &[f64],
+    seed: Option<&[f64]>,
     options: &CgOptions,
 ) -> Result<(Vec<f64>, SolveDiagnostics), NumericsError> {
     check_finite_inputs(a, b)?;
 
+    // A warm start must never make things worse: only use the seed when
+    // it is finite, shaped right, and its residual beats a cold (zero)
+    // start's residual ‖b‖.
+    let seed = seed.filter(|s| {
+        s.len() == b.len() && s.iter().all(|v| v.is_finite()) && {
+            let ax = a.mul_vec(s);
+            let r2: f64 = b
+                .iter()
+                .zip(&ax)
+                .map(|(bi, axi)| (bi - axi) * (bi - axi))
+                .sum();
+            r2.sqrt() < norm2(b)
+        }
+    });
+    if seed.is_some() {
+        darksil_obs::counter("numerics.warm_start", 1);
+    }
+
     // Stage 1: the caller's CG configuration.
-    let (x1, out1, converged) = conjugate_gradient_best_effort(a, b, None, options)?;
+    let (x1, out1, converged) = conjugate_gradient_best_effort(a, b, seed, options)?;
     if converged && x1.iter().all(|v| v.is_finite()) {
         return Ok((
             x1,
@@ -260,6 +315,37 @@ mod tests {
         let err = solve_spd_robust(&t.to_csr(), &[1.0, 1.0], &CgOptions::default())
             .expect_err("rejects Inf");
         assert!(err.to_string().contains("(0, 0)"), "{err}");
+    }
+
+    #[test]
+    fn warm_start_from_exact_solution_converges_immediately() {
+        let a = laplacian(40);
+        let b = vec![1.0; 40];
+        let (x, _) = solve_spd_robust(&a, &b, &CgOptions::default()).expect("cold solves");
+        let (x2, diag) =
+            solve_spd_robust_from(&a, &b, Some(&x), &CgOptions::default()).expect("warm solves");
+        assert_eq!(diag.stage, SolveStage::Cg);
+        assert!(
+            diag.cg_iterations <= 1,
+            "exact seed should need at most one iteration, took {}",
+            diag.cg_iterations
+        );
+        let r = a.mul_vec(&x2);
+        assert!((r[20] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bad_seed_is_discarded() {
+        let a = laplacian(20);
+        let b = vec![1.0; 20];
+        // A wildly wrong seed (worse than a zero start) and a NaN seed
+        // must both be ignored rather than poisoning the solve.
+        for seed in [vec![1.0e9; 20], vec![f64::NAN; 20], vec![0.0; 5]] {
+            let (x, _) = solve_spd_robust_from(&a, &b, Some(&seed), &CgOptions::default())
+                .expect("solves despite bad seed");
+            let r = a.mul_vec(&x);
+            assert!((r[10] - 1.0).abs() < 1e-6);
+        }
     }
 
     #[test]

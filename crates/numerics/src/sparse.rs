@@ -199,6 +199,29 @@ impl CsrMatrix {
         }
     }
 
+    /// `‖b − A·x‖₂` without allocating the intermediate product — the
+    /// residual check on the factored fast path runs once per solve, so
+    /// it must not cost more than the substitution it guards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions disagree.
+    #[must_use]
+    pub fn residual_norm(&self, x: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.cols, "residual: x dimension mismatch");
+        assert_eq!(b.len(), self.rows, "residual: b dimension mismatch");
+        let mut sum = 0.0;
+        for (i, &bi) in b.iter().enumerate() {
+            let mut acc = 0.0;
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            let d = bi - acc;
+            sum += d * d;
+        }
+        sum.sqrt()
+    }
+
     /// The main diagonal as a vector (zeros where not stored).
     #[must_use]
     pub fn diagonal(&self) -> Vec<f64> {

@@ -231,3 +231,148 @@ proptest! {
         prop_assert!(x.iter().all(|v| v.is_finite()));
     }
 }
+
+/// Builds a random `w×h` RC-grid conductance matrix — the exact sparsity
+/// shape of a floorplan's thermal network.
+fn random_rc_grid(
+    w: usize,
+    h: usize,
+    edges: &[f64],
+    grounds: &[f64],
+) -> darksil_numerics::CsrMatrix {
+    let n = w * h;
+    let mut t = TripletMatrix::new(n, n);
+    let mut k = 0;
+    for y in 0..h {
+        for x in 0..w {
+            let i = y * w + x;
+            if x + 1 < w {
+                t.stamp_conductance(i, i + 1, edges[k % edges.len()]);
+                k += 1;
+            }
+            if y + 1 < h {
+                t.stamp_conductance(i, i + w, edges[k % edges.len()]);
+                k += 1;
+            }
+            t.stamp_to_reference(i, grounds[i % grounds.len()]);
+        }
+    }
+    t.to_csr()
+}
+
+fn residual_of(a: &darksil_numerics::CsrMatrix, x: &[f64], b: &[f64]) -> f64 {
+    a.mul_vec(x)
+        .iter()
+        .zip(b)
+        .map(|(ax, bi)| (ax - bi) * (ax - bi))
+        .sum::<f64>()
+        .sqrt()
+}
+
+// Properties of the factor-cached fast path: a direct LDLᵀ solve must
+// agree with the iterative chain, diagonal-only refactorisation must be
+// indistinguishable from factoring fresh, and warm starts must never
+// make a solve worse.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The factored path and `solve_spd_robust` agree to tolerance on
+    /// random SPD RC grids.
+    #[test]
+    fn factored_path_agrees_with_robust_chain(
+        w in 2_usize..7,
+        h in 2_usize..7,
+        edges in prop::collection::vec(0.1_f64..10.0, 8),
+        grounds in prop::collection::vec(0.05_f64..2.0, 8),
+        loads in prop::collection::vec(-10.0_f64..10.0, 8),
+    ) {
+        use darksil_numerics::{factor_spd, solve_spd_robust};
+        let a = random_rc_grid(w, h, &edges, &grounds);
+        let n = w * h;
+        let b: Vec<f64> = (0..n).map(|i| loads[i % loads.len()]).collect();
+        let factors = factor_spd(&a).expect("RC grids are SPD");
+        let x = factors.solve(&b).expect("factored solve succeeds");
+        let (x_chain, _) = solve_spd_robust(&a, &b, &CgOptions::default())
+            .expect("robust chain solves");
+        let scale = 1.0 + b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        prop_assert!(residual_of(&a, &x, &b) < 1e-8 * scale);
+        for (xf, xc) in x.iter().zip(&x_chain) {
+            prop_assert!((xf - xc).abs() < 1e-5 * scale, "{xf} vs {xc}");
+        }
+    }
+
+    /// Refactorising after a diagonal-only update produces exactly the
+    /// same factors as factoring the updated matrix from scratch.
+    #[test]
+    fn diagonal_refactor_matches_fresh_factorisation(
+        w in 2_usize..6,
+        h in 2_usize..6,
+        edges in prop::collection::vec(0.1_f64..10.0, 8),
+        grounds in prop::collection::vec(0.05_f64..2.0, 8),
+        bumps in prop::collection::vec(0.0_f64..3.0, 8),
+    ) {
+        use darksil_numerics::factor_spd;
+        let a = random_rc_grid(w, h, &edges, &grounds);
+        let n = w * h;
+        let new_diag: Vec<f64> = a
+            .diagonal()
+            .iter()
+            .enumerate()
+            .map(|(i, d)| d + bumps[i % bumps.len()])
+            .collect();
+
+        let mut updated = factor_spd(&a).expect("RC grids are SPD");
+        updated.refactor_diagonal(&new_diag).expect("diagonal update stays SPD");
+
+        let mut t = TripletMatrix::new(n, n);
+        for (r, c, v) in a.iter() {
+            if r != c {
+                t.add(r, c, v);
+            }
+        }
+        for (i, &d) in new_diag.iter().enumerate() {
+            t.add(i, i, d);
+        }
+        let fresh = factor_spd(&t.to_csr()).expect("updated grid is SPD");
+        let b: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 2.0).collect();
+        prop_assert_eq!(
+            updated.solve(&b).expect("updated solve"),
+            fresh.solve(&b).expect("fresh solve")
+        );
+    }
+
+    /// A warm-started solve never returns a worse residual than the
+    /// cold-started one (up to the convergence target both are allowed
+    /// to stop at) — whatever seed is offered, including terrible ones.
+    #[test]
+    fn warm_start_never_worse_than_cold(
+        w in 2_usize..6,
+        h in 2_usize..6,
+        edges in prop::collection::vec(0.1_f64..10.0, 8),
+        grounds in prop::collection::vec(0.05_f64..2.0, 8),
+        loads in prop::collection::vec(-10.0_f64..10.0, 8),
+        seed_scale in -2.0_f64..2.0,
+    ) {
+        use darksil_numerics::{solve_spd_robust, solve_spd_robust_from};
+        let a = random_rc_grid(w, h, &edges, &grounds);
+        let n = w * h;
+        let b: Vec<f64> = (0..n).map(|i| loads[i % loads.len()]).collect();
+        let options = CgOptions::default();
+
+        let (x_cold, cold) = solve_spd_robust(&a, &b, &options).expect("cold solves");
+        // Seed anywhere between "garbage" and "nearly exact".
+        let seed: Vec<f64> = x_cold.iter().map(|v| v * seed_scale).collect();
+        let (_, warm) = solve_spd_robust_from(&a, &b, Some(&seed), &options)
+            .expect("warm solves");
+
+        let norm_b = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let target = options.tolerance * (1.0 + norm_b);
+        prop_assert!(
+            warm.residual <= cold.residual.max(target) * (1.0 + 1e-9),
+            "warm residual {} exceeds cold {} (target {target})",
+            warm.residual,
+            cold.residual
+        );
+        prop_assert!(warm.cg_iterations <= cold.cg_iterations + 1);
+    }
+}

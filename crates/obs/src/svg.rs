@@ -1,6 +1,6 @@
 //! Shared building blocks for self-contained HTML/SVG reports.
 //!
-//! The run report ([`crate::report`]) and downstream renderers (the
+//! The run report (`crate::report`) and downstream renderers (the
 //! sweep report in `darksil-sweep`) emit the same kind of document:
 //! inline SVG charts, plain tables, no scripts, no external fetches.
 //! This module holds the pieces they share — escaping, label

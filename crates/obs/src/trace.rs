@@ -230,7 +230,8 @@ impl Trace {
 
     /// Renders the hot-path table shown by `darksil trace summarize`:
     /// the top `top` span names by inclusive time, followed by derived
-    /// cache/supervisor health lines and all counters and observations.
+    /// cache/supervisor/solver health lines and all counters and
+    /// observations.
     #[must_use]
     pub fn render_summary(&self, top: usize) -> String {
         let mut out = String::new();
@@ -276,6 +277,27 @@ impl Trace {
                 out,
                 "supervisor: {retries} retries, {degraded} degraded runs, \
                  {breaker_skips} retries skipped (breaker open)"
+            );
+        }
+        let factored = self.counter("numerics.stage.factored");
+        let cg = self.counter("numerics.stage.cg");
+        let restarted = self.counter("numerics.stage.restarted_cg");
+        let dense_lu = self.counter("numerics.stage.dense_lu");
+        if factored + cg + restarted + dense_lu > 0 {
+            let factor_hits = self.counter("numerics.factor_cache.hit");
+            let factor_lookups = factor_hits + self.counter("numerics.factor_cache.miss");
+            #[allow(clippy::cast_precision_loss)]
+            let factor_rate = if factor_lookups > 0 {
+                factor_hits as f64 / factor_lookups as f64 * 100.0
+            } else {
+                0.0
+            };
+            let warm_starts = self.counter("numerics.warm_start");
+            let _ = writeln!(
+                out,
+                "solver: {factored} factored / {cg} cg / {restarted} restarted / \
+                 {dense_lu} dense-lu; factor cache {factor_hits}/{factor_lookups} \
+                 ({factor_rate:.1}% hit rate), {warm_starts} warm-started"
             );
         }
 
@@ -587,5 +609,39 @@ mod tests {
             ),
             "{text}"
         );
+    }
+
+    #[test]
+    fn render_summary_derives_solver_stats() {
+        // No solves recorded: the line is suppressed entirely.
+        assert!(!fixture().render_summary(10).contains("solver:"));
+
+        let mut trace = fixture();
+        trace.counters.extend([
+            ("numerics.stage.factored".to_string(), 100),
+            ("numerics.stage.cg".to_string(), 7),
+            ("numerics.stage.dense_lu".to_string(), 1),
+            ("numerics.factor_cache.hit".to_string(), 99),
+            ("numerics.factor_cache.miss".to_string(), 1),
+            ("numerics.warm_start".to_string(), 42),
+        ]);
+        let text = trace.render_summary(10);
+        assert!(
+            text.contains(
+                "solver: 100 factored / 7 cg / 0 restarted / 1 dense-lu; \
+                 factor cache 99/100 (99.0% hit rate), 42 warm-started"
+            ),
+            "{text}"
+        );
+
+        // A chain-only profile (no factor-cache lookups at all) still
+        // renders, with a zero hit rate rather than a division by zero.
+        let mut chain_only = fixture();
+        chain_only
+            .counters
+            .push(("numerics.stage.cg".to_string(), 12));
+        let text = chain_only.render_summary(10);
+        assert!(text.contains("solver: 0 factored / 12 cg"), "{text}");
+        assert!(text.contains("factor cache 0/0 (0.0% hit rate)"), "{text}");
     }
 }

@@ -288,7 +288,7 @@ impl Response {
     }
 
     /// A typed error response: the body is a JSON envelope holding the
-    /// [`DarksilError`] so clients see the same error shape the CLI
+    /// [`DarksilError`](darksil_robust::DarksilError) so clients see the same error shape the CLI
     /// prints.
     #[must_use]
     pub fn error(status: u16, error: &darksil_robust::DarksilError) -> Self {

@@ -771,7 +771,21 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
             ]),
         ),
         ("GET", "/v1/stats") => {
-            Response::json(200, &state.registry.stats_json(state.is_draining()))
+            let mut stats = state.registry.stats_json(state.is_draining());
+            // Engine jobs share the process-global factorisation cache;
+            // surface its health next to the admission counters.
+            if let Json::Obj(pairs) = &mut stats {
+                let fc = darksil_numerics::factor_cache_stats();
+                pairs.push((
+                    "factor_cache".to_string(),
+                    Json::Obj(vec![
+                        ("hits".to_string(), fc.hits.to_json()),
+                        ("misses".to_string(), fc.misses.to_json()),
+                        ("entries".to_string(), (fc.entries as u64).to_json()),
+                    ]),
+                ));
+            }
+            Response::json(200, &stats)
         }
         ("POST", "/v1/jobs") => handle_submit(state, request),
         ("POST", "/v1/drain") => {

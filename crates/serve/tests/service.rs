@@ -251,6 +251,10 @@ fn submit_poll_fetch_and_cross_tenant_dedup() {
         stats.contains("deduped"),
         "stats expose dedup counts: {stats}"
     );
+    assert!(
+        stats.contains("factor_cache"),
+        "stats expose factorisation-cache health: {stats}"
+    );
 
     let summary = daemon.drain();
     assert!(summary.drained, "all work finished before the grace period");

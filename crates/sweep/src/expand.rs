@@ -118,7 +118,7 @@ fn axis_values(kind: &AxisKind) -> Vec<AxisValue> {
 /// # Errors
 ///
 /// Returns [`SweepError::Invalid`] when the grid exceeds
-/// [`MAX_GRID_POINTS`] or an expanded point fails strict scenario
+/// `MAX_GRID_POINTS` or an expanded point fails strict scenario
 /// validation (the error names the point and draw).
 pub fn expand(spec: &SweepSpec) -> Result<SweepPlan, SweepError> {
     let grid_axes: Vec<(String, Vec<AxisValue>)> = spec

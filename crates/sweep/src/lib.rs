@@ -5,23 +5,23 @@
 //! space. This crate turns figure reproduction into a general, cached,
 //! parallel exploration engine, in four layers:
 //!
-//! 1. **Spec** ([`spec`]): a versioned JSON format
+//! 1. **Spec** (`spec`): a versioned JSON format
 //!    (`darksil-sweepspec-v1`) describing a base scenario plus
 //!    per-parameter axes — `list`, `range`, `logrange`, and
 //!    `gauss(μ, σ, clamp)` Monte-Carlo distributions — over tech node,
 //!    fraction parallelism, core perf/power spread, TDP, and policy.
-//! 2. **Compiler** ([`expand`]): deterministic expansion into a job
+//! 2. **Compiler** (`expand`): deterministic expansion into a job
 //!    plan — the cartesian grid of the deterministic axes × `draws`
 //!    Monte-Carlo draws, every sampled value regenerated in isolation
 //!    from a split-mix RNG keyed by `(seed, point_index, draw_index)`.
 //!    Every expanded scenario passes the strict scenario validator.
-//! 3. **Runner** ([`run`]): streams the plan through the
+//! 3. **Runner** (`run`): streams the plan through the
 //!    [`darksil_engine`] worker pool (submission-order results, so
 //!    output bytes are identical at any `--jobs`), the
 //!    content-addressed result cache (editing one axis recomputes only
 //!    the delta), supervision (deadline/retries/breaker), and the run
 //!    journal for resumability.
-//! 4. **Analysis & reporting** ([`analysis`], [`report`]):
+//! 4. **Analysis & reporting** (`analysis`, `report`):
 //!    Pareto-frontier extraction over (throughput, dark ratio, peak
 //!    temperature), per-point p5/p50/p95 uncertainty bands across
 //!    draws, summary stats on the obs histogram machinery, a

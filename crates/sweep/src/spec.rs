@@ -175,7 +175,7 @@ impl AxisKind {
 /// One swept parameter.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Axis {
-    /// The parameter name (see [`param_names`]).
+    /// The parameter name (see `param_names`).
     pub param: String,
     /// How the parameter varies.
     pub kind: AxisKind,

@@ -1,8 +1,11 @@
 //! RC-network assembly and steady-state solving.
 
 use darksil_floorplan::Floorplan;
+use std::sync::Arc;
+
 use darksil_numerics::{
-    solve_spd_robust, CgOptions, CsrMatrix, LuFactors, SolveDiagnostics, TripletMatrix,
+    solve_spd_factored, CgOptions, CsrMatrix, FactorCache, LuFactors, SolveDiagnostics, SpdFactors,
+    TripletMatrix,
 };
 use darksil_units::{Celsius, Watts};
 
@@ -37,6 +40,12 @@ pub struct ThermalModel {
     subdivision: usize,
     /// Logical core owning each fine die cell.
     core_of_cell: Vec<usize>,
+    /// Sparse LDLᵀ factors of `g`, resolved at construction through the
+    /// process-global `FactorCache` — "factor once" literally happens
+    /// when the model is assembled, so every steady-state solve is a
+    /// pure substitution. `None` means the matrix is not factorable and
+    /// solves go through the iterative chain.
+    factors: Option<Arc<SpdFactors>>,
 }
 
 impl ThermalModel {
@@ -230,8 +239,10 @@ impl ThermalModel {
         capacitance[sink_periph] = sink.specific_heat * sink_ring_area * sink.thickness_m
             + package.convection_capacitance * ring_share;
 
+        let g = g.to_csr();
+        let factors = FactorCache::global().get_or_factor(&g);
         Ok(Self {
-            g: g.to_csr(),
+            g,
             g_ambient,
             capacitance,
             ambient: package.ambient,
@@ -240,6 +251,7 @@ impl ThermalModel {
             cols: plan.cols(),
             subdivision: 1,
             core_of_cell: (0..n).collect(),
+            factors,
         })
     }
 
@@ -351,10 +363,13 @@ impl ThermalModel {
 
     /// Solves the steady-state temperatures for a per-core power map.
     ///
-    /// The solve runs through the robust fallback chain (preconditioned
-    /// CG → restarted CG with relaxed tolerance → dense LU), so a
-    /// transiently ill-conditioned system degrades to a slower solve
-    /// instead of an error.
+    /// The solve prefers the factor-cached fast path (sparse LDLᵀ
+    /// factored once per conductance matrix, then reused across every
+    /// solve on the same floorplan) and falls back to the robust chain
+    /// (preconditioned CG → restarted CG with relaxed tolerance → dense
+    /// LU) when the factors are unavailable or residual-checked
+    /// solutions drift — so a transiently ill-conditioned system
+    /// degrades to a slower solve instead of an error.
     ///
     /// # Errors
     ///
@@ -364,6 +379,25 @@ impl ThermalModel {
     pub fn steady_state(&self, power: &[Watts]) -> Result<ThermalMap, ThermalError> {
         self.steady_state_with_diagnostics(power)
             .map(|(map, _)| map)
+    }
+
+    /// Like [`ThermalModel::steady_state`] but seeds any iterative
+    /// fallback solve from a previous solution's node states — the warm
+    /// start used by fixed-point loops (leakage↔temperature) and
+    /// placement optimisers where successive power maps differ little.
+    /// The factored fast path needs no seed; when the solve does fall
+    /// back to CG, the seed is guarded so a warm start never produces a
+    /// worse residual than a cold one.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ThermalModel::steady_state`].
+    pub fn steady_state_seeded(
+        &self,
+        power: &[Watts],
+        seed: Option<&ThermalMap>,
+    ) -> Result<ThermalMap, ThermalError> {
+        self.steady_state_inner(power, seed).map(|(map, _)| map)
     }
 
     /// Like [`ThermalModel::steady_state`] but also reports which solver
@@ -376,11 +410,28 @@ impl ThermalModel {
         &self,
         power: &[Watts],
     ) -> Result<(ThermalMap, SolveDiagnostics), ThermalError> {
+        self.steady_state_inner(power, None)
+    }
+
+    fn steady_state_inner(
+        &self,
+        power: &[Watts],
+        seed: Option<&ThermalMap>,
+    ) -> Result<(ThermalMap, SolveDiagnostics), ThermalError> {
         let _span = darksil_obs::span("thermal.steady_state");
         #[allow(clippy::cast_precision_loss)]
         darksil_obs::observe("thermal.solve_nodes", self.node_count() as f64);
         let rhs = self.rhs(power)?;
-        let (state, diagnostics) = solve_spd_robust(&self.g, &rhs, &self.cg_options())?;
+        let seed_state: Option<&[f64]> = seed
+            .map(ThermalMap::state)
+            .filter(|s| s.len() == self.node_count());
+        let (state, diagnostics) = solve_spd_factored(
+            self.factors.as_deref(),
+            &self.g,
+            &rhs,
+            seed_state,
+            &self.cg_options(),
+        )?;
         let map = self.map_from_state(state);
         if darksil_obs::events_enabled() {
             let peak = map.peak().value();

@@ -1579,6 +1579,12 @@ fn run_sweep_cmd(
         result.cache.recovered,
         if no_cache { " (cache off)" } else { "" },
     );
+    // Fully cache-served sweeps do no solves and so no factor lookups;
+    // only print the line when the solver actually ran.
+    let fc = darksil_numerics::factor_cache_stats();
+    if fc.hits + fc.misses > 0 {
+        println!("  factor cache: {} reused, {} factored", fc.hits, fc.misses);
+    }
     println!(
         "  Pareto frontier: {} of {} point(s)",
         result.frontier.len(),
