@@ -78,7 +78,8 @@ pub use cache::{
 pub use par_map::Engine;
 pub use pool::{JobHandle, ThreadPool};
 pub use supervisor::{
-    AttemptRecord, BackoffPolicy, CircuitBreaker, JobSpec, Supervised, Supervisor,
+    AttemptHook, AttemptRecord, AttemptTransition, BackoffPolicy, CircuitBreaker, JobSpec,
+    Supervised, Supervisor,
 };
 
 use std::sync::atomic::{AtomicUsize, Ordering};

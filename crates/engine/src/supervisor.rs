@@ -28,11 +28,86 @@
 //! backoff, wall-clock) for the run journal and error report.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use darksil_json::{Json, ToJson};
 use darksil_robust::{CancellationToken, DarksilError, RunContext, SplitMix64};
+
+/// A lifecycle transition reported through the supervisor's attempt
+/// hook ([`Supervisor::set_attempt_hook`]). Observers — the service's
+/// job-status stream, most notably — receive one of these per attempt
+/// boundary, tagged with the job name, while the attempt is happening
+/// rather than after `run` returns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttemptTransition {
+    /// An attempt is about to run.
+    Started {
+        /// 0-based attempt number.
+        attempt: u32,
+        /// Whether this attempt runs in declared degraded mode.
+        degraded: bool,
+    },
+    /// An attempt failed retryably; a retry follows after backoff.
+    Backoff {
+        /// The failed attempt's 0-based number.
+        attempt: u32,
+        /// The failing error's class label.
+        outcome: String,
+        /// Milliseconds the supervisor sleeps before the retry.
+        backoff_ms: u64,
+    },
+    /// The job reached a terminal outcome.
+    Finished {
+        /// The final attempt's 0-based number.
+        attempt: u32,
+        /// Whether a success came from a degraded attempt.
+        degraded: bool,
+        /// `"ok"` or the failing error's class label.
+        outcome: String,
+    },
+}
+
+impl ToJson for AttemptTransition {
+    fn to_json(&self) -> Json {
+        match self {
+            Self::Started { attempt, degraded } => Json::Obj(vec![
+                ("kind".to_string(), Json::Str("attempt".to_string())),
+                ("attempt".to_string(), Json::Num(f64::from(*attempt))),
+                ("degraded".to_string(), Json::Bool(*degraded)),
+            ]),
+            Self::Backoff {
+                attempt,
+                outcome,
+                backoff_ms,
+            } => {
+                #[allow(clippy::cast_precision_loss)]
+                let backoff = *backoff_ms as f64;
+                Json::Obj(vec![
+                    ("kind".to_string(), Json::Str("backoff".to_string())),
+                    ("attempt".to_string(), Json::Num(f64::from(*attempt))),
+                    ("outcome".to_string(), Json::Str(outcome.clone())),
+                    ("backoff_ms".to_string(), Json::Num(backoff)),
+                ])
+            }
+            Self::Finished {
+                attempt,
+                degraded,
+                outcome,
+            } => Json::Obj(vec![
+                ("kind".to_string(), Json::Str("finished".to_string())),
+                ("attempt".to_string(), Json::Num(f64::from(*attempt))),
+                ("degraded".to_string(), Json::Bool(*degraded)),
+                ("outcome".to_string(), Json::Str(outcome.clone())),
+            ]),
+        }
+    }
+}
+
+/// Observer callback for [`AttemptTransition`]s; receives the job name
+/// from the [`JobSpec`] plus the transition. Must be cheap and must
+/// not call back into the same supervisor.
+pub type AttemptHook = Arc<dyn Fn(&str, &AttemptTransition) + Send + Sync>;
 
 /// Seeded, jittered exponential backoff. `delay_ms(name, retry)` is a
 /// pure function of the policy and its inputs — deterministic across
@@ -214,12 +289,23 @@ pub struct Supervised<T> {
 /// Drives jobs through deadline/retry/degrade supervision. Safe to
 /// share across worker threads by reference (the breaker state is
 /// internally locked).
-#[derive(Debug)]
 pub struct Supervisor {
     backoff: BackoffPolicy,
     breaker: CircuitBreaker,
     /// Sleeps are real by default; tests shrink them via the policy.
     sleep: fn(Duration),
+    /// Optional attempt-transition observer.
+    hook: Option<AttemptHook>,
+}
+
+impl std::fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Supervisor")
+            .field("backoff", &self.backoff)
+            .field("breaker", &self.breaker)
+            .field("hook", &self.hook.as_ref().map(|_| "…"))
+            .finish_non_exhaustive()
+    }
 }
 
 impl Supervisor {
@@ -231,6 +317,22 @@ impl Supervisor {
             backoff,
             breaker: CircuitBreaker::new(breaker_threshold),
             sleep: std::thread::sleep,
+            hook: None,
+        }
+    }
+
+    /// Installs the attempt-transition observer (replacing any prior
+    /// one). Install before the supervisor starts running jobs; the
+    /// hook fires on every attempt start, scheduled backoff, and
+    /// terminal outcome, on the thread driving the job.
+    pub fn set_attempt_hook(&mut self, hook: AttemptHook) {
+        self.hook = Some(hook);
+    }
+
+    /// Fires the hook, if installed.
+    fn notify(&self, name: &str, transition: &AttemptTransition) {
+        if let Some(hook) = &self.hook {
+            hook(name, transition);
         }
     }
 
@@ -252,6 +354,13 @@ impl Supervisor {
         let mut attempts = Vec::new();
         let mut attempt: u32 = 0;
         loop {
+            self.notify(
+                &spec.name,
+                &AttemptTransition::Started {
+                    attempt,
+                    degraded: false,
+                },
+            );
             let (result, seconds) = self.attempt(spec, attempt, false, &job);
             match result {
                 Ok(value) => {
@@ -264,6 +373,14 @@ impl Supervisor {
                         backoff_ms: 0,
                         seconds,
                     });
+                    self.notify(
+                        &spec.name,
+                        &AttemptTransition::Finished {
+                            attempt,
+                            degraded: false,
+                            outcome: "ok".to_string(),
+                        },
+                    );
                     return Supervised {
                         result: Ok(value),
                         attempts,
@@ -286,6 +403,14 @@ impl Supervisor {
                             backoff_ms,
                             seconds,
                         });
+                        self.notify(
+                            &spec.name,
+                            &AttemptTransition::Backoff {
+                                attempt,
+                                outcome: error.class().label().to_string(),
+                                backoff_ms,
+                            },
+                        );
                         (self.sleep)(Duration::from_millis(backoff_ms));
                         attempt = next_retry;
                         continue;
@@ -311,6 +436,13 @@ impl Supervisor {
                     if retryable && spec.degrade_on_exhaustion {
                         let degraded_attempt = attempt + 1;
                         darksil_obs::counter("engine.supervisor.degraded", 1);
+                        self.notify(
+                            &spec.name,
+                            &AttemptTransition::Started {
+                                attempt: degraded_attempt,
+                                degraded: true,
+                            },
+                        );
                         let (result, seconds) = self.attempt(spec, degraded_attempt, true, &job);
                         match result {
                             Ok(value) => {
@@ -323,6 +455,14 @@ impl Supervisor {
                                     backoff_ms: 0,
                                     seconds,
                                 });
+                                self.notify(
+                                    &spec.name,
+                                    &AttemptTransition::Finished {
+                                        attempt: degraded_attempt,
+                                        degraded: true,
+                                        outcome: "ok".to_string(),
+                                    },
+                                );
                                 return Supervised {
                                     result: Ok(value),
                                     attempts,
@@ -339,6 +479,14 @@ impl Supervisor {
                                     backoff_ms: 0,
                                     seconds,
                                 });
+                                self.notify(
+                                    &spec.name,
+                                    &AttemptTransition::Finished {
+                                        attempt: degraded_attempt,
+                                        degraded: true,
+                                        outcome: final_error.class().label().to_string(),
+                                    },
+                                );
                                 return Supervised {
                                     result: Err(final_error),
                                     attempts,
@@ -347,6 +495,14 @@ impl Supervisor {
                             }
                         }
                     }
+                    self.notify(
+                        &spec.name,
+                        &AttemptTransition::Finished {
+                            attempt,
+                            degraded: false,
+                            outcome: error.class().label().to_string(),
+                        },
+                    );
                     return Supervised {
                         result: Err(error),
                         attempts,
@@ -586,6 +742,86 @@ mod tests {
         assert!(out.degraded);
         assert_eq!(out.attempts[0].outcome, "deadline");
         assert_eq!(out.attempts[1].outcome, "deadline");
+    }
+
+    #[test]
+    fn the_attempt_hook_sees_every_transition_in_order() {
+        let mut sup = fast_supervisor(10);
+        let seen: Arc<Mutex<Vec<(String, AttemptTransition)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        sup.set_attempt_hook(Arc::new(move |name, transition| {
+            if let Ok(mut log) = sink.lock() {
+                log.push((name.to_string(), transition.clone()));
+            }
+        }));
+        let spec = JobSpec {
+            max_retries: 1,
+            degrade_on_exhaustion: true,
+            ..JobSpec::new("watched", "thermal")
+        };
+        let out = sup.run(&spec, || {
+            if darksil_robust::is_degraded() {
+                Ok("coarse")
+            } else {
+                Err(DarksilError::deadline("slow"))
+            }
+        });
+        assert!(out.degraded);
+        let log = seen.lock().expect("hook log");
+        assert!(log.iter().all(|(name, _)| name == "watched"));
+        let transitions: Vec<&AttemptTransition> = log.iter().map(|(_, t)| t).collect();
+        assert_eq!(
+            transitions,
+            vec![
+                &AttemptTransition::Started {
+                    attempt: 0,
+                    degraded: false
+                },
+                &AttemptTransition::Backoff {
+                    attempt: 0,
+                    outcome: "deadline".to_string(),
+                    backoff_ms: 0
+                },
+                &AttemptTransition::Started {
+                    attempt: 1,
+                    degraded: false
+                },
+                &AttemptTransition::Started {
+                    attempt: 2,
+                    degraded: true
+                },
+                &AttemptTransition::Finished {
+                    attempt: 2,
+                    degraded: true,
+                    outcome: "ok".to_string()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn transitions_serialise_with_a_kind_tag() {
+        let started = AttemptTransition::Started {
+            attempt: 0,
+            degraded: false,
+        }
+        .to_json();
+        assert_eq!(started.get("kind"), Some(&Json::Str("attempt".into())));
+        let backoff = AttemptTransition::Backoff {
+            attempt: 1,
+            outcome: "deadline".to_string(),
+            backoff_ms: 75,
+        }
+        .to_json();
+        assert_eq!(backoff.get("backoff_ms"), Some(&Json::Num(75.0)));
+        let finished = AttemptTransition::Finished {
+            attempt: 2,
+            degraded: true,
+            outcome: "ok".to_string(),
+        }
+        .to_json();
+        assert_eq!(finished.get("kind"), Some(&Json::Str("finished".into())));
+        assert_eq!(finished.get("degraded"), Some(&Json::Bool(true)));
     }
 
     #[test]

@@ -81,6 +81,32 @@ impl HistogramStats {
         }
     }
 
+    /// Merges another histogram into this one. The result is identical
+    /// to recording both sample multisets into a single histogram, so
+    /// merging is associative, commutative, and order-independent —
+    /// the property the rolling-window ring in [`crate::metrics`] relies
+    /// on when it folds live windows into one distribution.
+    pub fn merge(&mut self, other: &HistogramStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        for &(bucket, n) in &other.buckets {
+            match self.buckets.binary_search_by_key(&bucket, |&(b, _)| b) {
+                Ok(pos) => self.buckets[pos].1 += n,
+                Err(pos) => self.buckets.insert(pos, (bucket, n)),
+            }
+        }
+    }
+
     /// Mean of all samples; `0.0` when empty.
     #[must_use]
     pub fn mean(&self) -> f64 {
@@ -269,6 +295,31 @@ mod tests {
         }
         assert_eq!(forward.buckets, backward.buckets);
         assert_eq!(forward.p95(), backward.p95());
+    }
+
+    #[test]
+    fn merge_matches_recording_into_one_histogram() {
+        let left_samples = [0.004, 1.5, 0.8, 12.0];
+        let right_samples = [0.004, 3.3, 250.0];
+        let mut left = HistogramStats::default();
+        let mut right = HistogramStats::default();
+        let mut combined = HistogramStats::default();
+        for &s in &left_samples {
+            left.record(s);
+            combined.record(s);
+        }
+        for &s in &right_samples {
+            right.record(s);
+            combined.record(s);
+        }
+        left.merge(&right);
+        assert_eq!(left, combined);
+        // Merging an empty histogram is a no-op in both directions.
+        let mut empty = HistogramStats::default();
+        empty.merge(&combined);
+        assert_eq!(empty, combined);
+        combined.merge(&HistogramStats::default());
+        assert_eq!(combined, empty);
     }
 
     #[test]

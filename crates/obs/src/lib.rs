@@ -51,6 +51,7 @@
 mod baseline;
 mod event;
 mod hist;
+pub mod metrics;
 mod recorder;
 mod report;
 pub mod svg;
@@ -59,6 +60,10 @@ mod trace;
 pub use baseline::{ArtefactTiming, BenchBaseline, PhaseBound, Regression, BASELINE_SCHEMA};
 pub use event::{EventRecord, EventStream, EventValue, EVENTS_SCHEMA};
 pub use hist::HistogramStats;
+pub use metrics::{
+    counter_add, gauge_set, metrics_disable, metrics_enable, metrics_enabled, observe_rolling,
+    render_prometheus, rolling_snapshot,
+};
 pub use recorder::{
     counter, current_span, disable, drain, drain_all, enable, enable_events, event, event_fork,
     events_enabled, is_enabled, observe, observe_hist, parent_scope, span, span_lazy, EventFork,

@@ -13,8 +13,11 @@
 //!
 //! Scope is deliberately narrow — `GET`/`POST`/`DELETE` with an
 //! optional `Content-Length` body, one request per connection,
-//! `Connection: close` on every response. Chunked transfer encoding is
-//! rejected outright; nothing in the darksil protocol needs it.
+//! `Connection: close` on every response. Chunked transfer encoding
+//! on *requests* is rejected outright; *responses* may stream with
+//! chunked framing ([`chunked_head`] / [`encode_chunk`] /
+//! [`last_chunk`]) — the job-status watch endpoint writes one chunk
+//! per transition and closes with the zero-length chunk.
 
 /// Hard cap on the request line plus all headers, in bytes.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -287,6 +290,18 @@ impl Response {
         }
     }
 
+    /// A plain-text response (the Prometheus exposition content type,
+    /// which every text consumer also accepts).
+    #[must_use]
+    pub fn text(status: u16, body: String) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            body: body.into_bytes(),
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+        }
+    }
+
     /// A typed error response: the body is a JSON envelope holding the
     /// [`DarksilError`](darksil_robust::DarksilError) so clients see the same error shape the CLI
     /// prints.
@@ -356,6 +371,44 @@ impl Response {
         bytes.extend_from_slice(&self.body);
         bytes
     }
+}
+
+/// Serialises the head of a chunked streaming response: status line,
+/// `transfer-encoding: chunked` instead of a `content-length`, and
+/// `connection: close`. The caller then writes [`encode_chunk`]ed
+/// payloads and finishes with [`last_chunk`]. Streaming bypasses
+/// [`Response`] entirely — a [`Response`] always knows its full body
+/// up front, a stream by definition does not.
+#[must_use]
+pub fn chunked_head(status: u16, content_type: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ntransfer-encoding: chunked\r\nconnection: close\r\n\r\n",
+        status,
+        Response::reason(status),
+        content_type
+    )
+    .into_bytes()
+}
+
+/// Encodes one payload as an HTTP/1.1 chunk (`hex-size CRLF payload
+/// CRLF`). An empty payload encodes to nothing rather than the
+/// zero-length terminator, so a caller cannot end the stream by
+/// accident — use [`last_chunk`] to finish.
+#[must_use]
+pub fn encode_chunk(payload: &[u8]) -> Vec<u8> {
+    if payload.is_empty() {
+        return Vec::new();
+    }
+    let mut out = format!("{:x}\r\n", payload.len()).into_bytes();
+    out.extend_from_slice(payload);
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// The zero-length chunk that terminates a chunked response.
+#[must_use]
+pub fn last_chunk() -> &'static [u8] {
+    b"0\r\n\r\n"
 }
 
 #[cfg(test)]
@@ -475,6 +528,22 @@ mod tests {
         let raw = b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok";
         let (request, _) = complete(raw);
         assert_eq!(request.body, b"ok");
+    }
+
+    #[test]
+    fn chunked_framing_round_trips() {
+        let head = String::from_utf8(chunked_head(200, "application/jsonl")).expect("ascii head");
+        assert!(head.starts_with("HTTP/1.1 200 OK\r\n"), "{head}");
+        assert!(head.contains("transfer-encoding: chunked\r\n"), "{head}");
+        assert!(!head.contains("content-length"), "{head}");
+        assert!(head.ends_with("\r\n\r\n"), "{head}");
+        assert_eq!(encode_chunk(b"hello\n"), b"6\r\nhello\n\r\n");
+        assert_eq!(encode_chunk(&[0_u8; 16]).len(), 2 + 2 + 16 + 2);
+        assert!(
+            encode_chunk(b"").is_empty(),
+            "empty payload is not a terminator"
+        );
+        assert_eq!(last_chunk(), b"0\r\n\r\n");
     }
 
     #[test]

@@ -27,16 +27,29 @@
 //! - **Graceful drain** ([`signal`]): SIGTERM/SIGINT (or
 //!   `POST /v1/drain`) stops the accept loop, waits out in-flight
 //!   jobs up to a grace period, checkpoints the rest, and exits 0.
+//!   While draining, `/healthz` answers `503 {"draining": true}` so
+//!   load balancers stop routing, but `/v1/stats` and `/metrics`
+//!   stay reachable for a final scrape.
+//! - **Live telemetry** (`darksil-obs` `metrics`): per-tenant and
+//!   per-endpoint counters, scrape-time gauges, and rolling-window
+//!   latency histograms exposed as deterministic Prometheus text at
+//!   `GET /metrics`; per-job lifecycle streaming at
+//!   `GET /v1/jobs/{digest}/watch` (chunked JSON lines driven by the
+//!   supervisor's attempt hook); derived event-stream statistics at
+//!   `GET /v1/jobs/{digest}/events`.
 //!
 //! # Protocol
 //!
 //! | Method & path               | Purpose                                    |
 //! |-----------------------------|--------------------------------------------|
-//! | `GET /healthz`              | Liveness + in-flight count                 |
+//! | `GET /healthz`              | Liveness + in-flight count (503 draining)  |
+//! | `GET /metrics`              | Prometheus text exposition                 |
 //! | `GET /v1/stats`             | Job-state counts and admission counters    |
 //! | `POST /v1/jobs`             | Submit `{tenant, scenario, faults?}`       |
 //! | `GET /v1/jobs/{digest}`     | Status + supervisor attempt timeline       |
 //! | `GET /v1/jobs/{digest}/report` | Self-contained HTML report              |
+//! | `GET /v1/jobs/{digest}/events` | Derived event-stream statistics         |
+//! | `GET /v1/jobs/{digest}/watch`  | Chunked JSON-line lifecycle stream      |
 //! | `GET /v1/artefacts/{digest}`| Finished artefact bytes (exact)            |
 //! | `POST /v1/drain`            | Graceful drain (SIGTERM equivalent)        |
 //!

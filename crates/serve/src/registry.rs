@@ -74,6 +74,16 @@ pub struct JobRecord {
     /// Cache outcome of the solve (`hit`, `miss`, `recovered`), once
     /// known.
     pub cache: Option<String>,
+    /// Append-only lifecycle log consumed by `/v1/jobs/{digest}/watch`:
+    /// one JSON object per transition — `{"state": …}` lines for
+    /// queued/running/terminal, `{"kind": …}` lines relayed from the
+    /// supervisor's attempt hook.
+    pub transitions: Vec<Json>,
+}
+
+/// A `{"state": label}` watch-stream line.
+fn state_line(label: &str) -> Json {
+    Json::Obj(vec![("state".to_string(), Json::Str(label.to_string()))])
 }
 
 impl JobRecord {
@@ -167,6 +177,27 @@ pub struct ServiceStats {
     pub bad_requests: u64,
 }
 
+/// One step of a watch long-poll (see [`Registry::watch`]).
+#[derive(Debug)]
+pub enum WatchStep {
+    /// New transition lines since the caller's cursor. When `terminal`
+    /// is set the job reached a final state and the stream should end
+    /// after these lines.
+    Advanced {
+        /// The new lines, oldest first (may be empty on a terminal
+        /// re-poll).
+        lines: Vec<Json>,
+        /// The caller's next cursor.
+        cursor: usize,
+        /// Whether the job is done/degraded/failed.
+        terminal: bool,
+    },
+    /// No new transitions within the timeout — send a heartbeat.
+    Idle,
+    /// The digest is not tracked.
+    Unknown,
+}
+
 struct Inner {
     jobs: BTreeMap<String, JobRecord>,
     stats: ServiceStats,
@@ -258,6 +289,7 @@ impl Registry {
                 attempts: Vec::new(),
                 seconds: 0.0,
                 cache: None,
+                transitions: vec![state_line(JobState::Queued.label())],
             },
         );
         inner.stats.admitted += 1;
@@ -267,7 +299,10 @@ impl Registry {
 
     /// Inserts a record directly, bypassing admission — used when
     /// rebuilding the table from the journal on restart.
-    pub fn restore(&self, record: JobRecord) {
+    pub fn restore(&self, mut record: JobRecord) {
+        if record.transitions.is_empty() {
+            record.transitions.push(state_line(record.state.label()));
+        }
         let mut inner = self.lock();
         inner.jobs.insert(record.digest.clone(), record);
     }
@@ -286,6 +321,20 @@ impl Registry {
         let mut inner = self.lock();
         if let Some(record) = inner.jobs.get_mut(digest) {
             record.state = JobState::Running;
+            record
+                .transitions
+                .push(state_line(JobState::Running.label()));
+        }
+        drop(inner);
+        self.changed.notify_all();
+    }
+
+    /// Appends one supervisor-side transition line (attempt started,
+    /// backoff scheduled, …) to a job's watch log and wakes watchers.
+    pub fn note_transition(&self, digest: &str, line: Json) {
+        let mut inner = self.lock();
+        if let Some(record) = inner.jobs.get_mut(digest) {
+            record.transitions.push(line);
         }
         drop(inner);
         self.changed.notify_all();
@@ -304,6 +353,11 @@ impl Registry {
         let mut inner = self.lock();
         if let Some(record) = inner.jobs.get_mut(digest) {
             record.state = state;
+            let mut line = vec![("state".to_string(), Json::Str(state.label().to_string()))];
+            if let Some(message) = &error {
+                line.push(("error".to_string(), Json::Str(message.clone())));
+            }
+            record.transitions.push(Json::Obj(line));
             record.error = error;
             record.attempts = attempts;
             record.seconds = seconds;
@@ -329,10 +383,21 @@ impl Registry {
             .count()
     }
 
+    /// Number of jobs admitted but not yet picked up by a worker.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.lock()
+            .jobs
+            .values()
+            .filter(|j| matches!(j.state, JobState::Queued))
+            .count()
+    }
+
     /// Counts a request rejected before routing.
     pub fn note_bad_request(&self) {
         self.lock().stats.bad_requests += 1;
         darksil_obs::counter("serve.http.bad_request", 1);
+        darksil_obs::counter_add("darksil_serve_bad_requests_total", &[], 1);
     }
 
     /// Blocks until no job is queued or running, or until `grace`
@@ -353,6 +418,43 @@ impl Registry {
             let now = std::time::Instant::now();
             if now >= deadline {
                 return false;
+            }
+            let (guard, _) = match self.changed.wait_timeout(inner, deadline - now) {
+                Ok(pair) => pair,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            inner = guard;
+        }
+    }
+
+    /// Returns transition lines past `cursor`, blocking up to
+    /// `timeout` for new ones. The caller streams the returned lines,
+    /// advances its cursor, and stops once `terminal` is set; an
+    /// [`WatchStep::Idle`] step is the heartbeat signal.
+    #[must_use]
+    pub fn watch(&self, digest: &str, cursor: usize, timeout: Duration) -> WatchStep {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.lock();
+        loop {
+            let Some(record) = inner.jobs.get(digest) else {
+                return WatchStep::Unknown;
+            };
+            let terminal = !record.state.is_inflight();
+            if record.transitions.len() > cursor || terminal {
+                let lines = record
+                    .transitions
+                    .get(cursor..)
+                    .unwrap_or_default()
+                    .to_vec();
+                return WatchStep::Advanced {
+                    cursor: cursor + lines.len(),
+                    lines,
+                    terminal,
+                };
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return WatchStep::Idle;
             }
             let (guard, _) = match self.changed.wait_timeout(inner, deadline - now) {
                 Ok(pair) => pair,
@@ -459,6 +561,80 @@ mod tests {
         assert!(registry.wait_idle(Duration::from_secs(5)));
         worker.join().expect("finisher thread");
         assert!(!registry.get("slow").expect("record").state.is_inflight());
+    }
+
+    #[test]
+    fn watch_streams_transitions_and_ends_on_terminal() {
+        let registry = std::sync::Arc::new(Registry::new(4, 4));
+        assert!(registry.admit("w1", "alice").is_ok());
+        // The queued line is visible immediately.
+        let step = registry.watch("w1", 0, Duration::from_millis(10));
+        let cursor = match step {
+            WatchStep::Advanced {
+                lines,
+                cursor,
+                terminal,
+            } => {
+                assert_eq!(lines.len(), 1);
+                assert_eq!(
+                    lines[0].get("state"),
+                    Some(&Json::Str("queued".to_string()))
+                );
+                assert!(!terminal);
+                cursor
+            }
+            other => panic!("expected queued line, got {other:?}"),
+        };
+        // Nothing new: the poll times out into a heartbeat.
+        assert!(matches!(
+            registry.watch("w1", cursor, Duration::from_millis(5)),
+            WatchStep::Idle
+        ));
+        // A finisher on another thread wakes the blocked watcher.
+        let worker = {
+            let registry = std::sync::Arc::clone(&registry);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                registry.set_running("w1");
+                registry.note_transition(
+                    "w1",
+                    Json::Obj(vec![("kind".to_string(), Json::Str("attempt".to_string()))]),
+                );
+                registry.finish("w1", JobState::Done, None, Vec::new(), 0.1, None);
+            })
+        };
+        let step = registry.watch("w1", cursor, Duration::from_secs(5));
+        worker.join().expect("finisher thread");
+        match step {
+            WatchStep::Advanced {
+                lines, terminal, ..
+            } => {
+                assert!(!lines.is_empty());
+                assert_eq!(
+                    lines[0].get("state"),
+                    Some(&Json::Str("running".to_string()))
+                );
+                // Depending on timing we may see all three lines at
+                // once; the final observed poll must be terminal once
+                // the done line is included.
+                if lines.len() == 3 {
+                    assert!(terminal);
+                    assert_eq!(lines[2].get("state"), Some(&Json::Str("done".to_string())));
+                }
+            }
+            other => panic!("expected transitions, got {other:?}"),
+        }
+        // A caught-up watcher on a finished job sees an empty terminal
+        // step, and unknown digests report as such.
+        let total = registry.get("w1").expect("record").transitions.len();
+        assert!(matches!(
+            registry.watch("w1", total, Duration::from_millis(5)),
+            WatchStep::Advanced { terminal: true, .. }
+        ));
+        assert!(matches!(
+            registry.watch("nope", 0, Duration::from_millis(5)),
+            WatchStep::Unknown
+        ));
     }
 
     #[test]

@@ -125,6 +125,7 @@ mod tests {
             ])],
             seconds: 0.25,
             cache: Some("miss".to_string()),
+            transitions: Vec::new(),
         };
         let payload = Json::Obj(vec![("name".to_string(), Json::Str("x".to_string()))]);
         let html = render(&record, Some(&payload));

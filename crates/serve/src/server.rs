@@ -44,11 +44,12 @@ use std::time::{Duration, Instant};
 use darksil_bench::{ArtefactState, Journal};
 use darksil_engine::{BackoffPolicy, JobSpec, ResultCache, Supervisor, ThreadPool};
 use darksil_json::{FromJson, Json, ObjReader, ToJson};
+use darksil_obs::{EventRecord, EventStream};
 use darksil_robust::{CancellationToken, DarksilError, Fault, FaultPlan};
 use darksil_scenario::{run_scenario, Scenario, ScenarioError};
 
 use crate::http::{self, Parsed, Request, Response};
-use crate::registry::{Admission, JobRecord, JobState, Registry};
+use crate::registry::{Admission, JobRecord, JobState, Registry, WatchStep};
 use crate::{report, signal};
 
 /// Salt for the job-identity digest and the result cache, so served
@@ -60,6 +61,25 @@ pub const SPOOL_SCHEMA: &str = "darksil-serve-job-v1";
 
 /// Hard cap on concurrently open connections.
 const MAX_CONNECTIONS: usize = 64;
+
+/// Heartbeat interval for the `/v1/jobs/{digest}/watch` stream: an
+/// idle long-poll emits a `{"heartbeat": true}` line this often, which
+/// doubles as the disconnect probe (a gone client fails the write).
+const WATCH_HEARTBEAT: Duration = Duration::from_millis(1000);
+
+/// Upper bound on one watch stream's lifetime, so an abandoned-but-
+/// connected watcher cannot pin a handler thread forever.
+const WATCH_MAX_LIFETIME: Duration = Duration::from_secs(600);
+
+/// Child index reserved for the events-replay scope. No engine fan-out
+/// ever submits a job with this index, so replay events are
+/// distinguishable from any event a concurrently running pool job
+/// might record while the recorder is on.
+const REPLAY_CHILD: u64 = u64::MAX;
+
+/// Serialises deterministic event replays: the obs recorder is
+/// process-global and drained destructively, so one replay at a time.
+static REPLAY_LOCK: Mutex<()> = Mutex::new(());
 
 /// Everything `darksil serve` configures.
 #[derive(Debug, Clone)]
@@ -251,7 +271,7 @@ impl SpoolJob {
 
 struct ServerState {
     config: ServeConfig,
-    registry: Registry,
+    registry: Arc<Registry>,
     journal: Journal,
     cache: ResultCache,
     supervisor: Supervisor,
@@ -274,6 +294,13 @@ impl ServerState {
             .state_dir
             .join("artefacts")
             .join(format!("{digest}.json"))
+    }
+
+    fn events_path(&self, digest: &str) -> PathBuf {
+        self.config
+            .state_dir
+            .join("events")
+            .join(format!("{digest}.jsonl"))
     }
 
     fn is_draining(&self) -> bool {
@@ -356,13 +383,26 @@ impl Server {
         let pool = ThreadPool::new(workers)?;
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| io_error(&format!("cannot bind {}", config.addr), &e))?;
-        let registry = Registry::new(config.max_inflight, config.tenant_quota);
+        // The daemon keeps live telemetry on for its whole life; the
+        // registry survives drains and is scraped via `GET /metrics`.
+        darksil_obs::metrics_enable();
+        let registry = Arc::new(Registry::new(config.max_inflight, config.tenant_quota));
+        let mut supervisor = Supervisor::new(BackoffPolicy::default(), 4);
+        // Relay attempt/backoff transitions into the job's watch log
+        // while the job is still running — `/v1/jobs/{digest}/watch`
+        // streams them as they happen.
+        let hook_registry = Arc::clone(&registry);
+        supervisor.set_attempt_hook(Arc::new(move |name, transition| {
+            if let Some(digest) = name.strip_prefix("serve:") {
+                hook_registry.note_transition(digest, transition.to_json());
+            }
+        }));
         let state = Arc::new(ServerState {
             config,
             registry,
             journal,
             cache,
-            supervisor: Supervisor::new(BackoffPolicy::default(), 4),
+            supervisor,
             pool: Mutex::new(Some(pool)),
             draining: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
@@ -370,6 +410,7 @@ impl Server {
         let resumed = resume(&state)?;
         if resumed > 0 {
             darksil_obs::counter("serve.resume.requeued", resumed as u64);
+            darksil_obs::counter_add("darksil_serve_resume_requeued_total", &[], resumed as u64);
         }
         Ok(Self { state, listener })
     }
@@ -407,9 +448,26 @@ impl Server {
                 Err(_) => std::thread::sleep(Duration::from_millis(20)),
             }
         }
-        drop(listener);
 
-        let drained = state.registry.wait_idle(state.config.drain_grace);
+        // Draining: keep the listener open through the grace period so
+        // observability stays live — `/healthz` answers 503
+        // `{"draining": true}` for load balancers, while `/v1/stats`
+        // and `/metrics` serve a final scrape. Submissions are already
+        // rejected with 503 by the router, so accepting here cannot
+        // extend the drain.
+        let grace_deadline = Instant::now() + state.config.drain_grace;
+        let mut drained = state.registry.inflight() == 0;
+        while !drained && Instant::now() < grace_deadline {
+            match listener.accept() {
+                Ok((stream, _peer)) => dispatch(&state, stream),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+            drained = state.registry.inflight() == 0;
+        }
+        drop(listener);
         // Give in-flight connection handlers a moment to write their
         // final bytes before we tear down.
         let connection_deadline = Instant::now() + Duration::from_secs(2);
@@ -465,6 +523,7 @@ fn resume(state: &Arc<ServerState>) -> Result<usize, DarksilError> {
                     attempts: entry.attempts.clone(),
                     seconds: entry.seconds,
                     cache: None,
+                    transitions: Vec::new(),
                 });
             }
             ArtefactState::Failed => {
@@ -476,6 +535,7 @@ fn resume(state: &Arc<ServerState>) -> Result<usize, DarksilError> {
                     attempts: entry.attempts.clone(),
                     seconds: entry.seconds,
                     cache: None,
+                    transitions: Vec::new(),
                 });
             }
             ArtefactState::Pending | ArtefactState::Running => {
@@ -488,6 +548,7 @@ fn resume(state: &Arc<ServerState>) -> Result<usize, DarksilError> {
                     attempts: Vec::new(),
                     seconds: 0.0,
                     cache: None,
+                    transitions: Vec::new(),
                 });
                 enqueue(state, &digest);
                 requeued += 1;
@@ -535,6 +596,7 @@ fn run_job(state: &Arc<ServerState>, digest: &str) {
         // The journal directory is gone; still run the job so the
         // client gets an answer — resume safety is already lost.
         darksil_obs::counter("serve.journal.write_failed", 1);
+        darksil_obs::counter_add("darksil_serve_journal_write_failures_total", &[], 1);
     }
     let started = Instant::now();
     let job = match read_spool(state, digest) {
@@ -589,6 +651,13 @@ fn run_job(state: &Arc<ServerState>, digest: &str) {
         .ok()
         .and_then(|slot| *slot)
         .map(ToString::to_string);
+    if let Some(outcome) = &label {
+        darksil_obs::counter_add(
+            "darksil_serve_solve_cache_total",
+            &[("outcome", outcome)],
+            1,
+        );
+    }
     finish_job(
         state,
         digest,
@@ -610,6 +679,16 @@ fn finish_job(
     cache: Option<String>,
 ) {
     let seconds = started.elapsed().as_secs_f64();
+    let tenant = state
+        .registry
+        .get(digest)
+        .and_then(|record| record.tenants.first().cloned())
+        .unwrap_or_else(|| "unknown".to_string());
+    darksil_obs::observe_rolling(
+        "darksil_serve_solve_seconds",
+        &[("tenant", &tenant)],
+        seconds,
+    );
     let outcome = result.and_then(|payload| {
         let mut bytes = payload.pretty().into_bytes();
         bytes.push(b'\n');
@@ -629,12 +708,18 @@ fn finish_job(
                 darksil_obs::counter("serve.job.done", 1);
                 (JobState::Done, ArtefactState::Done)
             };
+            darksil_obs::counter_add(
+                "darksil_serve_jobs_total",
+                &[("outcome", job_state.label()), ("tenant", &tenant)],
+                1,
+            );
             if state
                 .journal
                 .record_finished(digest, artefact_state, None, attempts.clone(), seconds)
                 .is_err()
             {
                 darksil_obs::counter("serve.journal.write_failed", 1);
+                darksil_obs::counter_add("darksil_serve_journal_write_failures_total", &[], 1);
             }
             state
                 .registry
@@ -642,6 +727,11 @@ fn finish_job(
         }
         Err(error) => {
             darksil_obs::counter("serve.job.failed", 1);
+            darksil_obs::counter_add(
+                "darksil_serve_jobs_total",
+                &[("outcome", "failed"), ("tenant", &tenant)],
+                1,
+            );
             let message = error.to_string();
             if state
                 .journal
@@ -655,6 +745,7 @@ fn finish_job(
                 .is_err()
             {
                 darksil_obs::counter("serve.journal.write_failed", 1);
+                darksil_obs::counter_add("darksil_serve_journal_write_failures_total", &[], 1);
             }
             state.registry.finish(
                 digest,
@@ -754,22 +845,107 @@ fn handle_connection(state: &Arc<ServerState>, stream: &TcpStream) {
             Err(_) => return,
         }
     };
+    // The watch long-poll streams chunks itself instead of buffering a
+    // [`Response`]; everything else goes through the router.
+    if request.method == "GET" {
+        if let Some(digest) = request
+            .path()
+            .strip_prefix("/v1/jobs/")
+            .and_then(|rest| rest.strip_suffix("/watch"))
+        {
+            let digest = digest.to_string();
+            handle_watch(state, stream, &digest);
+            return;
+        }
+    }
     let response = route(state, &request);
     respond(stream, &response);
+}
+
+/// Stable, bounded endpoint label for request metrics (raw paths would
+/// make per-digest label sets and blow the cardinality cap).
+fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/metrics" => "/metrics",
+        "/v1/stats" => "/v1/stats",
+        "/v1/jobs" => "/v1/jobs",
+        "/v1/drain" => "/v1/drain",
+        p if p.starts_with("/v1/jobs/") => {
+            if p.ends_with("/report") {
+                "/v1/jobs/{digest}/report"
+            } else if p.ends_with("/events") {
+                "/v1/jobs/{digest}/events"
+            } else if p.ends_with("/watch") {
+                "/v1/jobs/{digest}/watch"
+            } else {
+                "/v1/jobs/{digest}"
+            }
+        }
+        p if p.starts_with("/v1/artefacts/") => "/v1/artefacts/{digest}",
+        _ => "other",
+    }
+}
+
+/// Records the per-request counter and rolling latency histogram.
+fn note_request_metrics(method: &str, path: &str, status: u16, seconds: f64) {
+    let endpoint = endpoint_label(path);
+    let status = status.to_string();
+    darksil_obs::counter_add(
+        "darksil_serve_requests_total",
+        &[
+            ("endpoint", endpoint),
+            ("method", method),
+            ("status", &status),
+        ],
+        1,
+    );
+    darksil_obs::observe_rolling(
+        "darksil_serve_request_seconds",
+        &[("endpoint", endpoint)],
+        seconds,
+    );
 }
 
 fn route(state: &Arc<ServerState>, request: &Request) -> Response {
     let _span = darksil_obs::span("serve.http.request");
     darksil_obs::counter("serve.http.requests", 1);
+    let started = Instant::now();
+    let response = route_inner(state, request);
+    note_request_metrics(
+        &request.method,
+        request.path(),
+        response.status,
+        started.elapsed().as_secs_f64(),
+    );
+    response
+}
+
+fn route_inner(state: &Arc<ServerState>, request: &Request) -> Response {
     let path = request.path().to_string();
     match (request.method.as_str(), path.as_str()) {
-        ("GET", "/healthz") => Response::json(
-            200,
-            &Json::Obj(vec![
-                ("status".to_string(), Json::Str("ok".to_string())),
-                ("inflight".to_string(), state.registry.inflight().to_json()),
-            ]),
-        ),
+        ("GET", "/healthz") => {
+            // A draining daemon answers 503 so load balancers stop
+            // routing to it; `/v1/stats` stays 200 for observers.
+            if state.is_draining() {
+                return Response::json(
+                    503,
+                    &Json::Obj(vec![
+                        ("status".to_string(), Json::Str("draining".to_string())),
+                        ("draining".to_string(), Json::Bool(true)),
+                        ("inflight".to_string(), state.registry.inflight().to_json()),
+                    ]),
+                );
+            }
+            Response::json(
+                200,
+                &Json::Obj(vec![
+                    ("status".to_string(), Json::Str("ok".to_string())),
+                    ("inflight".to_string(), state.registry.inflight().to_json()),
+                ]),
+            )
+        }
+        ("GET", "/metrics") => handle_metrics(state),
         ("GET", "/v1/stats") => {
             let mut stats = state.registry.stats_json(state.is_draining());
             // Engine jobs share the process-global factorisation cache;
@@ -800,7 +976,7 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
         }
         // Before the GET catch-all: a known fixed path with the wrong
         // method is 405, not 404 (correct methods matched above).
-        (_, "/healthz" | "/v1/stats" | "/v1/jobs" | "/v1/drain") => {
+        (_, "/healthz" | "/metrics" | "/v1/stats" | "/v1/jobs" | "/v1/drain") => {
             let error = DarksilError::unsupported(format!(
                 "method {} not allowed on {path}",
                 request.method
@@ -811,6 +987,8 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
             if let Some(rest) = p.strip_prefix("/v1/jobs/") {
                 if let Some(digest) = rest.strip_suffix("/report") {
                     handle_report(state, digest)
+                } else if let Some(digest) = rest.strip_suffix("/events") {
+                    handle_events(state, digest)
                 } else {
                     handle_status(state, rest)
                 }
@@ -895,6 +1073,11 @@ fn handle_submit(state: &Arc<ServerState>, request: &Request) -> Response {
 
     match state.registry.admit(&digest, &tenant) {
         Ok(Admission::New) => {
+            darksil_obs::counter_add(
+                "darksil_serve_tenant_requests_total",
+                &[("tenant", &tenant), ("outcome", "admitted")],
+                1,
+            );
             let spool = SpoolJob {
                 digest: digest.clone(),
                 tenants: vec![tenant],
@@ -927,6 +1110,11 @@ fn handle_submit(state: &Arc<ServerState>, request: &Request) -> Response {
             )
         }
         Ok(Admission::Duplicate(record)) => {
+            darksil_obs::counter_add(
+                "darksil_serve_tenant_requests_total",
+                &[("tenant", &tenant), ("outcome", "deduped")],
+                1,
+            );
             let mut body = match record.status_json() {
                 Json::Obj(fields) => fields,
                 other => vec![("status".to_string(), other)],
@@ -935,6 +1123,15 @@ fn handle_submit(state: &Arc<ServerState>, request: &Request) -> Response {
             Response::json(200, &Json::Obj(body))
         }
         Err(rejection) => {
+            let outcome = match &rejection {
+                crate::registry::Rejection::TenantQuota { .. } => "rejected_quota",
+                crate::registry::Rejection::GlobalInflight { .. } => "rejected_inflight",
+            };
+            darksil_obs::counter_add(
+                "darksil_serve_tenant_requests_total",
+                &[("tenant", &tenant), ("outcome", outcome)],
+                1,
+            );
             Response::error(429, &rejection.to_error()).with_header("retry-after", "1")
         }
     }
@@ -993,4 +1190,216 @@ fn handle_report(state: &Arc<ServerState>, digest: &str) -> Response {
         None
     };
     Response::html(200, report::render(&record, artefact.as_ref()))
+}
+
+/// `GET /metrics`: refresh scrape-time gauges sourced from subsystems
+/// the obs crate cannot depend on (numerics factor cache, engine
+/// breaker, registry depths), then render the exposition.
+fn handle_metrics(state: &Arc<ServerState>) -> Response {
+    let fc = darksil_numerics::factor_cache_stats();
+    #[allow(clippy::cast_precision_loss)]
+    {
+        darksil_obs::gauge_set("darksil_factor_cache_hits", &[], fc.hits as f64);
+        darksil_obs::gauge_set("darksil_factor_cache_misses", &[], fc.misses as f64);
+        darksil_obs::gauge_set("darksil_factor_cache_entries", &[], fc.entries as f64);
+        darksil_obs::gauge_set(
+            "darksil_serve_queue_depth",
+            &[],
+            state.registry.queued() as f64,
+        );
+        darksil_obs::gauge_set(
+            "darksil_serve_inflight_jobs",
+            &[],
+            state.registry.inflight() as f64,
+        );
+        darksil_obs::gauge_set(
+            "darksil_serve_connections",
+            &[],
+            state.connections.load(Ordering::SeqCst) as f64,
+        );
+    }
+    darksil_obs::gauge_set(
+        "darksil_serve_draining",
+        &[],
+        if state.is_draining() { 1.0 } else { 0.0 },
+    );
+    let breaker_open = state.supervisor.breaker().is_open("serve.scenario");
+    darksil_obs::gauge_set(
+        "darksil_serve_breaker_open",
+        &[("class", "serve.scenario")],
+        if breaker_open { 1.0 } else { 0.0 },
+    );
+    Response::text(200, darksil_obs::render_prometheus())
+}
+
+/// `GET /v1/jobs/{digest}/events`: derived event-stream statistics for
+/// a finished job, computed by deterministic replay on first request
+/// and persisted to `state/events/<digest>.jsonl`.
+fn handle_events(state: &Arc<ServerState>, digest: &str) -> Response {
+    if !valid_digest(digest) {
+        return not_found(&format!("/v1/jobs/{digest}/events"));
+    }
+    let Some(record) = state.registry.get(digest) else {
+        let error = DarksilError::unsupported(format!("no such job: {digest}"));
+        return Response::error(404, &error);
+    };
+    if !record.state.has_artefact() {
+        let error = DarksilError::config(format!(
+            "job {digest} is {}; events are derived once a job finishes",
+            record.state.label()
+        ));
+        return Response::error(409, &error);
+    }
+    let cached = std::fs::read_to_string(state.events_path(digest))
+        .ok()
+        .and_then(|text| EventStream::from_jsonl(&text).ok());
+    let stream = match cached {
+        Some(stream) => stream,
+        None => match replay_events(state, digest) {
+            Ok(stream) => stream,
+            Err(error) => return Response::error(500, &error),
+        },
+    };
+    let kinds = Json::Obj(
+        stream
+            .kind_counts()
+            .into_iter()
+            .map(|(kind, n)| (kind, (n as u64).to_json()))
+            .collect(),
+    );
+    let above = Json::Arr(
+        stream
+            .time_above_threshold()
+            .into_iter()
+            .map(|(core, seconds)| Json::Arr(vec![((core as u64).to_json()), Json::Num(seconds)]))
+            .collect(),
+    );
+    let mut body = vec![
+        ("job".to_string(), Json::Str(digest.to_string())),
+        ("events".to_string(), (stream.events.len() as u64).to_json()),
+        ("kinds".to_string(), kinds),
+        (
+            "throttle_residency".to_string(),
+            stream.throttle_residency().map_or(Json::Null, Json::Num),
+        ),
+        ("time_above_threshold".to_string(), above),
+    ];
+    body.push(("summary".to_string(), Json::Str(stream.render_summary())));
+    Response::json(200, &Json::Obj(body))
+}
+
+/// Re-runs a finished job's scenario with the domain event stream on
+/// and persists the drained JSONL. The event machinery is
+/// deterministic — keyed by submission order, not wall-clock — so a
+/// post-hoc replay produces byte-identical events to a hypothetical
+/// live capture. The whole replay happens inside a reserved fork
+/// child ([`REPLAY_CHILD`]) so events recorded by concurrently running
+/// pool jobs (the recorder gate is process-global) can be filtered
+/// out by prefix.
+fn replay_events(state: &Arc<ServerState>, digest: &str) -> Result<EventStream, DarksilError> {
+    let job = read_spool(state, digest)?;
+    let guard = REPLAY_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    darksil_obs::enable_events();
+    let fork = darksil_obs::event_fork();
+    let scope = fork.child(REPLAY_CHILD);
+    let result = run_scenario(&job.scenario);
+    drop(scope);
+    let (_trace, drained) = darksil_obs::drain_all();
+    drop(guard);
+    result.map_err(|e| scenario_error(&e))?;
+    let mut events: Vec<EventRecord> = drained
+        .events
+        .into_iter()
+        .filter(|event| event.seq.get(1) == Some(&REPLAY_CHILD))
+        .collect();
+    for event in &mut events {
+        // Strip the `[fork_base, REPLAY_CHILD]` prefix so the persisted
+        // stream is keyed exactly like a direct single-job run.
+        event.seq.drain(..2);
+    }
+    let stream = EventStream { events };
+    atomic_write(&state.events_path(digest), stream.to_jsonl().as_bytes())?;
+    darksil_obs::counter_add("darksil_serve_events_replayed_total", &[], 1);
+    Ok(stream)
+}
+
+/// `GET /v1/jobs/{digest}/watch`: a chunked long-poll stream of the
+/// job's lifecycle. Each chunk is one JSON line — `{"state": …}`
+/// transitions, `{"kind": …}` supervisor attempt/backoff lines, and
+/// `{"heartbeat": true}` keep-alives — ending with the zero chunk
+/// after the terminal state. A disconnected client fails the next
+/// write and the handler exits quietly.
+fn handle_watch(state: &Arc<ServerState>, stream: &TcpStream, digest: &str) {
+    let started = Instant::now();
+    let path = format!("/v1/jobs/{digest}/watch");
+    if !valid_digest(digest) || state.registry.get(digest).is_none() {
+        let error = DarksilError::unsupported(format!("no such job: {digest}"));
+        let response = Response::error(404, &error);
+        note_request_metrics("GET", &path, 404, started.elapsed().as_secs_f64());
+        respond(stream, &response);
+        return;
+    }
+    note_request_metrics("GET", &path, 200, 0.0);
+    darksil_obs::gauge_set(
+        "darksil_serve_watchers",
+        &[],
+        1.0, // refreshed below as the loop runs; last-write-wins
+    );
+    let mut writer = stream;
+    if writer
+        .write_all(&http::chunked_head(200, "application/jsonl"))
+        .is_err()
+    {
+        return;
+    }
+    let deadline = started + WATCH_MAX_LIFETIME;
+    let mut cursor = 0_usize;
+    loop {
+        if Instant::now() >= deadline {
+            break;
+        }
+        match state.registry.watch(digest, cursor, WATCH_HEARTBEAT) {
+            WatchStep::Advanced {
+                lines,
+                cursor: next,
+                terminal,
+            } => {
+                cursor = next;
+                for line in &lines {
+                    let mut payload = line.compact().into_bytes();
+                    payload.push(b'\n');
+                    if writer.write_all(&http::encode_chunk(&payload)).is_err() {
+                        return;
+                    }
+                }
+                if terminal {
+                    break;
+                }
+            }
+            WatchStep::Idle => {
+                let payload = b"{\"heartbeat\": true}\n";
+                if writer.write_all(&http::encode_chunk(payload)).is_err() {
+                    return;
+                }
+            }
+            WatchStep::Unknown => break,
+        }
+        if state.is_draining() {
+            // Don't pin handler threads through a drain; the client
+            // can re-poll status after restart.
+            let payload = b"{\"state\": \"draining\"}\n";
+            let _ = writer.write_all(&http::encode_chunk(payload));
+            break;
+        }
+    }
+    let _ = writer.write_all(http::last_chunk());
+    let _ = writer.flush();
+    let _ = stream.shutdown(Shutdown::Both);
+    darksil_obs::observe_rolling(
+        "darksil_serve_request_seconds",
+        &[("endpoint", "/v1/jobs/{digest}/watch")],
+        started.elapsed().as_secs_f64(),
+    );
 }

@@ -490,3 +490,333 @@ fn chaos_through_http_transient_retries_and_hang_degrades() {
     assert_eq!(status, 409, "no artefact for a failed job");
     daemon.drain();
 }
+
+/// Scrapes `/metrics` and returns the exposition text.
+fn scrape(addr: SocketAddr) -> String {
+    let (status, headers, body) = request(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200, "/metrics is served");
+    assert!(
+        headers
+            .get("content-type")
+            .is_some_and(|t| t.starts_with("text/plain")),
+        "exposition content type: {headers:?}"
+    );
+    String::from_utf8(body).expect("UTF-8 exposition")
+}
+
+#[test]
+fn metrics_exposition_is_deterministic_with_tenant_counters_and_quantiles() {
+    let scratch = Scratch::new("metrics");
+    let daemon = Daemon::start(test_config(&scratch));
+
+    // Unique tenant names per test run: the metrics registry is
+    // process-global and the test binary runs tests in parallel, so
+    // all assertions filter down to this test's own label values.
+    let tenant_a = format!("mt-{}-a", std::process::id());
+    let tenant_b = format!("mt-{}-b", std::process::id());
+    let (status, ack) = submit(daemon.addr, &submission(&tenant_a, "observed", None));
+    assert_eq!(status, 202, "{ack:?}");
+    let digest = str_field(&ack, "job");
+    await_job(daemon.addr, &digest);
+    // Same scenario again from tenant B: a dedup hit.
+    let (status, _) = submit(daemon.addr, &submission(&tenant_b, "observed", None));
+    assert_eq!(status, 200);
+
+    let first = scrape(daemon.addr);
+    assert!(
+        first.contains("# TYPE darksil_serve_requests_total counter"),
+        "typed counter section: {first}"
+    );
+    assert!(
+        first.contains(&format!(
+            "darksil_serve_tenant_requests_total{{outcome=\"admitted\",tenant=\"{tenant_a}\"}} 1"
+        )),
+        "per-tenant admitted counter: {first}"
+    );
+    assert!(
+        first.contains(&format!(
+            "darksil_serve_tenant_requests_total{{outcome=\"deduped\",tenant=\"{tenant_b}\"}} 1"
+        )),
+        "per-tenant dedup counter: {first}"
+    );
+    assert!(
+        first.contains("darksil_serve_request_seconds{endpoint=\"/v1/jobs\",quantile=\"0.95\"}"),
+        "rolling p95 request latency: {first}"
+    );
+    assert!(
+        first.contains("darksil_serve_request_seconds_count{endpoint=\"/v1/jobs\"}"),
+        "summary count line: {first}"
+    );
+
+    // Byte-determinism: with no intervening traffic for these tenants,
+    // a second scrape renders their series byte-identically (same
+    // names, same label order, same values).
+    let second = scrape(daemon.addr);
+    let tenant_lines = |body: &str| -> Vec<String> {
+        body.lines()
+            .filter(|l| l.contains("mt-") && l.contains(&tenant_a[..tenant_a.len() - 2]))
+            .map(str::to_string)
+            .collect()
+    };
+    assert_eq!(
+        tenant_lines(&first),
+        tenant_lines(&second),
+        "tenant series are byte-deterministic across scrapes"
+    );
+    assert!(!tenant_lines(&first).is_empty(), "tenant series rendered");
+
+    // Counter monotonicity: scraping /metrics bumps its own endpoint
+    // counter, so the total across scrapes strictly increases.
+    let requests_total = |body: &str| -> f64 {
+        body.lines()
+            .filter(|l| l.starts_with("darksil_serve_requests_total{"))
+            .filter_map(|l| l.rsplit_once(' ')?.1.parse::<f64>().ok())
+            .sum()
+    };
+    assert!(
+        requests_total(&second) > requests_total(&first),
+        "request counters are monotone: {} then {}",
+        requests_total(&first),
+        requests_total(&second)
+    );
+    daemon.drain();
+}
+
+/// Reads one chunked-transfer response from `stream` to EOF and
+/// returns the decoded JSON lines.
+fn read_watch_stream(mut stream: TcpStream) -> Vec<Json> {
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read watch stream");
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("watch head terminator");
+    let head = std::str::from_utf8(&raw[..head_end]).expect("UTF-8 head");
+    assert!(head.contains(" 200 "), "watch streams 200: {head}");
+    assert!(
+        head.to_ascii_lowercase()
+            .contains("transfer-encoding: chunked"),
+        "watch is chunked: {head}"
+    );
+    let mut body = &raw[head_end + 4..];
+    let mut decoded = Vec::new();
+    loop {
+        let line_end = body
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .expect("chunk size line");
+        let size = usize::from_str_radix(
+            std::str::from_utf8(&body[..line_end]).expect("UTF-8 chunk size"),
+            16,
+        )
+        .expect("hex chunk size");
+        body = &body[line_end + 2..];
+        if size == 0 {
+            break;
+        }
+        decoded.extend_from_slice(&body[..size]);
+        body = &body[size + 2..];
+    }
+    String::from_utf8(decoded)
+        .expect("UTF-8 watch payload")
+        .lines()
+        .map(|line| darksil_json::parse(line).expect("JSON watch line"))
+        .collect()
+}
+
+#[test]
+fn watch_streams_the_full_job_lifecycle_over_a_real_socket() {
+    let scratch = Scratch::new("watch");
+    let daemon = Daemon::start(test_config(&scratch));
+
+    // A slow job so the watcher can attach while it is still running.
+    let (status, ack) = submit(
+        daemon.addr,
+        &submission("acme", "watched", Some(r#"{"slow_ms": 400}"#)),
+    );
+    assert_eq!(status, 202, "{ack:?}");
+    let digest = str_field(&ack, "job");
+
+    let mut stream = TcpStream::connect(daemon.addr).expect("connect watcher");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    let wire = format!("GET /v1/jobs/{digest}/watch HTTP/1.1\r\nhost: localhost\r\n\r\n");
+    stream.write_all(wire.as_bytes()).expect("send watch");
+    let lines = read_watch_stream(stream);
+
+    let states: Vec<&str> = lines
+        .iter()
+        .filter_map(|l| l.get("state").and_then(Json::as_str))
+        .collect();
+    assert_eq!(
+        states.first(),
+        Some(&"queued"),
+        "history starts at admission: {states:?}"
+    );
+    assert!(states.contains(&"running"), "running observed: {states:?}");
+    assert_eq!(
+        states.last(),
+        Some(&"done"),
+        "stream ends at the terminal state: {states:?}"
+    );
+    // Supervisor attempt transitions ride the same stream.
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.get("kind").and_then(Json::as_str) == Some("attempt")),
+        "attempt transitions streamed: {lines:?}"
+    );
+
+    // Unknown digests get a plain 404, not a stream.
+    let (status, _, _) = request(daemon.addr, "GET", "/v1/jobs/ffffffffffffffff/watch", None);
+    assert_eq!(status, 404);
+    daemon.drain();
+}
+
+#[test]
+fn events_endpoint_serves_deterministic_derived_statistics() {
+    let scratch = Scratch::new("events");
+    let daemon = Daemon::start(test_config(&scratch));
+
+    let (status, ack) = submit(daemon.addr, &submission("acme", "evented", None));
+    assert_eq!(status, 202, "{ack:?}");
+    let digest = str_field(&ack, "job");
+    await_job(daemon.addr, &digest);
+
+    let (status, _, first) = request(
+        daemon.addr,
+        "GET",
+        &format!("/v1/jobs/{digest}/events"),
+        None,
+    );
+    assert_eq!(status, 200, "events derived for a finished job");
+    let body = json_body(&first);
+    assert_eq!(str_field(&body, "job"), digest);
+    assert!(
+        field(&body, "events").as_f64().unwrap_or(0.0) > 0.0,
+        "{body:?}"
+    );
+    assert!(body.get("kinds").is_some() && body.get("summary").is_some());
+
+    // Second request is served from the persisted JSONL, byte-equal.
+    let (status, _, second) = request(
+        daemon.addr,
+        "GET",
+        &format!("/v1/jobs/{digest}/events"),
+        None,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(first, second, "derived statistics are deterministic");
+
+    // Unknown digest: 404. Unfinished-job 409 is covered by submitting
+    // a slow job and asking immediately.
+    let (status, _, _) = request(daemon.addr, "GET", "/v1/jobs/ffffffffffffffff/events", None);
+    assert_eq!(status, 404);
+    let (status, ack) = submit(
+        daemon.addr,
+        &submission("acme", "still-going", Some(r#"{"slow_ms": 1000}"#)),
+    );
+    assert_eq!(status, 202, "{ack:?}");
+    let slow = str_field(&ack, "job");
+    let (status, _, _) = request(daemon.addr, "GET", &format!("/v1/jobs/{slow}/events"), None);
+    assert_eq!(status, 409, "events only derive once the job finishes");
+    await_job(daemon.addr, &slow);
+    daemon.drain();
+}
+
+#[test]
+fn draining_flips_healthz_to_503_but_stats_stay_reachable() {
+    let scratch = Scratch::new("drainhealth");
+    let daemon = Daemon::start(test_config(&scratch));
+
+    // An in-flight slow job holds the daemon in its drain grace period
+    // so the observability surface can be probed mid-drain.
+    let (status, ack) = submit(
+        daemon.addr,
+        &submission("acme", "lingering", Some(r#"{"slow_ms": 1500}"#)),
+    );
+    assert_eq!(status, 202, "{ack:?}");
+
+    let (status, _, _) = request(daemon.addr, "POST", "/v1/drain", None);
+    assert_eq!(status, 202);
+
+    let (status, _, raw) = request(daemon.addr, "GET", "/healthz", None);
+    assert_eq!(status, 503, "healthz flips while draining");
+    let health = json_body(&raw);
+    assert_eq!(field(&health, "draining"), &Json::Bool(true), "{health:?}");
+
+    let (status, _, raw) = request(daemon.addr, "GET", "/v1/stats", None);
+    assert_eq!(status, 200, "stats stay reachable while draining");
+    assert_eq!(
+        field(&json_body(&raw), "draining"),
+        &Json::Bool(true),
+        "stats report the drain"
+    );
+    let (status, _, _) = request(daemon.addr, "GET", "/metrics", None);
+    assert_eq!(status, 200, "a final scrape works while draining");
+
+    // New submissions are refused mid-drain.
+    let (status, _, _) = request(
+        daemon.addr,
+        "POST",
+        "/v1/jobs",
+        Some(&submission("acme", "late", None)),
+    );
+    assert_eq!(status, 503, "no admissions while draining");
+
+    let handle = {
+        let mut daemon = daemon;
+        daemon.handle.take().expect("daemon thread")
+    };
+    let summary = handle.join().expect("daemon exits after the grace period");
+    assert!(summary.drained, "the slow job finished within the grace");
+}
+
+#[test]
+fn factor_cache_counters_survive_restart_and_never_decrease() {
+    let scratch = Scratch::new("fcmono");
+
+    let factor_cache = |addr: SocketAddr| -> (f64, f64) {
+        let (status, _, raw) = request(addr, "GET", "/v1/stats", None);
+        assert_eq!(status, 200);
+        let stats = json_body(&raw);
+        let fc = field(&stats, "factor_cache");
+        (
+            field(fc, "hits").as_f64().expect("hits"),
+            field(fc, "misses").as_f64().expect("misses"),
+        )
+    };
+
+    // First incarnation: solve once, note the counters.
+    let daemon = Daemon::start(test_config(&scratch));
+    let (status, ack) = submit(daemon.addr, &submission("acme", "mono", None));
+    assert_eq!(status, 202, "{ack:?}");
+    let digest = str_field(&ack, "job");
+    await_job(daemon.addr, &digest);
+    let (hits_before, misses_before) = factor_cache(daemon.addr);
+    daemon.drain();
+
+    // Second incarnation on the same state dir: the counters are
+    // still visible and have not decreased (the factorisation cache
+    // is monotone by construction — nothing resets it on restart).
+    let daemon = Daemon::start(test_config(&scratch));
+    let (hits_after, misses_after) = factor_cache(daemon.addr);
+    assert!(
+        hits_after >= hits_before && misses_after >= misses_before,
+        "factor-cache counters never decrease: \
+         ({hits_before},{misses_before}) then ({hits_after},{misses_after})"
+    );
+    // And they keep counting: re-running the same scenario via resume
+    // of the restored record costs no solve, but a fresh scenario does.
+    let (status, ack) = submit(daemon.addr, &submission("acme", "mono-2", None));
+    assert_eq!(status, 202, "{ack:?}");
+    let digest = str_field(&ack, "job");
+    await_job(daemon.addr, &digest);
+    let (hits_final, misses_final) = factor_cache(daemon.addr);
+    assert!(
+        hits_final + misses_final >= hits_after + misses_after,
+        "counters are monotone under new work"
+    );
+    daemon.drain();
+}

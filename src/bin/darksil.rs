@@ -2,9 +2,17 @@
 //! `darksil::cli` so it stays unit-testable; this shim only
 //! adapts process arguments and exit codes, and points the
 //! execution engine at the requested `--jobs` worker count.
+//!
+//! Exit codes: 0 on success, 1 on a runtime failure, 2 on a usage
+//! error (unknown flag, malformed value — e.g. a non-positive
+//! `trace summarize --top`), matching the Unix convention that lets
+//! scripts tell "you called me wrong" from "the work failed".
 
 use std::env;
 use std::process::ExitCode;
+
+/// Exit code for usage errors (bad flags/arguments).
+const EXIT_USAGE: u8 = 2;
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -12,7 +20,7 @@ fn main() -> ExitCode {
         Ok(split) => split,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", darksil::cli::USAGE);
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     if let Some(jobs) = jobs {
@@ -28,7 +36,7 @@ fn main() -> ExitCode {
         },
         Err(e) => {
             eprintln!("error: {e}\n\n{}", darksil::cli::USAGE);
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_USAGE)
         }
     }
 }

@@ -159,6 +159,15 @@ pub enum Command {
         /// Drain grace period in seconds.
         drain_grace_s: f64,
     },
+    /// Live plain-text dashboard over a running darksil-d.
+    Top {
+        /// Daemon address (`host:port`).
+        addr: String,
+        /// Refresh interval in seconds.
+        interval_s: f64,
+        /// Render a single frame and exit.
+        once: bool,
+    },
     /// Print usage.
     Help,
 }
@@ -294,6 +303,7 @@ USAGE:
                    [--resume]
   darksil serve    [--addr HOST:PORT] [--max-inflight N] [--tenant-quota N]
                    [--state-dir DIR] [--deadline-s S] [--drain-grace-s S]
+  darksil top      [--addr HOST:PORT] [--interval S] [--once]
   darksil help
 
 `trace summarize` renders the hot-path table of a trace recorded by
@@ -344,6 +354,18 @@ unfinished work on restart and serves byte-identical artefacts. Poll
 GET /v1/jobs/<digest>, fetch GET /v1/artefacts/<digest> or
 /v1/jobs/<digest>/report, and drain gracefully with SIGTERM or
 POST /v1/drain (exit 0). See DESIGN.md §17 for the full protocol.
+
+`top` renders a live plain-text dashboard over a running darksil-d:
+it polls GET /metrics (Prometheus text) and GET /v1/stats every
+--interval seconds (default 2) and shows job states, admission
+counters, in-flight/queue/connection gauges, solve- and factor-cache
+hit rates, rolling p50/p95/p99 request latency (last ~5 minutes), the
+circuit-breaker state, and a per-tenant request table. --once prints
+a single frame and exits 0 — handy in scripts and CI. Streaming
+consumers can follow one job live instead with
+GET /v1/jobs/<digest>/watch (chunked JSON lines) and fetch derived
+event statistics from GET /v1/jobs/<digest>/events; see DESIGN.md §19
+for the metrics contract.
 
 Every subcommand also accepts --jobs N (worker threads for parallel
 sweeps; default DARKSIL_JOBS or the available parallelism; --jobs
@@ -484,6 +506,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     }
     if cmd == "serve" {
         return parse_serve(&mut it);
+    }
+    if cmd == "top" {
+        return parse_top(&mut it);
     }
     let mut node = None;
     let mut app = None;
@@ -907,6 +932,39 @@ fn parse_serve(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseEr
     })
 }
 
+/// Parses the arguments after `darksil top`.
+fn parse_top(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseError> {
+    let mut addr = "127.0.0.1:8787".to_string();
+    let mut interval_s = 2.0_f64;
+    let mut once = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| ParseError("--addr expects host:port".into()))?;
+            }
+            "--interval" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ParseError("--interval expects seconds".into()))?;
+                interval_s = parse_f64("--interval", value)?;
+            }
+            "--once" => once = true,
+            other => return Err(ParseError(format!("unknown argument '{other}'"))),
+        }
+    }
+    if !interval_s.is_finite() || interval_s <= 0.0 {
+        return Err(ParseError("--interval expects positive seconds".into()));
+    }
+    Ok(Command::Top {
+        addr,
+        interval_s,
+        once,
+    })
+}
+
 /// Parses the arguments after `darksil report`.
 fn parse_report(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseError> {
     let mut run = None;
@@ -1147,6 +1205,13 @@ pub fn run(command: &Command) -> Result<(), Box<dyn std::error::Error>> {
                 },
                 summary.unfinished
             );
+        }
+        Command::Top {
+            addr,
+            interval_s,
+            once,
+        } => {
+            crate::top::run_top(addr, std::time::Duration::from_secs_f64(*interval_s), *once)?;
         }
     }
     Ok(())
@@ -2624,6 +2689,43 @@ mod tests {
         assert!(parse(&argv("serve --drain-grace-s -1")).is_err());
         assert!(parse(&argv("serve --addr")).is_err());
         assert!(parse(&argv("serve --bogus")).is_err());
+    }
+
+    #[test]
+    fn top_parses_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("top")).unwrap(),
+            Command::Top {
+                addr: "127.0.0.1:8787".to_string(),
+                interval_s: 2.0,
+                once: false,
+            }
+        );
+        assert_eq!(
+            parse(&argv("top --addr 10.0.0.1:9 --interval 0.5 --once")).unwrap(),
+            Command::Top {
+                addr: "10.0.0.1:9".to_string(),
+                interval_s: 0.5,
+                once: true,
+            }
+        );
+    }
+
+    #[test]
+    fn top_rejects_nonsense_intervals() {
+        assert!(parse(&argv("top --interval 0")).is_err());
+        assert!(parse(&argv("top --interval -1")).is_err());
+        assert!(parse(&argv("top --interval nan")).is_err());
+        assert!(parse(&argv("top --addr")).is_err());
+        assert!(parse(&argv("top --bogus")).is_err());
+    }
+
+    #[test]
+    fn nonpositive_trace_top_errors_name_the_flag() {
+        let err = parse(&argv("trace summarize --top 0")).unwrap_err();
+        assert!(err.0.contains("--top"), "{}", err.0);
+        let err = parse(&argv("trace summarize --top -3")).unwrap_err();
+        assert!(err.0.contains("--top"), "{}", err.0);
     }
 
     #[test]

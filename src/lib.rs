@@ -42,3 +42,4 @@ pub use darksil_workload as workload;
 pub mod cli;
 pub mod scenario;
 pub mod sweep;
+pub mod top;
